@@ -1,0 +1,61 @@
+// Experiment E4 — CPT data-quality ablation (paper §III/§VI).
+//
+// Compares continual pretraining of the same base model on the four corpus
+// variants: abstracts only, abstract+intro+conclusion (AIC), LLM-style
+// summaries, and OCR'd full text. The paper's narrative: information-dense
+// clean tokens (Summary) beat the noisy AIC extraction, and abstracts
+// alone are worst (fewest facts). Scores are base-token, per tier.
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/string_utils.hpp"
+
+using namespace astromlab;
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  log::set_level(log::parse_level(args.get_string("log", "info")));
+
+  core::WorldConfig config;
+  config.size_multiplier = args.get_double("mult", 1.0);
+  const std::string cache = args.get_string("cache", core::default_cache_dir().string());
+
+  core::World world = core::build_world(config);
+  core::Pipeline pipeline(std::move(world), cache);
+
+  const core::Scale scale = core::Scale::kS8;
+  const eval::ScoreSummary native =
+      pipeline.token_benchmark(pipeline.base_model(scale), "S8");
+
+  std::printf("\nE4: CPT DATA-QUALITY ABLATION (base-token scores, S8 base)\n\n");
+  std::printf("%s%s%s%s\n", util::pad_right("CPT corpus", 16).c_str(),
+              util::pad_right("overall", 10).c_str(),
+              util::pad_right("canonical", 12).c_str(), "frontier");
+  std::printf("%s\n", std::string(48, '-').c_str());
+  std::printf("%s%s%s%s\n", util::pad_right("(none/native)", 16).c_str(),
+              util::pad_right(eval::percent(native.accuracy), 10).c_str(),
+              util::pad_right(eval::percent(native.canonical_accuracy), 12).c_str(),
+              eval::percent(native.frontier_accuracy).c_str());
+
+  for (corpus::CptVariant variant :
+       {corpus::CptVariant::kAbstract, corpus::CptVariant::kAic,
+        corpus::CptVariant::kSummary, corpus::CptVariant::kFullTextOcr}) {
+    const nn::GptModel model = pipeline.cpt_model(scale, variant);
+    const std::string tag =
+        std::string("S8-cpt") + corpus::cpt_variant_name(variant);
+    const eval::ScoreSummary summary = pipeline.token_benchmark(model, tag);
+    std::printf("%s%s%s%s\n",
+                util::pad_right(corpus::cpt_variant_name(variant), 16).c_str(),
+                util::pad_right(eval::percent(summary.accuracy), 10).c_str(),
+                util::pad_right(eval::percent(summary.canonical_accuracy), 12).c_str(),
+                eval::percent(summary.frontier_accuracy).c_str());
+  }
+
+  std::printf("\npaper finding: Summary-quality tokens degrade least (and lift\n"
+              "frontier recall); abstracts cover the fewest facts. Frontier-tier\n"
+              "accuracy isolates knowledge only CPT can add.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Experiment E2 — reproduces Figure 1 of the paper: the Table-I scores
+// rendered as per-model series (three symbols per model) against the
+// native full-instruct baselines. Shares the model/result cache with
+// table1_models, so running that bench first makes this one instant.
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "core/study.hpp"
+#include "eval/report.hpp"
+#include "util/cli.hpp"
+#include "util/io.hpp"
+#include "util/logging.hpp"
+
+using namespace astromlab;
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  log::set_level(log::parse_level(args.get_string("log", "info")));
+
+  core::WorldConfig config;
+  config.size_multiplier = args.get_double("mult", 1.0);
+  const std::string cache = args.get_string("cache", core::default_cache_dir().string());
+
+  core::World world = core::build_world(config);
+  core::Pipeline pipeline(std::move(world), cache);
+  const core::StudyResult result = core::run_table1_study(pipeline);
+
+  std::printf("\n== MEASURED (this reproduction) ==\n\n%s\n",
+              eval::render_fig1(result.table_rows()).c_str());
+  std::printf("== PAPER FIGURE 1 (reference values) ==\n\n%s\n",
+              eval::render_fig1(core::paper_reference_rows()).c_str());
+
+  // Per-series commentary mirroring the figure caption.
+  for (const core::StudyRow& row : result.rows) {
+    if (row.row.is_native || !row.scores.has_instruct) continue;
+    std::printf("%s: full-instruct %.1f / token-instruct %.1f / token-base %.1f "
+                "(frontier-question accuracy %.1f%%)\n",
+                row.row.name.c_str(), row.row.full_instruct, row.row.token_instruct,
+                row.row.token_base, row.scores.token_base.frontier_accuracy * 100.0);
+  }
+
+  const std::string csv_path = cache + "/fig1.csv";
+  util::write_text_file(csv_path, eval::render_csv(result.table_rows()));
+  std::printf("\nCSV written to %s\n", csv_path.c_str());
+  return 0;
+}

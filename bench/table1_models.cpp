@@ -1,0 +1,110 @@
+// Experiment E1 — reproduces Table I of the paper: the full model zoo
+// (native LLaMA analogs + AstroLLaMA CPT/SFT lineages) evaluated under the
+// three benchmarking methods.
+//
+// Options (CLI --key=value or ASTROMLAB_<KEY> env):
+//   --mult=<f>     world size multiplier (default 1.0; smaller = faster)
+//   --cache=<dir>  cache directory (default $ASTROMLAB_CACHE or
+//                  .astromlab_cache)
+//   --log=<level>  debug|info|warn|error (default info)
+//
+// Trained models and evaluation results are cached; the first run trains
+// everything (several minutes on one core), later runs replay from cache.
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "core/study.hpp"
+#include "eval/report.hpp"
+#include "util/cli.hpp"
+#include "util/io.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+#include "util/string_utils.hpp"
+
+using namespace astromlab;
+
+namespace {
+
+/// Checks the acceptance criteria from DESIGN.md §5 against the measured
+/// rows and prints a pass/fail line per criterion.
+void check_acceptance(const core::StudyResult& result) {
+  const auto score = [&](const char* name, double eval::ModelRow::*field) {
+    const core::StudyRow* row = result.find(name);
+    return row != nullptr ? row->row.*field : -1.0;
+  };
+  struct Criterion {
+    std::string name;
+    bool pass;
+  };
+  std::vector<Criterion> criteria;
+
+  const double s7_base = score("LLaMA-2-7B", &eval::ModelRow::token_base);
+  criteria.push_back({"S7: AstroLLaMA-AIC base-token below native (catastrophic forgetting)",
+                      score("AstroLLaMA-2-7B-AIC", &eval::ModelRow::token_base) < s7_base});
+  criteria.push_back({"S7: AstroLLaMA-Abstract base-token below native",
+                      score("AstroLLaMA-2-7B-Abstract", &eval::ModelRow::token_base) < s7_base});
+
+  const double s8_base = score("LLaMA-3-8B", &eval::ModelRow::token_base);
+  const double s8_aic = score("AstroLLaMA-3-8B-AIC", &eval::ModelRow::token_base);
+  const double s8_sum = score("AstroLLaMA-3-8B-Summary", &eval::ModelRow::token_base);
+  criteria.push_back({"S8: AIC base-token within ~2 pts of native (wash)",
+                      std::abs(s8_aic - s8_base) <= 2.5});
+  criteria.push_back({"S8: Summary base-token >= AIC base-token", s8_sum >= s8_aic - 0.5});
+
+  const double s70_base = score("LLaMA-2-70B", &eval::ModelRow::token_base);
+  const double s70_aic = score("AstroLLaMA-2-70B-AIC", &eval::ModelRow::token_base);
+  criteria.push_back({"S70: AstroLLaMA-AIC base-token ABOVE native (CPT pays off)",
+                      s70_aic > s70_base});
+  criteria.push_back(
+      {"S70: instruct-token also above native",
+       score("AstroLLaMA-2-70B-AIC", &eval::ModelRow::token_instruct) >
+           score("LLaMA-2-70B", &eval::ModelRow::token_instruct)});
+
+  bool ordering_ok = true;
+  for (const char* name : {"AstroLLaMA-2-7B-AIC", "AstroLLaMA-3-8B-AIC",
+                           "AstroLLaMA-3-8B-Summary", "AstroLLaMA-2-70B-AIC"}) {
+    const double fi = score(name, &eval::ModelRow::full_instruct);
+    const double tb = score(name, &eval::ModelRow::token_base);
+    if (fi > tb + 1.5) ordering_ok = false;
+  }
+  criteria.push_back(
+      {"All specialised models: full-instruct <= base-token (SFT bottleneck)", ordering_ok});
+
+  std::printf("\nACCEPTANCE CRITERIA (see DESIGN.md #5)\n");
+  for (const Criterion& criterion : criteria) {
+    std::printf("  [%s] %s\n", criterion.pass ? "PASS" : "FAIL", criterion.name.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  log::set_level(log::parse_level(args.get_string("log", "info")));
+
+  core::WorldConfig config;
+  config.size_multiplier = args.get_double("mult", 1.0);
+  const std::string cache =
+      args.get_string("cache", core::default_cache_dir().string());
+
+  util::Stopwatch watch;
+  core::World world = core::build_world(config);
+  core::Pipeline pipeline(std::move(world), cache);
+  const core::StudyResult result = core::run_table1_study(pipeline);
+
+  std::printf("\n== MEASURED (this reproduction, %zu MCQs) ==\n\n",
+              pipeline.world().mcqs.benchmark.size());
+  std::printf("%s\n", eval::render_table1(result.table_rows()).c_str());
+
+  std::printf("== PAPER TABLE I (reference values) ==\n\n%s\n",
+              eval::render_table1(core::paper_reference_rows()).c_str());
+
+  check_acceptance(result);
+
+  const std::string csv_path = cache + "/table1.csv";
+  util::write_text_file(csv_path, eval::render_csv(result.table_rows()));
+  std::printf("\nCSV written to %s\n", csv_path.c_str());
+  std::printf("total wall time: %.1fs\n", watch.seconds());
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Experiment E8 — engineering throughput of the substrate kernels:
+// GEMM, transformer forward/backward, KV-cache decode, and the tokenizer.
+// These are google-benchmark microbenchmarks (the training/evaluation
+// wall-times of the study itself are reported by the experiment benches).
+
+#include <benchmark/benchmark.h>
+
+#include "corpus/corpora.hpp"
+#include "nn/gpt.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/ops.hpp"
+#include "tokenizer/bpe.hpp"
+#include "util/rng.hpp"
+
+using namespace astromlab;
+
+namespace {
+
+void BM_Sgemm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  for (float& v : a) v = rng.next_float();
+  for (float& v : b) v = rng.next_float();
+  for (auto _ : state) {
+    tensor::sgemm(false, false, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * n * n * n);
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * static_cast<double>(n) * n * n * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Sgemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SgemmTransposed(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  for (float& v : a) v = rng.next_float();
+  for (float& v : b) v = rng.next_float();
+  for (auto _ : state) {
+    // The y = x * W^T layout used by every linear layer.
+    tensor::sgemm(false, true, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * static_cast<double>(n) * n * n * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SgemmTransposed)->Arg(64)->Arg(128);
+
+nn::GptModel bench_model() {
+  nn::GptConfig config;
+  config.vocab_size = 768;
+  config.ctx_len = 416;
+  config.d_model = 80;
+  config.n_heads = 8;
+  config.n_layers = 4;
+  config.d_ff = 320;
+  nn::GptModel model(config);
+  util::Rng rng(3);
+  model.init_weights(rng);
+  return model;
+}
+
+void BM_TransformerForward(benchmark::State& state) {
+  nn::GptModel model = bench_model();
+  const std::size_t batch = 4, seq = 256;
+  util::Rng rng(4);
+  std::vector<nn::Token> tokens(batch * seq), targets(batch * seq);
+  for (auto& t : tokens) t = static_cast<nn::Token>(rng.next_below(768));
+  for (auto& t : targets) t = static_cast<nn::Token>(rng.next_below(768));
+  nn::GptActivations acts;
+  for (auto _ : state) {
+    const float loss = model.forward(acts, tokens.data(), targets.data(), batch, seq);
+    benchmark::DoNotOptimize(loss);
+  }
+  state.counters["tok/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(batch * seq),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TransformerForward);
+
+void BM_TransformerTrainStep(benchmark::State& state) {
+  nn::GptModel model = bench_model();
+  const std::size_t batch = 4, seq = 256;
+  util::Rng rng(5);
+  std::vector<nn::Token> tokens(batch * seq), targets(batch * seq);
+  for (auto& t : tokens) t = static_cast<nn::Token>(rng.next_below(768));
+  for (auto& t : targets) t = static_cast<nn::Token>(rng.next_below(768));
+  nn::GptActivations acts;
+  for (auto _ : state) {
+    model.params().zero_grads();
+    model.forward(acts, tokens.data(), targets.data(), batch, seq);
+    model.backward(acts, tokens.data(), targets.data(), batch, seq);
+    benchmark::DoNotOptimize(model.params().grads());
+  }
+  state.counters["tok/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(batch * seq),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TransformerTrainStep);
+
+void BM_KvCacheDecode(benchmark::State& state) {
+  nn::GptModel model = bench_model();
+  nn::GptInference inference(model);
+  for (auto _ : state) {
+    if (inference.position() + 1 >= model.config().ctx_len) inference.reset();
+    benchmark::DoNotOptimize(inference.step(42));
+  }
+  state.counters["tok/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KvCacheDecode);
+
+struct TokenizerFixture {
+  corpus::KnowledgeBase kb;
+  tokenizer::BpeTokenizer tok;
+  std::string sample;
+  TokenizerFixture() {
+    corpus::KbConfig config;
+    config.n_topics = 8;
+    config.entities_per_topic = 4;
+    config.facts_per_entity = 2;
+    kb = corpus::KnowledgeBase::generate(config);
+    const auto mcqs = corpus::generate_mcqs(kb, {});
+    tokenizer::BpeTrainConfig tc;
+    tc.vocab_size = 768;
+    const std::string text = corpus::build_tokenizer_training_text(kb, mcqs.practice, 6);
+    tok = tokenizer::BpeTokenizer::train(text, tc);
+    sample = text.substr(0, 16384);
+  }
+};
+
+void BM_TokenizerEncode(benchmark::State& state) {
+  static TokenizerFixture fixture;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.tok.encode(fixture.sample));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fixture.sample.size()));
+}
+BENCHMARK(BM_TokenizerEncode);
+
+void BM_TokenizerTrain(benchmark::State& state) {
+  static TokenizerFixture fixture;
+  tokenizer::BpeTrainConfig config;
+  config.vocab_size = 512;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer::BpeTokenizer::train(fixture.sample, config));
+  }
+}
+BENCHMARK(BM_TokenizerTrain);
+
+}  // namespace

@@ -1,0 +1,43 @@
+#pragma once
+// Analytic GPU-hour cost model (paper §III cost paragraph and the §VII
+// O(10^3)–O(10^5) extrapolations).
+//
+// Training cost uses the standard 6·N·D FLOPs-per-token rule; inference is
+// modelled as 2·N·D with a much lower effective utilisation (decode is
+// memory-bound). The defaults are calibrated so the model reproduces the
+// paper's reported A100-hour figures to within their own rounding.
+
+#include <string>
+#include <vector>
+
+namespace astromlab::core {
+
+struct GpuCostModel {
+  double a100_peak_bf16_tflops = 312.0;  ///< A100 dense bf16 peak
+  double train_mfu = 0.38;               ///< LMFlow-era large-model training
+  double decode_mfu = 0.010;             ///< autoregressive decode utilisation
+
+  /// A100-hours to train `params` parameters on `tokens` tokens.
+  double train_gpu_hours(double params, double tokens) const;
+
+  /// A100-hours to run prompt+decode over `tokens` total tokens.
+  double inference_gpu_hours(double params, double tokens) const;
+};
+
+/// One row of the paper-vs-model cost comparison.
+struct CostRow {
+  std::string stage;        ///< e.g. "CPT 70B"
+  double params = 0.0;      ///< model parameters
+  double tokens = 0.0;      ///< assumed token count
+  double predicted_hours = 0.0;
+  double reported_hours = 0.0;  ///< paper figure (0 = extrapolation row)
+};
+
+/// Reproduces every cost the paper reports (CPT/SFT/inference at 8B and
+/// 70B) plus the §VII full-text extrapolations.
+std::vector<CostRow> reproduce_paper_costs(const GpuCostModel& model = {});
+
+/// Pretty table for bench output.
+std::string render_cost_table(const std::vector<CostRow>& rows);
+
+}  // namespace astromlab::core

@@ -1,0 +1,289 @@
+#include "core/experiment.hpp"
+
+#include <cstdlib>
+#include <functional>
+
+#include "eval/full_instruct.hpp"
+#include "eval/token_method.hpp"
+#include "json/json.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/data.hpp"
+#include "nn/trainer.hpp"
+#include "util/io.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+#include "util/string_utils.hpp"
+
+namespace astromlab::core {
+
+namespace fs = std::filesystem;
+
+World build_world(const WorldConfig& config) {
+  World world;
+  world.config = config;
+  world.kb = corpus::KnowledgeBase::generate(config.kb);
+  world.mcqs = corpus::generate_mcqs(world.kb, config.mcq);
+
+  const std::string tokenizer_text = corpus::build_tokenizer_training_text(
+      world.kb, world.mcqs.practice, config.seed + 40);
+  tokenizer::BpeTrainConfig tok_config;
+  tok_config.vocab_size = config.vocab_size;
+  world.tok = tokenizer::BpeTokenizer::train(tokenizer_text, tok_config);
+
+  util::HashBuilder h;
+  config.add_to_hash(h);
+  world.fingerprint = h.digest();
+  log::info() << "world: " << world.kb.facts().size() << " facts, "
+              << world.mcqs.benchmark.size() << " benchmark MCQs, "
+              << world.mcqs.practice.size() << " practice MCQs, vocab "
+              << world.tok.vocab_size();
+  return world;
+}
+
+fs::path default_cache_dir() {
+  if (const char* env = std::getenv("ASTROMLAB_CACHE")) return fs::path(env);
+  return fs::path(".astromlab_cache");
+}
+
+namespace {
+
+json::Value summary_to_json(const eval::ScoreSummary& s) {
+  json::Value obj = json::Value::object();
+  obj.set("total", json::Value(static_cast<std::int64_t>(s.total)));
+  obj.set("correct", json::Value(static_cast<std::int64_t>(s.correct)));
+  obj.set("accuracy", json::Value(s.accuracy));
+  obj.set("ci_low", json::Value(s.ci_low));
+  obj.set("ci_high", json::Value(s.ci_high));
+  obj.set("canonical_accuracy", json::Value(s.canonical_accuracy));
+  obj.set("frontier_accuracy", json::Value(s.frontier_accuracy));
+  obj.set("frontier_total", json::Value(static_cast<std::int64_t>(s.frontier_total)));
+  obj.set("unanswered", json::Value(static_cast<std::int64_t>(s.unanswered)));
+  obj.set("json_extractions", json::Value(static_cast<std::int64_t>(s.json_extractions)));
+  obj.set("regex_extractions", json::Value(static_cast<std::int64_t>(s.regex_extractions)));
+  obj.set("interpreter_extractions",
+          json::Value(static_cast<std::int64_t>(s.interpreter_extractions)));
+  return obj;
+}
+
+eval::ScoreSummary summary_from_json(const json::Value& obj) {
+  eval::ScoreSummary s;
+  s.total = static_cast<std::size_t>(obj.get_number("total", 0));
+  s.correct = static_cast<std::size_t>(obj.get_number("correct", 0));
+  s.accuracy = obj.get_number("accuracy", 0);
+  s.ci_low = obj.get_number("ci_low", 0);
+  s.ci_high = obj.get_number("ci_high", 0);
+  s.canonical_accuracy = obj.get_number("canonical_accuracy", 0);
+  s.frontier_accuracy = obj.get_number("frontier_accuracy", 0);
+  s.frontier_total = static_cast<std::size_t>(obj.get_number("frontier_total", 0));
+  s.unanswered = static_cast<std::size_t>(obj.get_number("unanswered", 0));
+  s.json_extractions = static_cast<std::size_t>(obj.get_number("json_extractions", 0));
+  s.regex_extractions = static_cast<std::size_t>(obj.get_number("regex_extractions", 0));
+  s.interpreter_extractions =
+      static_cast<std::size_t>(obj.get_number("interpreter_extractions", 0));
+  return s;
+}
+
+std::vector<nn::Token> encode_stream(const tokenizer::BpeTokenizer& tok,
+                                     const std::string& text) {
+  const std::vector<tokenizer::TokenId> ids = tok.encode(text);
+  return {ids.begin(), ids.end()};
+}
+
+}  // namespace
+
+Pipeline::Pipeline(World world, fs::path cache_dir)
+    : world_(std::move(world)), cache_dir_(std::move(cache_dir)) {
+  std::error_code ec;
+  fs::create_directories(cache_dir_ / "models", ec);
+  fs::create_directories(cache_dir_ / "results", ec);
+}
+
+std::string Pipeline::model_tag(Scale scale, std::optional<corpus::CptVariant> cpt,
+                                std::optional<SftKind> sft) const {
+  std::string tag = scale_name(scale);
+  if (cpt) tag += std::string("-cpt") + corpus::cpt_variant_name(*cpt);
+  if (sft) tag += std::string("-sft_") + sft_kind_name(*sft);
+  return tag;
+}
+
+std::uint64_t Pipeline::model_key(Scale scale, std::optional<corpus::CptVariant> cpt,
+                                  std::optional<SftKind> sft) const {
+  util::HashBuilder h;
+  h.add_u64(world_.fingerprint);
+  const ScaleSpec spec = scale_spec(scale, world_.config);
+  spec.add_to_hash(h);
+  if (cpt) {
+    const corpus::CptSpec cs = cpt_corpus_spec(*cpt, world_.config);
+    h.add("cpt").add_u64(static_cast<std::uint64_t>(cs.variant));
+    h.add_f64(cs.debris_rate).add_f64(cs.ocr_noise_rate);
+    h.add_u64(cs.passes).add_u64(cs.papers_per_topic).add_u64(cs.seed);
+    const nn::TrainConfig tc = cpt_recipe(scale, world_.config);
+    h.add_f64(tc.lr).add_f64(tc.epochs).add_u64(tc.seq_len);
+  }
+  if (sft) {
+    const corpus::SftSpec ss =
+        sft_override_ ? *sft_override_ : sft_data_spec(*sft, world_.config);
+    h.add("sft").add_u64(static_cast<std::uint64_t>(*sft));
+    h.add_u64(ss.total_dialogues).add_f64(ss.astro_fraction);
+    h.add_f64(ss.general_mcq_share).add_u64(ss.seed);
+    const nn::TrainConfig tc = sft_recipe(scale, *sft, world_.config);
+    h.add_f64(tc.lr).add_f64(tc.epochs).add_u64(tc.seq_len);
+  }
+  return h.digest();
+}
+
+nn::GptModel Pipeline::train_or_load(std::uint64_t key, const std::string& tag,
+                                     const std::function<nn::GptModel()>& build) {
+  const fs::path path = cache_dir_ / "models" / (util::to_hex(key) + ".ckpt");
+  if (fs::exists(path)) {
+    log::info() << "cache hit: model " << tag;
+    return nn::load_checkpoint(path);
+  }
+  log::info() << "training model " << tag << " ...";
+  util::Stopwatch watch;
+  nn::GptModel model = build();
+  // Checkpoints are stored bf16 (the paper's training precision); both the
+  // fresh and cached paths return the reloaded weights so results are
+  // bit-identical regardless of cache state.
+  nn::save_checkpoint(model, path, nn::CheckpointPrecision::kBf16);
+  log::info() << "trained " << tag << " in " << util::format_fixed(watch.seconds(), 1)
+              << "s (" << model.config().describe() << ")";
+  return nn::load_checkpoint(path);
+}
+
+nn::GptModel Pipeline::base_model(Scale scale) {
+  const std::uint64_t key = model_key(scale, std::nullopt, std::nullopt);
+  return train_or_load(key, model_tag(scale, std::nullopt, std::nullopt), [&] {
+    const ScaleSpec spec = scale_spec(scale, world_.config);
+    const std::string text =
+        corpus::build_pretrain_corpus(world_.kb, world_.mcqs.practice, spec.pretrain);
+    nn::StreamDataset data(encode_stream(world_.tok, text));
+    log::info() << "pretrain corpus for " << scale_name(scale) << ": " << data.size()
+                << " tokens";
+    nn::GptModel model(spec.arch);
+    util::Rng rng(key ^ 0x1234);
+    model.init_weights(rng);
+    nn::Trainer trainer(model, spec.pretrain_train);
+    util::Rng train_rng(key ^ 0x5678);
+    trainer.train(data, train_rng);
+    return model;
+  });
+}
+
+nn::GptModel Pipeline::cpt_model(Scale scale, corpus::CptVariant variant) {
+  const std::uint64_t key = model_key(scale, variant, std::nullopt);
+  return train_or_load(key, model_tag(scale, variant, std::nullopt), [&] {
+    nn::GptModel model = base_model(scale);
+    const corpus::CptSpec cs = cpt_corpus_spec(variant, world_.config);
+    const std::string text = corpus::build_cpt_corpus(world_.kb, cs);
+    nn::StreamDataset data(encode_stream(world_.tok, text));
+    log::info() << "CPT corpus (" << corpus::cpt_variant_name(variant)
+                << "): " << data.size() << " tokens";
+    nn::Trainer trainer(model, cpt_recipe(scale, world_.config));
+    util::Rng train_rng(key ^ 0x9abc);
+    trainer.train(data, train_rng);
+    return model;
+  });
+}
+
+nn::GptModel Pipeline::instruct_model(Scale scale, std::optional<corpus::CptVariant> cpt,
+                                      SftKind sft) {
+  const std::uint64_t key = model_key(scale, cpt, sft);
+  return train_or_load(key, model_tag(scale, cpt, sft), [&] {
+    nn::GptModel model = cpt ? cpt_model(scale, *cpt) : base_model(scale);
+    const corpus::SftSpec spec =
+        sft_override_ ? *sft_override_ : sft_data_spec(sft, world_.config);
+    const std::vector<corpus::Dialogue> dialogues =
+        corpus::build_sft_dialogues(world_.kb, world_.mcqs.practice, spec);
+    const std::vector<nn::MaskedExample> examples =
+        corpus::to_masked_examples(dialogues, world_.tok);
+    nn::MaskedExampleDataset data(examples, world_.tok.pad_id());
+    log::info() << "SFT set (" << sft_kind_name(sft) << "): " << dialogues.size()
+                << " dialogues, " << data.epoch_tokens() << " tokens";
+    nn::Trainer trainer(model, sft_recipe(scale, sft, world_.config));
+    util::Rng train_rng(key ^ 0xdef0);
+    trainer.train(data, train_rng);
+    return model;
+  });
+}
+
+std::optional<eval::ScoreSummary> Pipeline::load_result(std::uint64_t key) const {
+  const fs::path path = cache_dir_ / "results" / (util::to_hex(key) + ".json");
+  if (!fs::exists(path)) return std::nullopt;
+  try {
+    return summary_from_json(json::parse(util::read_text_file(path)));
+  } catch (const std::exception& e) {
+    log::warn() << "ignoring corrupt result cache " << path.string() << ": " << e.what();
+    return std::nullopt;
+  }
+}
+
+void Pipeline::store_result(std::uint64_t key, const eval::ScoreSummary& summary) const {
+  const fs::path path = cache_dir_ / "results" / (util::to_hex(key) + ".json");
+  util::write_text_file(path, summary_to_json(summary).dump(2));
+}
+
+eval::ScoreSummary Pipeline::token_benchmark(const nn::GptModel& model,
+                                             const std::string& tag) {
+  util::HashBuilder h;
+  h.add_u64(world_.fingerprint).add("token").add(tag);
+  const std::uint64_t key = h.digest();
+  if (auto cached = load_result(key)) {
+    log::info() << "cache hit: token benchmark " << tag;
+    return *cached;
+  }
+  log::info() << "token benchmark: " << tag;
+  const auto results =
+      eval::run_token_benchmark(model, world_.tok, world_.mcqs.benchmark, world_.mcqs.practice);
+  const eval::ScoreSummary summary = eval::summarize(results);
+  store_result(key, summary);
+  return summary;
+}
+
+eval::ScoreSummary Pipeline::full_instruct_benchmark(const nn::GptModel& model,
+                                                     const std::string& tag) {
+  util::HashBuilder h;
+  h.add_u64(world_.fingerprint).add("full_instruct").add(tag);
+  const std::uint64_t key = h.digest();
+  if (auto cached = load_result(key)) {
+    log::info() << "cache hit: full-instruct benchmark " << tag;
+    return *cached;
+  }
+  log::info() << "full-instruct benchmark: " << tag;
+  const auto results =
+      eval::run_full_instruct_benchmark(model, world_.tok, world_.mcqs.benchmark);
+  const eval::ScoreSummary summary = eval::summarize(results);
+  store_result(key, summary);
+  return summary;
+}
+
+TripleScores Pipeline::evaluate_family(Scale scale, std::optional<corpus::CptVariant> cpt,
+                                       SftKind sft, bool evaluate_instruct) {
+  TripleScores scores;
+  {
+    const nn::GptModel model = cpt ? cpt_model(scale, *cpt) : base_model(scale);
+    const std::string tag = model_tag(scale, cpt, std::nullopt) +
+                            (sft_override_ ? "+override" + std::to_string(model_key(scale, cpt, sft)) : "");
+    scores.token_base = token_benchmark(model, tag);
+  }
+  if (evaluate_instruct) {
+    const nn::GptModel model = instruct_model(scale, cpt, sft);
+    const std::string tag = model_tag(scale, cpt, sft) +
+                            (sft_override_ ? "+k" + util::to_hex(model_key(scale, cpt, sft)) : "");
+    scores.token_instruct = token_benchmark(model, tag);
+    scores.full_instruct = full_instruct_benchmark(model, tag);
+    scores.has_instruct = true;
+  }
+  return scores;
+}
+
+void Pipeline::invalidate_results() {
+  std::error_code ec;
+  fs::remove_all(cache_dir_ / "results", ec);
+  fs::create_directories(cache_dir_ / "results", ec);
+}
+
+void Pipeline::set_sft_spec_override(const corpus::SftSpec& spec) { sft_override_ = spec; }
+void Pipeline::clear_sft_spec_override() { sft_override_.reset(); }
+
+}  // namespace astromlab::core

@@ -1,0 +1,103 @@
+#pragma once
+// End-to-end experiment pipeline: world construction, model training with
+// on-disk caching, and cached benchmark evaluation.
+//
+// Every trained model and every evaluation result is keyed by a
+// fingerprint of all inputs (world config + recipe + stage lineage), so
+// re-running a bench binary reuses finished work. Cache location:
+// $ASTROMLAB_CACHE, defaulting to ".astromlab_cache" in the working
+// directory.
+
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "core/model_zoo.hpp"
+#include "core/recipes.hpp"
+#include "corpus/mcq.hpp"
+#include "eval/scorer.hpp"
+#include "nn/gpt.hpp"
+#include "tokenizer/bpe.hpp"
+
+namespace astromlab::core {
+
+/// The shared synthetic universe every model in a study lives in.
+struct World {
+  WorldConfig config;
+  corpus::KnowledgeBase kb;
+  corpus::McqSplit mcqs;
+  tokenizer::BpeTokenizer tok;
+  std::uint64_t fingerprint = 0;
+};
+
+/// Generates the knowledge base, benchmark/practice questions and trains
+/// the shared tokenizer.
+World build_world(const WorldConfig& config);
+
+/// Default cache directory ($ASTROMLAB_CACHE or ./.astromlab_cache).
+std::filesystem::path default_cache_dir();
+
+/// Scores of one model family under the three benchmarking methods.
+struct TripleScores {
+  eval::ScoreSummary full_instruct;
+  eval::ScoreSummary token_instruct;
+  eval::ScoreSummary token_base;
+  bool has_instruct = false;  ///< false when only the base model was run
+};
+
+class Pipeline {
+ public:
+  Pipeline(World world, std::filesystem::path cache_dir = default_cache_dir());
+
+  const World& world() const { return world_; }
+  const std::filesystem::path& cache_dir() const { return cache_dir_; }
+
+  /// Pretrained base model for a scale (trained or loaded from cache).
+  nn::GptModel base_model(Scale scale);
+
+  /// Base model + continual pretraining on the given astro-ph variant.
+  nn::GptModel cpt_model(Scale scale, corpus::CptVariant variant);
+
+  /// Instruct model: SFT applied to the base (cpt == nullopt) or to the
+  /// CPT model.
+  nn::GptModel instruct_model(Scale scale, std::optional<corpus::CptVariant> cpt,
+                              SftKind sft);
+
+  /// Token-method benchmark with result caching (`tag` names the model
+  /// lineage for the cache key).
+  eval::ScoreSummary token_benchmark(const nn::GptModel& model, const std::string& tag);
+
+  /// Full-instruct benchmark with result caching.
+  eval::ScoreSummary full_instruct_benchmark(const nn::GptModel& model,
+                                             const std::string& tag);
+
+  /// All three methods for one family. For `evaluate_instruct == false`
+  /// only the base-token score is produced (the paper's
+  /// AstroLLaMA-2-7B-Abstract row).
+  TripleScores evaluate_family(Scale scale, std::optional<corpus::CptVariant> cpt,
+                               SftKind sft, bool evaluate_instruct = true);
+
+  /// Clears cached results (models stay) — used by ablations that reuse
+  /// models but need fresh evaluation settings.
+  void invalidate_results();
+
+  /// Overrides for ablation benches; call before building models.
+  void set_sft_spec_override(const corpus::SftSpec& spec);
+  void clear_sft_spec_override();
+
+ private:
+  std::string model_tag(Scale scale, std::optional<corpus::CptVariant> cpt,
+                        std::optional<SftKind> sft) const;
+  std::uint64_t model_key(Scale scale, std::optional<corpus::CptVariant> cpt,
+                          std::optional<SftKind> sft) const;
+  nn::GptModel train_or_load(std::uint64_t key, const std::string& tag,
+                             const std::function<nn::GptModel()>& build);
+  std::optional<eval::ScoreSummary> load_result(std::uint64_t key) const;
+  void store_result(std::uint64_t key, const eval::ScoreSummary& summary) const;
+
+  World world_;
+  std::filesystem::path cache_dir_;
+  std::optional<corpus::SftSpec> sft_override_;
+};
+
+}  // namespace astromlab::core

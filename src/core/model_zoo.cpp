@@ -1,0 +1,136 @@
+#include "core/model_zoo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace astromlab::core {
+
+const char* scale_name(Scale scale) {
+  switch (scale) {
+    case Scale::kS7: return "S7";
+    case Scale::kS8: return "S8";
+    case Scale::kS70: return "S70";
+  }
+  return "?";
+}
+
+const char* scale_paper_name(Scale scale) {
+  switch (scale) {
+    case Scale::kS7: return "LLaMA-2-7B";
+    case Scale::kS8: return "LLaMA-3-8B";
+    case Scale::kS70: return "LLaMA-2-70B";
+  }
+  return "?";
+}
+
+const char* scale_astro_name(Scale scale) {
+  switch (scale) {
+    case Scale::kS7: return "AstroLLaMA-2-7B";
+    case Scale::kS8: return "AstroLLaMA-3-8B";
+    case Scale::kS70: return "AstroLLaMA-2-70B";
+  }
+  return "?";
+}
+
+void WorldConfig::add_to_hash(util::HashBuilder& h) const {
+  h.add_u64(kb.n_topics).add_u64(kb.entities_per_topic).add_u64(kb.facts_per_entity);
+  h.add_f64(kb.frontier_fraction).add_u64(kb.seed);
+  h.add_u64(mcq.questions_per_topic).add_u64(mcq.seed);
+  h.add_u64(vocab_size).add_u64(ctx_len).add_f64(size_multiplier).add_u64(seed);
+}
+
+void ScaleSpec::add_to_hash(util::HashBuilder& h) const {
+  h.add_u64(static_cast<std::uint64_t>(scale));
+  arch.add_to_hash(h);
+  h.add_f64(pretrain.canonical_coverage).add_u64(pretrain.fact_repetitions);
+  h.add_u64(pretrain.general_fact_count).add_u64(pretrain.general_fact_repetitions);
+  h.add_u64(pretrain.filler_paragraphs).add_u64(pretrain.practice_exam_blocks);
+  h.add_u64(pretrain.seed);
+  h.add_f64(pretrain_train.lr).add_f64(pretrain_train.epochs);
+  h.add_u64(pretrain_train.micro_batch).add_u64(pretrain_train.seq_len);
+}
+
+ScaleSpec scale_spec(Scale scale, const WorldConfig& world) {
+  ScaleSpec spec;
+  spec.scale = scale;
+
+  nn::GptConfig& arch = spec.arch;
+  arch.vocab_size = world.vocab_size;
+  arch.ctx_len = world.ctx_len;
+  switch (scale) {
+    case Scale::kS7:
+      arch.d_model = 40;
+      arch.n_heads = 4;
+      arch.n_layers = 2;
+      arch.d_ff = 160;
+      break;
+    case Scale::kS8:
+      arch.d_model = 56;
+      arch.n_heads = 4;
+      arch.n_layers = 3;
+      arch.d_ff = 224;
+      break;
+    case Scale::kS70:
+      arch.d_model = 80;
+      arch.n_heads = 8;
+      arch.n_layers = 4;
+      arch.d_ff = 320;
+      break;
+  }
+  arch.validate();
+
+  // Pretraining corpus quality per family — the data-regime analog of the
+  // real checkpoints (see header comment).
+  corpus::PretrainSpec& pre = spec.pretrain;
+  const double mult = std::max(world.size_multiplier, 0.01);
+  switch (scale) {
+    case Scale::kS7:
+      pre.canonical_coverage = 0.55;
+      pre.fact_repetitions = 3;
+      pre.seed = world.seed + 101;
+      break;
+    case Scale::kS8:
+      pre.canonical_coverage = 0.92;
+      pre.fact_repetitions = 6;
+      pre.seed = world.seed + 202;
+      break;
+    case Scale::kS70:
+      pre.canonical_coverage = 0.95;
+      pre.fact_repetitions = 6;
+      pre.seed = world.seed + 303;
+      break;
+  }
+  pre.general_fact_count = static_cast<std::size_t>(100 * mult) + 8;
+  pre.general_fact_repetitions = 3;
+  pre.filler_paragraphs = static_cast<std::size_t>(350 * mult) + 10;
+  pre.practice_exam_blocks = static_cast<std::size_t>(150 * mult) + 6;
+  pre.chat_warmup_dialogues = static_cast<std::size_t>(60 * mult) + 4;
+
+  // Optimisation recipe: the paper's structure (cosine decay, 3% warmup,
+  // one-ish epoch) with learning rates scaled to tiny-model widths.
+  nn::TrainConfig& train = spec.pretrain_train;
+  train.micro_batch = 8;
+  train.grad_accum = 1;
+  train.seq_len = world.ctx_len;
+  train.warmup_ratio = 0.03;
+  train.min_lr_ratio = 0.1;
+  train.weight_decay = 0.01f;
+  train.clip_norm = 1.0f;
+  switch (scale) {
+    case Scale::kS7:
+      train.lr = 3e-3f;
+      train.epochs = 2.0;
+      break;
+    case Scale::kS8:
+      train.lr = 2.5e-3f;
+      train.epochs = 3.0;
+      break;
+    case Scale::kS70:
+      train.lr = 2e-3f;
+      train.epochs = 3.0;
+      break;
+  }
+  return spec;
+}
+
+}  // namespace astromlab::core

@@ -1,0 +1,61 @@
+#pragma once
+// The model zoo: scaled-down analogs of the paper's model families.
+//
+// Real LLaMA checkpoints cannot be trained here, so each family maps to a
+// transformer scale whose *regime* matches the paper's (DESIGN.md §2):
+//
+//   S7  ↔ LLaMA-2-7B  — smallest capacity, weakest pretraining data
+//                       (lower canonical-fact coverage, fewer repetitions);
+//   S8  ↔ LLaMA-3-8B  — similar size class but much better pretraining
+//                       (the LLaMA-3 15T-token data-quality jump);
+//   S70 ↔ LLaMA-2-70B — largest capacity with strong pretraining.
+//
+// The WorldConfig fixes the shared synthetic universe (knowledge base,
+// benchmark, tokenizer); ScaleSpec adds per-family architecture and
+// pretraining corpus/recipe settings.
+
+#include <string>
+
+#include "corpus/corpora.hpp"
+#include "corpus/knowledge.hpp"
+#include "corpus/mcq.hpp"
+#include "nn/config.hpp"
+#include "nn/trainer.hpp"
+#include "util/hash.hpp"
+
+namespace astromlab::core {
+
+enum class Scale { kS7, kS8, kS70 };
+
+const char* scale_name(Scale scale);        ///< "S7" / "S8" / "S70"
+const char* scale_paper_name(Scale scale);  ///< "LLaMA-2-7B" etc.
+const char* scale_astro_name(Scale scale);  ///< "AstroLLaMA-2-7B" etc.
+
+/// Global sizing of the synthetic world. `size_multiplier` scales corpus
+/// volumes and dialogue counts uniformly (tests use << 1).
+struct WorldConfig {
+  corpus::KbConfig kb{};                 // 24 topics x 6 entities x 2 facts
+  corpus::McqGenConfig mcq{};            // 5 questions per topic
+  // vocab/ctx sized so the two-shot Appendix-C prompt (~300 tokens at this
+  // vocabulary) and the instruct prompt + generation budget both fit.
+  std::size_t vocab_size = 768;
+  std::size_t ctx_len = 416;
+  double size_multiplier = 1.0;
+  std::uint64_t seed = 2024;
+
+  void add_to_hash(util::HashBuilder& h) const;
+};
+
+struct ScaleSpec {
+  Scale scale = Scale::kS7;
+  nn::GptConfig arch;
+  corpus::PretrainSpec pretrain;     ///< corpus composition
+  nn::TrainConfig pretrain_train;    ///< optimisation recipe
+
+  void add_to_hash(util::HashBuilder& h) const;
+};
+
+/// Builds the spec for one family under a world config.
+ScaleSpec scale_spec(Scale scale, const WorldConfig& world);
+
+}  // namespace astromlab::core

@@ -1,0 +1,90 @@
+#include "core/recipes.hpp"
+
+#include <algorithm>
+
+namespace astromlab::core {
+
+const char* sft_kind_name(SftKind kind) {
+  switch (kind) {
+    case SftKind::kVendor: return "vendor";
+    case SftKind::kAstroLLaMA: return "astrollama";
+  }
+  return "?";
+}
+
+corpus::CptSpec cpt_corpus_spec(corpus::CptVariant variant, const WorldConfig& world) {
+  corpus::CptSpec spec;
+  spec.variant = variant;
+  spec.papers_per_topic = 3;
+  spec.seed = world.seed + 9001;
+  switch (variant) {
+    case corpus::CptVariant::kAbstract:
+      // Abstracts are short; more passes reach a comparable token budget.
+      spec.passes = 3;
+      spec.debris_rate = 0.12;  // the 2-7B-era LaTeX-derived cleaning
+      break;
+    case corpus::CptVariant::kAic:
+      spec.passes = 2;
+      spec.debris_rate = 0.12;  // same dataset as [28], same imperfections
+      break;
+    case corpus::CptVariant::kSummary:
+      spec.passes = 2;
+      spec.debris_rate = 0.0;   // LLM summaries are clean and dense
+      break;
+    case corpus::CptVariant::kFullTextOcr:
+      spec.passes = 1;
+      spec.debris_rate = 0.04;  // Nougat output is cleaner than LaTeX
+      spec.ocr_noise_rate = 0.015;
+      break;
+  }
+  return spec;
+}
+
+nn::TrainConfig cpt_recipe(Scale scale, const WorldConfig& world) {
+  (void)scale;  // the paper applies the same CPT recipe across scales —
+                // outcome differences must come from the models themselves.
+  nn::TrainConfig train;
+  train.micro_batch = 8;
+  train.grad_accum = 1;
+  train.seq_len = world.ctx_len;
+  train.lr = 1.2e-3f;
+  train.warmup_ratio = 0.03;  // paper value
+  train.min_lr_ratio = 0.1;
+  train.weight_decay = 0.01f;
+  train.clip_norm = 1.0f;
+  train.epochs = 1.0;  // paper: one epoch in all cases
+  return train;
+}
+
+corpus::SftSpec sft_data_spec(SftKind kind, const WorldConfig& world) {
+  corpus::SftSpec spec = kind == SftKind::kVendor
+                             ? corpus::vendor_sft_spec(world.seed + 31)
+                             : corpus::astrollama_sft_spec(world.seed + 32);
+  const double mult = std::max(world.size_multiplier, 0.01);
+  spec.total_dialogues =
+      std::max<std::size_t>(static_cast<std::size_t>(spec.total_dialogues * mult), 12);
+  return spec;
+}
+
+nn::TrainConfig sft_recipe(Scale scale, SftKind kind, const WorldConfig& world) {
+  (void)scale;  // same SFT recipe across scales, as in the paper
+  nn::TrainConfig train;
+  train.micro_batch = 8;
+  train.grad_accum = 1;
+  train.seq_len = world.ctx_len;
+  train.warmup_ratio = 0.03;
+  train.min_lr_ratio = 0.1;
+  train.weight_decay = 0.01f;
+  train.clip_norm = 1.0f;
+  if (kind == SftKind::kVendor) {
+    // Vendor instruction tuning is far heavier than the inherited set.
+    train.lr = 6e-4f;
+    train.epochs = 3.0;
+  } else {
+    train.lr = 3e-4f;  // CPT:SFT lr ratio preserved (paper: 2e-5 vs 3e-7)
+    train.epochs = 1.0;  // paper: one SFT epoch
+  }
+  return train;
+}
+
+}  // namespace astromlab::core

@@ -1,0 +1,45 @@
+#pragma once
+// Continual-pretraining and SFT recipes (paper §III).
+//
+// Structure mirrors the paper:
+//  * CPT — one epoch over the astro-ph corpus variant, cosine decay with
+//    3% warmup. The paper uses lr 2e-5 at 8B/70B scale; tiny models need
+//    proportionally larger rates, but the *ratio* CPT-lr : SFT-lr (~60x)
+//    is preserved, which is what drives the observed dynamics.
+//  * SFT — one epoch over the dialogue set at a much smaller lr.
+//
+// CPT corpus variants are shared across scales ("we applied the same
+// dataset as [28] for direct comparison") — the per-scale outcome
+// differences must come from capacity and pretraining quality, exactly as
+// in the paper.
+
+#include "core/model_zoo.hpp"
+#include "corpus/corpora.hpp"
+#include "corpus/sft_dataset.hpp"
+#include "nn/trainer.hpp"
+
+namespace astromlab::core {
+
+/// Which SFT data a model is tuned on (see corpus/sft_dataset.hpp).
+enum class SftKind {
+  kVendor,      ///< official-instruct analog (large, balanced)
+  kAstroLLaMA,  ///< the small astro-light set inherited from [28]
+};
+
+const char* sft_kind_name(SftKind kind);
+
+/// The shared astro-ph CPT corpus spec for a variant.
+corpus::CptSpec cpt_corpus_spec(corpus::CptVariant variant, const WorldConfig& world);
+
+/// CPT optimisation recipe for a scale.
+nn::TrainConfig cpt_recipe(Scale scale, const WorldConfig& world);
+
+/// SFT dialogue spec for a kind.
+corpus::SftSpec sft_data_spec(SftKind kind, const WorldConfig& world);
+
+/// SFT optimisation recipe. The AstroLLaMA kind follows the paper's small
+/// single-epoch recipe; the vendor kind models the far heavier official
+/// instruction tuning behind the LLaMA instruct baselines.
+nn::TrainConfig sft_recipe(Scale scale, SftKind kind, const WorldConfig& world);
+
+}  // namespace astromlab::core

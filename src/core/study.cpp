@@ -1,0 +1,120 @@
+#include "core/study.hpp"
+
+namespace astromlab::core {
+
+namespace {
+
+double pct(const eval::ScoreSummary& s) { return s.accuracy * 100.0; }
+
+StudyRow make_row(Pipeline& pipeline, Scale scale, std::optional<corpus::CptVariant> cpt,
+                  SftKind sft, bool evaluate_instruct, const std::string& name,
+                  const std::string& series, const std::string& source,
+                  const std::string& reference, bool native, const std::string& baseline) {
+  StudyRow out;
+  out.scores = pipeline.evaluate_family(scale, cpt, sft, evaluate_instruct);
+  out.row.name = name;
+  out.row.series = series;
+  out.row.token_base = pct(out.scores.token_base);
+  if (out.scores.has_instruct) {
+    out.row.token_instruct = pct(out.scores.token_instruct);
+    out.row.full_instruct = pct(out.scores.full_instruct);
+  }
+  out.row.source = source;
+  out.row.reference = reference;
+  out.row.is_native = native;
+  out.row.baseline = baseline;
+  return out;
+}
+
+}  // namespace
+
+std::vector<eval::ModelRow> StudyResult::table_rows() const {
+  std::vector<eval::ModelRow> out;
+  out.reserve(rows.size());
+  for (const StudyRow& row : rows) out.push_back(row.row);
+  return out;
+}
+
+const StudyRow* StudyResult::find(const std::string& name) const {
+  for (const StudyRow& row : rows) {
+    if (row.row.name == name) return &row;
+  }
+  return nullptr;
+}
+
+StudyResult run_table1_study(Pipeline& pipeline) {
+  using corpus::CptVariant;
+  StudyResult result;
+
+  // --- S7 series (LLaMA-2 7B analog) ---
+  result.rows.push_back(make_row(pipeline, Scale::kS7, std::nullopt, SftKind::kVendor, true,
+                                 "LLaMA-2-7B", "LLaMA-2 Series (S7 analog)", "Meta", "[3]",
+                                 true, ""));
+  result.rows.push_back(make_row(pipeline, Scale::kS7, CptVariant::kAic,
+                                 SftKind::kAstroLLaMA, true, "AstroLLaMA-2-7B-AIC",
+                                 "AstroLLaMA-2 Series (S7 analog)", "uTBD", "[28]", false,
+                                 "LLaMA-2-7B"));
+  result.rows.push_back(make_row(pipeline, Scale::kS7, CptVariant::kAbstract,
+                                 SftKind::kAstroLLaMA, /*evaluate_instruct=*/false,
+                                 "AstroLLaMA-2-7B-Abstract",
+                                 "AstroLLaMA-2 Series (S7 analog)", "uTBD", "[27]", false,
+                                 "LLaMA-2-7B"));
+
+  // --- S8 series (LLaMA-3 8B analog) ---
+  result.rows.push_back(make_row(pipeline, Scale::kS8, std::nullopt, SftKind::kVendor, true,
+                                 "LLaMA-3-8B", "LLaMA-3 Series (S8 analog)", "Meta", "[4]",
+                                 true, ""));
+  result.rows.push_back(make_row(pipeline, Scale::kS8, CptVariant::kAic,
+                                 SftKind::kAstroLLaMA, true, "AstroLLaMA-3-8B-AIC",
+                                 "AstroLLaMA-3 Series (S8 analog)", "AstroMLab",
+                                 "This Study", false, "LLaMA-3-8B"));
+  result.rows.push_back(make_row(pipeline, Scale::kS8, CptVariant::kSummary,
+                                 SftKind::kAstroLLaMA, true, "AstroLLaMA-3-8B-Summary",
+                                 "AstroLLaMA-3 Series (S8 analog)", "AstroMLab",
+                                 "This Study", false, "LLaMA-3-8B"));
+
+  // --- S70 series (LLaMA-2 70B analog) ---
+  result.rows.push_back(make_row(pipeline, Scale::kS70, std::nullopt, SftKind::kVendor, true,
+                                 "LLaMA-2-70B", "LLaMA-2 Series (S70 analog)", "Meta", "[3]",
+                                 true, ""));
+  result.rows.push_back(make_row(pipeline, Scale::kS70, CptVariant::kAic,
+                                 SftKind::kAstroLLaMA, true, "AstroLLaMA-2-70B-AIC",
+                                 "AstroLLaMA-2 Series (S70 analog)", "AstroMLab",
+                                 "This Study", false, "LLaMA-2-70B"));
+  return result;
+}
+
+std::vector<eval::ModelRow> paper_reference_rows() {
+  auto row = [](const char* name, const char* series, double fi, double ti, double tb,
+                const char* source, const char* reference, bool native,
+                const char* baseline) {
+    eval::ModelRow r;
+    r.name = name;
+    r.series = series;
+    r.full_instruct = fi;
+    r.token_instruct = ti;
+    r.token_base = tb;
+    r.source = source;
+    r.reference = reference;
+    r.is_native = native;
+    r.baseline = baseline;
+    return r;
+  };
+  return {
+      row("LLaMA-2-7B", "LLaMA-2 Series (7B)", 50.3, 62.6, 51.3, "Meta", "[3]", true, ""),
+      row("AstroLLaMA-2-7B-AIC", "AstroLLaMA-2 Series (7B)", 41.4, 47.2, 44.3, "uTBD",
+          "[28]", false, "LLaMA-2-7B"),
+      row("AstroLLaMA-2-7B-Abstract", "AstroLLaMA-2 Series (7B)", -1.0, -1.0, 43.5, "uTBD",
+          "[27]", false, "LLaMA-2-7B"),
+      row("LLaMA-3-8B", "LLaMA-3 Series (8B)", 72.9, 73.6, 72.0, "Meta", "[4]", true, ""),
+      row("AstroLLaMA-3-8B-AIC", "AstroLLaMA-3 Series (8B)", 61.8, 68.4, 71.9, "AstroMLab",
+          "This Study", false, "LLaMA-3-8B"),
+      row("AstroLLaMA-3-8B-Summary", "AstroLLaMA-3 Series (8B)", 69.0, 70.9, 72.3,
+          "AstroMLab", "This Study", false, "LLaMA-3-8B"),
+      row("LLaMA-2-70B", "LLaMA-2 Series (70B)", 70.7, 71.4, 73.9, "Meta", "[3]", true, ""),
+      row("AstroLLaMA-2-70B-AIC", "AstroLLaMA-2 Series (70B)", 64.7, 75.4, 76.0,
+          "AstroMLab", "This Study", false, "LLaMA-2-70B"),
+  };
+}
+
+}  // namespace astromlab::core

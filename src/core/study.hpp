@@ -1,0 +1,42 @@
+#pragma once
+// The headline studies: Table I and Figure 1.
+//
+// `run_table1_study` trains/evaluates the full model zoo of the paper:
+//
+//   LLaMA-2-7B   (native)            AstroLLaMA-2-7B-AIC / -Abstract
+//   LLaMA-3-8B   (native)            AstroLLaMA-3-8B-AIC / -Summary
+//   LLaMA-2-70B  (native)            AstroLLaMA-2-70B-AIC
+//
+// Native rows use vendor-SFT instruct models; AstroLLaMA rows apply CPT on
+// the shared astro-ph corpus variant followed by the inherited small SFT
+// set — exactly the lineage in paper §III. The Abstract 7B row reports
+// only the base-token score, matching the dashes in the paper's table.
+
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "eval/report.hpp"
+
+namespace astromlab::core {
+
+struct StudyRow {
+  eval::ModelRow row;          ///< presentation data
+  TripleScores scores;         ///< full summaries (CIs, tier breakdowns)
+};
+
+struct StudyResult {
+  std::vector<StudyRow> rows;
+
+  std::vector<eval::ModelRow> table_rows() const;
+  const StudyRow* find(const std::string& name) const;
+};
+
+/// Runs (or loads from cache) the complete Table-I study.
+StudyResult run_table1_study(Pipeline& pipeline);
+
+/// Paper Table I reference values, for side-by-side comparison in
+/// EXPERIMENTS.md and the bench output. Scores are percent; -1 = not
+/// reported in the paper.
+std::vector<eval::ModelRow> paper_reference_rows();
+
+}  // namespace astromlab::core

@@ -1,0 +1,54 @@
+#include "core/value_model.hpp"
+
+#include <cmath>
+
+#include "util/string_utils.hpp"
+
+namespace astromlab::core {
+
+double ValueModel::cost_efficiency_factor(double score_gain_points) const {
+  return std::pow(10.0, score_gain_points / points_per_decade);
+}
+
+double ValueModel::fraction_of(double score_gain_points, double reference_gain_points) const {
+  if (reference_gain_points == 0.0) return 0.0;
+  return score_gain_points / reference_gain_points;
+}
+
+std::vector<FlagshipScore> paper_flagship_scores() {
+  return {
+      {"Gemini-1.5-Pro-001", 77.6},
+      {"Claude-3.0-Sonnet", 76.7},
+      {"GLM-4-0520", 75.1},
+  };
+}
+
+double paper_reference_tier_gap() {
+  // Haiku→Sonnet / 4o-mini→4o: the paper calls 2.1 points "two-thirds" of
+  // this gap, i.e. the gap is ~3.1 points.
+  return 3.15;
+}
+
+std::string render_value_analysis(double measured_gain_points, double astro_llama_70b_score,
+                                  const ValueModel& model) {
+  using util::format_fixed;
+  std::string out;
+  out += "VALUE ANALYSIS (Ting et al. 2024 score/price extrapolation)\n";
+  out += "  measured CPT gain at 70B scale: " + format_fixed(measured_gain_points, 1) +
+         " points\n";
+  out += "  implied cost-efficiency factor: " +
+         format_fixed(model.cost_efficiency_factor(measured_gain_points), 2) + "x (10x per " +
+         format_fixed(model.points_per_decade, 1) + " points)\n";
+  out += "  fraction of a flagship tier gap (Haiku->Sonnet ~" +
+         format_fixed(paper_reference_tier_gap(), 1) + " pts): " +
+         format_fixed(model.fraction_of(measured_gain_points, paper_reference_tier_gap()), 2) +
+         "\n";
+  out += "  flagship comparison (paper full-instruct scores):\n";
+  for (const FlagshipScore& flagship : paper_flagship_scores()) {
+    out += "    " + util::pad_right(flagship.name, 22) + format_fixed(flagship.score, 1) +
+           "  vs AstroLLaMA-2-70B base-token " + format_fixed(astro_llama_70b_score, 1) + "\n";
+  }
+  return out;
+}
+
+}  // namespace astromlab::core

@@ -1,0 +1,44 @@
+#pragma once
+// Score→value extrapolation (paper §VI, after Ting et al. 2024).
+//
+// The paper argues that on the current score/price trade-off of
+// proprietary models, an improvement of ~3.5 benchmark points corresponds
+// to roughly a 10x cost-efficiency gain, making the 70B model's +2.1-point
+// CPT gain "quite notable". This module encodes that log-linear mapping
+// and the flagship comparison list from the same section.
+
+#include <string>
+#include <vector>
+
+namespace astromlab::core {
+
+struct ValueModel {
+  /// Points of benchmark score per decade of cost-efficiency.
+  double points_per_decade = 3.5;
+
+  /// Cost-efficiency multiplier implied by a score gain.
+  double cost_efficiency_factor(double score_gain_points) const;
+
+  /// The gain expressed as a fraction of a reference gain (the paper
+  /// compares 2.1 points to the Haiku→Sonnet / 4o-mini→4o gaps).
+  double fraction_of(double score_gain_points, double reference_gain_points) const;
+};
+
+struct FlagshipScore {
+  std::string name;
+  double score = 0.0;  ///< percent
+};
+
+/// Flagship full-instruct scores quoted in §VI.
+std::vector<FlagshipScore> paper_flagship_scores();
+
+/// Model-pair gaps the paper uses as yardsticks ("Claude-Haiku to
+/// Claude-Sonnet", "GPT-4o-mini to GPT-4o"): ~3 points each.
+double paper_reference_tier_gap();
+
+/// Pretty summary of the value analysis for a measured gain.
+std::string render_value_analysis(double measured_gain_points,
+                                  double astro_llama_70b_score,
+                                  const ValueModel& model = {});
+
+}  // namespace astromlab::core

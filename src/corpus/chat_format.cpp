@@ -1,0 +1,81 @@
+#include "corpus/chat_format.hpp"
+
+namespace astromlab::corpus {
+
+namespace {
+
+const char* role_marker(DialogueTurn::Role role) {
+  switch (role) {
+    case DialogueTurn::Role::kSystem: return tokenizer::SpecialTokens::kSystem;
+    case DialogueTurn::Role::kUser: return tokenizer::SpecialTokens::kUser;
+    case DialogueTurn::Role::kAssistant: return tokenizer::SpecialTokens::kAssistant;
+  }
+  return tokenizer::SpecialTokens::kUser;
+}
+
+}  // namespace
+
+std::string render_dialogue(const Dialogue& dialogue) {
+  std::string out;
+  for (const DialogueTurn& turn : dialogue.turns) {
+    out += role_marker(turn.role);
+    out += turn.text;
+    out += tokenizer::SpecialTokens::kEndTurn;
+  }
+  return out;
+}
+
+std::string render_generation_prompt(const std::vector<DialogueTurn>& turns) {
+  std::string out;
+  for (const DialogueTurn& turn : turns) {
+    out += role_marker(turn.role);
+    out += turn.text;
+    out += tokenizer::SpecialTokens::kEndTurn;
+  }
+  out += tokenizer::SpecialTokens::kAssistant;
+  return out;
+}
+
+std::string render_instruct_prompt(const McqItem& item) {
+  std::string out =
+      "You are an expert in general astrophysics. Answer this multiple-choice "
+      "question.\n";
+  out += "Question: " + item.question + "\n";
+  for (std::size_t slot = 0; slot < 4; ++slot) {
+    out += static_cast<char>('A' + slot);
+    out += ": " + item.options[slot] + "\n";
+  }
+  out +=
+      "Output format: {\"ANSWER\": \"X\", \"EXPLANATION\": \"...\"}\n"
+      "Give only one answer, either A, B, C or D. Respond in valid JSON only.\n";
+  return out;
+}
+
+std::string render_json_answer(char letter, const std::string& explanation) {
+  std::string out = "{\"ANSWER\": \"";
+  out += letter;
+  out += "\", \"EXPLANATION\": \"" + explanation + "\"}";
+  return out;
+}
+
+nn::MaskedExample dialogue_to_example(const Dialogue& dialogue,
+                                      const tokenizer::BpeTokenizer& tok) {
+  nn::MaskedExample example;
+  example.tokens.push_back(tok.bos_id());
+  example.loss_mask.push_back(false);
+  for (const DialogueTurn& turn : dialogue.turns) {
+    const bool train_on = turn.role == DialogueTurn::Role::kAssistant;
+    const tokenizer::TokenId marker = tok.token_to_id(role_marker(turn.role)).value();
+    example.tokens.push_back(marker);
+    example.loss_mask.push_back(false);  // the opening marker is given
+    for (tokenizer::TokenId id : tok.encode(turn.text)) {
+      example.tokens.push_back(id);
+      example.loss_mask.push_back(train_on);
+    }
+    example.tokens.push_back(tok.end_turn_id());
+    example.loss_mask.push_back(train_on);  // model must learn to stop
+  }
+  return example;
+}
+
+}  // namespace astromlab::corpus

@@ -1,0 +1,57 @@
+#pragma once
+// Chat template, instruct prompt and JSON answer formats.
+//
+// Shared between SFT data construction and the evaluation harness so the
+// instruct models are probed in exactly the format they were tuned on —
+// the paper follows each model's official chat template the same way.
+//
+// The instruct prompt is the scaled-down analog of the paper's Appendix-B
+// prompt: expert role framing, the question with four options, a JSON
+// output-format instruction, and the repeated "only one answer" directive
+// the authors added for the AstroLLaMA series.
+
+#include <string>
+#include <vector>
+
+#include "corpus/mcq.hpp"
+#include "nn/data.hpp"
+#include "tokenizer/bpe.hpp"
+
+namespace astromlab::corpus {
+
+/// Header line shared by practice exam text and the two-shot token prompt
+/// (paper Appendix C).
+inline constexpr const char* kExamHeader =
+    "Astrophysics and Cosmology Multiple choice questions Solution set:";
+
+struct DialogueTurn {
+  enum class Role { kSystem, kUser, kAssistant };
+  Role role = Role::kUser;
+  std::string text;
+};
+
+struct Dialogue {
+  std::vector<DialogueTurn> turns;
+};
+
+/// Renders a dialogue with special-token markers:
+/// `<|system|>...<|end|><|user|>...<|end|><|assistant|>...<|end|>`.
+std::string render_dialogue(const Dialogue& dialogue);
+
+/// Renders the generation prompt: all turns, then an opened assistant turn
+/// (`<|assistant|>`) with no content — the model continues from here.
+std::string render_generation_prompt(const std::vector<DialogueTurn>& turns);
+
+/// The Appendix-B-style user message for one MCQ (system framing included
+/// in the text since the tiny models use a single-turn template).
+std::string render_instruct_prompt(const McqItem& item);
+
+/// Canonical assistant answer: `{"ANSWER": "B", "EXPLANATION": "..."}`.
+std::string render_json_answer(char letter, const std::string& explanation);
+
+/// Tokenises a dialogue into an SFT example: loss on assistant-turn
+/// content and end-of-turn markers only.
+nn::MaskedExample dialogue_to_example(const Dialogue& dialogue,
+                                      const tokenizer::BpeTokenizer& tok);
+
+}  // namespace astromlab::corpus

@@ -1,0 +1,189 @@
+#include "corpus/corpora.hpp"
+
+#include <algorithm>
+
+#include "corpus/chat_format.hpp"
+#include "corpus/lexicon.hpp"
+#include "corpus/sft_dataset.hpp"
+#include "util/string_utils.hpp"
+
+namespace astromlab::corpus {
+
+namespace {
+
+std::string filler_paragraph(util::Rng& rng) {
+  std::string out;
+  const std::size_t sentences = 3 + static_cast<std::size_t>(rng.next_below(3));
+  for (std::size_t s = 0; s < sentences; ++s) {
+    const auto& pool = rng.next_bernoulli(0.5) ? Lexicon::general_filler()
+                                               : Lexicon::astro_filler();
+    std::string sentence = Lexicon::pick(pool, rng);
+    sentence = util::replace_all(sentence, "%K",
+                                 Lexicon::pick(Lexicon::object_kinds(), rng));
+    out += sentence;
+    out += ' ';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string build_pretrain_corpus(const KnowledgeBase& kb,
+                                  const std::vector<McqItem>& practice_pool,
+                                  const PretrainSpec& spec) {
+  util::Rng rng(spec.seed);
+  std::vector<std::string> units;
+
+  // Covered canonical astro facts, each stated `fact_repetitions` times.
+  std::vector<std::size_t> canonical;
+  for (std::size_t i = 0; i < kb.facts().size(); ++i) {
+    if (kb.facts()[i].tier == Tier::kCanonical) canonical.push_back(i);
+  }
+  rng.shuffle(canonical);
+  const std::size_t covered =
+      static_cast<std::size_t>(spec.canonical_coverage * static_cast<double>(canonical.size()));
+  for (std::size_t c = 0; c < covered; ++c) {
+    const Fact& fact = kb.facts()[canonical[c]];
+    for (std::size_t rep = 0; rep < spec.fact_repetitions; ++rep) {
+      std::string unit = kb.statement(fact, rep);
+      unit += ' ';
+      unit += util::replace_all(Lexicon::pick(Lexicon::astro_filler(), rng), "%K",
+                                kb.entity_of(fact).kind);
+      units.push_back(std::move(unit));
+    }
+  }
+
+  // Everyday knowledge (the "web text" share of pretraining).
+  const GeneralKnowledge gk = GeneralKnowledge::generate(spec.general_fact_count, spec.seed);
+  for (const auto& item : gk.items()) {
+    for (std::size_t rep = 0; rep < spec.general_fact_repetitions; ++rep) {
+      std::string unit = item.statement;
+      unit += ' ';
+      unit += Lexicon::pick(Lexicon::general_filler(), rng);
+      units.push_back(std::move(unit));
+    }
+  }
+
+  for (std::size_t p = 0; p < spec.filler_paragraphs; ++p) {
+    units.push_back(filler_paragraph(rng));
+  }
+
+  // Exam-style practice blocks (solution sets), with the same header the
+  // token benchmarking prompt uses, so base models have seen the pattern.
+  if (!practice_pool.empty()) {
+    for (std::size_t b = 0; b < spec.practice_exam_blocks; ++b) {
+      std::string unit = std::string(kExamHeader) + "\n";
+      const std::size_t per_block = 1 + static_cast<std::size_t>(rng.next_below(2));
+      for (std::size_t q = 0; q < per_block; ++q) {
+        const McqItem& item =
+            practice_pool[static_cast<std::size_t>(rng.next_below(practice_pool.size()))];
+        unit += render_exam_block(item, /*include_answer=*/true);
+        unit += '\n';
+      }
+      units.push_back(std::move(unit));
+    }
+  }
+
+  // Dialogue-register warmup (rendered with chat markers).
+  if (spec.chat_warmup_dialogues > 0) {
+    SftSpec chat_spec;
+    chat_spec.total_dialogues = spec.chat_warmup_dialogues;
+    chat_spec.astro_fraction = 0.0;
+    chat_spec.general_mcq_share = 0.3;
+    chat_spec.seed = spec.seed + 5150;
+    for (const Dialogue& dialogue : build_sft_dialogues(kb, {}, chat_spec)) {
+      units.push_back(render_dialogue(dialogue));
+    }
+  }
+
+  rng.shuffle(units);
+  std::string corpus;
+  for (const std::string& unit : units) {
+    corpus += unit;
+    corpus += '\n';
+  }
+  return corpus;
+}
+
+const char* cpt_variant_name(CptVariant variant) {
+  switch (variant) {
+    case CptVariant::kAbstract: return "Abstract";
+    case CptVariant::kAic: return "AIC";
+    case CptVariant::kSummary: return "Summary";
+    case CptVariant::kFullTextOcr: return "FullTextOCR";
+  }
+  return "?";
+}
+
+std::string build_cpt_corpus(const KnowledgeBase& kb, const CptSpec& spec) {
+  std::string corpus;
+  util::Rng noise_rng(spec.seed ^ 0x0C12ULL);
+  for (std::size_t pass = 0; pass < std::max<std::size_t>(spec.passes, 1); ++pass) {
+    PaperGenConfig pg;
+    pg.papers_per_topic = spec.papers_per_topic;
+    pg.debris_rate = spec.debris_rate;
+    pg.seed = spec.seed + pass * 7919;  // fresh phrasings each pass
+    PaperGenerator generator(kb, pg);
+    const std::vector<SyntheticPaper> papers = generator.generate_all();
+    switch (spec.variant) {
+      case CptVariant::kAbstract:
+        corpus += PaperGenerator::render_abstract(papers);
+        break;
+      case CptVariant::kAic:
+        corpus += PaperGenerator::render_aic(papers);
+        break;
+      case CptVariant::kSummary:
+        corpus += generator.render_summary(papers);
+        break;
+      case CptVariant::kFullTextOcr: {
+        std::string text = PaperGenerator::render_full_text(papers);
+        corpus += PaperGenerator::ocr_noise(text, spec.ocr_noise_rate, noise_rng);
+        break;
+      }
+    }
+  }
+  return corpus;
+}
+
+std::string build_heldout_text(const KnowledgeBase& kb, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::string out;
+  for (std::size_t p = 0; p < 40; ++p) {
+    out += filler_paragraph(rng);
+    const Fact& fact =
+        kb.facts()[static_cast<std::size_t>(rng.next_below(kb.facts().size()))];
+    out += kb.statement(fact, static_cast<std::size_t>(rng.next_below(3)));
+    out += '\n';
+  }
+  return out;
+}
+
+std::string build_tokenizer_training_text(const KnowledgeBase& kb,
+                                          const std::vector<McqItem>& practice_pool,
+                                          std::uint64_t seed) {
+  PretrainSpec spec;
+  spec.canonical_coverage = 1.0;
+  spec.fact_repetitions = 2;
+  spec.filler_paragraphs = 80;
+  spec.practice_exam_blocks = 40;
+  spec.seed = seed;
+  std::string text = build_pretrain_corpus(kb, practice_pool, spec);
+
+  CptSpec cpt;
+  cpt.variant = CptVariant::kAic;
+  cpt.papers_per_topic = 1;
+  cpt.seed = seed + 1;
+  text += build_cpt_corpus(kb, cpt);
+
+  // JSON answer register used by the full-instruct method.
+  for (std::size_t i = 0; i < std::min<std::size_t>(practice_pool.size(), 30); ++i) {
+    const McqItem& item = practice_pool[i];
+    text += render_instruct_prompt(item);
+    text += render_json_answer(item.correct_letter(),
+                               "The correct value is " + item.options[item.correct] + ".");
+    text += '\n';
+  }
+  return text;
+}
+
+}  // namespace astromlab::corpus

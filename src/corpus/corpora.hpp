@@ -1,0 +1,81 @@
+#pragma once
+// Corpus assembly for the three training phases.
+//
+// * Pretraining corpora differ per model scale in how much canonical
+//   astronomy knowledge they contain (`canonical_coverage`) and how often
+//   each fact is repeated — the knob that encodes "LLaMA-3 was pretrained
+//   on better data than LLaMA-2" without pretending to train on 15T tokens.
+// * CPT corpora realise the synthetic astro-ph literature in the variants
+//   the paper compares (Abstract / AIC / Summary / OCR full text).
+// * A held-out stream supports perplexity tracking.
+
+#include <string>
+#include <vector>
+
+#include "corpus/knowledge.hpp"
+#include "corpus/mcq.hpp"
+#include "corpus/paper_generator.hpp"
+
+namespace astromlab::corpus {
+
+struct PretrainSpec {
+  /// Fraction of canonical astro facts present in this corpus.
+  double canonical_coverage = 0.9;
+  /// Statements emitted per covered astro fact (distinct phrasings/filler).
+  std::size_t fact_repetitions = 6;
+  /// Synthetic everyday facts and their repetitions.
+  std::size_t general_fact_count = 120;
+  std::size_t general_fact_repetitions = 4;
+  /// Pure-filler paragraphs (each a handful of sentences) for volume.
+  std::size_t filler_paragraphs = 300;
+  /// Practice MCQ blocks (with answers) so base models learn the exam
+  /// pattern used by the token benchmarking method.
+  std::size_t practice_exam_blocks = 150;
+  /// Chat-formatted dialogues mixed into pretraining (web data contains
+  /// dialogue-like text; without this, SFT would have to teach the chat
+  /// markers entirely from scratch, which real base models never face).
+  std::size_t chat_warmup_dialogues = 60;
+  std::uint64_t seed = 11;
+};
+
+/// Assembles and shuffles a pretraining corpus (returned as raw text).
+std::string build_pretrain_corpus(const KnowledgeBase& kb,
+                                  const std::vector<McqItem>& practice_pool,
+                                  const PretrainSpec& spec);
+
+enum class CptVariant {
+  kAbstract,    ///< abstracts only (AstroLLaMA-2-7B-Abstract recipe)
+  kAic,         ///< abstract+intro+conclusion (the "-AIC" models)
+  kSummary,     ///< dense LLM-summary analog
+  kFullTextOcr  ///< OCR'd full text (Nougat pipeline analog)
+};
+
+const char* cpt_variant_name(CptVariant variant);
+
+struct CptSpec {
+  CptVariant variant = CptVariant::kAic;
+  /// LaTeX debris rate inside paper bodies (models imperfect cleaning;
+  /// the 2-7B-era corpora were noisier than the recleaned ones).
+  double debris_rate = 0.0;
+  /// Character-level OCR noise applied to the rendered corpus.
+  double ocr_noise_rate = 0.0;
+  /// Number of passes over the literature concatenated into the stream
+  /// (repetition strength of CPT facts).
+  std::size_t passes = 1;
+  std::size_t papers_per_topic = 3;
+  std::uint64_t seed = 23;
+};
+
+std::string build_cpt_corpus(const KnowledgeBase& kb, const CptSpec& spec);
+
+/// Small held-out mixed-domain stream for perplexity monitoring.
+std::string build_heldout_text(const KnowledgeBase& kb, std::uint64_t seed);
+
+/// Concatenation used to train the shared tokenizer: a sample of every
+/// text register the models will ever see (papers, exams, chat markers,
+/// JSON answers, general prose).
+std::string build_tokenizer_training_text(const KnowledgeBase& kb,
+                                          const std::vector<McqItem>& practice_pool,
+                                          std::uint64_t seed);
+
+}  // namespace astromlab::corpus

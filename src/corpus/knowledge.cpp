@@ -1,0 +1,238 @@
+#include "corpus/knowledge.hpp"
+
+#include <stdexcept>
+
+#include "corpus/lexicon.hpp"
+#include "util/string_utils.hpp"
+
+namespace astromlab::corpus {
+
+using util::replace_all;
+
+std::vector<Relation> KnowledgeBase::standard_relations() {
+  std::vector<Relation> relations;
+
+  relations.push_back(Relation{
+      "initial-mass-range",
+      "What is the most likely range of initial masses for stars associated with %E?",
+      {"The initial mass range inferred for %E is %V.",
+       "Progenitor modelling places the initial masses of %E at %V.",
+       "Stars associated with %E most likely formed with masses of %V."},
+      ValueDomain{{"0.5 to 1.0 solar masses", "1.0 to 1.5 solar masses",
+                   "1.5 to 2.0 solar masses", "2.0 to 2.5 solar masses",
+                   "2.5 to 3.0 solar masses", "3.0 to 3.5 solar masses"}}});
+
+  relations.push_back(Relation{
+      "distance",
+      "What is the measured distance to %E?",
+      {"The distance to %E is measured at %V.",
+       "Parallax studies place %E at a distance of %V.",
+       "Recent calibrations put %E at %V from the Sun."},
+      ValueDomain{{"1.2 kiloparsecs", "2.4 kiloparsecs", "3.6 kiloparsecs",
+                   "4.8 kiloparsecs", "6.1 kiloparsecs", "7.3 kiloparsecs"}}});
+
+  relations.push_back(Relation{
+      "metallicity",
+      "What is the characteristic metallicity of %E?",
+      {"The characteristic metallicity of %E is %V.",
+       "Spectral synthesis yields a metallicity of %V for %E.",
+       "Abundance analyses of %E converge on a metallicity of %V."},
+      ValueDomain{{"0.2 times the solar value", "0.5 times the solar value",
+                   "0.8 times the solar value", "1.1 times the solar value",
+                   "1.5 times the solar value", "2.0 times the solar value"}}});
+
+  relations.push_back(Relation{
+      "age",
+      "What is the estimated age of %E?",
+      {"The estimated age of %E is %V.",
+       "Isochrone fitting gives an age of %V for %E.",
+       "Chronometric analyses date %E at %V."},
+      ValueDomain{{"0.5 billion years", "1.5 billion years", "3.0 billion years",
+                   "5.5 billion years", "8.0 billion years", "11.0 billion years"}}});
+
+  relations.push_back(Relation{
+      "rotation-period",
+      "What is the dominant rotation period measured for %E?",
+      {"The dominant rotation period of %E is %V.",
+       "Time-series photometry reveals that %E rotates with a period of %V.",
+       "Periodogram analysis of %E identifies a rotation period of %V."},
+      ValueDomain{{"6 hours", "14 hours", "29 hours", "52 hours", "88 hours",
+                   "120 hours"}}});
+
+  relations.push_back(Relation{
+      "magnetic-field",
+      "What is the typical surface magnetic field strength of %E?",
+      {"The surface magnetic field of %E is %V.",
+       "Zeeman measurements indicate a field of %V on %E.",
+       "Polarimetric monitoring of %E implies a magnetic field of %V."},
+      ValueDomain{{"0.1 kilogauss", "0.8 kilogauss", "2.5 kilogauss", "6.0 kilogauss",
+                   "12 kilogauss", "25 kilogauss"}}});
+
+  relations.push_back(Relation{
+      "outflow-velocity",
+      "What is the characteristic outflow velocity observed in %E?",
+      {"The characteristic outflow velocity of %E is %V.",
+       "Emission line profiles of %E indicate outflows of %V.",
+       "Winds from %E reach a characteristic velocity of %V."},
+      ValueDomain{{"45 kilometers per second", "110 kilometers per second",
+                   "240 kilometers per second", "420 kilometers per second",
+                   "650 kilometers per second", "900 kilometers per second"}}});
+
+  relations.push_back(Relation{
+      "formation-mechanism",
+      "What is the primary formation mechanism proposed for %E?",
+      {"The primary formation mechanism of %E is %V.",
+       "Current consensus attributes %E to %V.",
+       "Models of %E favour formation through %V."},
+      ValueDomain{{"gradual accretion within a cold disk",
+                   "violent merger of two compact remnants",
+                   "fragmentation of a turbulent gas cloud",
+                   "tidal stripping by a massive companion",
+                   "runaway collisions inside a dense cluster",
+                   "delayed collapse of a rotating envelope"}}});
+
+  relations.push_back(Relation{
+      "dominant-emission",
+      "In which band does %E emit most of its observed luminosity?",
+      {"%E emits most of its luminosity in %V.",
+       "The spectral energy distribution of %E peaks in %V.",
+       "Broadband photometry shows %E radiating chiefly in %V."},
+      ValueDomain{{"the soft X-ray band", "the far ultraviolet band",
+                   "the visible optical band", "the near infrared band",
+                   "the millimeter continuum", "the decimeter radio band"}}});
+
+  relations.push_back(Relation{
+      "companion-type",
+      "What type of companion object has been identified around %E?",
+      {"The companion identified around %E is %V.",
+       "Radial velocity monitoring of %E reveals %V.",
+       "Astrometric wobble indicates that %E hosts %V."},
+      ValueDomain{{"a low-mass red dwarf star", "a cooling white dwarf remnant",
+                   "a massive gas giant planet", "a tight brown dwarf binary",
+                   "a recycled neutron star", "a stripped helium subdwarf"}}});
+
+  return relations;
+}
+
+KnowledgeBase KnowledgeBase::generate(const KbConfig& config) {
+  if (config.n_topics == 0 || config.entities_per_topic == 0 ||
+      config.facts_per_entity == 0) {
+    throw std::invalid_argument("KbConfig: counts must be positive");
+  }
+  KnowledgeBase kb;
+  kb.config_ = config;
+  kb.relations_ = standard_relations();
+  if (config.facts_per_entity > kb.relations_.size()) {
+    throw std::invalid_argument("KbConfig: facts_per_entity exceeds relation count");
+  }
+
+  util::Rng rng(config.seed);
+  const std::size_t entity_count = config.n_topics * config.entities_per_topic;
+  const std::vector<std::string> names = Lexicon::object_names(entity_count, rng);
+  const auto& kinds = Lexicon::object_kinds();
+
+  kb.entities_.reserve(entity_count);
+  for (std::size_t topic = 0; topic < config.n_topics; ++topic) {
+    for (std::size_t e = 0; e < config.entities_per_topic; ++e) {
+      Entity entity;
+      entity.name = names[topic * config.entities_per_topic + e];
+      entity.kind = kinds[static_cast<std::size_t>(rng.next_below(kinds.size()))];
+      entity.topic = topic;
+      kb.entities_.push_back(std::move(entity));
+    }
+  }
+
+  for (std::size_t ei = 0; ei < kb.entities_.size(); ++ei) {
+    // Each entity gets `facts_per_entity` distinct relations.
+    const std::vector<std::size_t> chosen =
+        rng.sample_without_replacement(kb.relations_.size(), config.facts_per_entity);
+    for (std::size_t relation : chosen) {
+      Fact fact;
+      fact.entity = ei;
+      fact.relation = relation;
+      fact.value = static_cast<std::size_t>(
+          rng.next_below(kb.relations_[relation].domain.options.size()));
+      fact.tier = rng.next_bernoulli(config.frontier_fraction) ? Tier::kFrontier
+                                                               : Tier::kCanonical;
+      fact.topic = kb.entities_[ei].topic;
+      kb.facts_.push_back(fact);
+    }
+  }
+  return kb;
+}
+
+std::vector<const Fact*> KnowledgeBase::facts_in_topic(std::size_t topic) const {
+  std::vector<const Fact*> out;
+  for (const Fact& fact : facts_) {
+    if (fact.topic == topic) out.push_back(&fact);
+  }
+  return out;
+}
+
+std::vector<const Fact*> KnowledgeBase::facts_in_tier(Tier tier) const {
+  std::vector<const Fact*> out;
+  for (const Fact& fact : facts_) {
+    if (fact.tier == tier) out.push_back(&fact);
+  }
+  return out;
+}
+
+std::string KnowledgeBase::statement(const Fact& fact, std::size_t variant) const {
+  const Relation& relation = relations_[fact.relation];
+  const std::string& tmpl =
+      relation.statement_templates[variant % relation.statement_templates.size()];
+  std::string out = replace_all(tmpl, "%E", entities_[fact.entity].name);
+  out = replace_all(out, "%V", relation.domain.options[fact.value]);
+  return out;
+}
+
+std::string KnowledgeBase::question(const Fact& fact) const {
+  return replace_all(relations_[fact.relation].question_template, "%E",
+                     entities_[fact.entity].name);
+}
+
+GeneralKnowledge GeneralKnowledge::generate(std::size_t count, std::uint64_t seed) {
+  struct Family {
+    const char* statement;
+    const char* question;
+  };
+  static const std::vector<Family> families = {
+      {"The regional capital of %E is the port town of %V.",
+       "What is the regional capital of %E?"},
+      {"The river crossing %E is known locally as the %V.",
+       "Which river crosses %E?"},
+      {"The traditional festival of %E takes place in %V.",
+       "In which month is the traditional festival of %E held?"},
+      {"The main export of %E has long been %V.",
+       "What is the main export of %E?"},
+  };
+  static const std::vector<std::vector<std::string>> value_pools = {
+      {"Harwick", "Selmere", "Dunvale", "Corvik", "Eastmoor", "Ralden"},
+      {"Silverrun", "Kestrel", "Moorwater", "Greyflow", "Larkbeck", "Thornwash"},
+      {"early spring", "late spring", "midsummer", "early autumn", "late autumn",
+       "midwinter"},
+      {"woven textiles", "smoked fish", "cut timber", "fired ceramics",
+       "pressed cider", "milled grain"},
+  };
+
+  GeneralKnowledge gk;
+  util::Rng rng(seed ^ 0x9E3779B97f4A7C15ULL);
+  const std::vector<std::string> names =
+      Lexicon::general_entity_names((count + families.size() - 1) / families.size() + 1, rng);
+  std::size_t name_index = 0;
+  while (gk.items_.size() < count) {
+    const std::string& entity = names[name_index % names.size()];
+    const std::size_t family = gk.items_.size() % families.size();
+    if (family == families.size() - 1) ++name_index;
+    const auto& pool = value_pools[family];
+    const std::string& value = pool[static_cast<std::size_t>(rng.next_below(pool.size()))];
+    Item item;
+    item.statement = replace_all(replace_all(families[family].statement, "%E", entity), "%V", value);
+    item.question = replace_all(families[family].question, "%E", entity);
+    item.answer = value;
+    gk.items_.push_back(std::move(item));
+  }
+  return gk;
+}
+
+}  // namespace astromlab::corpus

@@ -1,0 +1,116 @@
+#pragma once
+// The ground-truth synthetic astronomy knowledge base.
+//
+// Substitutes for the astronomical literature in the paper: a set of
+// entities (objects) with factual attributes (relation → value). Facts are
+// grouped into topic clusters — one cluster per synthetic "review article",
+// mirroring the ARAA-derived benchmark construction (885 articles, 5 MCQs
+// each) — and tiered:
+//
+//   * canonical — long-established consensus knowledge; appears in general
+//     pretraining corpora (with model-dependent coverage).
+//   * frontier  — recent research results; appears only in the astro-ph
+//     corpus, so only continual pretraining can teach it.
+//
+// Every relation carries a value domain of similar-length options, which is
+// what lets the MCQ generator honour the paper's "answer options of equal
+// length" design principle.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace astromlab::corpus {
+
+enum class Tier { kCanonical, kFrontier };
+
+struct ValueDomain {
+  std::vector<std::string> options;  ///< >= 4 mutually-exclusive values
+};
+
+struct Relation {
+  std::string id;
+  std::string question_template;                 ///< uses %E for the entity
+  std::vector<std::string> statement_templates;  ///< use %E and %V
+  ValueDomain domain;
+};
+
+struct Entity {
+  std::string name;
+  std::string kind;
+  std::size_t topic = 0;
+};
+
+struct Fact {
+  std::size_t entity = 0;
+  std::size_t relation = 0;
+  std::size_t value = 0;  ///< index into the relation's domain
+  Tier tier = Tier::kCanonical;
+  std::size_t topic = 0;
+};
+
+struct KbConfig {
+  std::size_t n_topics = 24;          ///< synthetic review articles
+  std::size_t entities_per_topic = 6;
+  std::size_t facts_per_entity = 2;
+  double frontier_fraction = 0.10;    ///< facts only CPT can teach
+  std::uint64_t seed = 42;
+};
+
+class KnowledgeBase {
+ public:
+  static KnowledgeBase generate(const KbConfig& config);
+
+  const KbConfig& config() const { return config_; }
+  const std::vector<Entity>& entities() const { return entities_; }
+  const std::vector<Relation>& relations() const { return relations_; }
+  const std::vector<Fact>& facts() const { return facts_; }
+  std::size_t topic_count() const { return config_.n_topics; }
+
+  std::vector<const Fact*> facts_in_topic(std::size_t topic) const;
+  std::vector<const Fact*> facts_in_tier(Tier tier) const;
+
+  const Entity& entity_of(const Fact& fact) const { return entities_[fact.entity]; }
+  const Relation& relation_of(const Fact& fact) const { return relations_[fact.relation]; }
+  const std::string& value_text(const Fact& fact) const {
+    return relations_[fact.relation].domain.options[fact.value];
+  }
+
+  /// Natural-language statement of the fact using template `variant`
+  /// (mod the template count).
+  std::string statement(const Fact& fact, std::size_t variant) const;
+
+  /// Question form (for MCQs and practice-exam text).
+  std::string question(const Fact& fact) const;
+
+  /// The built-in relation inventory (exposed for tests).
+  static std::vector<Relation> standard_relations();
+
+ private:
+  KbConfig config_;
+  std::vector<Entity> entities_;
+  std::vector<Relation> relations_;
+  std::vector<Fact> facts_;
+};
+
+/// A small synthetic everyday-knowledge base used for general pretraining
+/// text and the general (Orca/UltraChat-analog) SFT slices.
+class GeneralKnowledge {
+ public:
+  struct Item {
+    std::string statement;  ///< declarative sentence
+    std::string question;   ///< question form
+    std::string answer;     ///< short answer
+  };
+
+  static GeneralKnowledge generate(std::size_t count, std::uint64_t seed);
+
+  const std::vector<Item>& items() const { return items_; }
+
+ private:
+  std::vector<Item> items_;
+};
+
+}  // namespace astromlab::corpus

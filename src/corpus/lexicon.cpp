@@ -1,0 +1,135 @@
+#include "corpus/lexicon.hpp"
+
+#include <unordered_set>
+
+namespace astromlab::corpus {
+
+namespace {
+
+const std::vector<std::string> kCataloguePrefixes = {
+    "NGC", "IC", "PSR", "HD", "GJ", "KIC", "UGC", "MRK", "APM", "VLX",
+};
+
+const std::vector<std::string> kGreekLetters = {
+    "Alpha", "Beta", "Gamma", "Delta", "Epsilon", "Zeta", "Eta", "Theta",
+    "Iota",  "Kappa", "Lambda", "Sigma", "Tau",    "Omega",
+};
+
+const std::vector<std::string> kConstellations = {
+    "Draconis", "Persei",   "Cygni",    "Lyrae",   "Aquilae", "Orionis",
+    "Tauri",    "Carinae",  "Velorum",  "Pavonis", "Fornacis", "Hydrae",
+};
+
+}  // namespace
+
+std::vector<std::string> Lexicon::object_names(std::size_t count, util::Rng& rng) {
+  std::vector<std::string> names;
+  names.reserve(count);
+  std::unordered_set<std::string> seen;
+  while (names.size() < count) {
+    std::string name;
+    if (rng.next_bernoulli(0.6)) {
+      name = pick(kCataloguePrefixes, rng) + " " +
+             std::to_string(1000 + rng.next_below(9000));
+    } else {
+      name = pick(kGreekLetters, rng) + " " + pick(kConstellations, rng);
+    }
+    if (seen.insert(name).second) names.push_back(std::move(name));
+  }
+  return names;
+}
+
+const std::vector<std::string>& Lexicon::object_kinds() {
+  static const std::vector<std::string> kinds = {
+      "spiral galaxy",        "planetary nebula",     "millisecond pulsar",
+      "open star cluster",    "globular cluster",     "brown dwarf",
+      "protoplanetary disk",  "supernova remnant",    "active galactic nucleus",
+      "hot Jupiter system",   "white dwarf binary",   "starburst galaxy",
+  };
+  return kinds;
+}
+
+const std::vector<std::string>& Lexicon::astro_filler() {
+  static const std::vector<std::string> filler = {
+      "These observations remain consistent with current stellar evolution models.",
+      "Follow-up spectroscopy will be required to confirm this interpretation.",
+      "The measurement uncertainties are dominated by calibration systematics.",
+      "Deep imaging campaigns over several epochs enabled this analysis.",
+      "Comparable behaviour has been reported for other objects of this class.",
+      "The inferred parameters agree with population synthesis predictions.",
+      "Archival data from earlier surveys corroborate the present findings.",
+      "Future instruments should resolve the remaining model degeneracies.",
+      "This %K has been the subject of extensive multi-wavelength campaigns.",
+      "The signal-to-noise ratio of the stacked spectra exceeds previous work.",
+      "Radiative transfer modelling supports the adopted geometry.",
+      "The sample selection function was validated against mock catalogues.",
+      "We adopt standard cosmological parameters throughout this analysis.",
+      "Dust extinction corrections follow the conventional reddening law.",
+      "The kinematic measurements were cross-checked with independent pipelines.",
+      "A full treatment of these systematics is deferred to a companion paper.",
+  };
+  return filler;
+}
+
+const std::vector<std::string>& Lexicon::latex_debris() {
+  static const std::vector<std::string> debris = {
+      "\\begin{figure} [h!] \\includegraphics width = 0.9 \\columnwidth",
+      "\\cite {unknown_ref_1998} \\citep {placeholder2003}",
+      "$ \\ rm km \\, s ^ { -1 } $ fig. ref. tab. ref.",
+      "\\footnote { see appendix for details } \\label { sec : obs }",
+      "table 3 continued overleaf . . . header repeated",
+      "[ FIGURE OMITTED ] caption : see online version",
+      "\\ emph { } \\ textbf { } stray brace } detected",
+      "page 7 of 23 draft version compiled",
+  };
+  return debris;
+}
+
+const std::vector<std::string>& Lexicon::general_filler() {
+  static const std::vector<std::string> filler = {
+      "The committee will reconvene after the seasonal recess concludes.",
+      "Local markets reported steady demand throughout the quarter.",
+      "The recipe calls for gentle simmering over a low flame.",
+      "Travellers are advised to confirm schedules before departure.",
+      "The museum's new wing opens to the public next spring.",
+      "Routine maintenance keeps the machinery in good working order.",
+      "The novel's final chapter resolves the long-standing feud.",
+      "Volunteers gathered early to prepare the community garden.",
+      "The orchestra rehearsed the overture twice before the premiere.",
+      "Exports of grain rose modestly compared with the previous year.",
+      "The bridge inspection found no structural concerns this cycle.",
+      "Students presented their projects at the annual science fair.",
+  };
+  return filler;
+}
+
+std::vector<std::string> Lexicon::general_entity_names(std::size_t count, util::Rng& rng) {
+  static const std::vector<std::string> stems = {
+      "Vessby", "Norland", "Kareth", "Ostrava", "Melinde", "Tarvos", "Quillan",
+      "Brenholm", "Sorvia", "Luthane", "Pellmor", "Ardenne", "Caldren", "Wrenfell",
+  };
+  static const std::vector<std::string> suffixes = {
+      "ia", "burg", "stad", "mark", "haven", "field", "ton", "dale",
+  };
+  std::vector<std::string> names;
+  names.reserve(count);
+  std::unordered_set<std::string> seen;
+  while (names.size() < count) {
+    std::string name = pick(stems, rng);
+    if (rng.next_bernoulli(0.5)) name += pick(suffixes, rng);
+    if (seen.insert(name).second) names.push_back(std::move(name));
+    if (seen.size() >= stems.size() * (suffixes.size() + 1)) break;  // pool exhausted
+  }
+  // Fall back to numbered names if the combinatorial pool ran out.
+  std::size_t serial = 1;
+  while (names.size() < count) {
+    names.push_back("Region " + std::to_string(serial++));
+  }
+  return names;
+}
+
+const std::string& Lexicon::pick(const std::vector<std::string>& pool, util::Rng& rng) {
+  return pool[static_cast<std::size_t>(rng.next_below(pool.size()))];
+}
+
+}  // namespace astromlab::corpus

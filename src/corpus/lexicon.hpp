@@ -1,0 +1,45 @@
+#pragma once
+// Astronomy lexicon: generators for synthetic object names, object kinds,
+// filler prose, and general-domain text.
+//
+// The synthetic universe substitutes for the arXiv astro-ph corpus the
+// paper trains on (see DESIGN.md §2). Object names are combinatorial
+// (catalogue prefix + number, or Greek letter + constellation) so the
+// generator scales to any knowledge-base size without repeating names.
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace astromlab::corpus {
+
+class Lexicon {
+ public:
+  /// Deterministically generates `count` unique object names.
+  static std::vector<std::string> object_names(std::size_t count, util::Rng& rng);
+
+  /// Object kind for an entity ("spiral galaxy", "millisecond pulsar", ...).
+  static const std::vector<std::string>& object_kinds();
+
+  /// Astronomy filler sentences (no factual content relevant to the
+  /// benchmark); `%K` is replaced with an object kind.
+  static const std::vector<std::string>& astro_filler();
+
+  /// LaTeX/OCR-artifact strings injected by the noise channel to model the
+  /// paper's observation that algorithmically-cleaned arXiv sources retain
+  /// markup debris.
+  static const std::vector<std::string>& latex_debris();
+
+  /// General-domain (non-astronomy) filler sentences.
+  static const std::vector<std::string>& general_filler();
+
+  /// Names of synthetic everyday entities for the general-knowledge fact
+  /// families (cities, rivers, inventions...).
+  static std::vector<std::string> general_entity_names(std::size_t count, util::Rng& rng);
+
+  /// Picks a random element.
+  static const std::string& pick(const std::vector<std::string>& pool, util::Rng& rng);
+};
+
+}  // namespace astromlab::corpus

@@ -1,0 +1,86 @@
+#include "corpus/mcq.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace astromlab::corpus {
+
+namespace {
+
+McqItem make_item(const KnowledgeBase& kb, std::size_t fact_index, util::Rng& rng) {
+  const Fact& fact = kb.facts()[fact_index];
+  const Relation& relation = kb.relation_of(fact);
+  const std::size_t n_options = relation.domain.options.size();
+  if (n_options < 4) {
+    throw std::logic_error("relation '" + relation.id + "' needs >= 4 domain options");
+  }
+
+  McqItem item;
+  item.question = kb.question(fact);
+  item.tier = fact.tier;
+  item.topic = fact.topic;
+  item.fact_index = fact_index;
+
+  // Distractors: three distinct wrong values from the same domain.
+  std::vector<std::size_t> wrong;
+  for (std::size_t v = 0; v < n_options; ++v) {
+    if (v != fact.value) wrong.push_back(v);
+  }
+  rng.shuffle(wrong);
+  wrong.resize(3);
+
+  // Random letter placement for the correct answer.
+  item.correct = static_cast<std::size_t>(rng.next_below(4));
+  std::size_t wrong_cursor = 0;
+  for (std::size_t slot = 0; slot < 4; ++slot) {
+    if (slot == item.correct) {
+      item.options[slot] = relation.domain.options[fact.value];
+    } else {
+      item.options[slot] = relation.domain.options[wrong[wrong_cursor++]];
+    }
+  }
+  return item;
+}
+
+}  // namespace
+
+McqSplit generate_mcqs(const KnowledgeBase& kb, const McqGenConfig& config) {
+  util::Rng rng(config.seed);
+  McqSplit split;
+  std::vector<bool> used(kb.facts().size(), false);
+
+  for (std::size_t topic = 0; topic < kb.topic_count(); ++topic) {
+    std::vector<std::size_t> topic_facts;
+    for (std::size_t i = 0; i < kb.facts().size(); ++i) {
+      if (kb.facts()[i].topic == topic) topic_facts.push_back(i);
+    }
+    rng.shuffle(topic_facts);
+    const std::size_t take = std::min(config.questions_per_topic, topic_facts.size());
+    for (std::size_t q = 0; q < take; ++q) {
+      split.benchmark.push_back(make_item(kb, topic_facts[q], rng));
+      used[topic_facts[q]] = true;
+    }
+  }
+  // Practice pool from every fact the benchmark did not claim.
+  for (std::size_t i = 0; i < kb.facts().size(); ++i) {
+    if (!used[i]) split.practice.push_back(make_item(kb, i, rng));
+  }
+  return split;
+}
+
+std::string render_exam_block(const McqItem& item, bool include_answer) {
+  std::string out = "Question: " + item.question + "\n";
+  for (std::size_t slot = 0; slot < 4; ++slot) {
+    out += static_cast<char>('A' + slot);
+    out += ": " + item.options[slot] + "\n";
+  }
+  out += "Answer:";
+  if (include_answer) {
+    out += ' ';
+    out += item.correct_letter();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace astromlab::corpus

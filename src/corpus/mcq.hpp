@@ -1,0 +1,54 @@
+#pragma once
+// Multiple-choice question construction.
+//
+// Mirrors the benchmark design of Ting et al. 2024 / this paper (§IV):
+// each synthetic "review article" (topic cluster) yields a fixed number of
+// questions; each question has four options of comparable length drawn
+// from the same value domain (so no option can be eliminated on surface
+// features), and the correct letter position is randomised.
+//
+// Two disjoint pools are derived from the knowledge base:
+//   * the benchmark set — held out for evaluation only;
+//   * the practice pool — exam-formatted text that may appear in
+//     pretraining corpora so base models learn the "Question/.../Answer:"
+//     pattern itself (general LLMs have seen such text; ours must too).
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "corpus/knowledge.hpp"
+
+namespace astromlab::corpus {
+
+struct McqItem {
+  std::string question;
+  std::array<std::string, 4> options;
+  std::size_t correct = 0;  ///< index 0..3 (letter A..D)
+  Tier tier = Tier::kCanonical;
+  std::size_t topic = 0;
+  std::size_t fact_index = 0;  ///< index into KnowledgeBase::facts()
+
+  char correct_letter() const { return static_cast<char>('A' + correct); }
+};
+
+struct McqSplit {
+  std::vector<McqItem> benchmark;  ///< evaluation-only questions
+  std::vector<McqItem> practice;   ///< may appear in training text
+};
+
+struct McqGenConfig {
+  std::size_t questions_per_topic = 5;  ///< paper: 5 per review article
+  std::uint64_t seed = 1234;
+};
+
+/// Builds benchmark + practice questions over disjoint fact sets.
+McqSplit generate_mcqs(const KnowledgeBase& kb, const McqGenConfig& config);
+
+/// Renders one question in the Appendix-C exam style. When
+/// `include_answer` is true the block ends with "Answer: X\n" (training /
+/// few-shot example); otherwise it ends with "Answer:" awaiting the next
+/// token (the probe position of the token benchmarking method).
+std::string render_exam_block(const McqItem& item, bool include_answer);
+
+}  // namespace astromlab::corpus

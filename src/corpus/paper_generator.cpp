@@ -1,0 +1,199 @@
+#include "corpus/paper_generator.hpp"
+
+#include <algorithm>
+
+#include "corpus/lexicon.hpp"
+#include "util/string_utils.hpp"
+
+namespace astromlab::corpus {
+
+namespace {
+
+std::string filler_sentence(const std::string& kind, double debris_rate, util::Rng& rng) {
+  if (debris_rate > 0.0 && rng.next_bernoulli(debris_rate)) {
+    return Lexicon::pick(Lexicon::latex_debris(), rng);
+  }
+  std::string sentence = Lexicon::pick(Lexicon::astro_filler(), rng);
+  return util::replace_all(sentence, "%K", kind);
+}
+
+void append_sentence(std::string& out, const std::string& sentence) {
+  out += sentence;
+  out += ' ';
+}
+
+}  // namespace
+
+PaperGenerator::PaperGenerator(const KnowledgeBase& kb, PaperGenConfig config)
+    : kb_(kb), config_(config) {}
+
+std::string PaperGenerator::fact_sentence(std::size_t fact_index, util::Rng& rng) const {
+  const Fact& fact = kb_.facts()[fact_index];
+  const std::size_t variant = static_cast<std::size_t>(rng.next_below(
+      kb_.relation_of(fact).statement_templates.size()));
+  return kb_.statement(fact, variant);
+}
+
+std::vector<SyntheticPaper> PaperGenerator::generate_topic(std::size_t topic, util::Rng& rng) {
+  // Partition the topic's facts across its papers so every fact is realised
+  // in at least one paper; abstracts carry a subset (the headline results).
+  std::vector<std::size_t> topic_fact_indices;
+  const auto& facts = kb_.facts();
+  for (std::size_t i = 0; i < facts.size(); ++i) {
+    if (facts[i].topic == topic) topic_fact_indices.push_back(i);
+  }
+  rng.shuffle(topic_fact_indices);
+
+  std::vector<SyntheticPaper> papers;
+  const std::size_t n_papers = std::max<std::size_t>(config_.papers_per_topic, 1);
+  papers.resize(n_papers);
+  for (std::size_t p = 0; p < n_papers; ++p) {
+    papers[p].topic = topic;
+  }
+  for (std::size_t i = 0; i < topic_fact_indices.size(); ++i) {
+    papers[i % n_papers].fact_indices.push_back(topic_fact_indices[i]);
+  }
+
+  for (SyntheticPaper& paper : papers) {
+    if (paper.fact_indices.empty()) continue;
+    const Fact& lead_fact = facts[paper.fact_indices.front()];
+    const Entity& lead_entity = kb_.entity_of(lead_fact);
+    paper.title = "On the nature of " + lead_entity.name + ", a " + lead_entity.kind + ".";
+
+    // Abstract: headline facts (roughly half), stated once, dense.
+    const std::size_t abstract_facts = std::max<std::size_t>(1, paper.fact_indices.size() / 2);
+    paper.abstract_text = "Abstract. We present new observations of " + lead_entity.name + ". ";
+    for (std::size_t i = 0; i < abstract_facts; ++i) {
+      append_sentence(paper.abstract_text, fact_sentence(paper.fact_indices[i], rng));
+    }
+
+    // Introduction: all facts with moderate filler.
+    paper.introduction = "Introduction. The study of " + lead_entity.kind +
+                         " populations has advanced rapidly. ";
+    for (std::size_t fact_index : paper.fact_indices) {
+      append_sentence(paper.introduction, fact_sentence(fact_index, rng));
+      const std::size_t fillers = static_cast<std::size_t>(config_.intro_filler_per_fact +
+                                                           rng.next_double());
+      for (std::size_t f = 0; f < fillers; ++f) {
+        append_sentence(paper.introduction,
+                        filler_sentence(lead_entity.kind, config_.debris_rate, rng));
+      }
+    }
+
+    // Body: facts restated amid heavy filler (and debris when configured).
+    paper.body = "Observations and analysis. ";
+    for (std::size_t fact_index : paper.fact_indices) {
+      const std::size_t fillers = static_cast<std::size_t>(config_.body_filler_per_fact +
+                                                           2.0 * rng.next_double());
+      for (std::size_t f = 0; f < fillers; ++f) {
+        append_sentence(paper.body,
+                        filler_sentence(lead_entity.kind, config_.debris_rate, rng));
+      }
+      append_sentence(paper.body, fact_sentence(fact_index, rng));
+    }
+
+    // Conclusion: restates every fact once with light filler.
+    paper.conclusion = "Conclusions. ";
+    for (std::size_t fact_index : paper.fact_indices) {
+      append_sentence(paper.conclusion, fact_sentence(fact_index, rng));
+    }
+    append_sentence(paper.conclusion,
+                    filler_sentence(lead_entity.kind, config_.debris_rate, rng));
+  }
+  // Drop papers that received no facts (tiny topics).
+  papers.erase(std::remove_if(papers.begin(), papers.end(),
+                              [](const SyntheticPaper& paper) {
+                                return paper.fact_indices.empty();
+                              }),
+               papers.end());
+  return papers;
+}
+
+std::vector<SyntheticPaper> PaperGenerator::generate_all() {
+  util::Rng rng(config_.seed);
+  std::vector<SyntheticPaper> all;
+  for (std::size_t topic = 0; topic < kb_.topic_count(); ++topic) {
+    util::Rng topic_rng = rng.split(topic);
+    std::vector<SyntheticPaper> papers = generate_topic(topic, topic_rng);
+    for (SyntheticPaper& paper : papers) all.push_back(std::move(paper));
+  }
+  return all;
+}
+
+std::string PaperGenerator::render_abstract(const std::vector<SyntheticPaper>& papers) {
+  std::string out;
+  for (const SyntheticPaper& paper : papers) {
+    out += paper.title;
+    out += ' ';
+    out += paper.abstract_text;
+    out += "\n";
+  }
+  return out;
+}
+
+std::string PaperGenerator::render_aic(const std::vector<SyntheticPaper>& papers) {
+  std::string out;
+  for (const SyntheticPaper& paper : papers) {
+    out += paper.title;
+    out += ' ';
+    out += paper.abstract_text;
+    out += paper.introduction;
+    out += paper.conclusion;
+    out += "\n";
+  }
+  return out;
+}
+
+std::string PaperGenerator::render_full_text(const std::vector<SyntheticPaper>& papers) {
+  std::string out;
+  for (const SyntheticPaper& paper : papers) {
+    out += paper.title;
+    out += ' ';
+    out += paper.abstract_text;
+    out += paper.introduction;
+    out += paper.body;
+    out += paper.conclusion;
+    out += "\n";
+  }
+  return out;
+}
+
+std::string PaperGenerator::render_summary(const std::vector<SyntheticPaper>& papers) const {
+  // The LLM-summary analog: every fact of the paper restated once, in a
+  // phrasing variant unlikely to be verbatim-identical to the source, with
+  // a single framing sentence — maximal fact density per token.
+  util::Rng rng(config_.seed ^ 0xA5A5A5A5ULL);
+  std::string out;
+  for (const SyntheticPaper& paper : papers) {
+    out += "Summary of " + paper.title + " ";
+    for (std::size_t fact_index : paper.fact_indices) {
+      append_sentence(out, fact_sentence(fact_index, rng));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string PaperGenerator::ocr_noise(const std::string& text, double rate, util::Rng& rng) {
+  if (rate <= 0.0) return text;
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if ((c >= 'a' && c <= 'z') && rng.next_bernoulli(rate)) {
+      const double roll = rng.next_double();
+      if (roll < 0.4) {
+        continue;  // dropped character
+      } else if (roll < 0.8) {
+        out += static_cast<char>('a' + rng.next_below(26));  // substitution
+      } else {
+        out += c;
+        out += ' ';  // spurious split (common OCR artefact)
+      }
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace astromlab::corpus

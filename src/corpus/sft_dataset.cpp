@@ -1,0 +1,130 @@
+#include "corpus/sft_dataset.hpp"
+
+#include <algorithm>
+
+#include "corpus/lexicon.hpp"
+
+namespace astromlab::corpus {
+
+namespace {
+
+Dialogue astro_mcq_dialogue(const KnowledgeBase& kb, const McqItem& item) {
+  Dialogue dialogue;
+  dialogue.turns.push_back({DialogueTurn::Role::kUser, render_instruct_prompt(item)});
+  const Fact& fact = kb.facts()[item.fact_index];
+  dialogue.turns.push_back(
+      {DialogueTurn::Role::kAssistant,
+       render_json_answer(item.correct_letter(), kb.statement(fact, 0))});
+  return dialogue;
+}
+
+Dialogue general_mcq_dialogue(const GeneralKnowledge& gk, std::size_t index,
+                              util::Rng& rng) {
+  const auto& items = gk.items();
+  const auto& target = items[index];
+  McqItem mcq;
+  mcq.question = target.question;
+  mcq.correct = static_cast<std::size_t>(rng.next_below(4));
+  // Distractors: other items' answers (format practice, not epistemology).
+  std::size_t filled = 0;
+  for (std::size_t slot = 0; slot < 4; ++slot) {
+    if (slot == mcq.correct) {
+      mcq.options[slot] = target.answer;
+      continue;
+    }
+    std::string distractor;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const auto& candidate = items[static_cast<std::size_t>(rng.next_below(items.size()))];
+      if (candidate.answer != target.answer) {
+        distractor = candidate.answer;
+        break;
+      }
+    }
+    if (distractor.empty()) distractor = "option " + std::to_string(++filled);
+    mcq.options[slot] = distractor;
+  }
+  Dialogue dialogue;
+  dialogue.turns.push_back({DialogueTurn::Role::kUser, render_instruct_prompt(mcq)});
+  dialogue.turns.push_back({DialogueTurn::Role::kAssistant,
+                            render_json_answer(mcq.correct_letter(), target.statement)});
+  return dialogue;
+}
+
+Dialogue general_free_dialogue(const GeneralKnowledge& gk, std::size_t index,
+                               util::Rng& rng) {
+  const auto& item = gk.items()[index];
+  Dialogue dialogue;
+  dialogue.turns.push_back({DialogueTurn::Role::kUser, item.question});
+  std::string answer = item.statement;
+  if (rng.next_bernoulli(0.3)) {
+    answer += ' ';
+    answer += Lexicon::pick(Lexicon::general_filler(), rng);
+  }
+  dialogue.turns.push_back({DialogueTurn::Role::kAssistant, answer});
+  return dialogue;
+}
+
+}  // namespace
+
+std::vector<Dialogue> build_sft_dialogues(const KnowledgeBase& kb,
+                                          const std::vector<McqItem>& practice_pool,
+                                          const SftSpec& spec) {
+  util::Rng rng(spec.seed);
+  const std::size_t astro_count =
+      static_cast<std::size_t>(spec.astro_fraction * static_cast<double>(spec.total_dialogues));
+  const std::size_t general_count = spec.total_dialogues - astro_count;
+  const std::size_t general_mcq_count =
+      static_cast<std::size_t>(spec.general_mcq_share * static_cast<double>(general_count));
+
+  const GeneralKnowledge gk =
+      GeneralKnowledge::generate(std::max<std::size_t>(general_count / 3, 40), spec.seed);
+
+  std::vector<Dialogue> dialogues;
+  dialogues.reserve(spec.total_dialogues);
+  for (std::size_t i = 0; i < astro_count && !practice_pool.empty(); ++i) {
+    const McqItem& item =
+        practice_pool[static_cast<std::size_t>(rng.next_below(practice_pool.size()))];
+    dialogues.push_back(astro_mcq_dialogue(kb, item));
+  }
+  for (std::size_t i = 0; i < general_count; ++i) {
+    const std::size_t item_index =
+        static_cast<std::size_t>(rng.next_below(gk.items().size()));
+    if (i < general_mcq_count) {
+      dialogues.push_back(general_mcq_dialogue(gk, item_index, rng));
+    } else {
+      dialogues.push_back(general_free_dialogue(gk, item_index, rng));
+    }
+  }
+  rng.shuffle(dialogues);
+  return dialogues;
+}
+
+SftSpec astrollama_sft_spec(std::uint64_t seed) {
+  SftSpec spec;
+  spec.total_dialogues = 900;      // ~30k in the paper, scaled with the world
+  spec.astro_fraction = 1.0 / 3.0; // paper: one third astronomy-focused
+  spec.general_mcq_share = 0.35;   // most general data is free-form chat
+  spec.seed = seed;
+  return spec;
+}
+
+SftSpec vendor_sft_spec(std::uint64_t seed) {
+  SftSpec spec;
+  spec.total_dialogues = 2400;   // vendors tune on far more instruction data
+  spec.astro_fraction = 0.30;    // broad coverage includes science Q&A
+  spec.general_mcq_share = 0.55; // rich format demonstrations
+  spec.seed = seed;
+  return spec;
+}
+
+std::vector<nn::MaskedExample> to_masked_examples(const std::vector<Dialogue>& dialogues,
+                                                  const tokenizer::BpeTokenizer& tok) {
+  std::vector<nn::MaskedExample> examples;
+  examples.reserve(dialogues.size());
+  for (const Dialogue& dialogue : dialogues) {
+    examples.push_back(dialogue_to_example(dialogue, tok));
+  }
+  return examples;
+}
+
+}  // namespace astromlab::corpus

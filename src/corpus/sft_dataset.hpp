@@ -1,0 +1,58 @@
+#pragma once
+// Supervised fine-tuning dialogue sets.
+//
+// Two builders mirror the paper's setup:
+//
+// * `build_astrollama_sft` — the analog of the SFT set inherited from
+//   AstroLLaMA-Chat (§III): ~1/3 astronomy-centred MCQ conversations
+//   generated from paper abstracts, ~2/3 general instruction data (the
+//   LIMA / OpenOrca / UltraChat share). The paper shows this set is too
+//   small and too general, dragging specialised models down.
+//
+// * `build_vendor_sft` — the analog of the *vendor* instruction tuning
+//   behind the official LLaMA instruct checkpoints the paper benchmarks
+//   against: larger, balanced, with plenty of format demonstrations.
+//
+// The knobs (`astro_fraction`, `total_dialogues`) are exposed so the SFT
+// ablation bench (E3) can sweep them, reproducing the paper's claim that a
+// much larger astronomy-focused Q&A set resolves the instruct-model gap.
+
+#include <vector>
+
+#include "corpus/chat_format.hpp"
+#include "corpus/knowledge.hpp"
+#include "corpus/mcq.hpp"
+
+namespace astromlab::corpus {
+
+struct SftSpec {
+  std::size_t total_dialogues = 900;
+  /// Share of dialogues that are astronomy MCQ conversations; the paper's
+  /// inherited set is about one third astronomy.
+  double astro_fraction = 1.0 / 3.0;
+  /// Share of the *general* dialogues that demonstrate the JSON MCQ format
+  /// (rather than free-text Q&A); format demonstrations are what give a
+  /// model full-instruct compliance.
+  double general_mcq_share = 0.4;
+  std::uint64_t seed = 77;
+};
+
+/// Builds a dialogue set per the spec. Astronomy dialogues quiz facts from
+/// `practice_pool` (never benchmark questions) in the Appendix-B format;
+/// general dialogues quiz `GeneralKnowledge` items either as JSON MCQs or
+/// free-text answers.
+std::vector<Dialogue> build_sft_dialogues(const KnowledgeBase& kb,
+                                          const std::vector<McqItem>& practice_pool,
+                                          const SftSpec& spec);
+
+/// The small astro-light set the AstroLLaMA series inherits (paper §III).
+SftSpec astrollama_sft_spec(std::uint64_t seed = 77);
+
+/// The large balanced vendor set behind official instruct baselines.
+SftSpec vendor_sft_spec(std::uint64_t seed = 78);
+
+/// Tokenises dialogues into masked SFT examples.
+std::vector<nn::MaskedExample> to_masked_examples(const std::vector<Dialogue>& dialogues,
+                                                  const tokenizer::BpeTokenizer& tok);
+
+}  // namespace astromlab::corpus

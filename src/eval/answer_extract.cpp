@@ -1,0 +1,113 @@
+#include "eval/answer_extract.hpp"
+
+#include <cctype>
+#include <regex>
+
+#include "json/json.hpp"
+
+namespace astromlab::eval {
+
+namespace {
+
+std::optional<int> letter_index(char c) {
+  if (c >= 'A' && c <= 'D') return c - 'A';
+  if (c >= 'a' && c <= 'd') return c - 'a';
+  return std::nullopt;
+}
+
+/// Reads the answer out of a parsed ANSWER field value like "B", "B:", or
+/// "B: 1.0 to 1.5 solar masses".
+std::optional<int> parse_answer_field(const std::string& field) {
+  for (char c : field) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    const auto idx = letter_index(c);
+    if (!idx) return std::nullopt;
+    // Accept a bare letter or letter followed by punctuation/space.
+    return idx;
+  }
+  return std::nullopt;
+}
+
+std::optional<int> try_json(const std::string& output) {
+  const std::size_t brace = output.find('{');
+  if (brace == std::string::npos) return std::nullopt;
+  std::size_t offset = brace;
+  try {
+    const json::Value value = json::parse_prefix(output, offset);
+    if (!value.is_object()) return std::nullopt;
+    const json::Value* answer = value.find("ANSWER");
+    if (answer == nullptr) answer = value.find("answer");
+    if (answer == nullptr || !answer->is_string()) return std::nullopt;
+    return parse_answer_field(answer->as_string());
+  } catch (const json::ParseError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<int> try_regex(const std::string& output) {
+  static const std::regex pattern(R"rx("?ANSWER"?\s*[:=]\s*"?\s*([A-Da-d]))rx",
+                                  std::regex::icase);
+  std::smatch match;
+  if (std::regex_search(output, match, pattern)) {
+    return letter_index(match[1].str()[0]);
+  }
+  return std::nullopt;
+}
+
+std::optional<int> try_interpreter(const std::string& output,
+                                   const std::array<std::string, 4>& options) {
+  // Announcement patterns the fallback LLM would recognise.
+  static const std::regex announce(
+      R"rx((?:answer\s+is|correct\s+(?:answer|option|choice)\s+is|answer\s*:|option)\s*\(?\s*([A-Da-d])\b)rx",
+      std::regex::icase);
+  std::smatch match;
+  if (std::regex_search(output, match, announce)) {
+    return letter_index(match[1].str()[0]);
+  }
+  // A verbatim option restated in the output counts as choosing it — but
+  // only if exactly one option matches.
+  int matched = -1;
+  int matches = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (!options[static_cast<std::size_t>(i)].empty() &&
+        output.find(options[static_cast<std::size_t>(i)]) != std::string::npos) {
+      matched = i;
+      ++matches;
+    }
+  }
+  if (matches == 1) return matched;
+  // Last resort: a lone capital letter A-D on its own word boundary.
+  static const std::regex lone(R"rx((?:^|[\s"'(])([A-D])(?:[\s"'.,):]|$))rx");
+  if (std::regex_search(output, match, lone)) {
+    return letter_index(match[1].str()[0]);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ExtractedAnswer extract_answer(const std::string& output,
+                               const std::array<std::string, 4>& options) {
+  if (auto letter = try_json(output)) {
+    return {letter, ExtractionMethod::kJson};
+  }
+  if (auto letter = try_regex(output)) {
+    return {letter, ExtractionMethod::kRegex};
+  }
+  if (auto letter = try_interpreter(output, options)) {
+    return {letter, ExtractionMethod::kInterpreter};
+  }
+  return {std::nullopt, ExtractionMethod::kFailed};
+}
+
+const char* extraction_method_name(ExtractionMethod method) {
+  switch (method) {
+    case ExtractionMethod::kJson: return "json";
+    case ExtractionMethod::kRegex: return "regex";
+    case ExtractionMethod::kInterpreter: return "interpreter";
+    case ExtractionMethod::kFailed: return "failed";
+  }
+  return "?";
+}
+
+}  // namespace astromlab::eval

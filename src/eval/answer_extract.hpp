@@ -1,0 +1,38 @@
+#pragma once
+// Answer extraction from full-instruct model output (paper §V-A).
+//
+// The pipeline mirrors the paper exactly:
+//  1. strict parse — find and parse the JSON object, read "ANSWER";
+//  2. regex pass — `"ANSWER"\s*:\s*"?([A-D])` even in malformed JSON;
+//  3. interpreter fallback — the paper uses GPT-4o to read the intended
+//     answer out of free-form explanations; we substitute a rule-based
+//     interpreter that scans for answer-announcement patterns and
+//     verbatim option text.
+
+#include <array>
+#include <optional>
+#include <string>
+
+namespace astromlab::eval {
+
+enum class ExtractionMethod {
+  kJson,         ///< valid JSON with ANSWER field
+  kRegex,        ///< regex over malformed output
+  kInterpreter,  ///< rule-based fallback (GPT-4o analog)
+  kFailed,       ///< no answer found
+};
+
+struct ExtractedAnswer {
+  std::optional<int> letter;  ///< 0..3 for A..D
+  ExtractionMethod method = ExtractionMethod::kFailed;
+};
+
+/// Extracts the intended answer letter from raw model output. `options`
+/// are the four option texts (used by the interpreter fallback to match a
+/// verbatim restatement of an option).
+ExtractedAnswer extract_answer(const std::string& output,
+                               const std::array<std::string, 4>& options);
+
+const char* extraction_method_name(ExtractionMethod method);
+
+}  // namespace astromlab::eval

@@ -1,0 +1,49 @@
+#include "eval/full_instruct.hpp"
+
+#include "eval/answer_extract.hpp"
+#include "eval/prompts.hpp"
+#include "nn/sampler.hpp"
+
+namespace astromlab::eval {
+
+FullInstructOutcome full_instruct_one(const nn::GptModel& model,
+                                      const tokenizer::BpeTokenizer& tok,
+                                      const corpus::McqItem& item,
+                                      const FullInstructConfig& config) {
+  FullInstructOutcome outcome;
+  outcome.result.correct = static_cast<int>(item.correct);
+  outcome.result.tier = item.tier;
+
+  const std::string prompt = build_instruct_prompt(item);
+  const std::vector<tokenizer::TokenId> prompt_ids = tok.encode(prompt);
+  std::vector<nn::Token> prompt_tokens(prompt_ids.begin(), prompt_ids.end());
+
+  nn::SampleConfig sample;
+  sample.temperature = config.temperature;
+  sample.max_new_tokens = config.max_new_tokens;
+  sample.stop_tokens = {tok.end_turn_id(), tok.eos_id()};
+
+  util::Rng rng(config.seed);
+  nn::Sampler sampler(model);
+  const nn::SampleResult generated = sampler.generate(prompt_tokens, sample, rng);
+
+  std::vector<tokenizer::TokenId> out_ids(generated.tokens.begin(), generated.tokens.end());
+  outcome.raw_output = tok.decode(out_ids);
+
+  const ExtractedAnswer extracted = extract_answer(outcome.raw_output, item.options);
+  outcome.result.method = extracted.method;
+  outcome.result.predicted = extracted.letter.value_or(-1);
+  return outcome;
+}
+
+std::vector<QuestionResult> run_full_instruct_benchmark(
+    const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
+    const std::vector<corpus::McqItem>& benchmark, const FullInstructConfig& config) {
+  std::vector<QuestionResult> results(benchmark.size());
+  for (std::size_t q = 0; q < benchmark.size(); ++q) {
+    results[q] = full_instruct_one(model, tok, benchmark[q], config).result;
+  }
+  return results;
+}
+
+}  // namespace astromlab::eval

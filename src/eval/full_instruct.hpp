@@ -1,0 +1,42 @@
+#pragma once
+// Full-instruct benchmarking method (paper §V-A, Appendix B).
+//
+// Each question is rendered through the chat template with the Appendix-B
+// instruct prompt, the model generates a complete answer (up to a token
+// budget; the paper allows 512), and the answer letter is extracted via
+// JSON parse → regex → interpreter fallback. Generation is greedy
+// (temperature 0) for reproducibility.
+
+#include <vector>
+
+#include "corpus/mcq.hpp"
+#include "eval/scorer.hpp"
+#include "nn/gpt.hpp"
+#include "tokenizer/bpe.hpp"
+
+namespace astromlab::eval {
+
+struct FullInstructConfig {
+  std::size_t max_new_tokens = 96;
+  float temperature = 0.0f;
+  std::uint64_t seed = 5;  ///< only used when temperature > 0
+};
+
+struct FullInstructOutcome {
+  QuestionResult result;
+  std::string raw_output;  ///< decoded generation (for inspection)
+};
+
+/// Runs one question; returns the outcome including the raw generation.
+FullInstructOutcome full_instruct_one(const nn::GptModel& model,
+                                      const tokenizer::BpeTokenizer& tok,
+                                      const corpus::McqItem& item,
+                                      const FullInstructConfig& config);
+
+/// Runs the full benchmark.
+std::vector<QuestionResult> run_full_instruct_benchmark(
+    const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
+    const std::vector<corpus::McqItem>& benchmark,
+    const FullInstructConfig& config = {});
+
+}  // namespace astromlab::eval

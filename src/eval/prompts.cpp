@@ -1,0 +1,32 @@
+#include "eval/prompts.hpp"
+
+#include <stdexcept>
+
+namespace astromlab::eval {
+
+std::string build_token_prompt(const corpus::McqItem& item,
+                               const std::vector<corpus::McqItem>& examples) {
+  std::string prompt = std::string(corpus::kExamHeader) + "\n";
+  for (const corpus::McqItem& example : examples) {
+    prompt += corpus::render_exam_block(example, /*include_answer=*/true);
+    prompt += '\n';
+  }
+  prompt += corpus::render_exam_block(item, /*include_answer=*/false);
+  return prompt;
+}
+
+std::string build_instruct_prompt(const corpus::McqItem& item) {
+  std::vector<corpus::DialogueTurn> turns;
+  turns.push_back({corpus::DialogueTurn::Role::kUser, corpus::render_instruct_prompt(item)});
+  return corpus::render_generation_prompt(turns);
+}
+
+std::vector<corpus::McqItem> pick_fewshot_examples(const std::vector<corpus::McqItem>& pool) {
+  if (pool.size() < 2) {
+    throw std::invalid_argument("pick_fewshot_examples: need >= 2 practice questions");
+  }
+  // Deterministic spread: first and middle question of the pool.
+  return {pool.front(), pool[pool.size() / 2]};
+}
+
+}  // namespace astromlab::eval

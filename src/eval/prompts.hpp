@@ -1,0 +1,32 @@
+#pragma once
+// Benchmark prompt construction (paper Appendices B and C).
+//
+// * Token-method prompt: the two-shot next-token format — a header, two
+//   solved example questions, then the test question ending in "Answer:"
+//   so the next token should be the answer letter.
+// * Full-instruct prompt: the chat-format Appendix-B prompt rendered
+//   through the model's chat template (built in corpus/chat_format).
+
+#include <string>
+#include <vector>
+
+#include "corpus/chat_format.hpp"
+#include "corpus/mcq.hpp"
+
+namespace astromlab::eval {
+
+/// Builds the Appendix-C two-shot prompt for `item`. `examples` supplies
+/// the two solved few-shot questions (practice-pool items; the paper uses
+/// two fixed example questions with correct answers).
+std::string build_token_prompt(const corpus::McqItem& item,
+                               const std::vector<corpus::McqItem>& examples);
+
+/// Builds the full-instruct chat prompt (user turn + opened assistant
+/// turn) for `item`.
+std::string build_instruct_prompt(const corpus::McqItem& item);
+
+/// Picks two stable few-shot examples from the practice pool (deterministic
+/// — the paper uses the same two examples for every question).
+std::vector<corpus::McqItem> pick_fewshot_examples(const std::vector<corpus::McqItem>& pool);
+
+}  // namespace astromlab::eval

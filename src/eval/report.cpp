@@ -1,0 +1,125 @@
+#include "eval/report.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/string_utils.hpp"
+
+namespace astromlab::eval {
+
+using util::format_fixed;
+using util::pad_left;
+using util::pad_right;
+
+std::string trend_arrow(double score, double baseline_score) {
+  if (score < 0.0 || baseline_score < 0.0) return " ";
+  const double delta = score - baseline_score;
+  if (delta >= 1.0) return "^";
+  if (delta <= -1.0) return "v";
+  return "~";
+}
+
+namespace {
+
+const ModelRow* find_baseline(const std::vector<ModelRow>& rows, const std::string& name) {
+  for (const ModelRow& row : rows) {
+    if (row.name == name) return &row;
+  }
+  return nullptr;
+}
+
+std::string score_cell(double score, double baseline, bool native) {
+  if (score < 0.0) return pad_left("-", 8);
+  std::string text = format_fixed(score, 1);
+  if (!native) {
+    text += " " + trend_arrow(score, baseline);
+  }
+  return pad_left(text, 8);
+}
+
+}  // namespace
+
+std::string render_table1(const std::vector<ModelRow>& rows) {
+  std::string out;
+  out += "TABLE I: PERFORMANCE ON ASTRONOMY MCQ BENCHMARK\n";
+  out += "(scores: % accurate answers; ^ better / v worse / ~ similar vs native baseline)\n\n";
+  out += pad_right("Model", 34) + pad_left("FullInst", 9) + pad_left("Tok-Inst", 10) +
+         pad_left("Tok-Base", 10) + "  " + pad_right("Source", 11) + "Reference\n";
+  out += std::string(90, '-') + "\n";
+
+  std::string current_series;
+  for (const ModelRow& row : rows) {
+    if (row.series != current_series) {
+      current_series = row.series;
+      out += current_series + "\n";
+    }
+    const ModelRow* base = row.is_native ? nullptr : find_baseline(rows, row.baseline);
+    const double base_full = base ? base->full_instruct : -1.0;
+    const double base_ti = base ? base->token_instruct : -1.0;
+    const double base_tb = base ? base->token_base : -1.0;
+    out += pad_right("  " + row.name, 34);
+    out += " " + score_cell(row.full_instruct, base_full, row.is_native);
+    out += " " + score_cell(row.token_instruct, base_ti, row.is_native);
+    out += " " + score_cell(row.token_base, base_tb, row.is_native);
+    out += "   " + pad_right(row.source, 11) + row.reference + "\n";
+  }
+  return out;
+}
+
+std::string render_fig1(const std::vector<ModelRow>& rows, double axis_min, double axis_max) {
+  constexpr std::size_t kWidth = 64;
+  auto column = [&](double score) -> std::size_t {
+    const double clamped = std::clamp(score, axis_min, axis_max);
+    return static_cast<std::size_t>((clamped - axis_min) / (axis_max - axis_min) *
+                                    static_cast<double>(kWidth - 1));
+  };
+
+  std::string out;
+  out += "FIG 1: BASELINE LLAMA VS ASTROLLAMA ON ASTRONOMY MCQs\n";
+  out += "symbols: F full instruct, I token (instruct), B token (base); | native full-instruct\n\n";
+
+  for (const ModelRow& row : rows) {
+    std::string line(kWidth, '.');
+    const ModelRow* base = row.is_native ? &row : find_baseline(rows, row.baseline);
+    if (base != nullptr && base->full_instruct >= 0.0) {
+      line[column(base->full_instruct)] = '|';
+    }
+    // Later symbols win collisions; B is the headline metric so place last.
+    if (row.full_instruct >= 0.0) line[column(row.full_instruct)] = 'F';
+    if (row.token_instruct >= 0.0) line[column(row.token_instruct)] = 'I';
+    if (row.token_base >= 0.0) line[column(row.token_base)] = 'B';
+    out += pad_right(row.name, 32) + line + "\n";
+  }
+
+  // Axis.
+  std::string axis(kWidth, ' ');
+  out += pad_right("", 32);
+  for (double tick = axis_min; tick <= axis_max + 1e-9; tick += 10.0) {
+    const std::size_t pos = column(tick);
+    if (pos < axis.size()) axis[pos] = '+';
+  }
+  out += axis + "\n" + pad_right("", 32);
+  std::string labels(kWidth + 6, ' ');
+  for (double tick = axis_min; tick <= axis_max + 1e-9; tick += 10.0) {
+    const std::string text = format_fixed(tick, 0);
+    const std::size_t pos = column(tick);
+    for (std::size_t i = 0; i < text.size() && pos + i < labels.size(); ++i) {
+      labels[pos + i] = text[i];
+    }
+  }
+  out += labels + "  (% score)\n";
+  return out;
+}
+
+std::string render_csv(const std::vector<ModelRow>& rows) {
+  std::string out = "model,series,full_instruct,token_instruct,token_base,source,reference\n";
+  for (const ModelRow& row : rows) {
+    auto cell = [](double v) { return v < 0.0 ? std::string() : format_fixed(v, 2); };
+    out += row.name + "," + row.series + "," + cell(row.full_instruct) + "," +
+           cell(row.token_instruct) + "," + cell(row.token_base) + "," + row.source + "," +
+           row.reference + "\n";
+  }
+  return out;
+}
+
+}  // namespace astromlab::eval

@@ -1,0 +1,41 @@
+#pragma once
+// Result presentation: Table I, Figure 1 (ASCII), and CSV export.
+//
+// `ModelRow` mirrors one row of the paper's Table I: scores (percent) for
+// the three benchmarking methods, a source / reference column, and the
+// series baseline used for the ↑ / ↓ / ⇒ arrows.
+
+#include <string>
+#include <vector>
+
+namespace astromlab::eval {
+
+struct ModelRow {
+  std::string name;
+  std::string series;     ///< table section header, e.g. "LLaMA-2 Series (S70)"
+  double full_instruct = -1.0;   ///< percent, -1 = not evaluated
+  double token_instruct = -1.0;
+  double token_base = -1.0;
+  std::string source;
+  std::string reference;
+  bool is_native = false;
+  std::string baseline;   ///< name of the native row to compare against
+};
+
+/// Arrow comparing a specialised score to its native baseline, matching
+/// the paper's notation: up for >= +1 pt, down for <= -1 pt, else ~.
+std::string trend_arrow(double score, double baseline_score);
+
+/// Renders the full Table I with section headers and arrows.
+std::string render_table1(const std::vector<ModelRow>& rows);
+
+/// Renders Figure 1 as an ASCII dot plot: one line per model, symbols
+/// F (full instruct), I (token/instruct), B (token/base), and a '|'
+/// marking the native series' full-instruct baseline.
+std::string render_fig1(const std::vector<ModelRow>& rows, double axis_min = 20.0,
+                        double axis_max = 90.0);
+
+/// CSV export (one row per model).
+std::string render_csv(const std::vector<ModelRow>& rows);
+
+}  // namespace astromlab::eval

@@ -1,0 +1,67 @@
+#include "eval/scorer.hpp"
+
+#include <algorithm>
+
+#include "util/string_utils.hpp"
+
+namespace astromlab::eval {
+
+ScoreSummary summarize(const std::vector<QuestionResult>& results,
+                       std::uint64_t bootstrap_seed, std::size_t bootstrap_resamples) {
+  ScoreSummary summary;
+  summary.total = results.size();
+  if (results.empty()) return summary;
+
+  std::size_t canonical_total = 0, canonical_correct = 0;
+  std::size_t frontier_correct = 0;
+  for (const QuestionResult& result : results) {
+    if (result.is_correct()) ++summary.correct;
+    if (result.predicted < 0) ++summary.unanswered;
+    if (result.tier == corpus::Tier::kCanonical) {
+      ++canonical_total;
+      if (result.is_correct()) ++canonical_correct;
+    } else {
+      ++summary.frontier_total;
+      if (result.is_correct()) ++frontier_correct;
+    }
+    switch (result.method) {
+      case ExtractionMethod::kJson: ++summary.json_extractions; break;
+      case ExtractionMethod::kRegex: ++summary.regex_extractions; break;
+      case ExtractionMethod::kInterpreter: ++summary.interpreter_extractions; break;
+      case ExtractionMethod::kFailed: break;
+    }
+  }
+  summary.accuracy = static_cast<double>(summary.correct) / static_cast<double>(summary.total);
+  summary.canonical_accuracy =
+      canonical_total > 0
+          ? static_cast<double>(canonical_correct) / static_cast<double>(canonical_total)
+          : 0.0;
+  summary.frontier_accuracy =
+      summary.frontier_total > 0
+          ? static_cast<double>(frontier_correct) / static_cast<double>(summary.frontier_total)
+          : 0.0;
+
+  // Percentile bootstrap over questions.
+  util::Rng rng(bootstrap_seed);
+  std::vector<double> samples;
+  samples.reserve(bootstrap_resamples);
+  for (std::size_t b = 0; b < bootstrap_resamples; ++b) {
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const QuestionResult& picked =
+          results[static_cast<std::size_t>(rng.next_below(results.size()))];
+      if (picked.is_correct()) ++hits;
+    }
+    samples.push_back(static_cast<double>(hits) / static_cast<double>(results.size()));
+  }
+  std::sort(samples.begin(), samples.end());
+  const std::size_t lo_idx = static_cast<std::size_t>(0.025 * static_cast<double>(samples.size()));
+  const std::size_t hi_idx = static_cast<std::size_t>(0.975 * static_cast<double>(samples.size()));
+  summary.ci_low = samples[std::min(lo_idx, samples.size() - 1)];
+  summary.ci_high = samples[std::min(hi_idx, samples.size() - 1)];
+  return summary;
+}
+
+std::string percent(double accuracy) { return util::format_fixed(accuracy * 100.0, 1); }
+
+}  // namespace astromlab::eval

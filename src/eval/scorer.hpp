@@ -1,0 +1,48 @@
+#pragma once
+// Benchmark scoring: accuracy, bootstrap confidence intervals and
+// per-tier / per-extraction-method breakdowns.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "corpus/knowledge.hpp"
+#include "eval/answer_extract.hpp"
+#include "util/rng.hpp"
+
+namespace astromlab::eval {
+
+/// Outcome of one benchmark question under one method.
+struct QuestionResult {
+  int predicted = -1;  ///< 0..3, or -1 when no answer was produced
+  int correct = 0;     ///< 0..3
+  corpus::Tier tier = corpus::Tier::kCanonical;
+  ExtractionMethod method = ExtractionMethod::kFailed;  ///< full-instruct only
+
+  bool is_correct() const { return predicted == correct; }
+};
+
+struct ScoreSummary {
+  std::size_t total = 0;
+  std::size_t correct = 0;
+  double accuracy = 0.0;       ///< fraction in [0,1]
+  double ci_low = 0.0;         ///< 95% bootstrap CI
+  double ci_high = 0.0;
+  double canonical_accuracy = 0.0;
+  double frontier_accuracy = 0.0;
+  std::size_t frontier_total = 0;
+  std::size_t unanswered = 0;  ///< predicted == -1
+  std::size_t json_extractions = 0;
+  std::size_t regex_extractions = 0;
+  std::size_t interpreter_extractions = 0;
+};
+
+/// Computes the summary with a seeded bootstrap (1000 resamples).
+ScoreSummary summarize(const std::vector<QuestionResult>& results,
+                       std::uint64_t bootstrap_seed = 99,
+                       std::size_t bootstrap_resamples = 1000);
+
+/// Percentage string helper: accuracy * 100 at one decimal ("76.0").
+std::string percent(double accuracy);
+
+}  // namespace astromlab::eval

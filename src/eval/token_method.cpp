@@ -1,0 +1,140 @@
+#include "eval/token_method.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "eval/prompts.hpp"
+#include "util/logging.hpp"
+
+namespace astromlab::eval {
+
+namespace {
+
+/// Indices of the `k` largest logits.
+std::vector<std::size_t> top_k_indices(const std::vector<float>& logits, std::size_t k) {
+  std::vector<std::size_t> order(logits.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  k = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k), order.end(),
+                    [&](std::size_t a, std::size_t b) { return logits[a] > logits[b]; });
+  order.resize(k);
+  return order;
+}
+
+std::optional<std::array<tokenizer::TokenId, 4>> letter_family(
+    const tokenizer::BpeTokenizer& tok, bool leading_space) {
+  std::array<tokenizer::TokenId, 4> ids{};
+  for (int i = 0; i < 4; ++i) {
+    std::string text;
+    if (leading_space) text += ' ';
+    text += static_cast<char>('A' + i);
+    const auto id = tok.token_to_id(text);
+    if (!id) return std::nullopt;
+    ids[static_cast<std::size_t>(i)] = *id;
+  }
+  return ids;
+}
+
+std::vector<nn::Token> to_model_tokens(const std::vector<tokenizer::TokenId>& ids) {
+  return {ids.begin(), ids.end()};
+}
+
+}  // namespace
+
+LetterTokens detect_letter_tokens(const nn::GptModel& model,
+                                  const tokenizer::BpeTokenizer& tok,
+                                  const std::vector<corpus::McqItem>& calibration,
+                                  const std::vector<corpus::McqItem>& fewshot) {
+  const auto spaced = letter_family(tok, /*leading_space=*/true);
+  const auto plain = letter_family(tok, /*leading_space=*/false);
+  if (!plain) {
+    throw std::logic_error("tokenizer lacks bare letter byte tokens (corrupt vocab)");
+  }
+  if (!spaced) {
+    // No single-token " A".." D": the model necessarily emits the space
+    // separately, so probe bare letters after feeding the space.
+    LetterTokens letters;
+    letters.ids = *plain;
+    letters.feed_space_first = true;
+    return letters;
+  }
+
+  // Both families exist: examine the top-10 next tokens on calibration
+  // prompts (paper §V-B) and count which family the model actually ranks.
+  std::size_t spaced_hits = 0;
+  std::size_t plain_hits = 0;
+  const std::size_t n_calibration = std::min<std::size_t>(calibration.size(), 6);
+  nn::GptInference inference(model);
+  for (std::size_t q = 0; q < n_calibration; ++q) {
+    const std::string prompt = build_token_prompt(calibration[q], fewshot);
+    std::vector<nn::Token> tokens = to_model_tokens(tok.encode(prompt));
+    if (tokens.size() >= model.config().ctx_len) continue;
+    inference.reset();
+    const std::vector<float>& logits = inference.prompt(tokens);
+    for (std::size_t idx : top_k_indices(logits, 10)) {
+      const auto id = static_cast<tokenizer::TokenId>(idx);
+      if (std::find(spaced->begin(), spaced->end(), id) != spaced->end()) ++spaced_hits;
+      if (std::find(plain->begin(), plain->end(), id) != plain->end()) ++plain_hits;
+    }
+  }
+
+  LetterTokens letters;
+  if (plain_hits > spaced_hits) {
+    letters.ids = *plain;
+    letters.feed_space_first = true;
+  } else {
+    letters.ids = *spaced;
+    letters.leading_space = true;
+  }
+  log::debug() << "letter-token detection: spaced_hits=" << spaced_hits
+               << " plain_hits=" << plain_hits << " -> "
+               << (letters.leading_space ? "leading-space" : "bare");
+  return letters;
+}
+
+int token_predict(const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
+                  const LetterTokens& letters, const corpus::McqItem& item,
+                  const std::vector<corpus::McqItem>& fewshot) {
+  const std::string prompt = build_token_prompt(item, fewshot);
+  std::vector<nn::Token> tokens = to_model_tokens(tok.encode(prompt));
+  if (letters.feed_space_first) {
+    const auto space = tok.token_to_id(" ");
+    if (space) tokens.push_back(*space);
+  }
+  if (tokens.empty() || tokens.size() >= model.config().ctx_len) {
+    return -1;  // prompt does not fit the context window
+  }
+  nn::GptInference inference(model);
+  const std::vector<float>& logits = inference.prompt(tokens);
+  int best = 0;
+  float best_logit = logits[static_cast<std::size_t>(letters.ids[0])];
+  for (int i = 1; i < 4; ++i) {
+    const float logit = logits[static_cast<std::size_t>(letters.ids[static_cast<std::size_t>(i)])];
+    if (logit > best_logit) {
+      best_logit = logit;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<QuestionResult> run_token_benchmark(
+    const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
+    const std::vector<corpus::McqItem>& benchmark,
+    const std::vector<corpus::McqItem>& practice_pool) {
+  const std::vector<corpus::McqItem> fewshot = pick_fewshot_examples(practice_pool);
+  const LetterTokens letters = detect_letter_tokens(model, tok, practice_pool, fewshot);
+
+  std::vector<QuestionResult> results(benchmark.size());
+  for (std::size_t q = 0; q < benchmark.size(); ++q) {
+    const corpus::McqItem& item = benchmark[q];
+    QuestionResult result;
+    result.correct = static_cast<int>(item.correct);
+    result.tier = item.tier;
+    result.predicted = token_predict(model, tok, letters, item, fewshot);
+    results[q] = result;
+  }
+  return results;
+}
+
+}  // namespace astromlab::eval

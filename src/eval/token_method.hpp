@@ -1,0 +1,57 @@
+#pragma once
+// Next-token (logit) benchmarking method (paper §V-B / §V-C, Appendix C).
+//
+// The model is shown the two-shot exam prompt ending in "Answer:" and the
+// answer is the letter whose token has the highest logit at the next
+// position. Two real-tokenizer subtleties are handled exactly as the paper
+// describes:
+//
+//  * Token representation variants. Depending on the learned BPE merges
+//    the answer may surface as the single token " A" (leading space) or as
+//    the bare byte token "A" (after the space is consumed separately). The
+//    evaluator detects the representation the model actually uses by
+//    scanning the top-ten tokens of its output distribution on calibration
+//    prompts (§V-B).
+//  * Deterministic inference. Temperature is fixed at 0 — logit argmax —
+//    matching the paper's reproducibility setting.
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "corpus/mcq.hpp"
+#include "eval/scorer.hpp"
+#include "nn/gpt.hpp"
+#include "tokenizer/bpe.hpp"
+
+namespace astromlab::eval {
+
+/// Resolved answer-letter token ids for one (model, tokenizer) pair.
+struct LetterTokens {
+  std::array<tokenizer::TokenId, 4> ids{};  ///< tokens for A..D
+  bool leading_space = false;   ///< ids are " A".." D" single tokens
+  bool feed_space_first = false;  ///< feed " " before probing bare letters
+};
+
+/// Detects which representation the model uses: builds a few calibration
+/// prompts from `calibration` items, reads the model's top-10 next tokens
+/// after "Answer:", and picks the letter-token family that appears there.
+/// Falls back to bare letters (with an explicit space feed) when the
+/// vocabulary has no single leading-space letter tokens.
+LetterTokens detect_letter_tokens(const nn::GptModel& model,
+                                  const tokenizer::BpeTokenizer& tok,
+                                  const std::vector<corpus::McqItem>& calibration,
+                                  const std::vector<corpus::McqItem>& fewshot);
+
+/// Evaluates one question: returns the argmax letter (0..3).
+int token_predict(const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
+                  const LetterTokens& letters, const corpus::McqItem& item,
+                  const std::vector<corpus::McqItem>& fewshot);
+
+/// Runs the token method over the whole benchmark.
+std::vector<QuestionResult> run_token_benchmark(
+    const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
+    const std::vector<corpus::McqItem>& benchmark,
+    const std::vector<corpus::McqItem>& practice_pool);
+
+}  // namespace astromlab::eval

@@ -1,0 +1,372 @@
+#include "json/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace astromlab::json {
+
+void Value::set(const std::string& key, Value v) {
+  for (auto& member : members_) {
+    if (member.first == key) {
+      member.second = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& member : members_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+std::string Value::get_string(std::string_view key, const std::string& fallback) const {
+  const Value* v = find(key);
+  return (v && v->is_string()) ? v->as_string() : fallback;
+}
+
+double Value::get_number(std::string_view key, double fallback) const {
+  const Value* v = find(key);
+  return (v && v->is_number()) ? v->as_number() : fallback;
+}
+
+bool Value::get_bool(std::string_view key, bool fallback) const {
+  const Value* v = find(key);
+  return (v && v->is_bool()) ? v->as_bool() : fallback;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kNumber: return number_ == other.number_;
+    case Type::kString: return string_ == other.string_;
+    case Type::kArray: return items_ == other.items_;
+    case Type::kObject: return members_ == other.members_;
+  }
+  return false;
+}
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_number(std::string& out, double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%lld", static_cast<long long>(value));
+    out += buffer;
+    return;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  out += buffer;
+}
+
+void append_indent(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; return;
+    case Type::kBool: out += bool_ ? "true" : "false"; return;
+    case Type::kNumber: append_number(out, number_); return;
+    case Type::kString:
+      out += '"';
+      out += escape(string_);
+      out += '"';
+      return;
+    case Type::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ',';
+        if (indent >= 0) append_indent(out, indent, depth + 1);
+        items_[i].dump_to(out, indent, depth + 1);
+      }
+      if (indent >= 0) append_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += ',';
+        if (indent >= 0) append_indent(out, indent, depth + 1);
+        out += '"';
+        out += escape(members_[i].first);
+        out += indent >= 0 ? "\": " : "\":";
+        members_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (indent >= 0) append_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing content");
+    return v;
+  }
+
+  Value parse_value() {
+    skip_whitespace();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't': expect_literal("true"); return Value(true);
+      case 'f': expect_literal("false"); return Value(false);
+      case 'n': expect_literal("null"); return Value(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  std::size_t position() const { return pos_; }
+  void set_position(std::size_t pos) { pos_ = pos; }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) { throw ParseError(message, pos_); }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  void expect_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) fail("invalid literal");
+    pos_ += literal.size();
+  }
+
+  char consume() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  Value parse_object() {
+    Value obj = Value::object();
+    ++pos_;  // '{'
+    skip_whitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      skip_whitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') fail("expected object key");
+      std::string key = parse_string();
+      skip_whitespace();
+      if (consume() != ':') fail("expected ':'");
+      obj.set(key, parse_value());
+      skip_whitespace();
+      const char c = consume();
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  Value parse_array() {
+    Value arr = Value::array();
+    ++pos_;  // '['
+    skip_whitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_whitespace();
+      const char c = consume();
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  void append_utf8(std::string& out, unsigned code_point) {
+    if (code_point < 0x80) {
+      out += static_cast<char>(code_point);
+    } else if (code_point < 0x800) {
+      out += static_cast<char>(0xC0 | (code_point >> 6));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else if (code_point < 0x10000) {
+      out += static_cast<char>(0xE0 | (code_point >> 12));
+      out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code_point >> 18));
+      out += static_cast<char>(0x80 | ((code_point >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = consume();
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid \\u escape");
+    }
+    return value;
+  }
+
+  std::string parse_string() {
+    ++pos_;  // '"'
+    std::string out;
+    for (;;) {
+      const char c = consume();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = consume();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code_point = parse_hex4();
+          if (code_point >= 0xD800 && code_point <= 0xDBFF) {
+            // Surrogate pair.
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              const unsigned low = parse_hex4();
+              if (low >= 0xDC00 && low <= 0xDFFF) {
+                code_point = 0x10000 + ((code_point - 0xD800) << 10) + (low - 0xDC00);
+              } else {
+                fail("invalid low surrogate");
+              }
+            } else {
+              fail("unpaired high surrogate");
+            }
+          }
+          append_utf8(out, code_point);
+          break;
+        }
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool has_digits = false;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      has_digits = true;
+    }
+    if (!has_digits) fail("invalid number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      bool frac_digits = false;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        frac_digits = true;
+      }
+      if (!frac_digits) fail("invalid number fraction");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      bool exp_digits = false;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        exp_digits = true;
+      }
+      if (!exp_digits) fail("invalid number exponent");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return Value(std::strtod(token.c_str(), nullptr));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) {
+  Parser parser(text);
+  return parser.parse_document();
+}
+
+Value parse_prefix(std::string_view text, std::size_t& offset) {
+  Parser parser(text);
+  parser.set_position(offset);
+  Value v = parser.parse_value();
+  offset = parser.position();
+  return v;
+}
+
+}  // namespace astromlab::json

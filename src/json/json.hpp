@@ -1,0 +1,116 @@
+#pragma once
+// Minimal JSON value, parser and serialiser.
+//
+// The full-instruct benchmarking method (paper Appendix B) requires models
+// to answer in JSON (`{"ANSWER": ..., "EXPLANATION": ...}`) and the answer
+// extractor must parse potentially malformed model output. This module
+// implements a strict RFC 8259 parser used both for that extraction path
+// and for experiment result caches. Numbers are stored as double; object
+// member order is preserved (important for stable cache files).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace astromlab::json {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t offset)
+      : std::runtime_error(message + " at offset " + std::to_string(offset)),
+        offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+class Value;
+using Member = std::pair<std::string, Value>;
+
+/// JSON value with order-preserving objects.
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : type_(Type::kNull) {}
+  Value(std::nullptr_t) : type_(Type::kNull) {}
+  Value(bool b) : type_(Type::kBool), bool_(b) {}
+  Value(double d) : type_(Type::kNumber), number_(d) {}
+  Value(int i) : type_(Type::kNumber), number_(i) {}
+  Value(std::int64_t i) : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  Value(const char* s) : type_(Type::kString), string_(s) {}
+  Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+
+  static Value array() {
+    Value v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<Value>& items() const { return items_; }
+  const std::vector<Member>& members() const { return members_; }
+
+  /// Array append.
+  void push_back(Value v) { items_.push_back(std::move(v)); }
+
+  /// Object set (replaces existing key, preserving position).
+  void set(const std::string& key, Value v);
+
+  /// Object lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+
+  /// Typed lookups with fallbacks (objects only).
+  std::string get_string(std::string_view key, const std::string& fallback) const;
+  double get_number(std::string_view key, double fallback) const;
+  bool get_bool(std::string_view key, bool fallback) const;
+
+  /// Serialises; `indent` < 0 means compact single-line output.
+  std::string dump(int indent = -1) const;
+
+  bool operator==(const Value& other) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<Member> members_;
+};
+
+/// Parses a complete document; trailing non-whitespace raises ParseError.
+Value parse(std::string_view text);
+
+/// Parses the first JSON value found at `offset`, advancing it past the
+/// value. Used by the answer extractor to pull a JSON object out of
+/// surrounding chatter.
+Value parse_prefix(std::string_view text, std::size_t& offset);
+
+/// Escapes a string for embedding in JSON output.
+std::string escape(std::string_view text);
+
+}  // namespace astromlab::json

@@ -1,0 +1,50 @@
+#include "nn/adamw.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace astromlab::nn {
+
+AdamW::AdamW(ParamTable& params, AdamWConfig config)
+    : params_(params), config_(config) {
+  m_.assign(params.total_size(), 0.0f);
+  v_.assign(params.total_size(), 0.0f);
+  decay_mask_.assign(params.total_size(), false);
+  for (const ParamSegment& segment : params.segments()) {
+    if (!segment.decay) continue;
+    for (std::size_t i = segment.offset; i < segment.offset + segment.size; ++i) {
+      decay_mask_[i] = true;
+    }
+  }
+}
+
+double AdamW::step(float lr) {
+  const double norm = params_.grad_norm();
+  if (config_.clip_norm > 0.0f && norm > config_.clip_norm) {
+    params_.scale_grads(static_cast<float>(config_.clip_norm / norm));
+  }
+  ++step_count_;
+  const double bias1 = 1.0 - std::pow(config_.beta1, static_cast<double>(step_count_));
+  const double bias2 = 1.0 - std::pow(config_.beta2, static_cast<double>(step_count_));
+  float* p = params_.params();
+  const float* g = params_.grads();
+  const std::size_t n = params_.total_size();
+  for (std::size_t i = 0; i < n; ++i) {
+    m_[i] = config_.beta1 * m_[i] + (1.0f - config_.beta1) * g[i];
+    v_[i] = config_.beta2 * v_[i] + (1.0f - config_.beta2) * g[i] * g[i];
+    const float m_hat = m_[i] / static_cast<float>(bias1);
+    const float v_hat = v_[i] / static_cast<float>(bias2);
+    float update = m_hat / (std::sqrt(v_hat) + config_.eps);
+    if (decay_mask_[i]) update += config_.weight_decay * p[i];
+    p[i] -= lr * update;
+  }
+  return norm;
+}
+
+void AdamW::reset() {
+  std::fill(m_.begin(), m_.end(), 0.0f);
+  std::fill(v_.begin(), v_.end(), 0.0f);
+  step_count_ = 0;
+}
+
+}  // namespace astromlab::nn

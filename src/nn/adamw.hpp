@@ -1,0 +1,48 @@
+#pragma once
+// AdamW optimiser with decoupled weight decay and global-norm clipping.
+//
+// Matches the paper's training setup (AdamW-family optimiser, cosine decay
+// schedule, bf16-era defaults): beta1=0.9, beta2=0.999 (paper does not
+// override), eps=1e-8, decay applied only to matrix weights.
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/params.hpp"
+
+namespace astromlab::nn {
+
+struct AdamWConfig {
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.01f;
+  /// Gradients are rescaled so the global L2 norm never exceeds this
+  /// (<= 0 disables clipping).
+  float clip_norm = 1.0f;
+};
+
+class AdamW {
+ public:
+  AdamW(ParamTable& params, AdamWConfig config);
+
+  /// Applies one update with the given learning rate; returns the
+  /// pre-clipping global gradient norm (telemetry).
+  double step(float lr);
+
+  /// Resets moment estimates and the step counter (used when a cached base
+  /// model starts a fresh CPT/SFT phase, as the paper does per phase).
+  void reset();
+
+  std::size_t step_count() const { return step_count_; }
+
+ private:
+  ParamTable& params_;
+  AdamWConfig config_;
+  std::vector<float> m_;
+  std::vector<float> v_;
+  std::vector<bool> decay_mask_;
+  std::size_t step_count_ = 0;
+};
+
+}  // namespace astromlab::nn

@@ -1,0 +1,82 @@
+#include "nn/checkpoint.hpp"
+
+#include <vector>
+
+#include "tensor/bf16.hpp"
+#include "util/io.hpp"
+
+namespace astromlab::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x41434B31;  // "ACK1"
+
+void write_config(util::BinaryWriter& writer, const GptConfig& config) {
+  writer.write_u64(config.vocab_size);
+  writer.write_u64(config.ctx_len);
+  writer.write_u64(config.d_model);
+  writer.write_u64(config.n_heads);
+  writer.write_u64(config.n_layers);
+  writer.write_u64(config.d_ff);
+}
+
+GptConfig read_config(util::BinaryReader& reader) {
+  GptConfig config;
+  config.vocab_size = reader.read_u64();
+  config.ctx_len = reader.read_u64();
+  config.d_model = reader.read_u64();
+  config.n_heads = reader.read_u64();
+  config.n_layers = reader.read_u64();
+  config.d_ff = reader.read_u64();
+  config.validate();
+  return config;
+}
+}  // namespace
+
+void save_checkpoint(const GptModel& model, const std::filesystem::path& path,
+                     CheckpointPrecision precision) {
+  util::BinaryWriter writer(path);
+  writer.write_u32(kMagic);
+  write_config(writer, model.config());
+  writer.write_u8(static_cast<std::uint8_t>(precision));
+  const float* params = model.params().params();
+  const std::size_t count = model.params().total_size();
+  if (precision == CheckpointPrecision::kF32) {
+    writer.write_f32_array(params, count);
+  } else {
+    std::vector<std::uint16_t> half(count);
+    for (std::size_t i = 0; i < count; ++i) half[i] = tensor::float_to_bf16(params[i]);
+    writer.write_u16_array(half.data(), count);
+  }
+  writer.close();
+}
+
+GptModel load_checkpoint(const std::filesystem::path& path) {
+  util::BinaryReader reader(path);
+  if (reader.read_u32() != kMagic) {
+    throw util::IoError("not a checkpoint file: " + path.string());
+  }
+  GptModel model(read_config(reader));
+  const auto precision = static_cast<CheckpointPrecision>(reader.read_u8());
+  float* params = model.params().params();
+  const std::size_t count = model.params().total_size();
+  if (precision == CheckpointPrecision::kF32) {
+    reader.read_f32_array(params, count);
+  } else if (precision == CheckpointPrecision::kBf16) {
+    std::vector<std::uint16_t> half(count);
+    reader.read_u16_array(half.data(), count);
+    for (std::size_t i = 0; i < count; ++i) params[i] = tensor::bf16_to_float(half[i]);
+  } else {
+    throw util::IoError("unknown checkpoint precision in " + path.string());
+  }
+  return model;
+}
+
+GptConfig peek_checkpoint_config(const std::filesystem::path& path) {
+  util::BinaryReader reader(path);
+  if (reader.read_u32() != kMagic) {
+    throw util::IoError("not a checkpoint file: " + path.string());
+  }
+  return read_config(reader);
+}
+
+}  // namespace astromlab::nn

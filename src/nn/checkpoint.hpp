@@ -1,0 +1,29 @@
+#pragma once
+// Model checkpoint serialisation.
+//
+// Checkpoints store the architecture config plus all parameters, either as
+// raw fp32 or as bf16 (the paper trains in bf16; storing checkpoints in
+// bf16 halves cache size and models that quantisation). Loading a bf16
+// checkpoint widens back to fp32.
+
+#include <cstdint>
+#include <filesystem>
+
+#include "nn/gpt.hpp"
+
+namespace astromlab::nn {
+
+enum class CheckpointPrecision : std::uint8_t { kF32 = 0, kBf16 = 1 };
+
+/// Writes config + parameters. Directory is created if needed.
+void save_checkpoint(const GptModel& model, const std::filesystem::path& path,
+                     CheckpointPrecision precision = CheckpointPrecision::kBf16);
+
+/// Reads a checkpoint, reconstructing the model (architecture comes from
+/// the file). Throws util::IoError on malformed input.
+GptModel load_checkpoint(const std::filesystem::path& path);
+
+/// Reads only the stored config (cheap inspection).
+GptConfig peek_checkpoint_config(const std::filesystem::path& path);
+
+}  // namespace astromlab::nn

@@ -1,0 +1,50 @@
+#pragma once
+// Transformer architecture configuration.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "util/hash.hpp"
+
+namespace astromlab::nn {
+
+/// Decoder-only GPT-2-style architecture description. The LM head is tied
+/// to the token embedding (standard practice; also how the reproduction
+/// keeps small models capacity-bound, which is what makes catastrophic
+/// forgetting observable).
+struct GptConfig {
+  std::size_t vocab_size = 512;
+  std::size_t ctx_len = 128;    ///< maximum sequence length (positions)
+  std::size_t d_model = 64;     ///< residual stream width
+  std::size_t n_heads = 4;      ///< attention heads; must divide d_model
+  std::size_t n_layers = 2;     ///< transformer blocks
+  std::size_t d_ff = 256;       ///< MLP hidden width (usually 4 * d_model)
+
+  std::size_t head_dim() const { return d_model / n_heads; }
+
+  void validate() const {
+    if (vocab_size == 0 || ctx_len == 0 || d_model == 0 || n_heads == 0 ||
+        n_layers == 0 || d_ff == 0) {
+      throw std::invalid_argument("GptConfig: all dimensions must be positive");
+    }
+    if (d_model % n_heads != 0) {
+      throw std::invalid_argument("GptConfig: n_heads must divide d_model");
+    }
+  }
+
+  /// Total trainable parameter count for this architecture.
+  std::size_t param_count() const;
+
+  bool operator==(const GptConfig&) const = default;
+
+  /// Folds every field into a fingerprint (for experiment cache keys).
+  void add_to_hash(util::HashBuilder& h) const {
+    h.add_u64(vocab_size).add_u64(ctx_len).add_u64(d_model);
+    h.add_u64(n_heads).add_u64(n_layers).add_u64(d_ff);
+  }
+
+  std::string describe() const;
+};
+
+}  // namespace astromlab::nn

@@ -1,0 +1,68 @@
+#include "nn/data.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace astromlab::nn {
+
+StreamDataset::StreamDataset(std::vector<Token> tokens) : tokens_(std::move(tokens)) {
+  if (tokens_.size() < 2) {
+    throw std::invalid_argument("StreamDataset: need at least 2 tokens");
+  }
+}
+
+void StreamDataset::next_batch(std::vector<Token>& inputs, std::vector<Token>& targets,
+                               std::size_t batch, std::size_t seq, util::Rng& rng) {
+  inputs.resize(batch * seq);
+  targets.resize(batch * seq);
+  const std::size_t max_start = tokens_.size() > seq + 1 ? tokens_.size() - seq - 1 : 0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t start = max_start > 0 ? static_cast<std::size_t>(rng.next_below(max_start + 1)) : 0;
+    for (std::size_t t = 0; t < seq; ++t) {
+      const std::size_t pos = std::min(start + t, tokens_.size() - 2);
+      inputs[b * seq + t] = tokens_[pos];
+      targets[b * seq + t] = tokens_[pos + 1];
+    }
+  }
+}
+
+MaskedExampleDataset::MaskedExampleDataset(std::vector<MaskedExample> examples, Token pad_token)
+    : examples_(std::move(examples)), pad_token_(pad_token) {
+  if (examples_.empty()) {
+    throw std::invalid_argument("MaskedExampleDataset: no examples");
+  }
+  for (const MaskedExample& example : examples_) {
+    if (example.tokens.size() != example.loss_mask.size()) {
+      throw std::invalid_argument("MaskedExampleDataset: mask length mismatch");
+    }
+    epoch_tokens_ += example.tokens.size();
+  }
+}
+
+void MaskedExampleDataset::next_batch(std::vector<Token>& inputs, std::vector<Token>& targets,
+                                      std::size_t batch, std::size_t seq, util::Rng& rng) {
+  inputs.resize(batch * seq);
+  targets.resize(batch * seq);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const MaskedExample& example =
+        examples_[static_cast<std::size_t>(rng.next_below(examples_.size()))];
+    Token* in_row = inputs.data() + b * seq;
+    Token* tgt_row = targets.data() + b * seq;
+    // Teacher forcing: input t predicts token t+1 of the example; the
+    // target is masked out unless token t+1 is in an assistant span.
+    for (std::size_t t = 0; t < seq; ++t) {
+      if (t < example.tokens.size()) {
+        in_row[t] = example.tokens[t];
+      } else {
+        in_row[t] = pad_token_;
+      }
+      if (t + 1 < example.tokens.size() && example.loss_mask[t + 1]) {
+        tgt_row[t] = example.tokens[t + 1];
+      } else {
+        tgt_row[t] = kIgnoreTarget;
+      }
+    }
+  }
+}
+
+}  // namespace astromlab::nn

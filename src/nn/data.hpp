@@ -1,0 +1,74 @@
+#pragma once
+// Batch sources for language-model training.
+//
+// Two regimes mirror the paper's two training phases:
+//  * `StreamDataset` — continual pretraining: one long token stream,
+//    random context windows, next-token targets everywhere.
+//  * `MaskedExampleDataset` — supervised fine-tuning: discrete dialogue
+//    examples where only assistant-span tokens contribute to the loss
+//    (prompt tokens get kIgnoreTarget), padded/truncated to the context.
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/gpt.hpp"
+#include "util/rng.hpp"
+
+namespace astromlab::nn {
+
+/// Abstract provider of (inputs, targets) training batches.
+class BatchSource {
+ public:
+  virtual ~BatchSource() = default;
+
+  /// Fills `inputs` and `targets` (both batch*seq) with the next batch.
+  virtual void next_batch(std::vector<Token>& inputs, std::vector<Token>& targets,
+                          std::size_t batch, std::size_t seq, util::Rng& rng) = 0;
+
+  /// Total trainable tokens per pass over the data (used to derive the
+  /// one-epoch step count the paper trains for).
+  virtual std::size_t epoch_tokens() const = 0;
+};
+
+/// Random windows over a contiguous token stream (pretraining / CPT).
+class StreamDataset final : public BatchSource {
+ public:
+  explicit StreamDataset(std::vector<Token> tokens);
+
+  void next_batch(std::vector<Token>& inputs, std::vector<Token>& targets, std::size_t batch,
+                  std::size_t seq, util::Rng& rng) override;
+
+  std::size_t epoch_tokens() const override { return tokens_.size(); }
+  std::size_t size() const { return tokens_.size(); }
+  const std::vector<Token>& tokens() const { return tokens_; }
+
+ private:
+  std::vector<Token> tokens_;
+};
+
+/// One SFT example: full token sequence plus a parallel mask; positions
+/// whose *target* token has mask false are excluded from the loss.
+struct MaskedExample {
+  std::vector<Token> tokens;
+  std::vector<bool> loss_mask;  ///< same length as tokens
+};
+
+/// Samples whole examples, truncating or right-padding to the context
+/// length with pad tokens (pad positions never contribute to the loss).
+class MaskedExampleDataset final : public BatchSource {
+ public:
+  MaskedExampleDataset(std::vector<MaskedExample> examples, Token pad_token);
+
+  void next_batch(std::vector<Token>& inputs, std::vector<Token>& targets, std::size_t batch,
+                  std::size_t seq, util::Rng& rng) override;
+
+  std::size_t epoch_tokens() const override { return epoch_tokens_; }
+  std::size_t example_count() const { return examples_.size(); }
+
+ private:
+  std::vector<MaskedExample> examples_;
+  Token pad_token_;
+  std::size_t epoch_tokens_ = 0;
+};
+
+}  // namespace astromlab::nn

@@ -1,0 +1,611 @@
+#include "nn/gpt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+#include "util/thread_pool.hpp"
+
+namespace astromlab::nn {
+
+using tensor::sgemm;
+
+namespace {
+
+constexpr float kLnEps = 1e-5f;
+
+void layernorm_forward(float* out, float* mean, float* rstd, const float* x, const float* gain,
+                       const float* bias, std::size_t rows, std::size_t cols) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * cols;
+    float* outr = out + r * cols;
+    double m = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) m += xr[c];
+    m /= static_cast<double>(cols);
+    double var = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double d = xr[c] - m;
+      var += d * d;
+    }
+    var /= static_cast<double>(cols);
+    const float rs = static_cast<float>(1.0 / std::sqrt(var + kLnEps));
+    const float mf = static_cast<float>(m);
+    for (std::size_t c = 0; c < cols; ++c) {
+      outr[c] = (xr[c] - mf) * rs * gain[c] + bias[c];
+    }
+    mean[r] = mf;
+    rstd[r] = rs;
+  }
+}
+
+void layernorm_backward(float* dx, float* dgain, float* dbias, const float* dout,
+                        const float* x, const float* mean, const float* rstd,
+                        const float* gain, std::size_t rows, std::size_t cols) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* doutr = dout + r * cols;
+    const float* xr = x + r * cols;
+    float* dxr = dx + r * cols;
+    const float m = mean[r];
+    const float rs = rstd[r];
+
+    double dnorm_mean = 0.0;
+    double dnorm_norm_mean = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const float norm = (xr[c] - m) * rs;
+      const float dnorm = doutr[c] * gain[c];
+      dnorm_mean += dnorm;
+      dnorm_norm_mean += dnorm * norm;
+    }
+    dnorm_mean /= static_cast<double>(cols);
+    dnorm_norm_mean /= static_cast<double>(cols);
+
+    for (std::size_t c = 0; c < cols; ++c) {
+      const float norm = (xr[c] - m) * rs;
+      const float dnorm = doutr[c] * gain[c];
+      dxr[c] += (dnorm - static_cast<float>(dnorm_mean) -
+                 norm * static_cast<float>(dnorm_norm_mean)) *
+                rs;
+      dgain[c] += doutr[c] * norm;
+      dbias[c] += doutr[c];
+    }
+  }
+}
+
+/// out[M, O] = x[M, C] * W^T + bias, with W stored [O, C].
+void linear_forward(float* out, const float* x, const float* weight, const float* bias,
+                    std::size_t m, std::size_t in_dim, std::size_t out_dim) {
+  sgemm(false, true, m, out_dim, in_dim, 1.0f, x, in_dim, weight, in_dim, 0.0f, out, out_dim);
+  if (bias != nullptr) tensor::add_row_bias(out, bias, m, out_dim);
+}
+
+/// Accumulates dx (optional), dW and db for the layer above.
+void linear_backward(float* dx, float* dweight, float* dbias, const float* dout,
+                     const float* x, const float* weight, std::size_t m, std::size_t in_dim,
+                     std::size_t out_dim) {
+  if (dx != nullptr) {
+    sgemm(false, false, m, in_dim, out_dim, 1.0f, dout, out_dim, weight, in_dim, 1.0f, dx,
+          in_dim);
+  }
+  sgemm(true, false, out_dim, in_dim, m, 1.0f, dout, out_dim, x, in_dim, 1.0f, dweight, in_dim);
+  if (dbias != nullptr) {
+    for (std::size_t r = 0; r < m; ++r) {
+      const float* dout_row = dout + r * out_dim;
+      for (std::size_t o = 0; o < out_dim; ++o) dbias[o] += dout_row[o];
+    }
+  }
+}
+
+/// Causal multi-head attention. qkv is (B,T,3C): [q | k | v] per position.
+/// Writes softmax probabilities (B,NH,T,T; upper triangle zero) and the
+/// context output atty (B,T,C).
+void attention_forward(float* atty, float* probs, const float* qkv, std::size_t batch,
+                       std::size_t seq, std::size_t c, std::size_t n_heads) {
+  const std::size_t hs = c / n_heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hs));
+  util::parallel_for_each(batch * n_heads, [&](std::size_t bh) {
+    const std::size_t b = bh / n_heads;
+    const std::size_t h = bh % n_heads;
+    const float* qkv_b = qkv + b * seq * 3 * c;
+    float* probs_bh = probs + (b * n_heads + h) * seq * seq;
+    float* atty_b = atty + b * seq * c;
+    for (std::size_t t = 0; t < seq; ++t) {
+      const float* q = qkv_b + t * 3 * c + h * hs;
+      float* row = probs_bh + t * seq;
+      // Scores for t2 <= t; the rest of the row stays zero.
+      for (std::size_t t2 = 0; t2 <= t; ++t2) {
+        const float* k = qkv_b + t2 * 3 * c + c + h * hs;
+        row[t2] = tensor::dot(q, k, hs) * scale;
+      }
+      tensor::softmax_row(row, row, t + 1);
+      std::fill(row + t + 1, row + seq, 0.0f);
+      float* out = atty_b + t * c + h * hs;
+      std::fill(out, out + hs, 0.0f);
+      for (std::size_t t2 = 0; t2 <= t; ++t2) {
+        const float* v = qkv_b + t2 * 3 * c + 2 * c + h * hs;
+        tensor::axpy(row[t2], v, out, hs);
+      }
+    }
+  }, 1);
+}
+
+/// Backward of attention_forward. datty is the gradient wrt atty; d_att is a
+/// scratch buffer (B,NH,T,T). Accumulates into dqkv (B,T,3C).
+void attention_backward(float* dqkv, float* d_att, const float* datty, const float* probs,
+                        const float* qkv, std::size_t batch, std::size_t seq, std::size_t c,
+                        std::size_t n_heads) {
+  const std::size_t hs = c / n_heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hs));
+  util::parallel_for_each(batch * n_heads, [&](std::size_t bh) {
+    const std::size_t b = bh / n_heads;
+    const std::size_t h = bh % n_heads;
+    const float* qkv_b = qkv + b * seq * 3 * c;
+    float* dqkv_b = dqkv + b * seq * 3 * c;
+    const float* probs_bh = probs + (b * n_heads + h) * seq * seq;
+    float* datt_bh = d_att + (b * n_heads + h) * seq * seq;
+    const float* datty_b = datty + b * seq * c;
+
+    for (std::size_t t = 0; t < seq; ++t) {
+      const float* dout = datty_b + t * c + h * hs;
+      const float* att_row = probs_bh + t * seq;
+      float* datt_row = datt_bh + t * seq;
+
+      // d probs and d v.
+      for (std::size_t t2 = 0; t2 <= t; ++t2) {
+        const float* v = qkv_b + t2 * 3 * c + 2 * c + h * hs;
+        float* dv = dqkv_b + t2 * 3 * c + 2 * c + h * hs;
+        datt_row[t2] = tensor::dot(dout, v, hs);
+        tensor::axpy(att_row[t2], dout, dv, hs);
+      }
+      // Softmax backward: dpre = att * (datt - sum(datt * att)).
+      double dot_sum = 0.0;
+      for (std::size_t t2 = 0; t2 <= t; ++t2) dot_sum += datt_row[t2] * att_row[t2];
+      const float* q = qkv_b + t * 3 * c + h * hs;
+      float* dq = dqkv_b + t * 3 * c + h * hs;
+      for (std::size_t t2 = 0; t2 <= t; ++t2) {
+        const float dpre = att_row[t2] * (datt_row[t2] - static_cast<float>(dot_sum)) * scale;
+        const float* k = qkv_b + t2 * 3 * c + c + h * hs;
+        float* dk = dqkv_b + t2 * 3 * c + c + h * hs;
+        tensor::axpy(dpre, k, dq, hs);
+        tensor::axpy(dpre, q, dk, hs);
+      }
+    }
+  }, 1);
+}
+
+void resize_if_needed(std::vector<float>& buffer, std::size_t size) {
+  if (buffer.size() < size) buffer.assign(size, 0.0f);
+}
+
+}  // namespace
+
+std::size_t GptConfig::param_count() const {
+  const std::size_t c = d_model;
+  std::size_t per_block = 2 * c            // ln1
+                          + 3 * c * c + 3 * c  // qkv
+                          + c * c + c          // attn proj
+                          + 2 * c              // ln2
+                          + d_ff * c + d_ff    // fc
+                          + c * d_ff + c;      // fc proj
+  return vocab_size * c + ctx_len * c + n_layers * per_block + 2 * c;
+}
+
+std::string GptConfig::describe() const {
+  return "GptConfig{V=" + std::to_string(vocab_size) + ", T=" + std::to_string(ctx_len) +
+         ", C=" + std::to_string(d_model) + ", H=" + std::to_string(n_heads) +
+         ", L=" + std::to_string(n_layers) + ", F=" + std::to_string(d_ff) +
+         ", params=" + std::to_string(param_count()) + "}";
+}
+
+GptModel::GptModel(GptConfig config) : config_(config) {
+  config_.validate();
+  const std::size_t c = config_.d_model;
+  const std::size_t f = config_.d_ff;
+  layout_.wte = params_.register_segment("wte", config_.vocab_size * c, false);
+  layout_.wpe = params_.register_segment("wpe", config_.ctx_len * c, false);
+  layout_.blocks.resize(config_.n_layers);
+  for (std::size_t l = 0; l < config_.n_layers; ++l) {
+    auto& blk = layout_.blocks[l];
+    const std::string p = "block" + std::to_string(l) + ".";
+    blk.ln1_g = params_.register_segment(p + "ln1.g", c, false);
+    blk.ln1_b = params_.register_segment(p + "ln1.b", c, false);
+    blk.qkv_w = params_.register_segment(p + "attn.qkv.w", 3 * c * c, true);
+    blk.qkv_b = params_.register_segment(p + "attn.qkv.b", 3 * c, false);
+    blk.attn_proj_w = params_.register_segment(p + "attn.proj.w", c * c, true);
+    blk.attn_proj_b = params_.register_segment(p + "attn.proj.b", c, false);
+    blk.ln2_g = params_.register_segment(p + "ln2.g", c, false);
+    blk.ln2_b = params_.register_segment(p + "ln2.b", c, false);
+    blk.fc_w = params_.register_segment(p + "mlp.fc.w", f * c, true);
+    blk.fc_b = params_.register_segment(p + "mlp.fc.b", f, false);
+    blk.fc_proj_w = params_.register_segment(p + "mlp.proj.w", c * f, true);
+    blk.fc_proj_b = params_.register_segment(p + "mlp.proj.b", c, false);
+  }
+  layout_.lnf_g = params_.register_segment("lnf.g", c, false);
+  layout_.lnf_b = params_.register_segment("lnf.b", c, false);
+  params_.allocate();
+  if (params_.total_size() != config_.param_count()) {
+    throw std::logic_error("GptModel: parameter layout / param_count mismatch");
+  }
+}
+
+void GptModel::init_weights(util::Rng& rng) {
+  constexpr float kStd = 0.02f;
+  const float residual_scale =
+      1.0f / std::sqrt(2.0f * static_cast<float>(config_.n_layers));
+  auto fill_gauss = [&](std::size_t segment, float stddev) {
+    float* p = params_.param(segment);
+    const std::size_t n = params_.segments()[segment].size;
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = static_cast<float>(rng.next_gaussian()) * stddev;
+    }
+  };
+  auto fill_const = [&](std::size_t segment, float value) {
+    float* p = params_.param(segment);
+    const std::size_t n = params_.segments()[segment].size;
+    std::fill(p, p + n, value);
+  };
+
+  fill_gauss(layout_.wte, kStd);
+  fill_gauss(layout_.wpe, kStd);
+  for (const auto& blk : layout_.blocks) {
+    fill_const(blk.ln1_g, 1.0f);
+    fill_const(blk.ln1_b, 0.0f);
+    fill_gauss(blk.qkv_w, kStd);
+    fill_const(blk.qkv_b, 0.0f);
+    fill_gauss(blk.attn_proj_w, kStd * residual_scale);
+    fill_const(blk.attn_proj_b, 0.0f);
+    fill_const(blk.ln2_g, 1.0f);
+    fill_const(blk.ln2_b, 0.0f);
+    fill_gauss(blk.fc_w, kStd);
+    fill_const(blk.fc_b, 0.0f);
+    fill_gauss(blk.fc_proj_w, kStd * residual_scale);
+    fill_const(blk.fc_proj_b, 0.0f);
+  }
+  fill_const(layout_.lnf_g, 1.0f);
+  fill_const(layout_.lnf_b, 0.0f);
+}
+
+void GptModel::ensure_activation_capacity(GptActivations& acts, std::size_t batch,
+                                          std::size_t seq) const {
+  const std::size_t c = config_.d_model;
+  const std::size_t f = config_.d_ff;
+  const std::size_t v = config_.vocab_size;
+  const std::size_t l = config_.n_layers;
+  const std::size_t nh = config_.n_heads;
+  const std::size_t bt = batch * seq;
+  acts.batch = batch;
+  acts.seq = seq;
+  resize_if_needed(acts.encoded, bt * c);
+  resize_if_needed(acts.residual, (l + 1) * bt * c);
+  resize_if_needed(acts.ln1, l * bt * c);
+  resize_if_needed(acts.ln1_mean, l * bt);
+  resize_if_needed(acts.ln1_rstd, l * bt);
+  resize_if_needed(acts.qkv, l * bt * 3 * c);
+  resize_if_needed(acts.att_probs, l * batch * nh * seq * seq);
+  resize_if_needed(acts.atty, l * bt * c);
+  resize_if_needed(acts.attproj, l * bt * c);
+  resize_if_needed(acts.ln2, l * bt * c);
+  resize_if_needed(acts.ln2_mean, l * bt);
+  resize_if_needed(acts.ln2_rstd, l * bt);
+  resize_if_needed(acts.fch, l * bt * f);
+  resize_if_needed(acts.fch_gelu, l * bt * f);
+  resize_if_needed(acts.fcproj, l * bt * c);
+  resize_if_needed(acts.lnf, bt * c);
+  resize_if_needed(acts.lnf_mean, bt);
+  resize_if_needed(acts.lnf_rstd, bt);
+  resize_if_needed(acts.logits, bt * v);
+  resize_if_needed(acts.probs, bt * v);
+  resize_if_needed(acts.d_residual, bt * c);
+  resize_if_needed(acts.d_ln, bt * c);
+  resize_if_needed(acts.d_qkv, bt * 3 * c);
+  resize_if_needed(acts.d_atty, bt * c);
+  resize_if_needed(acts.d_att, batch * nh * seq * seq);
+  resize_if_needed(acts.d_fch, bt * f);
+  resize_if_needed(acts.d_fch_gelu, bt * f);
+  resize_if_needed(acts.d_logits, bt * v);
+}
+
+float GptModel::forward(GptActivations& acts, const Token* tokens, const Token* targets,
+                        std::size_t batch, std::size_t seq) const {
+  if (seq > config_.ctx_len) {
+    throw std::invalid_argument("forward: seq exceeds ctx_len");
+  }
+  ensure_activation_capacity(acts, batch, seq);
+  const std::size_t c = config_.d_model;
+  const std::size_t f = config_.d_ff;
+  const std::size_t v = config_.vocab_size;
+  const std::size_t nh = config_.n_heads;
+  const std::size_t bt = batch * seq;
+  const float* wte = params_.param(layout_.wte);
+  const float* wpe = params_.param(layout_.wpe);
+
+  // Embeddings.
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t t = 0; t < seq; ++t) {
+      const Token token = tokens[b * seq + t];
+      if (token < 0 || static_cast<std::size_t>(token) >= v) {
+        throw std::out_of_range("forward: token id out of range");
+      }
+      float* out = acts.encoded.data() + (b * seq + t) * c;
+      const float* te = wte + static_cast<std::size_t>(token) * c;
+      const float* pe = wpe + t * c;
+      for (std::size_t i = 0; i < c; ++i) out[i] = te[i] + pe[i];
+    }
+  }
+  std::memcpy(acts.residual.data(), acts.encoded.data(), bt * c * sizeof(float));
+
+  for (std::size_t l = 0; l < config_.n_layers; ++l) {
+    const auto& blk = layout_.blocks[l];
+    const float* res_in = acts.residual.data() + l * bt * c;
+    float* res_out = acts.residual.data() + (l + 1) * bt * c;
+    float* ln1 = acts.ln1.data() + l * bt * c;
+    float* qkv = acts.qkv.data() + l * bt * 3 * c;
+    float* probs = acts.att_probs.data() + l * batch * nh * seq * seq;
+    float* atty = acts.atty.data() + l * bt * c;
+    // attproj buffer stores the post-attention residual stream (input to
+    // ln2); the projection itself is folded in before the residual add.
+    float* res2 = acts.attproj.data() + l * bt * c;
+    float* ln2 = acts.ln2.data() + l * bt * c;
+    float* fch = acts.fch.data() + l * bt * f;
+    float* fch_gelu = acts.fch_gelu.data() + l * bt * f;
+    float* fcproj = acts.fcproj.data() + l * bt * c;
+
+    layernorm_forward(ln1, acts.ln1_mean.data() + l * bt, acts.ln1_rstd.data() + l * bt,
+                      res_in, params_.param(blk.ln1_g), params_.param(blk.ln1_b), bt, c);
+    linear_forward(qkv, ln1, params_.param(blk.qkv_w), params_.param(blk.qkv_b), bt, c, 3 * c);
+    attention_forward(atty, probs, qkv, batch, seq, c, nh);
+    linear_forward(res2, atty, params_.param(blk.attn_proj_w), params_.param(blk.attn_proj_b),
+                   bt, c, c);
+    tensor::add_inplace(res2, res_in, bt * c);
+
+    layernorm_forward(ln2, acts.ln2_mean.data() + l * bt, acts.ln2_rstd.data() + l * bt, res2,
+                      params_.param(blk.ln2_g), params_.param(blk.ln2_b), bt, c);
+    linear_forward(fch, ln2, params_.param(blk.fc_w), params_.param(blk.fc_b), bt, c, f);
+    for (std::size_t i = 0; i < bt * f; ++i) fch_gelu[i] = tensor::gelu(fch[i]);
+    linear_forward(fcproj, fch_gelu, params_.param(blk.fc_proj_w),
+                   params_.param(blk.fc_proj_b), bt, f, c);
+    for (std::size_t i = 0; i < bt * c; ++i) res_out[i] = res2[i] + fcproj[i];
+  }
+
+  const float* res_final = acts.residual.data() + config_.n_layers * bt * c;
+  layernorm_forward(acts.lnf.data(), acts.lnf_mean.data(), acts.lnf_rstd.data(), res_final,
+                    params_.param(layout_.lnf_g), params_.param(layout_.lnf_b), bt, c);
+  // Tied LM head: logits = lnf * wte^T.
+  sgemm(false, true, bt, v, c, 1.0f, acts.lnf.data(), c, wte, c, 0.0f, acts.logits.data(), v);
+
+  if (targets == nullptr) return 0.0f;
+
+  // Softmax + mean cross-entropy over valid targets.
+  std::size_t valid = 0;
+  double loss_sum = 0.0;
+  for (std::size_t i = 0; i < bt; ++i) {
+    tensor::softmax_row(acts.logits.data() + i * v, acts.probs.data() + i * v, v);
+    const Token target = targets[i];
+    if (target == kIgnoreTarget) continue;
+    if (target < 0 || static_cast<std::size_t>(target) >= v) {
+      throw std::out_of_range("forward: target id out of range");
+    }
+    ++valid;
+    const float p = acts.probs[i * v + static_cast<std::size_t>(target)];
+    loss_sum += -std::log(std::max(p, 1e-30f));
+  }
+  return valid > 0 ? static_cast<float>(loss_sum / static_cast<double>(valid)) : 0.0f;
+}
+
+void GptModel::backward(GptActivations& acts, const Token* tokens, const Token* targets,
+                        std::size_t batch, std::size_t seq) {
+  const std::size_t c = config_.d_model;
+  const std::size_t f = config_.d_ff;
+  const std::size_t v = config_.vocab_size;
+  const std::size_t nh = config_.n_heads;
+  const std::size_t bt = batch * seq;
+  float* wte = params_.param(layout_.wte);
+  float* d_wte = params_.grad(layout_.wte);
+  float* d_wpe = params_.grad(layout_.wpe);
+
+  // dLoss/dlogits from softmax cross-entropy.
+  std::size_t valid = 0;
+  for (std::size_t i = 0; i < bt; ++i) {
+    if (targets[i] != kIgnoreTarget) ++valid;
+  }
+  if (valid == 0) return;
+  const float inv_valid = 1.0f / static_cast<float>(valid);
+  std::memset(acts.d_logits.data(), 0, bt * v * sizeof(float));
+  for (std::size_t i = 0; i < bt; ++i) {
+    const Token target = targets[i];
+    if (target == kIgnoreTarget) continue;
+    const float* p = acts.probs.data() + i * v;
+    float* dl = acts.d_logits.data() + i * v;
+    for (std::size_t j = 0; j < v; ++j) dl[j] = p[j] * inv_valid;
+    dl[static_cast<std::size_t>(target)] -= inv_valid;
+  }
+
+  // Tied head backward: d_lnf = d_logits * wte; d_wte += d_logits^T * lnf.
+  std::memset(acts.d_ln.data(), 0, bt * c * sizeof(float));
+  sgemm(false, false, bt, c, v, 1.0f, acts.d_logits.data(), v, wte, c, 1.0f, acts.d_ln.data(),
+        c);
+  sgemm(true, false, v, c, bt, 1.0f, acts.d_logits.data(), v, acts.lnf.data(), c, 1.0f, d_wte,
+        c);
+
+  // Final LayerNorm backward into the residual-stream gradient.
+  std::memset(acts.d_residual.data(), 0, bt * c * sizeof(float));
+  const float* res_final = acts.residual.data() + config_.n_layers * bt * c;
+  layernorm_backward(acts.d_residual.data(), params_.grad(layout_.lnf_g),
+                     params_.grad(layout_.lnf_b), acts.d_ln.data(), res_final,
+                     acts.lnf_mean.data(), acts.lnf_rstd.data(), params_.param(layout_.lnf_g),
+                     bt, c);
+
+  for (std::size_t li = config_.n_layers; li-- > 0;) {
+    const auto& blk = layout_.blocks[li];
+    const float* res_in = acts.residual.data() + li * bt * c;
+    const float* ln1 = acts.ln1.data() + li * bt * c;
+    const float* qkv = acts.qkv.data() + li * bt * 3 * c;
+    const float* probs = acts.att_probs.data() + li * batch * nh * seq * seq;
+    const float* atty = acts.atty.data() + li * bt * c;
+    const float* res2 = acts.attproj.data() + li * bt * c;
+    const float* ln2 = acts.ln2.data() + li * bt * c;
+    const float* fch = acts.fch.data() + li * bt * f;
+    const float* fch_gelu = acts.fch_gelu.data() + li * bt * f;
+
+    // d_residual currently holds dL/d(res_out) = dL/d(res2 + fcproj).
+    // MLP projection backward.
+    std::memset(acts.d_fch_gelu.data(), 0, bt * f * sizeof(float));
+    linear_backward(acts.d_fch_gelu.data(), params_.grad(blk.fc_proj_w),
+                    params_.grad(blk.fc_proj_b), acts.d_residual.data(), fch_gelu,
+                    params_.param(blk.fc_proj_w), bt, f, c);
+    // GELU backward.
+    for (std::size_t i = 0; i < bt * f; ++i) {
+      acts.d_fch[i] = acts.d_fch_gelu[i] * tensor::gelu_grad(fch[i]);
+    }
+    // MLP input layer backward; d_ln receives dL/d(ln2 out).
+    std::memset(acts.d_ln.data(), 0, bt * c * sizeof(float));
+    linear_backward(acts.d_ln.data(), params_.grad(blk.fc_w), params_.grad(blk.fc_b),
+                    acts.d_fch.data(), ln2, params_.param(blk.fc_w), bt, c, f);
+    // ln2 backward accumulates into d_residual (res2 feeds both the MLP
+    // branch via ln2 and the residual path directly).
+    layernorm_backward(acts.d_residual.data(), params_.grad(blk.ln2_g),
+                       params_.grad(blk.ln2_b), acts.d_ln.data(), res2,
+                       acts.ln2_mean.data() + li * bt, acts.ln2_rstd.data() + li * bt,
+                       params_.param(blk.ln2_g), bt, c);
+
+    // Attention projection backward.
+    std::memset(acts.d_atty.data(), 0, bt * c * sizeof(float));
+    linear_backward(acts.d_atty.data(), params_.grad(blk.attn_proj_w),
+                    params_.grad(blk.attn_proj_b), acts.d_residual.data(), atty,
+                    params_.param(blk.attn_proj_w), bt, c, c);
+    // Attention core backward.
+    std::memset(acts.d_qkv.data(), 0, bt * 3 * c * sizeof(float));
+    attention_backward(acts.d_qkv.data(), acts.d_att.data(), acts.d_atty.data(), probs, qkv,
+                       batch, seq, c, nh);
+    // QKV projection backward; d_ln receives dL/d(ln1 out).
+    std::memset(acts.d_ln.data(), 0, bt * c * sizeof(float));
+    linear_backward(acts.d_ln.data(), params_.grad(blk.qkv_w), params_.grad(blk.qkv_b),
+                    acts.d_qkv.data(), ln1, params_.param(blk.qkv_w), bt, c, 3 * c);
+    // ln1 backward accumulates into d_residual (which already carries the
+    // pass-through gradient of the residual connection).
+    layernorm_backward(acts.d_residual.data(), params_.grad(blk.ln1_g),
+                       params_.grad(blk.ln1_b), acts.d_ln.data(), res_in,
+                       acts.ln1_mean.data() + li * bt, acts.ln1_rstd.data() + li * bt,
+                       params_.param(blk.ln1_g), bt, c);
+  }
+
+  // Embedding backward.
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t t = 0; t < seq; ++t) {
+      const Token token = tokens[b * seq + t];
+      const float* d_enc = acts.d_residual.data() + (b * seq + t) * c;
+      tensor::add_inplace(d_wte + static_cast<std::size_t>(token) * c, d_enc, c);
+      tensor::add_inplace(d_wpe + t * c, d_enc, c);
+    }
+  }
+}
+
+float GptModel::evaluate_loss(GptActivations& acts, const std::vector<Token>& tokens,
+                              std::size_t batch, std::size_t seq) const {
+  if (tokens.size() < batch * seq + 1) {
+    throw std::invalid_argument("evaluate_loss: need batch*seq+1 tokens");
+  }
+  std::vector<Token> inputs(batch * seq);
+  std::vector<Token> targets(batch * seq);
+  for (std::size_t i = 0; i < batch * seq; ++i) {
+    inputs[i] = tokens[i];
+    targets[i] = tokens[i + 1];
+  }
+  return forward(acts, inputs.data(), targets.data(), batch, seq);
+}
+
+GptInference::GptInference(const GptModel& model) : model_(model) {
+  const auto& cfg = model.config();
+  k_cache_.resize(cfg.n_layers);
+  v_cache_.resize(cfg.n_layers);
+  for (std::size_t l = 0; l < cfg.n_layers; ++l) {
+    k_cache_[l].assign(cfg.ctx_len * cfg.d_model, 0.0f);
+    v_cache_[l].assign(cfg.ctx_len * cfg.d_model, 0.0f);
+  }
+  x_.assign(cfg.d_model, 0.0f);
+  ln_.assign(cfg.d_model, 0.0f);
+  qkv_.assign(3 * cfg.d_model, 0.0f);
+  atty_.assign(cfg.d_model, 0.0f);
+  proj_.assign(cfg.d_model, 0.0f);
+  fch_.assign(cfg.d_ff, 0.0f);
+  scores_.assign(cfg.ctx_len, 0.0f);
+  logits_.assign(cfg.vocab_size, 0.0f);
+}
+
+void GptInference::reset() { position_ = 0; }
+
+const std::vector<float>& GptInference::step(Token token) {
+  const auto& cfg = model_.config();
+  const auto& layout = model_.layout();
+  const auto& params = model_.params();
+  const std::size_t c = cfg.d_model;
+  const std::size_t f = cfg.d_ff;
+  const std::size_t nh = cfg.n_heads;
+  const std::size_t hs = cfg.head_dim();
+  if (position_ >= cfg.ctx_len) {
+    throw std::length_error("GptInference: context window exhausted");
+  }
+  if (token < 0 || static_cast<std::size_t>(token) >= cfg.vocab_size) {
+    throw std::out_of_range("GptInference: token id out of range");
+  }
+  const std::size_t t = position_;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hs));
+  const float* wte = params.param(layout.wte);
+  const float* wpe = params.param(layout.wpe);
+
+  for (std::size_t i = 0; i < c; ++i) {
+    x_[i] = wte[static_cast<std::size_t>(token) * c + i] + wpe[t * c + i];
+  }
+
+  float mean_scratch, rstd_scratch;
+  for (std::size_t l = 0; l < cfg.n_layers; ++l) {
+    const auto& blk = layout.blocks[l];
+    layernorm_forward(ln_.data(), &mean_scratch, &rstd_scratch, x_.data(),
+                      params.param(blk.ln1_g), params.param(blk.ln1_b), 1, c);
+    linear_forward(qkv_.data(), ln_.data(), params.param(blk.qkv_w), params.param(blk.qkv_b),
+                   1, c, 3 * c);
+    std::memcpy(k_cache_[l].data() + t * c, qkv_.data() + c, c * sizeof(float));
+    std::memcpy(v_cache_[l].data() + t * c, qkv_.data() + 2 * c, c * sizeof(float));
+
+    for (std::size_t h = 0; h < nh; ++h) {
+      const float* q = qkv_.data() + h * hs;
+      for (std::size_t t2 = 0; t2 <= t; ++t2) {
+        scores_[t2] = tensor::dot(q, k_cache_[l].data() + t2 * c + h * hs, hs) * scale;
+      }
+      tensor::softmax_row(scores_.data(), scores_.data(), t + 1);
+      float* out = atty_.data() + h * hs;
+      std::fill(out, out + hs, 0.0f);
+      for (std::size_t t2 = 0; t2 <= t; ++t2) {
+        tensor::axpy(scores_[t2], v_cache_[l].data() + t2 * c + h * hs, out, hs);
+      }
+    }
+    linear_forward(proj_.data(), atty_.data(), params.param(blk.attn_proj_w),
+                   params.param(blk.attn_proj_b), 1, c, c);
+    tensor::add_inplace(x_.data(), proj_.data(), c);
+
+    layernorm_forward(ln_.data(), &mean_scratch, &rstd_scratch, x_.data(),
+                      params.param(blk.ln2_g), params.param(blk.ln2_b), 1, c);
+    linear_forward(fch_.data(), ln_.data(), params.param(blk.fc_w), params.param(blk.fc_b), 1,
+                   c, f);
+    for (std::size_t i = 0; i < f; ++i) fch_[i] = tensor::gelu(fch_[i]);
+    linear_forward(proj_.data(), fch_.data(), params.param(blk.fc_proj_w),
+                   params.param(blk.fc_proj_b), 1, f, c);
+    tensor::add_inplace(x_.data(), proj_.data(), c);
+  }
+
+  layernorm_forward(ln_.data(), &mean_scratch, &rstd_scratch, x_.data(),
+                    params.param(layout.lnf_g), params.param(layout.lnf_b), 1, c);
+  sgemm(false, true, 1, cfg.vocab_size, c, 1.0f, ln_.data(), c, wte, c, 0.0f, logits_.data(),
+        cfg.vocab_size);
+  ++position_;
+  return logits_;
+}
+
+const std::vector<float>& GptInference::prompt(const std::vector<Token>& tokens) {
+  if (tokens.empty()) throw std::invalid_argument("prompt: empty token sequence");
+  for (Token token : tokens) step(token);
+  return logits_;
+}
+
+}  // namespace astromlab::nn

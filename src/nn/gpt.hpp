@@ -1,0 +1,139 @@
+#pragma once
+// Decoder-only transformer language model (GPT-2 family) with manual
+// forward and backward passes.
+//
+// Architecture: token + learned positional embeddings, pre-LayerNorm blocks
+// (LN → causal multi-head attention → residual, LN → GELU MLP → residual),
+// final LayerNorm, LM head tied to the token embedding. Training uses full
+// teacher-forced sequences; inference uses an incremental KV cache
+// (`GptInference`). Targets equal to `kIgnoreTarget` are excluded from the
+// loss — the SFT trainer uses this to train only on assistant spans.
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/config.hpp"
+#include "nn/params.hpp"
+#include "util/rng.hpp"
+
+namespace astromlab::nn {
+
+using Token = std::int32_t;
+inline constexpr Token kIgnoreTarget = -1;
+
+/// Activation workspace for one (batch, seq_len) forward/backward pass.
+/// Reused across steps; reallocated only when B or T grows.
+struct GptActivations {
+  std::size_t batch = 0;
+  std::size_t seq = 0;
+  // Forward buffers.
+  std::vector<float> encoded;        // (B,T,C) embeddings
+  std::vector<float> residual;       // (L+1,B,T,C) residual stream inputs
+  std::vector<float> ln1, ln1_mean, ln1_rstd;
+  std::vector<float> qkv;            // (L,B,T,3C)
+  std::vector<float> att_probs;      // (L,B,NH,T,T)
+  std::vector<float> atty;           // (L,B,T,C)
+  std::vector<float> attproj;        // (L,B,T,C)
+  std::vector<float> ln2, ln2_mean, ln2_rstd;
+  std::vector<float> fch;            // (L,B,T,F) pre-GELU
+  std::vector<float> fch_gelu;       // (L,B,T,F)
+  std::vector<float> fcproj;         // (L,B,T,C)
+  std::vector<float> lnf, lnf_mean, lnf_rstd;
+  std::vector<float> logits;         // (B,T,V)
+  std::vector<float> probs;          // (B,T,V)
+  // Backward buffers.
+  std::vector<float> d_residual;     // (B,T,C) running residual gradient
+  std::vector<float> d_ln;           // (B,T,C)
+  std::vector<float> d_qkv;          // (B,T,3C)
+  std::vector<float> d_atty;         // (B,T,C)
+  std::vector<float> d_att;          // (B,NH,T,T)
+  std::vector<float> d_fch;          // (B,T,F)
+  std::vector<float> d_fch_gelu;     // (B,T,F)
+  std::vector<float> d_logits;       // (B,T,V)
+};
+
+class GptModel {
+ public:
+  explicit GptModel(GptConfig config);
+
+  const GptConfig& config() const { return config_; }
+  ParamTable& params() { return params_; }
+  const ParamTable& params() const { return params_; }
+  std::size_t param_count() const { return params_.total_size(); }
+
+  /// GPT-2 initialisation: N(0, 0.02) weights, residual projections scaled
+  /// by 1/sqrt(2L), zero biases, unit LayerNorm gains.
+  void init_weights(util::Rng& rng);
+
+  /// Forward pass over `tokens` (B*T ids, row-major) computing logits; if
+  /// `targets` is non-null also computes mean cross-entropy over targets
+  /// != kIgnoreTarget and returns it (otherwise returns 0).
+  float forward(GptActivations& acts, const Token* tokens, const Token* targets,
+                std::size_t batch, std::size_t seq) const;
+
+  /// Backward pass; `forward` with targets must have been called on the
+  /// same activations. Accumulates into the ParamTable gradient buffer.
+  void backward(GptActivations& acts, const Token* tokens, const Token* targets,
+                std::size_t batch, std::size_t seq);
+
+  /// Mean cross-entropy of `tokens` → shifted next-token targets
+  /// (convenience for perplexity evaluation; no gradients).
+  float evaluate_loss(GptActivations& acts, const std::vector<Token>& tokens,
+                      std::size_t batch, std::size_t seq) const;
+
+  // Named segment indices (public for checkpointing and tests).
+  struct Layout {
+    std::size_t wte, wpe;
+    struct Block {
+      std::size_t ln1_g, ln1_b;
+      std::size_t qkv_w, qkv_b;
+      std::size_t attn_proj_w, attn_proj_b;
+      std::size_t ln2_g, ln2_b;
+      std::size_t fc_w, fc_b;
+      std::size_t fc_proj_w, fc_proj_b;
+    };
+    std::vector<Block> blocks;
+    std::size_t lnf_g, lnf_b;
+  };
+  const Layout& layout() const { return layout_; }
+
+ private:
+  void ensure_activation_capacity(GptActivations& acts, std::size_t batch,
+                                  std::size_t seq) const;
+
+  GptConfig config_;
+  ParamTable params_;
+  Layout layout_;
+};
+
+/// Incremental single-sequence inference with a KV cache. Feed tokens one
+/// at a time; logits for the latest position are available after each step.
+class GptInference {
+ public:
+  explicit GptInference(const GptModel& model);
+
+  /// Resets the cache to an empty sequence.
+  void reset();
+
+  /// Appends one token and returns the logits over the vocabulary for the
+  /// next position. `position()` tokens must be < ctx_len.
+  const std::vector<float>& step(Token token);
+
+  /// Feeds a whole prompt; returns logits after the final token.
+  const std::vector<float>& prompt(const std::vector<Token>& tokens);
+
+  std::size_t position() const { return position_; }
+  const GptModel& model() const { return model_; }
+
+ private:
+  const GptModel& model_;
+  std::size_t position_ = 0;
+  // Per layer: cached keys/values, (ctx, C) each.
+  std::vector<std::vector<float>> k_cache_;
+  std::vector<std::vector<float>> v_cache_;
+  // Scratch.
+  std::vector<float> x_, ln_, qkv_, atty_, proj_, fch_, scores_;
+  std::vector<float> logits_;
+};
+
+}  // namespace astromlab::nn

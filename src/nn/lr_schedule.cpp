@@ -1,0 +1,30 @@
+#include "nn/lr_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace astromlab::nn {
+
+CosineSchedule::CosineSchedule(float base_lr, std::size_t total_steps, double warmup_ratio,
+                               double min_lr_ratio)
+    : base_lr_(base_lr),
+      total_steps_(std::max<std::size_t>(total_steps, 1)),
+      warmup_steps_(static_cast<std::size_t>(warmup_ratio * static_cast<double>(total_steps))),
+      min_lr_ratio_(min_lr_ratio) {}
+
+float CosineSchedule::lr(std::size_t step) const {
+  if (warmup_steps_ > 0 && step < warmup_steps_) {
+    // Linear ramp; step+1 so the first step is non-zero.
+    return base_lr_ * static_cast<float>(step + 1) / static_cast<float>(warmup_steps_);
+  }
+  const std::size_t decay_total = total_steps_ > warmup_steps_
+                                      ? total_steps_ - warmup_steps_
+                                      : 1;
+  const std::size_t decay_step = std::min(step - warmup_steps_, decay_total);
+  const double progress = static_cast<double>(decay_step) / static_cast<double>(decay_total);
+  const double cosine = 0.5 * (1.0 + std::cos(progress * 3.14159265358979323846));
+  const double floor = min_lr_ratio_;
+  return base_lr_ * static_cast<float>(floor + (1.0 - floor) * cosine);
+}
+
+}  // namespace astromlab::nn

@@ -1,0 +1,47 @@
+#pragma once
+// Learning-rate schedules.
+//
+// The paper uses linear warmup (warmup ratio 0.03) followed by cosine decay
+// (Loshchilov & Hutter 2016) for both CPT and SFT. `CosineSchedule`
+// reproduces exactly that shape; `ConstantSchedule` exists for ablations.
+
+#include <cstddef>
+
+namespace astromlab::nn {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Learning rate for 0-based step `step` out of the configured total.
+  virtual float lr(std::size_t step) const = 0;
+};
+
+class ConstantSchedule final : public LrSchedule {
+ public:
+  explicit ConstantSchedule(float base_lr) : base_lr_(base_lr) {}
+  float lr(std::size_t) const override { return base_lr_; }
+
+ private:
+  float base_lr_;
+};
+
+/// Linear warmup over `warmup_ratio * total_steps` steps, then cosine decay
+/// from base_lr to min_lr_ratio * base_lr at the final step.
+class CosineSchedule final : public LrSchedule {
+ public:
+  CosineSchedule(float base_lr, std::size_t total_steps, double warmup_ratio = 0.03,
+                 double min_lr_ratio = 0.1);
+
+  float lr(std::size_t step) const override;
+
+  std::size_t warmup_steps() const { return warmup_steps_; }
+  std::size_t total_steps() const { return total_steps_; }
+
+ private:
+  float base_lr_;
+  std::size_t total_steps_;
+  std::size_t warmup_steps_;
+  double min_lr_ratio_;
+};
+
+}  // namespace astromlab::nn

@@ -1,0 +1,41 @@
+#include "nn/params.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace astromlab::nn {
+
+std::size_t ParamTable::register_segment(std::string name, std::size_t size, bool decay) {
+  if (allocated_) throw std::logic_error("ParamTable: register after allocate");
+  ParamSegment segment;
+  segment.name = std::move(name);
+  segment.offset = total_size_;
+  segment.size = size;
+  segment.decay = decay;
+  segments_.push_back(std::move(segment));
+  total_size_ += size;
+  return segments_.size() - 1;
+}
+
+void ParamTable::allocate() {
+  params_.assign(total_size_, 0.0f);
+  grads_.assign(total_size_, 0.0f);
+  allocated_ = true;
+}
+
+void ParamTable::zero_grads() {
+  std::memset(grads_.data(), 0, grads_.size() * sizeof(float));
+}
+
+double ParamTable::grad_norm() const {
+  double total = 0.0;
+  for (float g : grads_) total += static_cast<double>(g) * g;
+  return std::sqrt(total);
+}
+
+void ParamTable::scale_grads(float factor) {
+  for (float& g : grads_) g *= factor;
+}
+
+}  // namespace astromlab::nn

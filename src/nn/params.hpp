@@ -1,0 +1,64 @@
+#pragma once
+// Flat parameter storage with a named-segment registry.
+//
+// All model parameters live in one contiguous float buffer (gradients in a
+// second, identically laid-out buffer). This gives the optimiser, the
+// gradient-clipping pass and the checkpoint writer a single linear sweep
+// instead of per-tensor bookkeeping — the same layout trick llm.c uses.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace astromlab::nn {
+
+/// A named slice of the flat parameter buffer.
+struct ParamSegment {
+  std::string name;
+  std::size_t offset = 0;
+  std::size_t size = 0;
+  /// Weight decay applies only to matrix weights, not biases/LayerNorm
+  /// gains/embeddings (GPT-2 convention).
+  bool decay = false;
+};
+
+class ParamTable {
+ public:
+  /// Registers a segment; call all registrations before `allocate`.
+  /// Returns the segment index.
+  std::size_t register_segment(std::string name, std::size_t size, bool decay);
+
+  /// Allocates the parameter and gradient buffers (zero-initialised).
+  void allocate();
+
+  std::size_t total_size() const { return total_size_; }
+  const std::vector<ParamSegment>& segments() const { return segments_; }
+
+  float* params() { return params_.data(); }
+  const float* params() const { return params_.data(); }
+  float* grads() { return grads_.data(); }
+  const float* grads() const { return grads_.data(); }
+
+  float* param(std::size_t segment_index) { return params_.data() + segments_[segment_index].offset; }
+  const float* param(std::size_t segment_index) const {
+    return params_.data() + segments_[segment_index].offset;
+  }
+  float* grad(std::size_t segment_index) { return grads_.data() + segments_[segment_index].offset; }
+
+  void zero_grads();
+
+  /// Global L2 norm of the gradient buffer.
+  double grad_norm() const;
+
+  /// Scales all gradients (used by global-norm clipping).
+  void scale_grads(float factor);
+
+ private:
+  std::vector<ParamSegment> segments_;
+  std::vector<float> params_;
+  std::vector<float> grads_;
+  std::size_t total_size_ = 0;
+  bool allocated_ = false;
+};
+
+}  // namespace astromlab::nn

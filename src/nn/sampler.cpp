@@ -1,0 +1,68 @@
+#include "nn/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace astromlab::nn {
+
+Token Sampler::pick(const std::vector<float>& logits, const SampleConfig& config,
+                    util::Rng& rng) {
+  if (config.temperature <= 0.0f) {
+    return static_cast<Token>(
+        std::max_element(logits.begin(), logits.end()) - logits.begin());
+  }
+  std::vector<float> scaled(logits.size());
+  const float inv_temp = 1.0f / config.temperature;
+  for (std::size_t i = 0; i < logits.size(); ++i) scaled[i] = logits[i] * inv_temp;
+
+  if (config.top_k > 0 && config.top_k < scaled.size()) {
+    // Mask everything below the k-th largest logit.
+    std::vector<float> sorted(scaled);
+    std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(config.top_k - 1),
+                     sorted.end(), std::greater<float>());
+    const float threshold = sorted[config.top_k - 1];
+    for (float& s : scaled) {
+      if (s < threshold) s = -1e30f;
+    }
+  }
+
+  std::vector<float> probs(scaled.size());
+  tensor::softmax_row(scaled.data(), probs.data(), scaled.size());
+  double target = rng.next_double();
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    if (target < probs[i]) return static_cast<Token>(i);
+    target -= probs[i];
+  }
+  return static_cast<Token>(probs.size() - 1);
+}
+
+SampleResult Sampler::generate(const std::vector<Token>& prompt_tokens,
+                               const SampleConfig& config, util::Rng& rng) {
+  SampleResult result;
+  inference_.reset();
+  const std::size_t ctx = inference_.model().config().ctx_len;
+  if (prompt_tokens.empty() || prompt_tokens.size() >= ctx) {
+    result.hit_context_limit = prompt_tokens.size() >= ctx;
+    return result;
+  }
+  const std::vector<float>* logits = &inference_.prompt(prompt_tokens);
+  for (std::size_t i = 0; i < config.max_new_tokens; ++i) {
+    const Token next = pick(*logits, config, rng);
+    if (std::find(config.stop_tokens.begin(), config.stop_tokens.end(), next) !=
+        config.stop_tokens.end()) {
+      result.hit_stop = true;
+      return result;
+    }
+    result.tokens.push_back(next);
+    if (inference_.position() >= ctx) {
+      result.hit_context_limit = true;
+      return result;
+    }
+    logits = &inference_.step(next);
+  }
+  return result;
+}
+
+}  // namespace astromlab::nn

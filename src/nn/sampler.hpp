@@ -1,0 +1,48 @@
+#pragma once
+// Autoregressive text generation.
+//
+// The full-instruct benchmarking method generates complete answers (up to
+// 512 tokens in the paper); this sampler drives GptInference with greedy or
+// temperature/top-k decoding and configurable stop tokens. Temperature 0
+// means greedy argmax, matching the paper's deterministic evaluation
+// setting for the token methods.
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/gpt.hpp"
+#include "util/rng.hpp"
+
+namespace astromlab::nn {
+
+struct SampleConfig {
+  float temperature = 0.0f;   ///< 0 = greedy
+  std::size_t top_k = 0;      ///< 0 = full distribution
+  std::size_t max_new_tokens = 128;
+  std::vector<Token> stop_tokens;  ///< generation halts when one is emitted
+};
+
+struct SampleResult {
+  std::vector<Token> tokens;   ///< generated tokens (stop token excluded)
+  bool hit_stop = false;       ///< true if a stop token ended generation
+  bool hit_context_limit = false;
+};
+
+class Sampler {
+ public:
+  explicit Sampler(const GptModel& model) : inference_(model) {}
+
+  /// Generates a continuation of `prompt_tokens`.
+  SampleResult generate(const std::vector<Token>& prompt_tokens, const SampleConfig& config,
+                        util::Rng& rng);
+
+  /// Picks the next token from `logits` under the config (exposed for the
+  /// token-method evaluator and tests).
+  static Token pick(const std::vector<float>& logits, const SampleConfig& config,
+                    util::Rng& rng);
+
+ private:
+  GptInference inference_;
+};
+
+}  // namespace astromlab::nn

@@ -1,0 +1,102 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+#include "util/string_utils.hpp"
+
+namespace astromlab::nn {
+
+Trainer::Trainer(GptModel& model, TrainConfig config) : model_(model), config_(config) {}
+
+std::size_t Trainer::planned_steps(const BatchSource& data) const {
+  if (config_.max_steps > 0) return config_.max_steps;
+  const std::size_t tokens_per_step =
+      config_.micro_batch * config_.grad_accum * config_.seq_len;
+  const double epoch_tokens = static_cast<double>(data.epoch_tokens());
+  const double steps = config_.epochs * epoch_tokens / static_cast<double>(tokens_per_step);
+  return std::max<std::size_t>(1, static_cast<std::size_t>(steps));
+}
+
+TrainStats Trainer::train(BatchSource& data, util::Rng& rng,
+                          const std::function<void(std::size_t, float)>& on_step) {
+  const std::size_t steps = planned_steps(data);
+  const std::size_t seq = std::min(config_.seq_len, model_.config().ctx_len);
+
+  AdamWConfig adam_config;
+  adam_config.weight_decay = config_.weight_decay;
+  adam_config.clip_norm = config_.clip_norm;
+  AdamW optimizer(model_.params(), adam_config);
+  CosineSchedule schedule(config_.lr, steps, config_.warmup_ratio, config_.min_lr_ratio);
+
+  GptActivations acts;
+  std::vector<Token> inputs, targets;
+  TrainStats stats;
+  util::Stopwatch watch;
+  double loss_sum = 0.0;
+
+  for (std::size_t step = 0; step < steps; ++step) {
+    model_.params().zero_grads();
+    float step_loss = 0.0f;
+    for (std::size_t micro = 0; micro < config_.grad_accum; ++micro) {
+      data.next_batch(inputs, targets, config_.micro_batch, seq, rng);
+      const float loss =
+          model_.forward(acts, inputs.data(), targets.data(), config_.micro_batch, seq);
+      model_.backward(acts, inputs.data(), targets.data(), config_.micro_batch, seq);
+      step_loss += loss;
+      stats.tokens_processed += config_.micro_batch * seq;
+    }
+    step_loss /= static_cast<float>(config_.grad_accum);
+    // Average accumulated gradients over the micro-batches.
+    if (config_.grad_accum > 1) {
+      model_.params().scale_grads(1.0f / static_cast<float>(config_.grad_accum));
+    }
+    optimizer.step(schedule.lr(step));
+
+    if (step == 0) stats.first_loss = step_loss;
+    stats.final_loss = step_loss;
+    loss_sum += step_loss;
+    ++stats.steps;
+    if (config_.log_every > 0 && (step % config_.log_every == 0 || step + 1 == steps)) {
+      log::info() << "train step " << step + 1 << "/" << steps << " loss "
+                  << util::format_fixed(step_loss, 4) << " lr "
+                  << util::format_fixed(schedule.lr(step), 6);
+    }
+    if (on_step) on_step(step, step_loss);
+  }
+
+  stats.wall_seconds = watch.seconds();
+  stats.mean_loss = stats.steps > 0 ? loss_sum / static_cast<double>(stats.steps) : 0.0;
+  stats.tokens_per_second =
+      stats.wall_seconds > 0.0 ? static_cast<double>(stats.tokens_processed) / stats.wall_seconds
+                               : 0.0;
+  return stats;
+}
+
+float held_out_loss(const GptModel& model, const std::vector<Token>& tokens,
+                    std::size_t seq_len, std::size_t max_windows) {
+  const std::size_t seq = std::min(seq_len, model.config().ctx_len);
+  if (tokens.size() < seq + 1) return 0.0f;
+  GptActivations acts;
+  std::vector<Token> inputs(seq), targets(seq);
+  const std::size_t stride = seq;
+  const std::size_t windows =
+      std::min(max_windows, (tokens.size() - 1) / stride);
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t w = 0; w < windows; ++w) {
+    const std::size_t start = w * stride;
+    if (start + seq + 1 > tokens.size()) break;
+    for (std::size_t t = 0; t < seq; ++t) {
+      inputs[t] = tokens[start + t];
+      targets[t] = tokens[start + t + 1];
+    }
+    total += model.forward(acts, inputs.data(), targets.data(), 1, seq);
+    ++counted;
+  }
+  return counted > 0 ? static_cast<float>(total / static_cast<double>(counted)) : 0.0f;
+}
+
+}  // namespace astromlab::nn

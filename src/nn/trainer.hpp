@@ -1,0 +1,70 @@
+#pragma once
+// Training loop driving GptModel + AdamW over a BatchSource.
+//
+// Mirrors the paper's §III recipes: a fixed number of epochs (they train
+// one), total batch size realised as micro-batch × gradient accumulation,
+// linear-warmup + cosine-decay schedule, bf16-style checkpointing handled
+// by the caller.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "nn/adamw.hpp"
+#include "nn/data.hpp"
+#include "nn/gpt.hpp"
+#include "nn/lr_schedule.hpp"
+#include "util/rng.hpp"
+
+namespace astromlab::nn {
+
+struct TrainConfig {
+  std::size_t micro_batch = 8;
+  std::size_t grad_accum = 1;     ///< total batch = micro_batch * grad_accum
+  std::size_t seq_len = 128;
+  float lr = 2e-3f;               ///< paper uses 2e-5 at 8B/70B scale; tiny
+                                  ///< models need proportionally larger lr
+  double warmup_ratio = 0.03;     ///< paper value
+  double min_lr_ratio = 0.1;
+  float weight_decay = 0.01f;
+  float clip_norm = 1.0f;
+  double epochs = 1.0;            ///< paper trains one epoch
+  std::size_t max_steps = 0;      ///< 0 = derive from epochs & data size
+  std::size_t log_every = 0;      ///< 0 = silent
+};
+
+struct TrainStats {
+  std::size_t steps = 0;
+  std::size_t tokens_processed = 0;
+  float first_loss = 0.0f;
+  float final_loss = 0.0f;
+  double mean_loss = 0.0;
+  double wall_seconds = 0.0;
+  double tokens_per_second = 0.0;
+};
+
+class Trainer {
+ public:
+  Trainer(GptModel& model, TrainConfig config);
+
+  /// Runs the configured number of optimisation steps over `data`.
+  /// `on_step(step, loss)` is invoked after every optimiser step when set.
+  TrainStats train(BatchSource& data, util::Rng& rng,
+                   const std::function<void(std::size_t, float)>& on_step = nullptr);
+
+  /// Steps implied by the config for this data source.
+  std::size_t planned_steps(const BatchSource& data) const;
+
+  const TrainConfig& config() const { return config_; }
+
+ private:
+  GptModel& model_;
+  TrainConfig config_;
+};
+
+/// Mean next-token loss of the model over a held-out token stream
+/// (perplexity = exp(loss)); deterministic, no gradients.
+float held_out_loss(const GptModel& model, const std::vector<Token>& tokens,
+                    std::size_t seq_len, std::size_t max_windows = 32);
+
+}  // namespace astromlab::nn

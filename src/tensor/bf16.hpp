@@ -1,0 +1,52 @@
+#pragma once
+// bfloat16 storage type.
+//
+// The paper trains in bf16; we train in fp32 (CPU) but store checkpoints in
+// bf16 to halve their size and to model the quantisation the paper's
+// training format implies. Conversion uses round-to-nearest-even, matching
+// hardware bf16 units.
+
+#include <cstdint>
+#include <cstring>
+
+namespace astromlab::tensor {
+
+/// 16-bit truncated-mantissa float (1 sign, 8 exponent, 7 mantissa bits).
+struct Bf16 {
+  std::uint16_t bits = 0;
+
+  Bf16() = default;
+  explicit Bf16(float value) { bits = from_float(value); }
+
+  float to_float() const {
+    const std::uint32_t wide = static_cast<std::uint32_t>(bits) << 16;
+    float out;
+    std::memcpy(&out, &wide, sizeof out);
+    return out;
+  }
+
+  static std::uint16_t from_float(float value) {
+    std::uint32_t wide;
+    std::memcpy(&wide, &value, sizeof wide);
+    // NaN must stay NaN: truncation could zero the mantissa of a NaN.
+    if ((wide & 0x7FFFFFFFu) > 0x7F800000u) {
+      return static_cast<std::uint16_t>((wide >> 16) | 0x0040u);
+    }
+    // Round to nearest even on the discarded 16 bits.
+    const std::uint32_t rounding_bias = 0x7FFFu + ((wide >> 16) & 1u);
+    return static_cast<std::uint16_t>((wide + rounding_bias) >> 16);
+  }
+};
+
+inline float bf16_to_float(std::uint16_t bits) {
+  Bf16 v;
+  v.bits = bits;
+  return v.to_float();
+}
+
+inline std::uint16_t float_to_bf16(float value) { return Bf16::from_float(value); }
+
+/// Round-trips a float through bf16 (the checkpoint quantisation step).
+inline float bf16_round(float value) { return bf16_to_float(float_to_bf16(value)); }
+
+}  // namespace astromlab::tensor

@@ -1,0 +1,188 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace astromlab::tensor {
+
+namespace {
+
+// Kernel for the hot path: C[M,N] += A[M,K] * B[K,N], all non-transposed,
+// blocked over K for L1 reuse and vectorisable inner loops over N.
+void gemm_nn(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
+             std::size_t lda, const float* b, std::size_t ldb, float* c, std::size_t ldc,
+             std::size_t row_begin, std::size_t row_end) {
+  (void)m;
+  constexpr std::size_t kBlockK = 64;
+  for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+    const std::size_t k1 = std::min(k, k0 + kBlockK);
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      const float* a_row = a + i * lda;
+      float* c_row = c + i * ldc;
+      for (std::size_t p = k0; p < k1; ++p) {
+        const float a_ip = alpha * a_row[p];
+        if (a_ip == 0.0f) continue;
+        const float* b_row = b + p * ldb;
+        for (std::size_t j = 0; j < n; ++j) {
+          c_row[j] += a_ip * b_row[j];
+        }
+      }
+    }
+  }
+}
+
+// C[M,N] += A[M,K] * B^T where B is stored [N,K]: rows of A dot rows of B.
+void gemm_nt(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
+             std::size_t lda, const float* b, std::size_t ldb, float* c, std::size_t ldc,
+             std::size_t row_begin, std::size_t row_end) {
+  (void)m;
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const float* a_row = a + i * lda;
+    float* c_row = c + i * ldc;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* b_row = b + j * ldb;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      c_row[j] += alpha * acc;
+    }
+  }
+}
+
+// C[M,N] += A^T * B where A is stored [K,M], B stored [K,N].
+void gemm_tn(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
+             std::size_t lda, const float* b, std::size_t ldb, float* c, std::size_t ldc,
+             std::size_t row_begin, std::size_t row_end) {
+  (void)m;
+  // Iterate over the shared K dimension outermost so both inputs stream.
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* a_row = a + p * lda;
+    const float* b_row = b + p * ldb;
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      const float a_pi = alpha * a_row[i];
+      if (a_pi == 0.0f) continue;
+      float* c_row = c + i * ldc;
+      for (std::size_t j = 0; j < n; ++j) c_row[j] += a_pi * b_row[j];
+    }
+  }
+}
+
+// C[M,N] += A^T * B^T with A stored [K,M], B stored [N,K]. Rare path.
+void gemm_tt(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
+             std::size_t lda, const float* b, std::size_t ldb, float* c, std::size_t ldc,
+             std::size_t row_begin, std::size_t row_end) {
+  (void)m;
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    float* c_row = c + i * ldc;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* b_row = b + j * ldb;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += a[p * lda + i] * b_row[p];
+      c_row[j] += alpha * acc;
+    }
+  }
+}
+
+}  // namespace
+
+void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n, std::size_t k,
+           float alpha, const float* a, std::size_t lda, const float* b, std::size_t ldb,
+           float beta, float* c, std::size_t ldc) {
+  if (m == 0 || n == 0) return;
+
+  auto run_rows = [&](std::size_t row_begin, std::size_t row_end) {
+    if (beta != 1.0f) {
+      for (std::size_t i = row_begin; i < row_end; ++i) {
+        float* c_row = c + i * ldc;
+        if (beta == 0.0f) {
+          std::fill(c_row, c_row + n, 0.0f);
+        } else {
+          for (std::size_t j = 0; j < n; ++j) c_row[j] *= beta;
+        }
+      }
+    }
+    if (k == 0 || alpha == 0.0f) return;
+    if (!trans_a && !trans_b) {
+      gemm_nn(m, n, k, alpha, a, lda, b, ldb, c, ldc, row_begin, row_end);
+    } else if (!trans_a && trans_b) {
+      gemm_nt(m, n, k, alpha, a, lda, b, ldb, c, ldc, row_begin, row_end);
+    } else if (trans_a && !trans_b) {
+      gemm_tn(m, n, k, alpha, a, lda, b, ldb, c, ldc, row_begin, row_end);
+    } else {
+      gemm_tt(m, n, k, alpha, a, lda, b, ldb, c, ldc, row_begin, row_end);
+    }
+  };
+
+  // Parallelise across output rows; below ~16k flops per chunk the task
+  // overhead dominates, so use a work-proportional grain.
+  const std::size_t flops_per_row = 2 * n * k;
+  const std::size_t grain = flops_per_row > 0 ? std::max<std::size_t>(1, 16384 / flops_per_row + 1)
+                                              : m;
+  util::parallel_for_range(m, run_rows, grain);
+}
+
+void add_inplace(float* y, const float* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+void axpy(float a, const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void scale_inplace(float* x, float a, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= a;
+}
+
+void add_row_bias(float* matrix, const float* bias, std::size_t rows, std::size_t cols) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* row = matrix + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) row[c] += bias[c];
+  }
+}
+
+float softmax_row(const float* logits, float* probs, std::size_t n) {
+  float max_logit = logits[0];
+  for (std::size_t i = 1; i < n; ++i) max_logit = std::max(max_logit, logits[i]);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float e = std::exp(logits[i] - max_logit);
+    probs[i] = e;
+    total += e;
+  }
+  const float inv = static_cast<float>(1.0 / total);
+  for (std::size_t i = 0; i < n; ++i) probs[i] *= inv;
+  return max_logit;
+}
+
+void softmax_rows(float* matrix, std::size_t rows, std::size_t cols) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* row = matrix + r * cols;
+    softmax_row(row, row, cols);
+  }
+}
+
+float gelu(float x) {
+  constexpr float kSqrt2OverPi = 0.7978845608028654f;
+  const float cube = 0.044715f * x * x * x;
+  return 0.5f * x * (1.0f + std::tanh(kSqrt2OverPi * (x + cube)));
+}
+
+float gelu_grad(float x) {
+  constexpr float kSqrt2OverPi = 0.7978845608028654f;
+  const float x2 = x * x;
+  const float inner = kSqrt2OverPi * (x + 0.044715f * x2 * x);
+  const float t = std::tanh(inner);
+  const float sech2 = 1.0f - t * t;
+  const float d_inner = kSqrt2OverPi * (1.0f + 3.0f * 0.044715f * x2);
+  return 0.5f * (1.0f + t) + 0.5f * x * sech2 * d_inner;
+}
+
+float dot(const float* a, const float* b, std::size_t n) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace astromlab::tensor

@@ -1,0 +1,51 @@
+#pragma once
+// Dense kernels used by the transformer forward/backward passes.
+//
+// All matrices are row-major. The central kernel is `sgemm`, a BLAS-style
+// general matrix multiply with transpose flags, blocked for cache reuse and
+// parallelised over output rows. Everything in nn/ reduces to these
+// primitives so performance work concentrates here.
+
+#include <cstddef>
+#include <span>
+
+namespace astromlab::tensor {
+
+/// C = alpha * op(A) * op(B) + beta * C
+///
+/// op(A) is M x K, op(B) is K x N, C is M x N; lda/ldb/ldc are the leading
+/// (row) strides of the *stored* matrices. With trans_a=false A is stored
+/// M x K (lda >= K); with trans_a=true A is stored K x M (lda >= M), and
+/// likewise for B.
+void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n, std::size_t k,
+           float alpha, const float* a, std::size_t lda, const float* b, std::size_t ldb,
+           float beta, float* c, std::size_t ldc);
+
+/// y += x (elementwise over n values).
+void add_inplace(float* y, const float* x, std::size_t n);
+
+/// y = a * x + y.
+void axpy(float a, const float* x, float* y, std::size_t n);
+
+/// Scales x by a.
+void scale_inplace(float* x, float a, std::size_t n);
+
+/// Adds a row-vector bias to every row of a [rows, cols] matrix.
+void add_row_bias(float* matrix, const float* bias, std::size_t rows, std::size_t cols);
+
+/// In-place numerically-stable softmax over each row of [rows, cols].
+void softmax_rows(float* matrix, std::size_t rows, std::size_t cols);
+
+/// Softmax of one row with explicit output; returns the max logit (useful
+/// for log-prob computation).
+float softmax_row(const float* logits, float* probs, std::size_t n);
+
+/// tanh-approximation GELU, the GPT-2 variant.
+float gelu(float x);
+/// d gelu(x) / dx for the same approximation.
+float gelu_grad(float x);
+
+/// Dot product.
+float dot(const float* a, const float* b, std::size_t n);
+
+}  // namespace astromlab::tensor

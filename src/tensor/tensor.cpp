@@ -1,0 +1,85 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace astromlab::tensor {
+
+namespace {
+std::size_t product(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape) : shape_(std::move(shape)) {
+  data_.assign(product(shape_), 0.0f);
+}
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Tensor::fill_gaussian(util::Rng& rng, float stddev) {
+  for (float& v : data_) v = static_cast<float>(rng.next_gaussian()) * stddev;
+}
+
+void Tensor::fill_uniform(util::Rng& rng, float lo, float hi) {
+  const float span = hi - lo;
+  for (float& v : data_) v = lo + rng.next_float() * span;
+}
+
+void Tensor::reshape(std::vector<std::size_t> shape) {
+  if (product(shape) != data_.size()) {
+    throw std::invalid_argument("reshape: element count mismatch");
+  }
+  shape_ = std::move(shape);
+}
+
+void Tensor::resize(std::vector<std::size_t> shape) {
+  shape_ = std::move(shape);
+  data_.assign(product(shape_), 0.0f);
+}
+
+std::string Tensor::shape_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(shape_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+float Tensor::sum() const {
+  double total = 0.0;
+  for (float v : data_) total += v;
+  return static_cast<float>(total);
+}
+
+float Tensor::abs_max() const {
+  float best = 0.0f;
+  for (float v : data_) best = std::max(best, std::abs(v));
+  return best;
+}
+
+double Tensor::squared_norm() const {
+  double total = 0.0;
+  for (float v : data_) total += static_cast<double>(v) * v;
+  return total;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument("max_abs_diff: shape mismatch " + a.shape_string() + " vs " +
+                                b.shape_string());
+  }
+  float best = 0.0f;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    best = std::max(best, std::abs(a[i] - b[i]));
+  }
+  return best;
+}
+
+}  // namespace astromlab::tensor

@@ -1,0 +1,91 @@
+#pragma once
+// Dense row-major float tensor.
+//
+// A deliberately small owning container: contiguous fp32 storage plus a
+// shape. All layout-dependent math lives in ops.hpp / the nn layers, which
+// operate on raw spans for speed; Tensor's job is ownership, shape checks,
+// and initialisation.
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace astromlab::tensor {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::size_t> shape);
+  Tensor(std::initializer_list<std::size_t> shape)
+      : Tensor(std::vector<std::size_t>(shape)) {}
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t dim(std::size_t axis) const {
+    assert(axis < shape_.size());
+    return shape_[axis];
+  }
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](std::size_t i) {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  float operator[](std::size_t i) const {
+    assert(i < data_.size());
+    return data_[i];
+  }
+
+  /// 2-D accessor (rank must be 2).
+  float& at(std::size_t row, std::size_t col) {
+    assert(rank() == 2 && row < shape_[0] && col < shape_[1]);
+    return data_[row * shape_[1] + col];
+  }
+  float at(std::size_t row, std::size_t col) const {
+    assert(rank() == 2 && row < shape_[0] && col < shape_[1]);
+    return data_[row * shape_[1] + col];
+  }
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  /// Gaussian init with given std (mean 0).
+  void fill_gaussian(util::Rng& rng, float stddev);
+
+  /// Uniform init in [lo, hi).
+  void fill_uniform(util::Rng& rng, float lo, float hi);
+
+  /// Reshape in place; total element count must match.
+  void reshape(std::vector<std::size_t> shape);
+
+  /// Resizes storage (destroys contents).
+  void resize(std::vector<std::size_t> shape);
+
+  /// "[2, 3, 4]" for diagnostics.
+  std::string shape_string() const;
+
+  // Reductions used by tests and grad-norm computation.
+  float sum() const;
+  float abs_max() const;
+  double squared_norm() const;
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Elementwise |a-b| max; shapes must match.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace astromlab::tensor

@@ -1,0 +1,294 @@
+#include "tokenizer/bpe.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/io.hpp"
+
+namespace astromlab::tokenizer {
+
+namespace {
+
+// Guards the shared word cache; encoding is called from parallel
+// evaluation loops.
+std::mutex g_cache_mutex;
+
+bool is_letter(unsigned char c) { return std::isalpha(c) != 0 || c >= 0x80; }
+bool is_digit(unsigned char c) { return std::isdigit(c) != 0; }
+
+}  // namespace
+
+std::vector<std::string> SpecialTokens::standard() {
+  return {kBos, kEos, kPad, kSystem, kUser, kAssistant, kEndTurn};
+}
+
+std::vector<std::string> BpeTokenizer::pre_tokenize(std::string_view text) {
+  std::vector<std::string> words;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    std::size_t start = i;
+    // A pre-token may absorb one leading space so that " The" and "The"
+    // become distinct tokens — the property the §V-B variant detection
+    // exercises.
+    if (text[i] == ' ') ++i;
+    if (i < text.size() && is_letter(static_cast<unsigned char>(text[i]))) {
+      while (i < text.size() && is_letter(static_cast<unsigned char>(text[i]))) ++i;
+    } else if (i < text.size() && is_digit(static_cast<unsigned char>(text[i]))) {
+      while (i < text.size() && is_digit(static_cast<unsigned char>(text[i]))) ++i;
+    } else if (i < text.size()) {
+      ++i;  // single punctuation/other byte (with optional leading space)
+    }
+    words.emplace_back(text.substr(start, i - start));
+  }
+  return words;
+}
+
+BpeTokenizer BpeTokenizer::train(std::string_view corpus, const BpeTrainConfig& config) {
+  BpeTokenizer tok;
+  tok.vocab_.reserve(config.vocab_size);
+  for (int b = 0; b < 256; ++b) {
+    tok.vocab_.push_back(std::string(1, static_cast<char>(b)));
+  }
+
+  // Unique pre-token -> (token id sequence, corpus frequency).
+  struct Word {
+    std::vector<TokenId> ids;
+    std::size_t count = 0;
+  };
+  std::unordered_map<std::string, std::size_t> word_counts;
+  for (const std::string& w : pre_tokenize(corpus)) ++word_counts[w];
+
+  std::vector<Word> words;
+  words.reserve(word_counts.size());
+  for (const auto& [text, count] : word_counts) {
+    Word w;
+    w.count = count;
+    w.ids.reserve(text.size());
+    for (char c : text) w.ids.push_back(static_cast<TokenId>(static_cast<unsigned char>(c)));
+    words.push_back(std::move(w));
+  }
+  // Deterministic processing order regardless of hash-map iteration.
+  std::sort(words.begin(), words.end(), [&](const Word& a, const Word& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.ids < b.ids;
+  });
+
+  const std::size_t reserved = 256 + config.special_tokens.size();
+  const std::size_t target_merges =
+      config.vocab_size > reserved ? config.vocab_size - reserved : 0;
+
+  using Pair = std::pair<TokenId, TokenId>;
+  for (std::size_t merge = 0; merge < target_merges; ++merge) {
+    std::unordered_map<Pair, std::size_t, PairHash> pair_counts;
+    for (const Word& w : words) {
+      for (std::size_t i = 0; i + 1 < w.ids.size(); ++i) {
+        pair_counts[{w.ids[i], w.ids[i + 1]}] += w.count;
+      }
+    }
+    Pair best{-1, -1};
+    std::size_t best_count = 0;
+    for (const auto& [pair, count] : pair_counts) {
+      if (count > best_count || (count == best_count && count > 0 && pair < best)) {
+        best = pair;
+        best_count = count;
+      }
+    }
+    if (best_count < std::max<std::size_t>(config.min_pair_count, 1)) break;
+
+    const TokenId new_id = static_cast<TokenId>(tok.vocab_.size());
+    tok.vocab_.push_back(tok.vocab_[static_cast<std::size_t>(best.first)] +
+                         tok.vocab_[static_cast<std::size_t>(best.second)]);
+    tok.merge_to_id_[best] = new_id;
+    tok.merge_ranks_[best] = merge;
+
+    for (Word& w : words) {
+      if (w.ids.size() < 2) continue;
+      std::vector<TokenId> merged;
+      merged.reserve(w.ids.size());
+      std::size_t i = 0;
+      while (i < w.ids.size()) {
+        if (i + 1 < w.ids.size() && w.ids[i] == best.first && w.ids[i + 1] == best.second) {
+          merged.push_back(new_id);
+          i += 2;
+        } else {
+          merged.push_back(w.ids[i]);
+          ++i;
+        }
+      }
+      w.ids = std::move(merged);
+    }
+  }
+
+  tok.first_special_id_ = static_cast<TokenId>(tok.vocab_.size());
+  for (const std::string& special : config.special_tokens) {
+    tok.special_lookup_[special] = static_cast<TokenId>(tok.vocab_.size());
+    tok.vocab_.push_back(special);
+  }
+  for (std::size_t id = 0; id < tok.vocab_.size(); ++id) {
+    tok.token_lookup_.emplace(tok.vocab_[id], static_cast<TokenId>(id));
+  }
+  return tok;
+}
+
+std::vector<TokenId> BpeTokenizer::encode_word(std::string_view word) const {
+  {
+    std::lock_guard<std::mutex> lock(g_cache_mutex);
+    const auto it = word_cache_.find(std::string(word));
+    if (it != word_cache_.end()) return it->second;
+  }
+  std::vector<TokenId> ids;
+  ids.reserve(word.size());
+  for (char c : word) ids.push_back(static_cast<TokenId>(static_cast<unsigned char>(c)));
+
+  // Standard BPE: repeatedly merge the lowest-rank adjacent pair.
+  while (ids.size() > 1) {
+    std::size_t best_rank = static_cast<std::size_t>(-1);
+    std::size_t best_pos = 0;
+    for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+      const auto it = merge_ranks_.find({ids[i], ids[i + 1]});
+      if (it != merge_ranks_.end() && it->second < best_rank) {
+        best_rank = it->second;
+        best_pos = i;
+      }
+    }
+    if (best_rank == static_cast<std::size_t>(-1)) break;
+    const TokenId merged = merge_to_id_.at({ids[best_pos], ids[best_pos + 1]});
+    ids[best_pos] = merged;
+    ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(best_pos) + 1);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(g_cache_mutex);
+    word_cache_.emplace(std::string(word), ids);
+  }
+  return ids;
+}
+
+std::vector<TokenId> BpeTokenizer::encode(std::string_view text) const {
+  std::vector<TokenId> out;
+  out.reserve(text.size() / 3 + 8);
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    // Greedy special-token match at this position.
+    bool matched_special = false;
+    if (text[pos] == '<') {
+      for (const auto& [name, id] : special_lookup_) {
+        if (text.substr(pos, name.size()) == name) {
+          out.push_back(id);
+          pos += name.size();
+          matched_special = true;
+          break;
+        }
+      }
+    }
+    if (matched_special) continue;
+
+    // Find the next special token (if any) and BPE-encode up to it.
+    std::size_t next_special = text.size();
+    for (const auto& [name, id] : special_lookup_) {
+      (void)id;
+      const std::size_t hit = text.find(name, pos);
+      if (hit != std::string_view::npos) next_special = std::min(next_special, hit);
+    }
+    const std::string_view chunk = text.substr(pos, next_special - pos);
+    for (const std::string& word : pre_tokenize(chunk)) {
+      const std::vector<TokenId> ids = encode_word(word);
+      out.insert(out.end(), ids.begin(), ids.end());
+    }
+    pos = next_special;
+  }
+  return out;
+}
+
+std::string BpeTokenizer::decode(const std::vector<TokenId>& ids) const {
+  std::string out;
+  for (TokenId id : ids) out += decode_token(id);
+  return out;
+}
+
+std::string BpeTokenizer::decode_token(TokenId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= vocab_.size()) {
+    throw std::out_of_range("token id out of range: " + std::to_string(id));
+  }
+  return vocab_[static_cast<std::size_t>(id)];
+}
+
+std::optional<TokenId> BpeTokenizer::token_to_id(std::string_view token) const {
+  const auto it = token_lookup_.find(std::string(token));
+  if (it == token_lookup_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool BpeTokenizer::is_special(TokenId id) const { return id >= first_special_id_; }
+
+TokenId BpeTokenizer::require_special(const char* name) const {
+  const auto it = special_lookup_.find(name);
+  if (it == special_lookup_.end()) {
+    throw std::logic_error(std::string("special token not registered: ") + name);
+  }
+  return it->second;
+}
+
+void BpeTokenizer::save(const std::filesystem::path& path) const {
+  util::BinaryWriter writer(path);
+  writer.write_u32(0x42504531u);  // "BPE1"
+  writer.write_u64(vocab_.size());
+  for (const std::string& token : vocab_) writer.write_string(token);
+  writer.write_u64(merge_ranks_.size());
+  // Merges serialised in rank order for determinism.
+  std::vector<std::pair<std::pair<TokenId, TokenId>, std::size_t>> merges(
+      merge_ranks_.begin(), merge_ranks_.end());
+  std::sort(merges.begin(), merges.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  for (const auto& [pair, rank] : merges) {
+    (void)rank;
+    writer.write_u32(static_cast<std::uint32_t>(pair.first));
+    writer.write_u32(static_cast<std::uint32_t>(pair.second));
+    writer.write_u32(static_cast<std::uint32_t>(merge_to_id_.at(pair)));
+  }
+  writer.write_u32(static_cast<std::uint32_t>(first_special_id_));
+  writer.write_u64(special_lookup_.size());
+  std::vector<std::pair<std::string, TokenId>> specials(special_lookup_.begin(),
+                                                        special_lookup_.end());
+  std::sort(specials.begin(), specials.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  for (const auto& [name, id] : specials) {
+    writer.write_string(name);
+    writer.write_u32(static_cast<std::uint32_t>(id));
+  }
+  writer.close();
+}
+
+BpeTokenizer BpeTokenizer::load(const std::filesystem::path& path) {
+  util::BinaryReader reader(path);
+  if (reader.read_u32() != 0x42504531u) {
+    throw util::IoError("not a tokenizer file: " + path.string());
+  }
+  BpeTokenizer tok;
+  const std::uint64_t vocab_size = reader.read_u64();
+  tok.vocab_.reserve(vocab_size);
+  for (std::uint64_t i = 0; i < vocab_size; ++i) tok.vocab_.push_back(reader.read_string());
+  const std::uint64_t merge_count = reader.read_u64();
+  for (std::uint64_t rank = 0; rank < merge_count; ++rank) {
+    const TokenId left = static_cast<TokenId>(reader.read_u32());
+    const TokenId right = static_cast<TokenId>(reader.read_u32());
+    const TokenId merged = static_cast<TokenId>(reader.read_u32());
+    tok.merge_to_id_[{left, right}] = merged;
+    tok.merge_ranks_[{left, right}] = rank;
+  }
+  tok.first_special_id_ = static_cast<TokenId>(reader.read_u32());
+  const std::uint64_t special_count = reader.read_u64();
+  for (std::uint64_t i = 0; i < special_count; ++i) {
+    const std::string name = reader.read_string();
+    const TokenId id = static_cast<TokenId>(reader.read_u32());
+    tok.special_lookup_[name] = id;
+  }
+  for (std::size_t id = 0; id < tok.vocab_.size(); ++id) {
+    tok.token_lookup_.emplace(tok.vocab_[id], static_cast<TokenId>(id));
+  }
+  return tok;
+}
+
+}  // namespace astromlab::tokenizer

@@ -1,0 +1,116 @@
+#pragma once
+// Byte-level byte-pair-encoding tokenizer (GPT-2 family style).
+//
+// The paper's token benchmarking method depends on a real tokenizer
+// property: the answer letter may be encoded as "A" or " A" depending on
+// the model's vocabulary, and the evaluator must detect which representation
+// the model actually uses (paper §V-B). A byte-level BPE trained on a
+// space-pre-tokenised corpus reproduces exactly that ambiguity: both "A"
+// (byte token) and " A" (merged token) typically exist.
+//
+// Base vocabulary: the 256 byte values. Special tokens (chat markers,
+// BOS/EOS) are appended after training and matched greedily before BPE
+// segmentation during encoding.
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace astromlab::tokenizer {
+
+using TokenId = std::int32_t;
+
+/// Well-known special-token names used by the chat template.
+struct SpecialTokens {
+  static constexpr const char* kBos = "<|bos|>";
+  static constexpr const char* kEos = "<|eos|>";
+  static constexpr const char* kPad = "<|pad|>";
+  static constexpr const char* kSystem = "<|system|>";
+  static constexpr const char* kUser = "<|user|>";
+  static constexpr const char* kAssistant = "<|assistant|>";
+  static constexpr const char* kEndTurn = "<|end|>";
+
+  /// The standard set registered by `BpeTokenizer::train`.
+  static std::vector<std::string> standard();
+};
+
+struct BpeTrainConfig {
+  /// Total vocabulary size including the 256 byte tokens and the special
+  /// tokens (merge count is derived from this).
+  std::size_t vocab_size = 512;
+  /// Special token strings to reserve (standard chat set by default).
+  std::vector<std::string> special_tokens = SpecialTokens::standard();
+  /// Pre-tokens occurring fewer times than this are ignored while counting
+  /// merge candidates (speeds up training on large corpora).
+  std::size_t min_pair_count = 2;
+};
+
+class BpeTokenizer {
+ public:
+  BpeTokenizer() = default;
+
+  /// Learns merges from `corpus` until the configured vocab size.
+  static BpeTokenizer train(std::string_view corpus, const BpeTrainConfig& config);
+
+  /// Encodes UTF-8/byte text to token ids. Special tokens present verbatim
+  /// in the text are emitted as their single ids.
+  std::vector<TokenId> encode(std::string_view text) const;
+
+  /// Decodes ids back to the original byte string (lossless for non-special
+  /// ids; special tokens render as their literal names).
+  std::string decode(const std::vector<TokenId>& ids) const;
+  std::string decode_token(TokenId id) const;
+
+  std::size_t vocab_size() const { return vocab_.size(); }
+  std::size_t merge_count() const { return merge_ranks_.size(); }
+
+  /// Id of an exact token string (byte sequence or special token), if that
+  /// exact string is a single token in the vocabulary.
+  std::optional<TokenId> token_to_id(std::string_view token) const;
+
+  /// True if the id is one of the registered special tokens.
+  bool is_special(TokenId id) const;
+
+  TokenId bos_id() const { return require_special(SpecialTokens::kBos); }
+  TokenId eos_id() const { return require_special(SpecialTokens::kEos); }
+  TokenId pad_id() const { return require_special(SpecialTokens::kPad); }
+  TokenId system_id() const { return require_special(SpecialTokens::kSystem); }
+  TokenId user_id() const { return require_special(SpecialTokens::kUser); }
+  TokenId assistant_id() const { return require_special(SpecialTokens::kAssistant); }
+  TokenId end_turn_id() const { return require_special(SpecialTokens::kEndTurn); }
+
+  void save(const std::filesystem::path& path) const;
+  static BpeTokenizer load(const std::filesystem::path& path);
+
+  /// Splits raw text into pre-tokens: maximal runs of (optional leading
+  /// space +) letters, digits, or single other bytes. Exposed for tests.
+  static std::vector<std::string> pre_tokenize(std::string_view text);
+
+ private:
+  TokenId require_special(const char* name) const;
+  std::vector<TokenId> encode_word(std::string_view word) const;
+
+  // vocab_[id] is the byte string of the token.
+  std::vector<std::string> vocab_;
+  // Pair (left id, right id) -> merged token id; rank == merge order.
+  struct PairHash {
+    std::size_t operator()(const std::pair<TokenId, TokenId>& p) const {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.first)) << 32) |
+          static_cast<std::uint32_t>(p.second));
+    }
+  };
+  std::unordered_map<std::pair<TokenId, TokenId>, TokenId, PairHash> merge_to_id_;
+  std::unordered_map<std::pair<TokenId, TokenId>, std::size_t, PairHash> merge_ranks_;
+  std::unordered_map<std::string, TokenId> token_lookup_;
+  std::unordered_map<std::string, TokenId> special_lookup_;
+  TokenId first_special_id_ = 0;
+  // Per-call memoisation of word -> ids (BPE is deterministic per word).
+  mutable std::unordered_map<std::string, std::vector<TokenId>> word_cache_;
+};
+
+}  // namespace astromlab::tokenizer

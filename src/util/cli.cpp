@@ -1,0 +1,67 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/string_utils.hpp"
+
+namespace astromlab::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--key value` when the next token is not itself an option, else a flag.
+    if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+std::optional<std::string> ArgParser::get(const std::string& key) const {
+  if (const auto it = values_.find(key); it != values_.end()) return it->second;
+  std::string env_name = "ASTROMLAB_" + to_upper(replace_all(key, "-", "_"));
+  if (const char* env = std::getenv(env_name.c_str())) return std::string(env);
+  return std::nullopt;
+}
+
+std::string ArgParser::get_string(const std::string& key, const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+std::int64_t ArgParser::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value->c_str(), &end, 10);
+  return (end && *end == '\0') ? parsed : fallback;
+}
+
+double ArgParser::get_double(const std::string& key, double fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value->c_str(), &end);
+  return (end && *end == '\0') ? parsed : fallback;
+}
+
+bool ArgParser::get_bool(const std::string& key, bool fallback) const {
+  const auto value = get(key);
+  if (!value) return fallback;
+  const std::string v = to_lower(*value);
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  return fallback;
+}
+
+}  // namespace astromlab::util

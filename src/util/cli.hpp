@@ -1,0 +1,43 @@
+#pragma once
+// Minimal command-line / environment option parsing for examples and
+// bench binaries.
+//
+// Accepted forms: `--key=value`, `--key value`, and bare `--flag` (true).
+// `ArgParser` also falls back to environment variables named
+// ASTROMLAB_<KEY> (upper-cased, '-' -> '_'), so bench binaries running
+// under `for b in build/bench/*; do $b; done` can be reconfigured without
+// editing the loop.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace astromlab::util {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// Construct from explicit key/value pairs (tests).
+  explicit ArgParser(std::map<std::string, std::string> values)
+      : values_(std::move(values)) {}
+
+  /// Raw lookup: CLI first, then ASTROMLAB_<KEY> env var.
+  std::optional<std::string> get(const std::string& key) const;
+
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Positional (non ``--``) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace astromlab::util

@@ -1,0 +1,60 @@
+#pragma once
+// FNV-1a hashing for cache keys and config fingerprints.
+//
+// Experiment results are cached on disk keyed by a 64-bit fingerprint of
+// every hyperparameter that could change the result; `HashBuilder` folds
+// heterogeneous fields into one digest in declaration order.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace astromlab::util {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+constexpr std::uint64_t fnv1a(std::string_view data, std::uint64_t seed = kFnvOffset) {
+  std::uint64_t hash = seed;
+  for (char c : data) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// Accumulates typed fields into a stable 64-bit fingerprint.
+class HashBuilder {
+ public:
+  HashBuilder& add(std::string_view s) {
+    // Length-prefix to keep ("ab","c") distinct from ("a","bc").
+    add_u64(s.size());
+    hash_ = fnv1a(s, hash_);
+    return *this;
+  }
+  HashBuilder& add_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= static_cast<std::uint8_t>(v >> (8 * i));
+      hash_ *= kFnvPrime;
+    }
+    return *this;
+  }
+  HashBuilder& add_i64(std::int64_t v) { return add_u64(static_cast<std::uint64_t>(v)); }
+  HashBuilder& add_f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    __builtin_memcpy(&bits, &v, sizeof bits);
+    return add_u64(bits);
+  }
+  HashBuilder& add_bool(bool v) { return add_u64(v ? 1 : 0); }
+
+  std::uint64_t digest() const { return hash_; }
+
+  /// 16-char lowercase hex rendering, suitable for file names.
+  std::string hex() const;
+
+ private:
+  std::uint64_t hash_ = kFnvOffset;
+};
+
+}  // namespace astromlab::util

@@ -1,0 +1,173 @@
+#include "util/io.hpp"
+
+#include <cstring>
+
+namespace astromlab::util {
+
+namespace fs = std::filesystem;
+
+BinaryWriter::BinaryWriter(const fs::path& path) : path_(path) {
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    fs::create_directories(path.parent_path(), ec);
+  }
+  stream_.open(path, std::ios::binary | std::ios::trunc);
+  if (!stream_) throw IoError("cannot open for writing: " + path.string());
+}
+
+BinaryWriter::~BinaryWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; errors surface via explicit close().
+  }
+}
+
+void BinaryWriter::close() {
+  if (!stream_.is_open()) return;
+  stream_.flush();
+  const bool ok = static_cast<bool>(stream_);
+  stream_.close();
+  if (!ok) throw IoError("write failure on " + path_.string());
+}
+
+void BinaryWriter::write_raw(const void* data, std::size_t bytes) {
+  stream_.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+  if (!stream_) throw IoError("write failure on " + path_.string());
+}
+
+void BinaryWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  if (!s.empty()) write_raw(s.data(), s.size());
+}
+
+void BinaryWriter::write_f32_array(const float* data, std::size_t count) {
+  write_u64(count);
+  if (count > 0) write_raw(data, count * sizeof(float));
+}
+
+void BinaryWriter::write_u16_array(const std::uint16_t* data, std::size_t count) {
+  write_u64(count);
+  if (count > 0) write_raw(data, count * sizeof(std::uint16_t));
+}
+
+void BinaryWriter::write_i32_vector(const std::vector<std::int32_t>& v) {
+  write_u64(v.size());
+  if (!v.empty()) write_raw(v.data(), v.size() * sizeof(std::int32_t));
+}
+
+BinaryReader::BinaryReader(const fs::path& path) : path_(path) {
+  std::ifstream stream(path, std::ios::binary | std::ios::ate);
+  if (!stream) throw IoError("cannot open for reading: " + path.string());
+  const std::streamsize size = stream.tellg();
+  stream.seekg(0);
+  buffer_.resize(static_cast<std::size_t>(size));
+  if (size > 0 && !stream.read(buffer_.data(), size)) {
+    throw IoError("read failure on " + path.string());
+  }
+}
+
+void BinaryReader::read_raw(void* out, std::size_t bytes) {
+  if (bytes > remaining()) {
+    throw IoError("truncated file (wanted " + std::to_string(bytes) + " bytes, have " +
+                  std::to_string(remaining()) + "): " + path_.string());
+  }
+  std::memcpy(out, buffer_.data() + offset_, bytes);
+  offset_ += bytes;
+}
+
+std::uint8_t BinaryReader::read_u8() {
+  std::uint8_t v;
+  read_raw(&v, 1);
+  return v;
+}
+std::uint32_t BinaryReader::read_u32() {
+  std::uint32_t v;
+  read_raw(&v, sizeof v);
+  return v;
+}
+std::uint64_t BinaryReader::read_u64() {
+  std::uint64_t v;
+  read_raw(&v, sizeof v);
+  return v;
+}
+std::int64_t BinaryReader::read_i64() {
+  std::int64_t v;
+  read_raw(&v, sizeof v);
+  return v;
+}
+float BinaryReader::read_f32() {
+  float v;
+  read_raw(&v, sizeof v);
+  return v;
+}
+double BinaryReader::read_f64() {
+  double v;
+  read_raw(&v, sizeof v);
+  return v;
+}
+
+std::string BinaryReader::read_string() {
+  const std::uint64_t size = read_u64();
+  if (size > remaining()) throw IoError("corrupt string length in " + path_.string());
+  std::string s(size, '\0');
+  if (size > 0) read_raw(s.data(), size);
+  return s;
+}
+
+void BinaryReader::read_f32_array(float* out, std::size_t count) {
+  const std::uint64_t stored = read_u64();
+  if (stored != count) {
+    throw IoError("array length mismatch (stored " + std::to_string(stored) + ", expected " +
+                  std::to_string(count) + ") in " + path_.string());
+  }
+  if (count > 0) read_raw(out, count * sizeof(float));
+}
+
+void BinaryReader::read_u16_array(std::uint16_t* out, std::size_t count) {
+  const std::uint64_t stored = read_u64();
+  if (stored != count) {
+    throw IoError("array length mismatch (stored " + std::to_string(stored) + ", expected " +
+                  std::to_string(count) + ") in " + path_.string());
+  }
+  if (count > 0) read_raw(out, count * sizeof(std::uint16_t));
+}
+
+std::vector<std::int32_t> BinaryReader::read_i32_vector() {
+  const std::uint64_t size = read_u64();
+  if (size * sizeof(std::int32_t) > remaining()) {
+    throw IoError("corrupt vector length in " + path_.string());
+  }
+  std::vector<std::int32_t> v(size);
+  if (size > 0) read_raw(v.data(), size * sizeof(std::int32_t));
+  return v;
+}
+
+std::string read_text_file(const fs::path& path) {
+  std::ifstream stream(path, std::ios::binary | std::ios::ate);
+  if (!stream) throw IoError("cannot open for reading: " + path.string());
+  const std::streamsize size = stream.tellg();
+  stream.seekg(0);
+  std::string content(static_cast<std::size_t>(size), '\0');
+  if (size > 0 && !stream.read(content.data(), size)) {
+    throw IoError("read failure on " + path.string());
+  }
+  return content;
+}
+
+void write_text_file(const fs::path& path, const std::string& content) {
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    fs::create_directories(path.parent_path(), ec);
+  }
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream stream(tmp, std::ios::binary | std::ios::trunc);
+    if (!stream) throw IoError("cannot open for writing: " + tmp.string());
+    stream.write(content.data(), static_cast<std::streamsize>(content.size()));
+    if (!stream) throw IoError("write failure on " + tmp.string());
+  }
+  fs::rename(tmp, path);
+}
+
+}  // namespace astromlab::util

@@ -1,0 +1,90 @@
+#pragma once
+// Binary serialisation helpers for checkpoints, vocabularies and caches.
+//
+// All multi-byte values are written little-endian (the only byte order we
+// target; a static_assert guards against big-endian hosts). Readers validate
+// lengths before allocating so a truncated or corrupt file raises
+// `IoError` instead of crashing.
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace astromlab::util {
+
+static_assert(std::endian::native == std::endian::little,
+              "astromlab binary formats assume a little-endian host");
+
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Sequential binary writer over a file.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::filesystem::path& path);
+
+  void write_u8(std::uint8_t v) { write_raw(&v, 1); }
+  void write_u32(std::uint32_t v) { write_raw(&v, sizeof v); }
+  void write_u64(std::uint64_t v) { write_raw(&v, sizeof v); }
+  void write_i64(std::int64_t v) { write_raw(&v, sizeof v); }
+  void write_f32(float v) { write_raw(&v, sizeof v); }
+  void write_f64(double v) { write_raw(&v, sizeof v); }
+  void write_string(const std::string& s);
+  void write_f32_array(const float* data, std::size_t count);
+  void write_u16_array(const std::uint16_t* data, std::size_t count);
+  void write_i32_vector(const std::vector<std::int32_t>& v);
+
+  /// Flushes and closes; throws IoError on failure. Safe to call twice.
+  void close();
+
+  ~BinaryWriter();
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+ private:
+  void write_raw(const void* data, std::size_t bytes);
+
+  std::ofstream stream_;
+  std::filesystem::path path_;
+};
+
+/// Sequential binary reader with bounds checking.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::filesystem::path& path);
+
+  std::uint8_t read_u8();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int64_t read_i64();
+  float read_f32();
+  double read_f64();
+  std::string read_string();
+  void read_f32_array(float* out, std::size_t count);
+  void read_u16_array(std::uint16_t* out, std::size_t count);
+  std::vector<std::int32_t> read_i32_vector();
+
+  bool at_end() const { return offset_ >= buffer_.size(); }
+  std::size_t remaining() const { return buffer_.size() - offset_; }
+
+ private:
+  void read_raw(void* out, std::size_t bytes);
+
+  std::vector<char> buffer_;
+  std::size_t offset_ = 0;
+  std::filesystem::path path_;
+};
+
+/// Reads an entire text file; throws IoError if unreadable.
+std::string read_text_file(const std::filesystem::path& path);
+
+/// Writes text atomically-ish (tmp file then rename).
+void write_text_file(const std::filesystem::path& path, const std::string& content);
+
+}  // namespace astromlab::util

@@ -1,0 +1,60 @@
+#include "util/logging.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace astromlab::log {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::kInfo)};
+std::mutex g_emit_mutex;
+
+using Clock = std::chrono::steady_clock;
+const Clock::time_point g_start = Clock::now();
+
+const char* tag(Level l) {
+  switch (l) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
+
+Level level() { return static_cast<Level>(g_level.load(std::memory_order_relaxed)); }
+
+bool enabled(Level l) { return static_cast<int>(l) >= g_level.load(std::memory_order_relaxed); }
+
+void emit(Level l, std::string_view message) {
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - g_start).count();
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%9.3fs] %s %.*s\n", elapsed, tag(l),
+               static_cast<int>(message.size()), message.data());
+}
+
+Level parse_level(std::string_view name) {
+  auto eq = [&](std::string_view target) {
+    if (name.size() != target.size()) return false;
+    for (size_t i = 0; i < name.size(); ++i) {
+      const char a = name[i] >= 'A' && name[i] <= 'Z' ? char(name[i] - 'A' + 'a') : name[i];
+      if (a != target[i]) return false;
+    }
+    return true;
+  };
+  if (eq("debug")) return Level::kDebug;
+  if (eq("info")) return Level::kInfo;
+  if (eq("warn")) return Level::kWarn;
+  if (eq("error")) return Level::kError;
+  if (eq("off")) return Level::kOff;
+  return Level::kInfo;
+}
+
+}  // namespace astromlab::log

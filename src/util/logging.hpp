@@ -1,0 +1,70 @@
+#pragma once
+// Lightweight leveled logger.
+//
+// Free-standing logging functions write to stderr with a monotonic
+// timestamp and severity tag. The global level is process-wide and
+// thread-safe; individual log calls format eagerly only when the level
+// is enabled (callers should gate expensive formatting on `enabled()`).
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace astromlab::log {
+
+enum class Level : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the process-wide minimum severity that will be emitted.
+void set_level(Level level);
+
+/// Current process-wide level.
+Level level();
+
+/// True if a message at `l` would be emitted.
+bool enabled(Level l);
+
+/// Emits one line to stderr: `[elapsed] LEVEL message`.
+void emit(Level l, std::string_view message);
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive);
+/// returns kInfo on unrecognised input.
+Level parse_level(std::string_view name);
+
+namespace detail {
+
+class LineBuilder {
+ public:
+  explicit LineBuilder(Level l) : level_(l), active_(enabled(l)) {}
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+  ~LineBuilder() {
+    if (active_) emit(level_, stream_.str());
+  }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    if (active_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  bool active_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LineBuilder debug() { return detail::LineBuilder(Level::kDebug); }
+inline detail::LineBuilder info() { return detail::LineBuilder(Level::kInfo); }
+inline detail::LineBuilder warn() { return detail::LineBuilder(Level::kWarn); }
+inline detail::LineBuilder error() { return detail::LineBuilder(Level::kError); }
+
+}  // namespace astromlab::log

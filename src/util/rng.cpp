@@ -1,0 +1,76 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace astromlab::util {
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound <= 1) return 0;
+  // Lemire-style rejection: values in the truncated top range are rejected
+  // so the result is exactly uniform.
+  const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+  for (;;) {
+    const std::uint64_t value = next_u64();
+    if (value >= threshold) return value % bound;
+  }
+}
+
+std::int64_t Rng::next_range(std::int64_t lo, std::int64_t hi) {
+  if (hi <= lo) return lo;
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_gaussian() {
+  if (has_gaussian_spare_) {
+    has_gaussian_spare_ = false;
+    return gaussian_spare_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * next_double() - 1.0;
+    v = 2.0 * next_double() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  gaussian_spare_ = v * mul;
+  has_gaussian_spare_ = true;
+  return u * mul;
+}
+
+std::size_t Rng::next_categorical(const std::vector<double>& weights) {
+  if (weights.empty()) return 0;
+  double total = 0.0;
+  for (double w : weights) total += w > 0.0 ? w : 0.0;
+  if (total <= 0.0) return weights.size() - 1;
+  double target = next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (target < w) return i;
+    target -= w;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  if (k > n) k = n;
+  std::vector<std::size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  // Partial Fisher–Yates: the first k slots end up as the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(next_below(n - i));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+Rng Rng::split(std::uint64_t label) {
+  // Mix the label with fresh output so children with different labels (or
+  // successive calls with the same label) are independent.
+  std::uint64_t seed = next_u64() ^ (label * 0x9E3779B97f4A7C15ULL + 0xD1B54A32D192ED03ULL);
+  return Rng(splitmix64(seed));
+}
+
+}  // namespace astromlab::util

@@ -1,0 +1,110 @@
+#pragma once
+// Deterministic, splittable pseudo-random number generation.
+//
+// All stochastic components of the reproduction (corpus synthesis, weight
+// initialisation, data shuffling, sampling, bootstrap resampling) draw from
+// this generator so that every experiment is exactly reproducible from a
+// single 64-bit seed. The core generator is xoshiro256**, seeded via
+// SplitMix64 as recommended by its authors; `split()` derives statistically
+// independent child streams so parallel components never share state.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace astromlab::util {
+
+/// SplitMix64 step — used for seeding and cheap hashing of seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97f4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5EEDULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface (usable with <algorithm>).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float next_float() {
+    return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform integer in [0, bound) with rejection to kill modulo bias.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (cached spare value).
+  double next_gaussian();
+
+  /// True with probability `p`.
+  bool next_bernoulli(double p) { return next_double() < p; }
+
+  /// Index sampled proportionally to non-negative `weights`.
+  /// Returns weights.size() - 1 if all weights are zero.
+  std::size_t next_categorical(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    if (items.size() < 2) return;
+    for (std::size_t i = items.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i + 1));
+      using std::swap;
+      swap(items[i], items[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) (k clamped to n), in random order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+  /// Derives an independent child generator; deterministic given the
+  /// parent's state and the label.
+  Rng split(std::uint64_t label);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double gaussian_spare_ = 0.0;
+  bool has_gaussian_spare_ = false;
+};
+
+}  // namespace astromlab::util

@@ -1,0 +1,47 @@
+#pragma once
+// String helpers shared across corpus generation, prompting and reporting.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace astromlab::util {
+
+/// Splits on a single character; empty fields are kept.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Splits on any whitespace run; empty fields are dropped.
+std::vector<std::string> split_whitespace(std::string_view text);
+
+/// Removes leading/trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view text);
+
+/// ASCII uppercase copy.
+std::string to_upper(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+bool contains(std::string_view text, std::string_view needle);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string_view text, std::string_view from, std::string_view to);
+
+/// "%.1f"-style fixed formatting without streams.
+std::string format_fixed(double value, int decimals);
+
+/// Pads/truncates to an exact display width (left-aligned).
+std::string pad_right(std::string_view text, std::size_t width);
+
+/// Pads on the left (right-aligned).
+std::string pad_left(std::string_view text, std::size_t width);
+
+/// Renders "16-char hex" of a u64.
+std::string to_hex(std::uint64_t value);
+
+}  // namespace astromlab::util

@@ -1,0 +1,125 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace astromlab::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw > 1 ? hw - 1 : 0;
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // Serial fallback: run inline so the pool is usable on 1-core hosts.
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t, std::size_t)>& body,
+                              std::size_t grain) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(grain, 1);
+  const std::size_t parallelism = workers_.size() + 1;
+  const std::size_t max_chunks = (n + grain - 1) / grain;
+  const std::size_t chunks = std::min(parallelism, max_chunks);
+  if (chunks <= 1 || workers_.empty()) {
+    body(0, n);
+    return;
+  }
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  std::atomic<std::size_t> remaining{chunks - 1};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  for (std::size_t c = 1; c < chunks; ++c) {
+    const std::size_t begin = c * chunk_size;
+    const std::size_t end = std::min(n, begin + chunk_size);
+    submit([&, begin, end] {
+      if (begin < end) body(begin, end);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_one();
+      }
+    });
+  }
+  // Calling thread handles the first chunk.
+  body(0, std::min(n, chunk_size));
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for_each(std::size_t n, const std::function<void(std::size_t)>& body,
+                       std::size_t grain) {
+  ThreadPool::global().parallel_for(
+      n,
+      [&body](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      },
+      grain);
+}
+
+void parallel_for_range(std::size_t n,
+                        const std::function<void(std::size_t, std::size_t)>& body,
+                        std::size_t grain) {
+  ThreadPool::global().parallel_for(n, body, grain);
+}
+
+}  // namespace astromlab::util

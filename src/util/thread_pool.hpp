@@ -1,0 +1,72 @@
+#pragma once
+// Work-sharing thread pool and `parallel_for`.
+//
+// The training and evaluation kernels (GEMM, attention, batched logit
+// evaluation) parallelise over independent row/batch ranges. The pool is a
+// classic condition-variable task queue; `parallel_for` chunks an index
+// range across workers and joins before returning, so callers never observe
+// partially-applied updates. On single-core machines the pool degrades to
+// serial execution in the calling thread with no locking overhead.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace astromlab::util {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware_concurrency - 1
+  /// (the caller participates in parallel_for, so total parallelism is
+  /// num_threads + 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Enqueues a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void wait_idle();
+
+  /// Runs `body(begin, end)` over [0, n) split into contiguous chunks,
+  /// using the workers plus the calling thread. Blocks until complete.
+  /// `grain` is the minimum chunk size worth parallelising.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t grain = 1);
+
+  /// Process-wide shared pool (lazily constructed, sized from hardware).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Convenience wrapper over the global pool. `body(i)` is invoked once per
+/// index; use the range overload for cache-friendly chunk processing.
+void parallel_for_each(std::size_t n, const std::function<void(std::size_t)>& body,
+                       std::size_t grain = 64);
+
+/// Range form: `body(begin, end)` per chunk on the global pool.
+void parallel_for_range(std::size_t n,
+                        const std::function<void(std::size_t, std::size_t)>& body,
+                        std::size_t grain = 64);
+
+}  // namespace astromlab::util

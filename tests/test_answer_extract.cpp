@@ -1,0 +1,106 @@
+// The three-stage answer-extraction pipeline of the full-instruct method:
+// JSON parse, regex rescue, and the GPT-4o-analog interpreter fallback.
+#include <gtest/gtest.h>
+
+#include "eval/answer_extract.hpp"
+
+namespace astromlab::eval {
+namespace {
+
+const std::array<std::string, 4> kOptions = {
+    "1.0 to 1.5 solar masses", "2.0 to 2.5 solar masses",
+    "3.0 to 3.5 solar masses", "0.5 to 1.0 solar masses"};
+
+struct ExtractCase {
+  const char* name;
+  const char* output;
+  int expected_letter;  // -1 = extraction should fail
+  ExtractionMethod expected_method;
+};
+
+class ExtractTest : public ::testing::TestWithParam<ExtractCase> {};
+
+TEST_P(ExtractTest, ExtractsExpectedLetterViaExpectedMethod) {
+  const ExtractCase& c = GetParam();
+  const ExtractedAnswer answer = extract_answer(c.output, kOptions);
+  if (c.expected_letter < 0) {
+    EXPECT_FALSE(answer.letter.has_value()) << c.name;
+  } else {
+    ASSERT_TRUE(answer.letter.has_value()) << c.name;
+    EXPECT_EQ(*answer.letter, c.expected_letter) << c.name;
+  }
+  EXPECT_EQ(answer.method, c.expected_method) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pipeline, ExtractTest,
+    ::testing::Values(
+        // --- Stage 1: strict JSON ---
+        ExtractCase{"clean_json",
+                    R"({"ANSWER": "B", "EXPLANATION": "because"})", 1,
+                    ExtractionMethod::kJson},
+        ExtractCase{"json_with_preamble",
+                    R"(Sure! Here is my answer: {"ANSWER": "C", "EXPLANATION": "x"})", 2,
+                    ExtractionMethod::kJson},
+        ExtractCase{"json_lowercase_key", R"({"answer": "d"})", 3, ExtractionMethod::kJson},
+        ExtractCase{"json_letter_with_text", R"({"ANSWER": "A: 1.0 to 1.5 solar masses"})",
+                    0, ExtractionMethod::kJson},
+        ExtractCase{"json_trailing_garbage",
+                    R"({"ANSWER": "B"} and then it kept talking...)", 1,
+                    ExtractionMethod::kJson},
+        // --- Stage 2: regex over malformed JSON ---
+        ExtractCase{"unterminated_json", R"({"ANSWER": "B", "EXPLANATION": "runs off)", 1,
+                    ExtractionMethod::kRegex},
+        ExtractCase{"missing_quotes", R"({ANSWER: C, EXPLANATION: none})", 2,
+                    ExtractionMethod::kRegex},
+        ExtractCase{"answer_equals", R"(ANSWER = "D")", 3, ExtractionMethod::kRegex},
+        // --- Stage 3: interpreter fallback ---
+        ExtractCase{"prose_answer_is", "I believe the answer is C because of the disk.", 2,
+                    ExtractionMethod::kInterpreter},
+        ExtractCase{"prose_correct_option", "The correct option is (B).", 1,
+                    ExtractionMethod::kInterpreter},
+        // "Answer: D" is already caught by the (case-insensitive) regex
+        // stage, before the interpreter ever runs.
+        ExtractCase{"prose_answer_colon", "Answer: D", 3, ExtractionMethod::kRegex},
+        ExtractCase{"verbatim_option",
+                    "Based on the population it must be 2.0 to 2.5 solar masses.", 1,
+                    ExtractionMethod::kInterpreter},
+        ExtractCase{"lone_letter", "Definitely \"A\".", 0, ExtractionMethod::kInterpreter},
+        // --- Failure ---
+        ExtractCase{"nothing_extractable", "I am not sure about this question at all.", -1,
+                    ExtractionMethod::kFailed},
+        ExtractCase{"empty_output", "", -1, ExtractionMethod::kFailed}));
+
+TEST(Extract, JsonTakesPriorityOverProse) {
+  // Both a JSON answer and a contradicting prose answer: JSON wins.
+  const auto answer =
+      extract_answer(R"(The answer is A. {"ANSWER": "D"})", kOptions);
+  ASSERT_TRUE(answer.letter.has_value());
+  EXPECT_EQ(*answer.letter, 3);
+  EXPECT_EQ(answer.method, ExtractionMethod::kJson);
+}
+
+TEST(Extract, AmbiguousOptionMatchDoesNotGuess) {
+  // Two different options restated verbatim -> interpreter must not pick.
+  const std::string output = "It is either 1.0 to 1.5 solar masses or "
+                             "2.0 to 2.5 solar masses, hard to say.";
+  const auto answer = extract_answer(output, kOptions);
+  EXPECT_FALSE(answer.letter.has_value());
+}
+
+TEST(Extract, JsonWithNonStringAnswerFallsThrough) {
+  const auto answer = extract_answer(R"({"ANSWER": 2})", kOptions);
+  // Strict JSON rejects; regex finds no letter after ANSWER; interpreter
+  // has nothing to work with.
+  EXPECT_FALSE(answer.letter.has_value());
+}
+
+TEST(Extract, MethodNamesAreStable) {
+  EXPECT_STREQ(extraction_method_name(ExtractionMethod::kJson), "json");
+  EXPECT_STREQ(extraction_method_name(ExtractionMethod::kRegex), "regex");
+  EXPECT_STREQ(extraction_method_name(ExtractionMethod::kInterpreter), "interpreter");
+  EXPECT_STREQ(extraction_method_name(ExtractionMethod::kFailed), "failed");
+}
+
+}  // namespace
+}  // namespace astromlab::eval

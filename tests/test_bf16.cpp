@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/bf16.hpp"
+#include "util/rng.hpp"
+
+namespace astromlab::tensor {
+namespace {
+
+TEST(Bf16, ExactValuesRoundTrip) {
+  // Values representable in 8 mantissa bits survive exactly.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, -0.25f, 2.0f, 128.0f, -0.0078125f}) {
+    EXPECT_EQ(bf16_round(v), v) << v;
+  }
+}
+
+TEST(Bf16, SignPreserved) {
+  EXPECT_EQ(std::signbit(bf16_round(-0.0f)), true);
+  EXPECT_LT(bf16_round(-3.14159f), 0.0f);
+}
+
+TEST(Bf16, RelativeErrorBounded) {
+  util::Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = static_cast<float>(rng.next_gaussian()) * 10.0f;
+    if (v == 0.0f) continue;
+    const float r = bf16_round(v);
+    // 7 mantissa bits -> half-ULP relative error <= 2^-8.
+    EXPECT_LE(std::abs(r - v) / std::abs(v), 1.0f / 256.0f) << v;
+  }
+}
+
+TEST(Bf16, RoundToNearestEven) {
+  // bf16 has 7 mantissa bits, so the ULP at 1.0 is 2^-7; 1.0 + 2^-8 is
+  // exactly halfway between two bf16 values and must round to the even
+  // mantissa (1.0).
+  const float halfway = 1.0f + 1.0f / 256.0f;
+  EXPECT_EQ(bf16_round(halfway), 1.0f);
+  // Just above halfway rounds up to 1.0 + 2^-7.
+  EXPECT_EQ(bf16_round(1.0f + 1.2f / 256.0f), 1.0f + 1.0f / 128.0f);
+}
+
+TEST(Bf16, InfinityPreserved) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(bf16_round(inf), inf);
+  EXPECT_EQ(bf16_round(-inf), -inf);
+}
+
+TEST(Bf16, NanStaysNan) {
+  EXPECT_TRUE(std::isnan(bf16_round(std::numeric_limits<float>::quiet_NaN())));
+}
+
+TEST(Bf16, LargeValuesDoNotOverflowToInf) {
+  // Max finite bf16 ~ 3.39e38; a large-but-representable float stays finite.
+  EXPECT_TRUE(std::isfinite(bf16_round(1e38f)));
+}
+
+TEST(Bf16, BitsLayout) {
+  EXPECT_EQ(float_to_bf16(1.0f), 0x3F80);
+  EXPECT_EQ(float_to_bf16(-2.0f), 0xC000);
+  EXPECT_FLOAT_EQ(bf16_to_float(0x3F80), 1.0f);
+}
+
+}  // namespace
+}  // namespace astromlab::tensor

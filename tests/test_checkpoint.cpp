@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "nn/checkpoint.hpp"
+#include "tensor/bf16.hpp"
+#include "util/io.hpp"
+#include "util/rng.hpp"
+
+namespace astromlab::nn {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / ("astromlab_ckpt_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  GptModel make_model(std::uint64_t seed = 3) {
+    GptConfig config;
+    config.vocab_size = 50;
+    config.ctx_len = 12;
+    config.d_model = 20;
+    config.n_heads = 4;
+    config.n_layers = 2;
+    config.d_ff = 40;
+    GptModel model(config);
+    util::Rng rng(seed);
+    model.init_weights(rng);
+    return model;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CheckpointTest, F32RoundTripIsExact) {
+  GptModel model = make_model();
+  const fs::path path = dir_ / "model_f32.ckpt";
+  save_checkpoint(model, path, CheckpointPrecision::kF32);
+  const GptModel loaded = load_checkpoint(path);
+  EXPECT_EQ(loaded.config(), model.config());
+  for (std::size_t i = 0; i < model.params().total_size(); ++i) {
+    EXPECT_EQ(loaded.params().params()[i], model.params().params()[i]) << i;
+  }
+}
+
+TEST_F(CheckpointTest, Bf16RoundTripIsQuantised) {
+  GptModel model = make_model();
+  const fs::path path = dir_ / "model_bf16.ckpt";
+  save_checkpoint(model, path, CheckpointPrecision::kBf16);
+  const GptModel loaded = load_checkpoint(path);
+  for (std::size_t i = 0; i < model.params().total_size(); ++i) {
+    const float expected = tensor::bf16_round(model.params().params()[i]);
+    EXPECT_EQ(loaded.params().params()[i], expected) << i;
+  }
+}
+
+TEST_F(CheckpointTest, Bf16IsHalfTheSizeOfF32) {
+  GptModel model = make_model();
+  save_checkpoint(model, dir_ / "a.ckpt", CheckpointPrecision::kF32);
+  save_checkpoint(model, dir_ / "b.ckpt", CheckpointPrecision::kBf16);
+  const auto f32_size = fs::file_size(dir_ / "a.ckpt");
+  const auto bf16_size = fs::file_size(dir_ / "b.ckpt");
+  EXPECT_LT(bf16_size, f32_size * 0.55);
+}
+
+TEST_F(CheckpointTest, LoadedModelProducesIdenticalLogits) {
+  GptModel model = make_model(17);
+  const fs::path path = dir_ / "logits.ckpt";
+  save_checkpoint(model, path, CheckpointPrecision::kF32);
+  const GptModel loaded = load_checkpoint(path);
+  GptInference a(model), b(loaded);
+  const std::vector<float>& la = a.prompt({1, 2, 3, 4});
+  const std::vector<float>& lb = b.prompt({1, 2, 3, 4});
+  for (std::size_t i = 0; i < la.size(); ++i) EXPECT_EQ(la[i], lb[i]);
+}
+
+TEST_F(CheckpointTest, PeekReadsConfigOnly) {
+  GptModel model = make_model();
+  const fs::path path = dir_ / "peek.ckpt";
+  save_checkpoint(model, path);
+  EXPECT_EQ(peek_checkpoint_config(path), model.config());
+}
+
+TEST_F(CheckpointTest, RejectsWrongMagic) {
+  const fs::path path = dir_ / "garbage.bin";
+  util::write_text_file(path, "this is not a checkpoint");
+  EXPECT_THROW(load_checkpoint(path), util::IoError);
+  EXPECT_THROW(peek_checkpoint_config(path), util::IoError);
+}
+
+TEST_F(CheckpointTest, RejectsTruncatedFile) {
+  GptModel model = make_model();
+  const fs::path path = dir_ / "full.ckpt";
+  save_checkpoint(model, path, CheckpointPrecision::kF32);
+  // Truncate to half.
+  const std::string content = util::read_text_file(path);
+  util::write_text_file(dir_ / "cut.ckpt", content.substr(0, content.size() / 2));
+  EXPECT_THROW(load_checkpoint(dir_ / "cut.ckpt"), util::IoError);
+}
+
+}  // namespace
+}  // namespace astromlab::nn

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/cli.hpp"
+
+namespace astromlab::util {
+namespace {
+
+ArgParser make_parser(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return ArgParser(static_cast<int>(args.size()), args.data());
+}
+
+TEST(ArgParser, EqualsForm) {
+  const auto parser = make_parser({"--alpha=1", "--name=astro"});
+  EXPECT_EQ(parser.get_int("alpha", 0), 1);
+  EXPECT_EQ(parser.get_string("name", ""), "astro");
+}
+
+TEST(ArgParser, SpaceForm) {
+  const auto parser = make_parser({"--steps", "42", "--lr", "0.5"});
+  EXPECT_EQ(parser.get_int("steps", 0), 42);
+  EXPECT_DOUBLE_EQ(parser.get_double("lr", 0.0), 0.5);
+}
+
+TEST(ArgParser, BareFlagIsTrue) {
+  const auto parser = make_parser({"--verbose", "--quiet", "--last"});
+  EXPECT_TRUE(parser.get_bool("verbose", false));
+  EXPECT_TRUE(parser.get_bool("quiet", false));
+  EXPECT_TRUE(parser.get_bool("last", false));
+}
+
+TEST(ArgParser, PositionalArguments) {
+  const auto parser = make_parser({"input.txt", "--k=1", "output.txt"});
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "input.txt");
+  EXPECT_EQ(parser.positional()[1], "output.txt");
+}
+
+TEST(ArgParser, FallbacksOnMissingAndMalformed) {
+  const auto parser = make_parser({"--count=abc", "--frac=x.y"});
+  EXPECT_EQ(parser.get_int("count", 7), 7);
+  EXPECT_DOUBLE_EQ(parser.get_double("frac", 2.5), 2.5);
+  EXPECT_EQ(parser.get_string("missing", "dflt"), "dflt");
+  EXPECT_FALSE(parser.get_bool("missing", false));
+}
+
+TEST(ArgParser, BoolSpellings) {
+  const auto parser =
+      make_parser({"--a=1", "--b=true", "--c=YES", "--d=0", "--e=off", "--f=maybe"});
+  EXPECT_TRUE(parser.get_bool("a", false));
+  EXPECT_TRUE(parser.get_bool("b", false));
+  EXPECT_TRUE(parser.get_bool("c", false));
+  EXPECT_FALSE(parser.get_bool("d", true));
+  EXPECT_FALSE(parser.get_bool("e", true));
+  EXPECT_TRUE(parser.get_bool("f", true));  // unrecognised -> fallback
+}
+
+TEST(ArgParser, EnvironmentFallback) {
+  ::setenv("ASTROMLAB_ENV_PROBE", "314", 1);
+  const auto parser = make_parser({});
+  EXPECT_EQ(parser.get_int("env-probe", 0), 314);
+  ::unsetenv("ASTROMLAB_ENV_PROBE");
+  EXPECT_EQ(parser.get_int("env-probe", 5), 5);
+}
+
+TEST(ArgParser, CliBeatsEnvironment) {
+  ::setenv("ASTROMLAB_PRIORITY", "env", 1);
+  const auto parser = make_parser({"--priority=cli"});
+  EXPECT_EQ(parser.get_string("priority", ""), "cli");
+  ::unsetenv("ASTROMLAB_PRIORITY");
+}
+
+}  // namespace
+}  // namespace astromlab::util

@@ -1,0 +1,181 @@
+// Model zoo, recipes, cost model and value model.
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "core/model_zoo.hpp"
+#include "core/recipes.hpp"
+#include "core/study.hpp"
+#include "core/value_model.hpp"
+
+namespace astromlab::core {
+namespace {
+
+TEST(ModelZoo, ScaleOrderingMatchesFamilies) {
+  const WorldConfig world;
+  const ScaleSpec s7 = scale_spec(Scale::kS7, world);
+  const ScaleSpec s8 = scale_spec(Scale::kS8, world);
+  const ScaleSpec s70 = scale_spec(Scale::kS70, world);
+  // Capacity ordering: S70 > S8 > S7.
+  EXPECT_GT(s70.arch.param_count(), s8.arch.param_count());
+  EXPECT_GT(s8.arch.param_count(), s7.arch.param_count());
+  // Pretraining-data quality: LLaMA-3 analog sees better coverage than the
+  // LLaMA-2-7B analog (the 15T-token jump); S70 at least matches S8.
+  EXPECT_GT(s8.pretrain.canonical_coverage, s7.pretrain.canonical_coverage);
+  EXPECT_GE(s70.pretrain.canonical_coverage, s8.pretrain.canonical_coverage);
+  EXPECT_GT(s8.pretrain.fact_repetitions, s7.pretrain.fact_repetitions);
+}
+
+TEST(ModelZoo, ArchitecturesAreValidAndShareWorldDims) {
+  const WorldConfig world;
+  for (Scale scale : {Scale::kS7, Scale::kS8, Scale::kS70}) {
+    const ScaleSpec spec = scale_spec(scale, world);
+    EXPECT_NO_THROW(spec.arch.validate());
+    EXPECT_EQ(spec.arch.vocab_size, world.vocab_size);
+    EXPECT_EQ(spec.arch.ctx_len, world.ctx_len);
+  }
+}
+
+TEST(ModelZoo, SizeMultiplierScalesCorpusVolumes) {
+  WorldConfig big;
+  big.size_multiplier = 1.0;
+  WorldConfig small = big;
+  small.size_multiplier = 0.1;
+  const ScaleSpec spec_big = scale_spec(Scale::kS8, big);
+  const ScaleSpec spec_small = scale_spec(Scale::kS8, small);
+  EXPECT_GT(spec_big.pretrain.filler_paragraphs, spec_small.pretrain.filler_paragraphs);
+  EXPECT_GT(spec_big.pretrain.practice_exam_blocks,
+            spec_small.pretrain.practice_exam_blocks);
+}
+
+TEST(ModelZoo, NamesMapToPaperFamilies) {
+  EXPECT_STREQ(scale_paper_name(Scale::kS7), "LLaMA-2-7B");
+  EXPECT_STREQ(scale_paper_name(Scale::kS8), "LLaMA-3-8B");
+  EXPECT_STREQ(scale_paper_name(Scale::kS70), "LLaMA-2-70B");
+  EXPECT_STREQ(scale_astro_name(Scale::kS70), "AstroLLaMA-2-70B");
+  EXPECT_STREQ(scale_name(Scale::kS8), "S8");
+}
+
+TEST(ModelZoo, HashChangesWithConfig) {
+  WorldConfig a, b;
+  b.seed = a.seed + 1;
+  util::HashBuilder ha, hb;
+  a.add_to_hash(ha);
+  b.add_to_hash(hb);
+  EXPECT_NE(ha.digest(), hb.digest());
+
+  util::HashBuilder hs7, hs8;
+  scale_spec(Scale::kS7, a).add_to_hash(hs7);
+  scale_spec(Scale::kS8, a).add_to_hash(hs8);
+  EXPECT_NE(hs7.digest(), hs8.digest());
+}
+
+TEST(Recipes, CptCorpusVariantsDifferAsDocumented) {
+  const WorldConfig world;
+  const auto abstract = cpt_corpus_spec(corpus::CptVariant::kAbstract, world);
+  const auto aic = cpt_corpus_spec(corpus::CptVariant::kAic, world);
+  const auto summary = cpt_corpus_spec(corpus::CptVariant::kSummary, world);
+  const auto ocr = cpt_corpus_spec(corpus::CptVariant::kFullTextOcr, world);
+  // Abstracts are short -> more passes to reach a comparable budget.
+  EXPECT_GT(abstract.passes, aic.passes);
+  // The 2-7B-era LaTeX cleaning was noisy; summaries are clean.
+  EXPECT_GT(aic.debris_rate, 0.0);
+  EXPECT_DOUBLE_EQ(summary.debris_rate, 0.0);
+  EXPECT_GT(ocr.ocr_noise_rate, 0.0);
+}
+
+TEST(Recipes, CptIsScaleInvariantAndOneEpoch) {
+  const WorldConfig world;
+  const auto r7 = cpt_recipe(Scale::kS7, world);
+  const auto r70 = cpt_recipe(Scale::kS70, world);
+  EXPECT_EQ(r7.lr, r70.lr);        // same dataset & recipe across scales (§III)
+  EXPECT_DOUBLE_EQ(r7.epochs, 1.0);  // paper: one epoch
+  EXPECT_DOUBLE_EQ(r7.warmup_ratio, 0.03);
+}
+
+TEST(Recipes, SftKindsDiffer) {
+  const WorldConfig world;
+  const auto small = sft_recipe(Scale::kS8, SftKind::kAstroLLaMA, world);
+  const auto vendor = sft_recipe(Scale::kS8, SftKind::kVendor, world);
+  EXPECT_LT(small.lr, vendor.lr);
+  EXPECT_LT(small.epochs, vendor.epochs);
+  EXPECT_DOUBLE_EQ(small.epochs, 1.0);  // paper: one SFT epoch
+
+  const auto small_data = sft_data_spec(SftKind::kAstroLLaMA, world);
+  const auto vendor_data = sft_data_spec(SftKind::kVendor, world);
+  EXPECT_LT(small_data.total_dialogues, vendor_data.total_dialogues);
+  EXPECT_NEAR(small_data.astro_fraction, 1.0 / 3.0, 1e-9);
+}
+
+TEST(CostModel, ReproducesPaperFiguresWithinFactorTwo) {
+  const auto rows = reproduce_paper_costs();
+  ASSERT_GE(rows.size(), 5u);
+  for (const CostRow& row : rows) {
+    if (row.reported_hours <= 0.0) continue;  // extrapolation rows
+    EXPECT_GT(row.predicted_hours, row.reported_hours / 2.0) << row.stage;
+    EXPECT_LT(row.predicted_hours, row.reported_hours * 2.0) << row.stage;
+  }
+}
+
+TEST(CostModel, ExtrapolationsSpanPaperOrders) {
+  // §VII: full-text CPT would need O(10^4)-O(10^5) A100 hours.
+  const auto rows = reproduce_paper_costs();
+  double extrapolation_min = 1e18, extrapolation_max = 0;
+  for (const CostRow& row : rows) {
+    if (row.reported_hours > 0.0) continue;
+    extrapolation_min = std::min(extrapolation_min, row.predicted_hours);
+    extrapolation_max = std::max(extrapolation_max, row.predicted_hours);
+  }
+  EXPECT_GE(extrapolation_min, 1e3);
+  EXPECT_GE(extrapolation_max, 1e4);
+  EXPECT_LT(extrapolation_max, 1e6);
+}
+
+TEST(CostModel, ScalesLinearly) {
+  const GpuCostModel model;
+  EXPECT_NEAR(model.train_gpu_hours(2e9, 1e9), 2.0 * model.train_gpu_hours(1e9, 1e9), 1e-9);
+  EXPECT_NEAR(model.train_gpu_hours(1e9, 2e9), 2.0 * model.train_gpu_hours(1e9, 1e9), 1e-9);
+  EXPECT_GT(model.inference_gpu_hours(1e9, 1e9), model.train_gpu_hours(1e9, 1e9) / 3.0);
+}
+
+TEST(CostModel, TableRendersEveryStage) {
+  const auto rows = reproduce_paper_costs();
+  const std::string table = render_cost_table(rows);
+  for (const CostRow& row : rows) {
+    EXPECT_NE(table.find(row.stage), std::string::npos) << row.stage;
+  }
+}
+
+TEST(ValueModel, TenXPerConfiguredPoints) {
+  const ValueModel model;
+  EXPECT_NEAR(model.cost_efficiency_factor(3.5), 10.0, 1e-9);
+  EXPECT_NEAR(model.cost_efficiency_factor(7.0), 100.0, 1e-6);
+  EXPECT_NEAR(model.cost_efficiency_factor(0.0), 1.0, 1e-12);
+  // The paper's 2.1-point gain: ~4x value, ~two-thirds of a tier gap.
+  EXPECT_NEAR(model.cost_efficiency_factor(2.1), 3.98, 0.05);
+  EXPECT_NEAR(model.fraction_of(2.1, paper_reference_tier_gap()), 2.0 / 3.0, 0.02);
+}
+
+TEST(ValueModel, FlagshipListMatchesPaper) {
+  const auto flagships = paper_flagship_scores();
+  ASSERT_EQ(flagships.size(), 3u);
+  EXPECT_EQ(flagships[0].name, "Gemini-1.5-Pro-001");
+  EXPECT_DOUBLE_EQ(flagships[0].score, 77.6);
+  const std::string analysis = render_value_analysis(2.1, 76.0);
+  EXPECT_NE(analysis.find("Gemini-1.5-Pro-001"), std::string::npos);
+  EXPECT_NE(analysis.find("2.1"), std::string::npos);
+}
+
+TEST(PaperReference, RowsEncodeTableOne) {
+  const auto rows = paper_reference_rows();
+  ASSERT_EQ(rows.size(), 8u);
+  const auto* astro70 = &rows.back();
+  EXPECT_EQ(astro70->name, "AstroLLaMA-2-70B-AIC");
+  EXPECT_DOUBLE_EQ(astro70->token_base, 76.0);
+  EXPECT_DOUBLE_EQ(astro70->full_instruct, 64.7);
+  // Abstract row has dashes for instruct columns.
+  EXPECT_DOUBLE_EQ(rows[2].full_instruct, -1.0);
+  EXPECT_DOUBLE_EQ(rows[2].token_base, 43.5);
+}
+
+}  // namespace
+}  // namespace astromlab::core

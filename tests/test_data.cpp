@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "nn/data.hpp"
+
+namespace astromlab::nn {
+namespace {
+
+TEST(StreamDataset, RejectsTinyStreams) {
+  EXPECT_THROW(StreamDataset(std::vector<Token>{}), std::invalid_argument);
+  EXPECT_THROW(StreamDataset(std::vector<Token>{1}), std::invalid_argument);
+}
+
+TEST(StreamDataset, TargetsAreShiftedInputs) {
+  std::vector<Token> stream(100);
+  for (std::size_t i = 0; i < stream.size(); ++i) stream[i] = static_cast<Token>(i);
+  StreamDataset data(stream);
+  EXPECT_EQ(data.epoch_tokens(), 100u);
+
+  util::Rng rng(1);
+  std::vector<Token> inputs, targets;
+  data.next_batch(inputs, targets, 4, 10, rng);
+  ASSERT_EQ(inputs.size(), 40u);
+  ASSERT_EQ(targets.size(), 40u);
+  for (std::size_t b = 0; b < 4; ++b) {
+    for (std::size_t t = 0; t < 10; ++t) {
+      // Stream is the identity sequence, so target == input + 1 everywhere
+      // (modulo the end-of-stream clamp).
+      EXPECT_EQ(targets[b * 10 + t], inputs[b * 10 + t] + 1);
+    }
+  }
+}
+
+TEST(StreamDataset, HandlesWindowLargerThanStream) {
+  std::vector<Token> stream = {1, 2, 3};
+  StreamDataset data(stream);
+  util::Rng rng(2);
+  std::vector<Token> inputs, targets;
+  data.next_batch(inputs, targets, 1, 8, rng);
+  ASSERT_EQ(inputs.size(), 8u);
+  // Positions past the stream clamp to the final transition.
+  EXPECT_EQ(inputs[7], 2);
+  EXPECT_EQ(targets[7], 3);
+}
+
+TEST(StreamDataset, WindowsVaryAcrossDraws) {
+  std::vector<Token> stream(5000);
+  for (std::size_t i = 0; i < stream.size(); ++i) stream[i] = static_cast<Token>(i % 1000);
+  StreamDataset data(stream);
+  util::Rng rng(3);
+  std::vector<Token> in1, tg1, in2, tg2;
+  data.next_batch(in1, tg1, 1, 16, rng);
+  data.next_batch(in2, tg2, 1, 16, rng);
+  EXPECT_NE(in1, in2);  // ~1/5000 chance of collision
+}
+
+MaskedExample make_example(std::vector<Token> tokens, std::vector<int> mask) {
+  MaskedExample example;
+  example.tokens = std::move(tokens);
+  for (int m : mask) example.loss_mask.push_back(m != 0);
+  return example;
+}
+
+TEST(MaskedExampleDataset, ValidatesConstruction) {
+  EXPECT_THROW(MaskedExampleDataset({}, 0), std::invalid_argument);
+  MaskedExample bad;
+  bad.tokens = {1, 2};
+  bad.loss_mask = {true};
+  EXPECT_THROW(MaskedExampleDataset({bad}, 0), std::invalid_argument);
+}
+
+TEST(MaskedExampleDataset, MasksPromptAndPadding) {
+  // tokens:    10 11 12 13   (mask: prompt, prompt, answer, answer)
+  const auto example = make_example({10, 11, 12, 13}, {0, 0, 1, 1});
+  MaskedExampleDataset data({example}, /*pad=*/99);
+  util::Rng rng(4);
+  std::vector<Token> inputs, targets;
+  data.next_batch(inputs, targets, 1, 6, rng);
+  ASSERT_EQ(inputs.size(), 6u);
+  // Inputs: example then pad.
+  EXPECT_EQ(inputs[0], 10);
+  EXPECT_EQ(inputs[3], 13);
+  EXPECT_EQ(inputs[4], 99);
+  EXPECT_EQ(inputs[5], 99);
+  // Targets: position t trains on token t+1 iff mask[t+1].
+  EXPECT_EQ(targets[0], kIgnoreTarget);  // token 11 is prompt
+  EXPECT_EQ(targets[1], 12);             // token 12 is answer
+  EXPECT_EQ(targets[2], 13);
+  EXPECT_EQ(targets[3], kIgnoreTarget);  // past the example
+  EXPECT_EQ(targets[4], kIgnoreTarget);
+}
+
+TEST(MaskedExampleDataset, TruncatesLongExamples) {
+  std::vector<Token> tokens(20);
+  std::vector<int> mask(20, 1);
+  for (std::size_t i = 0; i < 20; ++i) tokens[i] = static_cast<Token>(i);
+  const auto example = make_example(tokens, mask);
+  MaskedExampleDataset data({example}, 0);
+  util::Rng rng(5);
+  std::vector<Token> inputs, targets;
+  data.next_batch(inputs, targets, 1, 8, rng);
+  ASSERT_EQ(inputs.size(), 8u);
+  EXPECT_EQ(inputs[7], 7);
+  EXPECT_EQ(targets[7], 8);  // target from within the (truncated) example
+}
+
+TEST(MaskedExampleDataset, EpochTokensSumsExamples) {
+  const auto a = make_example({1, 2, 3}, {0, 1, 1});
+  const auto b = make_example({4, 5}, {0, 1});
+  MaskedExampleDataset data({a, b}, 0);
+  EXPECT_EQ(data.epoch_tokens(), 5u);
+  EXPECT_EQ(data.example_count(), 2u);
+}
+
+}  // namespace
+}  // namespace astromlab::nn

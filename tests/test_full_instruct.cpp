@@ -1,0 +1,118 @@
+// Full-instruct benchmarking pipeline: chat prompting, bounded greedy
+// generation and extraction bookkeeping.
+#include <gtest/gtest.h>
+
+#include "corpus/corpora.hpp"
+#include "eval/full_instruct.hpp"
+#include "util/rng.hpp"
+
+namespace astromlab::eval {
+namespace {
+
+struct TinyWorld {
+  corpus::KnowledgeBase kb;
+  corpus::McqSplit mcqs;
+  tokenizer::BpeTokenizer tok;
+};
+
+TinyWorld make_world() {
+  TinyWorld world;
+  corpus::KbConfig kb_config;
+  kb_config.n_topics = 4;
+  kb_config.entities_per_topic = 3;
+  kb_config.facts_per_entity = 2;
+  kb_config.seed = 61;
+  world.kb = corpus::KnowledgeBase::generate(kb_config);
+  corpus::McqGenConfig mcq_config;
+  mcq_config.questions_per_topic = 2;
+  mcq_config.seed = 62;
+  world.mcqs = corpus::generate_mcqs(world.kb, mcq_config);
+  tokenizer::BpeTrainConfig tok_config;
+  tok_config.vocab_size = 420;
+  world.tok = tokenizer::BpeTokenizer::train(
+      corpus::build_tokenizer_training_text(world.kb, world.mcqs.practice, 63), tok_config);
+  return world;
+}
+
+nn::GptModel make_model(const TinyWorld& world) {
+  nn::GptConfig config;
+  config.vocab_size = world.tok.vocab_size();
+  config.ctx_len = 384;
+  config.d_model = 24;
+  config.n_heads = 2;
+  config.n_layers = 1;
+  config.d_ff = 48;
+  nn::GptModel model(config);
+  util::Rng rng(64);
+  model.init_weights(rng);
+  return model;
+}
+
+TEST(FullInstructOne, RecordsOutcomeFields) {
+  const TinyWorld world = make_world();
+  const nn::GptModel model = make_model(world);
+  FullInstructConfig config;
+  config.max_new_tokens = 24;
+  const corpus::McqItem& item = world.mcqs.benchmark.front();
+  const FullInstructOutcome outcome = full_instruct_one(model, world.tok, item, config);
+  EXPECT_EQ(outcome.result.correct, static_cast<int>(item.correct));
+  EXPECT_EQ(outcome.result.tier, item.tier);
+  EXPECT_GE(outcome.result.predicted, -1);
+  EXPECT_LE(outcome.result.predicted, 3);
+  if (outcome.result.predicted < 0) {
+    EXPECT_EQ(outcome.result.method, ExtractionMethod::kFailed);
+  } else {
+    EXPECT_NE(outcome.result.method, ExtractionMethod::kFailed);
+  }
+}
+
+TEST(FullInstructOne, GreedyIsDeterministic) {
+  const TinyWorld world = make_world();
+  const nn::GptModel model = make_model(world);
+  FullInstructConfig config;
+  config.max_new_tokens = 24;
+  const corpus::McqItem& item = world.mcqs.benchmark.front();
+  const FullInstructOutcome a = full_instruct_one(model, world.tok, item, config);
+  const FullInstructOutcome b = full_instruct_one(model, world.tok, item, config);
+  EXPECT_EQ(a.raw_output, b.raw_output);
+  EXPECT_EQ(a.result.predicted, b.result.predicted);
+}
+
+TEST(FullInstructOne, GenerationStopsAtTokenBudget) {
+  const TinyWorld world = make_world();
+  const nn::GptModel model = make_model(world);
+  FullInstructConfig config;
+  config.max_new_tokens = 8;
+  const FullInstructOutcome outcome =
+      full_instruct_one(model, world.tok, world.mcqs.benchmark.front(), config);
+  // Decoded text of <= 8 tokens is small (each token is a short string).
+  EXPECT_LT(outcome.raw_output.size(), 200u);
+}
+
+TEST(RunFullInstruct, CoversEveryQuestion) {
+  const TinyWorld world = make_world();
+  const nn::GptModel model = make_model(world);
+  FullInstructConfig config;
+  config.max_new_tokens = 16;
+  const auto results =
+      run_full_instruct_benchmark(model, world.tok, world.mcqs.benchmark, config);
+  ASSERT_EQ(results.size(), world.mcqs.benchmark.size());
+  for (std::size_t q = 0; q < results.size(); ++q) {
+    EXPECT_EQ(results[q].correct, static_cast<int>(world.mcqs.benchmark[q].correct));
+  }
+}
+
+TEST(FullInstructOne, RespectsStopToken) {
+  // If the model's first greedy token happens to be <|end|>, generation is
+  // empty; either way the decoded output never contains the end marker.
+  const TinyWorld world = make_world();
+  const nn::GptModel model = make_model(world);
+  FullInstructConfig config;
+  config.max_new_tokens = 32;
+  const FullInstructOutcome outcome =
+      full_instruct_one(model, world.tok, world.mcqs.benchmark[1], config);
+  EXPECT_EQ(outcome.raw_output.find("<|end|>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace astromlab::eval

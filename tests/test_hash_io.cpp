@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/hash.hpp"
+#include "util/io.hpp"
+
+namespace astromlab::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() : path_(fs::temp_directory_path() / ("astromlab_io_" + std::to_string(::getpid()))) {
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+TEST(Hash, Fnv1aMatchesKnownVector) {
+  // FNV-1a of empty input is the offset basis.
+  EXPECT_EQ(fnv1a(""), kFnvOffset);
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+}
+
+TEST(HashBuilder, FieldOrderMatters) {
+  HashBuilder a, b;
+  a.add("x").add("y");
+  b.add("y").add("x");
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(HashBuilder, LengthPrefixPreventsConcatenationCollision) {
+  HashBuilder a, b;
+  a.add("ab").add("c");
+  b.add("a").add("bc");
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(HashBuilder, TypedFieldsAreStable) {
+  HashBuilder a, b;
+  a.add_u64(42).add_f64(3.5).add_bool(true).add_i64(-7);
+  b.add_u64(42).add_f64(3.5).add_bool(true).add_i64(-7);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.hex().size(), 16u);
+}
+
+TEST(BinaryIo, RoundTripsScalarsAndStrings) {
+  TempDir dir;
+  const fs::path file = dir.path() / "scalars.bin";
+  {
+    BinaryWriter writer(file);
+    writer.write_u8(7);
+    writer.write_u32(0xCAFEBABE);
+    writer.write_u64(1ULL << 60);
+    writer.write_i64(-12345);
+    writer.write_f32(2.5f);
+    writer.write_f64(-0.125);
+    writer.write_string("hello world");
+    writer.write_string("");
+    writer.close();
+  }
+  BinaryReader reader(file);
+  EXPECT_EQ(reader.read_u8(), 7);
+  EXPECT_EQ(reader.read_u32(), 0xCAFEBABE);
+  EXPECT_EQ(reader.read_u64(), 1ULL << 60);
+  EXPECT_EQ(reader.read_i64(), -12345);
+  EXPECT_FLOAT_EQ(reader.read_f32(), 2.5f);
+  EXPECT_DOUBLE_EQ(reader.read_f64(), -0.125);
+  EXPECT_EQ(reader.read_string(), "hello world");
+  EXPECT_EQ(reader.read_string(), "");
+  EXPECT_TRUE(reader.at_end());
+}
+
+TEST(BinaryIo, RoundTripsArrays) {
+  TempDir dir;
+  const fs::path file = dir.path() / "arrays.bin";
+  const std::vector<float> floats = {1.0f, -2.0f, 0.5f};
+  const std::vector<std::uint16_t> halves = {1, 2, 65535};
+  const std::vector<std::int32_t> ints = {-1, 0, 7};
+  {
+    BinaryWriter writer(file);
+    writer.write_f32_array(floats.data(), floats.size());
+    writer.write_u16_array(halves.data(), halves.size());
+    writer.write_i32_vector(ints);
+    writer.close();
+  }
+  BinaryReader reader(file);
+  std::vector<float> floats_out(3);
+  reader.read_f32_array(floats_out.data(), 3);
+  EXPECT_EQ(floats_out, floats);
+  std::vector<std::uint16_t> halves_out(3);
+  reader.read_u16_array(halves_out.data(), 3);
+  EXPECT_EQ(halves_out, halves);
+  EXPECT_EQ(reader.read_i32_vector(), ints);
+}
+
+TEST(BinaryIo, TruncatedFileThrows) {
+  TempDir dir;
+  const fs::path file = dir.path() / "short.bin";
+  {
+    BinaryWriter writer(file);
+    writer.write_u8(1);
+    writer.close();
+  }
+  BinaryReader reader(file);
+  EXPECT_EQ(reader.read_u8(), 1);
+  EXPECT_THROW(reader.read_u64(), IoError);
+}
+
+TEST(BinaryIo, ArrayLengthMismatchThrows) {
+  TempDir dir;
+  const fs::path file = dir.path() / "mismatch.bin";
+  const std::vector<float> floats = {1.0f, 2.0f};
+  {
+    BinaryWriter writer(file);
+    writer.write_f32_array(floats.data(), floats.size());
+    writer.close();
+  }
+  BinaryReader reader(file);
+  std::vector<float> out(3);
+  EXPECT_THROW(reader.read_f32_array(out.data(), 3), IoError);
+}
+
+TEST(BinaryIo, MissingFileThrows) {
+  EXPECT_THROW(BinaryReader(fs::path("/nonexistent/astromlab/file.bin")), IoError);
+}
+
+TEST(TextIo, RoundTrip) {
+  TempDir dir;
+  const fs::path file = dir.path() / "nested" / "note.txt";
+  write_text_file(file, "line1\nline2");
+  EXPECT_EQ(read_text_file(file), "line1\nline2");
+  write_text_file(file, "replaced");
+  EXPECT_EQ(read_text_file(file), "replaced");
+}
+
+}  // namespace
+}  // namespace astromlab::util

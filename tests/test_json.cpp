@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "json/json.hpp"
+
+namespace astromlab::json {
+namespace {
+
+TEST(Parse, Scalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse("-3.25").as_number(), -3.25);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse("2.5E-2").as_number(), 0.025);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Parse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\nb\t\"c\"\\")").as_string(), "a\nb\t\"c\"\\");
+  EXPECT_EQ(parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse(R"("é")").as_string(), "\xC3\xA9");        // é
+  EXPECT_EQ(parse(R"("😀")").as_string(), "\xF0\x9F\x98\x80");  // 😀
+}
+
+TEST(Parse, NestedStructure) {
+  const Value v = parse(R"({"a": [1, 2, {"b": true}], "c": null})");
+  ASSERT_TRUE(v.is_object());
+  const Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->items()[0].as_number(), 1.0);
+  EXPECT_TRUE(a->items()[2].find("b")->as_bool());
+  EXPECT_TRUE(v.find("c")->is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Parse, ObjectOrderPreserved) {
+  const Value v = parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(v.members().size(), 3u);
+  EXPECT_EQ(v.members()[0].first, "z");
+  EXPECT_EQ(v.members()[1].first, "a");
+  EXPECT_EQ(v.members()[2].first, "m");
+}
+
+TEST(Parse, ErrorsCarryOffsets) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("{"), ParseError);
+  EXPECT_THROW(parse("[1,]"), ParseError);
+  EXPECT_THROW(parse("{\"a\" 1}"), ParseError);
+  EXPECT_THROW(parse("nul"), ParseError);
+  EXPECT_THROW(parse("1 2"), ParseError);  // trailing content
+  EXPECT_THROW(parse("\"unterminated"), ParseError);
+  EXPECT_THROW(parse("\"bad\\q\""), ParseError);
+  try {
+    parse("[1, x]");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_GT(e.offset(), 0u);
+  }
+}
+
+TEST(ParsePrefix, StopsAfterValue) {
+  const std::string text = R"(  {"ANSWER": "B"}  and some trailing prose)";
+  std::size_t offset = 0;
+  const Value v = parse_prefix(text, offset);
+  EXPECT_EQ(v.get_string("ANSWER", ""), "B");
+  EXPECT_EQ(text.substr(offset, 4), "  an");
+}
+
+TEST(Dump, CompactRoundTrip) {
+  const char* doc = R"({"a":[1,2.5,"x"],"b":{"c":null,"d":false}})";
+  EXPECT_EQ(parse(doc).dump(), doc);
+}
+
+TEST(Dump, IndentedContainsNewlines) {
+  Value obj = Value::object();
+  obj.set("k", Value(1));
+  const std::string pretty = obj.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(parse(pretty), obj);
+}
+
+TEST(Dump, EscapesControlCharacters) {
+  const Value v(std::string("a\x01""b\n"));
+  EXPECT_EQ(v.dump(), "\"a\\u0001b\\n\"");
+}
+
+TEST(Dump, IntegersRenderWithoutDecimalPoint) {
+  EXPECT_EQ(Value(42).dump(), "42");
+  EXPECT_EQ(Value(-3.0).dump(), "-3");
+  EXPECT_EQ(Value(0.5).dump(), "0.5");
+}
+
+TEST(ValueApi, TypedGetters) {
+  Value obj = Value::object();
+  obj.set("s", Value("text"));
+  obj.set("n", Value(1.5));
+  obj.set("b", Value(true));
+  EXPECT_EQ(obj.get_string("s", "d"), "text");
+  EXPECT_EQ(obj.get_string("n", "d"), "d");  // type mismatch -> fallback
+  EXPECT_DOUBLE_EQ(obj.get_number("n", 0), 1.5);
+  EXPECT_TRUE(obj.get_bool("b", false));
+  EXPECT_FALSE(obj.get_bool("missing", false));
+}
+
+TEST(ValueApi, SetReplacesInPlace) {
+  Value obj = Value::object();
+  obj.set("k", Value(1));
+  obj.set("j", Value(2));
+  obj.set("k", Value(3));
+  ASSERT_EQ(obj.members().size(), 2u);
+  EXPECT_EQ(obj.members()[0].first, "k");
+  EXPECT_DOUBLE_EQ(obj.members()[0].second.as_number(), 3.0);
+}
+
+}  // namespace
+}  // namespace astromlab::json

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "corpus/knowledge.hpp"
+#include "corpus/lexicon.hpp"
+
+namespace astromlab::corpus {
+namespace {
+
+KbConfig small_config() {
+  KbConfig config;
+  config.n_topics = 6;
+  config.entities_per_topic = 4;
+  config.facts_per_entity = 2;
+  config.frontier_fraction = 0.25;
+  config.seed = 7;
+  return config;
+}
+
+TEST(Lexicon, ObjectNamesAreUniqueAndNonEmpty) {
+  util::Rng rng(1);
+  const auto names = Lexicon::object_names(200, rng);
+  EXPECT_EQ(names.size(), 200u);
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), 200u);
+  for (const auto& name : names) EXPECT_FALSE(name.empty());
+}
+
+TEST(Lexicon, PoolsAreNonTrivial) {
+  EXPECT_GE(Lexicon::object_kinds().size(), 8u);
+  EXPECT_GE(Lexicon::astro_filler().size(), 10u);
+  EXPECT_GE(Lexicon::general_filler().size(), 8u);
+  EXPECT_GE(Lexicon::latex_debris().size(), 4u);
+}
+
+TEST(Lexicon, GeneralEntityNamesHandleLargeRequests) {
+  util::Rng rng(2);
+  const auto names = Lexicon::general_entity_names(500, rng);
+  EXPECT_EQ(names.size(), 500u);  // falls back to numbered names
+}
+
+TEST(KnowledgeBase, GeneratesRequestedCounts) {
+  const KnowledgeBase kb = KnowledgeBase::generate(small_config());
+  EXPECT_EQ(kb.entities().size(), 24u);
+  EXPECT_EQ(kb.facts().size(), 48u);
+  EXPECT_EQ(kb.topic_count(), 6u);
+}
+
+TEST(KnowledgeBase, EveryRelationHasAtLeastFourOptions) {
+  for (const Relation& relation : KnowledgeBase::standard_relations()) {
+    EXPECT_GE(relation.domain.options.size(), 4u) << relation.id;
+    EXPECT_FALSE(relation.statement_templates.empty()) << relation.id;
+    EXPECT_NE(relation.question_template.find("%E"), std::string::npos) << relation.id;
+    for (const std::string& tmpl : relation.statement_templates) {
+      EXPECT_NE(tmpl.find("%E"), std::string::npos) << relation.id;
+      EXPECT_NE(tmpl.find("%V"), std::string::npos) << relation.id;
+    }
+  }
+}
+
+TEST(KnowledgeBase, OptionLengthsAreComparable) {
+  // The paper's design principle: options can't be eliminated by length.
+  for (const Relation& relation : KnowledgeBase::standard_relations()) {
+    std::size_t min_len = 1000, max_len = 0;
+    for (const std::string& option : relation.domain.options) {
+      min_len = std::min(min_len, option.size());
+      max_len = std::max(max_len, option.size());
+    }
+    EXPECT_LE(max_len, 2 * min_len + 12) << relation.id;
+  }
+}
+
+TEST(KnowledgeBase, FactsPerEntityUseDistinctRelations) {
+  const KnowledgeBase kb = KnowledgeBase::generate(small_config());
+  for (std::size_t e = 0; e < kb.entities().size(); ++e) {
+    std::set<std::size_t> relations;
+    for (const Fact& fact : kb.facts()) {
+      if (fact.entity == e) relations.insert(fact.relation);
+    }
+    EXPECT_EQ(relations.size(), small_config().facts_per_entity) << "entity " << e;
+  }
+}
+
+TEST(KnowledgeBase, FrontierFractionIsApproximatelyRespected) {
+  KbConfig config = small_config();
+  config.n_topics = 40;  // more facts for a tighter estimate
+  const KnowledgeBase kb = KnowledgeBase::generate(config);
+  const auto frontier = kb.facts_in_tier(Tier::kFrontier);
+  const double fraction =
+      static_cast<double>(frontier.size()) / static_cast<double>(kb.facts().size());
+  EXPECT_NEAR(fraction, config.frontier_fraction, 0.08);
+}
+
+TEST(KnowledgeBase, TopicPartitionIsConsistent) {
+  const KnowledgeBase kb = KnowledgeBase::generate(small_config());
+  std::size_t total = 0;
+  for (std::size_t topic = 0; topic < kb.topic_count(); ++topic) {
+    for (const Fact* fact : kb.facts_in_topic(topic)) {
+      EXPECT_EQ(fact->topic, topic);
+      EXPECT_EQ(kb.entity_of(*fact).topic, topic);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, kb.facts().size());
+}
+
+TEST(KnowledgeBase, StatementsRealiseEntityAndValue) {
+  const KnowledgeBase kb = KnowledgeBase::generate(small_config());
+  const Fact& fact = kb.facts().front();
+  for (std::size_t variant = 0; variant < 5; ++variant) {
+    const std::string statement = kb.statement(fact, variant);
+    EXPECT_NE(statement.find(kb.entity_of(fact).name), std::string::npos);
+    EXPECT_NE(statement.find(kb.value_text(fact)), std::string::npos);
+    EXPECT_EQ(statement.find("%E"), std::string::npos);
+    EXPECT_EQ(statement.find("%V"), std::string::npos);
+  }
+  const std::string question = kb.question(fact);
+  EXPECT_NE(question.find(kb.entity_of(fact).name), std::string::npos);
+  EXPECT_NE(question.find('?'), std::string::npos);
+}
+
+TEST(KnowledgeBase, DeterministicForSameSeed) {
+  const KnowledgeBase a = KnowledgeBase::generate(small_config());
+  const KnowledgeBase b = KnowledgeBase::generate(small_config());
+  ASSERT_EQ(a.facts().size(), b.facts().size());
+  for (std::size_t i = 0; i < a.facts().size(); ++i) {
+    EXPECT_EQ(a.facts()[i].value, b.facts()[i].value);
+    EXPECT_EQ(a.entities()[a.facts()[i].entity].name, b.entities()[b.facts()[i].entity].name);
+  }
+}
+
+TEST(KnowledgeBase, ValidatesConfig) {
+  KbConfig bad = small_config();
+  bad.n_topics = 0;
+  EXPECT_THROW(KnowledgeBase::generate(bad), std::invalid_argument);
+  bad = small_config();
+  bad.facts_per_entity = 100;
+  EXPECT_THROW(KnowledgeBase::generate(bad), std::invalid_argument);
+}
+
+TEST(GeneralKnowledge, GeneratesCompleteItems) {
+  const GeneralKnowledge gk = GeneralKnowledge::generate(50, 3);
+  EXPECT_EQ(gk.items().size(), 50u);
+  for (const auto& item : gk.items()) {
+    EXPECT_FALSE(item.statement.empty());
+    EXPECT_NE(item.question.find('?'), std::string::npos);
+    EXPECT_NE(item.statement.find(item.answer), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace astromlab::corpus

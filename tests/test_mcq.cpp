@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "corpus/mcq.hpp"
+
+namespace astromlab::corpus {
+namespace {
+
+KnowledgeBase make_kb(std::size_t questions_headroom = 2) {
+  KbConfig config;
+  config.n_topics = 6;
+  config.entities_per_topic = 4;
+  config.facts_per_entity = questions_headroom;
+  config.seed = 23;
+  return KnowledgeBase::generate(config);
+}
+
+McqGenConfig gen_config(std::size_t per_topic = 3) {
+  McqGenConfig config;
+  config.questions_per_topic = per_topic;
+  config.seed = 24;
+  return config;
+}
+
+TEST(McqGen, ProducesRequestedBenchmarkSize) {
+  const KnowledgeBase kb = make_kb();
+  const McqSplit split = generate_mcqs(kb, gen_config(3));
+  EXPECT_EQ(split.benchmark.size(), 6u * 3u);  // topics x questions
+  EXPECT_EQ(split.practice.size(), kb.facts().size() - split.benchmark.size());
+}
+
+TEST(McqGen, BenchmarkAndPracticeFactsAreDisjoint) {
+  const KnowledgeBase kb = make_kb();
+  const McqSplit split = generate_mcqs(kb, gen_config(3));
+  std::set<std::size_t> benchmark_facts;
+  for (const McqItem& item : split.benchmark) benchmark_facts.insert(item.fact_index);
+  for (const McqItem& item : split.practice) {
+    EXPECT_EQ(benchmark_facts.count(item.fact_index), 0u);
+  }
+}
+
+TEST(McqGen, CorrectOptionMatchesKnowledgeBase) {
+  const KnowledgeBase kb = make_kb();
+  const McqSplit split = generate_mcqs(kb, gen_config(3));
+  for (const McqItem& item : split.benchmark) {
+    const Fact& fact = kb.facts()[item.fact_index];
+    EXPECT_EQ(item.options[item.correct], kb.value_text(fact));
+    EXPECT_EQ(item.question, kb.question(fact));
+    EXPECT_EQ(item.tier, fact.tier);
+    EXPECT_EQ(item.topic, fact.topic);
+  }
+}
+
+TEST(McqGen, OptionsAreDistinctAndFromSameDomain) {
+  const KnowledgeBase kb = make_kb();
+  const McqSplit split = generate_mcqs(kb, gen_config(3));
+  for (const McqItem& item : split.benchmark) {
+    const Relation& relation = kb.relation_of(kb.facts()[item.fact_index]);
+    std::set<std::string> unique(item.options.begin(), item.options.end());
+    EXPECT_EQ(unique.size(), 4u) << item.question;
+    for (const std::string& option : item.options) {
+      const auto& domain = relation.domain.options;
+      EXPECT_NE(std::find(domain.begin(), domain.end(), option), domain.end())
+          << option << " not in domain of " << relation.id;
+    }
+  }
+}
+
+TEST(McqGen, CorrectLetterPositionIsUnbiased) {
+  KbConfig config;
+  config.n_topics = 30;
+  config.entities_per_topic = 6;
+  config.facts_per_entity = 2;
+  config.seed = 25;
+  const KnowledgeBase kb = KnowledgeBase::generate(config);
+  const McqSplit split = generate_mcqs(kb, gen_config(5));
+  std::size_t counts[4] = {};
+  for (const McqItem& item : split.benchmark) ++counts[item.correct];
+  const double expected = static_cast<double>(split.benchmark.size()) / 4.0;
+  for (int slot = 0; slot < 4; ++slot) {
+    EXPECT_NEAR(counts[slot], expected, expected * 0.5) << "slot " << slot;
+  }
+}
+
+TEST(McqGen, DeterministicForSeed) {
+  const KnowledgeBase kb = make_kb();
+  const McqSplit a = generate_mcqs(kb, gen_config(3));
+  const McqSplit b = generate_mcqs(kb, gen_config(3));
+  ASSERT_EQ(a.benchmark.size(), b.benchmark.size());
+  for (std::size_t i = 0; i < a.benchmark.size(); ++i) {
+    EXPECT_EQ(a.benchmark[i].question, b.benchmark[i].question);
+    EXPECT_EQ(a.benchmark[i].correct, b.benchmark[i].correct);
+    EXPECT_EQ(a.benchmark[i].options, b.benchmark[i].options);
+  }
+}
+
+TEST(McqGen, ClampsWhenTopicHasFewFacts) {
+  const KnowledgeBase kb = make_kb(/*facts_per_entity=*/1);  // 4 facts/topic
+  const McqSplit split = generate_mcqs(kb, gen_config(10));
+  EXPECT_EQ(split.benchmark.size(), kb.facts().size());  // all facts used
+  EXPECT_TRUE(split.practice.empty());
+}
+
+TEST(RenderExamBlock, WithAndWithoutAnswer) {
+  McqItem item;
+  item.question = "What is X?";
+  item.options = {"one", "two", "three", "four"};
+  item.correct = 1;
+  const std::string with = render_exam_block(item, true);
+  const std::string without = render_exam_block(item, false);
+  EXPECT_NE(with.find("Question: What is X?\n"), std::string::npos);
+  EXPECT_NE(with.find("A: one\n"), std::string::npos);
+  EXPECT_NE(with.find("D: four\n"), std::string::npos);
+  EXPECT_NE(with.find("Answer: B\n"), std::string::npos);
+  // The probe form ends exactly at "Answer:" so the next token is the
+  // letter — the §V-B probe position.
+  EXPECT_EQ(without.substr(without.size() - 7), "Answer:");
+}
+
+TEST(McqItem, CorrectLetterMapsIndex) {
+  McqItem item;
+  item.correct = 0;
+  EXPECT_EQ(item.correct_letter(), 'A');
+  item.correct = 3;
+  EXPECT_EQ(item.correct_letter(), 'D');
+}
+
+}  // namespace
+}  // namespace astromlab::corpus

@@ -1,0 +1,165 @@
+// Forward-pass correctness: shapes, loss semantics (ignore targets),
+// batch-forward vs KV-cache-inference consistency, and determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/gpt.hpp"
+#include "util/rng.hpp"
+
+namespace astromlab::nn {
+namespace {
+
+GptConfig tiny_config() {
+  GptConfig config;
+  config.vocab_size = 40;
+  config.ctx_len = 16;
+  config.d_model = 24;
+  config.n_heads = 3;
+  config.n_layers = 2;
+  config.d_ff = 48;
+  return config;
+}
+
+GptModel tiny_model(std::uint64_t seed = 1) {
+  GptModel model(tiny_config());
+  util::Rng rng(seed);
+  model.init_weights(rng);
+  return model;
+}
+
+TEST(GptConfig, ValidatesDimensions) {
+  GptConfig bad = tiny_config();
+  bad.n_heads = 5;  // does not divide d_model=24... actually it doesn't
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = tiny_config();
+  bad.vocab_size = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(GptConfig, ParamCountMatchesLayout) {
+  // The model constructor cross-checks param_count() against the actual
+  // registered layout and throws on mismatch.
+  EXPECT_NO_THROW(GptModel{tiny_config()});
+  const GptModel model{tiny_config()};
+  EXPECT_EQ(model.param_count(), tiny_config().param_count());
+  EXPECT_GT(model.param_count(), 0u);
+}
+
+TEST(GptForward, LossNearLogVocabAtInit) {
+  GptModel model = tiny_model();
+  GptActivations acts;
+  std::vector<Token> tokens = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<Token> targets = {2, 3, 4, 5, 6, 7, 8, 9};
+  const float loss = model.forward(acts, tokens.data(), targets.data(), 1, 8);
+  const float uniform = std::log(static_cast<float>(tiny_config().vocab_size));
+  EXPECT_NEAR(loss, uniform, 0.5f);
+}
+
+TEST(GptForward, DeterministicAcrossCalls) {
+  GptModel model = tiny_model();
+  GptActivations acts1, acts2;
+  std::vector<Token> tokens = {3, 1, 4, 1, 5, 9, 2, 6};
+  std::vector<Token> targets = {1, 4, 1, 5, 9, 2, 6, 5};
+  const float a = model.forward(acts1, tokens.data(), targets.data(), 2, 4);
+  const float b = model.forward(acts2, tokens.data(), targets.data(), 2, 4);
+  EXPECT_FLOAT_EQ(a, b);
+  for (std::size_t i = 0; i < 2 * 4 * tiny_config().vocab_size; ++i) {
+    EXPECT_FLOAT_EQ(acts1.logits[i], acts2.logits[i]);
+  }
+}
+
+TEST(GptForward, IgnoredTargetsDropOutOfLoss) {
+  GptModel model = tiny_model();
+  GptActivations acts;
+  std::vector<Token> tokens = {1, 2, 3, 4};
+  std::vector<Token> all = {2, 3, 4, 5};
+  std::vector<Token> last_only = {kIgnoreTarget, kIgnoreTarget, kIgnoreTarget, 5};
+  const float loss_all = model.forward(acts, tokens.data(), all.data(), 1, 4);
+  const float loss_last = model.forward(acts, tokens.data(), last_only.data(), 1, 4);
+  // Loss over the last position only must equal that position's NLL, which
+  // in general differs from the 4-position mean.
+  EXPECT_GT(loss_all, 0.0f);
+  EXPECT_GT(loss_last, 0.0f);
+  EXPECT_NE(loss_all, loss_last);
+  // All-ignored is a valid no-op.
+  std::vector<Token> none(4, kIgnoreTarget);
+  EXPECT_FLOAT_EQ(model.forward(acts, tokens.data(), none.data(), 1, 4), 0.0f);
+}
+
+TEST(GptForward, RejectsBadInputs) {
+  GptModel model = tiny_model();
+  GptActivations acts;
+  std::vector<Token> too_big = {static_cast<Token>(tiny_config().vocab_size)};
+  EXPECT_THROW(model.forward(acts, too_big.data(), nullptr, 1, 1), std::out_of_range);
+  std::vector<Token> tokens(tiny_config().ctx_len + 1, 0);
+  EXPECT_THROW(model.forward(acts, tokens.data(), nullptr, 1, tokens.size()),
+               std::invalid_argument);
+}
+
+TEST(GptForward, CausalityLaterTokensCannotAffectEarlierLogits) {
+  GptModel model = tiny_model();
+  GptActivations acts;
+  std::vector<Token> a = {5, 6, 7, 8};
+  std::vector<Token> b = {5, 6, 7, 30};  // differs only at the last position
+  const std::size_t v = tiny_config().vocab_size;
+  model.forward(acts, a.data(), nullptr, 1, 4);
+  std::vector<float> logits_a(acts.logits.begin(), acts.logits.begin() + 3 * v);
+  model.forward(acts, b.data(), nullptr, 1, 4);
+  for (std::size_t i = 0; i < 3 * v; ++i) {
+    EXPECT_FLOAT_EQ(acts.logits[i], logits_a[i]) << "position " << i / v;
+  }
+}
+
+TEST(GptInference, MatchesBatchForwardLogits) {
+  GptModel model = tiny_model(7);
+  GptActivations acts;
+  std::vector<Token> tokens = {2, 9, 17, 4, 33, 11};
+  model.forward(acts, tokens.data(), nullptr, 1, tokens.size());
+
+  GptInference inference(model);
+  const std::size_t v = tiny_config().vocab_size;
+  for (std::size_t t = 0; t < tokens.size(); ++t) {
+    const std::vector<float>& logits = inference.step(tokens[t]);
+    for (std::size_t j = 0; j < v; ++j) {
+      EXPECT_NEAR(logits[j], acts.logits[t * v + j], 2e-4f)
+          << "t=" << t << " vocab=" << j;
+    }
+  }
+}
+
+TEST(GptInference, ResetRestartsTheSequence) {
+  GptModel model = tiny_model(7);
+  GptInference inference(model);
+  const std::vector<float> first = inference.step(3);
+  inference.step(5);
+  inference.reset();
+  EXPECT_EQ(inference.position(), 0u);
+  const std::vector<float>& again = inference.step(3);
+  for (std::size_t j = 0; j < again.size(); ++j) EXPECT_FLOAT_EQ(again[j], first[j]);
+}
+
+TEST(GptInference, GuardsContextAndVocab) {
+  GptModel model = tiny_model();
+  GptInference inference(model);
+  EXPECT_THROW(inference.step(-1), std::out_of_range);
+  for (std::size_t t = 0; t < tiny_config().ctx_len; ++t) inference.step(1);
+  EXPECT_THROW(inference.step(1), std::length_error);
+  EXPECT_THROW(inference.prompt({}), std::invalid_argument);
+}
+
+TEST(GptEvaluate, HeldOutLossConvenienceRuns) {
+  GptModel model = tiny_model();
+  GptActivations acts;
+  std::vector<Token> tokens(33);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    tokens[i] = static_cast<Token>(i % tiny_config().vocab_size);
+  }
+  const float loss = model.evaluate_loss(acts, tokens, 2, 16);
+  EXPECT_GT(loss, 0.0f);
+  EXPECT_THROW(model.evaluate_loss(acts, std::vector<Token>{1, 2}, 2, 16),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace astromlab::nn

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "corpus/paper_generator.hpp"
+
+namespace astromlab::corpus {
+namespace {
+
+KnowledgeBase make_kb() {
+  KbConfig config;
+  config.n_topics = 5;
+  config.entities_per_topic = 4;
+  config.facts_per_entity = 2;
+  config.seed = 9;
+  return KnowledgeBase::generate(config);
+}
+
+PaperGenConfig default_config() {
+  PaperGenConfig config;
+  config.papers_per_topic = 2;
+  config.seed = 3;
+  return config;
+}
+
+TEST(PaperGenerator, EveryFactIsRealisedInSomePaper) {
+  const KnowledgeBase kb = make_kb();
+  PaperGenerator generator(kb, default_config());
+  const auto papers = generator.generate_all();
+  std::set<std::size_t> realised;
+  for (const SyntheticPaper& paper : papers) {
+    for (std::size_t fact : paper.fact_indices) realised.insert(fact);
+  }
+  EXPECT_EQ(realised.size(), kb.facts().size());
+}
+
+TEST(PaperGenerator, PapersHaveAllSections) {
+  const KnowledgeBase kb = make_kb();
+  PaperGenerator generator(kb, default_config());
+  for (const SyntheticPaper& paper : generator.generate_all()) {
+    EXPECT_FALSE(paper.title.empty());
+    EXPECT_NE(paper.abstract_text.find("Abstract."), std::string::npos);
+    EXPECT_NE(paper.introduction.find("Introduction."), std::string::npos);
+    EXPECT_FALSE(paper.body.empty());
+    EXPECT_NE(paper.conclusion.find("Conclusions."), std::string::npos);
+  }
+}
+
+TEST(PaperGenerator, ConclusionStatesEveryPaperFact) {
+  const KnowledgeBase kb = make_kb();
+  PaperGenerator generator(kb, default_config());
+  for (const SyntheticPaper& paper : generator.generate_all()) {
+    for (std::size_t fact_index : paper.fact_indices) {
+      const Fact& fact = kb.facts()[fact_index];
+      // The value string must appear in the conclusion (every fact is
+      // restated there with some phrasing).
+      EXPECT_NE(paper.conclusion.find(kb.value_text(fact)), std::string::npos)
+          << paper.title;
+    }
+  }
+}
+
+TEST(PaperGenerator, VariantTokenVolumesAreOrdered) {
+  const KnowledgeBase kb = make_kb();
+  PaperGenerator generator(kb, default_config());
+  const auto papers = generator.generate_all();
+  const std::string abstracts = PaperGenerator::render_abstract(papers);
+  const std::string aic = PaperGenerator::render_aic(papers);
+  const std::string full = PaperGenerator::render_full_text(papers);
+  const std::string summary = generator.render_summary(papers);
+  EXPECT_LT(abstracts.size(), aic.size());
+  EXPECT_LT(aic.size(), full.size());
+  // Summaries are fact-dense: smaller than AIC but still fact-complete.
+  EXPECT_LT(summary.size(), aic.size());
+}
+
+TEST(PaperGenerator, SummaryIsFactComplete) {
+  const KnowledgeBase kb = make_kb();
+  PaperGenerator generator(kb, default_config());
+  const auto papers = generator.generate_all();
+  const std::string summary = generator.render_summary(papers);
+  for (const Fact& fact : kb.facts()) {
+    EXPECT_NE(summary.find(kb.value_text(fact)), std::string::npos)
+        << "fact value missing from summary";
+  }
+}
+
+TEST(PaperGenerator, AbstractCoversOnlyHeadlineFacts) {
+  const KnowledgeBase kb = make_kb();
+  PaperGenerator generator(kb, default_config());
+  const auto papers = generator.generate_all();
+  // Abstracts realise roughly half of each paper's facts, so across the
+  // corpus the abstract text must be missing at least one fact value.
+  const std::string abstracts = PaperGenerator::render_abstract(papers);
+  std::size_t missing = 0;
+  for (const Fact& fact : kb.facts()) {
+    if (abstracts.find(kb.value_text(fact)) == std::string::npos) ++missing;
+  }
+  EXPECT_GT(missing, 0u);
+}
+
+TEST(PaperGenerator, DebrisRateInjectsMarkup) {
+  const KnowledgeBase kb = make_kb();
+  PaperGenConfig noisy = default_config();
+  noisy.debris_rate = 0.5;
+  PaperGenerator generator(kb, noisy);
+  const std::string full = PaperGenerator::render_full_text(generator.generate_all());
+  EXPECT_NE(full.find('\\'), std::string::npos);  // LaTeX debris present
+
+  PaperGenConfig clean = default_config();
+  clean.debris_rate = 0.0;
+  PaperGenerator clean_generator(kb, clean);
+  const std::string clean_full =
+      PaperGenerator::render_full_text(clean_generator.generate_all());
+  EXPECT_EQ(clean_full.find("\\begin"), std::string::npos);
+}
+
+TEST(OcrNoise, ZeroRateIsIdentity) {
+  util::Rng rng(4);
+  const std::string text = "pristine text 123";
+  EXPECT_EQ(PaperGenerator::ocr_noise(text, 0.0, rng), text);
+}
+
+TEST(OcrNoise, CorruptsLettersButNotDigits) {
+  util::Rng rng(5);
+  std::string text;
+  for (int i = 0; i < 200; ++i) text += "abcdef 123 ";
+  const std::string noisy = PaperGenerator::ocr_noise(text, 0.2, rng);
+  EXPECT_NE(noisy, text);
+  // Digits are sacred (they carry fact values).
+  std::size_t digits_in = 0, digits_out = 0;
+  for (char c : text) digits_in += (c >= '0' && c <= '9');
+  for (char c : noisy) digits_out += (c >= '0' && c <= '9');
+  EXPECT_EQ(digits_in, digits_out);
+}
+
+TEST(PaperGenerator, DeterministicForSameSeed) {
+  const KnowledgeBase kb = make_kb();
+  PaperGenerator a(kb, default_config());
+  PaperGenerator b(kb, default_config());
+  EXPECT_EQ(PaperGenerator::render_aic(a.generate_all()),
+            PaperGenerator::render_aic(b.generate_all()));
+}
+
+}  // namespace
+}  // namespace astromlab::corpus

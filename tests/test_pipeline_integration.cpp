@@ -1,0 +1,147 @@
+// End-to-end pipeline at miniature scale: world construction, base/CPT/SFT
+// training, evaluation under all three methods, and checkpoint/result
+// caching semantics.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/experiment.hpp"
+#include "core/study.hpp"
+
+namespace astromlab::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+WorldConfig miniature_world() {
+  WorldConfig config;
+  config.kb.n_topics = 4;
+  config.kb.entities_per_topic = 3;
+  config.kb.facts_per_entity = 2;
+  config.kb.seed = 71;
+  config.mcq.questions_per_topic = 2;
+  config.mcq.seed = 72;
+  config.vocab_size = 512;
+  config.ctx_len = 448;
+  config.size_multiplier = 0.06;  // tiny corpora: seconds, not minutes
+  config.seed = 73;
+  return config;
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cache_ = fs::temp_directory_path() /
+             ("astromlab_pipe_" + std::to_string(::getpid()));
+    fs::remove_all(cache_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(cache_, ec);
+  }
+  fs::path cache_;
+};
+
+TEST_F(PipelineTest, EndToEndFamilyEvaluationWithCaching) {
+  World world = build_world(miniature_world());
+  EXPECT_EQ(world.mcqs.benchmark.size(), 8u);
+  EXPECT_GT(world.tok.vocab_size(), 300u);
+
+  Pipeline pipeline(world, cache_);
+
+  // Base model trains and is cached.
+  const nn::GptModel base = pipeline.base_model(Scale::kS7);
+  EXPECT_EQ(base.config().ctx_len, world.config.ctx_len);
+  std::size_t checkpoints = 0;
+  for (const auto& entry : fs::directory_iterator(cache_ / "models")) {
+    (void)entry;
+    ++checkpoints;
+  }
+  EXPECT_EQ(checkpoints, 1u);
+
+  // CPT extends the base; instruct applies SFT on top.
+  const nn::GptModel cpt = pipeline.cpt_model(Scale::kS7, corpus::CptVariant::kAic);
+  EXPECT_EQ(cpt.config(), base.config());
+  const nn::GptModel instruct =
+      pipeline.instruct_model(Scale::kS7, corpus::CptVariant::kAic, SftKind::kAstroLLaMA);
+  EXPECT_EQ(instruct.config(), base.config());
+
+  // CPT and SFT actually changed the weights.
+  float cpt_delta = 0.0f, sft_delta = 0.0f;
+  for (std::size_t i = 0; i < base.params().total_size(); i += 53) {
+    cpt_delta += std::abs(cpt.params().params()[i] - base.params().params()[i]);
+    sft_delta += std::abs(instruct.params().params()[i] - cpt.params().params()[i]);
+  }
+  EXPECT_GT(cpt_delta, 0.0f);
+  EXPECT_GT(sft_delta, 0.0f);
+
+  // Full family evaluation: all three methods produce sane summaries.
+  const TripleScores scores =
+      pipeline.evaluate_family(Scale::kS7, corpus::CptVariant::kAic, SftKind::kAstroLLaMA);
+  EXPECT_TRUE(scores.has_instruct);
+  for (const eval::ScoreSummary* summary :
+       {&scores.token_base, &scores.token_instruct, &scores.full_instruct}) {
+    EXPECT_EQ(summary->total, world.mcqs.benchmark.size());
+    EXPECT_GE(summary->accuracy, 0.0);
+    EXPECT_LE(summary->accuracy, 1.0);
+    EXPECT_LE(summary->ci_low, summary->accuracy);
+    EXPECT_GE(summary->ci_high, summary->accuracy);
+  }
+
+  // Re-evaluation hits the result cache and returns identical numbers.
+  const TripleScores again =
+      pipeline.evaluate_family(Scale::kS7, corpus::CptVariant::kAic, SftKind::kAstroLLaMA);
+  EXPECT_DOUBLE_EQ(again.token_base.accuracy, scores.token_base.accuracy);
+  EXPECT_DOUBLE_EQ(again.full_instruct.accuracy, scores.full_instruct.accuracy);
+
+  // A fresh Pipeline over the same cache dir reuses the trained models and
+  // cached results byte-for-byte.
+  Pipeline reloaded(world, cache_);
+  const nn::GptModel base_again = reloaded.base_model(Scale::kS7);
+  for (std::size_t i = 0; i < base.params().total_size(); i += 101) {
+    EXPECT_EQ(base_again.params().params()[i], base.params().params()[i]);
+  }
+  const TripleScores cached =
+      reloaded.evaluate_family(Scale::kS7, corpus::CptVariant::kAic, SftKind::kAstroLLaMA);
+  EXPECT_DOUBLE_EQ(cached.token_base.accuracy, scores.token_base.accuracy);
+
+  // invalidate_results() forces re-evaluation (same models, same scores).
+  reloaded.invalidate_results();
+  const TripleScores recomputed =
+      reloaded.evaluate_family(Scale::kS7, corpus::CptVariant::kAic, SftKind::kAstroLLaMA);
+  EXPECT_DOUBLE_EQ(recomputed.token_base.accuracy, scores.token_base.accuracy);
+}
+
+TEST_F(PipelineTest, BaseOnlyEvaluationSkipsInstruct) {
+  World world = build_world(miniature_world());
+  Pipeline pipeline(world, cache_);
+  const TripleScores scores = pipeline.evaluate_family(
+      Scale::kS7, corpus::CptVariant::kAbstract, SftKind::kAstroLLaMA,
+      /*evaluate_instruct=*/false);
+  EXPECT_FALSE(scores.has_instruct);
+  EXPECT_EQ(scores.token_base.total, world.mcqs.benchmark.size());
+  EXPECT_EQ(scores.full_instruct.total, 0u);
+}
+
+TEST_F(PipelineTest, SftOverrideChangesModelKey) {
+  World world = build_world(miniature_world());
+  Pipeline pipeline(world, cache_);
+  corpus::SftSpec override_spec = sft_data_spec(SftKind::kAstroLLaMA, world.config);
+  override_spec.total_dialogues = 16;
+  override_spec.astro_fraction = 1.0;
+  pipeline.set_sft_spec_override(override_spec);
+  const nn::GptModel overridden =
+      pipeline.instruct_model(Scale::kS7, std::nullopt, SftKind::kAstroLLaMA);
+  pipeline.clear_sft_spec_override();
+  const nn::GptModel standard =
+      pipeline.instruct_model(Scale::kS7, std::nullopt, SftKind::kAstroLLaMA);
+  // Different SFT data -> different weights (and different cache entries).
+  float delta = 0.0f;
+  for (std::size_t i = 0; i < standard.params().total_size(); i += 53) {
+    delta += std::abs(overridden.params().params()[i] - standard.params().params()[i]);
+  }
+  EXPECT_GT(delta, 0.0f);
+}
+
+}  // namespace
+}  // namespace astromlab::core

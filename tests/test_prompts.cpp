@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "eval/prompts.hpp"
+
+namespace astromlab::eval {
+namespace {
+
+corpus::McqItem make_item(const std::string& question, std::size_t correct = 1) {
+  corpus::McqItem item;
+  item.question = question;
+  item.options = {"alpha value", "beta value", "gamma value", "delta value"};
+  item.correct = correct;
+  return item;
+}
+
+TEST(TokenPrompt, HasHeaderTwoExamplesAndProbe) {
+  const corpus::McqItem test_item = make_item("What is the test question?");
+  const std::vector<corpus::McqItem> examples = {make_item("Example one?", 0),
+                                                 make_item("Example two?", 3)};
+  const std::string prompt = build_token_prompt(test_item, examples);
+
+  // Header first (Appendix C format).
+  EXPECT_EQ(prompt.find(corpus::kExamHeader), 0u);
+  // Both examples present with their answers.
+  EXPECT_NE(prompt.find("Example one?"), std::string::npos);
+  EXPECT_NE(prompt.find("Answer: A\n"), std::string::npos);
+  EXPECT_NE(prompt.find("Example two?"), std::string::npos);
+  EXPECT_NE(prompt.find("Answer: D\n"), std::string::npos);
+  // Test question present and the prompt ends at the probe "Answer:".
+  EXPECT_NE(prompt.find("What is the test question?"), std::string::npos);
+  EXPECT_EQ(prompt.substr(prompt.size() - 7), "Answer:");
+  // The test question's answer letter must NOT be revealed.
+  const std::size_t probe = prompt.rfind("What is the test question?");
+  EXPECT_EQ(prompt.find("Answer: B", probe), std::string::npos);
+}
+
+TEST(TokenPrompt, ExamplesPrecedeTestQuestion) {
+  const corpus::McqItem test_item = make_item("Zed question?");
+  const std::vector<corpus::McqItem> examples = {make_item("First?"), make_item("Second?")};
+  const std::string prompt = build_token_prompt(test_item, examples);
+  EXPECT_LT(prompt.find("First?"), prompt.find("Second?"));
+  EXPECT_LT(prompt.find("Second?"), prompt.find("Zed question?"));
+}
+
+TEST(InstructPrompt, WrapsInChatTemplate) {
+  const corpus::McqItem item = make_item("The chat question?");
+  const std::string prompt = build_instruct_prompt(item);
+  EXPECT_EQ(prompt.find("<|user|>"), 0u);
+  EXPECT_NE(prompt.find("The chat question?"), std::string::npos);
+  EXPECT_NE(prompt.find("\"ANSWER\""), std::string::npos);
+  // Ends with an opened assistant turn for generation.
+  const std::string tail = "<|assistant|>";
+  EXPECT_EQ(prompt.substr(prompt.size() - tail.size()), tail);
+}
+
+TEST(FewshotExamples, DeterministicPairFromPool) {
+  std::vector<corpus::McqItem> pool;
+  for (int i = 0; i < 9; ++i) pool.push_back(make_item("Q" + std::to_string(i) + "?"));
+  const auto examples = pick_fewshot_examples(pool);
+  ASSERT_EQ(examples.size(), 2u);
+  EXPECT_EQ(examples[0].question, "Q0?");
+  EXPECT_EQ(examples[1].question, "Q4?");
+  // Stable across calls (paper uses fixed examples for every question).
+  const auto again = pick_fewshot_examples(pool);
+  EXPECT_EQ(again[0].question, examples[0].question);
+}
+
+TEST(FewshotExamples, RejectsTinyPool) {
+  std::vector<corpus::McqItem> pool = {make_item("Only one?")};
+  EXPECT_THROW(pick_fewshot_examples(pool), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace astromlab::eval

@@ -1,0 +1,159 @@
+// Determinism and distributional sanity of the seeded RNG — every
+// experiment in the reproduction flows from this generator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace astromlab::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, DoubleIsInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(9);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kSamples = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.next_below(kBuckets)];
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (int bucket = 0; bucket < kBuckets; ++bucket) {
+    EXPECT_NEAR(counts[bucket], expected, expected * 0.08) << "bucket " << bucket;
+  }
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_EQ(rng.next_range(5, 5), 5);
+  EXPECT_EQ(rng.next_range(5, 2), 5);  // degenerate hi<lo clamps to lo
+}
+
+TEST(Rng, GaussianMomentsApproximatelyStandard) {
+  Rng rng(17);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.next_gaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(19);
+  const std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  int counts[4] = {};
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.next_categorical(weights)];
+  }
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(kSamples), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kSamples), 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / static_cast<double>(kSamples), 0.6, 0.02);
+}
+
+TEST(Rng, CategoricalDegenerateCases) {
+  Rng rng(21);
+  EXPECT_EQ(rng.next_categorical({}), 0u);
+  EXPECT_EQ(rng.next_categorical({0.0, 0.0}), 1u);  // all-zero -> last index
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> values(50);
+  for (int i = 0; i < 50; ++i) values[static_cast<std::size_t>(i)] = i;
+  std::vector<int> shuffled = values;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, values);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(25);
+  const auto sample = rng.sample_without_replacement(20, 8);
+  EXPECT_EQ(sample.size(), 8u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 8u);
+  for (std::size_t idx : sample) EXPECT_LT(idx, 20u);
+}
+
+TEST(Rng, SampleClampsToPopulation) {
+  Rng rng(27);
+  const auto sample = rng.sample_without_replacement(3, 10);
+  EXPECT_EQ(sample.size(), 3u);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(29);
+  Rng child_a = parent.split(1);
+  Rng child_b = parent.split(1);  // same label, later draw -> different stream
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child_a.next_u64() == child_b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitIsDeterministicGivenParentState) {
+  Rng p1(31), p2(31);
+  Rng c1 = p1.split(42), c2 = p2.split(42);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(c1.next_u64(), c2.next_u64());
+}
+
+}  // namespace
+}  // namespace astromlab::util

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "eval/report.hpp"
+#include "eval/scorer.hpp"
+
+namespace astromlab::eval {
+namespace {
+
+QuestionResult qr(int predicted, int correct, corpus::Tier tier = corpus::Tier::kCanonical,
+                  ExtractionMethod method = ExtractionMethod::kFailed) {
+  QuestionResult result;
+  result.predicted = predicted;
+  result.correct = correct;
+  result.tier = tier;
+  result.method = method;
+  return result;
+}
+
+TEST(Scorer, AccuracyAndCounts) {
+  std::vector<QuestionResult> results = {qr(0, 0), qr(1, 1), qr(2, 3), qr(-1, 2)};
+  const ScoreSummary summary = summarize(results);
+  EXPECT_EQ(summary.total, 4u);
+  EXPECT_EQ(summary.correct, 2u);
+  EXPECT_DOUBLE_EQ(summary.accuracy, 0.5);
+  EXPECT_EQ(summary.unanswered, 1u);
+}
+
+TEST(Scorer, EmptyResultsAreSafe) {
+  const ScoreSummary summary = summarize({});
+  EXPECT_EQ(summary.total, 0u);
+  EXPECT_DOUBLE_EQ(summary.accuracy, 0.0);
+}
+
+TEST(Scorer, TierBreakdown) {
+  std::vector<QuestionResult> results = {
+      qr(0, 0, corpus::Tier::kCanonical), qr(1, 0, corpus::Tier::kCanonical),
+      qr(2, 2, corpus::Tier::kFrontier), qr(3, 2, corpus::Tier::kFrontier),
+      qr(2, 2, corpus::Tier::kFrontier)};
+  const ScoreSummary summary = summarize(results);
+  EXPECT_DOUBLE_EQ(summary.canonical_accuracy, 0.5);
+  EXPECT_NEAR(summary.frontier_accuracy, 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(summary.frontier_total, 3u);
+}
+
+TEST(Scorer, ExtractionMethodCounts) {
+  std::vector<QuestionResult> results = {
+      qr(0, 0, corpus::Tier::kCanonical, ExtractionMethod::kJson),
+      qr(0, 0, corpus::Tier::kCanonical, ExtractionMethod::kJson),
+      qr(0, 0, corpus::Tier::kCanonical, ExtractionMethod::kRegex),
+      qr(0, 0, corpus::Tier::kCanonical, ExtractionMethod::kInterpreter)};
+  const ScoreSummary summary = summarize(results);
+  EXPECT_EQ(summary.json_extractions, 2u);
+  EXPECT_EQ(summary.regex_extractions, 1u);
+  EXPECT_EQ(summary.interpreter_extractions, 1u);
+}
+
+TEST(Scorer, BootstrapCiBracketsAccuracyAndIsDeterministic) {
+  std::vector<QuestionResult> results;
+  for (int i = 0; i < 100; ++i) results.push_back(qr(i % 4 == 0 ? 0 : 1, 0));
+  const ScoreSummary a = summarize(results, 7);
+  const ScoreSummary b = summarize(results, 7);
+  EXPECT_DOUBLE_EQ(a.ci_low, b.ci_low);
+  EXPECT_DOUBLE_EQ(a.ci_high, b.ci_high);
+  EXPECT_LE(a.ci_low, a.accuracy);
+  EXPECT_GE(a.ci_high, a.accuracy);
+  // ~25% accuracy over n=100: the 95% CI half-width is ~8.5 points.
+  EXPECT_NEAR(a.ci_high - a.ci_low, 0.17, 0.06);
+}
+
+TEST(Percent, OneDecimal) {
+  EXPECT_EQ(percent(0.7604), "76.0");
+  EXPECT_EQ(percent(0.413999), "41.4");
+}
+
+ModelRow row(const std::string& name, double fi, double ti, double tb, bool native,
+             const std::string& baseline, const std::string& series = "Series A") {
+  ModelRow r;
+  r.name = name;
+  r.series = series;
+  r.full_instruct = fi;
+  r.token_instruct = ti;
+  r.token_base = tb;
+  r.source = native ? "Meta" : "AstroMLab";
+  r.reference = "This Study";
+  r.is_native = native;
+  r.baseline = baseline;
+  return r;
+}
+
+TEST(TrendArrow, ThresholdsMatchPaperNotation) {
+  EXPECT_EQ(trend_arrow(76.0, 73.9), "^");
+  EXPECT_EQ(trend_arrow(44.3, 51.3), "v");
+  EXPECT_EQ(trend_arrow(71.9, 72.0), "~");
+  EXPECT_EQ(trend_arrow(-1.0, 70.0), " ");
+  EXPECT_EQ(trend_arrow(70.0, -1.0), " ");
+}
+
+TEST(Table1, ContainsRowsArrowsAndSections) {
+  // Names avoid the arrow glyphs '^'/'v' so row scans below are exact.
+  const std::vector<ModelRow> rows = {
+      row("Plain-X", 70.7, 71.4, 73.9, true, ""),
+      row("Astro-X", 64.7, 75.4, 76.0, false, "Plain-X"),
+  };
+  const std::string table = render_table1(rows);
+  EXPECT_NE(table.find("Plain-X"), std::string::npos);
+  EXPECT_NE(table.find("Astro-X"), std::string::npos);
+  EXPECT_NE(table.find("Series A"), std::string::npos);
+  EXPECT_NE(table.find("76.0 ^"), std::string::npos);   // token base improved
+  EXPECT_NE(table.find("64.7 v"), std::string::npos);   // full instruct regressed
+  // Native rows carry no arrows.
+  const std::size_t native_line = table.find("Plain-X");
+  const std::size_t native_end = table.find('\n', native_line);
+  const std::string native_row = table.substr(native_line, native_end - native_line);
+  EXPECT_EQ(native_row.find('^'), std::string::npos);
+  EXPECT_EQ(native_row.find('v'), std::string::npos);
+}
+
+TEST(Table1, MissingScoresRenderAsDash) {
+  const std::vector<ModelRow> rows = {
+      row("Native-X", 50.3, 62.6, 51.3, true, ""),
+      row("Abstract-Only", -1.0, -1.0, 43.5, false, "Native-X"),
+  };
+  const std::string table = render_table1(rows);
+  const std::size_t line = table.find("Abstract-Only");
+  const std::string row_text = table.substr(line, table.find('\n', line) - line);
+  EXPECT_NE(row_text.find('-'), std::string::npos);
+  EXPECT_NE(row_text.find("43.5 v"), std::string::npos);
+}
+
+TEST(Fig1, PlacesSymbolsAndBaseline) {
+  const std::vector<ModelRow> rows = {
+      row("Native-X", 70.0, 71.0, 74.0, true, ""),
+      row("Astro-X", 60.0, 75.0, 76.0, false, "Native-X"),
+  };
+  const std::string fig = render_fig1(rows);
+  EXPECT_NE(fig.find('F'), std::string::npos);
+  EXPECT_NE(fig.find('I'), std::string::npos);
+  EXPECT_NE(fig.find('B'), std::string::npos);
+  EXPECT_NE(fig.find('|'), std::string::npos);
+  EXPECT_NE(fig.find("(% score)"), std::string::npos);
+  // Astro-X line: F (60) must be left of B (76).
+  const std::size_t line_start = fig.find("Astro-X");
+  const std::string line = fig.substr(line_start, fig.find('\n', line_start) - line_start);
+  EXPECT_LT(line.find('F'), line.find('B'));
+}
+
+TEST(Fig1, ClampsOutOfRangeScores) {
+  const std::vector<ModelRow> rows = {row("Weird", 5.0, 99.0, 50.0, true, "")};
+  const std::string fig = render_fig1(rows, 20.0, 90.0);
+  EXPECT_NE(fig.find("Weird"), std::string::npos);  // no crash, rendered
+}
+
+TEST(Csv, OneLinePerModelWithEmptyForMissing) {
+  const std::vector<ModelRow> rows = {
+      row("A-Model", 50.0, 60.0, 70.0, true, ""),
+      row("B-Model", -1.0, -1.0, 43.5, false, "A-Model"),
+  };
+  const std::string csv = render_csv(rows);
+  EXPECT_NE(csv.find("model,series,full_instruct"), std::string::npos);
+  EXPECT_NE(csv.find("A-Model,Series A,50.00,60.00,70.00,Meta,This Study"),
+            std::string::npos);
+  EXPECT_NE(csv.find("B-Model,Series A,,,43.50,AstroMLab,This Study"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace astromlab::eval

@@ -1,0 +1,172 @@
+// SFT dialogue construction and the chat-format / masking contract.
+#include <gtest/gtest.h>
+
+#include "corpus/corpora.hpp"
+#include "corpus/sft_dataset.hpp"
+
+namespace astromlab::corpus {
+namespace {
+
+KnowledgeBase make_kb() {
+  KbConfig config;
+  config.n_topics = 5;
+  config.entities_per_topic = 4;
+  config.facts_per_entity = 2;
+  config.seed = 17;
+  return KnowledgeBase::generate(config);
+}
+
+McqSplit make_mcqs(const KnowledgeBase& kb) {
+  McqGenConfig config;
+  config.questions_per_topic = 2;
+  config.seed = 18;
+  return generate_mcqs(kb, config);
+}
+
+tokenizer::BpeTokenizer make_tokenizer(const KnowledgeBase& kb, const McqSplit& mcqs) {
+  tokenizer::BpeTrainConfig config;
+  config.vocab_size = 400;
+  return tokenizer::BpeTokenizer::train(
+      build_tokenizer_training_text(kb, mcqs.practice, 19), config);
+}
+
+TEST(ChatFormat, RenderDialogueUsesMarkers) {
+  Dialogue dialogue;
+  dialogue.turns.push_back({DialogueTurn::Role::kSystem, "sys"});
+  dialogue.turns.push_back({DialogueTurn::Role::kUser, "hi"});
+  dialogue.turns.push_back({DialogueTurn::Role::kAssistant, "hello"});
+  const std::string text = render_dialogue(dialogue);
+  EXPECT_EQ(text, "<|system|>sys<|end|><|user|>hi<|end|><|assistant|>hello<|end|>");
+}
+
+TEST(ChatFormat, GenerationPromptOpensAssistantTurn) {
+  const std::string prompt =
+      render_generation_prompt({{DialogueTurn::Role::kUser, "q"}});
+  EXPECT_EQ(prompt, "<|user|>q<|end|><|assistant|>");
+}
+
+TEST(ChatFormat, InstructPromptContainsAllElements) {
+  McqItem item;
+  item.question = "What is the distance to VLX 1?";
+  item.options = {"1 parsec", "2 parsecs", "3 parsecs", "4 parsecs"};
+  item.correct = 2;
+  const std::string prompt = render_instruct_prompt(item);
+  EXPECT_NE(prompt.find("expert in general astrophysics"), std::string::npos);
+  EXPECT_NE(prompt.find(item.question), std::string::npos);
+  for (const auto& option : item.options) {
+    EXPECT_NE(prompt.find(option), std::string::npos);
+  }
+  EXPECT_NE(prompt.find("\"ANSWER\""), std::string::npos);
+  EXPECT_NE(prompt.find("only one answer"), std::string::npos);
+}
+
+TEST(ChatFormat, JsonAnswerIsValidJson) {
+  const std::string answer = render_json_answer('B', "Because of the disk population.");
+  EXPECT_EQ(answer.find('{'), 0u);
+  EXPECT_NE(answer.find("\"ANSWER\": \"B\""), std::string::npos);
+  EXPECT_EQ(answer.back(), '}');
+}
+
+TEST(ChatFormat, DialogueToExampleMasksOnlyAssistantSpans) {
+  const KnowledgeBase kb = make_kb();
+  const McqSplit mcqs = make_mcqs(kb);
+  const auto tok = make_tokenizer(kb, mcqs);
+
+  Dialogue dialogue;
+  dialogue.turns.push_back({DialogueTurn::Role::kUser, "What is the answer?"});
+  dialogue.turns.push_back({DialogueTurn::Role::kAssistant, "It is B."});
+  const nn::MaskedExample example = dialogue_to_example(dialogue, tok);
+
+  ASSERT_EQ(example.tokens.size(), example.loss_mask.size());
+  EXPECT_EQ(example.tokens.front(), tok.bos_id());
+  EXPECT_FALSE(example.loss_mask.front());
+
+  // Find the assistant marker; everything before it must be unmasked, the
+  // span after it (content + end marker) masked true.
+  std::size_t assistant_pos = 0;
+  for (std::size_t i = 0; i < example.tokens.size(); ++i) {
+    if (example.tokens[i] == tok.assistant_id()) assistant_pos = i;
+  }
+  ASSERT_GT(assistant_pos, 0u);
+  for (std::size_t i = 0; i <= assistant_pos; ++i) {
+    EXPECT_FALSE(example.loss_mask[i]) << i;
+  }
+  for (std::size_t i = assistant_pos + 1; i < example.tokens.size(); ++i) {
+    EXPECT_TRUE(example.loss_mask[i]) << i;
+  }
+  // The final token is the end-of-turn marker and it IS trained on.
+  EXPECT_EQ(example.tokens.back(), tok.end_turn_id());
+  EXPECT_TRUE(example.loss_mask.back());
+}
+
+TEST(SftDialogues, RespectsCountsAndComposition) {
+  const KnowledgeBase kb = make_kb();
+  const McqSplit mcqs = make_mcqs(kb);
+  SftSpec spec;
+  spec.total_dialogues = 90;
+  spec.astro_fraction = 1.0 / 3.0;
+  spec.general_mcq_share = 0.5;
+  spec.seed = 20;
+  const auto dialogues = build_sft_dialogues(kb, mcqs.practice, spec);
+  EXPECT_EQ(dialogues.size(), 90u);
+
+  std::size_t astro = 0, json_format = 0;
+  for (const Dialogue& dialogue : dialogues) {
+    ASSERT_EQ(dialogue.turns.size(), 2u);
+    EXPECT_EQ(dialogue.turns[0].role, DialogueTurn::Role::kUser);
+    EXPECT_EQ(dialogue.turns[1].role, DialogueTurn::Role::kAssistant);
+    if (dialogue.turns[0].text.find("astrophysics") != std::string::npos) {
+      // MCQ-style prompt (astro or general); astro ones quiz KB entities.
+      bool mentions_entity = false;
+      for (const Entity& entity : kb.entities()) {
+        if (dialogue.turns[0].text.find(entity.name) != std::string::npos) {
+          mentions_entity = true;
+          break;
+        }
+      }
+      astro += mentions_entity;
+    }
+    if (dialogue.turns[1].text.find("\"ANSWER\"") != std::string::npos) ++json_format;
+  }
+  EXPECT_EQ(astro, 30u);       // exactly one third are astronomy MCQs
+  EXPECT_GE(json_format, 30u); // astro + general MCQ dialogues answer in JSON
+}
+
+TEST(SftDialogues, ZeroAstroFractionNeedsNoPracticePool) {
+  const KnowledgeBase kb = make_kb();
+  SftSpec spec;
+  spec.total_dialogues = 10;
+  spec.astro_fraction = 0.0;
+  spec.seed = 21;
+  const auto dialogues = build_sft_dialogues(kb, {}, spec);
+  EXPECT_EQ(dialogues.size(), 10u);
+}
+
+TEST(SftDialogues, SpecPresetsDifferAsDocumented) {
+  const SftSpec small = astrollama_sft_spec();
+  const SftSpec vendor = vendor_sft_spec();
+  EXPECT_LT(small.total_dialogues, vendor.total_dialogues);
+  EXPECT_LT(small.general_mcq_share, vendor.general_mcq_share);
+}
+
+TEST(SftDialogues, ToMaskedExamplesConvertsAll) {
+  const KnowledgeBase kb = make_kb();
+  const McqSplit mcqs = make_mcqs(kb);
+  const auto tok = make_tokenizer(kb, mcqs);
+  SftSpec spec;
+  spec.total_dialogues = 12;
+  spec.seed = 22;
+  const auto dialogues = build_sft_dialogues(kb, mcqs.practice, spec);
+  const auto examples = to_masked_examples(dialogues, tok);
+  ASSERT_EQ(examples.size(), dialogues.size());
+  for (const auto& example : examples) {
+    EXPECT_GT(example.tokens.size(), 4u);
+    // Every example trains on something.
+    bool any = false;
+    for (bool m : example.loss_mask) any |= m;
+    EXPECT_TRUE(any);
+  }
+}
+
+}  // namespace
+}  // namespace astromlab::corpus

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "util/string_utils.hpp"
+
+namespace astromlab::util {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, SingleFieldWithoutSeparator) {
+  const auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(SplitWhitespace, DropsEmptyRuns) {
+  const auto parts = split_whitespace("  alpha \t beta\n\ngamma ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "alpha");
+  EXPECT_EQ(parts[1], "beta");
+  EXPECT_EQ(parts[2], "gamma");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("solid"), "solid");
+}
+
+TEST(Join, WithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(CaseConversion, Ascii) {
+  EXPECT_EQ(to_lower("AsTrO-42"), "astro-42");
+  EXPECT_EQ(to_upper("AsTrO-42"), "ASTRO-42");
+}
+
+TEST(PrefixSuffix, Checks) {
+  EXPECT_TRUE(starts_with("AstroLLaMA", "Astro"));
+  EXPECT_FALSE(starts_with("Astro", "AstroLLaMA"));
+  EXPECT_TRUE(ends_with("model.ckpt", ".ckpt"));
+  EXPECT_FALSE(ends_with("ckpt", "model.ckpt"));
+  EXPECT_TRUE(contains("abcdef", "cde"));
+  EXPECT_FALSE(contains("abcdef", "xyz"));
+}
+
+TEST(ReplaceAll, Basics) {
+  EXPECT_EQ(replace_all("a%Eb%E", "%E", "X"), "aXbX");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");  // non-overlapping, left to right
+  EXPECT_EQ(replace_all("text", "", "x"), "text");  // empty needle is a no-op
+  EXPECT_EQ(replace_all("abc", "b", ""), "ac");
+}
+
+TEST(FormatFixed, Decimals) {
+  EXPECT_EQ(format_fixed(76.04, 1), "76.0");
+  EXPECT_EQ(format_fixed(76.06, 1), "76.1");
+  EXPECT_EQ(format_fixed(-1.5, 0), "-2");
+  EXPECT_EQ(format_fixed(0.125, 3), "0.125");
+}
+
+TEST(Padding, RightAndLeft) {
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_right("abcdef", 3), "abc");
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_left("abcdef", 3), "abc");
+}
+
+TEST(ToHex, SixteenDigits) {
+  EXPECT_EQ(to_hex(0), "0000000000000000");
+  EXPECT_EQ(to_hex(0xDEADBEEFull), "00000000deadbeef");
+  EXPECT_EQ(to_hex(~0ull), "ffffffffffffffff");
+}
+
+}  // namespace
+}  // namespace astromlab::util

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace astromlab::tensor {
+namespace {
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.numel(), 24u);
+  EXPECT_EQ(t.dim(1), 3u);
+  EXPECT_EQ(t.shape_string(), "[2, 3, 4]");
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillAndReductions) {
+  Tensor t({4, 4});
+  t.fill(0.5f);
+  EXPECT_FLOAT_EQ(t.sum(), 8.0f);
+  t.at(2, 3) = -3.0f;
+  EXPECT_FLOAT_EQ(t.abs_max(), 3.0f);
+  EXPECT_NEAR(t.squared_norm(), 15 * 0.25 + 9.0, 1e-6);
+}
+
+TEST(Tensor, ReshapeValidatesCount) {
+  Tensor t({2, 6});
+  t.reshape({3, 4});
+  EXPECT_EQ(t.dim(0), 3u);
+  EXPECT_THROW(t.reshape({5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, GaussianInitHasRequestedScale) {
+  util::Rng rng(3);
+  Tensor t({100, 100});
+  t.fill_gaussian(rng, 0.02f);
+  const double std_estimate = std::sqrt(t.squared_norm() / static_cast<double>(t.numel()));
+  EXPECT_NEAR(std_estimate, 0.02, 0.001);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  Tensor a({2, 2}), b({2, 2});
+  a.at(1, 1) = 3.0f;
+  b.at(1, 1) = 2.0f;
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 1.0f);
+  Tensor c({3});
+  EXPECT_THROW(max_abs_diff(a, c), std::invalid_argument);
+}
+
+// ---- sgemm vs a naive reference across transpose modes and shapes ----
+
+void naive_gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n, std::size_t k,
+                float alpha, const std::vector<float>& a, const std::vector<float>& b,
+                float beta, std::vector<float>& c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = trans_a ? a[p * m + i] : a[i * k + p];
+        const float bv = trans_b ? b[j * k + p] : b[p * n + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[i * n + j] = static_cast<float>(alpha * acc + beta * c[i * n + j]);
+    }
+  }
+}
+
+struct GemmCase {
+  bool trans_a, trans_b;
+  std::size_t m, n, k;
+  float alpha, beta;
+};
+
+class SgemmTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(SgemmTest, MatchesNaiveReference) {
+  const GemmCase p = GetParam();
+  util::Rng rng(91);
+  std::vector<float> a(p.m * p.k), b(p.k * p.n), c(p.m * p.n), c_ref;
+  for (float& v : a) v = static_cast<float>(rng.next_gaussian());
+  for (float& v : b) v = static_cast<float>(rng.next_gaussian());
+  for (float& v : c) v = static_cast<float>(rng.next_gaussian());
+  c_ref = c;
+
+  const std::size_t lda = p.trans_a ? p.m : p.k;
+  const std::size_t ldb = p.trans_b ? p.k : p.n;
+  sgemm(p.trans_a, p.trans_b, p.m, p.n, p.k, p.alpha, a.data(), lda, b.data(), ldb, p.beta,
+        c.data(), p.n);
+  naive_gemm(p.trans_a, p.trans_b, p.m, p.n, p.k, p.alpha, a, b, p.beta, c_ref);
+
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], c_ref[i], 1e-3f * (1.0f + std::abs(c_ref[i]))) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, SgemmTest,
+    ::testing::Values(
+        GemmCase{false, false, 7, 9, 11, 1.0f, 0.0f},
+        GemmCase{false, true, 7, 9, 11, 1.0f, 0.0f},
+        GemmCase{true, false, 7, 9, 11, 1.0f, 0.0f},
+        GemmCase{true, true, 7, 9, 11, 1.0f, 0.0f},
+        GemmCase{false, false, 1, 64, 32, 1.0f, 1.0f},    // matvec accumulate
+        GemmCase{false, true, 33, 17, 65, 0.5f, 1.0f},    // alpha & beta
+        GemmCase{true, false, 16, 16, 128, 1.0f, 1.0f},   // gradient shape
+        GemmCase{false, false, 64, 64, 64, 1.0f, 0.0f},   // square, blocked path
+        GemmCase{false, false, 3, 5, 1, 2.0f, 0.5f},      // k=1 edge
+        GemmCase{false, true, 1, 1, 7, 1.0f, 0.0f}));     // dot product shape
+
+TEST(Sgemm, ZeroSizeIsNoop) {
+  std::vector<float> c = {1.0f, 2.0f};
+  sgemm(false, false, 0, 2, 3, 1.0f, nullptr, 3, nullptr, 2, 0.0f, c.data(), 2);
+  EXPECT_EQ(c[0], 1.0f);  // m == 0: untouched
+  sgemm(false, false, 1, 2, 0, 1.0f, nullptr, 1, nullptr, 2, 0.0f, c.data(), 2);
+  EXPECT_EQ(c[0], 0.0f);  // k == 0 with beta 0: cleared
+}
+
+TEST(Ops, ElementwiseHelpers) {
+  std::vector<float> y = {1.0f, 2.0f};
+  const std::vector<float> x = {10.0f, 20.0f};
+  add_inplace(y.data(), x.data(), 2);
+  EXPECT_FLOAT_EQ(y[0], 11.0f);
+  axpy(0.5f, x.data(), y.data(), 2);
+  EXPECT_FLOAT_EQ(y[1], 32.0f);
+  scale_inplace(y.data(), 2.0f, 2);
+  EXPECT_FLOAT_EQ(y[0], 32.0f);
+  EXPECT_FLOAT_EQ(dot(x.data(), x.data(), 2), 500.0f);
+}
+
+TEST(Ops, AddRowBias) {
+  std::vector<float> m = {0, 0, 0, 1, 1, 1};
+  const std::vector<float> bias = {1, 2, 3};
+  add_row_bias(m.data(), bias.data(), 2, 3);
+  EXPECT_FLOAT_EQ(m[0], 1.0f);
+  EXPECT_FLOAT_EQ(m[5], 4.0f);
+}
+
+TEST(Ops, SoftmaxRowsNormalised) {
+  std::vector<float> m = {1.0f, 2.0f, 3.0f, -1.0f, -1.0f, -1.0f};
+  softmax_rows(m.data(), 2, 3);
+  EXPECT_NEAR(m[0] + m[1] + m[2], 1.0f, 1e-6f);
+  EXPECT_NEAR(m[3], 1.0f / 3.0f, 1e-6f);
+  EXPECT_GT(m[2], m[1]);
+  EXPECT_GT(m[1], m[0]);
+}
+
+TEST(Ops, SoftmaxIsShiftInvariantAndStable) {
+  std::vector<float> big = {1000.0f, 1001.0f};
+  std::vector<float> out(2);
+  softmax_row(big.data(), out.data(), 2);
+  EXPECT_FALSE(std::isnan(out[0]));
+  std::vector<float> small = {0.0f, 1.0f}, out2(2);
+  softmax_row(small.data(), out2.data(), 2);
+  EXPECT_NEAR(out[0], out2[0], 1e-6f);
+}
+
+TEST(Ops, GeluValuesAndGradient) {
+  EXPECT_NEAR(gelu(0.0f), 0.0f, 1e-7f);
+  EXPECT_NEAR(gelu(3.0f), 3.0f, 0.01f);    // ~identity for large positive
+  EXPECT_NEAR(gelu(-3.0f), 0.0f, 0.01f);   // ~zero for large negative
+  // Finite-difference check of gelu_grad.
+  for (float x : {-2.0f, -0.5f, 0.0f, 0.3f, 1.7f}) {
+    const float eps = 1e-3f;
+    const float numeric = (gelu(x + eps) - gelu(x - eps)) / (2 * eps);
+    EXPECT_NEAR(gelu_grad(x), numeric, 1e-3f) << "x=" << x;
+  }
+}
+
+}  // namespace
+}  // namespace astromlab::tensor

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace astromlab::util {
+namespace {
+
+TEST(ThreadPool, SubmitRunsAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsInline) {
+  // Explicitly-sized zero pools (1-core hosts) execute inline.
+  ThreadPool pool(0);
+  if (pool.worker_count() == 0) {
+    int value = 0;
+    pool.submit([&value] { value = 42; });
+    EXPECT_EQ(value, 42);
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(
+      1000,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      16);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForSmallRangeStaysSerial) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(
+      3,
+      [&](std::size_t begin, std::size_t end) {
+        ++calls;
+        EXPECT_LE(end - begin, 3u);
+      },
+      100);  // grain larger than range -> single chunk
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForSumsCorrectly) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 100000;
+  std::atomic<long long> total{0};
+  pool.parallel_for(
+      kN,
+      [&](std::size_t begin, std::size_t end) {
+        long long local = 0;
+        for (std::size_t i = begin; i < end; ++i) local += static_cast<long long>(i);
+        total.fetch_add(local, std::memory_order_relaxed);
+      },
+      64);
+  EXPECT_EQ(total.load(), static_cast<long long>(kN) * (kN - 1) / 2);
+}
+
+TEST(GlobalHelpers, ParallelForEachVisitsEveryIndex) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for_each(257, [&](std::size_t i) { hits[i].fetch_add(1); }, 8);
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(GlobalHelpers, RangeFormMatchesElementForm) {
+  std::vector<int> a(500, 0), b(500, 0);
+  parallel_for_each(500, [&](std::size_t i) { a[i] = static_cast<int>(i) * 2; });
+  parallel_for_range(500, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) b[i] = static_cast<int>(i) * 2;
+  });
+  EXPECT_EQ(a, b);
+}
+
+TEST(ThreadPool, ReusableAcrossWaves) {
+  ThreadPool pool(2);
+  for (int wave = 0; wave < 5; ++wave) {
+    std::atomic<int> counter{0};
+    pool.parallel_for(64, [&](std::size_t begin, std::size_t end) {
+      counter.fetch_add(static_cast<int>(end - begin));
+    });
+    EXPECT_EQ(counter.load(), 64);
+  }
+}
+
+}  // namespace
+}  // namespace astromlab::util

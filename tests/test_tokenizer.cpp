@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "tokenizer/bpe.hpp"
+
+namespace astromlab::tokenizer {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string training_text() {
+  std::string text;
+  for (int i = 0; i < 40; ++i) {
+    text += "The distance to the nebula is 42 kiloparsecs. ";
+    text += "Answer: A\nAnswer: B\nAnswer: C\nAnswer: D\n";
+    text += "Question: What is the measured distance?\n";
+  }
+  return text;
+}
+
+BpeTokenizer trained(std::size_t vocab = 400) {
+  BpeTrainConfig config;
+  config.vocab_size = vocab;
+  return BpeTokenizer::train(training_text(), config);
+}
+
+TEST(PreTokenize, SplitsWordsWithLeadingSpaces) {
+  const auto words = BpeTokenizer::pre_tokenize("The cat, sat 42 times!");
+  // "The", " cat", ",", " sat", " 42", " times", "!"
+  ASSERT_EQ(words.size(), 7u);
+  EXPECT_EQ(words[0], "The");
+  EXPECT_EQ(words[1], " cat");
+  EXPECT_EQ(words[2], ",");
+  EXPECT_EQ(words[3], " sat");
+  EXPECT_EQ(words[4], " 42");
+  EXPECT_EQ(words[5], " times");
+  EXPECT_EQ(words[6], "!");
+}
+
+TEST(PreTokenize, ConcatenationIsLossless) {
+  const std::string text = "  Multi  spaces\nand\tother   stuff 12x3 ...";
+  std::string rebuilt;
+  for (const auto& word : BpeTokenizer::pre_tokenize(text)) rebuilt += word;
+  EXPECT_EQ(rebuilt, text);
+}
+
+TEST(Train, VocabularyHasRequestedStructure) {
+  const BpeTokenizer tok = trained(400);
+  // 256 bytes + merges + 7 special tokens, capped at the requested size.
+  EXPECT_LE(tok.vocab_size(), 400u);
+  EXPECT_GT(tok.merge_count(), 20u);
+  EXPECT_TRUE(tok.token_to_id(SpecialTokens::kBos).has_value());
+  EXPECT_TRUE(tok.token_to_id(SpecialTokens::kAssistant).has_value());
+}
+
+TEST(Train, LearnsFrequentWordsAsSingleTokens) {
+  const BpeTokenizer tok = trained(450);
+  // " distance" appears dozens of times; it should need very few tokens.
+  const auto ids = tok.encode(" distance");
+  EXPECT_LE(ids.size(), 3u);
+}
+
+TEST(EncodeDecode, RoundTripsArbitraryText) {
+  const BpeTokenizer tok = trained();
+  for (const std::string text :
+       {std::string("The distance to the nebula is 42 kiloparsecs."),
+        std::string("completely unseen wordage &^% 999"),
+        std::string("multi\nline\ttext with  spaces"), std::string("")}) {
+    EXPECT_EQ(tok.decode(tok.encode(text)), text) << text;
+  }
+}
+
+TEST(EncodeDecode, ByteFallbackCoversUnseenBytes) {
+  const BpeTokenizer tok = trained();
+  const std::string weird = "\x01\x7f\xc3\xa9 zap";  // control, DEL, é
+  EXPECT_EQ(tok.decode(tok.encode(weird)), weird);
+}
+
+TEST(SpecialTokens, EncodedAsSingleIds) {
+  const BpeTokenizer tok = trained();
+  const std::string text = std::string(SpecialTokens::kUser) + "hi" + SpecialTokens::kEndTurn;
+  const auto ids = tok.encode(text);
+  ASSERT_GE(ids.size(), 3u);
+  EXPECT_EQ(ids.front(), tok.user_id());
+  EXPECT_EQ(ids.back(), tok.end_turn_id());
+  EXPECT_TRUE(tok.is_special(ids.front()));
+  EXPECT_FALSE(tok.is_special(ids[1]));
+  EXPECT_EQ(tok.decode(ids), text);
+}
+
+TEST(SpecialTokens, AnswerLetterVariantsExist) {
+  // The paper's §V-B detection hinges on " A" (with leading space)
+  // existing as a single token while "A" stays a byte token. The training
+  // text contains many "Answer: X" lines, so the merges must cover it.
+  const BpeTokenizer tok = trained(420);
+  for (char letter = 'A'; letter <= 'D'; ++letter) {
+    const auto plain = tok.token_to_id(std::string(1, letter));
+    ASSERT_TRUE(plain.has_value()) << letter;
+    const auto spaced = tok.token_to_id(std::string(" ") + letter);
+    EXPECT_TRUE(spaced.has_value()) << letter;  // learned merge
+  }
+}
+
+TEST(Encode, DeterministicAcrossCalls) {
+  const BpeTokenizer tok = trained();
+  const std::string text = "Question: What is the measured distance? Answer: B";
+  EXPECT_EQ(tok.encode(text), tok.encode(text));
+}
+
+TEST(Train, DeterministicAcrossRuns) {
+  const BpeTokenizer a = trained();
+  const BpeTokenizer b = trained();
+  EXPECT_EQ(a.vocab_size(), b.vocab_size());
+  EXPECT_EQ(a.encode("The distance is 42."), b.encode("The distance is 42."));
+}
+
+TEST(SaveLoad, RoundTripsFullState) {
+  const BpeTokenizer tok = trained();
+  const fs::path path =
+      fs::temp_directory_path() / ("astromlab_tok_" + std::to_string(::getpid()) + ".bin");
+  tok.save(path);
+  const BpeTokenizer loaded = BpeTokenizer::load(path);
+  EXPECT_EQ(loaded.vocab_size(), tok.vocab_size());
+  EXPECT_EQ(loaded.merge_count(), tok.merge_count());
+  const std::string probe = "Answer: C and some unseen text!";
+  EXPECT_EQ(loaded.encode(probe), tok.encode(probe));
+  EXPECT_EQ(loaded.eos_id(), tok.eos_id());
+  fs::remove(path);
+}
+
+TEST(DecodeToken, RejectsOutOfRange) {
+  const BpeTokenizer tok = trained();
+  EXPECT_THROW(tok.decode_token(-1), std::out_of_range);
+  EXPECT_THROW(tok.decode_token(static_cast<TokenId>(tok.vocab_size())), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace astromlab::tokenizer
