@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_data_quality.dir/ablation_data_quality.cpp.o"
+  "CMakeFiles/ablation_data_quality.dir/ablation_data_quality.cpp.o.d"
+  "ablation_data_quality"
+  "ablation_data_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_data_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

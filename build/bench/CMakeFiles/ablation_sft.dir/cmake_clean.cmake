@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sft.dir/ablation_sft.cpp.o"
+  "CMakeFiles/ablation_sft.dir/ablation_sft.cpp.o.d"
+  "ablation_sft"
+  "ablation_sft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_token_variant.dir/ablation_token_variant.cpp.o"
+  "CMakeFiles/ablation_token_variant.dir/ablation_token_variant.cpp.o.d"
+  "ablation_token_variant"
+  "ablation_token_variant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_token_variant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

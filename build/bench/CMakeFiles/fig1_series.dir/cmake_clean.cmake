@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_series.dir/fig1_series.cpp.o"
+  "CMakeFiles/fig1_series.dir/fig1_series.cpp.o.d"
+  "fig1_series"
+  "fig1_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_model.dir/benchmark_model.cpp.o"
+  "CMakeFiles/benchmark_model.dir/benchmark_model.cpp.o.d"
+  "benchmark_model"
+  "benchmark_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

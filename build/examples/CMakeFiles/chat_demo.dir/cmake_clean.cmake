@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chat_demo.dir/chat_demo.cpp.o"
+  "CMakeFiles/chat_demo.dir/chat_demo.cpp.o.d"
+  "chat_demo"
+  "chat_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chat_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpt_pipeline.dir/cpt_pipeline.cpp.o"
+  "CMakeFiles/cpt_pipeline.dir/cpt_pipeline.cpp.o.d"
+  "cpt_pipeline"
+  "cpt_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpt_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

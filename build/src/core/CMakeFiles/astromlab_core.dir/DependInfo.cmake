@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/astromlab_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/astromlab_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/astromlab_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/astromlab_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/model_zoo.cpp" "src/core/CMakeFiles/astromlab_core.dir/model_zoo.cpp.o" "gcc" "src/core/CMakeFiles/astromlab_core.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/core/recipes.cpp" "src/core/CMakeFiles/astromlab_core.dir/recipes.cpp.o" "gcc" "src/core/CMakeFiles/astromlab_core.dir/recipes.cpp.o.d"
+  "/root/repo/src/core/study.cpp" "src/core/CMakeFiles/astromlab_core.dir/study.cpp.o" "gcc" "src/core/CMakeFiles/astromlab_core.dir/study.cpp.o.d"
+  "/root/repo/src/core/value_model.cpp" "src/core/CMakeFiles/astromlab_core.dir/value_model.cpp.o" "gcc" "src/core/CMakeFiles/astromlab_core.dir/value_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/astromlab_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/astromlab_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/astromlab_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/astromlab_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/astromlab_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokenizer/CMakeFiles/astromlab_tokenizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/astromlab_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astromlab_core.dir/cost_model.cpp.o"
+  "CMakeFiles/astromlab_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/astromlab_core.dir/experiment.cpp.o"
+  "CMakeFiles/astromlab_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/astromlab_core.dir/model_zoo.cpp.o"
+  "CMakeFiles/astromlab_core.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/astromlab_core.dir/recipes.cpp.o"
+  "CMakeFiles/astromlab_core.dir/recipes.cpp.o.d"
+  "CMakeFiles/astromlab_core.dir/study.cpp.o"
+  "CMakeFiles/astromlab_core.dir/study.cpp.o.d"
+  "CMakeFiles/astromlab_core.dir/value_model.cpp.o"
+  "CMakeFiles/astromlab_core.dir/value_model.cpp.o.d"
+  "libastromlab_core.a"
+  "libastromlab_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astromlab_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/chat_format.cpp" "src/corpus/CMakeFiles/astromlab_corpus.dir/chat_format.cpp.o" "gcc" "src/corpus/CMakeFiles/astromlab_corpus.dir/chat_format.cpp.o.d"
+  "/root/repo/src/corpus/corpora.cpp" "src/corpus/CMakeFiles/astromlab_corpus.dir/corpora.cpp.o" "gcc" "src/corpus/CMakeFiles/astromlab_corpus.dir/corpora.cpp.o.d"
+  "/root/repo/src/corpus/knowledge.cpp" "src/corpus/CMakeFiles/astromlab_corpus.dir/knowledge.cpp.o" "gcc" "src/corpus/CMakeFiles/astromlab_corpus.dir/knowledge.cpp.o.d"
+  "/root/repo/src/corpus/lexicon.cpp" "src/corpus/CMakeFiles/astromlab_corpus.dir/lexicon.cpp.o" "gcc" "src/corpus/CMakeFiles/astromlab_corpus.dir/lexicon.cpp.o.d"
+  "/root/repo/src/corpus/mcq.cpp" "src/corpus/CMakeFiles/astromlab_corpus.dir/mcq.cpp.o" "gcc" "src/corpus/CMakeFiles/astromlab_corpus.dir/mcq.cpp.o.d"
+  "/root/repo/src/corpus/paper_generator.cpp" "src/corpus/CMakeFiles/astromlab_corpus.dir/paper_generator.cpp.o" "gcc" "src/corpus/CMakeFiles/astromlab_corpus.dir/paper_generator.cpp.o.d"
+  "/root/repo/src/corpus/sft_dataset.cpp" "src/corpus/CMakeFiles/astromlab_corpus.dir/sft_dataset.cpp.o" "gcc" "src/corpus/CMakeFiles/astromlab_corpus.dir/sft_dataset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/astromlab_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokenizer/CMakeFiles/astromlab_tokenizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/astromlab_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/astromlab_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astromlab_corpus.dir/chat_format.cpp.o"
+  "CMakeFiles/astromlab_corpus.dir/chat_format.cpp.o.d"
+  "CMakeFiles/astromlab_corpus.dir/corpora.cpp.o"
+  "CMakeFiles/astromlab_corpus.dir/corpora.cpp.o.d"
+  "CMakeFiles/astromlab_corpus.dir/knowledge.cpp.o"
+  "CMakeFiles/astromlab_corpus.dir/knowledge.cpp.o.d"
+  "CMakeFiles/astromlab_corpus.dir/lexicon.cpp.o"
+  "CMakeFiles/astromlab_corpus.dir/lexicon.cpp.o.d"
+  "CMakeFiles/astromlab_corpus.dir/mcq.cpp.o"
+  "CMakeFiles/astromlab_corpus.dir/mcq.cpp.o.d"
+  "CMakeFiles/astromlab_corpus.dir/paper_generator.cpp.o"
+  "CMakeFiles/astromlab_corpus.dir/paper_generator.cpp.o.d"
+  "CMakeFiles/astromlab_corpus.dir/sft_dataset.cpp.o"
+  "CMakeFiles/astromlab_corpus.dir/sft_dataset.cpp.o.d"
+  "libastromlab_corpus.a"
+  "libastromlab_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astromlab_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

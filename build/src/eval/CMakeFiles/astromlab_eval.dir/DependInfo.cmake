@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/answer_extract.cpp" "src/eval/CMakeFiles/astromlab_eval.dir/answer_extract.cpp.o" "gcc" "src/eval/CMakeFiles/astromlab_eval.dir/answer_extract.cpp.o.d"
+  "/root/repo/src/eval/full_instruct.cpp" "src/eval/CMakeFiles/astromlab_eval.dir/full_instruct.cpp.o" "gcc" "src/eval/CMakeFiles/astromlab_eval.dir/full_instruct.cpp.o.d"
+  "/root/repo/src/eval/prompts.cpp" "src/eval/CMakeFiles/astromlab_eval.dir/prompts.cpp.o" "gcc" "src/eval/CMakeFiles/astromlab_eval.dir/prompts.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/eval/CMakeFiles/astromlab_eval.dir/report.cpp.o" "gcc" "src/eval/CMakeFiles/astromlab_eval.dir/report.cpp.o.d"
+  "/root/repo/src/eval/scorer.cpp" "src/eval/CMakeFiles/astromlab_eval.dir/scorer.cpp.o" "gcc" "src/eval/CMakeFiles/astromlab_eval.dir/scorer.cpp.o.d"
+  "/root/repo/src/eval/token_method.cpp" "src/eval/CMakeFiles/astromlab_eval.dir/token_method.cpp.o" "gcc" "src/eval/CMakeFiles/astromlab_eval.dir/token_method.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/astromlab_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/astromlab_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/astromlab_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/astromlab_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/astromlab_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokenizer/CMakeFiles/astromlab_tokenizer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astromlab_eval.dir/answer_extract.cpp.o"
+  "CMakeFiles/astromlab_eval.dir/answer_extract.cpp.o.d"
+  "CMakeFiles/astromlab_eval.dir/full_instruct.cpp.o"
+  "CMakeFiles/astromlab_eval.dir/full_instruct.cpp.o.d"
+  "CMakeFiles/astromlab_eval.dir/prompts.cpp.o"
+  "CMakeFiles/astromlab_eval.dir/prompts.cpp.o.d"
+  "CMakeFiles/astromlab_eval.dir/report.cpp.o"
+  "CMakeFiles/astromlab_eval.dir/report.cpp.o.d"
+  "CMakeFiles/astromlab_eval.dir/scorer.cpp.o"
+  "CMakeFiles/astromlab_eval.dir/scorer.cpp.o.d"
+  "CMakeFiles/astromlab_eval.dir/token_method.cpp.o"
+  "CMakeFiles/astromlab_eval.dir/token_method.cpp.o.d"
+  "libastromlab_eval.a"
+  "libastromlab_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astromlab_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

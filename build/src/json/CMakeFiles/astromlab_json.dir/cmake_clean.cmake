@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astromlab_json.dir/json.cpp.o"
+  "CMakeFiles/astromlab_json.dir/json.cpp.o.d"
+  "libastromlab_json.a"
+  "libastromlab_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astromlab_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

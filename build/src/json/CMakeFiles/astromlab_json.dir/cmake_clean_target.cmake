@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libastromlab_json.a"
+)

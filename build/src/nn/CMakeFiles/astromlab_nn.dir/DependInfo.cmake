@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adamw.cpp" "src/nn/CMakeFiles/astromlab_nn.dir/adamw.cpp.o" "gcc" "src/nn/CMakeFiles/astromlab_nn.dir/adamw.cpp.o.d"
+  "/root/repo/src/nn/checkpoint.cpp" "src/nn/CMakeFiles/astromlab_nn.dir/checkpoint.cpp.o" "gcc" "src/nn/CMakeFiles/astromlab_nn.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/data.cpp" "src/nn/CMakeFiles/astromlab_nn.dir/data.cpp.o" "gcc" "src/nn/CMakeFiles/astromlab_nn.dir/data.cpp.o.d"
+  "/root/repo/src/nn/gpt.cpp" "src/nn/CMakeFiles/astromlab_nn.dir/gpt.cpp.o" "gcc" "src/nn/CMakeFiles/astromlab_nn.dir/gpt.cpp.o.d"
+  "/root/repo/src/nn/lr_schedule.cpp" "src/nn/CMakeFiles/astromlab_nn.dir/lr_schedule.cpp.o" "gcc" "src/nn/CMakeFiles/astromlab_nn.dir/lr_schedule.cpp.o.d"
+  "/root/repo/src/nn/params.cpp" "src/nn/CMakeFiles/astromlab_nn.dir/params.cpp.o" "gcc" "src/nn/CMakeFiles/astromlab_nn.dir/params.cpp.o.d"
+  "/root/repo/src/nn/sampler.cpp" "src/nn/CMakeFiles/astromlab_nn.dir/sampler.cpp.o" "gcc" "src/nn/CMakeFiles/astromlab_nn.dir/sampler.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/astromlab_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/astromlab_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/astromlab_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokenizer/CMakeFiles/astromlab_tokenizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/astromlab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

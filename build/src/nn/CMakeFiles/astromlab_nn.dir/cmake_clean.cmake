@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astromlab_nn.dir/adamw.cpp.o"
+  "CMakeFiles/astromlab_nn.dir/adamw.cpp.o.d"
+  "CMakeFiles/astromlab_nn.dir/checkpoint.cpp.o"
+  "CMakeFiles/astromlab_nn.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/astromlab_nn.dir/data.cpp.o"
+  "CMakeFiles/astromlab_nn.dir/data.cpp.o.d"
+  "CMakeFiles/astromlab_nn.dir/gpt.cpp.o"
+  "CMakeFiles/astromlab_nn.dir/gpt.cpp.o.d"
+  "CMakeFiles/astromlab_nn.dir/lr_schedule.cpp.o"
+  "CMakeFiles/astromlab_nn.dir/lr_schedule.cpp.o.d"
+  "CMakeFiles/astromlab_nn.dir/params.cpp.o"
+  "CMakeFiles/astromlab_nn.dir/params.cpp.o.d"
+  "CMakeFiles/astromlab_nn.dir/sampler.cpp.o"
+  "CMakeFiles/astromlab_nn.dir/sampler.cpp.o.d"
+  "CMakeFiles/astromlab_nn.dir/trainer.cpp.o"
+  "CMakeFiles/astromlab_nn.dir/trainer.cpp.o.d"
+  "libastromlab_nn.a"
+  "libastromlab_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astromlab_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astromlab_tensor.dir/ops.cpp.o"
+  "CMakeFiles/astromlab_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/astromlab_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/astromlab_tensor.dir/tensor.cpp.o.d"
+  "libastromlab_tensor.a"
+  "libastromlab_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astromlab_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

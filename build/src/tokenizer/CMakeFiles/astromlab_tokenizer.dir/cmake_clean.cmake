@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astromlab_tokenizer.dir/bpe.cpp.o"
+  "CMakeFiles/astromlab_tokenizer.dir/bpe.cpp.o.d"
+  "libastromlab_tokenizer.a"
+  "libastromlab_tokenizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astromlab_tokenizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

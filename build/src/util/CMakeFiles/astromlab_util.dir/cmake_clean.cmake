@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astromlab_util.dir/cli.cpp.o"
+  "CMakeFiles/astromlab_util.dir/cli.cpp.o.d"
+  "CMakeFiles/astromlab_util.dir/io.cpp.o"
+  "CMakeFiles/astromlab_util.dir/io.cpp.o.d"
+  "CMakeFiles/astromlab_util.dir/logging.cpp.o"
+  "CMakeFiles/astromlab_util.dir/logging.cpp.o.d"
+  "CMakeFiles/astromlab_util.dir/rng.cpp.o"
+  "CMakeFiles/astromlab_util.dir/rng.cpp.o.d"
+  "CMakeFiles/astromlab_util.dir/string_utils.cpp.o"
+  "CMakeFiles/astromlab_util.dir/string_utils.cpp.o.d"
+  "CMakeFiles/astromlab_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/astromlab_util.dir/thread_pool.cpp.o.d"
+  "libastromlab_util.a"
+  "libastromlab_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astromlab_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

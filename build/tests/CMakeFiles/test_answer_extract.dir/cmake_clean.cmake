@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_answer_extract.dir/test_answer_extract.cpp.o"
+  "CMakeFiles/test_answer_extract.dir/test_answer_extract.cpp.o.d"
+  "test_answer_extract"
+  "test_answer_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_answer_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

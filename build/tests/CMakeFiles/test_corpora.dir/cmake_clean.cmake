@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corpora.dir/test_corpora.cpp.o"
+  "CMakeFiles/test_corpora.dir/test_corpora.cpp.o.d"
+  "test_corpora"
+  "test_corpora.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corpora.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_full_instruct.dir/test_full_instruct.cpp.o"
+  "CMakeFiles/test_full_instruct.dir/test_full_instruct.cpp.o.d"
+  "test_full_instruct"
+  "test_full_instruct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_full_instruct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hash_io.dir/test_hash_io.cpp.o"
+  "CMakeFiles/test_hash_io.dir/test_hash_io.cpp.o.d"
+  "test_hash_io"
+  "test_hash_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hash_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcq.dir/test_mcq.cpp.o"
+  "CMakeFiles/test_mcq.dir/test_mcq.cpp.o.d"
+  "test_mcq"
+  "test_mcq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

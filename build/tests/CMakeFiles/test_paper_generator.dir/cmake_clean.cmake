@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_generator.dir/test_paper_generator.cpp.o"
+  "CMakeFiles/test_paper_generator.dir/test_paper_generator.cpp.o.d"
+  "test_paper_generator"
+  "test_paper_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_integration.dir/test_pipeline_integration.cpp.o"
+  "CMakeFiles/test_pipeline_integration.dir/test_pipeline_integration.cpp.o.d"
+  "test_pipeline_integration"
+  "test_pipeline_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scorer_report.dir/test_scorer_report.cpp.o"
+  "CMakeFiles/test_scorer_report.dir/test_scorer_report.cpp.o.d"
+  "test_scorer_report"
+  "test_scorer_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scorer_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

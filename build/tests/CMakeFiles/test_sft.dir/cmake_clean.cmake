@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sft.dir/test_sft.cpp.o"
+  "CMakeFiles/test_sft.dir/test_sft.cpp.o.d"
+  "test_sft"
+  "test_sft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

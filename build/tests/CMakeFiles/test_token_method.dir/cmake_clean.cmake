@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_token_method.dir/test_token_method.cpp.o"
+  "CMakeFiles/test_token_method.dir/test_token_method.cpp.o.d"
+  "test_token_method"
+  "test_token_method.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_token_method.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
