@@ -3,13 +3,21 @@
 // three benchmarking methods.
 //
 // Options (CLI --key=value or ASTROMLAB_<KEY> env):
-//   --mult=<f>     world size multiplier (default 1.0; smaller = faster)
-//   --cache=<dir>  cache directory (default $ASTROMLAB_CACHE or
-//                  .astromlab_cache)
-//   --log=<level>  debug|info|warn|error (default info)
+//   --mult=<f>         world size multiplier (default 1.0; smaller = faster)
+//   --cache=<dir>      cache directory (default $ASTROMLAB_CACHE or
+//                      .astromlab_cache)
+//   --log=<level>      debug|info|warn|error (default info)
+//   --save-every=<n>   training snapshot cadence in steps for crash-safe
+//                      resume (default 25; 0 disables durability)
+//   --question-budget=<s>  wall-clock seconds per full-instruct question
+//                      before the watchdog degrades it to unanswered
+//                      (default 30; 0 disables)
 //
 // Trained models and evaluation results are cached; the first run trains
 // everything (several minutes on one core), later runs replay from cache.
+// A killed run resumes: training restarts bit-identically from the last
+// snapshot (<cache>/models/<key>.state + .resume.ckpt) and evaluation
+// replays only unanswered questions from <cache>/results/<key>.jsonl.
 
 #include <cstdio>
 
@@ -91,6 +99,8 @@ int main(int argc, char** argv) {
   util::Stopwatch watch;
   core::World world = core::build_world(config);
   core::Pipeline pipeline(std::move(world), cache);
+  pipeline.set_save_every(static_cast<std::size_t>(args.get_int("save-every", 25)));
+  pipeline.set_question_budget_seconds(args.get_double("question-budget", 30.0));
   const core::StudyResult result = core::run_table1_study(pipeline);
 
   std::printf("\n== MEASURED (this reproduction, %zu MCQs) ==\n\n",

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "eval/full_instruct.hpp"
+#include "eval/journal.hpp"
 #include "eval/token_method.hpp"
 #include "json/json.hpp"
 #include "nn/checkpoint.hpp"
@@ -58,6 +59,7 @@ json::Value summary_to_json(const eval::ScoreSummary& s) {
   obj.set("frontier_accuracy", json::Value(s.frontier_accuracy));
   obj.set("frontier_total", json::Value(static_cast<std::int64_t>(s.frontier_total)));
   obj.set("unanswered", json::Value(static_cast<std::int64_t>(s.unanswered)));
+  obj.set("answered_accuracy", json::Value(s.answered_accuracy));
   obj.set("json_extractions", json::Value(static_cast<std::int64_t>(s.json_extractions)));
   obj.set("regex_extractions", json::Value(static_cast<std::int64_t>(s.regex_extractions)));
   obj.set("interpreter_extractions",
@@ -76,6 +78,7 @@ eval::ScoreSummary summary_from_json(const json::Value& obj) {
   s.frontier_accuracy = obj.get_number("frontier_accuracy", 0);
   s.frontier_total = static_cast<std::size_t>(obj.get_number("frontier_total", 0));
   s.unanswered = static_cast<std::size_t>(obj.get_number("unanswered", 0));
+  s.answered_accuracy = obj.get_number("answered_accuracy", 0);
   s.json_extractions = static_cast<std::size_t>(obj.get_number("json_extractions", 0));
   s.regex_extractions = static_cast<std::size_t>(obj.get_number("regex_extractions", 0));
   s.interpreter_extractions =
@@ -132,16 +135,35 @@ std::uint64_t Pipeline::model_key(Scale scale, std::optional<corpus::CptVariant>
   return h.digest();
 }
 
-nn::GptModel Pipeline::train_or_load(std::uint64_t key, const std::string& tag,
-                                     const std::function<nn::GptModel()>& build) {
+nn::DurabilityConfig Pipeline::durability_for(std::uint64_t key) const {
+  nn::DurabilityConfig durability;
+  durability.save_every = save_every_;
+  durability.state_path = cache_dir_ / "models" / (util::to_hex(key) + ".state");
+  durability.model_path = cache_dir_ / "models" / (util::to_hex(key) + ".resume.ckpt");
+  return durability;
+}
+
+nn::GptModel Pipeline::train_or_load(
+    std::uint64_t key, const std::string& tag,
+    const std::function<nn::GptModel(const nn::DurabilityConfig&)>& build) {
   const fs::path path = cache_dir_ / "models" / (util::to_hex(key) + ".ckpt");
   if (fs::exists(path)) {
-    log::info() << "cache hit: model " << tag;
-    return nn::load_checkpoint(path);
+    try {
+      nn::GptModel model = nn::load_checkpoint(path);
+      log::info() << "cache hit: model " << tag;
+      return model;
+    } catch (const util::IoError& e) {
+      // A corrupt cache entry (torn legacy write, bit rot) must trigger a
+      // retrain, not kill the study.
+      log::warn() << "discarding corrupt cached model " << path.string() << ": "
+                  << e.what();
+      std::error_code ec;
+      fs::remove(path, ec);
+    }
   }
   log::info() << "training model " << tag << " ...";
   util::Stopwatch watch;
-  nn::GptModel model = build();
+  nn::GptModel model = build(durability_for(key));
   // Checkpoints are stored bf16 (the paper's training precision); both the
   // fresh and cached paths return the reloaded weights so results are
   // bit-identical regardless of cache state.
@@ -153,7 +175,8 @@ nn::GptModel Pipeline::train_or_load(std::uint64_t key, const std::string& tag,
 
 nn::GptModel Pipeline::base_model(Scale scale) {
   const std::uint64_t key = model_key(scale, std::nullopt, std::nullopt);
-  return train_or_load(key, model_tag(scale, std::nullopt, std::nullopt), [&] {
+  return train_or_load(key, model_tag(scale, std::nullopt, std::nullopt),
+                       [&](const nn::DurabilityConfig& durability) {
     const ScaleSpec spec = scale_spec(scale, world_.config);
     const std::string text =
         corpus::build_pretrain_corpus(world_.kb, world_.mcqs.practice, spec.pretrain);
@@ -165,14 +188,15 @@ nn::GptModel Pipeline::base_model(Scale scale) {
     model.init_weights(rng);
     nn::Trainer trainer(model, spec.pretrain_train);
     util::Rng train_rng(key ^ 0x5678);
-    trainer.train(data, train_rng);
+    trainer.train(data, train_rng, durability);
     return model;
   });
 }
 
 nn::GptModel Pipeline::cpt_model(Scale scale, corpus::CptVariant variant) {
   const std::uint64_t key = model_key(scale, variant, std::nullopt);
-  return train_or_load(key, model_tag(scale, variant, std::nullopt), [&] {
+  return train_or_load(key, model_tag(scale, variant, std::nullopt),
+                       [&](const nn::DurabilityConfig& durability) {
     nn::GptModel model = base_model(scale);
     const corpus::CptSpec cs = cpt_corpus_spec(variant, world_.config);
     const std::string text = corpus::build_cpt_corpus(world_.kb, cs);
@@ -181,7 +205,7 @@ nn::GptModel Pipeline::cpt_model(Scale scale, corpus::CptVariant variant) {
                 << "): " << data.size() << " tokens";
     nn::Trainer trainer(model, cpt_recipe(scale, world_.config));
     util::Rng train_rng(key ^ 0x9abc);
-    trainer.train(data, train_rng);
+    trainer.train(data, train_rng, durability);
     return model;
   });
 }
@@ -189,7 +213,8 @@ nn::GptModel Pipeline::cpt_model(Scale scale, corpus::CptVariant variant) {
 nn::GptModel Pipeline::instruct_model(Scale scale, std::optional<corpus::CptVariant> cpt,
                                       SftKind sft) {
   const std::uint64_t key = model_key(scale, cpt, sft);
-  return train_or_load(key, model_tag(scale, cpt, sft), [&] {
+  return train_or_load(key, model_tag(scale, cpt, sft),
+                       [&](const nn::DurabilityConfig& durability) {
     nn::GptModel model = cpt ? cpt_model(scale, *cpt) : base_model(scale);
     const corpus::SftSpec spec =
         sft_override_ ? *sft_override_ : sft_data_spec(sft, world_.config);
@@ -202,7 +227,7 @@ nn::GptModel Pipeline::instruct_model(Scale scale, std::optional<corpus::CptVari
                 << " dialogues, " << data.epoch_tokens() << " tokens";
     nn::Trainer trainer(model, sft_recipe(scale, sft, world_.config));
     util::Rng train_rng(key ^ 0xdef0);
-    trainer.train(data, train_rng);
+    trainer.train(data, train_rng, durability);
     return model;
   });
 }
@@ -233,10 +258,14 @@ eval::ScoreSummary Pipeline::token_benchmark(const nn::GptModel& model,
     return *cached;
   }
   log::info() << "token benchmark: " << tag;
-  const auto results =
-      eval::run_token_benchmark(model, world_.tok, world_.mcqs.benchmark, world_.mcqs.practice);
+  // Per-question journal: a killed run resumes from the answered prefix
+  // and still produces the identical summary.
+  eval::EvalJournal journal(cache_dir_ / "results" / (util::to_hex(key) + ".jsonl"));
+  const auto results = eval::run_token_benchmark(model, world_.tok, world_.mcqs.benchmark,
+                                                 world_.mcqs.practice, &journal);
   const eval::ScoreSummary summary = eval::summarize(results);
   store_result(key, summary);
+  journal.discard();
   return summary;
 }
 
@@ -250,10 +279,15 @@ eval::ScoreSummary Pipeline::full_instruct_benchmark(const nn::GptModel& model,
     return *cached;
   }
   log::info() << "full-instruct benchmark: " << tag;
-  const auto results =
-      eval::run_full_instruct_benchmark(model, world_.tok, world_.mcqs.benchmark);
+  eval::FullInstructConfig config;
+  config.max_seconds_per_question = question_budget_seconds_;
+  eval::EvalJournal journal(cache_dir_ / "results" / (util::to_hex(key) + ".jsonl"));
+  const auto results = eval::run_full_instruct_benchmark(model, world_.tok,
+                                                         world_.mcqs.benchmark, config,
+                                                         &journal);
   const eval::ScoreSummary summary = eval::summarize(results);
   store_result(key, summary);
+  journal.discard();
   return summary;
 }
 

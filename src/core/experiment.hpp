@@ -17,6 +17,7 @@
 #include "corpus/mcq.hpp"
 #include "eval/scorer.hpp"
 #include "nn/gpt.hpp"
+#include "nn/trainer.hpp"
 #include "tokenizer/bpe.hpp"
 
 namespace astromlab::core {
@@ -85,19 +86,31 @@ class Pipeline {
   void set_sft_spec_override(const corpus::SftSpec& spec);
   void clear_sft_spec_override();
 
+  /// Training snapshot cadence for crash-safe resume (steps between
+  /// snapshots; 0 disables durability). Default 25.
+  void set_save_every(std::size_t steps) { save_every_ = steps; }
+  std::size_t save_every() const { return save_every_; }
+
+  /// Wall-clock watchdog per full-instruct question (seconds; 0 disables).
+  void set_question_budget_seconds(double seconds) { question_budget_seconds_ = seconds; }
+
  private:
   std::string model_tag(Scale scale, std::optional<corpus::CptVariant> cpt,
                         std::optional<SftKind> sft) const;
   std::uint64_t model_key(Scale scale, std::optional<corpus::CptVariant> cpt,
                           std::optional<SftKind> sft) const;
   nn::GptModel train_or_load(std::uint64_t key, const std::string& tag,
-                             const std::function<nn::GptModel()>& build);
+                             const std::function<nn::GptModel(const nn::DurabilityConfig&)>& build);
+  /// Snapshot/resume paths for the training run cached under `key`.
+  nn::DurabilityConfig durability_for(std::uint64_t key) const;
   std::optional<eval::ScoreSummary> load_result(std::uint64_t key) const;
   void store_result(std::uint64_t key, const eval::ScoreSummary& summary) const;
 
   World world_;
   std::filesystem::path cache_dir_;
   std::optional<corpus::SftSpec> sft_override_;
+  std::size_t save_every_ = 25;
+  double question_budget_seconds_ = 30.0;
 };
 
 }  // namespace astromlab::core

@@ -18,6 +18,7 @@ StudyRow make_row(Pipeline& pipeline, Scale scale, std::optional<corpus::CptVari
   if (out.scores.has_instruct) {
     out.row.token_instruct = pct(out.scores.token_instruct);
     out.row.full_instruct = pct(out.scores.full_instruct);
+    out.row.unanswered = out.scores.full_instruct.unanswered;
   }
   out.row.source = source;
   out.row.reference = reference;

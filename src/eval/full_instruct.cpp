@@ -22,6 +22,7 @@ FullInstructOutcome full_instruct_one(const nn::GptModel& model,
   sample.temperature = config.temperature;
   sample.max_new_tokens = config.max_new_tokens;
   sample.stop_tokens = {tok.end_turn_id(), tok.eos_id()};
+  sample.max_wall_seconds = config.max_seconds_per_question;
 
   util::Rng rng(config.seed);
   nn::Sampler sampler(model);
@@ -29,6 +30,15 @@ FullInstructOutcome full_instruct_one(const nn::GptModel& model,
 
   std::vector<tokenizer::TokenId> out_ids(generated.tokens.begin(), generated.tokens.end());
   outcome.raw_output = tok.decode(out_ids);
+
+  if (generated.timed_out) {
+    // Watchdog abort: the answer is incomplete by construction, so degrade
+    // to unanswered rather than extracting from a cut-off generation.
+    outcome.timed_out = true;
+    outcome.result.method = ExtractionMethod::kFailed;
+    outcome.result.predicted = -1;
+    return outcome;
+  }
 
   const ExtractedAnswer extracted = extract_answer(outcome.raw_output, item.options);
   outcome.result.method = extracted.method;
@@ -38,10 +48,22 @@ FullInstructOutcome full_instruct_one(const nn::GptModel& model,
 
 std::vector<QuestionResult> run_full_instruct_benchmark(
     const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
-    const std::vector<corpus::McqItem>& benchmark, const FullInstructConfig& config) {
+    const std::vector<corpus::McqItem>& benchmark, const FullInstructConfig& config,
+    EvalJournal* journal) {
   std::vector<QuestionResult> results(benchmark.size());
   for (std::size_t q = 0; q < benchmark.size(); ++q) {
+    if (journal != nullptr) {
+      // Reuse a journalled answer only when it matches the current
+      // benchmark item (a stale journal from another world must not leak).
+      const auto prior = journal->lookup(q);
+      if (prior && prior->correct == static_cast<int>(benchmark[q].correct) &&
+          prior->tier == benchmark[q].tier) {
+        results[q] = *prior;
+        continue;
+      }
+    }
     results[q] = full_instruct_one(model, tok, benchmark[q], config).result;
+    if (journal != nullptr) journal->record(q, results[q]);
   }
   return results;
 }

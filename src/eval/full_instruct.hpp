@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "corpus/mcq.hpp"
+#include "eval/journal.hpp"
 #include "eval/scorer.hpp"
 #include "nn/gpt.hpp"
 #include "tokenizer/bpe.hpp"
@@ -20,11 +21,16 @@ struct FullInstructConfig {
   std::size_t max_new_tokens = 96;
   float temperature = 0.0f;
   std::uint64_t seed = 5;  ///< only used when temperature > 0
+  /// Wall-clock budget per question; a question exceeding it is degraded to
+  /// `predicted = -1` (counted as unanswered) instead of stalling the
+  /// study. 0 disables the watchdog.
+  double max_seconds_per_question = 0.0;
 };
 
 struct FullInstructOutcome {
   QuestionResult result;
   std::string raw_output;  ///< decoded generation (for inspection)
+  bool timed_out = false;  ///< the per-question watchdog fired
 };
 
 /// Runs one question; returns the outcome including the raw generation.
@@ -33,10 +39,12 @@ FullInstructOutcome full_instruct_one(const nn::GptModel& model,
                                       const corpus::McqItem& item,
                                       const FullInstructConfig& config);
 
-/// Runs the full benchmark.
+/// Runs the full benchmark. With an active `journal`, already-answered
+/// questions are skipped (their journalled results reused) and every fresh
+/// result is appended durably, making a killed run resumable.
 std::vector<QuestionResult> run_full_instruct_benchmark(
     const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
     const std::vector<corpus::McqItem>& benchmark,
-    const FullInstructConfig& config = {});
+    const FullInstructConfig& config = {}, EvalJournal* journal = nullptr);
 
 }  // namespace astromlab::eval

@@ -1,0 +1,87 @@
+#include "eval/journal.hpp"
+
+#include <fstream>
+
+#include "json/json.hpp"
+#include "util/io.hpp"
+#include "util/logging.hpp"
+
+namespace astromlab::eval {
+
+namespace fs = std::filesystem;
+
+EvalJournal::EvalJournal(fs::path path) : path_(std::move(path)) {
+  if (path_.has_parent_path()) {
+    std::error_code ec;
+    fs::create_directories(path_.parent_path(), ec);
+  }
+  if (!fs::exists(path_)) return;
+
+  const std::string text = util::read_text_file(path_);
+  std::size_t start = 0;
+  std::size_t skipped = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    const bool terminated = end != std::string::npos;
+    if (!terminated) end = text.size();
+    const std::string_view line(text.data() + start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    // An unterminated final line is a torn append from a crash mid-write;
+    // parse failures inside it are expected and silently dropped.
+    try {
+      const json::Value obj = json::parse(line);
+      QuestionResult result;
+      result.predicted = static_cast<int>(obj.get_number("predicted", -1));
+      result.correct = static_cast<int>(obj.get_number("correct", 0));
+      result.tier = static_cast<corpus::Tier>(static_cast<int>(obj.get_number("tier", 0)));
+      result.method =
+          static_cast<ExtractionMethod>(static_cast<int>(obj.get_number("method", 3)));
+      const auto question = static_cast<std::size_t>(obj.get_number("q", 0));
+      entries_[question] = result;
+    } catch (const json::ParseError&) {
+      ++skipped;
+      if (terminated) {
+        log::warn() << "skipping malformed journal line in " << path_.string();
+      }
+    }
+  }
+  if (!entries_.empty()) {
+    log::info() << "eval journal " << path_.string() << ": resuming with "
+                << entries_.size() << " answered questions"
+                << (skipped > 0 ? " (dropped a torn line)" : "");
+  }
+}
+
+std::optional<QuestionResult> EvalJournal::lookup(std::size_t question) const {
+  const auto it = entries_.find(question);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void EvalJournal::record(std::size_t question, const QuestionResult& result) {
+  if (!active()) return;
+  json::Value obj = json::Value::object();
+  obj.set("q", json::Value(static_cast<std::int64_t>(question)));
+  obj.set("predicted", json::Value(result.predicted));
+  obj.set("correct", json::Value(result.correct));
+  obj.set("tier", json::Value(static_cast<int>(result.tier)));
+  obj.set("method", json::Value(static_cast<int>(result.method)));
+
+  std::ofstream stream(path_, std::ios::binary | std::ios::app);
+  if (!stream) throw util::IoError("cannot append to journal: " + path_.string());
+  const std::string line = obj.dump() + "\n";
+  stream.write(line.data(), static_cast<std::streamsize>(line.size()));
+  stream.flush();
+  if (!stream) throw util::IoError("write failure on journal: " + path_.string());
+  entries_[question] = result;
+}
+
+void EvalJournal::discard() {
+  if (!active()) return;
+  std::error_code ec;
+  fs::remove(path_, ec);
+  entries_.clear();
+}
+
+}  // namespace astromlab::eval

@@ -1,0 +1,48 @@
+#pragma once
+// Append-only per-question result journal for resumable benchmarking.
+//
+// The 4,425-question benchmark evaluated three ways (paper Table I) is the
+// longest-running stage of a study; a crash must not discard hours of
+// finished questions. Each completed question is appended to a JSONL file
+// and flushed immediately, so a restarted run replays only unanswered
+// questions and produces the identical score report. A torn final line
+// (kill mid-append) is detected and ignored — that one question is simply
+// re-run.
+
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <optional>
+
+#include "eval/scorer.hpp"
+
+namespace astromlab::eval {
+
+class EvalJournal {
+ public:
+  /// Inactive journal: lookups miss, record() is a no-op.
+  EvalJournal() = default;
+
+  /// Opens (and loads) the journal at `path`; malformed lines are skipped
+  /// with a warning.
+  explicit EvalJournal(std::filesystem::path path);
+
+  bool active() const { return !path_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  const std::filesystem::path& path() const { return path_; }
+
+  /// Result journalled for 0-based benchmark question `question`, if any.
+  std::optional<QuestionResult> lookup(std::size_t question) const;
+
+  /// Appends one line and flushes before returning (crash-durable).
+  void record(std::size_t question, const QuestionResult& result);
+
+  /// Deletes the journal file (call once the summary has been persisted).
+  void discard();
+
+ private:
+  std::filesystem::path path_;
+  std::map<std::size_t, QuestionResult> entries_;
+};
+
+}  // namespace astromlab::eval

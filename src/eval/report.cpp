@@ -42,10 +42,12 @@ std::string score_cell(double score, double baseline, bool native) {
 std::string render_table1(const std::vector<ModelRow>& rows) {
   std::string out;
   out += "TABLE I: PERFORMANCE ON ASTRONOMY MCQ BENCHMARK\n";
-  out += "(scores: % accurate answers; ^ better / v worse / ~ similar vs native baseline)\n\n";
-  out += pad_right("Model", 34) + pad_left("FullInst", 9) + pad_left("Tok-Inst", 10) +
-         pad_left("Tok-Base", 10) + "  " + pad_right("Source", 11) + "Reference\n";
-  out += std::string(90, '-') + "\n";
+  out += "(scores: % accurate answers; ^ better / v worse / ~ similar vs native baseline;\n";
+  out += " Unansw: full-instruct questions with no extracted answer, scored incorrect)\n\n";
+  out += pad_right("Model", 34) + pad_left("FullInst", 9) + pad_left("Unansw", 7) +
+         pad_left("Tok-Inst", 10) + pad_left("Tok-Base", 10) + "  " +
+         pad_right("Source", 11) + "Reference\n";
+  out += std::string(97, '-') + "\n";
 
   std::string current_series;
   for (const ModelRow& row : rows) {
@@ -59,6 +61,7 @@ std::string render_table1(const std::vector<ModelRow>& rows) {
     const double base_tb = base ? base->token_base : -1.0;
     out += pad_right("  " + row.name, 34);
     out += " " + score_cell(row.full_instruct, base_full, row.is_native);
+    out += pad_left(row.full_instruct < 0.0 ? "-" : std::to_string(row.unanswered), 7);
     out += " " + score_cell(row.token_instruct, base_ti, row.is_native);
     out += " " + score_cell(row.token_base, base_tb, row.is_native);
     out += "   " + pad_right(row.source, 11) + row.reference + "\n";
@@ -112,12 +115,15 @@ std::string render_fig1(const std::vector<ModelRow>& rows, double axis_min, doub
 }
 
 std::string render_csv(const std::vector<ModelRow>& rows) {
-  std::string out = "model,series,full_instruct,token_instruct,token_base,source,reference\n";
+  std::string out =
+      "model,series,full_instruct,unanswered,token_instruct,token_base,source,reference\n";
   for (const ModelRow& row : rows) {
     auto cell = [](double v) { return v < 0.0 ? std::string() : format_fixed(v, 2); };
-    out += row.name + "," + row.series + "," + cell(row.full_instruct) + "," +
-           cell(row.token_instruct) + "," + cell(row.token_base) + "," + row.source + "," +
-           row.reference + "\n";
+    const std::string unanswered =
+        row.full_instruct < 0.0 ? std::string() : std::to_string(row.unanswered);
+    out += row.name + "," + row.series + "," + cell(row.full_instruct) + "," + unanswered +
+           "," + cell(row.token_instruct) + "," + cell(row.token_base) + "," + row.source +
+           "," + row.reference + "\n";
   }
   return out;
 }

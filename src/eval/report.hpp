@@ -16,6 +16,10 @@ struct ModelRow {
   double full_instruct = -1.0;   ///< percent, -1 = not evaluated
   double token_instruct = -1.0;
   double token_base = -1.0;
+  /// Full-instruct questions with no extracted answer (extraction failure
+  /// or watchdog abort). They score as incorrect; surfacing the count keeps
+  /// them from being silently folded into wrong answers.
+  std::size_t unanswered = 0;
   std::string source;
   std::string reference;
   bool is_native = false;

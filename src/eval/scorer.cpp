@@ -32,6 +32,9 @@ ScoreSummary summarize(const std::vector<QuestionResult>& results,
     }
   }
   summary.accuracy = static_cast<double>(summary.correct) / static_cast<double>(summary.total);
+  const std::size_t answered = summary.total - summary.unanswered;
+  summary.answered_accuracy =
+      answered > 0 ? static_cast<double>(summary.correct) / static_cast<double>(answered) : 0.0;
   summary.canonical_accuracy =
       canonical_total > 0
           ? static_cast<double>(canonical_correct) / static_cast<double>(canonical_total)

@@ -31,7 +31,12 @@ struct ScoreSummary {
   double canonical_accuracy = 0.0;
   double frontier_accuracy = 0.0;
   std::size_t frontier_total = 0;
-  std::size_t unanswered = 0;  ///< predicted == -1
+  std::size_t unanswered = 0;  ///< predicted == -1 (extraction failure or
+                               ///< watchdog abort); counted as incorrect in
+                               ///< `accuracy` but reported separately so
+                               ///< unanswered is never silently folded into
+                               ///< wrong answers
+  double answered_accuracy = 0.0;  ///< accuracy over answered questions only
   std::size_t json_extractions = 0;
   std::size_t regex_extractions = 0;
   std::size_t interpreter_extractions = 0;

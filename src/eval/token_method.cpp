@@ -121,18 +121,27 @@ int token_predict(const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
 std::vector<QuestionResult> run_token_benchmark(
     const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
     const std::vector<corpus::McqItem>& benchmark,
-    const std::vector<corpus::McqItem>& practice_pool) {
+    const std::vector<corpus::McqItem>& practice_pool, EvalJournal* journal) {
   const std::vector<corpus::McqItem> fewshot = pick_fewshot_examples(practice_pool);
   const LetterTokens letters = detect_letter_tokens(model, tok, practice_pool, fewshot);
 
   std::vector<QuestionResult> results(benchmark.size());
   for (std::size_t q = 0; q < benchmark.size(); ++q) {
     const corpus::McqItem& item = benchmark[q];
+    if (journal != nullptr) {
+      const auto prior = journal->lookup(q);
+      if (prior && prior->correct == static_cast<int>(item.correct) &&
+          prior->tier == item.tier) {
+        results[q] = *prior;
+        continue;
+      }
+    }
     QuestionResult result;
     result.correct = static_cast<int>(item.correct);
     result.tier = item.tier;
     result.predicted = token_predict(model, tok, letters, item, fewshot);
     results[q] = result;
+    if (journal != nullptr) journal->record(q, result);
   }
   return results;
 }

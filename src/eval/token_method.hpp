@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "corpus/mcq.hpp"
+#include "eval/journal.hpp"
 #include "eval/scorer.hpp"
 #include "nn/gpt.hpp"
 #include "tokenizer/bpe.hpp"
@@ -48,10 +49,13 @@ int token_predict(const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
                   const LetterTokens& letters, const corpus::McqItem& item,
                   const std::vector<corpus::McqItem>& fewshot);
 
-/// Runs the token method over the whole benchmark.
+/// Runs the token method over the whole benchmark. With an active
+/// `journal`, already-answered questions are skipped (their journalled
+/// results reused) and fresh results are appended durably, making a killed
+/// run resumable.
 std::vector<QuestionResult> run_token_benchmark(
     const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
     const std::vector<corpus::McqItem>& benchmark,
-    const std::vector<corpus::McqItem>& practice_pool);
+    const std::vector<corpus::McqItem>& practice_pool, EvalJournal* journal = nullptr);
 
 }  // namespace astromlab::eval

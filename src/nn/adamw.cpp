@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace astromlab::nn {
 
@@ -45,6 +47,18 @@ void AdamW::reset() {
   std::fill(m_.begin(), m_.end(), 0.0f);
   std::fill(v_.begin(), v_.end(), 0.0f);
   step_count_ = 0;
+}
+
+void AdamW::restore(const std::vector<float>& m, const std::vector<float>& v,
+                    std::size_t step_count) {
+  if (m.size() != m_.size() || v.size() != v_.size()) {
+    throw std::invalid_argument("AdamW::restore: moment size mismatch (state has " +
+                                std::to_string(m.size()) + ", model has " +
+                                std::to_string(m_.size()) + " parameters)");
+  }
+  m_ = m;
+  v_ = v;
+  step_count_ = step_count;
 }
 
 }  // namespace astromlab::nn

@@ -36,6 +36,15 @@ class AdamW {
 
   std::size_t step_count() const { return step_count_; }
 
+  /// Moment buffers, exposed for TrainerState serialisation.
+  const std::vector<float>& moment1() const { return m_; }
+  const std::vector<float>& moment2() const { return v_; }
+
+  /// Restores serialised optimiser state (resume); sizes must match the
+  /// parameter table this optimiser was built over.
+  void restore(const std::vector<float>& m, const std::vector<float>& v,
+               std::size_t step_count);
+
  private:
   ParamTable& params_;
   AdamWConfig config_;

@@ -8,7 +8,8 @@
 namespace astromlab::nn {
 
 namespace {
-constexpr std::uint32_t kMagic = 0x41434B31;  // "ACK1"
+constexpr std::uint32_t kMagicV1 = 0x41434B31;  // "ACK1": no CRC footer
+constexpr std::uint32_t kMagicV2 = 0x41434B32;  // "ACK2": CRC footer required
 
 void write_config(util::BinaryWriter& writer, const GptConfig& config) {
   writer.write_u64(config.vocab_size);
@@ -30,12 +31,51 @@ GptConfig read_config(util::BinaryReader& reader) {
   config.validate();
   return config;
 }
+
+/// Checks the magic and, for v2 files, that the CRC footer was present and
+/// verified (the reader validates the CRC itself in its constructor).
+void check_header(util::BinaryReader& reader, const std::filesystem::path& path) {
+  const std::uint32_t magic = reader.read_u32();
+  if (magic != kMagicV1 && magic != kMagicV2) {
+    throw util::IoError("not a checkpoint file: " + path.string());
+  }
+  if (magic == kMagicV2 && !reader.has_checksum()) {
+    throw util::CorruptFileError("v2 checkpoint missing checksum footer (torn write?): " +
+                                 path.string());
+  }
+}
+
+/// Validates the stored precision byte against the enum range before use.
+CheckpointPrecision read_precision(util::BinaryReader& reader,
+                                   const std::filesystem::path& path) {
+  const std::uint8_t raw = reader.read_u8();
+  if (raw > static_cast<std::uint8_t>(CheckpointPrecision::kBf16)) {
+    throw util::IoError("unknown checkpoint precision byte " + std::to_string(raw) +
+                        " in " + path.string());
+  }
+  return static_cast<CheckpointPrecision>(raw);
+}
+
+void read_params(util::BinaryReader& reader, GptModel& model,
+                 const std::filesystem::path& path) {
+  const CheckpointPrecision precision = read_precision(reader, path);
+  float* params = model.params().params();
+  const std::size_t count = model.params().total_size();
+  if (precision == CheckpointPrecision::kF32) {
+    reader.read_f32_array(params, count);
+  } else {
+    std::vector<std::uint16_t> half(count);
+    reader.read_u16_array(half.data(), count);
+    for (std::size_t i = 0; i < count; ++i) params[i] = tensor::bf16_to_float(half[i]);
+  }
+}
+
 }  // namespace
 
 void save_checkpoint(const GptModel& model, const std::filesystem::path& path,
                      CheckpointPrecision precision) {
-  util::BinaryWriter writer(path);
-  writer.write_u32(kMagic);
+  util::BinaryWriter writer(path, util::WriteOptions{/*atomic=*/true, /*checksum=*/true});
+  writer.write_u32(kMagicV2);
   write_config(writer, model.config());
   writer.write_u8(static_cast<std::uint8_t>(precision));
   const float* params = model.params().params();
@@ -52,30 +92,25 @@ void save_checkpoint(const GptModel& model, const std::filesystem::path& path,
 
 GptModel load_checkpoint(const std::filesystem::path& path) {
   util::BinaryReader reader(path);
-  if (reader.read_u32() != kMagic) {
-    throw util::IoError("not a checkpoint file: " + path.string());
-  }
+  check_header(reader, path);
   GptModel model(read_config(reader));
-  const auto precision = static_cast<CheckpointPrecision>(reader.read_u8());
-  float* params = model.params().params();
-  const std::size_t count = model.params().total_size();
-  if (precision == CheckpointPrecision::kF32) {
-    reader.read_f32_array(params, count);
-  } else if (precision == CheckpointPrecision::kBf16) {
-    std::vector<std::uint16_t> half(count);
-    reader.read_u16_array(half.data(), count);
-    for (std::size_t i = 0; i < count; ++i) params[i] = tensor::bf16_to_float(half[i]);
-  } else {
-    throw util::IoError("unknown checkpoint precision in " + path.string());
-  }
+  read_params(reader, model, path);
   return model;
+}
+
+void load_checkpoint_params(GptModel& model, const std::filesystem::path& path) {
+  util::BinaryReader reader(path);
+  check_header(reader, path);
+  const GptConfig stored = read_config(reader);
+  if (!(stored == model.config())) {
+    throw util::IoError("checkpoint config mismatch for in-place load: " + path.string());
+  }
+  read_params(reader, model, path);
 }
 
 GptConfig peek_checkpoint_config(const std::filesystem::path& path) {
   util::BinaryReader reader(path);
-  if (reader.read_u32() != kMagic) {
-    throw util::IoError("not a checkpoint file: " + path.string());
-  }
+  check_header(reader, path);
   return read_config(reader);
 }
 

@@ -5,6 +5,10 @@
 // raw fp32 or as bf16 (the paper trains in bf16; storing checkpoints in
 // bf16 halves cache size and models that quantisation). Loading a bf16
 // checkpoint widens back to fp32.
+//
+// Format v2 ("ACK2"): written atomically (tmp + rename) with a trailing
+// CRC-32 footer, so a crash mid-save can never leave a half-written file
+// that parses. v1 ("ACK1") files — no footer — are still loadable.
 
 #include <cstdint>
 #include <filesystem>
@@ -15,13 +19,19 @@ namespace astromlab::nn {
 
 enum class CheckpointPrecision : std::uint8_t { kF32 = 0, kBf16 = 1 };
 
-/// Writes config + parameters. Directory is created if needed.
+/// Writes config + parameters (atomic, CRC-checked). Directory is created
+/// if needed; on failure any previous checkpoint at `path` is untouched.
 void save_checkpoint(const GptModel& model, const std::filesystem::path& path,
                      CheckpointPrecision precision = CheckpointPrecision::kBf16);
 
 /// Reads a checkpoint, reconstructing the model (architecture comes from
-/// the file). Throws util::IoError on malformed input.
+/// the file). Throws util::IoError on malformed input and
+/// util::CorruptFileError on integrity failures (bad CRC, torn v2 file).
 GptModel load_checkpoint(const std::filesystem::path& path);
+
+/// Loads checkpoint parameters into an existing model whose config must
+/// match the stored one exactly (bit-identical training resume).
+void load_checkpoint_params(GptModel& model, const std::filesystem::path& path);
 
 /// Reads only the stored config (cheap inspection).
 GptConfig peek_checkpoint_config(const std::filesystem::path& path);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "tensor/ops.hpp"
+#include "util/stopwatch.hpp"
 
 namespace astromlab::nn {
 
@@ -47,8 +48,13 @@ SampleResult Sampler::generate(const std::vector<Token>& prompt_tokens,
     result.hit_context_limit = prompt_tokens.size() >= ctx;
     return result;
   }
+  util::Stopwatch watch;
   const std::vector<float>* logits = &inference_.prompt(prompt_tokens);
   for (std::size_t i = 0; i < config.max_new_tokens; ++i) {
+    if (config.max_wall_seconds > 0.0 && watch.seconds() >= config.max_wall_seconds) {
+      result.timed_out = true;
+      return result;
+    }
     const Token next = pick(*logits, config, rng);
     if (std::find(config.stop_tokens.begin(), config.stop_tokens.end(), next) !=
         config.stop_tokens.end()) {

@@ -20,12 +20,17 @@ struct SampleConfig {
   std::size_t top_k = 0;      ///< 0 = full distribution
   std::size_t max_new_tokens = 128;
   std::vector<Token> stop_tokens;  ///< generation halts when one is emitted
+  /// Wall-clock watchdog: generation stops (with `timed_out` set) once this
+  /// many seconds have elapsed, so one runaway question cannot stall a
+  /// multi-hour benchmark run. 0 disables.
+  double max_wall_seconds = 0.0;
 };
 
 struct SampleResult {
   std::vector<Token> tokens;   ///< generated tokens (stop token excluded)
   bool hit_stop = false;       ///< true if a stop token ended generation
   bool hit_context_limit = false;
+  bool timed_out = false;      ///< the wall-clock watchdog fired
 };
 
 class Sampler {

@@ -1,0 +1,64 @@
+#include "nn/train_state.hpp"
+
+#include "util/io.hpp"
+
+namespace astromlab::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x41545331;  // "ATS1"
+}
+
+void save_trainer_state(const TrainerState& state, const std::filesystem::path& path) {
+  util::BinaryWriter writer(path, util::WriteOptions{/*atomic=*/true, /*checksum=*/true});
+  writer.write_u32(kMagic);
+  writer.write_u64(state.next_step);
+  writer.write_u64(state.total_steps);
+  writer.write_u64(state.tokens_processed);
+  writer.write_f32(state.first_loss);
+  writer.write_f32(state.final_loss);
+  writer.write_f64(state.loss_sum);
+  writer.write_u64(state.optimizer_step_count);
+  writer.write_u32(state.params_crc);
+  writer.write_f32_array(state.m.data(), state.m.size());
+  writer.write_f32_array(state.v.data(), state.v.size());
+  writer.write_u64_array(state.rng.words.data(), state.rng.words.size());
+  writer.write_f64(state.rng.gaussian_spare);
+  writer.write_u8(state.rng.has_gaussian_spare ? 1 : 0);
+  writer.close();
+}
+
+TrainerState load_trainer_state(const std::filesystem::path& path) {
+  util::BinaryReader reader(path, util::ReadOptions{/*require_checksum=*/true});
+  if (reader.read_u32() != kMagic) {
+    throw util::IoError("not a trainer-state file: " + path.string());
+  }
+  TrainerState state;
+  state.next_step = reader.read_u64();
+  state.total_steps = reader.read_u64();
+  state.tokens_processed = reader.read_u64();
+  state.first_loss = reader.read_f32();
+  state.final_loss = reader.read_f32();
+  state.loss_sum = reader.read_f64();
+  state.optimizer_step_count = reader.read_u64();
+  state.params_crc = reader.read_u32();
+  // Moment arrays are length-prefixed; sizes are validated against the
+  // model by AdamW::restore, so read whatever was stored.
+  const std::uint64_t m_count = reader.read_u64();
+  if (m_count * sizeof(float) > reader.remaining()) {
+    throw util::IoError("corrupt moment-array length in " + path.string());
+  }
+  state.m.resize(m_count);
+  for (auto& x : state.m) x = reader.read_f32();
+  const std::uint64_t v_count = reader.read_u64();
+  if (v_count * sizeof(float) > reader.remaining()) {
+    throw util::IoError("corrupt moment-array length in " + path.string());
+  }
+  state.v.resize(v_count);
+  for (auto& x : state.v) x = reader.read_f32();
+  reader.read_u64_array(state.rng.words.data(), state.rng.words.size());
+  state.rng.gaussian_spare = reader.read_f64();
+  state.rng.has_gaussian_spare = reader.read_u8() != 0;
+  return state;
+}
+
+}  // namespace astromlab::nn

@@ -1,0 +1,46 @@
+#pragma once
+// Durable training-loop state for crash-safe, bit-identical resume.
+//
+// `TrainerState` captures everything `Trainer::train` needs beyond the
+// model parameters themselves: the step cursor, AdamW moment estimates,
+// the data-order RNG stream, and the running loss accumulators. A model
+// snapshot (fp32, exact) is written alongside it, so a run killed at any
+// point — kill -9 included — restarts from the last snapshot and produces
+// byte-identical final parameters and statistics.
+//
+// Format "ATS1": atomic write, CRC-32 footer (see util/io.hpp).
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace astromlab::nn {
+
+struct TrainerState {
+  std::uint64_t next_step = 0;     ///< first optimisation step not yet run
+  std::uint64_t total_steps = 0;   ///< planned steps of the original run
+  std::uint64_t tokens_processed = 0;
+  float first_loss = 0.0f;
+  float final_loss = 0.0f;
+  double loss_sum = 0.0;
+  std::uint64_t optimizer_step_count = 0;
+  std::uint32_t params_crc = 0;    ///< CRC-32 of the fp32 parameter bytes at
+                                   ///< the snapshot; pairs the state with its
+                                   ///< model file across a crash between the
+                                   ///< two writes
+  std::vector<float> m;            ///< AdamW first moments
+  std::vector<float> v;            ///< AdamW second moments
+  util::RngState rng;              ///< data-order RNG at the snapshot point
+};
+
+/// Atomically writes `state` with a CRC footer; a previous state file at
+/// `path` survives any failure.
+void save_trainer_state(const TrainerState& state, const std::filesystem::path& path);
+
+/// Loads and validates a state file. Throws util::IoError on malformed
+/// input and util::CorruptFileError on integrity failures.
+TrainerState load_trainer_state(const std::filesystem::path& path);
+
+}  // namespace astromlab::nn

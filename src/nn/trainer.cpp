@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/checkpoint.hpp"
+#include "util/io.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 #include "util/string_utils.hpp"
@@ -22,6 +24,13 @@ std::size_t Trainer::planned_steps(const BatchSource& data) const {
 
 TrainStats Trainer::train(BatchSource& data, util::Rng& rng,
                           const std::function<void(std::size_t, float)>& on_step) {
+  return train(data, rng, DurabilityConfig{}, on_step);
+}
+
+TrainStats Trainer::train(BatchSource& data, util::Rng& rng,
+                          const DurabilityConfig& durability,
+                          const std::function<void(std::size_t, float)>& on_step) {
+  namespace fs = std::filesystem;
   const std::size_t steps = planned_steps(data);
   const std::size_t seq = std::min(config_.seq_len, model_.config().ctx_len);
 
@@ -36,8 +45,49 @@ TrainStats Trainer::train(BatchSource& data, util::Rng& rng,
   TrainStats stats;
   util::Stopwatch watch;
   double loss_sum = 0.0;
+  std::size_t start_step = 0;
 
-  for (std::size_t step = 0; step < steps; ++step) {
+  const bool durable = durability.enabled();
+  if (durable && durability.resume && fs::exists(durability.state_path)) {
+    // Keep the caller's initial weights so a rejected snapshot can fall
+    // back to a genuinely fresh start.
+    const std::vector<float> pristine(model_.params().params(),
+                                      model_.params().params() + model_.params().total_size());
+    try {
+      const TrainerState state = load_trainer_state(durability.state_path);
+      if (state.total_steps != steps) {
+        log::warn() << "ignoring trainer state " << durability.state_path.string()
+                    << ": planned " << state.total_steps << " steps, current run plans "
+                    << steps;
+      } else {
+        load_checkpoint_params(model_, durability.model_path);
+        const std::uint32_t crc = util::crc32(
+            model_.params().params(), model_.params().total_size() * sizeof(float));
+        if (crc != state.params_crc) {
+          throw util::CorruptFileError(
+              "trainer state and model snapshot disagree (crash between writes?): " +
+              durability.state_path.string());
+        }
+        optimizer.restore(state.m, state.v, state.optimizer_step_count);
+        rng.restore_state(state.rng);
+        start_step = static_cast<std::size_t>(state.next_step);
+        stats.steps = start_step;
+        stats.tokens_processed = static_cast<std::size_t>(state.tokens_processed);
+        stats.first_loss = state.first_loss;
+        stats.final_loss = state.final_loss;
+        loss_sum = state.loss_sum;
+        log::info() << "resuming training at step " << start_step << "/" << steps
+                    << " from " << durability.state_path.string();
+      }
+    } catch (const std::exception& e) {
+      // A torn snapshot must not kill the run: fall back to a fresh start.
+      log::warn() << "ignoring unusable trainer state: " << e.what();
+      std::copy(pristine.begin(), pristine.end(), model_.params().params());
+      start_step = 0;
+    }
+  }
+
+  for (std::size_t step = start_step; step < steps; ++step) {
     model_.params().zero_grads();
     float step_loss = 0.0f;
     for (std::size_t micro = 0; micro < config_.grad_accum; ++micro) {
@@ -65,6 +115,35 @@ TrainStats Trainer::train(BatchSource& data, util::Rng& rng,
                   << util::format_fixed(schedule.lr(step), 6);
     }
     if (on_step) on_step(step, step_loss);
+
+    if (durable && (step + 1) % durability.save_every == 0 && step + 1 < steps) {
+      // Each file commits atomically; the params CRC stored in the state
+      // detects the remaining hazard of a crash landing between the two
+      // writes, in which case resume falls back to a fresh start.
+      save_checkpoint(model_, durability.model_path, CheckpointPrecision::kF32);
+      TrainerState state;
+      state.params_crc = util::crc32(model_.params().params(),
+                                     model_.params().total_size() * sizeof(float));
+      state.next_step = step + 1;
+      state.total_steps = steps;
+      state.tokens_processed = stats.tokens_processed;
+      state.first_loss = stats.first_loss;
+      state.final_loss = stats.final_loss;
+      state.loss_sum = loss_sum;
+      state.optimizer_step_count = optimizer.step_count();
+      state.m = optimizer.moment1();
+      state.v = optimizer.moment2();
+      state.rng = rng.save_state();
+      save_trainer_state(state, durability.state_path);
+    }
+  }
+
+  if (durable) {
+    // The run completed; snapshots are now stale and must not hijack a
+    // future run with the same paths.
+    std::error_code ec;
+    fs::remove(durability.state_path, ec);
+    if (!durability.model_path.empty()) fs::remove(durability.model_path, ec);
   }
 
   stats.wall_seconds = watch.seconds();

@@ -7,6 +7,7 @@
 // by the caller.
 
 #include <cstddef>
+#include <filesystem>
 #include <functional>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "nn/data.hpp"
 #include "nn/gpt.hpp"
 #include "nn/lr_schedule.hpp"
+#include "nn/train_state.hpp"
 #include "util/rng.hpp"
 
 namespace astromlab::nn {
@@ -33,6 +35,20 @@ struct TrainConfig {
   std::size_t log_every = 0;      ///< 0 = silent
 };
 
+/// Crash-safety knobs for `Trainer::train`. With `save_every > 0` the
+/// trainer snapshots the model (fp32, exact) and a `TrainerState` every
+/// `save_every` completed steps; if `state_path` already holds a valid
+/// state when training starts, the run resumes from it bit-identically.
+/// Both files are removed once the run completes.
+struct DurabilityConfig {
+  std::size_t save_every = 0;        ///< steps between snapshots; 0 disables
+  std::filesystem::path state_path;  ///< TrainerState file
+  std::filesystem::path model_path;  ///< fp32 model snapshot
+  bool resume = true;                ///< pick up state_path when present
+
+  bool enabled() const { return save_every > 0 && !state_path.empty(); }
+};
+
 struct TrainStats {
   std::size_t steps = 0;
   std::size_t tokens_processed = 0;
@@ -50,6 +66,13 @@ class Trainer {
   /// Runs the configured number of optimisation steps over `data`.
   /// `on_step(step, loss)` is invoked after every optimiser step when set.
   TrainStats train(BatchSource& data, util::Rng& rng,
+                   const std::function<void(std::size_t, float)>& on_step = nullptr);
+
+  /// As above, with crash-safe snapshotting and resume. A run killed at
+  /// any point and restarted with the same config, data, and durability
+  /// paths continues from the last snapshot and ends with byte-identical
+  /// parameters and statistics.
+  TrainStats train(BatchSource& data, util::Rng& rng, const DurabilityConfig& durability,
                    const std::function<void(std::size_t, float)>& on_step = nullptr);
 
   /// Steps implied by the config for this data source.

@@ -1,0 +1,55 @@
+#pragma once
+// CRC-32 integrity checksums for durable binary artifacts.
+//
+// Checkpoints and trainer-state files append a CRC footer so that a torn
+// write (power loss mid-flush, truncated copy, bit rot) is detected at
+// load time as a typed error instead of being deserialised as garbage.
+// The polynomial is the reflected IEEE 802.3 one (the zlib/PNG variant),
+// so footers can be cross-checked with standard tools.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace astromlab::util {
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+}  // namespace detail
+
+/// Incremental CRC-32; feed bytes with update(), read the digest with value().
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint32_t c = state_;
+    for (std::size_t i = 0; i < bytes; ++i) {
+      c = detail::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    }
+    state_ = c;
+  }
+
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+  void reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC-32 of a buffer.
+inline std::uint32_t crc32(const void* data, std::size_t bytes) {
+  Crc32 crc;
+  crc.update(data, bytes);
+  return crc.value();
+}
+
+}  // namespace astromlab::util

@@ -1,0 +1,41 @@
+#include "util/fault_injection.hpp"
+
+namespace astromlab::util {
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm_fail_write(std::size_t nth) {
+  mode_ = Mode::kFailWrite;
+  trigger_ = nth;
+  writes_ = 0;
+}
+
+void FaultInjector::arm_truncate_write(std::size_t nth) {
+  mode_ = Mode::kTruncateWrite;
+  trigger_ = nth;
+  writes_ = 0;
+}
+
+void FaultInjector::disarm() {
+  mode_ = Mode::kNone;
+  trigger_ = 0;
+  writes_ = 0;
+}
+
+FaultInjector::Action FaultInjector::on_write() {
+  if (mode_ == Mode::kNone) return Action::kProceed;
+  ++writes_;
+  if (mode_ == Mode::kFailWrite) {
+    if (writes_ == trigger_) {
+      mode_ = Mode::kNone;
+      return Action::kFail;
+    }
+    return Action::kProceed;
+  }
+  return writes_ >= trigger_ ? Action::kDrop : Action::kProceed;
+}
+
+}  // namespace astromlab::util

@@ -1,0 +1,51 @@
+#pragma once
+// Deterministic fault injection for durability tests.
+//
+// Recovery paths (atomic rename, CRC verification, resume-from-state) are
+// only trustworthy if tests can actually make writes fail at a chosen
+// point. `FaultInjector` is a process-wide singleton consulted by
+// `BinaryWriter` before every physical write: tests arm it to make the
+// Nth write throw (simulating a full disk / kill mid-write) or to
+// silently drop every byte from the Nth write onward (simulating a torn
+// file that still reaches disk). Production code never arms it, so the
+// disarmed fast path is a single branch.
+
+#include <cstddef>
+
+namespace astromlab::util {
+
+class FaultInjector {
+ public:
+  /// What the writer should do with the current physical write.
+  enum class Action { kProceed, kFail, kDrop };
+
+  static FaultInjector& instance();
+
+  /// Makes the `nth` write (1-based, counted from arming) throw IoError.
+  /// The injector disarms itself after firing so cleanup writes succeed.
+  void arm_fail_write(std::size_t nth);
+
+  /// Silently drops the `nth` write (1-based) and every later one until
+  /// disarm(), producing a torn-but-committed file.
+  void arm_truncate_write(std::size_t nth);
+
+  void disarm();
+  bool armed() const { return mode_ != Mode::kNone; }
+
+  /// Writes observed since arming (telemetry for tests sizing `nth`).
+  std::size_t writes_observed() const { return writes_; }
+
+  /// Consulted by BinaryWriter; counts the write and picks its fate.
+  Action on_write();
+
+ private:
+  enum class Mode { kNone, kFailWrite, kTruncateWrite };
+
+  FaultInjector() = default;
+
+  Mode mode_ = Mode::kNone;
+  std::size_t trigger_ = 0;
+  std::size_t writes_ = 0;
+};
+
+}  // namespace astromlab::util

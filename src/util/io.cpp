@@ -2,38 +2,100 @@
 
 #include <cstring>
 
+#include "util/fault_injection.hpp"
+
 namespace astromlab::util {
 
 namespace fs = std::filesystem;
 
-BinaryWriter::BinaryWriter(const fs::path& path) : path_(path) {
+BinaryWriter::BinaryWriter(const fs::path& path, WriteOptions options)
+    : path_(path), options_(options) {
   if (path.has_parent_path()) {
     std::error_code ec;
     fs::create_directories(path.parent_path(), ec);
   }
-  stream_.open(path, std::ios::binary | std::ios::trunc);
-  if (!stream_) throw IoError("cannot open for writing: " + path.string());
+  write_path_ = options_.atomic ? fs::path(path.string() + ".tmp") : path;
+  stream_.open(write_path_, std::ios::binary | std::ios::trunc);
+  if (!stream_) throw IoError("cannot open for writing: " + write_path_.string());
 }
 
 BinaryWriter::~BinaryWriter() {
+  if (failed_) {
+    discard();
+    return;
+  }
   try {
     close();
   } catch (...) {
     // Destructor must not throw; errors surface via explicit close().
+    discard();
+  }
+}
+
+void BinaryWriter::discard() {
+  if (stream_.is_open()) stream_.close();
+  if (options_.atomic && !committed_) {
+    std::error_code ec;
+    fs::remove(write_path_, ec);
   }
 }
 
 void BinaryWriter::close() {
-  if (!stream_.is_open()) return;
+  if (committed_ || !stream_.is_open()) return;
+  if (failed_) {
+    discard();
+    throw IoError("write failure on " + write_path_.string());
+  }
+  if (options_.checksum) {
+    // Footer bytes bypass write_raw so they don't fold into the CRC, but
+    // still honour fault injection (a crash can tear the footer too).
+    const std::uint32_t crc = crc_.value();
+    const auto action = FaultInjector::instance().on_write();
+    if (action == FaultInjector::Action::kFail) {
+      failed_ = true;
+      discard();
+      throw IoError("injected write failure on " + write_path_.string());
+    }
+    if (action != FaultInjector::Action::kDrop) {
+      stream_.write(reinterpret_cast<const char*>(&crc), sizeof crc);
+      stream_.write(reinterpret_cast<const char*>(&kCrcFooterMagic), sizeof kCrcFooterMagic);
+    }
+  }
   stream_.flush();
   const bool ok = static_cast<bool>(stream_);
   stream_.close();
-  if (!ok) throw IoError("write failure on " + path_.string());
+  if (!ok) {
+    discard();
+    throw IoError("write failure on " + write_path_.string());
+  }
+  if (options_.atomic) {
+    std::error_code ec;
+    fs::rename(write_path_, path_, ec);
+    if (ec) {
+      discard();
+      throw IoError("cannot commit " + write_path_.string() + " -> " + path_.string() +
+                    ": " + ec.message());
+    }
+  }
+  committed_ = true;
 }
 
 void BinaryWriter::write_raw(const void* data, std::size_t bytes) {
-  stream_.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
-  if (!stream_) throw IoError("write failure on " + path_.string());
+  const auto action = FaultInjector::instance().on_write();
+  if (action == FaultInjector::Action::kFail) {
+    failed_ = true;
+    throw IoError("injected write failure on " + write_path_.string());
+  }
+  if (action != FaultInjector::Action::kDrop) {
+    stream_.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+    if (!stream_) {
+      failed_ = true;
+      throw IoError("write failure on " + write_path_.string());
+    }
+  }
+  // CRC covers the intended payload; dropped bytes therefore mismatch the
+  // footer and the torn file is caught at read time.
+  if (options_.checksum) crc_.update(data, bytes);
 }
 
 void BinaryWriter::write_string(const std::string& s) {
@@ -56,7 +118,12 @@ void BinaryWriter::write_i32_vector(const std::vector<std::int32_t>& v) {
   if (!v.empty()) write_raw(v.data(), v.size() * sizeof(std::int32_t));
 }
 
-BinaryReader::BinaryReader(const fs::path& path) : path_(path) {
+void BinaryWriter::write_u64_array(const std::uint64_t* data, std::size_t count) {
+  write_u64(count);
+  if (count > 0) write_raw(data, count * sizeof(std::uint64_t));
+}
+
+BinaryReader::BinaryReader(const fs::path& path, ReadOptions options) : path_(path) {
   std::ifstream stream(path, std::ios::binary | std::ios::ate);
   if (!stream) throw IoError("cannot open for reading: " + path.string());
   const std::streamsize size = stream.tellg();
@@ -64,6 +131,27 @@ BinaryReader::BinaryReader(const fs::path& path) : path_(path) {
   buffer_.resize(static_cast<std::size_t>(size));
   if (size > 0 && !stream.read(buffer_.data(), size)) {
     throw IoError("read failure on " + path.string());
+  }
+
+  constexpr std::size_t kFooterBytes = 2 * sizeof(std::uint32_t);
+  if (buffer_.size() >= kFooterBytes) {
+    std::uint32_t tail_magic;
+    std::memcpy(&tail_magic, buffer_.data() + buffer_.size() - sizeof tail_magic,
+                sizeof tail_magic);
+    if (tail_magic == kCrcFooterMagic) {
+      std::uint32_t stored_crc;
+      std::memcpy(&stored_crc, buffer_.data() + buffer_.size() - kFooterBytes,
+                  sizeof stored_crc);
+      const std::size_t payload = buffer_.size() - kFooterBytes;
+      if (crc32(buffer_.data(), payload) != stored_crc) {
+        throw CorruptFileError("checksum mismatch (torn or corrupt file): " + path.string());
+      }
+      buffer_.resize(payload);
+      has_checksum_ = true;
+    }
+  }
+  if (options.require_checksum && !has_checksum_) {
+    throw CorruptFileError("missing checksum footer (torn or legacy file): " + path.string());
   }
 }
 
@@ -141,6 +229,15 @@ std::vector<std::int32_t> BinaryReader::read_i32_vector() {
   std::vector<std::int32_t> v(size);
   if (size > 0) read_raw(v.data(), size * sizeof(std::int32_t));
   return v;
+}
+
+void BinaryReader::read_u64_array(std::uint64_t* out, std::size_t count) {
+  const std::uint64_t stored = read_u64();
+  if (stored != count) {
+    throw IoError("array length mismatch (stored " + std::to_string(stored) + ", expected " +
+                  std::to_string(count) + ") in " + path_.string());
+  }
+  if (count > 0) read_raw(out, count * sizeof(std::uint64_t));
 }
 
 std::string read_text_file(const fs::path& path) {

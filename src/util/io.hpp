@@ -5,6 +5,14 @@
 // target; a static_assert guards against big-endian hosts). Readers validate
 // lengths before allocating so a truncated or corrupt file raises
 // `IoError` instead of crashing.
+//
+// Durability: `BinaryWriter` supports an atomic-commit mode (write to
+// `<path>.tmp`, flush, rename into place on close) and an integrity mode
+// that appends a CRC-32 footer over the whole payload. `BinaryReader`
+// auto-detects the footer, verifies it, and raises `CorruptFileError` on
+// mismatch — so a kill -9 mid-write can never surface as a silently
+// half-loaded artifact. Writes are routed through `util::FaultInjector`
+// so tests can exercise every recovery path deterministically.
 
 #include <bit>
 #include <cstdint>
@@ -13,6 +21,8 @@
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "util/checksum.hpp"
 
 namespace astromlab::util {
 
@@ -24,10 +34,27 @@ class IoError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// A file exists but fails integrity validation (bad CRC, missing footer,
+/// torn write). Subclass of IoError so existing handlers keep working.
+class CorruptFileError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+/// Footer layout: payload bytes, then u32 CRC-32(payload), then this magic.
+constexpr std::uint32_t kCrcFooterMagic = 0x32435243;  // "CRC2"
+
+struct WriteOptions {
+  bool atomic = false;    ///< write to "<path>.tmp" and rename on close()
+  bool checksum = false;  ///< append a CRC-32 footer on close()
+};
+
 /// Sequential binary writer over a file.
 class BinaryWriter {
  public:
-  explicit BinaryWriter(const std::filesystem::path& path);
+  explicit BinaryWriter(const std::filesystem::path& path)
+      : BinaryWriter(path, WriteOptions{}) {}
+  BinaryWriter(const std::filesystem::path& path, WriteOptions options);
 
   void write_u8(std::uint8_t v) { write_raw(&v, 1); }
   void write_u32(std::uint32_t v) { write_raw(&v, sizeof v); }
@@ -39,8 +66,12 @@ class BinaryWriter {
   void write_f32_array(const float* data, std::size_t count);
   void write_u16_array(const std::uint16_t* data, std::size_t count);
   void write_i32_vector(const std::vector<std::int32_t>& v);
+  void write_u64_array(const std::uint64_t* data, std::size_t count);
 
-  /// Flushes and closes; throws IoError on failure. Safe to call twice.
+  /// Commits: writes the CRC footer (checksum mode), flushes, closes and
+  /// renames into place (atomic mode). Throws IoError on failure; a failed
+  /// atomic commit removes the temp file and leaves any previous file at
+  /// `path` untouched. Safe to call twice.
   void close();
 
   ~BinaryWriter();
@@ -49,15 +80,29 @@ class BinaryWriter {
 
  private:
   void write_raw(const void* data, std::size_t bytes);
+  void discard();
 
   std::ofstream stream_;
-  std::filesystem::path path_;
+  std::filesystem::path path_;        ///< final destination
+  std::filesystem::path write_path_;  ///< where bytes actually go (tmp in atomic mode)
+  WriteOptions options_;
+  Crc32 crc_;
+  bool committed_ = false;
+  bool failed_ = false;
 };
 
-/// Sequential binary reader with bounds checking.
+struct ReadOptions {
+  /// Require a valid CRC footer; files without one raise CorruptFileError.
+  /// (Without this flag the footer is verified only when present.)
+  bool require_checksum = false;
+};
+
+/// Sequential binary reader with bounds checking and CRC verification.
 class BinaryReader {
  public:
-  explicit BinaryReader(const std::filesystem::path& path);
+  explicit BinaryReader(const std::filesystem::path& path)
+      : BinaryReader(path, ReadOptions{}) {}
+  BinaryReader(const std::filesystem::path& path, ReadOptions options);
 
   std::uint8_t read_u8();
   std::uint32_t read_u32();
@@ -69,9 +114,13 @@ class BinaryReader {
   void read_f32_array(float* out, std::size_t count);
   void read_u16_array(std::uint16_t* out, std::size_t count);
   std::vector<std::int32_t> read_i32_vector();
+  void read_u64_array(std::uint64_t* out, std::size_t count);
 
   bool at_end() const { return offset_ >= buffer_.size(); }
   std::size_t remaining() const { return buffer_.size() - offset_; }
+
+  /// True when the file carried a (verified) CRC footer.
+  bool has_checksum() const { return has_checksum_; }
 
  private:
   void read_raw(void* out, std::size_t bytes);
@@ -79,6 +128,7 @@ class BinaryReader {
   std::vector<char> buffer_;
   std::size_t offset_ = 0;
   std::filesystem::path path_;
+  bool has_checksum_ = false;
 };
 
 /// Reads an entire text file; throws IoError if unreadable.

@@ -14,6 +14,13 @@
 
 namespace astromlab::util {
 
+/// Complete serialisable state of an `Rng` (resume-from-checkpoint).
+struct RngState {
+  std::array<std::uint64_t, 4> words{};
+  double gaussian_spare = 0.0;
+  bool has_gaussian_spare = false;
+};
+
 /// SplitMix64 step — used for seeding and cheap hashing of seeds.
 constexpr std::uint64_t splitmix64(std::uint64_t& state) {
   state += 0x9E3779B97f4A7C15ULL;
@@ -96,6 +103,15 @@ class Rng {
   /// Derives an independent child generator; deterministic given the
   /// parent's state and the label.
   Rng split(std::uint64_t label);
+
+  /// Snapshots the full generator state; restoring it replays the exact
+  /// same stream (used for bit-identical training resume).
+  RngState save_state() const { return {state_, gaussian_spare_, has_gaussian_spare_}; }
+  void restore_state(const RngState& state) {
+    state_ = state.words;
+    gaussian_spare_ = state.gaussian_spare;
+    has_gaussian_spare_ = state.has_gaussian_spare;
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "nn/checkpoint.hpp"
 #include "tensor/bf16.hpp"
+#include "util/fault_injection.hpp"
 #include "util/io.hpp"
 #include "util/rng.hpp"
 
@@ -104,6 +106,90 @@ TEST_F(CheckpointTest, RejectsTruncatedFile) {
   const std::string content = util::read_text_file(path);
   util::write_text_file(dir_ / "cut.ckpt", content.substr(0, content.size() / 2));
   EXPECT_THROW(load_checkpoint(dir_ / "cut.ckpt"), util::IoError);
+}
+
+TEST_F(CheckpointTest, FlippedByteRaisesCorruptFileError) {
+  GptModel model = make_model();
+  const fs::path path = dir_ / "bitrot.ckpt";
+  save_checkpoint(model, path, CheckpointPrecision::kF32);
+  {
+    std::fstream patch(path, std::ios::binary | std::ios::in | std::ios::out);
+    const auto middle = static_cast<std::streamoff>(fs::file_size(path) / 2);
+    patch.seekg(middle);
+    char byte = 0;
+    patch.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    patch.seekp(middle);
+    patch.write(&byte, 1);
+  }
+  EXPECT_THROW(load_checkpoint(path), util::CorruptFileError);
+}
+
+TEST_F(CheckpointTest, InjectedSaveFailureLeavesPreviousCheckpointLoadable) {
+  GptModel first = make_model(3);
+  GptModel second = make_model(19);
+  const fs::path path = dir_ / "generations.ckpt";
+  save_checkpoint(first, path, CheckpointPrecision::kF32);
+  util::FaultInjector::instance().arm_fail_write(4);
+  EXPECT_THROW(save_checkpoint(second, path, CheckpointPrecision::kF32), util::IoError);
+  util::FaultInjector::instance().disarm();
+  EXPECT_FALSE(fs::exists(path.string() + ".tmp"));
+  const GptModel survivor = load_checkpoint(path);
+  for (std::size_t i = 0; i < first.params().total_size(); ++i) {
+    ASSERT_EQ(survivor.params().params()[i], first.params().params()[i]) << i;
+  }
+}
+
+TEST_F(CheckpointTest, LegacyV1CheckpointStillLoads) {
+  // Hand-written ACK1 file: no CRC footer, same body layout as v2.
+  GptModel model = make_model(11);
+  const fs::path path = dir_ / "legacy_v1.ckpt";
+  {
+    util::BinaryWriter writer(path);  // plain mode, as the v1 code wrote
+    writer.write_u32(0x41434B31);     // "ACK1"
+    const GptConfig& c = model.config();
+    writer.write_u64(c.vocab_size);
+    writer.write_u64(c.ctx_len);
+    writer.write_u64(c.d_model);
+    writer.write_u64(c.n_heads);
+    writer.write_u64(c.n_layers);
+    writer.write_u64(c.d_ff);
+    writer.write_u8(0);  // kF32
+    writer.write_f32_array(model.params().params(), model.params().total_size());
+    writer.close();
+  }
+  const GptModel loaded = load_checkpoint(path);
+  EXPECT_EQ(loaded.config(), model.config());
+  for (std::size_t i = 0; i < model.params().total_size(); ++i) {
+    ASSERT_EQ(loaded.params().params()[i], model.params().params()[i]) << i;
+  }
+}
+
+TEST_F(CheckpointTest, InvalidPrecisionByteRaisesIoError) {
+  const fs::path path = dir_ / "bad_precision.ckpt";
+  {
+    util::BinaryWriter writer(path);
+    writer.write_u32(0x41434B31);  // legacy magic so the CRC footer is not required
+    for (int i = 0; i < 6; ++i) writer.write_u64(8);  // a minimal valid config
+    writer.write_u8(7);                               // out of enum range
+    writer.close();
+  }
+  EXPECT_THROW(load_checkpoint(path), util::IoError);
+}
+
+TEST_F(CheckpointTest, InPlaceLoadRejectsConfigMismatch) {
+  GptModel model = make_model();
+  const fs::path path = dir_ / "mismatch.ckpt";
+  save_checkpoint(model, path, CheckpointPrecision::kF32);
+  GptConfig other = model.config();
+  other.d_ff = 80;
+  GptModel wrong_shape(other);
+  EXPECT_THROW(load_checkpoint_params(wrong_shape, path), util::IoError);
+  GptModel right_shape(model.config());
+  load_checkpoint_params(right_shape, path);
+  for (std::size_t i = 0; i < model.params().total_size(); ++i) {
+    ASSERT_EQ(right_shape.params().params()[i], model.params().params()[i]) << i;
+  }
 }
 
 }  // namespace

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
+#include "util/checksum.hpp"
+#include "util/fault_injection.hpp"
 #include "util/hash.hpp"
 #include "util/io.hpp"
 
@@ -132,6 +135,111 @@ TEST(BinaryIo, ArrayLengthMismatchThrows) {
 
 TEST(BinaryIo, MissingFileThrows) {
   EXPECT_THROW(BinaryReader(fs::path("/nonexistent/astromlab/file.bin")), IoError);
+}
+
+TEST(Crc32, MatchesKnownVector) {
+  // The canonical CRC-32 check value (zlib/IEEE reflected polynomial).
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+  Crc32 incremental;
+  incremental.update("1234", 4);
+  incremental.update("56789", 5);
+  EXPECT_EQ(incremental.value(), 0xCBF43926u);
+  incremental.reset();
+  EXPECT_EQ(incremental.value(), 0u);
+}
+
+TEST(BinaryIo, AtomicChecksumRoundTrip) {
+  TempDir dir;
+  const fs::path file = dir.path() / "durable.bin";
+  {
+    BinaryWriter writer(file, WriteOptions{/*atomic=*/true, /*checksum=*/true});
+    writer.write_u32(0xDEADBEEF);
+    writer.write_string("payload");
+    writer.close();
+  }
+  EXPECT_FALSE(fs::exists(file.string() + ".tmp"));
+  BinaryReader reader(file);
+  EXPECT_TRUE(reader.has_checksum());
+  EXPECT_EQ(reader.read_u32(), 0xDEADBEEF);
+  EXPECT_EQ(reader.read_string(), "payload");
+  EXPECT_TRUE(reader.at_end());  // footer is stripped from the payload view
+}
+
+TEST(BinaryIo, FlippedByteRaisesCorruptFileError) {
+  TempDir dir;
+  const fs::path file = dir.path() / "flip.bin";
+  {
+    BinaryWriter writer(file, WriteOptions{/*atomic=*/true, /*checksum=*/true});
+    for (int i = 0; i < 64; ++i) writer.write_u64(static_cast<std::uint64_t>(i));
+    writer.close();
+  }
+  {
+    std::fstream patch(file, std::ios::binary | std::ios::in | std::ios::out);
+    patch.seekg(100);
+    char byte = 0;
+    patch.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    patch.seekp(100);
+    patch.write(&byte, 1);
+  }
+  EXPECT_THROW({ BinaryReader reader(file); }, CorruptFileError);
+}
+
+TEST(BinaryIo, FooterlessFileFailsRequireChecksum) {
+  TempDir dir;
+  const fs::path file = dir.path() / "legacy.bin";
+  {
+    BinaryWriter writer(file);  // plain mode: no footer
+    writer.write_u64(42);
+    writer.close();
+  }
+  BinaryReader plain(file);
+  EXPECT_FALSE(plain.has_checksum());
+  EXPECT_EQ(plain.read_u64(), 42u);
+  EXPECT_THROW(BinaryReader(file, ReadOptions{/*require_checksum=*/true}),
+               CorruptFileError);
+}
+
+TEST(BinaryIo, InjectedWriteFailureLeavesPreviousFileIntact) {
+  TempDir dir;
+  const fs::path file = dir.path() / "versioned.bin";
+  {
+    BinaryWriter writer(file, WriteOptions{/*atomic=*/true, /*checksum=*/true});
+    writer.write_u32(1);  // version 1 commits cleanly
+    writer.close();
+  }
+  FaultInjector::instance().arm_fail_write(2);
+  EXPECT_THROW(
+      {
+        BinaryWriter writer(file, WriteOptions{/*atomic=*/true, /*checksum=*/true});
+        writer.write_u32(2);
+        writer.write_u32(3);  // second write fires the injected failure
+        writer.close();
+      },
+      IoError);
+  FaultInjector::instance().disarm();
+  EXPECT_FALSE(fs::exists(file.string() + ".tmp"));  // tmp cleaned up
+  BinaryReader reader(file);                         // previous version intact
+  EXPECT_TRUE(reader.has_checksum());
+  EXPECT_EQ(reader.read_u32(), 1u);
+}
+
+TEST(BinaryIo, TruncateInjectionProducesDetectablyTornFile) {
+  TempDir dir;
+  const fs::path file = dir.path() / "torn.bin";
+  FaultInjector::instance().arm_truncate_write(3);
+  {
+    BinaryWriter writer(file, WriteOptions{/*atomic=*/true, /*checksum=*/true});
+    writer.write_u32(7);
+    writer.write_u32(8);
+    writer.write_u32(9);  // dropped on the floor, along with the footer
+    writer.close();       // still renames: a torn-but-committed file
+  }
+  FaultInjector::instance().disarm();
+  ASSERT_TRUE(fs::exists(file));
+  EXPECT_THROW(BinaryReader(file, ReadOptions{/*require_checksum=*/true}),
+               CorruptFileError);
 }
 
 TEST(TextIo, RoundTrip) {

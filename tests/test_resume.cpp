@@ -1,0 +1,371 @@
+// Crash-and-resume durability: bit-identical training resume from a
+// mid-run snapshot, trainer-state round trips, and the append-only eval
+// journal that lets a killed benchmark replay only unanswered questions.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "corpus/corpora.hpp"
+#include "eval/full_instruct.hpp"
+#include "eval/journal.hpp"
+#include "nn/train_state.hpp"
+#include "nn/trainer.hpp"
+#include "util/io.hpp"
+#include "util/rng.hpp"
+
+namespace astromlab {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / ("astromlab_resume_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  fs::path dir_;
+};
+
+nn::GptModel make_train_model() {
+  nn::GptConfig config;
+  config.vocab_size = 30;
+  config.ctx_len = 16;
+  config.d_model = 16;
+  config.n_heads = 2;
+  config.n_layers = 1;
+  config.d_ff = 32;
+  nn::GptModel model(config);
+  util::Rng rng(11);
+  model.init_weights(rng);
+  return model;
+}
+
+nn::TrainConfig make_train_config() {
+  nn::TrainConfig train;
+  train.micro_batch = 4;
+  train.seq_len = 16;
+  train.lr = 5e-3f;
+  train.max_steps = 40;
+  return train;
+}
+
+std::vector<nn::Token> make_stream() {
+  std::vector<nn::Token> stream(3000);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    stream[i] = static_cast<nn::Token>(i % 10);
+  }
+  return stream;
+}
+
+TEST_F(ResumeTest, TrainerStateRoundTrip) {
+  nn::TrainerState state;
+  state.next_step = 20;
+  state.total_steps = 40;
+  state.tokens_processed = 1280;
+  state.first_loss = 3.5f;
+  state.final_loss = 1.25f;
+  state.loss_sum = 47.5;
+  state.optimizer_step_count = 20;
+  state.params_crc = 0xCAFED00D;
+  state.m = {0.5f, -0.25f, 0.0f};
+  state.v = {0.01f, 0.02f, 0.03f};
+  util::Rng rng(99);
+  rng.next_double();  // advance so the state is not the seed state
+  state.rng = rng.save_state();
+
+  const fs::path path = dir_ / "trainer.state";
+  save_trainer_state(state, path);
+  const nn::TrainerState loaded = nn::load_trainer_state(path);
+
+  EXPECT_EQ(loaded.next_step, state.next_step);
+  EXPECT_EQ(loaded.total_steps, state.total_steps);
+  EXPECT_EQ(loaded.tokens_processed, state.tokens_processed);
+  EXPECT_EQ(loaded.first_loss, state.first_loss);
+  EXPECT_EQ(loaded.final_loss, state.final_loss);
+  EXPECT_EQ(loaded.loss_sum, state.loss_sum);
+  EXPECT_EQ(loaded.optimizer_step_count, state.optimizer_step_count);
+  EXPECT_EQ(loaded.params_crc, state.params_crc);
+  EXPECT_EQ(loaded.m, state.m);
+  EXPECT_EQ(loaded.v, state.v);
+  EXPECT_EQ(loaded.rng.words, state.rng.words);
+  EXPECT_EQ(loaded.rng.has_gaussian_spare, state.rng.has_gaussian_spare);
+
+  // And the restored RNG continues the exact stream.
+  util::Rng replica(1);
+  replica.restore_state(loaded.rng);
+  EXPECT_EQ(replica.next_u64(), rng.next_u64());
+}
+
+TEST_F(ResumeTest, CorruptTrainerStateRaisesTypedError) {
+  nn::TrainerState state;
+  state.next_step = 5;
+  state.total_steps = 10;
+  util::Rng rng(3);
+  state.rng = rng.save_state();
+  const fs::path path = dir_ / "corrupt.state";
+  save_trainer_state(state, path);
+  {
+    std::fstream patch(path, std::ios::binary | std::ios::in | std::ios::out);
+    patch.seekp(12);
+    const char byte = 0x5A;
+    patch.write(&byte, 1);
+  }
+  EXPECT_THROW(nn::load_trainer_state(path), util::CorruptFileError);
+}
+
+TEST_F(ResumeTest, KilledRunResumesBitIdentically) {
+  nn::StreamDataset data_a(make_stream());
+  nn::StreamDataset data_b(make_stream());
+  const nn::TrainConfig config = make_train_config();
+
+  // Run A: the reference, straight through with no durability.
+  nn::GptModel model_a = make_train_model();
+  nn::Trainer trainer_a(model_a, config);
+  util::Rng rng_a(13);
+  const nn::TrainStats stats_a = trainer_a.train(data_a, rng_a);
+  ASSERT_EQ(stats_a.steps, 40u);
+
+  // Run B: snapshot every 10 steps, "crash" (throw) at step 25.
+  nn::DurabilityConfig durability;
+  durability.save_every = 10;
+  durability.state_path = dir_ / "run.state";
+  durability.model_path = dir_ / "run.resume.ckpt";
+  {
+    nn::GptModel model_b = make_train_model();
+    nn::Trainer trainer_b(model_b, config);
+    util::Rng rng_b(13);
+    EXPECT_THROW(trainer_b.train(data_b, rng_b, durability,
+                                 [](std::size_t step, float) {
+                                   if (step == 24) throw std::runtime_error("simulated crash");
+                                 }),
+                 std::runtime_error);
+  }
+  ASSERT_TRUE(fs::exists(durability.state_path));   // snapshot at step 20 survived
+  ASSERT_TRUE(fs::exists(durability.model_path));
+
+  // Restart: a fresh process would rebuild the same model/rng and re-call
+  // train with the same durability paths.
+  nn::GptModel model_b = make_train_model();
+  nn::Trainer trainer_b(model_b, config);
+  util::Rng rng_b(13);
+  nn::StreamDataset data_b2(make_stream());
+  const nn::TrainStats stats_b = trainer_b.train(data_b2, rng_b, durability);
+
+  EXPECT_EQ(stats_b.steps, stats_a.steps);
+  EXPECT_EQ(stats_b.tokens_processed, stats_a.tokens_processed);
+  EXPECT_EQ(stats_b.first_loss, stats_a.first_loss);
+  EXPECT_EQ(stats_b.final_loss, stats_a.final_loss);  // bitwise: same float
+  EXPECT_DOUBLE_EQ(stats_b.mean_loss, stats_a.mean_loss);
+  const float* pa = model_a.params().params();
+  const float* pb = model_b.params().params();
+  for (std::size_t i = 0; i < model_a.params().total_size(); ++i) {
+    ASSERT_EQ(pa[i], pb[i]) << "param " << i << " diverged after resume";
+  }
+
+  // Completion removed the snapshots so they cannot hijack a future run.
+  EXPECT_FALSE(fs::exists(durability.state_path));
+  EXPECT_FALSE(fs::exists(durability.model_path));
+}
+
+TEST_F(ResumeTest, MismatchedPlanFallsBackToFreshStart) {
+  nn::StreamDataset data(make_stream());
+  nn::DurabilityConfig durability;
+  durability.save_every = 10;
+  durability.state_path = dir_ / "stale.state";
+  durability.model_path = dir_ / "stale.resume.ckpt";
+
+  // A state file from a 100-step plan must not steer a 40-step run.
+  nn::TrainerState stale;
+  stale.next_step = 90;
+  stale.total_steps = 100;
+  util::Rng state_rng(7);
+  stale.rng = state_rng.save_state();
+  save_trainer_state(stale, durability.state_path);
+
+  nn::GptModel model = make_train_model();
+  nn::Trainer trainer(model, make_train_config());
+  util::Rng rng(13);
+  const nn::TrainStats stats = trainer.train(data, rng, durability);
+  EXPECT_EQ(stats.steps, 40u);  // ran the whole plan, not 100 - 90 steps
+}
+
+using eval::QuestionResult;
+
+QuestionResult make_result(int predicted, int correct, corpus::Tier tier) {
+  QuestionResult r;
+  r.predicted = predicted;
+  r.correct = correct;
+  r.tier = tier;
+  r.method = eval::ExtractionMethod::kRegex;
+  return r;
+}
+
+TEST_F(ResumeTest, JournalRoundTripAndTornTail) {
+  const fs::path path = dir_ / "results" / "bench.jsonl";
+  {
+    eval::EvalJournal journal(path);
+    EXPECT_TRUE(journal.active());
+    EXPECT_EQ(journal.size(), 0u);
+    journal.record(0, make_result(2, 2, corpus::Tier::kCanonical));
+    journal.record(3, make_result(1, 0, corpus::Tier::kFrontier));
+  }
+  {
+    // Simulate a kill mid-append: a torn, newline-less final line.
+    std::ofstream torn(path, std::ios::app);
+    torn << "{\"q\": 7, \"pre";
+  }
+  eval::EvalJournal reloaded(path);
+  EXPECT_EQ(reloaded.size(), 2u);
+  ASSERT_TRUE(reloaded.lookup(0).has_value());
+  EXPECT_EQ(reloaded.lookup(0)->predicted, 2);
+  EXPECT_EQ(reloaded.lookup(0)->tier, corpus::Tier::kCanonical);
+  ASSERT_TRUE(reloaded.lookup(3).has_value());
+  EXPECT_EQ(reloaded.lookup(3)->predicted, 1);
+  EXPECT_EQ(reloaded.lookup(3)->correct, 0);
+  EXPECT_FALSE(reloaded.lookup(7).has_value());  // torn line dropped
+  EXPECT_FALSE(reloaded.lookup(1).has_value());
+
+  reloaded.discard();
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST_F(ResumeTest, InactiveJournalIsANoOp) {
+  eval::EvalJournal journal;
+  EXPECT_FALSE(journal.active());
+  journal.record(0, make_result(1, 1, corpus::Tier::kCanonical));
+  EXPECT_FALSE(journal.lookup(0).has_value());
+  journal.discard();  // must not throw
+}
+
+struct TinyWorld {
+  corpus::KnowledgeBase kb;
+  corpus::McqSplit mcqs;
+  tokenizer::BpeTokenizer tok;
+};
+
+TinyWorld make_eval_world() {
+  TinyWorld world;
+  corpus::KbConfig kb_config;
+  kb_config.n_topics = 4;
+  kb_config.entities_per_topic = 3;
+  kb_config.facts_per_entity = 2;
+  kb_config.seed = 61;
+  world.kb = corpus::KnowledgeBase::generate(kb_config);
+  corpus::McqGenConfig mcq_config;
+  mcq_config.questions_per_topic = 2;
+  mcq_config.seed = 62;
+  world.mcqs = corpus::generate_mcqs(world.kb, mcq_config);
+  tokenizer::BpeTrainConfig tok_config;
+  tok_config.vocab_size = 420;
+  world.tok = tokenizer::BpeTokenizer::train(
+      corpus::build_tokenizer_training_text(world.kb, world.mcqs.practice, 63), tok_config);
+  return world;
+}
+
+nn::GptModel make_eval_model(const TinyWorld& world) {
+  nn::GptConfig config;
+  config.vocab_size = world.tok.vocab_size();
+  config.ctx_len = 384;
+  config.d_model = 24;
+  config.n_heads = 2;
+  config.n_layers = 1;
+  config.d_ff = 48;
+  nn::GptModel model(config);
+  util::Rng rng(64);
+  model.init_weights(rng);
+  return model;
+}
+
+TEST_F(ResumeTest, BenchmarkReplaysOnlyUnansweredQuestions) {
+  const TinyWorld world = make_eval_world();
+  const nn::GptModel model = make_eval_model(world);
+  eval::FullInstructConfig config;
+  config.max_new_tokens = 16;
+
+  const std::vector<QuestionResult> baseline =
+      eval::run_full_instruct_benchmark(model, world.tok, world.mcqs.benchmark, config);
+  ASSERT_GE(baseline.size(), 4u);
+
+  // Pre-seed a journal with the first half, using sentinel predictions the
+  // model would never produce for a re-run: if the final results carry the
+  // sentinels, those questions were genuinely skipped.
+  const fs::path path = dir_ / "bench.jsonl";
+  const std::size_t half = baseline.size() / 2;
+  {
+    eval::EvalJournal journal(path);
+    for (std::size_t q = 0; q < half; ++q) {
+      QuestionResult sentinel = baseline[q];
+      sentinel.predicted = (baseline[q].predicted + 1) % 4;
+      journal.record(q, sentinel);
+    }
+  }
+
+  eval::EvalJournal journal(path);
+  const std::vector<QuestionResult> resumed = eval::run_full_instruct_benchmark(
+      model, world.tok, world.mcqs.benchmark, config, &journal);
+  ASSERT_EQ(resumed.size(), baseline.size());
+  for (std::size_t q = 0; q < half; ++q) {
+    EXPECT_EQ(resumed[q].predicted, (baseline[q].predicted + 1) % 4) << q;
+  }
+  for (std::size_t q = half; q < baseline.size(); ++q) {
+    EXPECT_EQ(resumed[q].predicted, baseline[q].predicted) << q;
+  }
+  // Fresh answers were journalled, so the journal now covers every question.
+  EXPECT_EQ(journal.size(), baseline.size());
+}
+
+TEST_F(ResumeTest, StaleJournalEntriesAreIgnored) {
+  const TinyWorld world = make_eval_world();
+  const nn::GptModel model = make_eval_model(world);
+  eval::FullInstructConfig config;
+  config.max_new_tokens = 16;
+
+  const std::vector<QuestionResult> baseline =
+      eval::run_full_instruct_benchmark(model, world.tok, world.mcqs.benchmark, config);
+
+  // A journal from a *different* benchmark: the correct answer on record
+  // disagrees, so the entry must be re-run, not reused.
+  const fs::path path = dir_ / "stale.jsonl";
+  {
+    eval::EvalJournal journal(path);
+    QuestionResult wrong_world = baseline[0];
+    wrong_world.correct = (baseline[0].correct + 1) % 4;
+    wrong_world.predicted = (baseline[0].predicted + 1) % 4;
+    journal.record(0, wrong_world);
+  }
+  eval::EvalJournal journal(path);
+  const std::vector<QuestionResult> resumed = eval::run_full_instruct_benchmark(
+      model, world.tok, world.mcqs.benchmark, config, &journal);
+  EXPECT_EQ(resumed[0].predicted, baseline[0].predicted);
+  EXPECT_EQ(resumed[0].correct, baseline[0].correct);
+}
+
+TEST_F(ResumeTest, WatchdogDegradesRunawayQuestion) {
+  const TinyWorld world = make_eval_world();
+  const nn::GptModel model = make_eval_model(world);
+  eval::FullInstructConfig config;
+  config.max_new_tokens = 64;
+  config.max_seconds_per_question = 1e-9;  // fires before the first token
+  const eval::FullInstructOutcome outcome =
+      eval::full_instruct_one(model, world.tok, world.mcqs.benchmark.front(), config);
+  EXPECT_TRUE(outcome.timed_out);
+  EXPECT_EQ(outcome.result.predicted, -1);
+  EXPECT_EQ(outcome.result.method, eval::ExtractionMethod::kFailed);
+
+  // Scorer counts the degraded question as unanswered, not as a crash.
+  const eval::ScoreSummary summary = eval::summarize({outcome.result});
+  EXPECT_EQ(summary.unanswered, 1u);
+  EXPECT_DOUBLE_EQ(summary.accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(summary.answered_accuracy, 0.0);
+}
+
+}  // namespace
+}  // namespace astromlab

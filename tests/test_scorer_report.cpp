@@ -25,6 +25,20 @@ TEST(Scorer, AccuracyAndCounts) {
   EXPECT_EQ(summary.unanswered, 1u);
 }
 
+TEST(Scorer, AnsweredAccuracyExcludesUnanswered) {
+  // 2 correct of 3 answered; the watchdog-degraded (-1) question counts
+  // against overall accuracy but not against answered_accuracy.
+  std::vector<QuestionResult> results = {qr(0, 0), qr(1, 1), qr(2, 3), qr(-1, 2)};
+  const ScoreSummary summary = summarize(results);
+  EXPECT_DOUBLE_EQ(summary.accuracy, 0.5);
+  EXPECT_NEAR(summary.answered_accuracy, 2.0 / 3.0, 1e-12);
+
+  std::vector<QuestionResult> all_unanswered = {qr(-1, 0), qr(-1, 1)};
+  const ScoreSummary none = summarize(all_unanswered);
+  EXPECT_EQ(none.unanswered, 2u);
+  EXPECT_DOUBLE_EQ(none.answered_accuracy, 0.0);
+}
+
 TEST(Scorer, EmptyResultsAreSafe) {
   const ScoreSummary summary = summarize({});
   EXPECT_EQ(summary.total, 0u);
@@ -115,6 +129,16 @@ TEST(Table1, ContainsRowsArrowsAndSections) {
   EXPECT_EQ(native_row.find('v'), std::string::npos);
 }
 
+TEST(Table1, UnansweredColumnRendered) {
+  ModelRow with_timeouts = row("Timeout-X", 50.0, 60.0, 70.0, true, "");
+  with_timeouts.unanswered = 3;
+  const std::string table = render_table1({with_timeouts});
+  EXPECT_NE(table.find("Unansw"), std::string::npos);
+  const std::size_t line = table.find("Timeout-X");
+  const std::string row_text = table.substr(line, table.find('\n', line) - line);
+  EXPECT_NE(row_text.find('3'), std::string::npos);
+}
+
 TEST(Table1, MissingScoresRenderAsDash) {
   const std::vector<ModelRow> rows = {
       row("Native-X", 50.3, 62.6, 51.3, true, ""),
@@ -156,10 +180,10 @@ TEST(Csv, OneLinePerModelWithEmptyForMissing) {
       row("B-Model", -1.0, -1.0, 43.5, false, "A-Model"),
   };
   const std::string csv = render_csv(rows);
-  EXPECT_NE(csv.find("model,series,full_instruct"), std::string::npos);
-  EXPECT_NE(csv.find("A-Model,Series A,50.00,60.00,70.00,Meta,This Study"),
+  EXPECT_NE(csv.find("model,series,full_instruct,unanswered"), std::string::npos);
+  EXPECT_NE(csv.find("A-Model,Series A,50.00,0,60.00,70.00,Meta,This Study"),
             std::string::npos);
-  EXPECT_NE(csv.find("B-Model,Series A,,,43.50,AstroMLab,This Study"), std::string::npos);
+  EXPECT_NE(csv.find("B-Model,Series A,,,,43.50,AstroMLab,This Study"), std::string::npos);
 }
 
 }  // namespace
