@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
 
   core::World world = core::build_world(config);
   core::Pipeline pipeline(std::move(world), cache);
+  pipeline.set_eval_options(eval::eval_run_options_from_args(args));
 
   const core::Scale scale = core::Scale::kS8;
   const eval::ScoreSummary native =

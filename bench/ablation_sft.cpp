@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
 
   core::World world = core::build_world(config);
   core::Pipeline pipeline(std::move(world), cache);
+  pipeline.set_eval_options(eval::eval_run_options_from_args(args));
 
   // Fixed lineage: S8 base + AIC continual pretraining.
   const eval::ScoreSummary base_token = pipeline.token_benchmark(

@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
 
   core::World world = core::build_world(config);
   core::Pipeline pipeline(world, cache);
+  pipeline.set_eval_options(eval::eval_run_options_from_args(args));
   const nn::GptModel model = pipeline.base_model(core::Scale::kS8);
 
   const auto fewshot = eval::pick_fewshot_examples(world.mcqs.practice);

@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
       config.size_multiplier = args.get_double("mult", 1.0);
       core::World world = core::build_world(config);
       core::Pipeline pipeline(std::move(world), cache);
+  pipeline.set_eval_options(eval::eval_run_options_from_args(args));
       // Only consult the caches; never train from this bench.
       namespace fs = std::filesystem;
       std::size_t cached_models = 0;

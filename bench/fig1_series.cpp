@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
 
   core::World world = core::build_world(config);
   core::Pipeline pipeline(std::move(world), cache);
+  pipeline.set_eval_options(eval::eval_run_options_from_args(args));
   const core::StudyResult result = core::run_table1_study(pipeline);
 
   std::printf("\n== MEASURED (this reproduction) ==\n\n%s\n",

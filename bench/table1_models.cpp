@@ -12,6 +12,14 @@
 //   --question-budget=<s>  wall-clock seconds per full-instruct question
 //                      before the watchdog degrades it to unanswered
 //                      (default 30; 0 disables)
+//   --eval-workers=<n>     worker threads for benchmark evaluation
+//                      (default 0 = serial; any value gives bit-identical
+//                      scores and journals)
+//   --retry-max=<n>        transient-fault retries per question (default 2)
+//   --question-deadline=<s>  per-question deadline for ALL methods,
+//                      enforced in-flight via cancellation (default 0 = off)
+//   --straggler-factor=<f> cancel questions exceeding f x the running
+//                      median latency (default 0 = off)
 //
 // Trained models and evaluation results are cached; the first run trains
 // everything (several minutes on one core), later runs replay from cache.
@@ -101,6 +109,7 @@ int main(int argc, char** argv) {
   core::Pipeline pipeline(std::move(world), cache);
   pipeline.set_save_every(static_cast<std::size_t>(args.get_int("save-every", 25)));
   pipeline.set_question_budget_seconds(args.get_double("question-budget", 30.0));
+  pipeline.set_eval_options(eval::eval_run_options_from_args(args));
   const core::StudyResult result = core::run_table1_study(pipeline);
 
   std::printf("\n== MEASURED (this reproduction, %zu MCQs) ==\n\n",

@@ -64,6 +64,8 @@ json::Value summary_to_json(const eval::ScoreSummary& s) {
   obj.set("regex_extractions", json::Value(static_cast<std::int64_t>(s.regex_extractions)));
   obj.set("interpreter_extractions",
           json::Value(static_cast<std::int64_t>(s.interpreter_extractions)));
+  obj.set("degraded", json::Value(static_cast<std::int64_t>(s.degraded)));
+  obj.set("retried", json::Value(static_cast<std::int64_t>(s.retried)));
   return obj;
 }
 
@@ -83,6 +85,8 @@ eval::ScoreSummary summary_from_json(const json::Value& obj) {
   s.regex_extractions = static_cast<std::size_t>(obj.get_number("regex_extractions", 0));
   s.interpreter_extractions =
       static_cast<std::size_t>(obj.get_number("interpreter_extractions", 0));
+  s.degraded = static_cast<std::size_t>(obj.get_number("degraded", 0));
+  s.retried = static_cast<std::size_t>(obj.get_number("retried", 0));
   return s;
 }
 
@@ -260,9 +264,14 @@ eval::ScoreSummary Pipeline::token_benchmark(const nn::GptModel& model,
   log::info() << "token benchmark: " << tag;
   // Per-question journal: a killed run resumes from the answered prefix
   // and still produces the identical summary.
+  // The per-question wall-clock budget applies to the token methods too:
+  // their cost is the KV-cache prompt feed, cancelled in-flight on expiry.
+  eval::TokenMethodConfig config;
+  config.max_seconds_per_question = question_budget_seconds_;
   eval::EvalJournal journal(cache_dir_ / "results" / (util::to_hex(key) + ".jsonl"));
-  const auto results = eval::run_token_benchmark(model, world_.tok, world_.mcqs.benchmark,
-                                                 world_.mcqs.practice, &journal);
+  const auto results =
+      eval::run_token_benchmark(model, world_.tok, world_.mcqs.benchmark,
+                                world_.mcqs.practice, &journal, config, eval_options_);
   const eval::ScoreSummary summary = eval::summarize(results);
   store_result(key, summary);
   journal.discard();
@@ -282,9 +291,8 @@ eval::ScoreSummary Pipeline::full_instruct_benchmark(const nn::GptModel& model,
   eval::FullInstructConfig config;
   config.max_seconds_per_question = question_budget_seconds_;
   eval::EvalJournal journal(cache_dir_ / "results" / (util::to_hex(key) + ".jsonl"));
-  const auto results = eval::run_full_instruct_benchmark(model, world_.tok,
-                                                         world_.mcqs.benchmark, config,
-                                                         &journal);
+  const auto results = eval::run_full_instruct_benchmark(
+      model, world_.tok, world_.mcqs.benchmark, config, &journal, eval_options_);
   const eval::ScoreSummary summary = eval::summarize(results);
   store_result(key, summary);
   journal.discard();

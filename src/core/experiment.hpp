@@ -16,6 +16,7 @@
 #include "core/recipes.hpp"
 #include "corpus/mcq.hpp"
 #include "eval/scorer.hpp"
+#include "eval/supervisor.hpp"
 #include "nn/gpt.hpp"
 #include "nn/trainer.hpp"
 #include "tokenizer/bpe.hpp"
@@ -91,8 +92,17 @@ class Pipeline {
   void set_save_every(std::size_t steps) { save_every_ = steps; }
   std::size_t save_every() const { return save_every_; }
 
-  /// Wall-clock watchdog per full-instruct question (seconds; 0 disables).
+  /// Wall-clock watchdog per benchmark question (seconds; 0 disables).
+  /// Applies to the full-instruct generation loop and, via in-flight
+  /// cancellation, to the token methods' prompt feed.
   void set_question_budget_seconds(double seconds) { question_budget_seconds_ = seconds; }
+
+  /// Supervisor knobs for both benchmark runners: worker count,
+  /// per-question deadline, retry policy, straggler cancellation. The
+  /// defaults (serial, no deadline) reproduce the reference behaviour;
+  /// any worker count yields bit-identical scores and journals.
+  void set_eval_options(const eval::EvalRunOptions& options) { eval_options_ = options; }
+  const eval::EvalRunOptions& eval_options() const { return eval_options_; }
 
  private:
   std::string model_tag(Scale scale, std::optional<corpus::CptVariant> cpt,
@@ -111,6 +121,7 @@ class Pipeline {
   std::optional<corpus::SftSpec> sft_override_;
   std::size_t save_every_ = 25;
   double question_budget_seconds_ = 30.0;
+  eval::EvalRunOptions eval_options_;
 };
 
 }  // namespace astromlab::core

@@ -15,10 +15,16 @@ StudyRow make_row(Pipeline& pipeline, Scale scale, std::optional<corpus::CptVari
   out.row.name = name;
   out.row.series = series;
   out.row.token_base = pct(out.scores.token_base);
+  out.row.degraded = out.scores.token_base.degraded;
+  out.row.retried = out.scores.token_base.retried;
   if (out.scores.has_instruct) {
     out.row.token_instruct = pct(out.scores.token_instruct);
     out.row.full_instruct = pct(out.scores.full_instruct);
     out.row.unanswered = out.scores.full_instruct.unanswered;
+    out.row.degraded +=
+        out.scores.token_instruct.degraded + out.scores.full_instruct.degraded;
+    out.row.retried +=
+        out.scores.token_instruct.retried + out.scores.full_instruct.retried;
   }
   out.row.source = source;
   out.row.reference = reference;

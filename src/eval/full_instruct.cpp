@@ -23,6 +23,7 @@ FullInstructOutcome full_instruct_one(const nn::GptModel& model,
   sample.max_new_tokens = config.max_new_tokens;
   sample.stop_tokens = {tok.end_turn_id(), tok.eos_id()};
   sample.max_wall_seconds = config.max_seconds_per_question;
+  sample.cancel = config.cancel;
 
   util::Rng rng(config.seed);
   nn::Sampler sampler(model);
@@ -31,12 +32,15 @@ FullInstructOutcome full_instruct_one(const nn::GptModel& model,
   std::vector<tokenizer::TokenId> out_ids(generated.tokens.begin(), generated.tokens.end());
   outcome.raw_output = tok.decode(out_ids);
 
-  if (generated.timed_out) {
-    // Watchdog abort: the answer is incomplete by construction, so degrade
-    // to unanswered rather than extracting from a cut-off generation.
-    outcome.timed_out = true;
+  if (generated.timed_out || generated.cancelled) {
+    // Watchdog / cancellation abort: the answer is incomplete by
+    // construction, so degrade to unanswered rather than extracting from a
+    // cut-off generation.
+    outcome.timed_out = generated.timed_out;
+    outcome.cancelled = generated.cancelled;
     outcome.result.method = ExtractionMethod::kFailed;
     outcome.result.predicted = -1;
+    outcome.result.degraded = true;
     return outcome;
   }
 
@@ -49,9 +53,12 @@ FullInstructOutcome full_instruct_one(const nn::GptModel& model,
 std::vector<QuestionResult> run_full_instruct_benchmark(
     const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
     const std::vector<corpus::McqItem>& benchmark, const FullInstructConfig& config,
-    EvalJournal* journal) {
+    EvalJournal* journal, const EvalRunOptions& opts) {
   std::vector<QuestionResult> results(benchmark.size());
+  std::vector<std::size_t> pending;
   for (std::size_t q = 0; q < benchmark.size(); ++q) {
+    results[q].correct = static_cast<int>(benchmark[q].correct);
+    results[q].tier = benchmark[q].tier;
     if (journal != nullptr) {
       // Reuse a journalled answer only when it matches the current
       // benchmark item (a stale journal from another world must not leak).
@@ -62,9 +69,24 @@ std::vector<QuestionResult> run_full_instruct_benchmark(
         continue;
       }
     }
-    results[q] = full_instruct_one(model, tok, benchmark[q], config).result;
-    if (journal != nullptr) journal->record(q, results[q]);
+    pending.push_back(q);
   }
+
+  // The supervisor's per-attempt deadline composes with the config's
+  // in-sampler watchdog: whichever is stricter wins.
+  EvalRunOptions effective = opts;
+  effective.question_deadline_seconds =
+      merge_deadlines(opts.question_deadline_seconds, config.max_seconds_per_question);
+
+  Supervisor supervisor(effective);
+  supervisor.run(
+      results, pending,
+      [&](std::size_t q, const util::CancelToken& cancel) {
+        FullInstructConfig per_question = config;
+        per_question.cancel = &cancel;
+        return full_instruct_one(model, tok, benchmark[q], per_question).result;
+      },
+      journal);
   return results;
 }
 

@@ -12,8 +12,10 @@
 #include "corpus/mcq.hpp"
 #include "eval/journal.hpp"
 #include "eval/scorer.hpp"
+#include "eval/supervisor.hpp"
 #include "nn/gpt.hpp"
 #include "tokenizer/bpe.hpp"
+#include "util/cancel.hpp"
 
 namespace astromlab::eval {
 
@@ -25,12 +27,16 @@ struct FullInstructConfig {
   /// `predicted = -1` (counted as unanswered) instead of stalling the
   /// study. 0 disables the watchdog.
   double max_seconds_per_question = 0.0;
+  /// Cooperative cancellation (deadline / straggler monitor); polled
+  /// in-flight by the sampler. A cancelled question degrades to unanswered.
+  const util::CancelToken* cancel = nullptr;
 };
 
 struct FullInstructOutcome {
   QuestionResult result;
   std::string raw_output;  ///< decoded generation (for inspection)
   bool timed_out = false;  ///< the per-question watchdog fired
+  bool cancelled = false;  ///< the cancel token fired mid-generation
 };
 
 /// Runs one question; returns the outcome including the raw generation.
@@ -39,12 +45,16 @@ FullInstructOutcome full_instruct_one(const nn::GptModel& model,
                                       const corpus::McqItem& item,
                                       const FullInstructConfig& config);
 
-/// Runs the full benchmark. With an active `journal`, already-answered
-/// questions are skipped (their journalled results reused) and every fresh
-/// result is appended durably, making a killed run resumable.
+/// Runs the full benchmark under the fault-isolated Supervisor. With an
+/// active `journal`, already-answered questions are skipped (their
+/// journalled results reused) and every fresh result is appended durably,
+/// making a killed run resumable. `opts` controls parallelism, per-question
+/// deadlines, retries, and straggler cancellation; the defaults reproduce
+/// the serial reference behaviour bit-for-bit.
 std::vector<QuestionResult> run_full_instruct_benchmark(
     const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
     const std::vector<corpus::McqItem>& benchmark,
-    const FullInstructConfig& config = {}, EvalJournal* journal = nullptr);
+    const FullInstructConfig& config = {}, EvalJournal* journal = nullptr,
+    const EvalRunOptions& opts = {});
 
 }  // namespace astromlab::eval

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "json/json.hpp"
+#include "util/fault_injection.hpp"
 #include "util/io.hpp"
 #include "util/logging.hpp"
 
@@ -37,6 +38,8 @@ EvalJournal::EvalJournal(fs::path path) : path_(std::move(path)) {
       result.tier = static_cast<corpus::Tier>(static_cast<int>(obj.get_number("tier", 0)));
       result.method =
           static_cast<ExtractionMethod>(static_cast<int>(obj.get_number("method", 3)));
+      result.retries = static_cast<int>(obj.get_number("retries", 0));
+      result.degraded = obj.get_number("degraded", 0) != 0;
       const auto question = static_cast<std::size_t>(obj.get_number("q", 0));
       entries_[question] = result;
     } catch (const json::ParseError&) {
@@ -46,6 +49,21 @@ EvalJournal::EvalJournal(fs::path path) : path_(std::move(path)) {
       }
     }
   }
+  if (!text.empty() && text.back() != '\n') {
+    // Truncate the torn tail so the next append starts on a fresh line;
+    // otherwise the first resumed record would merge into the torn bytes
+    // and be lost at the *following* reload.
+    const std::size_t last_newline = text.find_last_of('\n');
+    const std::uintmax_t keep = last_newline == std::string::npos ? 0 : last_newline + 1;
+    std::error_code ec;
+    fs::resize_file(path_, keep, ec);
+    if (ec) {
+      log::warn() << "could not truncate torn journal tail of " << path_.string() << ": "
+                  << ec.message();
+    } else {
+      log::warn() << "truncated torn tail of journal " << path_.string();
+    }
+  }
   if (!entries_.empty()) {
     log::info() << "eval journal " << path_.string() << ": resuming with "
                 << entries_.size() << " answered questions"
@@ -53,7 +71,13 @@ EvalJournal::EvalJournal(fs::path path) : path_(std::move(path)) {
   }
 }
 
+std::size_t EvalJournal::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
 std::optional<QuestionResult> EvalJournal::lookup(std::size_t question) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(question);
   if (it == entries_.end()) return std::nullopt;
   return it->second;
@@ -67,10 +91,25 @@ void EvalJournal::record(std::size_t question, const QuestionResult& result) {
   obj.set("correct", json::Value(result.correct));
   obj.set("tier", json::Value(static_cast<int>(result.tier)));
   obj.set("method", json::Value(static_cast<int>(result.method)));
+  obj.set("retries", json::Value(result.retries));
+  obj.set("degraded", json::Value(result.degraded ? 1 : 0));
+  const std::string line = obj.dump() + "\n";
 
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto action = util::FaultInjector::instance().on_write();
+  if (action == util::FaultInjector::Action::kFail) {
+    throw util::IoError("injected append failure on journal: " + path_.string());
+  }
   std::ofstream stream(path_, std::ios::binary | std::ios::app);
   if (!stream) throw util::IoError("cannot append to journal: " + path_.string());
-  const std::string line = obj.dump() + "\n";
+  if (action == util::FaultInjector::Action::kDrop) {
+    // Simulated kill mid-append: commit only a torn prefix of the line
+    // (no newline) and do not apply the entry, exactly the state a crash
+    // between write and return would leave behind.
+    stream.write(line.data(), static_cast<std::streamsize>(line.size() / 2));
+    stream.flush();
+    return;
+  }
   stream.write(line.data(), static_cast<std::streamsize>(line.size()));
   stream.flush();
   if (!stream) throw util::IoError("write failure on journal: " + path_.string());
@@ -79,6 +118,7 @@ void EvalJournal::record(std::size_t question, const QuestionResult& result) {
 
 void EvalJournal::discard() {
   if (!active()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
   std::error_code ec;
   fs::remove(path_, ec);
   entries_.clear();

@@ -6,12 +6,19 @@
 // finished questions. Each completed question is appended to a JSONL file
 // and flushed immediately, so a restarted run replays only unanswered
 // questions and produces the identical score report. A torn final line
-// (kill mid-append) is detected and ignored — that one question is simply
-// re-run.
+// (kill mid-append) is detected at load, *truncated off the file* — so the
+// next append starts on a clean line instead of merging into the torn
+// bytes — and that one question is simply re-run.
+//
+// `record` is thread-safe (internal mutex) and tolerates out-of-order
+// question indices, so the parallel evaluation supervisor can journal from
+// any worker; appends route through `util::FaultInjector` so tests can
+// deterministically tear a line written under concurrency.
 
 #include <cstddef>
 #include <filesystem>
 #include <map>
+#include <mutex>
 #include <optional>
 
 #include "eval/scorer.hpp"
@@ -24,17 +31,18 @@ class EvalJournal {
   EvalJournal() = default;
 
   /// Opens (and loads) the journal at `path`; malformed lines are skipped
-  /// with a warning.
+  /// with a warning and a torn trailing line is truncated off the file.
   explicit EvalJournal(std::filesystem::path path);
 
   bool active() const { return !path_.empty(); }
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const;
   const std::filesystem::path& path() const { return path_; }
 
   /// Result journalled for 0-based benchmark question `question`, if any.
   std::optional<QuestionResult> lookup(std::size_t question) const;
 
   /// Appends one line and flushes before returning (crash-durable).
+  /// Thread-safe; questions may arrive in any order.
   void record(std::size_t question, const QuestionResult& result);
 
   /// Deletes the journal file (call once the summary has been persisted).
@@ -42,6 +50,7 @@ class EvalJournal {
 
  private:
   std::filesystem::path path_;
+  mutable std::mutex mutex_;  ///< guards entries_ and the file append
   std::map<std::size_t, QuestionResult> entries_;
 };
 

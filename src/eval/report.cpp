@@ -43,11 +43,13 @@ std::string render_table1(const std::vector<ModelRow>& rows) {
   std::string out;
   out += "TABLE I: PERFORMANCE ON ASTRONOMY MCQ BENCHMARK\n";
   out += "(scores: % accurate answers; ^ better / v worse / ~ similar vs native baseline;\n";
-  out += " Unansw: full-instruct questions with no extracted answer, scored incorrect)\n\n";
+  out += " Unansw: full-instruct questions with no extracted answer, scored incorrect;\n";
+  out += " Degr: questions degraded by the eval supervisor (deadline/fault), all methods;\n";
+  out += " Retry: questions that needed a transient-fault retry, all methods)\n\n";
   out += pad_right("Model", 34) + pad_left("FullInst", 9) + pad_left("Unansw", 7) +
-         pad_left("Tok-Inst", 10) + pad_left("Tok-Base", 10) + "  " +
-         pad_right("Source", 11) + "Reference\n";
-  out += std::string(97, '-') + "\n";
+         pad_left("Tok-Inst", 10) + pad_left("Tok-Base", 10) + pad_left("Degr", 6) +
+         pad_left("Retry", 7) + "  " + pad_right("Source", 11) + "Reference\n";
+  out += std::string(110, '-') + "\n";
 
   std::string current_series;
   for (const ModelRow& row : rows) {
@@ -64,6 +66,8 @@ std::string render_table1(const std::vector<ModelRow>& rows) {
     out += pad_left(row.full_instruct < 0.0 ? "-" : std::to_string(row.unanswered), 7);
     out += " " + score_cell(row.token_instruct, base_ti, row.is_native);
     out += " " + score_cell(row.token_base, base_tb, row.is_native);
+    out += pad_left(std::to_string(row.degraded), 7);
+    out += pad_left(std::to_string(row.retried), 7);
     out += "   " + pad_right(row.source, 11) + row.reference + "\n";
   }
   return out;
@@ -115,15 +119,19 @@ std::string render_fig1(const std::vector<ModelRow>& rows, double axis_min, doub
 }
 
 std::string render_csv(const std::vector<ModelRow>& rows) {
+  // New columns append at the end so downstream consumers keyed on the
+  // original prefix keep working.
   std::string out =
-      "model,series,full_instruct,unanswered,token_instruct,token_base,source,reference\n";
+      "model,series,full_instruct,unanswered,token_instruct,token_base,source,reference,"
+      "degraded,retried\n";
   for (const ModelRow& row : rows) {
     auto cell = [](double v) { return v < 0.0 ? std::string() : format_fixed(v, 2); };
     const std::string unanswered =
         row.full_instruct < 0.0 ? std::string() : std::to_string(row.unanswered);
     out += row.name + "," + row.series + "," + cell(row.full_instruct) + "," + unanswered +
            "," + cell(row.token_instruct) + "," + cell(row.token_base) + "," + row.source +
-           "," + row.reference + "\n";
+           "," + row.reference + "," + std::to_string(row.degraded) + "," +
+           std::to_string(row.retried) + "\n";
   }
   return out;
 }

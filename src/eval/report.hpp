@@ -20,6 +20,12 @@ struct ModelRow {
   /// or watchdog abort). They score as incorrect; surfacing the count keeps
   /// them from being silently folded into wrong answers.
   std::size_t unanswered = 0;
+  /// Questions degraded to unanswered by the evaluation supervisor across
+  /// all three methods: deadline / straggler cancellations and permanent
+  /// faults (a subset of the unanswered counts of the summaries).
+  std::size_t degraded = 0;
+  /// Questions that needed >= 1 transient-fault retry across all methods.
+  std::size_t retried = 0;
   std::string source;
   std::string reference;
   bool is_native = false;

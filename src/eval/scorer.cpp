@@ -17,6 +17,8 @@ ScoreSummary summarize(const std::vector<QuestionResult>& results,
   for (const QuestionResult& result : results) {
     if (result.is_correct()) ++summary.correct;
     if (result.predicted < 0) ++summary.unanswered;
+    if (result.degraded) ++summary.degraded;
+    if (result.retries > 0) ++summary.retried;
     if (result.tier == corpus::Tier::kCanonical) {
       ++canonical_total;
       if (result.is_correct()) ++canonical_correct;

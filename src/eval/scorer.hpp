@@ -18,6 +18,13 @@ struct QuestionResult {
   int correct = 0;     ///< 0..3
   corpus::Tier tier = corpus::Tier::kCanonical;
   ExtractionMethod method = ExtractionMethod::kFailed;  ///< full-instruct only
+  /// Transient-fault retries this question needed before producing a
+  /// result (supervisor bookkeeping; 0 on the happy path).
+  int retries = 0;
+  /// True when the answer was *degraded* to unanswered — deadline or
+  /// straggler cancellation, watchdog timeout, or a permanent fault —
+  /// as opposed to a completed generation the extractor could not parse.
+  bool degraded = false;
 
   bool is_correct() const { return predicted == correct; }
 };
@@ -37,6 +44,12 @@ struct ScoreSummary {
                                ///< unanswered is never silently folded into
                                ///< wrong answers
   double answered_accuracy = 0.0;  ///< accuracy over answered questions only
+  /// Questions degraded to unanswered by the fault machinery (deadline /
+  /// straggler cancellation, watchdog, permanent fault) — a subset of
+  /// `unanswered`, which also counts plain extraction failures.
+  std::size_t degraded = 0;
+  /// Questions that needed at least one transient-fault retry.
+  std::size_t retried = 0;
   std::size_t json_extractions = 0;
   std::size_t regex_extractions = 0;
   std::size_t interpreter_extractions = 0;

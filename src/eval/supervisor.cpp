@@ -1,0 +1,188 @@
+#include "eval/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <map>
+#include <mutex>
+
+#include "util/cli.hpp"
+#include "util/fault_injection.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace astromlab::eval {
+
+double merge_deadlines(double a_seconds, double b_seconds) {
+  if (a_seconds <= 0.0) return b_seconds > 0.0 ? b_seconds : 0.0;
+  if (b_seconds <= 0.0) return a_seconds;
+  return std::min(a_seconds, b_seconds);
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Shared bookkeeping for one run(); every field is guarded by `mutex`.
+struct RunState {
+  std::mutex mutex;
+  std::vector<char> done;        ///< parallel to `pending` (char: no vector<bool> bit-packing)
+  std::size_t next_flush = 0;    ///< index into `pending` of the next journal line
+  std::size_t completed = 0;
+  std::vector<double> durations_s;  ///< completed-question latencies
+
+  struct InFlight {
+    util::CancelToken* token;
+    Clock::time_point start;
+    std::size_t question;
+    bool cancelled_by_monitor = false;
+  };
+  std::map<std::size_t, InFlight> inflight;  ///< keyed by index into `pending`
+};
+
+}  // namespace
+
+void Supervisor::run(std::vector<QuestionResult>& results,
+                     const std::vector<std::size_t>& pending, const QuestionFn& fn,
+                     EvalJournal* journal) {
+  stats_ = SupervisorStats{};
+  if (pending.empty()) return;
+
+  RunState state;
+  state.done.assign(pending.size(), 0);
+
+  // Evaluates pending[idx] inside its own fault domain: injected faults,
+  // transient retries with deterministic backoff, permanent degradation.
+  // Never throws; journal failures surface from the flush step instead.
+  const auto run_one = [&](std::size_t idx) {
+    const std::size_t q = pending[idx];
+    QuestionResult result = results[q];  // pre-filled ground truth (correct, tier)
+    std::size_t retries = 0;
+    const Clock::time_point question_start = Clock::now();
+    for (;;) {
+      util::CancelToken token;
+      token.set_deadline_after(options_.question_deadline_seconds);
+      {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        state.inflight[idx] = {&token, Clock::now(), q, false};
+      }
+      bool finished = false;
+      try {
+        switch (util::FaultInjector::instance().on_eval_attempt(q)) {
+          case util::FaultInjector::EvalAction::kTransient:
+            throw util::TransientError("injected transient eval fault");
+          case util::FaultInjector::EvalAction::kPermanent:
+            throw std::runtime_error("injected permanent eval fault");
+          case util::FaultInjector::EvalAction::kProceed:
+            break;
+        }
+        QuestionResult fresh = fn(q, token);
+        fresh.retries = static_cast<int>(retries);
+        result = fresh;
+        finished = true;
+      } catch (const std::exception& error) {
+        if (util::is_transient(error) && retries < options_.retry.max_retries) {
+          ++retries;
+          log::warn() << "eval question " << q << ": transient fault (" << error.what()
+                      << "), retry " << retries << "/" << options_.retry.max_retries;
+        } else {
+          // Permanent fault or exhausted retry budget: degrade to
+          // unanswered — one bad question must never abort the study.
+          log::warn() << "eval question " << q << ": degraded to unanswered ("
+                      << error.what() << ")";
+          result.predicted = -1;
+          result.method = ExtractionMethod::kFailed;
+          result.retries = static_cast<int>(retries);
+          result.degraded = true;
+          finished = true;
+        }
+      } catch (...) {
+        log::warn() << "eval question " << q << ": degraded to unanswered (unknown error)";
+        result.predicted = -1;
+        result.method = ExtractionMethod::kFailed;
+        result.retries = static_cast<int>(retries);
+        result.degraded = true;
+        finished = true;
+      }
+      {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        state.inflight.erase(idx);
+      }
+      if (finished) break;
+      util::detail::sleep_ms(options_.retry.backoff_ms(retries, q));
+    }
+
+    std::lock_guard<std::mutex> lock(state.mutex);
+    results[q] = result;
+    state.done[idx] = 1;
+    ++state.completed;
+    state.durations_s.push_back(
+        std::chrono::duration<double>(Clock::now() - question_start).count());
+    if (retries > 0) {
+      ++stats_.retried_questions;
+      stats_.total_retries += retries;
+    }
+    if (result.degraded) ++stats_.degraded_questions;
+    // Journal strictly in ascending question order: buffered out-of-order
+    // completions flush once the gap closes, so the parallel journal is
+    // byte-identical to a serial run's and a kill leaves a clean prefix.
+    while (state.next_flush < pending.size() && state.done[state.next_flush] != 0) {
+      const std::size_t fq = pending[state.next_flush];
+      if (journal != nullptr) journal->record(fq, results[fq]);
+      ++state.next_flush;
+    }
+  };
+
+  if (options_.workers <= 1) {
+    for (std::size_t idx = 0; idx < pending.size(); ++idx) run_one(idx);
+    return;
+  }
+
+  util::ThreadPool pool(options_.workers);
+  for (std::size_t idx = 0; idx < pending.size(); ++idx) {
+    pool.submit([&run_one, idx] { run_one(idx); });
+  }
+
+  // The calling thread doubles as the straggler monitor until every
+  // question has completed; wait_idle() then rethrows any journal failure.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (state.completed == pending.size()) break;
+      if (options_.straggler_factor > 0.0 &&
+          state.durations_s.size() >= options_.straggler_min_samples) {
+        std::vector<double> sorted = state.durations_s;
+        const std::size_t mid = sorted.size() / 2;
+        std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(mid),
+                         sorted.end());
+        const double median = sorted[mid];
+        const double limit = options_.straggler_factor * median;
+        const Clock::time_point now = Clock::now();
+        for (auto& [idx, flight] : state.inflight) {
+          const double elapsed = std::chrono::duration<double>(now - flight.start).count();
+          if (!flight.cancelled_by_monitor && limit > 0.0 && elapsed > limit) {
+            flight.cancelled_by_monitor = true;
+            flight.token->cancel();
+            ++stats_.stragglers_cancelled;
+            log::warn() << "eval question " << flight.question << ": straggler cancelled ("
+                        << elapsed << "s > " << options_.straggler_factor << "x median "
+                        << median << "s)";
+          }
+        }
+      }
+    }
+    util::detail::sleep_ms(1.0);
+  }
+  pool.wait_idle();
+}
+
+EvalRunOptions eval_run_options_from_args(const util::ArgParser& args) {
+  EvalRunOptions options;
+  options.workers = static_cast<std::size_t>(args.get_int("eval-workers", 0));
+  options.retry.max_retries = static_cast<std::size_t>(args.get_int("retry-max", 2));
+  options.question_deadline_seconds = args.get_double("question-deadline", 0.0);
+  options.straggler_factor = args.get_double("straggler-factor", 0.0);
+  return options;
+}
+
+}  // namespace astromlab::eval

@@ -1,0 +1,109 @@
+#pragma once
+// Fault-isolated parallel evaluation supervisor.
+//
+// The 4,425-question × 3-method benchmark (paper Table I) is the
+// longest-running stage of every study. The supervisor runs its questions
+// across a worker pool with one *fault domain per question*:
+//
+//  * a `util::CancelToken` per attempt carries the question deadline and
+//    external cancellation into the generation / logit loops — true
+//    in-flight cancellation, not post-hoc timing;
+//  * transient faults (`util::TransientError`, `util::CorruptFileError`)
+//    are retried under a `util::RetryPolicy` with exponential backoff and
+//    deterministic jitter; permanent faults degrade the question to
+//    unanswered — the paper's degrade-don't-crash fallback philosophy
+//    (regex → LLM interpreter) applied to the fleet level;
+//  * a straggler monitor cancels questions exceeding N× the running
+//    median latency so one pathological question cannot stall the run.
+//
+// Determinism: every question is computed by a pure function of its index,
+// so results are bit-identical between serial and parallel runs. Fresh
+// results are journalled *in ascending question order* (out-of-order
+// completions are buffered until the gap closes), which makes the journal
+// file itself byte-identical to a serial run's and keeps a killed parallel
+// run resumable from a clean prefix.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "eval/journal.hpp"
+#include "eval/scorer.hpp"
+#include "util/cancel.hpp"
+#include "util/retry.hpp"
+
+namespace astromlab::eval {
+
+/// Knobs shared by all three benchmarking-method runners.
+struct EvalRunOptions {
+  /// Worker threads for question evaluation; 0 or 1 runs serially in the
+  /// calling thread (the default, and the reference behaviour).
+  std::size_t workers = 0;
+  /// Per-question wall-clock deadline in seconds, enforced in-flight via
+  /// CancelToken (0 disables). Over-deadline questions degrade to
+  /// unanswered, never abort the study.
+  double question_deadline_seconds = 0.0;
+  /// Cancel a question once its elapsed time exceeds this multiple of
+  /// the running median question latency (0 disables). Requires
+  /// `straggler_min_samples` completions before it starts judging.
+  double straggler_factor = 0.0;
+  std::size_t straggler_min_samples = 8;
+  /// Retry budget + backoff shape for transient faults.
+  util::RetryPolicy retry;
+};
+
+/// Aggregate telemetry for one supervised run.
+struct SupervisorStats {
+  std::size_t retried_questions = 0;   ///< needed >= 1 transient retry
+  std::size_t total_retries = 0;
+  std::size_t degraded_questions = 0;  ///< deadline/straggler/permanent-fault
+  std::size_t stragglers_cancelled = 0;
+};
+
+class Supervisor {
+ public:
+  /// Evaluates one question. Must be deterministic in `question`, honour
+  /// `cancel` by returning a degraded result (predicted -1, degraded
+  /// set), and may throw: transient errors are retried, permanent ones
+  /// degrade the question.
+  using QuestionFn =
+      std::function<QuestionResult(std::size_t question, const util::CancelToken& cancel)>;
+
+  explicit Supervisor(EvalRunOptions options) : options_(std::move(options)) {}
+
+  /// Runs `fn` for every question index in `pending` (ascending), writing
+  /// into `results[q]`. Entries of `results` not listed in `pending` are
+  /// treated as already answered (journal reuse) and left untouched.
+  /// `results[q]` for pending questions must arrive pre-filled with the
+  /// ground truth (`correct`, `tier`) so a degraded question still scores
+  /// against the right answer key. Fresh results are journalled in
+  /// ascending question order. Throws only on journal write failure.
+  void run(std::vector<QuestionResult>& results, const std::vector<std::size_t>& pending,
+           const QuestionFn& fn, EvalJournal* journal);
+
+  const SupervisorStats& stats() const { return stats_; }
+
+ private:
+  EvalRunOptions options_;
+  SupervisorStats stats_;
+};
+
+/// Merges two optional deadlines (0 = unset) into the stricter one.
+double merge_deadlines(double a_seconds, double b_seconds);
+
+}  // namespace astromlab::eval
+
+namespace astromlab::util {
+class ArgParser;
+}
+
+namespace astromlab::eval {
+
+/// Parses the shared supervisor flags used by the bench binaries:
+///   --eval-workers=<n>        worker threads (default 0 = serial)
+///   --retry-max=<n>           transient-fault retries per question (default 2)
+///   --question-deadline=<s>   per-question deadline in seconds (default 0 = off)
+///   --straggler-factor=<f>    cancel at f x median latency (default 0 = off)
+EvalRunOptions eval_run_options_from_args(const util::ArgParser& args);
+
+}  // namespace astromlab::eval

@@ -94,7 +94,8 @@ LetterTokens detect_letter_tokens(const nn::GptModel& model,
 
 int token_predict(const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
                   const LetterTokens& letters, const corpus::McqItem& item,
-                  const std::vector<corpus::McqItem>& fewshot) {
+                  const std::vector<corpus::McqItem>& fewshot,
+                  const util::CancelToken* cancel) {
   const std::string prompt = build_token_prompt(item, fewshot);
   std::vector<nn::Token> tokens = to_model_tokens(tok.encode(prompt));
   if (letters.feed_space_first) {
@@ -105,7 +106,10 @@ int token_predict(const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
     return -1;  // prompt does not fit the context window
   }
   nn::GptInference inference(model);
-  const std::vector<float>& logits = inference.prompt(tokens);
+  const std::vector<float>& logits = inference.prompt(tokens, cancel);
+  if (cancel != nullptr && cancel->cancelled()) {
+    return -1;  // fired mid-feed: logits are stale, degrade to unanswered
+  }
   int best = 0;
   float best_logit = logits[static_cast<std::size_t>(letters.ids[0])];
   for (int i = 1; i < 4; ++i) {
@@ -121,13 +125,17 @@ int token_predict(const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
 std::vector<QuestionResult> run_token_benchmark(
     const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
     const std::vector<corpus::McqItem>& benchmark,
-    const std::vector<corpus::McqItem>& practice_pool, EvalJournal* journal) {
+    const std::vector<corpus::McqItem>& practice_pool, EvalJournal* journal,
+    const TokenMethodConfig& config, const EvalRunOptions& opts) {
   const std::vector<corpus::McqItem> fewshot = pick_fewshot_examples(practice_pool);
   const LetterTokens letters = detect_letter_tokens(model, tok, practice_pool, fewshot);
 
   std::vector<QuestionResult> results(benchmark.size());
+  std::vector<std::size_t> pending;
   for (std::size_t q = 0; q < benchmark.size(); ++q) {
     const corpus::McqItem& item = benchmark[q];
+    results[q].correct = static_cast<int>(item.correct);
+    results[q].tier = item.tier;
     if (journal != nullptr) {
       const auto prior = journal->lookup(q);
       if (prior && prior->correct == static_cast<int>(item.correct) &&
@@ -136,13 +144,27 @@ std::vector<QuestionResult> run_token_benchmark(
         continue;
       }
     }
-    QuestionResult result;
-    result.correct = static_cast<int>(item.correct);
-    result.tier = item.tier;
-    result.predicted = token_predict(model, tok, letters, item, fewshot);
-    results[q] = result;
-    if (journal != nullptr) journal->record(q, result);
+    pending.push_back(q);
   }
+
+  EvalRunOptions effective = opts;
+  effective.question_deadline_seconds =
+      merge_deadlines(opts.question_deadline_seconds, config.max_seconds_per_question);
+
+  Supervisor supervisor(effective);
+  supervisor.run(
+      results, pending,
+      [&](std::size_t q, const util::CancelToken& cancel) {
+        QuestionResult result = results[q];  // ground truth pre-filled above
+        result.predicted = token_predict(model, tok, letters, benchmark[q], fewshot, &cancel);
+        if (cancel.cancelled()) {
+          result.method = ExtractionMethod::kFailed;
+          result.predicted = -1;
+          result.degraded = true;
+        }
+        return result;
+      },
+      journal);
   return results;
 }
 

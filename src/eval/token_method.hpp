@@ -22,8 +22,10 @@
 #include "corpus/mcq.hpp"
 #include "eval/journal.hpp"
 #include "eval/scorer.hpp"
+#include "eval/supervisor.hpp"
 #include "nn/gpt.hpp"
 #include "tokenizer/bpe.hpp"
+#include "util/cancel.hpp"
 
 namespace astromlab::eval {
 
@@ -44,18 +46,32 @@ LetterTokens detect_letter_tokens(const nn::GptModel& model,
                                   const std::vector<corpus::McqItem>& calibration,
                                   const std::vector<corpus::McqItem>& fewshot);
 
-/// Evaluates one question: returns the argmax letter (0..3).
+/// Per-question knobs for the token-method runners.
+struct TokenMethodConfig {
+  /// Wall-clock budget per question, enforced in-flight through the
+  /// supervisor's CancelToken during the KV-cache prompt feed (the token
+  /// method generates nothing, so the prompt feed is the whole cost).
+  /// 0 disables the watchdog.
+  double max_seconds_per_question = 0.0;
+};
+
+/// Evaluates one question: returns the argmax letter (0..3), or -1 when the
+/// prompt does not fit the context window or `cancel` fired mid-feed.
 int token_predict(const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
                   const LetterTokens& letters, const corpus::McqItem& item,
-                  const std::vector<corpus::McqItem>& fewshot);
+                  const std::vector<corpus::McqItem>& fewshot,
+                  const util::CancelToken* cancel = nullptr);
 
-/// Runs the token method over the whole benchmark. With an active
-/// `journal`, already-answered questions are skipped (their journalled
-/// results reused) and fresh results are appended durably, making a killed
-/// run resumable.
+/// Runs the token method over the whole benchmark under the fault-isolated
+/// Supervisor. With an active `journal`, already-answered questions are
+/// skipped (their journalled results reused) and fresh results are appended
+/// durably, making a killed run resumable. `opts` controls parallelism,
+/// deadlines, retries, and straggler cancellation; defaults reproduce the
+/// serial reference behaviour bit-for-bit.
 std::vector<QuestionResult> run_token_benchmark(
     const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
     const std::vector<corpus::McqItem>& benchmark,
-    const std::vector<corpus::McqItem>& practice_pool, EvalJournal* journal = nullptr);
+    const std::vector<corpus::McqItem>& practice_pool, EvalJournal* journal = nullptr,
+    const TokenMethodConfig& config = {}, const EvalRunOptions& opts = {});
 
 }  // namespace astromlab::eval

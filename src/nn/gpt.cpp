@@ -603,8 +603,16 @@ const std::vector<float>& GptInference::step(Token token) {
 }
 
 const std::vector<float>& GptInference::prompt(const std::vector<Token>& tokens) {
+  return prompt(tokens, nullptr);
+}
+
+const std::vector<float>& GptInference::prompt(const std::vector<Token>& tokens,
+                                               const util::CancelToken* cancel) {
   if (tokens.empty()) throw std::invalid_argument("prompt: empty token sequence");
-  for (Token token : tokens) step(token);
+  for (Token token : tokens) {
+    if (cancel != nullptr && cancel->cancelled()) break;
+    step(token);
+  }
   return logits_;
 }
 

@@ -14,6 +14,7 @@
 
 #include "nn/config.hpp"
 #include "nn/params.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 
 namespace astromlab::nn {
@@ -121,6 +122,14 @@ class GptInference {
 
   /// Feeds a whole prompt; returns logits after the final token.
   const std::vector<float>& prompt(const std::vector<Token>& tokens);
+
+  /// Cancellable prompt feed: polls `cancel` between KV-cache steps and
+  /// stops early once it fires, so a deadline or straggler cancellation
+  /// takes effect mid-prompt instead of after the full forward pass.
+  /// Callers must check `cancel->cancelled()` before using the returned
+  /// logits — on early exit they are stale (or empty at position 0).
+  const std::vector<float>& prompt(const std::vector<Token>& tokens,
+                                   const util::CancelToken* cancel);
 
   std::size_t position() const { return position_; }
   const GptModel& model() const { return model_; }

@@ -49,8 +49,16 @@ SampleResult Sampler::generate(const std::vector<Token>& prompt_tokens,
     return result;
   }
   util::Stopwatch watch;
-  const std::vector<float>* logits = &inference_.prompt(prompt_tokens);
+  const std::vector<float>* logits = &inference_.prompt(prompt_tokens, config.cancel);
+  if (config.cancel != nullptr && config.cancel->cancelled()) {
+    result.cancelled = true;  // fired mid-prompt: logits are stale, stop here
+    return result;
+  }
   for (std::size_t i = 0; i < config.max_new_tokens; ++i) {
+    if (config.cancel != nullptr && config.cancel->cancelled()) {
+      result.cancelled = true;
+      return result;
+    }
     if (config.max_wall_seconds > 0.0 && watch.seconds() >= config.max_wall_seconds) {
       result.timed_out = true;
       return result;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "nn/gpt.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 
 namespace astromlab::nn {
@@ -24,6 +25,10 @@ struct SampleConfig {
   /// many seconds have elapsed, so one runaway question cannot stall a
   /// multi-hour benchmark run. 0 disables.
   double max_wall_seconds = 0.0;
+  /// Cooperative cancellation: polled before the prompt feed and before
+  /// every generated token, so an external deadline or straggler monitor
+  /// stops generation *in flight* (with `cancelled` set). Optional.
+  const util::CancelToken* cancel = nullptr;
 };
 
 struct SampleResult {
@@ -31,6 +36,7 @@ struct SampleResult {
   bool hit_stop = false;       ///< true if a stop token ended generation
   bool hit_context_limit = false;
   bool timed_out = false;      ///< the wall-clock watchdog fired
+  bool cancelled = false;      ///< the cancel token fired mid-generation
 };
 
 class Sampler {

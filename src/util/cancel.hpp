@@ -1,0 +1,76 @@
+#pragma once
+// Cooperative cancellation with deadlines.
+//
+// A `CancelToken` is the fault-domain boundary for one unit of in-flight
+// work (one benchmark question, one generation). The owner arms it with a
+// wall-clock deadline and/or cancels it externally (a straggler monitor,
+// a shutdown path); the worker polls `cancelled()` inside its hot loop —
+// per generated token, per KV-cache step — and unwinds gracefully. This
+// turns the old post-hoc wall-clock watchdog into true in-flight
+// cancellation: a runaway question stops *during* generation instead of
+// being discarded after it finally returns.
+//
+// Thread-safety: `cancel()` and `cancelled()` may race freely (atomics);
+// `set_deadline_after()` must happen-before the worker starts polling
+// (the supervisor arms the token before dispatching the question).
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+
+namespace astromlab::util {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Arms (or tightens) the deadline to `seconds` from now; values <= 0
+  /// are ignored. When both an old and a new deadline exist the earlier
+  /// one wins, so stacked budgets (per-question flag + supervisor
+  /// default) compose to the stricter bound.
+  void set_deadline_after(double seconds) {
+    if (seconds <= 0.0) return;
+    const Clock::time_point candidate =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+    if (!has_deadline_.load(std::memory_order_acquire) || candidate < deadline_) {
+      deadline_ = candidate;
+      has_deadline_.store(true, std::memory_order_release);
+    }
+  }
+
+  /// External cancellation (straggler monitor, shutdown). Sticky.
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// True once cancelled externally or past the deadline. The deadline
+  /// check latches into the sticky flag so later polls are one atomic load.
+  bool cancelled() const {
+    if (cancelled_.load(std::memory_order_acquire)) return true;
+    if (has_deadline_.load(std::memory_order_acquire) && Clock::now() >= deadline_) {
+      cancelled_.store(true, std::memory_order_release);
+      return true;
+    }
+    return false;
+  }
+
+  bool has_deadline() const { return has_deadline_.load(std::memory_order_acquire); }
+
+  /// Seconds until the deadline (negative once past); +inf when unarmed.
+  double remaining_seconds() const {
+    if (!has_deadline_.load(std::memory_order_acquire)) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return std::chrono::duration<double>(deadline_ - Clock::now()).count();
+  }
+
+ private:
+  mutable std::atomic<bool> cancelled_{false};
+  std::atomic<bool> has_deadline_{false};
+  Clock::time_point deadline_{};
+};
+
+}  // namespace astromlab::util

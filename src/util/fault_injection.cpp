@@ -8,24 +8,57 @@ FaultInjector& FaultInjector::instance() {
 }
 
 void FaultInjector::arm_fail_write(std::size_t nth) {
+  std::lock_guard<std::mutex> lock(mutex_);
   mode_ = Mode::kFailWrite;
   trigger_ = nth;
   writes_ = 0;
+  any_armed_.store(true, std::memory_order_release);
 }
 
 void FaultInjector::arm_truncate_write(std::size_t nth) {
+  std::lock_guard<std::mutex> lock(mutex_);
   mode_ = Mode::kTruncateWrite;
   trigger_ = nth;
   writes_ = 0;
+  any_armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::arm_eval_transient(std::size_t question, std::size_t attempts) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (attempts == 0) return;
+  eval_transient_[question] = attempts;
+  any_armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::arm_eval_permanent(std::size_t question) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  eval_permanent_.insert(question);
+  any_armed_.store(true, std::memory_order_release);
 }
 
 void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
   mode_ = Mode::kNone;
   trigger_ = 0;
   writes_ = 0;
+  eval_transient_.clear();
+  eval_permanent_.clear();
+  any_armed_.store(false, std::memory_order_release);
+}
+
+bool FaultInjector::armed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return mode_ != Mode::kNone || !eval_transient_.empty() || !eval_permanent_.empty();
+}
+
+std::size_t FaultInjector::writes_observed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return writes_;
 }
 
 FaultInjector::Action FaultInjector::on_write() {
+  if (!any_armed_.load(std::memory_order_acquire)) return Action::kProceed;
+  std::lock_guard<std::mutex> lock(mutex_);
   if (mode_ == Mode::kNone) return Action::kProceed;
   ++writes_;
   if (mode_ == Mode::kFailWrite) {
@@ -36,6 +69,18 @@ FaultInjector::Action FaultInjector::on_write() {
     return Action::kProceed;
   }
   return writes_ >= trigger_ ? Action::kDrop : Action::kProceed;
+}
+
+FaultInjector::EvalAction FaultInjector::on_eval_attempt(std::size_t question) {
+  if (!any_armed_.load(std::memory_order_acquire)) return EvalAction::kProceed;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (eval_permanent_.count(question) > 0) return EvalAction::kPermanent;
+  const auto it = eval_transient_.find(question);
+  if (it != eval_transient_.end() && it->second > 0) {
+    if (--it->second == 0) eval_transient_.erase(it);
+    return EvalAction::kTransient;
+  }
+  return EvalAction::kProceed;
 }
 
 }  // namespace astromlab::util

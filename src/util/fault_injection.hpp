@@ -1,16 +1,29 @@
 #pragma once
-// Deterministic fault injection for durability tests.
+// Deterministic fault injection for durability and robustness tests.
 //
-// Recovery paths (atomic rename, CRC verification, resume-from-state) are
-// only trustworthy if tests can actually make writes fail at a chosen
-// point. `FaultInjector` is a process-wide singleton consulted by
-// `BinaryWriter` before every physical write: tests arm it to make the
-// Nth write throw (simulating a full disk / kill mid-write) or to
-// silently drop every byte from the Nth write onward (simulating a torn
-// file that still reaches disk). Production code never arms it, so the
-// disarmed fast path is a single branch.
+// Recovery paths (atomic rename, CRC verification, resume-from-state,
+// retry-with-backoff) are only trustworthy if tests can actually make
+// failures happen at a chosen point. `FaultInjector` is a process-wide
+// singleton consulted from two places:
+//
+//  * `BinaryWriter` (and `EvalJournal::record`) before every physical
+//    write: tests arm it to make the Nth write throw (full disk / kill
+//    mid-write) or to silently drop bytes from the Nth write onward
+//    (a torn file that still reaches disk).
+//  * the evaluation supervisor at the start of every question attempt:
+//    tests arm transient faults (retried with backoff) or a permanent
+//    fault (degraded to unanswered) for a *specific question index*, so
+//    serial and parallel runs inject identically and stay bit-identical.
+//
+// All entry points are thread-safe — the supervisor consults the injector
+// from worker threads. Production code never arms it, so the disarmed
+// fast path is one mutex-free atomic load.
 
+#include <atomic>
 #include <cstddef>
+#include <map>
+#include <mutex>
+#include <set>
 
 namespace astromlab::util {
 
@@ -18,6 +31,9 @@ class FaultInjector {
  public:
   /// What the writer should do with the current physical write.
   enum class Action { kProceed, kFail, kDrop };
+
+  /// What an evaluation attempt should do before running.
+  enum class EvalAction { kProceed, kTransient, kPermanent };
 
   static FaultInjector& instance();
 
@@ -29,23 +45,42 @@ class FaultInjector {
   /// disarm(), producing a torn-but-committed file.
   void arm_truncate_write(std::size_t nth);
 
+  /// Makes the first `attempts` attempts of evaluation question
+  /// `question` raise TransientError (a retryable flake).
+  void arm_eval_transient(std::size_t question, std::size_t attempts = 1);
+
+  /// Makes every attempt of evaluation question `question` raise a
+  /// permanent (non-retryable) error.
+  void arm_eval_permanent(std::size_t question);
+
   void disarm();
-  bool armed() const { return mode_ != Mode::kNone; }
+  bool armed() const;
 
   /// Writes observed since arming (telemetry for tests sizing `nth`).
-  std::size_t writes_observed() const { return writes_; }
+  std::size_t writes_observed() const;
 
-  /// Consulted by BinaryWriter; counts the write and picks its fate.
+  /// Consulted by BinaryWriter / EvalJournal; counts the write and picks
+  /// its fate.
   Action on_write();
+
+  /// Consulted by the evaluation supervisor before each question attempt.
+  EvalAction on_eval_attempt(std::size_t question);
 
  private:
   enum class Mode { kNone, kFailWrite, kTruncateWrite };
 
   FaultInjector() = default;
 
+  /// Fast-path guard: false when nothing at all is armed, so the hot
+  /// write/eval paths skip the mutex entirely in production.
+  std::atomic<bool> any_armed_{false};
+
+  mutable std::mutex mutex_;
   Mode mode_ = Mode::kNone;
   std::size_t trigger_ = 0;
   std::size_t writes_ = 0;
+  std::map<std::size_t, std::size_t> eval_transient_;  ///< question -> remaining throws
+  std::set<std::size_t> eval_permanent_;
 };
 
 }  // namespace astromlab::util

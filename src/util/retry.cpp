@@ -1,0 +1,54 @@
+#include "util/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/io.hpp"
+
+namespace astromlab::util {
+
+bool is_transient(const std::exception& error) {
+  if (dynamic_cast<const TransientError*>(&error) != nullptr) return true;
+  return dynamic_cast<const CorruptFileError*>(&error) != nullptr;
+}
+
+namespace {
+
+/// splitmix64: a tiny stateless mixer; good enough for jitter and cheap
+/// enough to call once per retry.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double RetryPolicy::backoff_ms(std::size_t retry, std::uint64_t salt) const {
+  if (retry == 0) return 0.0;
+  double backoff = backoff_initial_ms;
+  for (std::size_t i = 1; i < retry && backoff < backoff_max_ms; ++i) {
+    backoff *= backoff_multiplier;
+  }
+  backoff = std::min(backoff, backoff_max_ms);
+  if (jitter_fraction > 0.0) {
+    const std::uint64_t h = mix64(seed ^ mix64(salt) ^ (0x9e3779b97f4a7c15ull * retry));
+    // u in [-0.5, 0.5)
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53 - 0.5;
+    backoff *= 1.0 + jitter_fraction * u;
+  }
+  return std::max(backoff, 0.0);
+}
+
+namespace detail {
+
+void sleep_ms(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace detail
+
+}  // namespace astromlab::util

@@ -1,0 +1,80 @@
+#pragma once
+// Bounded retries with exponential backoff and typed error classification.
+//
+// The evaluation supervisor (and any future serving path) distinguishes
+// *transient* faults — a torn cache read raising `CorruptFileError`, an
+// injected `TransientError`, anything that may succeed on a clean retry —
+// from *permanent* ones, which no amount of retrying fixes. Transient
+// faults are retried up to a bound with exponential backoff; permanent
+// faults degrade the unit of work instead of aborting the study.
+//
+// Backoff jitter is fully deterministic: it is derived by hashing
+// (seed, salt, attempt), not from a shared RNG or the wall clock, so a
+// parallel run retries with the same delays as a serial one and tests can
+// assert exact schedules.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace astromlab::util {
+
+/// A fault that may succeed if simply retried (I/O hiccup, injected
+/// flake). Throw this — or `CorruptFileError`, which is classified the
+/// same way — to request a retry from `RetryPolicy`-driven executors.
+class TransientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// True when `error` should be retried: `TransientError` and
+/// `CorruptFileError` (a re-read of a repaired artifact can succeed);
+/// everything else is permanent.
+bool is_transient(const std::exception& error);
+
+struct RetryPolicy {
+  /// Retries allowed after the first attempt (total attempts = 1 + max_retries).
+  std::size_t max_retries = 2;
+  double backoff_initial_ms = 5.0;
+  double backoff_multiplier = 2.0;
+  double backoff_max_ms = 1000.0;
+  /// Jitter amplitude as a fraction of the backoff (0 = none). The delay
+  /// for retry r is backoff(r) * (1 + jitter * u), u in [-0.5, 0.5).
+  double jitter_fraction = 0.25;
+  /// Seed folded into the deterministic jitter hash.
+  std::uint64_t seed = 0x517e9b3fd2c4a601ull;
+
+  /// Delay before retry `retry` (1-based), deterministic in
+  /// (seed, salt, retry). `salt` identifies the unit of work (question
+  /// index) so distinct questions de-synchronise.
+  double backoff_ms(std::size_t retry, std::uint64_t salt = 0) const;
+};
+
+namespace detail {
+void sleep_ms(double ms);
+}  // namespace detail
+
+/// Runs `fn` under `policy`: transient failures are retried (sleeping the
+/// policy's backoff between attempts), permanent failures rethrow
+/// immediately, and exhausting the retry budget rethrows the last
+/// transient error. On success `*retries_out` (if non-null) receives the
+/// number of retries that were needed.
+template <typename Fn>
+auto run_with_retry(const RetryPolicy& policy, std::uint64_t salt, Fn&& fn,
+                    std::size_t* retries_out = nullptr) -> decltype(fn()) {
+  std::size_t retries = 0;
+  for (;;) {
+    try {
+      auto result = fn();
+      if (retries_out != nullptr) *retries_out = retries;
+      return result;
+    } catch (const std::exception& error) {
+      if (!is_transient(error) || retries >= policy.max_retries) throw;
+      ++retries;
+      detail::sleep_ms(policy.backoff_ms(retries, salt));
+    }
+  }
+}
+
+}  // namespace astromlab::util

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
 
 namespace astromlab::util {
 
@@ -30,7 +31,13 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   if (workers_.empty()) {
     // Serial fallback: run inline so the pool is usable on 1-core hosts.
-    task();
+    // Errors defer to wait_idle(), matching the threaded path's semantics.
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
     return;
   }
   {
@@ -44,6 +51,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -59,9 +71,18 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    // A throwing task must neither escape the worker thread (std::terminate)
+    // nor leak its in_flight_ count (wait_idle deadlock): capture it here
+    // and decrement unconditionally under the lock.
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = std::move(error);
       if (--in_flight_ == 0) all_done_.notify_all();
     }
   }
@@ -83,12 +104,20 @@ void ThreadPool::parallel_for(std::size_t n,
   std::atomic<std::size_t> remaining{chunks - 1};
   std::mutex done_mutex;
   std::condition_variable done_cv;
+  std::exception_ptr chunk_error;  // first failing chunk wins, guarded by done_mutex
 
   for (std::size_t c = 1; c < chunks; ++c) {
     const std::size_t begin = c * chunk_size;
     const std::size_t end = std::min(n, begin + chunk_size);
     submit([&, begin, end] {
-      if (begin < end) body(begin, end);
+      // Capture locally so the join counter always reaches zero; the
+      // error is rethrown below after every chunk has finished.
+      try {
+        if (begin < end) body(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        if (!chunk_error) chunk_error = std::current_exception();
+      }
       if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lock(done_mutex);
         done_cv.notify_one();
@@ -96,9 +125,19 @@ void ThreadPool::parallel_for(std::size_t n,
     });
   }
   // Calling thread handles the first chunk.
-  body(0, std::min(n, chunk_size));
+  try {
+    body(0, std::min(n, chunk_size));
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(done_mutex);
+    if (!chunk_error) chunk_error = std::current_exception();
+  }
   std::unique_lock<std::mutex> lock(done_mutex);
   done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  if (chunk_error) {
+    std::exception_ptr error = std::exchange(chunk_error, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 ThreadPool& ThreadPool::global() {

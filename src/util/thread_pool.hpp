@@ -10,6 +10,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -31,15 +32,22 @@ class ThreadPool {
 
   std::size_t worker_count() const { return workers_.size(); }
 
-  /// Enqueues a task; returns immediately.
+  /// Enqueues a task; returns immediately. A throwing task does not kill
+  /// the worker: the first exception is captured and rethrown from the
+  /// next `wait_idle()`. With zero workers the task runs inline, with the
+  /// same deferred-error semantics.
   void submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have finished.
+  /// Blocks until all submitted tasks have finished, then rethrows the
+  /// first exception any of them threw since the last wait_idle().
   void wait_idle();
 
   /// Runs `body(begin, end)` over [0, n) split into contiguous chunks,
   /// using the workers plus the calling thread. Blocks until complete.
-  /// `grain` is the minimum chunk size worth parallelising.
+  /// `grain` is the minimum chunk size worth parallelising. Every chunk
+  /// runs to completion even when one throws; the first exception is
+  /// rethrown after the join, so callers never observe a half-joined
+  /// range or a deadlocked pool.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& body,
                     std::size_t grain = 1);
@@ -57,6 +65,7 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  std::exception_ptr first_error_;  ///< first failure since last wait_idle()
 };
 
 /// Convenience wrapper over the global pool. `body(i)` is invoked once per

@@ -1,0 +1,165 @@
+// CancelToken deadlines and RetryPolicy backoff/classification — the two
+// fault-domain primitives underneath the evaluation supervisor.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+#include "util/cancel.hpp"
+#include "util/io.hpp"
+#include "util/retry.hpp"
+
+namespace astromlab::util {
+namespace {
+
+TEST(CancelToken, StartsClear) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_TRUE(std::isinf(token.remaining_seconds()));
+}
+
+TEST(CancelToken, ExternalCancelIsSticky) {
+  CancelToken token;
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.cancelled());  // stays set
+}
+
+TEST(CancelToken, DeadlineFires) {
+  CancelToken token;
+  token.set_deadline_after(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_LT(token.remaining_seconds(), 0.0);
+}
+
+TEST(CancelToken, GenerousDeadlineDoesNotFire) {
+  CancelToken token;
+  token.set_deadline_after(3600.0);
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_GT(token.remaining_seconds(), 3000.0);
+}
+
+TEST(CancelToken, NonPositiveDeadlineIsIgnored) {
+  CancelToken token;
+  token.set_deadline_after(0.0);
+  token.set_deadline_after(-5.0);
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelToken, StackedDeadlinesKeepTheStricter) {
+  CancelToken token;
+  token.set_deadline_after(3600.0);
+  token.set_deadline_after(7200.0);  // looser: must not extend
+  EXPECT_LT(token.remaining_seconds(), 3601.0);
+  token.set_deadline_after(0.5);  // tighter: wins
+  EXPECT_LT(token.remaining_seconds(), 0.51);
+}
+
+TEST(IsTransient, ClassifiesTypedErrors) {
+  EXPECT_TRUE(is_transient(TransientError("flake")));
+  EXPECT_TRUE(is_transient(CorruptFileError("torn read")));
+  EXPECT_FALSE(is_transient(std::runtime_error("permanent")));
+  EXPECT_FALSE(is_transient(std::logic_error("bug")));
+}
+
+TEST(RetryPolicy, BackoffIsDeterministicAndExponential) {
+  RetryPolicy policy;
+  // Identical (seed, salt, retry) -> identical delay: parallel runs sleep
+  // exactly as long as serial ones.
+  EXPECT_DOUBLE_EQ(policy.backoff_ms(1, 7), policy.backoff_ms(1, 7));
+  EXPECT_DOUBLE_EQ(policy.backoff_ms(3, 42), policy.backoff_ms(3, 42));
+  // Distinct salts de-synchronise.
+  EXPECT_NE(policy.backoff_ms(1, 7), policy.backoff_ms(1, 8));
+  // Exponential shape survives the +/-12.5% jitter envelope.
+  EXPECT_LT(policy.backoff_ms(1, 0), policy.backoff_ms(3, 0));
+}
+
+TEST(RetryPolicy, BackoffStaysWithinJitterEnvelopeAndCap) {
+  RetryPolicy policy;
+  policy.backoff_initial_ms = 10.0;
+  policy.backoff_multiplier = 2.0;
+  policy.backoff_max_ms = 50.0;
+  policy.jitter_fraction = 0.25;
+  for (std::size_t retry = 1; retry <= 8; ++retry) {
+    const double ms = policy.backoff_ms(retry, 3);
+    EXPECT_GT(ms, 0.0);
+    // Base is capped at 50ms; jitter can add at most 12.5%.
+    EXPECT_LE(ms, 50.0 * 1.125 + 1e-9) << "retry " << retry;
+  }
+}
+
+TEST(RetryPolicy, ZeroJitterGivesExactSchedule) {
+  RetryPolicy policy;
+  policy.backoff_initial_ms = 4.0;
+  policy.backoff_multiplier = 3.0;
+  policy.backoff_max_ms = 1000.0;
+  policy.jitter_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(policy.backoff_ms(1, 99), 4.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_ms(2, 99), 12.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_ms(3, 99), 36.0);
+}
+
+RetryPolicy fast_policy(std::size_t max_retries) {
+  RetryPolicy policy;
+  policy.max_retries = max_retries;
+  policy.backoff_initial_ms = 0.01;  // keep tests fast
+  policy.backoff_max_ms = 0.05;
+  return policy;
+}
+
+TEST(RunWithRetry, TransientFaultsAreRetriedThenSucceed) {
+  int calls = 0;
+  std::size_t retries = 0;
+  const int value = run_with_retry(
+      fast_policy(3), /*salt=*/5,
+      [&] {
+        if (++calls < 3) throw TransientError("flaky");
+        return 17;
+      },
+      &retries);
+  EXPECT_EQ(value, 17);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);
+}
+
+TEST(RunWithRetry, PermanentFaultRethrowsImmediately) {
+  int calls = 0;
+  EXPECT_THROW(run_with_retry(fast_policy(5), 0,
+                              [&]() -> int {
+                                ++calls;
+                                throw std::runtime_error("permanent");
+                              }),
+               std::runtime_error);
+  EXPECT_EQ(calls, 1);  // no retry burned on a permanent fault
+}
+
+TEST(RunWithRetry, ExhaustedBudgetRethrowsTransient) {
+  int calls = 0;
+  EXPECT_THROW(run_with_retry(fast_policy(2), 0,
+                              [&]() -> int {
+                                ++calls;
+                                throw TransientError("always flaky");
+                              }),
+               TransientError);
+  EXPECT_EQ(calls, 3);  // 1 attempt + 2 retries
+}
+
+TEST(RunWithRetry, ZeroRetriesMeansSingleAttempt) {
+  int calls = 0;
+  EXPECT_THROW(run_with_retry(fast_policy(0), 0,
+                              [&]() -> int {
+                                ++calls;
+                                throw TransientError("flaky");
+                              }),
+               TransientError);
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace astromlab::util

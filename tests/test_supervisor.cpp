@@ -1,0 +1,532 @@
+// Fault-isolated parallel evaluation supervisor: serial/parallel
+// bit-parity (results and journal bytes), kill-and-resume determinism,
+// transient-retry and permanent-degrade fault injection, deadlines,
+// straggler cancellation, and concurrent journalling.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "corpus/corpora.hpp"
+#include "eval/full_instruct.hpp"
+#include "eval/journal.hpp"
+#include "eval/supervisor.hpp"
+#include "eval/token_method.hpp"
+#include "util/fault_injection.hpp"
+#include "util/io.hpp"
+#include "util/rng.hpp"
+
+namespace astromlab {
+namespace {
+
+namespace fs = std::filesystem;
+using eval::EvalRunOptions;
+using eval::QuestionResult;
+using eval::Supervisor;
+
+class SupervisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::FaultInjector::instance().disarm();
+    dir_ = fs::temp_directory_path() /
+           ("astromlab_supervisor_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    util::FaultInjector::instance().disarm();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  fs::path dir_;
+};
+
+/// Fast deterministic retry policy so fault tests don't sleep for real.
+util::RetryPolicy fast_retry(std::size_t max_retries = 2) {
+  util::RetryPolicy policy;
+  policy.max_retries = max_retries;
+  policy.backoff_initial_ms = 0.01;
+  policy.backoff_max_ms = 0.05;
+  return policy;
+}
+
+/// Synthetic benchmark: each question's answer is a pure function of its
+/// index, mirroring the determinism contract of the real evaluators.
+QuestionResult ground_truth(std::size_t q) {
+  QuestionResult r;
+  r.correct = static_cast<int>(q % 4);
+  r.tier = (q % 3 == 0) ? corpus::Tier::kFrontier : corpus::Tier::kCanonical;
+  return r;
+}
+
+Supervisor::QuestionFn pure_fn() {
+  return [](std::size_t q, const util::CancelToken&) {
+    QuestionResult r = ground_truth(q);
+    r.predicted = static_cast<int>((q * 7 + 1) % 4);
+    r.method = eval::ExtractionMethod::kRegex;
+    return r;
+  };
+}
+
+std::vector<QuestionResult> prefilled(std::size_t n) {
+  std::vector<QuestionResult> results(n);
+  for (std::size_t q = 0; q < n; ++q) results[q] = ground_truth(q);
+  return results;
+}
+
+std::vector<std::size_t> all_pending(std::size_t n) {
+  std::vector<std::size_t> pending(n);
+  for (std::size_t q = 0; q < n; ++q) pending[q] = q;
+  return pending;
+}
+
+void expect_same_results(const std::vector<QuestionResult>& a,
+                         const std::vector<QuestionResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t q = 0; q < a.size(); ++q) {
+    EXPECT_EQ(a[q].predicted, b[q].predicted) << "question " << q;
+    EXPECT_EQ(a[q].correct, b[q].correct) << "question " << q;
+    EXPECT_EQ(a[q].tier, b[q].tier) << "question " << q;
+    EXPECT_EQ(a[q].method, b[q].method) << "question " << q;
+    EXPECT_EQ(a[q].retries, b[q].retries) << "question " << q;
+    EXPECT_EQ(a[q].degraded, b[q].degraded) << "question " << q;
+  }
+}
+
+TEST_F(SupervisorTest, ParallelMatchesSerialIncludingJournalBytes) {
+  constexpr std::size_t kN = 37;
+
+  auto serial_results = prefilled(kN);
+  eval::EvalJournal serial_journal(dir_ / "serial.jsonl");
+  Supervisor serial(EvalRunOptions{});
+  serial.run(serial_results, all_pending(kN), pure_fn(), &serial_journal);
+
+  EvalRunOptions par_opts;
+  par_opts.workers = 4;
+  auto parallel_results = prefilled(kN);
+  eval::EvalJournal parallel_journal(dir_ / "parallel.jsonl");
+  Supervisor parallel(par_opts);
+  parallel.run(parallel_results, all_pending(kN), pure_fn(), &parallel_journal);
+
+  expect_same_results(serial_results, parallel_results);
+  // The in-order flush makes the parallel journal byte-identical, not just
+  // semantically equal.
+  EXPECT_EQ(util::read_text_file(dir_ / "serial.jsonl"),
+            util::read_text_file(dir_ / "parallel.jsonl"));
+  EXPECT_EQ(serial.stats().degraded_questions, 0u);
+  EXPECT_EQ(parallel.stats().degraded_questions, 0u);
+}
+
+TEST_F(SupervisorTest, EmptyPendingIsANoOp) {
+  std::vector<QuestionResult> results;
+  EvalRunOptions opts;
+  opts.workers = 4;
+  Supervisor supervisor(opts);
+  supervisor.run(results, {}, pure_fn(), nullptr);
+  EXPECT_EQ(supervisor.stats().degraded_questions, 0u);
+}
+
+TEST_F(SupervisorTest, KilledParallelRunResumesToIdenticalJournal) {
+  constexpr std::size_t kN = 24;
+  constexpr std::size_t kKillAfter = 9;
+
+  auto serial_results = prefilled(kN);
+  eval::EvalJournal serial_journal(dir_ / "serial.jsonl");
+  Supervisor serial(EvalRunOptions{});
+  serial.run(serial_results, all_pending(kN), pure_fn(), &serial_journal);
+  const std::string serial_bytes = util::read_text_file(dir_ / "serial.jsonl");
+
+  // Simulate a kill after question kKillAfter: the journal holds exactly
+  // the first kKillAfter lines (the in-order flush guarantees the prefix).
+  {
+    std::istringstream lines(serial_bytes);
+    std::ofstream partial(dir_ / "resume.jsonl", std::ios::binary);
+    std::string line;
+    for (std::size_t i = 0; i < kKillAfter && std::getline(lines, line); ++i) {
+      partial << line << '\n';
+    }
+  }
+
+  // Resume in parallel: reload the journal, skip answered questions,
+  // evaluate the rest with 4 workers.
+  eval::EvalJournal resumed_journal(dir_ / "resume.jsonl");
+  ASSERT_EQ(resumed_journal.size(), kKillAfter);
+  auto resumed_results = prefilled(kN);
+  std::vector<std::size_t> pending;
+  for (std::size_t q = 0; q < kN; ++q) {
+    if (const auto prior = resumed_journal.lookup(q)) {
+      resumed_results[q] = *prior;
+    } else {
+      pending.push_back(q);
+    }
+  }
+  ASSERT_EQ(pending.size(), kN - kKillAfter);
+  EvalRunOptions opts;
+  opts.workers = 4;
+  Supervisor supervisor(opts);
+  supervisor.run(resumed_results, pending, pure_fn(), &resumed_journal);
+
+  expect_same_results(serial_results, resumed_results);
+  EXPECT_EQ(serial_bytes, util::read_text_file(dir_ / "resume.jsonl"));
+}
+
+TEST_F(SupervisorTest, TransientFaultIsRetriedIdenticallyInSerialAndParallel) {
+  constexpr std::size_t kN = 12;
+  constexpr std::size_t kFlaky = 5;
+
+  auto run = [&](std::size_t workers, const fs::path& journal_path, Supervisor* out) {
+    util::FaultInjector::instance().disarm();
+    util::FaultInjector::instance().arm_eval_transient(kFlaky, /*attempts=*/1);
+    auto results = prefilled(kN);
+    eval::EvalJournal journal(journal_path);
+    EvalRunOptions opts;
+    opts.workers = workers;
+    opts.retry = fast_retry(2);
+    *out = Supervisor(opts);
+    out->run(results, all_pending(kN), pure_fn(), &journal);
+    util::FaultInjector::instance().disarm();
+    return results;
+  };
+
+  Supervisor serial(EvalRunOptions{});
+  Supervisor parallel(EvalRunOptions{});
+  const auto serial_results = run(0, dir_ / "serial.jsonl", &serial);
+  const auto parallel_results = run(4, dir_ / "parallel.jsonl", &parallel);
+
+  // The flaky question succeeded on retry and recorded it.
+  EXPECT_EQ(serial_results[kFlaky].retries, 1);
+  EXPECT_FALSE(serial_results[kFlaky].degraded);
+  EXPECT_EQ(serial_results[kFlaky].predicted,
+            static_cast<int>((kFlaky * 7 + 1) % 4));
+  expect_same_results(serial_results, parallel_results);
+  EXPECT_EQ(util::read_text_file(dir_ / "serial.jsonl"),
+            util::read_text_file(dir_ / "parallel.jsonl"));
+  EXPECT_EQ(serial.stats().retried_questions, 1u);
+  EXPECT_EQ(serial.stats().total_retries, 1u);
+  EXPECT_EQ(parallel.stats().retried_questions, 1u);
+}
+
+TEST_F(SupervisorTest, PermanentFaultDegradesToUnansweredInsteadOfAborting) {
+  constexpr std::size_t kN = 10;
+  constexpr std::size_t kBroken = 3;
+  util::FaultInjector::instance().arm_eval_permanent(kBroken);
+
+  auto results = prefilled(kN);
+  EvalRunOptions opts;
+  opts.workers = 4;
+  opts.retry = fast_retry(2);
+  Supervisor supervisor(opts);
+  // Must not throw: one poisoned question cannot abort the study.
+  supervisor.run(results, all_pending(kN), pure_fn(), nullptr);
+  util::FaultInjector::instance().disarm();
+
+  EXPECT_EQ(results[kBroken].predicted, -1);
+  EXPECT_TRUE(results[kBroken].degraded);
+  EXPECT_EQ(results[kBroken].method, eval::ExtractionMethod::kFailed);
+  // Ground truth survives degradation, so scoring stays aligned.
+  EXPECT_EQ(results[kBroken].correct, ground_truth(kBroken).correct);
+  EXPECT_EQ(supervisor.stats().degraded_questions, 1u);
+
+  const eval::ScoreSummary summary = eval::summarize(results);
+  EXPECT_EQ(summary.total, kN);
+  EXPECT_EQ(summary.degraded, 1u);
+  EXPECT_GE(summary.unanswered, 1u);
+}
+
+TEST_F(SupervisorTest, ExhaustedTransientBudgetDegrades) {
+  constexpr std::size_t kN = 6;
+  constexpr std::size_t kFlaky = 2;
+  // 5 transient faults against a budget of 1 retry: attempt + retry both
+  // fail, then the question degrades.
+  util::FaultInjector::instance().arm_eval_transient(kFlaky, /*attempts=*/5);
+
+  auto results = prefilled(kN);
+  EvalRunOptions opts;
+  opts.retry = fast_retry(1);
+  Supervisor supervisor(opts);
+  supervisor.run(results, all_pending(kN), pure_fn(), nullptr);
+  util::FaultInjector::instance().disarm();
+
+  EXPECT_TRUE(results[kFlaky].degraded);
+  EXPECT_EQ(results[kFlaky].predicted, -1);
+  EXPECT_EQ(results[kFlaky].retries, 1);
+  EXPECT_EQ(supervisor.stats().degraded_questions, 1u);
+}
+
+TEST_F(SupervisorTest, DeadlineCancelsInFlightWork) {
+  constexpr std::size_t kN = 4;
+  // The fn honours the token: it spins until cancelled, as the real
+  // generation loops do per token / per KV-cache step.
+  const Supervisor::QuestionFn slow_fn = [](std::size_t q,
+                                            const util::CancelToken& cancel) {
+    while (!cancel.cancelled()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    QuestionResult r = ground_truth(q);
+    r.predicted = -1;
+    r.method = eval::ExtractionMethod::kFailed;
+    r.degraded = true;
+    return r;
+  };
+
+  auto results = prefilled(kN);
+  EvalRunOptions opts;
+  opts.workers = 2;
+  opts.question_deadline_seconds = 0.02;
+  Supervisor supervisor(opts);
+  supervisor.run(results, all_pending(kN), slow_fn, nullptr);
+
+  for (std::size_t q = 0; q < kN; ++q) {
+    EXPECT_EQ(results[q].predicted, -1) << q;
+    EXPECT_TRUE(results[q].degraded) << q;
+  }
+  EXPECT_EQ(supervisor.stats().degraded_questions, kN);
+}
+
+TEST_F(SupervisorTest, StragglerMonitorCancelsOutlier) {
+  constexpr std::size_t kN = 16;
+  constexpr std::size_t kStraggler = 11;
+  const Supervisor::QuestionFn fn = [](std::size_t q, const util::CancelToken& cancel) {
+    if (q == kStraggler) {
+      // Pathological question: only the straggler monitor can stop it.
+      while (!cancel.cancelled()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      QuestionResult r = ground_truth(q);
+      r.predicted = -1;
+      r.method = eval::ExtractionMethod::kFailed;
+      r.degraded = true;
+      return r;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    QuestionResult r = ground_truth(q);
+    r.predicted = static_cast<int>(q % 4);
+    r.method = eval::ExtractionMethod::kRegex;
+    return r;
+  };
+
+  auto results = prefilled(kN);
+  EvalRunOptions opts;
+  opts.workers = 4;
+  opts.straggler_factor = 10.0;  // ~2ms median -> cancel after ~20ms
+  opts.straggler_min_samples = 4;
+  Supervisor supervisor(opts);
+  supervisor.run(results, all_pending(kN), fn, nullptr);
+
+  EXPECT_EQ(results[kStraggler].predicted, -1);
+  EXPECT_TRUE(results[kStraggler].degraded);
+  EXPECT_GE(supervisor.stats().stragglers_cancelled, 1u);
+  for (std::size_t q = 0; q < kN; ++q) {
+    if (q == kStraggler) continue;
+    EXPECT_EQ(results[q].predicted, static_cast<int>(q % 4)) << q;
+  }
+}
+
+TEST_F(SupervisorTest, JournalRecordIsThreadSafeAndOrderTolerant) {
+  const fs::path path = dir_ / "concurrent.jsonl";
+  constexpr std::size_t kN = 64;
+  {
+    eval::EvalJournal journal(path);
+    std::vector<std::thread> threads;
+    std::atomic<std::size_t> next{0};
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&] {
+        for (;;) {
+          const std::size_t q = next.fetch_add(1);
+          if (q >= kN) return;
+          QuestionResult r = ground_truth(q);
+          r.predicted = static_cast<int>(q % 4);
+          // Deliberately out-of-order across threads.
+          journal.record(kN - 1 - q, r);
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_EQ(journal.size(), kN);
+  }
+  // Every line survived intact (no torn/interleaved writes).
+  eval::EvalJournal reloaded(path);
+  EXPECT_EQ(reloaded.size(), kN);
+  for (std::size_t q = 0; q < kN; ++q) {
+    ASSERT_TRUE(reloaded.lookup(q).has_value()) << q;
+  }
+}
+
+TEST_F(SupervisorTest, TornConcurrentAppendIsDroppedAndRepairedOnReload) {
+  const fs::path path = dir_ / "torn.jsonl";
+  {
+    eval::EvalJournal journal(path);
+    journal.record(0, ground_truth(0));
+    journal.record(1, ground_truth(1));
+    // The third append is torn mid-line (simulated kill during write).
+    util::FaultInjector::instance().arm_truncate_write(1);
+    journal.record(2, ground_truth(2));
+    util::FaultInjector::instance().disarm();
+  }
+  {
+    eval::EvalJournal reloaded(path);
+    EXPECT_EQ(reloaded.size(), 2u);
+    EXPECT_FALSE(reloaded.lookup(2).has_value());
+    // The torn tail was truncated off, so a resumed append lands on a
+    // clean line and survives the *next* reload too.
+    reloaded.record(2, ground_truth(2));
+  }
+  eval::EvalJournal final_state(path);
+  EXPECT_EQ(final_state.size(), 3u);
+  EXPECT_TRUE(final_state.lookup(2).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end parity through the real benchmark runners on a tiny world.
+
+struct TinyWorld {
+  corpus::KnowledgeBase kb;
+  corpus::McqSplit mcqs;
+  tokenizer::BpeTokenizer tok;
+};
+
+TinyWorld make_eval_world() {
+  TinyWorld world;
+  corpus::KbConfig kb_config;
+  kb_config.n_topics = 4;
+  kb_config.entities_per_topic = 3;
+  kb_config.facts_per_entity = 2;
+  kb_config.seed = 61;
+  world.kb = corpus::KnowledgeBase::generate(kb_config);
+  corpus::McqGenConfig mcq_config;
+  mcq_config.questions_per_topic = 2;
+  mcq_config.seed = 62;
+  world.mcqs = corpus::generate_mcqs(world.kb, mcq_config);
+  tokenizer::BpeTrainConfig tok_config;
+  tok_config.vocab_size = 420;
+  world.tok = tokenizer::BpeTokenizer::train(
+      corpus::build_tokenizer_training_text(world.kb, world.mcqs.practice, 63), tok_config);
+  return world;
+}
+
+nn::GptModel make_eval_model(const TinyWorld& world) {
+  nn::GptConfig config;
+  config.vocab_size = world.tok.vocab_size();
+  config.ctx_len = 384;
+  config.d_model = 24;
+  config.n_heads = 2;
+  config.n_layers = 1;
+  config.d_ff = 48;
+  nn::GptModel model(config);
+  util::Rng rng(64);
+  model.init_weights(rng);
+  return model;
+}
+
+TEST_F(SupervisorTest, FullInstructParallelRunIsBitIdenticalToSerial) {
+  const TinyWorld world = make_eval_world();
+  const nn::GptModel model = make_eval_model(world);
+  eval::FullInstructConfig config;
+  config.max_new_tokens = 16;
+
+  eval::EvalJournal serial_journal(dir_ / "fi_serial.jsonl");
+  const auto serial = eval::run_full_instruct_benchmark(
+      model, world.tok, world.mcqs.benchmark, config, &serial_journal);
+
+  EvalRunOptions opts;
+  opts.workers = 4;
+  eval::EvalJournal parallel_journal(dir_ / "fi_parallel.jsonl");
+  const auto parallel = eval::run_full_instruct_benchmark(
+      model, world.tok, world.mcqs.benchmark, config, &parallel_journal, opts);
+
+  expect_same_results(serial, parallel);
+  EXPECT_EQ(util::read_text_file(dir_ / "fi_serial.jsonl"),
+            util::read_text_file(dir_ / "fi_parallel.jsonl"));
+
+  // Kill-and-resume: keep the first 3 journal lines, resume with workers.
+  const std::string serial_bytes = util::read_text_file(dir_ / "fi_serial.jsonl");
+  {
+    std::istringstream lines(serial_bytes);
+    std::ofstream partial(dir_ / "fi_resume.jsonl", std::ios::binary);
+    std::string line;
+    for (int i = 0; i < 3 && std::getline(lines, line); ++i) partial << line << '\n';
+  }
+  eval::EvalJournal resume_journal(dir_ / "fi_resume.jsonl");
+  const auto resumed = eval::run_full_instruct_benchmark(
+      model, world.tok, world.mcqs.benchmark, config, &resume_journal, opts);
+  expect_same_results(serial, resumed);
+  EXPECT_EQ(serial_bytes, util::read_text_file(dir_ / "fi_resume.jsonl"));
+}
+
+TEST_F(SupervisorTest, FullInstructInjectedTransientFaultKeepsParity) {
+  const TinyWorld world = make_eval_world();
+  const nn::GptModel model = make_eval_model(world);
+  eval::FullInstructConfig config;
+  config.max_new_tokens = 16;
+
+  auto run = [&](std::size_t workers, const fs::path& path) {
+    util::FaultInjector::instance().disarm();
+    util::FaultInjector::instance().arm_eval_transient(1, /*attempts=*/1);
+    eval::EvalJournal journal(path);
+    EvalRunOptions opts;
+    opts.workers = workers;
+    opts.retry = fast_retry(2);
+    const auto results = eval::run_full_instruct_benchmark(
+        model, world.tok, world.mcqs.benchmark, config, &journal, opts);
+    util::FaultInjector::instance().disarm();
+    return results;
+  };
+
+  const auto serial = run(0, dir_ / "fi_serial.jsonl");
+  const auto parallel = run(4, dir_ / "fi_parallel.jsonl");
+  EXPECT_EQ(serial[1].retries, 1);
+  EXPECT_FALSE(serial[1].degraded);
+  expect_same_results(serial, parallel);
+  EXPECT_EQ(util::read_text_file(dir_ / "fi_serial.jsonl"),
+            util::read_text_file(dir_ / "fi_parallel.jsonl"));
+
+  const eval::ScoreSummary summary = eval::summarize(serial);
+  EXPECT_EQ(summary.retried, 1u);
+}
+
+TEST_F(SupervisorTest, TokenMethodParallelRunIsBitIdenticalToSerial) {
+  const TinyWorld world = make_eval_world();
+  const nn::GptModel model = make_eval_model(world);
+
+  eval::EvalJournal serial_journal(dir_ / "tok_serial.jsonl");
+  const auto serial =
+      eval::run_token_benchmark(model, world.tok, world.mcqs.benchmark,
+                                world.mcqs.practice, &serial_journal);
+
+  EvalRunOptions opts;
+  opts.workers = 4;
+  eval::EvalJournal parallel_journal(dir_ / "tok_parallel.jsonl");
+  const auto parallel = eval::run_token_benchmark(
+      model, world.tok, world.mcqs.benchmark, world.mcqs.practice, &parallel_journal,
+      eval::TokenMethodConfig{}, opts);
+
+  expect_same_results(serial, parallel);
+  EXPECT_EQ(util::read_text_file(dir_ / "tok_serial.jsonl"),
+            util::read_text_file(dir_ / "tok_parallel.jsonl"));
+}
+
+TEST_F(SupervisorTest, TokenMethodDeadlineDegradesInFlight) {
+  const TinyWorld world = make_eval_world();
+  const nn::GptModel model = make_eval_model(world);
+
+  eval::TokenMethodConfig config;
+  config.max_seconds_per_question = 1e-9;  // fires during the prompt feed
+  const auto results = eval::run_token_benchmark(
+      model, world.tok, world.mcqs.benchmark, world.mcqs.practice, nullptr, config);
+
+  for (std::size_t q = 0; q < results.size(); ++q) {
+    EXPECT_EQ(results[q].predicted, -1) << q;
+    EXPECT_TRUE(results[q].degraded) << q;
+  }
+  const eval::ScoreSummary summary = eval::summarize(results);
+  EXPECT_EQ(summary.degraded, results.size());
+  EXPECT_EQ(summary.unanswered, results.size());
+}
+
+}  // namespace
+}  // namespace astromlab

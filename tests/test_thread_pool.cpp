@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "util/thread_pool.hpp"
@@ -93,6 +94,56 @@ TEST(GlobalHelpers, RangeFormMatchesElementForm) {
     for (std::size_t i = begin; i < end; ++i) b[i] = static_cast<int>(i) * 2;
   });
   EXPECT_EQ(a, b);
+}
+
+TEST(ThreadPool, ThrowingTaskSurfacesFromWaitIdleWithoutTerminating) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&ran, i] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      if (i == 7) throw std::runtime_error("task 7 exploded");
+    });
+  }
+  // The throwing task must not escape a worker thread (std::terminate) nor
+  // leak the in-flight count (deadlocked wait_idle); the first error is
+  // rethrown here instead.
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 20);
+
+  // The error slot was consumed: the pool stays usable afterwards.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolPropagatesFromWaitIdleToo) {
+  ThreadPool pool(0);
+  if (pool.worker_count() != 0) GTEST_SKIP() << "host forced worker threads";
+  pool.submit([] { throw std::logic_error("inline failure"); });
+  EXPECT_THROW(pool.wait_idle(), std::logic_error);
+}
+
+TEST(ThreadPool, ParallelForPropagatesBodyExceptionWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> chunks{0};
+  EXPECT_THROW(pool.parallel_for(
+                   1000,
+                   [&](std::size_t begin, std::size_t) {
+                     chunks.fetch_add(1, std::memory_order_relaxed);
+                     if (begin == 0) throw std::runtime_error("chunk failed");
+                   },
+                   16),
+               std::runtime_error);
+  // And the pool still works for the next wave.
+  std::atomic<int> counter{0};
+  pool.parallel_for(64, [&](std::size_t begin, std::size_t end) {
+    counter.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(counter.load(), 64);
 }
 
 TEST(ThreadPool, ReusableAcrossWaves) {
