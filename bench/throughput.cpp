@@ -2,15 +2,36 @@
 // GEMM, transformer forward/backward, KV-cache decode, and the tokenizer.
 // These are google-benchmark microbenchmarks (the training/evaluation
 // wall-times of the study itself are reported by the experiment benches).
+//
+// Invoked with `--smoke [--out-dir DIR]` the binary instead runs the
+// deterministic perf-regression harness for the shared-prefix KV cache: it
+// times cold (from-scratch) vs warm (forked-from-snapshot) prefills at the
+// micro level and a cache-off vs cache-on eval run at the runner level,
+// writes `BENCH_prefill.json` / `BENCH_eval.json`, and exits non-zero if
+// either JSON fails to re-parse, a warm/cold speedup drops below 1.0, or
+// the cached path stops being bit-identical. The workload is fully seeded;
+// only the wall-clock numbers vary run to run.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "corpus/corpora.hpp"
+#include "eval/prefix_cache.hpp"
+#include "eval/token_method.hpp"
+#include "json/json.hpp"
 #include "nn/gpt.hpp"
 #include "nn/trainer.hpp"
 #include "tensor/ops.hpp"
 #include "tokenizer/bpe.hpp"
+#include "util/io.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 
 using namespace astromlab;
 
@@ -153,4 +174,236 @@ void BM_TokenizerTrain(benchmark::State& state) {
 }
 BENCHMARK(BM_TokenizerTrain);
 
+// ---------------------------------------------------------------------------
+// --smoke: deterministic perf-regression harness for the prefix KV cache.
+
+json::Value model_json(const nn::GptConfig& config) {
+  json::Value m = json::Value::object();
+  m.set("vocab_size", static_cast<std::int64_t>(config.vocab_size));
+  m.set("ctx_len", static_cast<std::int64_t>(config.ctx_len));
+  m.set("d_model", static_cast<std::int64_t>(config.d_model));
+  m.set("n_heads", static_cast<std::int64_t>(config.n_heads));
+  m.set("n_layers", static_cast<std::int64_t>(config.n_layers));
+  m.set("d_ff", static_cast<std::int64_t>(config.d_ff));
+  return m;
+}
+
+json::Value phase_json(double seconds, std::size_t questions, std::size_t tokens) {
+  json::Value p = json::Value::object();
+  p.set("seconds", seconds);
+  p.set("seconds_per_question", seconds / static_cast<double>(questions));
+  p.set("tokens_per_s", static_cast<double>(tokens) / seconds);
+  return p;
+}
+
+/// Micro-level prefill: N questions sharing a long token prefix, cold path
+/// re-encoding everything vs warm path forking the snapshot. Wall time is
+/// the best of `kReps` passes over all questions, so a single scheduler
+/// hiccup cannot fail the regression gate.
+json::Value smoke_prefill() {
+  nn::GptConfig config;
+  config.vocab_size = 256;
+  config.ctx_len = 224;
+  config.d_model = 32;
+  config.n_heads = 4;
+  config.n_layers = 2;
+  config.d_ff = 64;
+  nn::GptModel model(config);
+  util::Rng rng(101);
+  model.init_weights(rng);
+
+  constexpr std::size_t kPrefix = 192, kTail = 16, kQuestions = 12, kReps = 3;
+  const std::vector<nn::Token> prefix = [&] {
+    std::vector<nn::Token> t(kPrefix);
+    for (auto& v : t) v = static_cast<nn::Token>(rng.next_below(config.vocab_size));
+    return t;
+  }();
+  std::vector<std::vector<nn::Token>> prompts(kQuestions, prefix);
+  for (auto& prompt : prompts) {
+    for (std::size_t i = 0; i < kTail; ++i) {
+      prompt.push_back(static_cast<nn::Token>(rng.next_below(config.vocab_size)));
+    }
+  }
+
+  nn::GptInference inference(model);
+  std::vector<std::vector<float>> cold_logits;
+  double cold_seconds = 1e30;
+  for (std::size_t rep = 0; rep < kReps; ++rep) {
+    cold_logits.clear();
+    util::Stopwatch watch;
+    for (const auto& prompt : prompts) {
+      inference.reset();
+      cold_logits.push_back(inference.prompt(prompt));
+    }
+    cold_seconds = std::min(cold_seconds, watch.seconds());
+  }
+
+  nn::GptInference encoder(model);
+  encoder.prompt(prefix);
+  const nn::KvSnapshot snap = encoder.snapshot();
+  bool bit_identical = true;
+  double warm_seconds = 1e30;
+  for (std::size_t rep = 0; rep < kReps; ++rep) {
+    util::Stopwatch watch;
+    for (std::size_t q = 0; q < kQuestions; ++q) {
+      inference.fork_from(snap);
+      const std::vector<float>& logits =
+          inference.prompt(prompts[q].data() + kPrefix, kTail, nullptr);
+      if (std::memcmp(logits.data(), cold_logits[q].data(),
+                      logits.size() * sizeof(float)) != 0) {
+        bit_identical = false;
+      }
+    }
+    warm_seconds = std::min(warm_seconds, watch.seconds());
+  }
+
+  const std::size_t tokens_per_question = kPrefix + kTail;
+  json::Value report = json::Value::object();
+  report.set("benchmark", "prefill");
+  report.set("model", model_json(config));
+  report.set("questions", static_cast<std::int64_t>(kQuestions));
+  report.set("prefix_tokens", static_cast<std::int64_t>(kPrefix));
+  report.set("tail_tokens", static_cast<std::int64_t>(kTail));
+  // tokens_per_s counts *effective* prompt tokens (prefix + tail) for both
+  // phases, so the warm figure shows the throughput the reuse buys.
+  report.set("cold", phase_json(cold_seconds, kQuestions, kQuestions * tokens_per_question));
+  report.set("warm", phase_json(warm_seconds, kQuestions, kQuestions * tokens_per_question));
+  report.set("warm_cold_speedup", cold_seconds / warm_seconds);
+  report.set("prefill_reuse_ratio",
+             static_cast<double>(kPrefix) / static_cast<double>(tokens_per_question));
+  report.set("bit_identical", bit_identical);
+  return report;
+}
+
+/// Runner-level eval: the token-method benchmark on a tiny synthetic world,
+/// cache off vs cache on (both serial, so the delta isolates the cache).
+json::Value smoke_eval() {
+  corpus::KbConfig kb_config;
+  kb_config.n_topics = 4;
+  kb_config.entities_per_topic = 3;
+  kb_config.facts_per_entity = 2;
+  kb_config.seed = 61;
+  const corpus::KnowledgeBase kb = corpus::KnowledgeBase::generate(kb_config);
+  corpus::McqGenConfig mcq_config;
+  mcq_config.questions_per_topic = 2;
+  mcq_config.seed = 62;
+  const corpus::McqSplit mcqs = corpus::generate_mcqs(kb, mcq_config);
+  tokenizer::BpeTrainConfig tok_config;
+  tok_config.vocab_size = 420;
+  const tokenizer::BpeTokenizer tok = tokenizer::BpeTokenizer::train(
+      corpus::build_tokenizer_training_text(kb, mcqs.practice, 63), tok_config);
+
+  nn::GptConfig config;
+  config.vocab_size = tok.vocab_size();
+  // Roomy context: every benchmark prompt (~380 tokens) must fit, so all
+  // questions exercise the cache and the one-time prefix encode amortises.
+  config.ctx_len = 512;
+  config.d_model = 24;
+  config.n_heads = 2;
+  config.n_layers = 1;
+  config.d_ff = 48;
+  nn::GptModel model(config);
+  util::Rng rng(64);
+  model.init_weights(rng);
+
+  constexpr std::size_t kReps = 3;
+  std::vector<eval::QuestionResult> cold_results, warm_results;
+  double cold_seconds = 1e30, warm_seconds = 1e30;
+  eval::PrefixCacheStats stats;
+  for (std::size_t rep = 0; rep < kReps; ++rep) {
+    util::Stopwatch watch;
+    cold_results = eval::run_token_benchmark(model, tok, mcqs.benchmark, mcqs.practice);
+    cold_seconds = std::min(cold_seconds, watch.seconds());
+  }
+  eval::EvalRunOptions warm_opts;
+  warm_opts.prefix_cache = true;
+  for (std::size_t rep = 0; rep < kReps; ++rep) {
+    util::Stopwatch watch;
+    warm_results = eval::run_token_benchmark(model, tok, mcqs.benchmark, mcqs.practice,
+                                             nullptr, {}, warm_opts, &stats);
+    warm_seconds = std::min(warm_seconds, watch.seconds());
+  }
+
+  bool scores_identical = cold_results.size() == warm_results.size();
+  for (std::size_t q = 0; scores_identical && q < cold_results.size(); ++q) {
+    scores_identical = cold_results[q].predicted == warm_results[q].predicted &&
+                       cold_results[q].correct == warm_results[q].correct;
+  }
+
+  json::Value report = json::Value::object();
+  report.set("benchmark", "eval_token_method");
+  report.set("model", model_json(config));
+  report.set("questions", static_cast<std::int64_t>(mcqs.benchmark.size()));
+  report.set("cold", phase_json(cold_seconds, mcqs.benchmark.size(),
+                                static_cast<std::size_t>(stats.prompt_tokens)));
+  report.set("warm", phase_json(warm_seconds, mcqs.benchmark.size(),
+                                static_cast<std::size_t>(stats.prompt_tokens)));
+  report.set("warm_cold_speedup", cold_seconds / warm_seconds);
+  report.set("prefill_reuse_ratio", stats.reuse_ratio());
+  report.set("reused_tokens", static_cast<std::int64_t>(stats.reused_tokens));
+  report.set("prompt_tokens", static_cast<std::int64_t>(stats.prompt_tokens));
+  report.set("scores_identical", scores_identical);
+  return report;
+}
+
+/// Writes one report, re-parses it from disk, and applies the regression
+/// gates. Returns false (after printing why) on any violation.
+bool emit_and_check(const json::Value& report, const std::filesystem::path& path,
+                    const char* identity_key) {
+  util::write_text_file(path, report.dump(2) + "\n");
+  json::Value parsed;
+  try {
+    parsed = json::parse(util::read_text_file(path));
+  } catch (const std::exception& e) {
+    std::cerr << "FAIL " << path.string() << ": emitted JSON does not re-parse: " << e.what()
+              << '\n';
+    return false;
+  }
+  const double speedup = parsed.get_number("warm_cold_speedup", 0.0);
+  const bool identical = parsed.get_bool(identity_key, false);
+  std::cout << path.filename().string() << ": warm/cold speedup " << speedup
+            << "x, reuse ratio " << parsed.get_number("prefill_reuse_ratio", 0.0) << ", "
+            << identity_key << "=" << (identical ? "true" : "false") << '\n';
+  if (speedup < 1.0) {
+    std::cerr << "FAIL " << path.string() << ": warm path slower than cold (speedup "
+              << speedup << " < 1.0)\n";
+    return false;
+  }
+  if (!identical) {
+    std::cerr << "FAIL " << path.string() << ": cached path no longer bit-identical\n";
+    return false;
+  }
+  return true;
+}
+
+int run_smoke(const std::filesystem::path& out_dir) {
+  std::filesystem::create_directories(out_dir);
+  bool ok = emit_and_check(smoke_prefill(), out_dir / "BENCH_prefill.json", "bit_identical");
+  ok = emit_and_check(smoke_eval(), out_dir / "BENCH_eval.json", "scores_identical") && ok;
+  std::cout << (ok ? "smoke bench OK" : "smoke bench FAILED") << '\n';
+  return ok ? 0 : 1;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::filesystem::path out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out-dir" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (arg.rfind("--out-dir=", 0) == 0) {
+      out_dir = arg.substr(std::strlen("--out-dir="));
+    }
+  }
+  if (smoke) return run_smoke(out_dir);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

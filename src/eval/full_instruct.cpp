@@ -1,5 +1,8 @@
 #include "eval/full_instruct.hpp"
 
+#include <memory>
+#include <optional>
+
 #include "eval/answer_extract.hpp"
 #include "eval/prompts.hpp"
 #include "nn/sampler.hpp"
@@ -9,7 +12,8 @@ namespace astromlab::eval {
 FullInstructOutcome full_instruct_one(const nn::GptModel& model,
                                       const tokenizer::BpeTokenizer& tok,
                                       const corpus::McqItem& item,
-                                      const FullInstructConfig& config) {
+                                      const FullInstructConfig& config,
+                                      nn::Sampler* sampler) {
   FullInstructOutcome outcome;
   outcome.result.correct = static_cast<int>(item.correct);
   outcome.result.tier = item.tier;
@@ -24,10 +28,17 @@ FullInstructOutcome full_instruct_one(const nn::GptModel& model,
   sample.stop_tokens = {tok.end_turn_id(), tok.eos_id()};
   sample.max_wall_seconds = config.max_seconds_per_question;
   sample.cancel = config.cancel;
+  if (config.prefix_cache != nullptr) {
+    sample.prefix_snapshot = &config.prefix_cache->snapshot();
+  }
 
   util::Rng rng(config.seed);
-  nn::Sampler sampler(model);
-  const nn::SampleResult generated = sampler.generate(prompt_tokens, sample, rng);
+  std::optional<nn::Sampler> local;
+  nn::Sampler& active = sampler != nullptr ? *sampler : local.emplace(model);
+  const nn::SampleResult generated = active.generate(prompt_tokens, sample, rng);
+  if (config.prefix_cache != nullptr) {
+    config.prefix_cache->note_prompt(prompt_tokens.size(), generated.reused_prefix_tokens);
+  }
 
   std::vector<tokenizer::TokenId> out_ids(generated.tokens.begin(), generated.tokens.end());
   outcome.raw_output = tok.decode(out_ids);
@@ -53,7 +64,8 @@ FullInstructOutcome full_instruct_one(const nn::GptModel& model,
 std::vector<QuestionResult> run_full_instruct_benchmark(
     const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
     const std::vector<corpus::McqItem>& benchmark, const FullInstructConfig& config,
-    EvalJournal* journal, const EvalRunOptions& opts) {
+    EvalJournal* journal, const EvalRunOptions& opts, PrefixCacheStats* cache_stats) {
+  if (cache_stats != nullptr) *cache_stats = PrefixCacheStats{};
   std::vector<QuestionResult> results(benchmark.size());
   std::vector<std::size_t> pending;
   for (std::size_t q = 0; q < benchmark.size(); ++q) {
@@ -78,15 +90,30 @@ std::vector<QuestionResult> run_full_instruct_benchmark(
   effective.question_deadline_seconds =
       merge_deadlines(opts.question_deadline_seconds, config.max_seconds_per_question);
 
+  // Shared system/instruct preamble: encode once, fork per question. Built
+  // from the first two question prompts (token-level common prefix).
+  std::unique_ptr<PrefixCache> cache;
+  if (effective.prefix_cache && benchmark.size() >= 2) {
+    cache = PrefixCache::build(
+        model, tok, {build_instruct_prompt(benchmark[0]), build_instruct_prompt(benchmark[1])});
+  }
+  // Per-worker samplers: each owns its own KV fork buffers, all sharing
+  // the one immutable snapshot read-only.
+  std::vector<std::unique_ptr<nn::Sampler>> samplers(effective.worker_slots());
+  for (auto& slot : samplers) slot = std::make_unique<nn::Sampler>(model);
+
   Supervisor supervisor(effective);
   supervisor.run(
       results, pending,
-      [&](std::size_t q, const util::CancelToken& cancel) {
+      [&](std::size_t q, std::size_t slot, const util::CancelToken& cancel) {
         FullInstructConfig per_question = config;
         per_question.cancel = &cancel;
-        return full_instruct_one(model, tok, benchmark[q], per_question).result;
+        if (cache != nullptr) per_question.prefix_cache = cache.get();
+        return full_instruct_one(model, tok, benchmark[q], per_question, samplers[slot].get())
+            .result;
       },
       journal);
+  if (cache != nullptr && cache_stats != nullptr) *cache_stats = cache->stats();
   return results;
 }
 

@@ -11,9 +11,11 @@
 
 #include "corpus/mcq.hpp"
 #include "eval/journal.hpp"
+#include "eval/prefix_cache.hpp"
 #include "eval/scorer.hpp"
 #include "eval/supervisor.hpp"
 #include "nn/gpt.hpp"
+#include "nn/sampler.hpp"
 #include "tokenizer/bpe.hpp"
 #include "util/cancel.hpp"
 
@@ -30,6 +32,9 @@ struct FullInstructConfig {
   /// Cooperative cancellation (deadline / straggler monitor); polled
   /// in-flight by the sampler. A cancelled question degrades to unanswered.
   const util::CancelToken* cancel = nullptr;
+  /// Shared-prefix KV snapshot cache (the system/instruct preamble shared
+  /// by every question). Optional; results are bit-identical either way.
+  const PrefixCache* prefix_cache = nullptr;
 };
 
 struct FullInstructOutcome {
@@ -40,21 +45,27 @@ struct FullInstructOutcome {
 };
 
 /// Runs one question; returns the outcome including the raw generation.
+/// A non-null `sampler` is reused (its KV buffers are reset per call)
+/// instead of allocating a fresh one — the per-worker scratch of the
+/// supervised runner.
 FullInstructOutcome full_instruct_one(const nn::GptModel& model,
                                       const tokenizer::BpeTokenizer& tok,
                                       const corpus::McqItem& item,
-                                      const FullInstructConfig& config);
+                                      const FullInstructConfig& config,
+                                      nn::Sampler* sampler = nullptr);
 
 /// Runs the full benchmark under the fault-isolated Supervisor. With an
 /// active `journal`, already-answered questions are skipped (their
 /// journalled results reused) and every fresh result is appended durably,
 /// making a killed run resumable. `opts` controls parallelism, per-question
-/// deadlines, retries, and straggler cancellation; the defaults reproduce
-/// the serial reference behaviour bit-for-bit.
+/// deadlines, retries, straggler cancellation, and shared-prefix KV reuse
+/// (`opts.prefix_cache`); the defaults reproduce the serial reference
+/// behaviour bit-for-bit. When `cache_stats` is non-null it receives the
+/// prefill reuse accounting of the run.
 std::vector<QuestionResult> run_full_instruct_benchmark(
     const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
     const std::vector<corpus::McqItem>& benchmark,
     const FullInstructConfig& config = {}, EvalJournal* journal = nullptr,
-    const EvalRunOptions& opts = {});
+    const EvalRunOptions& opts = {}, PrefixCacheStats* cache_stats = nullptr);
 
 }  // namespace astromlab::eval

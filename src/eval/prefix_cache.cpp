@@ -1,0 +1,66 @@
+#include "eval/prefix_cache.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace astromlab::eval {
+
+namespace {
+
+std::vector<nn::Token> encode_prompt(const tokenizer::BpeTokenizer& tok,
+                                     const std::string& prompt) {
+  const std::vector<tokenizer::TokenId> ids = tok.encode(prompt);
+  return {ids.begin(), ids.end()};
+}
+
+}  // namespace
+
+std::unique_ptr<PrefixCache> PrefixCache::build(
+    const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
+    const std::vector<std::string>& sample_prompts) {
+  if (sample_prompts.size() < 2) return nullptr;
+
+  std::vector<nn::Token> common = encode_prompt(tok, sample_prompts.front());
+  for (std::size_t i = 1; i < sample_prompts.size() && !common.empty(); ++i) {
+    const std::vector<nn::Token> other = encode_prompt(tok, sample_prompts[i]);
+    common.resize(nn::common_token_prefix(common, other));
+  }
+  // The prefix must leave room for at least the question itself.
+  const std::size_t ctx = model.config().ctx_len;
+  if (common.size() >= ctx) common.resize(ctx - 1);
+  if (common.empty()) return nullptr;
+
+  std::unique_ptr<PrefixCache> cache(new PrefixCache(model));
+  for (const nn::Token token : common) cache->encoder_.step(token);
+  cache->snapshot_ = cache->encoder_.snapshot();
+  log::debug() << "prefix cache: encoded shared prefix of " << common.size() << " tokens";
+  return cache;
+}
+
+std::size_t PrefixCache::fork(nn::GptInference& inference,
+                              const std::vector<nn::Token>& prompt_tokens) const {
+  std::size_t common = nn::common_token_prefix(snapshot_.tokens(), prompt_tokens);
+  if (!prompt_tokens.empty()) common = std::min(common, prompt_tokens.size() - 1);
+  inference.reset();
+  if (common > 0) inference.fork_from(snapshot_, common);
+  note_prompt(prompt_tokens.size(), common);
+  return common;
+}
+
+void PrefixCache::note_prompt(std::size_t prompt_token_count,
+                              std::size_t reused_token_count) const {
+  prompts_.fetch_add(1, std::memory_order_relaxed);
+  prompt_tokens_.fetch_add(prompt_token_count, std::memory_order_relaxed);
+  reused_tokens_.fetch_add(reused_token_count, std::memory_order_relaxed);
+}
+
+PrefixCacheStats PrefixCache::stats() const {
+  PrefixCacheStats stats;
+  stats.prompts = prompts_.load(std::memory_order_relaxed);
+  stats.prompt_tokens = prompt_tokens_.load(std::memory_order_relaxed);
+  stats.reused_tokens = reused_tokens_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace astromlab::eval

@@ -1,0 +1,87 @@
+#pragma once
+// Shared-prefix KV snapshot cache for the benchmark runners.
+//
+// All three benchmarking methods prepend the *same* block to every one of
+// the benchmark's questions — the two-shot exemplar block for the
+// next-token methods, the system/instruct preamble for full-instruct — so
+// a naive run re-encodes thousands of identical prefix tokens per method.
+// `PrefixCache` encodes that prefix once into a private `GptInference`,
+// snapshots its per-layer K/V rows (`nn::KvSnapshot`: zero-copy,
+// CRC-tagged), and lets every question fork from the snapshot instead.
+//
+// The shared prefix is discovered *at the token level*: the cache encodes
+// the longest common token prefix of a handful of sample prompts, and each
+// fork re-computes the common prefix of the snapshot against the actual
+// question's tokens. BPE merges across the prefix/question boundary can
+// only shorten the reuse, never corrupt it — the question always feeds
+// exactly its own token sequence, so logits (and therefore scores and
+// journal bytes) are bit-identical to a cache-off run.
+//
+// Thread-safety: the snapshot is immutable and shared read-only by all
+// workers; each worker forks into its own `GptInference` buffers, and the
+// reuse counters are atomics — no locks, TSan-clean.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/gpt.hpp"
+#include "tokenizer/bpe.hpp"
+
+namespace astromlab::eval {
+
+/// Aggregate prefill-reuse accounting for one benchmark run.
+struct PrefixCacheStats {
+  std::uint64_t prompts = 0;        ///< prompts routed through the cache
+  std::uint64_t prompt_tokens = 0;  ///< total prompt tokens across them
+  std::uint64_t reused_tokens = 0;  ///< tokens restored from the snapshot
+
+  /// Fraction of prompt tokens whose prefill was skipped (0 when unused).
+  double reuse_ratio() const {
+    return prompt_tokens == 0
+               ? 0.0
+               : static_cast<double>(reused_tokens) / static_cast<double>(prompt_tokens);
+  }
+};
+
+class PrefixCache {
+ public:
+  /// Builds the cache by encoding the longest common token prefix of
+  /// `sample_prompts` (at least two are needed to identify the shared
+  /// block). Returns nullptr when no shareable prefix exists — callers
+  /// simply run uncached.
+  static std::unique_ptr<PrefixCache> build(const nn::GptModel& model,
+                                            const tokenizer::BpeTokenizer& tok,
+                                            const std::vector<std::string>& sample_prompts);
+
+  std::size_t prefix_length() const { return snapshot_.length(); }
+  const nn::KvSnapshot& snapshot() const { return snapshot_; }
+
+  /// Resets `inference` and forks it from the snapshot at the longest
+  /// common prefix with `prompt_tokens` (capped at prompt length - 1, so
+  /// the caller always feeds at least one token and reads fresh logits).
+  /// Returns the number of positions reused; the caller feeds
+  /// `prompt_tokens[returned:]`. Records the reuse in `stats()`.
+  std::size_t fork(nn::GptInference& inference,
+                   const std::vector<nn::Token>& prompt_tokens) const;
+
+  /// Records one prompt's reuse accounting (thread-safe; used by callers
+  /// that fork through `snapshot()` directly, e.g. the sampler path).
+  void note_prompt(std::size_t prompt_token_count, std::size_t reused_token_count) const;
+
+  PrefixCacheStats stats() const;
+
+ private:
+  explicit PrefixCache(const nn::GptModel& model) : encoder_(model) {}
+
+  nn::GptInference encoder_;  ///< kept alive: owns the snapshot's K/V rows
+  nn::KvSnapshot snapshot_;
+  mutable std::atomic<std::uint64_t> prompts_{0};
+  mutable std::atomic<std::uint64_t> prompt_tokens_{0};
+  mutable std::atomic<std::uint64_t> reused_tokens_{0};
+};
+
+}  // namespace astromlab::eval

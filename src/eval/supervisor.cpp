@@ -30,6 +30,7 @@ struct RunState {
   std::size_t next_flush = 0;    ///< index into `pending` of the next journal line
   std::size_t completed = 0;
   std::vector<double> durations_s;  ///< completed-question latencies
+  std::vector<std::size_t> free_slots;  ///< worker-slot free list (LIFO)
 
   struct InFlight {
     util::CancelToken* token;
@@ -50,12 +51,23 @@ void Supervisor::run(std::vector<QuestionResult>& results,
 
   RunState state;
   state.done.assign(pending.size(), 0);
+  // Slots are handed out high-to-low, so the serial path and a 1-worker
+  // pool both see slot 0 only.
+  for (std::size_t s = options_.worker_slots(); s-- > 0;) state.free_slots.push_back(s);
 
   // Evaluates pending[idx] inside its own fault domain: injected faults,
   // transient retries with deterministic backoff, permanent degradation.
   // Never throws; journal failures surface from the flush step instead.
   const auto run_one = [&](std::size_t idx) {
     const std::size_t q = pending[idx];
+    std::size_t slot = 0;
+    {
+      // At most `workers` tasks run concurrently, so the free list cannot
+      // be empty when a task starts.
+      std::lock_guard<std::mutex> lock(state.mutex);
+      slot = state.free_slots.back();
+      state.free_slots.pop_back();
+    }
     QuestionResult result = results[q];  // pre-filled ground truth (correct, tier)
     std::size_t retries = 0;
     const Clock::time_point question_start = Clock::now();
@@ -76,7 +88,7 @@ void Supervisor::run(std::vector<QuestionResult>& results,
           case util::FaultInjector::EvalAction::kProceed:
             break;
         }
-        QuestionResult fresh = fn(q, token);
+        QuestionResult fresh = fn(q, slot, token);
         fresh.retries = static_cast<int>(retries);
         result = fresh;
         finished = true;
@@ -113,6 +125,7 @@ void Supervisor::run(std::vector<QuestionResult>& results,
     }
 
     std::lock_guard<std::mutex> lock(state.mutex);
+    state.free_slots.push_back(slot);
     results[q] = result;
     state.done[idx] = 1;
     ++state.completed;
@@ -182,6 +195,7 @@ EvalRunOptions eval_run_options_from_args(const util::ArgParser& args) {
   options.retry.max_retries = static_cast<std::size_t>(args.get_int("retry-max", 2));
   options.question_deadline_seconds = args.get_double("question-deadline", 0.0);
   options.straggler_factor = args.get_double("straggler-factor", 0.0);
+  options.prefix_cache = args.get_bool("prefix-cache", false);
   return options;
 }
 

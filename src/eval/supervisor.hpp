@@ -50,6 +50,14 @@ struct EvalRunOptions {
   std::size_t straggler_min_samples = 8;
   /// Retry budget + backoff shape for transient faults.
   util::RetryPolicy retry;
+  /// Share the prompt-prefix KV snapshot across questions (the runners
+  /// encode the common prefix once and fork it per question). Scores and
+  /// journal bytes are bit-identical either way; only prefill work changes.
+  bool prefix_cache = false;
+
+  /// Per-worker scratch buffers the runners should allocate: the number of
+  /// distinct `worker_slot` values `QuestionFn` can observe.
+  std::size_t worker_slots() const { return workers > 1 ? workers : 1; }
 };
 
 /// Aggregate telemetry for one supervised run.
@@ -65,9 +73,11 @@ class Supervisor {
   /// Evaluates one question. Must be deterministic in `question`, honour
   /// `cancel` by returning a degraded result (predicted -1, degraded
   /// set), and may throw: transient errors are retried, permanent ones
-  /// degrade the question.
-  using QuestionFn =
-      std::function<QuestionResult(std::size_t question, const util::CancelToken& cancel)>;
+  /// degrade the question. `worker_slot` < `options.worker_slots()` is
+  /// unique among concurrently-running questions, so runners can key
+  /// per-worker scratch (KV fork buffers, samplers) on it without locks.
+  using QuestionFn = std::function<QuestionResult(
+      std::size_t question, std::size_t worker_slot, const util::CancelToken& cancel)>;
 
   explicit Supervisor(EvalRunOptions options) : options_(std::move(options)) {}
 
@@ -104,6 +114,7 @@ namespace astromlab::eval {
 ///   --retry-max=<n>           transient-fault retries per question (default 2)
 ///   --question-deadline=<s>   per-question deadline in seconds (default 0 = off)
 ///   --straggler-factor=<f>    cancel at f x median latency (default 0 = off)
+///   --prefix-cache={on,off}   shared-prefix KV snapshot reuse (default off)
 EvalRunOptions eval_run_options_from_args(const util::ArgParser& args);
 
 }  // namespace astromlab::eval

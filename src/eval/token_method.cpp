@@ -1,6 +1,8 @@
 #include "eval/token_method.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "eval/prompts.hpp"
@@ -95,7 +97,8 @@ LetterTokens detect_letter_tokens(const nn::GptModel& model,
 int token_predict(const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
                   const LetterTokens& letters, const corpus::McqItem& item,
                   const std::vector<corpus::McqItem>& fewshot,
-                  const util::CancelToken* cancel) {
+                  const util::CancelToken* cancel, const PrefixCache* prefix_cache,
+                  nn::GptInference* scratch) {
   const std::string prompt = build_token_prompt(item, fewshot);
   std::vector<nn::Token> tokens = to_model_tokens(tok.encode(prompt));
   if (letters.feed_space_first) {
@@ -105,8 +108,19 @@ int token_predict(const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
   if (tokens.empty() || tokens.size() >= model.config().ctx_len) {
     return -1;  // prompt does not fit the context window
   }
-  nn::GptInference inference(model);
-  const std::vector<float>& logits = inference.prompt(tokens, cancel);
+  std::optional<nn::GptInference> local;
+  nn::GptInference& inference = scratch != nullptr ? *scratch : local.emplace(model);
+  std::size_t fed_from = 0;
+  if (prefix_cache != nullptr) {
+    // Fork the shared two-shot block; feed only the question's own tail.
+    // The question still feeds exactly its own token sequence overall, so
+    // the logits are bit-identical to the uncached path.
+    fed_from = prefix_cache->fork(inference, tokens);
+  } else {
+    inference.reset();
+  }
+  const std::vector<float>& logits =
+      inference.prompt(tokens.data() + fed_from, tokens.size() - fed_from, cancel);
   if (cancel != nullptr && cancel->cancelled()) {
     return -1;  // fired mid-feed: logits are stale, degrade to unanswered
   }
@@ -126,9 +140,11 @@ std::vector<QuestionResult> run_token_benchmark(
     const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
     const std::vector<corpus::McqItem>& benchmark,
     const std::vector<corpus::McqItem>& practice_pool, EvalJournal* journal,
-    const TokenMethodConfig& config, const EvalRunOptions& opts) {
+    const TokenMethodConfig& config, const EvalRunOptions& opts,
+    PrefixCacheStats* cache_stats) {
   const std::vector<corpus::McqItem> fewshot = pick_fewshot_examples(practice_pool);
   const LetterTokens letters = detect_letter_tokens(model, tok, practice_pool, fewshot);
+  if (cache_stats != nullptr) *cache_stats = PrefixCacheStats{};
 
   std::vector<QuestionResult> results(benchmark.size());
   std::vector<std::size_t> pending;
@@ -151,12 +167,28 @@ std::vector<QuestionResult> run_token_benchmark(
   effective.question_deadline_seconds =
       merge_deadlines(opts.question_deadline_seconds, config.max_seconds_per_question);
 
+  // Shared-prefix KV snapshot: encode the two-shot block once, fork it per
+  // question. Built from the first two question prompts so the common
+  // token prefix is discovered at the token level (robust to BPE merges
+  // across the prefix/question boundary).
+  std::unique_ptr<PrefixCache> cache;
+  if (effective.prefix_cache && benchmark.size() >= 2) {
+    cache = PrefixCache::build(
+        model, tok,
+        {build_token_prompt(benchmark[0], fewshot), build_token_prompt(benchmark[1], fewshot)});
+  }
+  // One immutable snapshot shared read-only by every worker; one fork
+  // buffer per worker slot so concurrent questions never share KV state.
+  std::vector<std::unique_ptr<nn::GptInference>> scratch(effective.worker_slots());
+  for (auto& slot : scratch) slot = std::make_unique<nn::GptInference>(model);
+
   Supervisor supervisor(effective);
   supervisor.run(
       results, pending,
-      [&](std::size_t q, const util::CancelToken& cancel) {
+      [&](std::size_t q, std::size_t slot, const util::CancelToken& cancel) {
         QuestionResult result = results[q];  // ground truth pre-filled above
-        result.predicted = token_predict(model, tok, letters, benchmark[q], fewshot, &cancel);
+        result.predicted = token_predict(model, tok, letters, benchmark[q], fewshot, &cancel,
+                                         cache.get(), scratch[slot].get());
         if (cancel.cancelled()) {
           result.method = ExtractionMethod::kFailed;
           result.predicted = -1;
@@ -165,6 +197,7 @@ std::vector<QuestionResult> run_token_benchmark(
         return result;
       },
       journal);
+  if (cache != nullptr && cache_stats != nullptr) *cache_stats = cache->stats();
   return results;
 }
 

@@ -21,6 +21,7 @@
 
 #include "corpus/mcq.hpp"
 #include "eval/journal.hpp"
+#include "eval/prefix_cache.hpp"
 #include "eval/scorer.hpp"
 #include "eval/supervisor.hpp"
 #include "nn/gpt.hpp"
@@ -57,21 +58,30 @@ struct TokenMethodConfig {
 
 /// Evaluates one question: returns the argmax letter (0..3), or -1 when the
 /// prompt does not fit the context window or `cancel` fired mid-feed.
+/// With a `prefix_cache`, the shared two-shot block is forked from its KV
+/// snapshot instead of re-encoded (bit-identical logits either way); with a
+/// `scratch` inference, that buffer is reset and reused instead of
+/// allocating fresh KV caches per question.
 int token_predict(const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
                   const LetterTokens& letters, const corpus::McqItem& item,
                   const std::vector<corpus::McqItem>& fewshot,
-                  const util::CancelToken* cancel = nullptr);
+                  const util::CancelToken* cancel = nullptr,
+                  const PrefixCache* prefix_cache = nullptr,
+                  nn::GptInference* scratch = nullptr);
 
 /// Runs the token method over the whole benchmark under the fault-isolated
 /// Supervisor. With an active `journal`, already-answered questions are
 /// skipped (their journalled results reused) and fresh results are appended
 /// durably, making a killed run resumable. `opts` controls parallelism,
-/// deadlines, retries, and straggler cancellation; defaults reproduce the
-/// serial reference behaviour bit-for-bit.
+/// deadlines, retries, straggler cancellation, and shared-prefix KV reuse
+/// (`opts.prefix_cache`); defaults reproduce the serial reference behaviour
+/// bit-for-bit. When `cache_stats` is non-null it receives the prefill
+/// reuse accounting of the run (zeros when the cache was off or unusable).
 std::vector<QuestionResult> run_token_benchmark(
     const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
     const std::vector<corpus::McqItem>& benchmark,
     const std::vector<corpus::McqItem>& practice_pool, EvalJournal* journal = nullptr,
-    const TokenMethodConfig& config = {}, const EvalRunOptions& opts = {});
+    const TokenMethodConfig& config = {}, const EvalRunOptions& opts = {},
+    PrefixCacheStats* cache_stats = nullptr);
 
 }  // namespace astromlab::eval

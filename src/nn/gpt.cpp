@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
+#include "util/checksum.hpp"
 #include "util/thread_pool.hpp"
 
 namespace astromlab::nn {
@@ -533,7 +534,84 @@ GptInference::GptInference(const GptModel& model) : model_(model) {
   logits_.assign(cfg.vocab_size, 0.0f);
 }
 
-void GptInference::reset() { position_ = 0; }
+void GptInference::reset() {
+  position_ = 0;
+  history_.clear();
+  // Invalidate outstanding snapshots: their rows may be overwritten by the
+  // next feed, and a CRC match alone cannot prove they were not (a reset
+  // leaves the old bytes in place until re-encoded over).
+  ++generation_;
+}
+
+namespace {
+
+/// CRC-32 over the first `rows` positions of every layer's K and V cache.
+std::uint32_t kv_prefix_crc(const std::vector<std::vector<float>>& k_cache,
+                            const std::vector<std::vector<float>>& v_cache,
+                            std::size_t rows, std::size_t c) {
+  util::Crc32 crc;
+  for (const auto& layer : k_cache) crc.update(layer.data(), rows * c * sizeof(float));
+  for (const auto& layer : v_cache) crc.update(layer.data(), rows * c * sizeof(float));
+  return crc.value();
+}
+
+}  // namespace
+
+std::size_t common_token_prefix(const std::vector<Token>& a, const std::vector<Token>& b) {
+  const std::size_t limit = std::min(a.size(), b.size());
+  std::size_t n = 0;
+  while (n < limit && a[n] == b[n]) ++n;
+  return n;
+}
+
+KvSnapshot GptInference::snapshot() const {
+  KvSnapshot snap;
+  snap.source_ = this;
+  snap.generation_ = generation_;
+  snap.tokens_ = history_;
+  snap.crc_ = kv_prefix_crc(k_cache_, v_cache_, position_, model_.config().d_model);
+  return snap;
+}
+
+void GptInference::fork_from(const KvSnapshot& snap) { fork_from(snap, snap.length()); }
+
+void GptInference::fork_from(const KvSnapshot& snap, std::size_t prefix_len) {
+  if (!snap.valid()) {
+    throw StaleSnapshotError("fork_from: empty snapshot handle");
+  }
+  const GptInference& src = *snap.source_;
+  if (&src.model_ != &model_) {
+    throw std::invalid_argument("fork_from: snapshot was taken from a different model");
+  }
+  if (prefix_len > snap.tokens_.size()) {
+    throw std::invalid_argument("fork_from: prefix_len exceeds snapshot length");
+  }
+  if (src.generation_ != snap.generation_) {
+    throw StaleSnapshotError(
+        "fork_from: snapshot invalidated by reset() of its source inference");
+  }
+  // Defence in depth: revalidate the referenced rows against the CRC
+  // captured at snapshot time, so any other mutation of the source cache
+  // surfaces as a typed error instead of silently wrong logits.
+  const std::size_t c = model_.config().d_model;
+  if (kv_prefix_crc(src.k_cache_, src.v_cache_, snap.tokens_.size(), c) != snap.crc_) {
+    throw StaleSnapshotError(
+        "fork_from: source K/V rows changed since snapshot (CRC mismatch)");
+  }
+  if (this != &src) {
+    for (std::size_t l = 0; l < k_cache_.size(); ++l) {
+      std::memcpy(k_cache_[l].data(), src.k_cache_[l].data(), prefix_len * c * sizeof(float));
+      std::memcpy(v_cache_[l].data(), src.v_cache_[l].data(), prefix_len * c * sizeof(float));
+    }
+  }
+  position_ = prefix_len;
+  history_.assign(snap.tokens_.begin(),
+                  snap.tokens_.begin() + static_cast<std::ptrdiff_t>(prefix_len));
+}
+
+void GptInference::corrupt_kv_for_testing(std::size_t layer, std::size_t index, float value) {
+  k_cache_.at(layer).at(index) = value;
+}
 
 const std::vector<float>& GptInference::step(Token token) {
   const auto& cfg = model_.config();
@@ -599,6 +677,7 @@ const std::vector<float>& GptInference::step(Token token) {
   sgemm(false, true, 1, cfg.vocab_size, c, 1.0f, ln_.data(), c, wte, c, 0.0f, logits_.data(),
         cfg.vocab_size);
   ++position_;
+  history_.push_back(token);
   return logits_;
 }
 
@@ -609,9 +688,14 @@ const std::vector<float>& GptInference::prompt(const std::vector<Token>& tokens)
 const std::vector<float>& GptInference::prompt(const std::vector<Token>& tokens,
                                                const util::CancelToken* cancel) {
   if (tokens.empty()) throw std::invalid_argument("prompt: empty token sequence");
-  for (Token token : tokens) {
+  return prompt(tokens.data(), tokens.size(), cancel);
+}
+
+const std::vector<float>& GptInference::prompt(const Token* tokens, std::size_t count,
+                                               const util::CancelToken* cancel) {
+  for (std::size_t i = 0; i < count; ++i) {
     if (cancel != nullptr && cancel->cancelled()) break;
-    step(token);
+    step(tokens[i]);
   }
   return logits_;
 }

@@ -10,6 +10,8 @@
 // loss — the SFT trainer uses this to train only on assistant spans.
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "nn/config.hpp"
@@ -107,13 +109,56 @@ class GptModel {
   Layout layout_;
 };
 
+/// Thrown when forking from a KV snapshot whose source inference has been
+/// reset (or whose cached rows no longer hash to the CRC captured at
+/// snapshot time): using it would silently read stale K/V rows, so the
+/// fork fails loudly instead.
+class StaleSnapshotError : public std::runtime_error {
+ public:
+  explicit StaleSnapshotError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class GptInference;
+
+/// Immutable handle to the prefix currently encoded in a `GptInference`
+/// KV cache. The snapshot is zero-copy — it references the source's
+/// buffers; the per-layer K/V rows are copied only when another inference
+/// forks from it (copy-on-fork), so one snapshot can be shared read-only
+/// by many workers. The handle carries the token sequence it encodes, a
+/// CRC-32 over the referenced rows, and the source's reset generation;
+/// `GptInference::fork_from` revalidates both and throws
+/// `StaleSnapshotError` rather than reusing a stale prefix.
+class KvSnapshot {
+ public:
+  KvSnapshot() = default;
+
+  bool valid() const { return source_ != nullptr; }
+  /// Number of cached positions (== tokens().size()).
+  std::size_t length() const { return tokens_.size(); }
+  /// The exact token sequence whose K/V rows the snapshot holds.
+  const std::vector<Token>& tokens() const { return tokens_; }
+  std::uint32_t crc() const { return crc_; }
+
+ private:
+  friend class GptInference;
+  const GptInference* source_ = nullptr;
+  std::uint64_t generation_ = 0;  ///< source reset-generation at snapshot time
+  std::vector<Token> tokens_;
+  std::uint32_t crc_ = 0;
+};
+
+/// Longest common prefix length of two token sequences.
+std::size_t common_token_prefix(const std::vector<Token>& a, const std::vector<Token>& b);
+
 /// Incremental single-sequence inference with a KV cache. Feed tokens one
 /// at a time; logits for the latest position are available after each step.
 class GptInference {
  public:
   explicit GptInference(const GptModel& model);
 
-  /// Resets the cache to an empty sequence.
+  /// Resets the cache to an empty sequence and invalidates every snapshot
+  /// previously taken from this inference (forking one afterwards throws
+  /// `StaleSnapshotError`).
   void reset();
 
   /// Appends one token and returns the logits over the vocabulary for the
@@ -131,12 +176,46 @@ class GptInference {
   const std::vector<float>& prompt(const std::vector<Token>& tokens,
                                    const util::CancelToken* cancel);
 
+  /// Pointer form of the cancellable prompt feed (`count` may be 0, in
+  /// which case the current logits are returned unchanged).
+  const std::vector<float>& prompt(const Token* tokens, std::size_t count,
+                                   const util::CancelToken* cancel);
+
+  /// Snapshots the currently-encoded prefix (all `position()` rows of the
+  /// per-layer K/V caches) as a zero-copy, CRC-tagged handle. The handle
+  /// stays usable while this inference outlives it and is not reset;
+  /// stepping the source *further* is fine (earlier rows are immutable).
+  KvSnapshot snapshot() const;
+
+  /// Replaces this cache's contents with the first `prefix_len` rows of
+  /// `snap` (copy-on-fork) and sets `position()` to `prefix_len`, so
+  /// subsequent `step`s continue bit-identically to having fed the
+  /// snapshot's tokens from scratch. Throws `StaleSnapshotError` when the
+  /// snapshot's source was reset or its rows fail CRC revalidation, and
+  /// `std::invalid_argument` on model mismatch or excessive `prefix_len`.
+  void fork_from(const KvSnapshot& snap, std::size_t prefix_len);
+
+  /// Forks the snapshot's full length.
+  void fork_from(const KvSnapshot& snap);
+
+  /// Tokens fed since the last reset (or installed by the last fork).
+  const std::vector<Token>& history() const { return history_; }
+
+  /// Reset-generation counter (bumped by `reset()`; snapshot staleness).
+  std::uint64_t generation() const { return generation_; }
+
+  /// Test seam: overwrites one cached K value so the CRC-revalidation
+  /// failure path can be exercised without guessing private layouts.
+  void corrupt_kv_for_testing(std::size_t layer, std::size_t index, float value);
+
   std::size_t position() const { return position_; }
   const GptModel& model() const { return model_; }
 
  private:
   const GptModel& model_;
   std::size_t position_ = 0;
+  std::uint64_t generation_ = 0;  ///< incremented by reset()
+  std::vector<Token> history_;    ///< tokens encoded into the cache
   // Per layer: cached keys/values, (ctx, C) each.
   std::vector<std::vector<float>> k_cache_;
   std::vector<std::vector<float>> v_cache_;

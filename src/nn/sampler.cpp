@@ -49,7 +49,21 @@ SampleResult Sampler::generate(const std::vector<Token>& prompt_tokens,
     return result;
   }
   util::Stopwatch watch;
-  const std::vector<float>* logits = &inference_.prompt(prompt_tokens, config.cancel);
+  std::size_t fed_from = 0;
+  if (config.prefix_snapshot != nullptr && config.prefix_snapshot->valid()) {
+    // Fork the shared prefix instead of re-encoding it. Capped at
+    // prompt_tokens.size() - 1 so at least one token is always fed and the
+    // returned logits are computed, not stale snapshot state.
+    std::size_t common = common_token_prefix(config.prefix_snapshot->tokens(), prompt_tokens);
+    common = std::min(common, prompt_tokens.size() - 1);
+    if (common > 0) {
+      inference_.fork_from(*config.prefix_snapshot, common);
+      fed_from = common;
+      result.reused_prefix_tokens = common;
+    }
+  }
+  const std::vector<float>* logits = &inference_.prompt(
+      prompt_tokens.data() + fed_from, prompt_tokens.size() - fed_from, config.cancel);
   if (config.cancel != nullptr && config.cancel->cancelled()) {
     result.cancelled = true;  // fired mid-prompt: logits are stale, stop here
     return result;

@@ -29,6 +29,12 @@ struct SampleConfig {
   /// every generated token, so an external deadline or straggler monitor
   /// stops generation *in flight* (with `cancelled` set). Optional.
   const util::CancelToken* cancel = nullptr;
+  /// Shared-prefix KV snapshot: when set, the sampler forks the longest
+  /// common token prefix of `prompt_tokens` and the snapshot (capped at
+  /// prompt length - 1, so the final logits are always freshly computed)
+  /// instead of re-encoding it. Results are bit-identical with or without
+  /// the snapshot; only the prefill work changes.
+  const KvSnapshot* prefix_snapshot = nullptr;
 };
 
 struct SampleResult {
@@ -37,6 +43,9 @@ struct SampleResult {
   bool hit_context_limit = false;
   bool timed_out = false;      ///< the wall-clock watchdog fired
   bool cancelled = false;      ///< the cancel token fired mid-generation
+  /// Prompt positions restored from `prefix_snapshot` instead of being
+  /// re-encoded (0 when no snapshot was supplied or nothing matched).
+  std::size_t reused_prefix_tokens = 0;
 };
 
 class Sampler {

@@ -1,0 +1,532 @@
+// Prefix-aware KV snapshot cache: bit-identity of forked logits against
+// from-scratch prefills (random configs, prefix lengths 0 / 1 / ctx-1,
+// after reset()), staleness detection (reset generation, CRC), and
+// cache-on/cache-off byte-parity of whole benchmark runs — serial,
+// parallel, and killed-then-resumed.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "corpus/corpora.hpp"
+#include "eval/full_instruct.hpp"
+#include "eval/journal.hpp"
+#include "eval/prefix_cache.hpp"
+#include "eval/supervisor.hpp"
+#include "eval/token_method.hpp"
+#include "nn/gpt.hpp"
+#include "nn/sampler.hpp"
+#include "util/io.hpp"
+#include "util/rng.hpp"
+
+namespace astromlab {
+namespace {
+
+namespace fs = std::filesystem;
+using eval::EvalRunOptions;
+using eval::PrefixCache;
+using eval::PrefixCacheStats;
+using eval::QuestionResult;
+
+/// Bit-level (not epsilon) comparison: the cache's contract is that forking
+/// changes *nothing* about the numbers, only about the work.
+void expect_bit_identical(const std::vector<float>& want, const std::vector<float>& got,
+                          const std::string& context) {
+  ASSERT_EQ(want.size(), got.size()) << context;
+  EXPECT_EQ(std::memcmp(want.data(), got.data(), want.size() * sizeof(float)), 0) << context;
+}
+
+/// Small random-but-valid architecture; dimensions vary across trials so the
+/// equivalence property is not an artefact of one shape.
+nn::GptConfig random_config(util::Rng& rng) {
+  nn::GptConfig config;
+  config.n_heads = 1 + rng.next_below(3);
+  config.d_model = config.n_heads * (4 + 2 * rng.next_below(3));
+  config.n_layers = 1 + rng.next_below(2);
+  config.d_ff = 2 * config.d_model;
+  config.vocab_size = 64 + rng.next_below(64);
+  config.ctx_len = 16 + rng.next_below(17);
+  config.validate();
+  return config;
+}
+
+std::vector<nn::Token> random_tokens(util::Rng& rng, std::size_t count, std::size_t vocab) {
+  std::vector<nn::Token> tokens(count);
+  for (auto& t : tokens) t = static_cast<nn::Token>(rng.next_below(vocab));
+  return tokens;
+}
+
+TEST(PrefixSnapshot, ForkedLogitsBitIdenticalAcrossConfigsAndPrefixLengths) {
+  util::Rng rng(20240817);
+  for (int trial = 0; trial < 6; ++trial) {
+    const nn::GptConfig config = random_config(rng);
+    nn::GptModel model(config);
+    util::Rng init(1000 + static_cast<std::uint64_t>(trial));
+    model.init_weights(init);
+
+    const std::size_t len = 3 + rng.next_below(config.ctx_len - 4);
+    const std::vector<nn::Token> tokens = random_tokens(rng, len, config.vocab_size);
+
+    nn::GptInference reference(model);
+    const std::vector<float> want = reference.prompt(tokens);
+
+    nn::GptInference source(model);
+    nn::GptInference fork(model);
+    for (const std::size_t prefix : {std::size_t{0}, std::size_t{1}, len / 2, len - 1}) {
+      source.reset();
+      source.prompt(tokens.data(), prefix, nullptr);
+      const nn::KvSnapshot snap = source.snapshot();
+      ASSERT_EQ(snap.length(), prefix);
+      ASSERT_EQ(snap.tokens(),
+                std::vector<nn::Token>(tokens.begin(),
+                                       tokens.begin() + static_cast<std::ptrdiff_t>(prefix)));
+
+      // Forking into a previously-used inference must fully replace its
+      // state; the loop reuses `fork` without resetting it on purpose.
+      fork.fork_from(snap);
+      const std::vector<float>& got = fork.prompt(tokens.data() + prefix, len - prefix, nullptr);
+      expect_bit_identical(want, got,
+                           "trial " + std::to_string(trial) + " prefix " +
+                               std::to_string(prefix) + " of " + std::to_string(len));
+      EXPECT_EQ(fork.position(), len);
+      EXPECT_EQ(fork.history(), tokens);
+    }
+  }
+}
+
+TEST(PrefixSnapshot, FullLengthForkContinuesBitIdenticallyUnderStep) {
+  util::Rng rng(7);
+  const nn::GptConfig config = random_config(rng);
+  nn::GptModel model(config);
+  util::Rng init(11);
+  model.init_weights(init);
+
+  const std::size_t len = config.ctx_len / 2;
+  const std::vector<nn::Token> tokens = random_tokens(rng, len, config.vocab_size);
+  const std::vector<nn::Token> extra = random_tokens(rng, 4, config.vocab_size);
+
+  nn::GptInference reference(model);
+  reference.prompt(tokens);
+
+  nn::GptInference source(model);
+  source.prompt(tokens);
+  nn::GptInference fork(model);
+  fork.fork_from(source.snapshot());
+  EXPECT_EQ(fork.position(), len);
+
+  // Generation after a fork of the *entire* prompt: every subsequent step
+  // must track the from-scratch cache exactly.
+  for (const nn::Token t : extra) {
+    const std::vector<float> want = reference.step(t);
+    expect_bit_identical(want, fork.step(t), "step after full-length fork");
+  }
+}
+
+TEST(PrefixSnapshot, ContextBoundaryPrefixIsExact) {
+  // prefix = ctx-1, feeding the final token lands exactly on the context
+  // limit: the snapshot path must agree with the from-scratch path at the
+  // window edge, not just in the interior.
+  nn::GptConfig config;
+  config.vocab_size = 96;
+  config.ctx_len = 12;
+  config.d_model = 16;
+  config.n_heads = 2;
+  config.n_layers = 2;
+  config.d_ff = 32;
+  nn::GptModel model(config);
+  util::Rng init(21);
+  model.init_weights(init);
+
+  util::Rng rng(22);
+  const std::vector<nn::Token> tokens = random_tokens(rng, config.ctx_len, config.vocab_size);
+
+  nn::GptInference reference(model);
+  const std::vector<float> want = reference.prompt(tokens);
+
+  nn::GptInference source(model);
+  source.prompt(tokens.data(), config.ctx_len - 1, nullptr);
+  nn::GptInference fork(model);
+  fork.fork_from(source.snapshot());
+  expect_bit_identical(want, fork.step(tokens.back()), "ctx-1 prefix");
+  EXPECT_EQ(fork.position(), config.ctx_len);
+}
+
+TEST(PrefixSnapshot, PartialForkAndForkAfterForkerReset) {
+  util::Rng rng(31);
+  const nn::GptConfig config = random_config(rng);
+  nn::GptModel model(config);
+  util::Rng init(32);
+  model.init_weights(init);
+
+  const std::size_t len = 8;
+  const std::vector<nn::Token> tokens = random_tokens(rng, len, config.vocab_size);
+  nn::GptInference reference(model);
+  const std::vector<float> want = reference.prompt(tokens);
+
+  nn::GptInference source(model);
+  source.prompt(tokens);
+  const nn::KvSnapshot snap = source.snapshot();
+
+  nn::GptInference fork(model);
+  // Fork only part of the snapshot, consume it, then reset the *forker*
+  // and fork again: resetting the destination must not poison the shared
+  // snapshot (only resetting the source does).
+  fork.fork_from(snap, len / 2);
+  fork.prompt(tokens.data() + len / 2, len - len / 2, nullptr);
+  fork.reset();
+  fork.fork_from(snap, len - 1);
+  expect_bit_identical(want, fork.step(tokens.back()), "re-fork after forker reset");
+}
+
+TEST(PrefixSnapshot, SourceSteppingFurtherKeepsSnapshotUsable) {
+  util::Rng rng(41);
+  const nn::GptConfig config = random_config(rng);
+  nn::GptModel model(config);
+  util::Rng init(42);
+  model.init_weights(init);
+
+  const std::size_t len = 6;
+  const std::vector<nn::Token> tokens = random_tokens(rng, len + 4, config.vocab_size);
+  const nn::Token probe = tokens[len + 3];
+  nn::GptInference reference(model);
+  reference.prompt(tokens.data(), len, nullptr);
+  const std::vector<float> want = reference.step(probe);
+
+  nn::GptInference source(model);
+  source.prompt(tokens.data(), len, nullptr);
+  const nn::KvSnapshot snap = source.snapshot();
+  // Earlier K/V rows are immutable, so advancing the source does not
+  // invalidate handles taken before the advance.
+  source.prompt(tokens.data() + len, 3, nullptr);
+
+  nn::GptInference fork(model);
+  fork.fork_from(snap);
+  EXPECT_EQ(fork.position(), len);
+  expect_bit_identical(want, fork.step(probe), "fork after source advanced");
+}
+
+TEST(PrefixSnapshot, ForkAfterSourceResetThrowsStaleSnapshotError) {
+  nn::GptConfig config;
+  config.vocab_size = 64;
+  config.ctx_len = 16;
+  config.d_model = 8;
+  config.n_heads = 2;
+  config.n_layers = 1;
+  config.d_ff = 16;
+  nn::GptModel model(config);
+  util::Rng init(51);
+  model.init_weights(init);
+
+  util::Rng rng(52);
+  nn::GptInference source(model);
+  source.prompt(random_tokens(rng, 5, config.vocab_size));
+  const nn::KvSnapshot snap = source.snapshot();
+  EXPECT_TRUE(snap.valid());
+
+  source.reset();  // regression: this must invalidate every held handle
+  nn::GptInference fork(model);
+  EXPECT_THROW(fork.fork_from(snap), nn::StaleSnapshotError);
+  EXPECT_THROW(fork.fork_from(snap, 1), nn::StaleSnapshotError);
+
+  // A snapshot taken after the reset is a fresh generation and works.
+  source.prompt(random_tokens(rng, 4, config.vocab_size));
+  fork.fork_from(source.snapshot());
+  EXPECT_EQ(fork.position(), 4u);
+}
+
+TEST(PrefixSnapshot, CrcRevalidationCatchesMutatedRows) {
+  nn::GptConfig config;
+  config.vocab_size = 64;
+  config.ctx_len = 16;
+  config.d_model = 8;
+  config.n_heads = 2;
+  config.n_layers = 1;
+  config.d_ff = 16;
+  nn::GptModel model(config);
+  util::Rng init(61);
+  model.init_weights(init);
+
+  util::Rng rng(62);
+  const std::vector<nn::Token> tokens = random_tokens(rng, 5, config.vocab_size);
+  nn::GptInference source(model);
+  source.prompt(tokens);
+  const nn::KvSnapshot snap = source.snapshot();
+
+  // Corruption *beyond* the snapshotted rows is outside the CRC and the
+  // copy, so the fork still succeeds and stays bit-identical.
+  nn::GptInference reference(model);
+  const std::vector<float> want = reference.prompt(tokens);
+  source.corrupt_kv_for_testing(0, tokens.size() * config.d_model, 1e6f);
+  nn::GptInference fork(model);
+  fork.fork_from(snap, tokens.size() - 1);
+  expect_bit_identical(want, fork.step(tokens.back()), "corruption beyond prefix");
+
+  // Corruption *inside* the snapshotted rows must fail revalidation loudly
+  // instead of silently serving the wrong prefill.
+  source.corrupt_kv_for_testing(0, 0, 12345.0f);
+  EXPECT_THROW(fork.fork_from(snap), nn::StaleSnapshotError);
+}
+
+TEST(PrefixSnapshot, InvalidHandleAndArgumentErrors) {
+  nn::GptConfig config;
+  config.vocab_size = 64;
+  config.ctx_len = 16;
+  config.d_model = 8;
+  config.n_heads = 2;
+  config.n_layers = 1;
+  config.d_ff = 16;
+  nn::GptModel model(config);
+  util::Rng init(71);
+  model.init_weights(init);
+
+  nn::GptInference fork(model);
+  EXPECT_THROW(fork.fork_from(nn::KvSnapshot{}), nn::StaleSnapshotError);
+
+  util::Rng rng(72);
+  nn::GptInference source(model);
+  source.prompt(random_tokens(rng, 4, config.vocab_size));
+  const nn::KvSnapshot snap = source.snapshot();
+  EXPECT_THROW(fork.fork_from(snap, 5), std::invalid_argument);
+
+  nn::GptModel other(config);
+  other.init_weights(init);
+  nn::GptInference foreign(other);
+  EXPECT_THROW(foreign.fork_from(snap), std::invalid_argument);
+}
+
+TEST(PrefixSnapshot, CommonTokenPrefixLengths) {
+  using nn::common_token_prefix;
+  EXPECT_EQ(common_token_prefix({}, {}), 0u);
+  EXPECT_EQ(common_token_prefix({1, 2, 3}, {}), 0u);
+  EXPECT_EQ(common_token_prefix({1, 2, 3}, {1, 2, 3}), 3u);
+  EXPECT_EQ(common_token_prefix({1, 2, 3, 4}, {1, 2, 9}), 2u);
+  EXPECT_EQ(common_token_prefix({5, 2, 3}, {1, 2, 3}), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// PrefixCache and full-run parity on a tiny synthetic world.
+
+struct TinyWorld {
+  corpus::KnowledgeBase kb;
+  corpus::McqSplit mcqs;
+  tokenizer::BpeTokenizer tok;
+};
+
+TinyWorld make_eval_world() {
+  TinyWorld world;
+  corpus::KbConfig kb_config;
+  kb_config.n_topics = 4;
+  kb_config.entities_per_topic = 3;
+  kb_config.facts_per_entity = 2;
+  kb_config.seed = 61;
+  world.kb = corpus::KnowledgeBase::generate(kb_config);
+  corpus::McqGenConfig mcq_config;
+  mcq_config.questions_per_topic = 2;
+  mcq_config.seed = 62;
+  world.mcqs = corpus::generate_mcqs(world.kb, mcq_config);
+  tokenizer::BpeTrainConfig tok_config;
+  tok_config.vocab_size = 420;
+  world.tok = tokenizer::BpeTokenizer::train(
+      corpus::build_tokenizer_training_text(world.kb, world.mcqs.practice, 63), tok_config);
+  return world;
+}
+
+nn::GptModel make_eval_model(const TinyWorld& world) {
+  nn::GptConfig config;
+  config.vocab_size = world.tok.vocab_size();
+  // Unlike the supervisor tests' 384, the window here comfortably fits
+  // every ~380-token prompt: otherwise oversized questions degrade before
+  // reaching the cache and the parity checks would exercise one fork only.
+  config.ctx_len = 512;
+  config.d_model = 24;
+  config.n_heads = 2;
+  config.n_layers = 1;
+  config.d_ff = 48;
+  nn::GptModel model(config);
+  util::Rng rng(64);
+  model.init_weights(rng);
+  return model;
+}
+
+void expect_same_results(const std::vector<QuestionResult>& a,
+                         const std::vector<QuestionResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t q = 0; q < a.size(); ++q) {
+    EXPECT_EQ(a[q].predicted, b[q].predicted) << "question " << q;
+    EXPECT_EQ(a[q].correct, b[q].correct) << "question " << q;
+    EXPECT_EQ(a[q].tier, b[q].tier) << "question " << q;
+    EXPECT_EQ(a[q].method, b[q].method) << "question " << q;
+    EXPECT_EQ(a[q].retries, b[q].retries) << "question " << q;
+    EXPECT_EQ(a[q].degraded, b[q].degraded) << "question " << q;
+  }
+}
+
+class PrefixCacheEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("astromlab_prefix_cache_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  /// Truncates `source`'s journal to its first `lines` lines at `target`,
+  /// simulating a kill mid-run (the in-order flush guarantees the prefix).
+  void truncate_journal(const fs::path& source, const fs::path& target, int lines) {
+    std::istringstream in(util::read_text_file(source));
+    std::ofstream out(target, std::ios::binary);
+    std::string line;
+    for (int i = 0; i < lines && std::getline(in, line); ++i) out << line << '\n';
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(PrefixCacheEvalTest, BuildDiscoversSharedPrefixOrDeclines) {
+  const TinyWorld world = make_eval_world();
+  const nn::GptModel model = make_eval_model(world);
+
+  // Fewer than two samples: nothing to intersect.
+  EXPECT_EQ(PrefixCache::build(model, world.tok, {}), nullptr);
+  EXPECT_EQ(PrefixCache::build(model, world.tok, {"only one prompt"}), nullptr);
+  // Disjoint first tokens: no shareable block.
+  EXPECT_EQ(PrefixCache::build(model, world.tok, {"alpha question", "zeta question"}), nullptr);
+
+  const std::string shared = "The following is an exam about the synthetic universe.\n";
+  const auto cache =
+      PrefixCache::build(model, world.tok, {shared + "Q1: first?", shared + "Q2: second?"});
+  ASSERT_NE(cache, nullptr);
+  EXPECT_GT(cache->prefix_length(), 0u);
+  EXPECT_TRUE(cache->snapshot().valid());
+
+  // fork() reuses the shared block and records the accounting.
+  const std::vector<tokenizer::TokenId> ids = world.tok.encode(shared + "Q3: third?");
+  const std::vector<nn::Token> tokens(ids.begin(), ids.end());
+  nn::GptInference worker(model);
+  const std::size_t reused = cache->fork(worker, tokens);
+  EXPECT_GT(reused, 0u);
+  EXPECT_LT(reused, tokens.size());  // capped: at least one token is fed fresh
+  EXPECT_EQ(worker.position(), reused);
+
+  const PrefixCacheStats stats = cache->stats();
+  EXPECT_EQ(stats.prompts, 1u);
+  EXPECT_EQ(stats.prompt_tokens, tokens.size());
+  EXPECT_EQ(stats.reused_tokens, reused);
+  EXPECT_GT(stats.reuse_ratio(), 0.0);
+  EXPECT_LE(stats.reuse_ratio(), 1.0);
+}
+
+TEST_F(PrefixCacheEvalTest, SamplerWithSnapshotGeneratesIdenticalTokens) {
+  const TinyWorld world = make_eval_world();
+  const nn::GptModel model = make_eval_model(world);
+
+  const std::string shared = "You are an astronomy exam assistant. Answer with a letter.\n";
+  const auto cache = PrefixCache::build(
+      model, world.tok, {shared + "Question A?", shared + "Question B?"});
+  ASSERT_NE(cache, nullptr);
+
+  const std::vector<tokenizer::TokenId> ids = world.tok.encode(shared + "Question C?");
+  const std::vector<nn::Token> prompt(ids.begin(), ids.end());
+
+  nn::SampleConfig config;
+  config.max_new_tokens = 12;
+  config.stop_tokens = {world.tok.end_turn_id(), world.tok.eos_id()};
+
+  nn::Sampler cold(model);
+  util::Rng rng_cold(5);
+  const nn::SampleResult without = cold.generate(prompt, config, rng_cold);
+  EXPECT_EQ(without.reused_prefix_tokens, 0u);
+
+  config.prefix_snapshot = &cache->snapshot();
+  nn::Sampler warm(model);
+  util::Rng rng_warm(5);
+  const nn::SampleResult with = warm.generate(prompt, config, rng_warm);
+
+  EXPECT_GT(with.reused_prefix_tokens, 0u);
+  EXPECT_EQ(without.tokens, with.tokens);
+  EXPECT_EQ(without.hit_stop, with.hit_stop);
+  EXPECT_EQ(without.hit_context_limit, with.hit_context_limit);
+}
+
+TEST_F(PrefixCacheEvalTest, TokenMethodCacheOnMatchesNoCacheByteForByte) {
+  const TinyWorld world = make_eval_world();
+  const nn::GptModel model = make_eval_model(world);
+
+  // Reference: serial, cache off (the defaults).
+  eval::EvalJournal serial_journal(dir_ / "serial.jsonl");
+  const auto serial = eval::run_token_benchmark(model, world.tok, world.mcqs.benchmark,
+                                                world.mcqs.practice, &serial_journal);
+  const std::string serial_bytes = util::read_text_file(dir_ / "serial.jsonl");
+
+  // Parallel with the cache on: identical scores AND identical journal
+  // bytes, plus a non-trivial reuse ratio (the cache actually engaged).
+  EvalRunOptions opts;
+  opts.workers = 4;
+  opts.prefix_cache = true;
+  PrefixCacheStats stats;
+  eval::EvalJournal cached_journal(dir_ / "cached.jsonl");
+  const auto cached =
+      eval::run_token_benchmark(model, world.tok, world.mcqs.benchmark, world.mcqs.practice,
+                                &cached_journal, eval::TokenMethodConfig{}, opts, &stats);
+
+  expect_same_results(serial, cached);
+  EXPECT_EQ(serial_bytes, util::read_text_file(dir_ / "cached.jsonl"));
+  EXPECT_GT(stats.prompts, 0u);
+  EXPECT_GT(stats.reused_tokens, 0u);
+  EXPECT_GT(stats.reuse_ratio(), 0.0);
+  EXPECT_LE(stats.reuse_ratio(), 1.0);
+
+  // Kill after 3 questions, resume in parallel with the cache on: the
+  // resumed journal converges to the serial no-cache bytes.
+  truncate_journal(dir_ / "serial.jsonl", dir_ / "resume.jsonl", 3);
+  eval::EvalJournal resume_journal(dir_ / "resume.jsonl");
+  ASSERT_EQ(resume_journal.size(), 3u);
+  const auto resumed =
+      eval::run_token_benchmark(model, world.tok, world.mcqs.benchmark, world.mcqs.practice,
+                                &resume_journal, eval::TokenMethodConfig{}, opts);
+  expect_same_results(serial, resumed);
+  EXPECT_EQ(serial_bytes, util::read_text_file(dir_ / "resume.jsonl"));
+}
+
+TEST_F(PrefixCacheEvalTest, FullInstructCacheOnMatchesNoCacheByteForByte) {
+  const TinyWorld world = make_eval_world();
+  const nn::GptModel model = make_eval_model(world);
+  eval::FullInstructConfig config;
+  config.max_new_tokens = 16;
+
+  eval::EvalJournal serial_journal(dir_ / "serial.jsonl");
+  const auto serial = eval::run_full_instruct_benchmark(model, world.tok, world.mcqs.benchmark,
+                                                        config, &serial_journal);
+  const std::string serial_bytes = util::read_text_file(dir_ / "serial.jsonl");
+
+  EvalRunOptions opts;
+  opts.workers = 4;
+  opts.prefix_cache = true;
+  PrefixCacheStats stats;
+  eval::EvalJournal cached_journal(dir_ / "cached.jsonl");
+  const auto cached = eval::run_full_instruct_benchmark(model, world.tok, world.mcqs.benchmark,
+                                                        config, &cached_journal, opts, &stats);
+
+  expect_same_results(serial, cached);
+  EXPECT_EQ(serial_bytes, util::read_text_file(dir_ / "cached.jsonl"));
+  EXPECT_GT(stats.prompts, 0u);
+  EXPECT_GT(stats.reuse_ratio(), 0.0);
+
+  truncate_journal(dir_ / "serial.jsonl", dir_ / "resume.jsonl", 3);
+  eval::EvalJournal resume_journal(dir_ / "resume.jsonl");
+  const auto resumed = eval::run_full_instruct_benchmark(model, world.tok, world.mcqs.benchmark,
+                                                         config, &resume_journal, opts);
+  expect_same_results(serial, resumed);
+  EXPECT_EQ(serial_bytes, util::read_text_file(dir_ / "resume.jsonl"));
+}
+
+}  // namespace
+}  // namespace astromlab

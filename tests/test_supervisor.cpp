@@ -65,7 +65,7 @@ QuestionResult ground_truth(std::size_t q) {
 }
 
 Supervisor::QuestionFn pure_fn() {
-  return [](std::size_t q, const util::CancelToken&) {
+  return [](std::size_t q, std::size_t, const util::CancelToken&) {
     QuestionResult r = ground_truth(q);
     r.predicted = static_cast<int>((q * 7 + 1) % 4);
     r.method = eval::ExtractionMethod::kRegex;
@@ -262,7 +262,7 @@ TEST_F(SupervisorTest, DeadlineCancelsInFlightWork) {
   constexpr std::size_t kN = 4;
   // The fn honours the token: it spins until cancelled, as the real
   // generation loops do per token / per KV-cache step.
-  const Supervisor::QuestionFn slow_fn = [](std::size_t q,
+  const Supervisor::QuestionFn slow_fn = [](std::size_t q, std::size_t,
                                             const util::CancelToken& cancel) {
     while (!cancel.cancelled()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -291,7 +291,8 @@ TEST_F(SupervisorTest, DeadlineCancelsInFlightWork) {
 TEST_F(SupervisorTest, StragglerMonitorCancelsOutlier) {
   constexpr std::size_t kN = 16;
   constexpr std::size_t kStraggler = 11;
-  const Supervisor::QuestionFn fn = [](std::size_t q, const util::CancelToken& cancel) {
+  const Supervisor::QuestionFn fn = [](std::size_t q, std::size_t,
+                                       const util::CancelToken& cancel) {
     if (q == kStraggler) {
       // Pathological question: only the straggler monitor can stop it.
       while (!cancel.cancelled()) {

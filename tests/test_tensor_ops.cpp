@@ -121,6 +121,103 @@ TEST(Sgemm, ZeroSizeIsNoop) {
   EXPECT_EQ(c[0], 0.0f);  // k == 0 with beta 0: cleared
 }
 
+// ---- property tests: randomized shapes and adversarial strides ----
+
+/// Stride-aware reference: the same triple loop as naive_gemm but honouring
+/// arbitrary leading dimensions, so padded layouts can be checked too.
+void naive_gemm_strided(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+                        std::size_t k, float alpha, const std::vector<float>& a,
+                        std::size_t lda, const std::vector<float>& b, std::size_t ldb,
+                        float beta, std::vector<float>& c, std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = trans_a ? a[p * lda + i] : a[i * lda + p];
+        const float bv = trans_b ? b[j * ldb + p] : b[p * ldb + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[i * ldc + j] = static_cast<float>(alpha * acc + beta * c[i * ldc + j]);
+    }
+  }
+}
+
+TEST(SgemmProperty, RandomShapesAndAdversarialStridesMatchNaive) {
+  util::Rng rng(20250807);
+  const float alphas[] = {1.0f, 0.5f, -1.0f, 2.0f};
+  const float betas[] = {0.0f, 1.0f, 0.5f, -0.5f};
+  for (int trial = 0; trial < 40; ++trial) {
+    const bool trans_a = rng.next_bernoulli(0.5);
+    const bool trans_b = rng.next_bernoulli(0.5);
+    const std::size_t m = 1 + rng.next_below(24);
+    const std::size_t n = 1 + rng.next_below(24);
+    const std::size_t k = 1 + rng.next_below(24);
+    const float alpha = alphas[rng.next_below(4)];
+    const float beta = betas[rng.next_below(4)];
+    // Leading dims at or beyond the logical widths, with live garbage in
+    // the padding: the kernel must neither read it into results nor
+    // overwrite it.
+    const std::size_t a_rows = trans_a ? k : m, a_cols = trans_a ? m : k;
+    const std::size_t b_rows = trans_b ? n : k, b_cols = trans_b ? k : n;
+    const std::size_t lda = a_cols + rng.next_below(5);
+    const std::size_t ldb = b_cols + rng.next_below(5);
+    const std::size_t ldc = n + rng.next_below(5);
+    std::vector<float> a(a_rows * lda), b(b_rows * ldb), c(m * ldc);
+    for (float& v : a) v = static_cast<float>(rng.next_gaussian());
+    for (float& v : b) v = static_cast<float>(rng.next_gaussian());
+    for (float& v : c) v = static_cast<float>(rng.next_gaussian());
+    std::vector<float> c_ref = c;
+    const std::vector<float> c_before = c;
+
+    sgemm(trans_a, trans_b, m, n, k, alpha, a.data(), lda, b.data(), ldb, beta, c.data(), ldc);
+    naive_gemm_strided(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c_ref, ldc);
+
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < ldc; ++j) {
+        const std::size_t idx = i * ldc + j;
+        if (j < n) {
+          EXPECT_NEAR(c[idx], c_ref[idx], 1e-3f * (1.0f + std::abs(c_ref[idx])))
+              << "trial " << trial << " (" << i << "," << j << ") m=" << m << " n=" << n
+              << " k=" << k << " lda=" << lda << " ldb=" << ldb << " ldc=" << ldc
+              << " tA=" << trans_a << " tB=" << trans_b;
+        } else {
+          EXPECT_EQ(c[idx], c_before[idx])
+              << "trial " << trial << ": padding clobbered at (" << i << "," << j << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(OpsProperty, SoftmaxRowsMatchesPerRowReferenceOnRandomShapes) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t rows = 1 + rng.next_below(12);
+    const std::size_t cols = 1 + rng.next_below(48);
+    std::vector<float> matrix(rows * cols);
+    for (float& v : matrix) v = static_cast<float>(5.0 * rng.next_gaussian());
+    const std::vector<float> input = matrix;
+
+    softmax_rows(matrix.data(), rows, cols);
+
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float* row_in = input.data() + r * cols;
+      double max_logit = row_in[0];
+      for (std::size_t j = 1; j < cols; ++j) max_logit = std::max<double>(max_logit, row_in[j]);
+      double denom = 0.0;
+      for (std::size_t j = 0; j < cols; ++j) denom += std::exp(row_in[j] - max_logit);
+      double sum = 0.0;
+      for (std::size_t j = 0; j < cols; ++j) {
+        const double want = std::exp(row_in[j] - max_logit) / denom;
+        EXPECT_NEAR(matrix[r * cols + j], want, 1e-5)
+            << "trial " << trial << " row " << r << " col " << j;
+        sum += matrix[r * cols + j];
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-5) << "trial " << trial << " row " << r;
+    }
+  }
+}
+
 TEST(Ops, ElementwiseHelpers) {
   std::vector<float> y = {1.0f, 2.0f};
   const std::vector<float> x = {10.0f, 20.0f};
