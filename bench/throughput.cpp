@@ -4,17 +4,20 @@
 // wall-times of the study itself are reported by the experiment benches).
 //
 // Invoked with `--smoke [--out-dir DIR]` the binary instead runs the
-// deterministic perf-regression harness for the shared-prefix KV cache: it
-// times cold (from-scratch) vs warm (forked-from-snapshot) prefills at the
-// micro level and a cache-off vs cache-on eval run at the runner level,
-// writes `BENCH_prefill.json` / `BENCH_eval.json`, and exits non-zero if
-// either JSON fails to re-parse, a warm/cold speedup drops below 1.0, or
-// the cached path stops being bit-identical. The workload is fully seeded;
-// only the wall-clock numbers vary run to run.
+// deterministic perf-regression harness: a kernel-level GEMM gate comparing
+// the runtime-dispatched `tensor::sgemm` against the scalar reference on the
+// bench model's linear-layer shapes (`BENCH_gemm.json`), plus the
+// shared-prefix KV cache checks — cold vs warm prefill at the micro level
+// and cache-off vs cache-on eval at the runner level (`BENCH_prefill.json`
+// / `BENCH_eval.json`). It exits non-zero if any JSON fails to re-parse, a
+// speedup gate drops below 1.0, the dispatched kernel diverges from the
+// scalar reference, or the cached path stops being bit-identical. The
+// workload is fully seeded; only the wall-clock numbers vary run to run.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
@@ -260,6 +263,7 @@ json::Value smoke_prefill() {
   const std::size_t tokens_per_question = kPrefix + kTail;
   json::Value report = json::Value::object();
   report.set("benchmark", "prefill");
+  report.set("kernel", tensor::kernel_name());
   report.set("model", model_json(config));
   report.set("questions", static_cast<std::int64_t>(kQuestions));
   report.set("prefix_tokens", static_cast<std::int64_t>(kPrefix));
@@ -332,6 +336,7 @@ json::Value smoke_eval() {
 
   json::Value report = json::Value::object();
   report.set("benchmark", "eval_token_method");
+  report.set("kernel", tensor::kernel_name());
   report.set("model", model_json(config));
   report.set("questions", static_cast<std::int64_t>(mcqs.benchmark.size()));
   report.set("cold", phase_json(cold_seconds, mcqs.benchmark.size(),
@@ -344,6 +349,128 @@ json::Value smoke_eval() {
   report.set("prompt_tokens", static_cast<std::int64_t>(stats.prompt_tokens));
   report.set("scores_identical", scores_identical);
   return report;
+}
+
+/// Kernel-level GEMM gate: times the dispatched `tensor::sgemm` against the
+/// scalar reference loops (`tensor::sgemm_reference`) on the linear-layer
+/// shapes of the E8 bench model — qkv projection, MLP fc, lm-head prefill,
+/// and the m=1 lm-head decode step — and checks both that the outputs agree
+/// within tolerance and that the dispatched path is not slower. All four are
+/// the `y = x * W^T` layout (trans_b) every linear layer uses.
+json::Value smoke_gemm() {
+  struct Shape {
+    const char* name;
+    std::size_t m, n, k;
+  };
+  // d_model=80, qkv=3*80, d_ff=320, vocab=768, bt=4*256 (from bench_model()).
+  const Shape shapes[] = {
+      {"qkv_proj", 1024, 240, 80},
+      {"mlp_fc", 1024, 320, 80},
+      {"lm_head", 1024, 768, 80},
+      {"lm_head_decode", 1, 768, 80},
+  };
+  constexpr std::size_t kReps = 3;
+  constexpr double kTargetFlopsPerRep = 6e7;  // ~10ms/rep on the scalar path
+
+  util::Rng rng(77);
+  json::Value shape_reports = json::Value::array();
+  double min_speedup = 1e30;
+  bool all_match = true;
+  for (const Shape& s : shapes) {
+    std::vector<float> a(s.m * s.k), b(s.n * s.k);
+    std::vector<float> c_disp(s.m * s.n, 0.0f), c_ref(s.m * s.n, 0.0f);
+    for (float& v : a) v = static_cast<float>(rng.next_gaussian());
+    for (float& v : b) v = static_cast<float>(rng.next_gaussian());
+    const double flops = 2.0 * static_cast<double>(s.m) * s.n * s.k;
+    const std::size_t iters =
+        std::max<std::size_t>(1, static_cast<std::size_t>(kTargetFlopsPerRep / flops));
+
+    double disp_seconds = 1e30, ref_seconds = 1e30;
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
+      util::Stopwatch watch;
+      for (std::size_t it = 0; it < iters; ++it) {
+        tensor::sgemm(false, true, s.m, s.n, s.k, 1.0f, a.data(), s.k, b.data(), s.k,
+                      0.0f, c_disp.data(), s.n);
+      }
+      disp_seconds = std::min(disp_seconds, watch.seconds());
+    }
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
+      util::Stopwatch watch;
+      for (std::size_t it = 0; it < iters; ++it) {
+        tensor::sgemm_reference(false, true, s.m, s.n, s.k, 1.0f, a.data(), s.k,
+                                b.data(), s.k, 0.0f, c_ref.data(), s.n);
+      }
+      ref_seconds = std::min(ref_seconds, watch.seconds());
+    }
+
+    double max_rel_err = 0.0;
+    for (std::size_t i = 0; i < c_disp.size(); ++i) {
+      const double err = std::abs(static_cast<double>(c_disp[i]) - c_ref[i]) /
+                         (1.0 + std::abs(static_cast<double>(c_ref[i])));
+      max_rel_err = std::max(max_rel_err, err);
+    }
+    const bool matches = max_rel_err < 2e-3;
+    all_match = all_match && matches;
+
+    const double per_iter = static_cast<double>(iters);
+    const double disp_gflops = flops * per_iter / disp_seconds * 1e-9;
+    const double ref_gflops = flops * per_iter / ref_seconds * 1e-9;
+    const double speedup = disp_gflops / ref_gflops;
+    min_speedup = std::min(min_speedup, speedup);
+
+    json::Value r = json::Value::object();
+    r.set("name", s.name);
+    r.set("m", static_cast<std::int64_t>(s.m));
+    r.set("n", static_cast<std::int64_t>(s.n));
+    r.set("k", static_cast<std::int64_t>(s.k));
+    r.set("trans_b", true);
+    r.set("iterations", static_cast<std::int64_t>(iters));
+    r.set("reference_gflops", ref_gflops);
+    r.set("dispatched_gflops", disp_gflops);
+    r.set("speedup", speedup);
+    r.set("max_rel_err", max_rel_err);
+    r.set("matches_reference", matches);
+    shape_reports.push_back(std::move(r));
+  }
+
+  json::Value report = json::Value::object();
+  report.set("benchmark", "gemm_kernels");
+  report.set("kernel", tensor::kernel_name());
+  report.set("shapes", std::move(shape_reports));
+  report.set("min_speedup", min_speedup);
+  report.set("all_match_reference", all_match);
+  return report;
+}
+
+/// Gate for BENCH_gemm.json: must re-parse, every shape must match the
+/// scalar reference, and — unless runtime dispatch landed on the scalar
+/// kernel itself — the dispatched path must not be slower than it.
+bool emit_and_check_gemm(const json::Value& report, const std::filesystem::path& path) {
+  util::write_text_file(path, report.dump(2) + "\n");
+  json::Value parsed;
+  try {
+    parsed = json::parse(util::read_text_file(path));
+  } catch (const std::exception& e) {
+    std::cerr << "FAIL " << path.string() << ": emitted JSON does not re-parse: " << e.what()
+              << '\n';
+    return false;
+  }
+  const std::string kernel = parsed.get_string("kernel", "");
+  const double min_speedup = parsed.get_number("min_speedup", 0.0);
+  std::cout << path.filename().string() << ": kernel=" << kernel << ", min speedup "
+            << min_speedup << "x vs scalar reference, all_match_reference="
+            << (parsed.get_bool("all_match_reference", false) ? "true" : "false") << '\n';
+  if (!parsed.get_bool("all_match_reference", false)) {
+    std::cerr << "FAIL " << path.string()
+              << ": dispatched kernel diverged from scalar reference\n";
+    return false;
+  }
+  if (kernel != "scalar" && min_speedup < 1.0) {
+    std::cerr << "FAIL " << path.string() << ": dispatched kernel slower than scalar "
+              << "reference (min speedup " << min_speedup << " < 1.0)\n";
+    return false;
+  }
+  return true;
 }
 
 /// Writes one report, re-parses it from disk, and applies the regression
@@ -378,7 +505,8 @@ bool emit_and_check(const json::Value& report, const std::filesystem::path& path
 
 int run_smoke(const std::filesystem::path& out_dir) {
   std::filesystem::create_directories(out_dir);
-  bool ok = emit_and_check(smoke_prefill(), out_dir / "BENCH_prefill.json", "bit_identical");
+  bool ok = emit_and_check_gemm(smoke_gemm(), out_dir / "BENCH_gemm.json");
+  ok = emit_and_check(smoke_prefill(), out_dir / "BENCH_prefill.json", "bit_identical") && ok;
   ok = emit_and_check(smoke_eval(), out_dir / "BENCH_eval.json", "scores_identical") && ok;
   std::cout << (ok ? "smoke bench OK" : "smoke bench FAILED") << '\n';
   return ok ? 0 : 1;

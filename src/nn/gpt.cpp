@@ -363,7 +363,7 @@ float GptModel::forward(GptActivations& acts, const Token* tokens, const Token* 
     layernorm_forward(ln2, acts.ln2_mean.data() + l * bt, acts.ln2_rstd.data() + l * bt, res2,
                       params_.param(blk.ln2_g), params_.param(blk.ln2_b), bt, c);
     linear_forward(fch, ln2, params_.param(blk.fc_w), params_.param(blk.fc_b), bt, c, f);
-    for (std::size_t i = 0; i < bt * f; ++i) fch_gelu[i] = tensor::gelu(fch[i]);
+    tensor::gelu_apply(fch, fch_gelu, bt * f);
     linear_forward(fcproj, fch_gelu, params_.param(blk.fc_proj_w),
                    params_.param(blk.fc_proj_b), bt, f, c);
     for (std::size_t i = 0; i < bt * c; ++i) res_out[i] = res2[i] + fcproj[i];
@@ -456,9 +456,7 @@ void GptModel::backward(GptActivations& acts, const Token* tokens, const Token* 
                     params_.grad(blk.fc_proj_b), acts.d_residual.data(), fch_gelu,
                     params_.param(blk.fc_proj_w), bt, f, c);
     // GELU backward.
-    for (std::size_t i = 0; i < bt * f; ++i) {
-      acts.d_fch[i] = acts.d_fch_gelu[i] * tensor::gelu_grad(fch[i]);
-    }
+    tensor::gelu_grad_mul(fch, acts.d_fch_gelu.data(), acts.d_fch.data(), bt * f);
     // MLP input layer backward; d_ln receives dL/d(ln2 out).
     std::memset(acts.d_ln.data(), 0, bt * c * sizeof(float));
     linear_backward(acts.d_ln.data(), params_.grad(blk.fc_w), params_.grad(blk.fc_b),
@@ -666,7 +664,7 @@ const std::vector<float>& GptInference::step(Token token) {
                       params.param(blk.ln2_g), params.param(blk.ln2_b), 1, c);
     linear_forward(fch_.data(), ln_.data(), params.param(blk.fc_w), params.param(blk.fc_b), 1,
                    c, f);
-    for (std::size_t i = 0; i < f; ++i) fch_[i] = tensor::gelu(fch_[i]);
+    tensor::gelu_apply(fch_.data(), fch_.data(), f);
     linear_forward(proj_.data(), fch_.data(), params.param(blk.fc_proj_w),
                    params.param(blk.fc_proj_b), 1, f, c);
     tensor::add_inplace(x_.data(), proj_.data(), c);

@@ -1,0 +1,83 @@
+#pragma once
+// Internal ISA-specialised kernel table behind tensor::sgemm and the
+// elementwise/vector ops in ops.hpp.
+//
+// The packed-GEMM driver in ops.cpp is portable: it tiles op(A)/op(B) into
+// cache-resident panels (A in kc x mr micro-panels, B in kc x nr
+// micro-panels) and hands every full tile to `micro_kernel`. Only the
+// micro-kernel and the vector primitives differ per ISA; each lives in its
+// own translation unit compiled with the matching -m flags
+// (kernels_scalar.cpp, kernels_avx2.cpp, kernels_neon.cpp) and is selected
+// once at startup by CPUID-style runtime dispatch — so a single binary runs
+// correctly on machines with and without the extension.
+//
+// Determinism contract: for a fixed build and kernel choice, every entry
+// uses a fixed reduction order (per-lane sequential over k, fixed-shape
+// horizontal reductions), independent of thread count. Run-to-run results
+// are bit-identical.
+
+#include <cstddef>
+
+namespace astromlab::tensor::detail {
+
+/// Upper bounds on any vtable's micro-tile, sizing the driver's on-stack
+/// edge-tile buffer.
+inline constexpr std::size_t kMaxMr = 8;
+inline constexpr std::size_t kMaxNr = 32;
+
+struct KernelVtable {
+  const char* name;  ///< "scalar" | "avx2" | "neon" — surfaced in logs/bench JSON.
+
+  std::size_t mr, nr;      ///< micro-kernel tile: C update is mr x nr
+  std::size_t mc, kc, nc;  ///< cache-blocking defaults (rows, depth, cols)
+
+  /// C[0..mr)x[0..nr) += sum_p a_panel[p*mr + i] * b_panel[p*nr + j].
+  /// a_panel/b_panel are packed (contiguous, zero-padded to mr/nr); c has
+  /// row stride ldc. Accumulates — caller handles alpha (folded into the
+  /// packed A) and beta (applied before the panel loop).
+  void (*micro_kernel)(std::size_t kc, const float* a_panel, const float* b_panel,
+                       float* c, std::size_t ldc);
+
+  /// y[j] += alpha * dot(x, B row j) for j in [0, rows); B rows have stride
+  /// ldb and length k. The m==1, trans_b sgemm fast path (decode lm-head).
+  void (*gemv_rows)(std::size_t rows, std::size_t k, float alpha, const float* x,
+                    const float* b, std::size_t ldb, float* y);
+
+  void (*axpy)(float a, const float* x, float* y, std::size_t n);
+  float (*dot)(const float* x, const float* y, std::size_t n);
+  void (*add_inplace)(float* y, const float* x, std::size_t n);
+  void (*scale_inplace)(float* x, float a, std::size_t n);
+  void (*add_row_bias)(float* matrix, const float* bias, std::size_t rows,
+                       std::size_t cols);
+  /// y = gelu(x) elementwise; y may alias x.
+  void (*gelu_apply)(const float* x, float* y, std::size_t n);
+  /// dx = dy * gelu'(x) elementwise; dx may alias dy.
+  void (*gelu_grad_mul)(const float* x, const float* dy, float* dx, std::size_t n);
+  /// Numerically-stable softmax; returns the max logit. probs may alias
+  /// logits.
+  float (*softmax_row)(const float* logits, float* probs, std::size_t n);
+};
+
+/// Always available; the portable fallback and the test oracle's kernels.
+const KernelVtable* scalar_kernels();
+/// AVX2+FMA table, or nullptr when the TU was built without AVX2 support.
+/// Call only after checking the CPU actually has avx2+fma.
+const KernelVtable* avx2_kernels();
+/// NEON table (aarch64), or nullptr on other architectures.
+const KernelVtable* neon_kernels();
+
+// Scalar primitives with external linkage so SIMD tables can reuse them for
+// entries they do not specialise (e.g. NEON keeps scalar transcendentals).
+void scalar_axpy(float a, const float* x, float* y, std::size_t n);
+float scalar_dot(const float* x, const float* y, std::size_t n);
+void scalar_add_inplace(float* y, const float* x, std::size_t n);
+void scalar_scale_inplace(float* x, float a, std::size_t n);
+void scalar_add_row_bias(float* matrix, const float* bias, std::size_t rows,
+                         std::size_t cols);
+void scalar_gelu_apply(const float* x, float* y, std::size_t n);
+void scalar_gelu_grad_mul(const float* x, const float* dy, float* dx, std::size_t n);
+float scalar_softmax_row(const float* logits, float* probs, std::size_t n);
+void scalar_gemv_rows(std::size_t rows, std::size_t k, float alpha, const float* x,
+                      const float* b, std::size_t ldb, float* y);
+
+}  // namespace astromlab::tensor::detail

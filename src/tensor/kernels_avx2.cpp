@@ -1,0 +1,302 @@
+#include "tensor/kernels.hpp"
+
+// AVX2+FMA kernel table. This translation unit is compiled with
+// -mavx2 -mfma (see src/tensor/CMakeLists.txt) while the rest of the build
+// stays at the baseline ISA, so nothing here may run before the dispatcher
+// has verified the CPU supports avx2+fma. Keep the includes minimal: inline
+// functions from C++ headers instantiated here would carry AVX2 code and can
+// win COMDAT selection over their baseline twins.
+//
+// Reduction orders are fixed per lane (sequential over k; horizontal sums
+// reduce a fixed tree), so results are run-to-run deterministic.
+
+#if defined(ASTROMLAB_KERNEL_AVX2) && (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace astromlab::tensor::detail {
+
+namespace {
+
+constexpr std::size_t kMr = 6;
+constexpr std::size_t kNr = 16;
+
+float hsum8(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x1));
+  return _mm_cvtss_f32(s);
+}
+
+float hmax8(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_max_ps(lo, hi);
+  s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 0x1));
+  return _mm_cvtss_f32(s);
+}
+
+// 6x16 register-blocked FMA micro-kernel: 12 ymm accumulators + 2 B loads
+// + 1 broadcast stay within the 16 ymm registers.
+void micro_kernel_6x16(std::size_t kc, const float* a_panel, const float* b_panel,
+                       float* c, std::size_t ldc) {
+  __m256 acc00 = _mm256_setzero_ps(), acc01 = _mm256_setzero_ps();
+  __m256 acc10 = _mm256_setzero_ps(), acc11 = _mm256_setzero_ps();
+  __m256 acc20 = _mm256_setzero_ps(), acc21 = _mm256_setzero_ps();
+  __m256 acc30 = _mm256_setzero_ps(), acc31 = _mm256_setzero_ps();
+  __m256 acc40 = _mm256_setzero_ps(), acc41 = _mm256_setzero_ps();
+  __m256 acc50 = _mm256_setzero_ps(), acc51 = _mm256_setzero_ps();
+  for (std::size_t p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(b_panel + p * kNr);
+    const __m256 b1 = _mm256_loadu_ps(b_panel + p * kNr + 8);
+    const float* a = a_panel + p * kMr;
+    __m256 av;
+    av = _mm256_broadcast_ss(a + 0);
+    acc00 = _mm256_fmadd_ps(av, b0, acc00);
+    acc01 = _mm256_fmadd_ps(av, b1, acc01);
+    av = _mm256_broadcast_ss(a + 1);
+    acc10 = _mm256_fmadd_ps(av, b0, acc10);
+    acc11 = _mm256_fmadd_ps(av, b1, acc11);
+    av = _mm256_broadcast_ss(a + 2);
+    acc20 = _mm256_fmadd_ps(av, b0, acc20);
+    acc21 = _mm256_fmadd_ps(av, b1, acc21);
+    av = _mm256_broadcast_ss(a + 3);
+    acc30 = _mm256_fmadd_ps(av, b0, acc30);
+    acc31 = _mm256_fmadd_ps(av, b1, acc31);
+    av = _mm256_broadcast_ss(a + 4);
+    acc40 = _mm256_fmadd_ps(av, b0, acc40);
+    acc41 = _mm256_fmadd_ps(av, b1, acc41);
+    av = _mm256_broadcast_ss(a + 5);
+    acc50 = _mm256_fmadd_ps(av, b0, acc50);
+    acc51 = _mm256_fmadd_ps(av, b1, acc51);
+  }
+  const auto store_row = [ldc](float* row, __m256 v0, __m256 v1) {
+    _mm256_storeu_ps(row, _mm256_add_ps(_mm256_loadu_ps(row), v0));
+    _mm256_storeu_ps(row + 8, _mm256_add_ps(_mm256_loadu_ps(row + 8), v1));
+    (void)ldc;
+  };
+  store_row(c + 0 * ldc, acc00, acc01);
+  store_row(c + 1 * ldc, acc10, acc11);
+  store_row(c + 2 * ldc, acc20, acc21);
+  store_row(c + 3 * ldc, acc30, acc31);
+  store_row(c + 4 * ldc, acc40, acc41);
+  store_row(c + 5 * ldc, acc50, acc51);
+}
+
+// Cephes-style exp: clamp, range-reduce by ln2 (split hi/lo), degree-6
+// polynomial, scale by 2^n through the exponent bits. Max relative error
+// ~2e-7 over the clamped domain.
+__m256 exp256(__m256 x) {
+  const __m256 hi = _mm256_set1_ps(88.3762626647949f);
+  const __m256 lo = _mm256_set1_ps(-87.3365478515625f);
+  x = _mm256_min_ps(_mm256_max_ps(x, lo), hi);
+  __m256 fx = _mm256_fmadd_ps(x, _mm256_set1_ps(1.44269504088896341f),
+                              _mm256_set1_ps(0.5f));
+  fx = _mm256_floor_ps(fx);
+  __m256 z = _mm256_fnmadd_ps(fx, _mm256_set1_ps(0.693359375f), x);
+  z = _mm256_fnmadd_ps(fx, _mm256_set1_ps(-2.12194440e-4f), z);
+  __m256 y = _mm256_set1_ps(1.9875691500e-4f);
+  y = _mm256_fmadd_ps(y, z, _mm256_set1_ps(1.3981999507e-3f));
+  y = _mm256_fmadd_ps(y, z, _mm256_set1_ps(8.3334519073e-3f));
+  y = _mm256_fmadd_ps(y, z, _mm256_set1_ps(4.1665795894e-2f));
+  y = _mm256_fmadd_ps(y, z, _mm256_set1_ps(1.6666665459e-1f));
+  y = _mm256_fmadd_ps(y, z, _mm256_set1_ps(5.0000001201e-1f));
+  const __m256 z2 = _mm256_mul_ps(z, z);
+  y = _mm256_fmadd_ps(y, z2, _mm256_add_ps(z, _mm256_set1_ps(1.0f)));
+  __m256i n = _mm256_cvtps_epi32(fx);
+  n = _mm256_add_epi32(n, _mm256_set1_epi32(127));
+  n = _mm256_slli_epi32(n, 23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(n));
+}
+
+// tanh(x) = (e^{2x} - 1) / (e^{2x} + 1); inputs clamped to ±9 where float
+// tanh saturates, so e^{2x} cannot overflow.
+__m256 tanh256(__m256 x) {
+  const __m256 lim = _mm256_set1_ps(9.0f);
+  x = _mm256_min_ps(_mm256_max_ps(x, _mm256_sub_ps(_mm256_setzero_ps(), lim)), lim);
+  const __m256 e = exp256(_mm256_add_ps(x, x));
+  const __m256 one = _mm256_set1_ps(1.0f);
+  return _mm256_div_ps(_mm256_sub_ps(e, one), _mm256_add_ps(e, one));
+}
+
+constexpr float kSqrt2OverPi = 0.7978845608028654f;
+constexpr float kGeluC = 0.044715f;
+
+void gelu_apply_avx2(const float* x, float* y, std::size_t n) {
+  const __m256 k = _mm256_set1_ps(kSqrt2OverPi);
+  const __m256 c3 = _mm256_set1_ps(kGeluC);
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256 v2 = _mm256_mul_ps(v, v);
+    const __m256 inner =
+        _mm256_mul_ps(k, _mm256_fmadd_ps(_mm256_mul_ps(c3, v2), v, v));
+    const __m256 t = tanh256(inner);
+    _mm256_storeu_ps(y + i,
+                     _mm256_mul_ps(_mm256_mul_ps(half, v), _mm256_add_ps(one, t)));
+  }
+  if (i < n) scalar_gelu_apply(x + i, y + i, n - i);
+}
+
+void gelu_grad_mul_avx2(const float* x, const float* dy, float* dx, std::size_t n) {
+  const __m256 k = _mm256_set1_ps(kSqrt2OverPi);
+  const __m256 c3 = _mm256_set1_ps(kGeluC);
+  const __m256 c3x3 = _mm256_set1_ps(3.0f * kGeluC);
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256 v2 = _mm256_mul_ps(v, v);
+    const __m256 inner =
+        _mm256_mul_ps(k, _mm256_fmadd_ps(_mm256_mul_ps(c3, v2), v, v));
+    const __m256 t = tanh256(inner);
+    const __m256 sech2 = _mm256_fnmadd_ps(t, t, one);
+    const __m256 d_inner = _mm256_mul_ps(k, _mm256_fmadd_ps(c3x3, v2, one));
+    // g = 0.5*(1+t) + 0.5*x*sech2*d_inner
+    const __m256 g = _mm256_fmadd_ps(
+        _mm256_mul_ps(_mm256_mul_ps(half, v), sech2), d_inner,
+        _mm256_mul_ps(half, _mm256_add_ps(one, t)));
+    _mm256_storeu_ps(dx + i, _mm256_mul_ps(_mm256_loadu_ps(dy + i), g));
+  }
+  if (i < n) scalar_gelu_grad_mul(x + i, dy + i, dx + i, n - i);
+}
+
+float softmax_row_avx2(const float* logits, float* probs, std::size_t n) {
+  if (n < 8) return scalar_softmax_row(logits, probs, n);
+  __m256 vmax = _mm256_loadu_ps(logits);
+  std::size_t i = 8;
+  for (; i + 8 <= n; i += 8) vmax = _mm256_max_ps(vmax, _mm256_loadu_ps(logits + i));
+  float max_logit = hmax8(vmax);
+  for (; i < n; ++i) max_logit = max_logit > logits[i] ? max_logit : logits[i];
+
+  const __m256 vm = _mm256_set1_ps(max_logit);
+  __m256 vsum = _mm256_setzero_ps();
+  for (i = 0; i + 8 <= n; i += 8) {
+    const __m256 e = exp256(_mm256_sub_ps(_mm256_loadu_ps(logits + i), vm));
+    _mm256_storeu_ps(probs + i, e);
+    vsum = _mm256_add_ps(vsum, e);
+  }
+  float total = hsum8(vsum);
+  for (; i < n; ++i) {
+    const float e = std::exp(logits[i] - max_logit);
+    probs[i] = e;
+    total += e;
+  }
+
+  const float inv = 1.0f / total;
+  const __m256 vinv = _mm256_set1_ps(inv);
+  for (i = 0; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(probs + i, _mm256_mul_ps(_mm256_loadu_ps(probs + i), vinv));
+  }
+  for (; i < n; ++i) probs[i] *= inv;
+  return max_logit;
+}
+
+void axpy_avx2(float a, const float* x, float* y, std::size_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+float dot_avx2(const float* x, const float* y, std::size_t n) {
+  __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps(), acc3 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i), acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 8), _mm256_loadu_ps(y + i + 8), acc1);
+    acc2 =
+        _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 16), _mm256_loadu_ps(y + i + 16), acc2);
+    acc3 =
+        _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 24), _mm256_loadu_ps(y + i + 24), acc3);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i), acc0);
+  }
+  float total =
+      hsum8(_mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3)));
+  for (; i < n; ++i) total += x[i] * y[i];
+  return total;
+}
+
+void add_inplace_avx2(float* y, const float* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+void scale_inplace_avx2(float* x, float a, std::size_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), va));
+  }
+  for (; i < n; ++i) x[i] *= a;
+}
+
+void add_row_bias_avx2(float* matrix, const float* bias, std::size_t rows,
+                       std::size_t cols) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* row = matrix + r * cols;
+    std::size_t i = 0;
+    for (; i + 8 <= cols; i += 8) {
+      _mm256_storeu_ps(row + i,
+                       _mm256_add_ps(_mm256_loadu_ps(row + i), _mm256_loadu_ps(bias + i)));
+    }
+    for (; i < cols; ++i) row[i] += bias[i];
+  }
+}
+
+void gemv_rows_avx2(std::size_t rows, std::size_t k, float alpha, const float* x,
+                    const float* b, std::size_t ldb, float* y) {
+  for (std::size_t j = 0; j < rows; ++j) {
+    y[j] += alpha * dot_avx2(x, b + j * ldb, k);
+  }
+}
+
+const KernelVtable kAvx2Table = {
+    "avx2",
+    kMr,
+    kNr,
+    120,   // mc: 20 micro-rows, a-panel 120x256 floats ≈ 120 KiB (L2)
+    256,   // kc
+    1024,  // nc: b-panel 256x1024 floats = 1 MiB (L2/L3)
+    micro_kernel_6x16,
+    gemv_rows_avx2,
+    axpy_avx2,
+    dot_avx2,
+    add_inplace_avx2,
+    scale_inplace_avx2,
+    add_row_bias_avx2,
+    gelu_apply_avx2,
+    gelu_grad_mul_avx2,
+    softmax_row_avx2,
+};
+
+}  // namespace
+
+const KernelVtable* avx2_kernels() { return &kAvx2Table; }
+
+}  // namespace astromlab::tensor::detail
+
+#else  // !ASTROMLAB_KERNEL_AVX2
+
+namespace astromlab::tensor::detail {
+const KernelVtable* avx2_kernels() { return nullptr; }
+}  // namespace astromlab::tensor::detail
+
+#endif

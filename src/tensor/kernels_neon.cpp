@@ -1,0 +1,137 @@
+#include "tensor/kernels.hpp"
+
+// NEON kernel table for aarch64, where Advanced SIMD is baseline so no
+// special compile flags are needed. The GEMM micro-kernel and the linear
+// vector ops are vectorised; the transcendental ops (gelu, softmax) keep the
+// shared scalar implementations — exact parity with the scalar path there,
+// and no hand-rolled NEON exp to maintain.
+
+#if defined(ASTROMLAB_KERNEL_NEON) && defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace astromlab::tensor::detail {
+
+namespace {
+
+constexpr std::size_t kMr = 8;
+constexpr std::size_t kNr = 8;
+
+// 8x8 micro-kernel: 16 q-register accumulators + 2 B loads + broadcasts fit
+// the 32 NEON registers.
+void micro_kernel_8x8(std::size_t kc, const float* a_panel, const float* b_panel,
+                      float* c, std::size_t ldc) {
+  float32x4_t acc[kMr][2];
+  for (std::size_t i = 0; i < kMr; ++i) {
+    acc[i][0] = vdupq_n_f32(0.0f);
+    acc[i][1] = vdupq_n_f32(0.0f);
+  }
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float32x4_t b0 = vld1q_f32(b_panel + p * kNr);
+    const float32x4_t b1 = vld1q_f32(b_panel + p * kNr + 4);
+    const float* a = a_panel + p * kMr;
+    for (std::size_t i = 0; i < kMr; ++i) {
+      const float32x4_t av = vdupq_n_f32(a[i]);
+      acc[i][0] = vfmaq_f32(acc[i][0], av, b0);
+      acc[i][1] = vfmaq_f32(acc[i][1], av, b1);
+    }
+  }
+  for (std::size_t i = 0; i < kMr; ++i) {
+    float* row = c + i * ldc;
+    vst1q_f32(row, vaddq_f32(vld1q_f32(row), acc[i][0]));
+    vst1q_f32(row + 4, vaddq_f32(vld1q_f32(row + 4), acc[i][1]));
+  }
+}
+
+float dot_neon(const float* x, const float* y, std::size_t n) {
+  float32x4_t acc0 = vdupq_n_f32(0.0f), acc1 = vdupq_n_f32(0.0f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(x + i), vld1q_f32(y + i));
+    acc1 = vfmaq_f32(acc1, vld1q_f32(x + i + 4), vld1q_f32(y + i + 4));
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(x + i), vld1q_f32(y + i));
+  }
+  float total = vaddvq_f32(vaddq_f32(acc0, acc1));
+  for (; i < n; ++i) total += x[i] * y[i];
+  return total;
+}
+
+void axpy_neon(float a, const float* x, float* y, std::size_t n) {
+  const float32x4_t va = vdupq_n_f32(a);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(y + i, vfmaq_f32(vld1q_f32(y + i), va, vld1q_f32(x + i)));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void add_inplace_neon(float* y, const float* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(y + i, vaddq_f32(vld1q_f32(y + i), vld1q_f32(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+void scale_inplace_neon(float* x, float a, std::size_t n) {
+  const float32x4_t va = vdupq_n_f32(a);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(x + i, vmulq_f32(vld1q_f32(x + i), va));
+  }
+  for (; i < n; ++i) x[i] *= a;
+}
+
+void add_row_bias_neon(float* matrix, const float* bias, std::size_t rows,
+                       std::size_t cols) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* row = matrix + r * cols;
+    std::size_t i = 0;
+    for (; i + 4 <= cols; i += 4) {
+      vst1q_f32(row + i, vaddq_f32(vld1q_f32(row + i), vld1q_f32(bias + i)));
+    }
+    for (; i < cols; ++i) row[i] += bias[i];
+  }
+}
+
+void gemv_rows_neon(std::size_t rows, std::size_t k, float alpha, const float* x,
+                    const float* b, std::size_t ldb, float* y) {
+  for (std::size_t j = 0; j < rows; ++j) {
+    y[j] += alpha * dot_neon(x, b + j * ldb, k);
+  }
+}
+
+const KernelVtable kNeonTable = {
+    "neon",
+    kMr,
+    kNr,
+    128,  // mc
+    256,  // kc
+    512,  // nc
+    micro_kernel_8x8,
+    gemv_rows_neon,
+    axpy_neon,
+    dot_neon,
+    add_inplace_neon,
+    scale_inplace_neon,
+    add_row_bias_neon,
+    scalar_gelu_apply,
+    scalar_gelu_grad_mul,
+    scalar_softmax_row,
+};
+
+}  // namespace
+
+const KernelVtable* neon_kernels() { return &kNeonTable; }
+
+}  // namespace astromlab::tensor::detail
+
+#else  // !ASTROMLAB_KERNEL_NEON
+
+namespace astromlab::tensor::detail {
+const KernelVtable* neon_kernels() { return nullptr; }
+}  // namespace astromlab::tensor::detail
+
+#endif

@@ -1,0 +1,130 @@
+#include "tensor/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+// Portable scalar kernel table: the dispatch fallback on CPUs without a
+// specialised table and the path ASTROMLAB_FORCE_SCALAR pins for debugging.
+// The micro-kernel keeps independent per-lane accumulators so compilers may
+// vectorise the j lanes, but the per-element reduction order over k is fixed
+// (sequential), matching the determinism contract in kernels.hpp.
+
+namespace astromlab::tensor::detail {
+
+namespace {
+
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 8;
+
+void micro_kernel_4x8(std::size_t kc, const float* a_panel, const float* b_panel,
+                      float* c, std::size_t ldc) {
+  float acc[kMr][kNr] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* a = a_panel + p * kMr;
+    const float* b = b_panel + p * kNr;
+    for (std::size_t i = 0; i < kMr; ++i) {
+      const float ai = a[i];
+      for (std::size_t j = 0; j < kNr; ++j) acc[i][j] += ai * b[j];
+    }
+  }
+  for (std::size_t i = 0; i < kMr; ++i) {
+    float* c_row = c + i * ldc;
+    for (std::size_t j = 0; j < kNr; ++j) c_row[j] += acc[i][j];
+  }
+}
+
+constexpr float kSqrt2OverPi = 0.7978845608028654f;
+
+float gelu_scalar(float x) {
+  const float cube = 0.044715f * x * x * x;
+  return 0.5f * x * (1.0f + std::tanh(kSqrt2OverPi * (x + cube)));
+}
+
+float gelu_grad_scalar(float x) {
+  const float x2 = x * x;
+  const float inner = kSqrt2OverPi * (x + 0.044715f * x2 * x);
+  const float t = std::tanh(inner);
+  const float sech2 = 1.0f - t * t;
+  const float d_inner = kSqrt2OverPi * (1.0f + 3.0f * 0.044715f * x2);
+  return 0.5f * (1.0f + t) + 0.5f * x * sech2 * d_inner;
+}
+
+const KernelVtable kScalarTable = {
+    "scalar",
+    kMr,
+    kNr,
+    128,  // mc
+    256,  // kc
+    512,  // nc
+    micro_kernel_4x8,
+    scalar_gemv_rows,
+    scalar_axpy,
+    scalar_dot,
+    scalar_add_inplace,
+    scalar_scale_inplace,
+    scalar_add_row_bias,
+    scalar_gelu_apply,
+    scalar_gelu_grad_mul,
+    scalar_softmax_row,
+};
+
+}  // namespace
+
+const KernelVtable* scalar_kernels() { return &kScalarTable; }
+
+void scalar_axpy(float a, const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+float scalar_dot(const float* x, const float* y, std::size_t n) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void scalar_add_inplace(float* y, const float* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+void scalar_scale_inplace(float* x, float a, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= a;
+}
+
+void scalar_add_row_bias(float* matrix, const float* bias, std::size_t rows,
+                         std::size_t cols) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* row = matrix + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) row[c] += bias[c];
+  }
+}
+
+void scalar_gelu_apply(const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = gelu_scalar(x[i]);
+}
+
+void scalar_gelu_grad_mul(const float* x, const float* dy, float* dx, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dx[i] = dy[i] * gelu_grad_scalar(x[i]);
+}
+
+float scalar_softmax_row(const float* logits, float* probs, std::size_t n) {
+  float max_logit = logits[0];
+  for (std::size_t i = 1; i < n; ++i) max_logit = std::max(max_logit, logits[i]);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float e = std::exp(logits[i] - max_logit);
+    probs[i] = e;
+    total += e;
+  }
+  const float inv = static_cast<float>(1.0 / total);
+  for (std::size_t i = 0; i < n; ++i) probs[i] *= inv;
+  return max_logit;
+}
+
+void scalar_gemv_rows(std::size_t rows, std::size_t k, float alpha, const float* x,
+                      const float* b, std::size_t ldb, float* y) {
+  for (std::size_t j = 0; j < rows; ++j) {
+    y[j] += alpha * scalar_dot(x, b + j * ldb, k);
+  }
+}
+
+}  // namespace astromlab::tensor::detail

@@ -1,21 +1,300 @@
 #include "tensor/ops.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <mutex>
+#include <string>
 #include <vector>
 
+#include "tensor/kernels.hpp"
+#include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
 namespace astromlab::tensor {
 
 namespace {
 
-// Kernel for the hot path: C[M,N] += A[M,K] * B[K,N], all non-transposed,
-// blocked over K for L1 reuse and vectorisable inner loops over N.
-void gemm_nn(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
-             std::size_t lda, const float* b, std::size_t ldb, float* c, std::size_t ldc,
-             std::size_t row_begin, std::size_t row_end) {
-  (void)m;
+using detail::KernelVtable;
+
+// ---------------------------------------------------------------------------
+// Runtime kernel dispatch.
+
+bool cpu_has_avx2_fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+/// Resolves a kernel request ("auto" picks the best table this CPU can run).
+/// Returns nullptr when the request cannot be satisfied.
+const KernelVtable* resolve_kernels(std::string_view request) {
+  if (request == "auto" || request.empty()) {
+    if (cpu_has_avx2_fma()) {
+      if (const KernelVtable* kv = detail::avx2_kernels()) return kv;
+    }
+    if (const KernelVtable* kv = detail::neon_kernels()) return kv;
+    return detail::scalar_kernels();
+  }
+  if (request == "scalar") return detail::scalar_kernels();
+  if (request == "avx2") return cpu_has_avx2_fma() ? detail::avx2_kernels() : nullptr;
+  if (request == "neon") return detail::neon_kernels();
+  return nullptr;
+}
+
+std::atomic<const KernelVtable*> g_kernels{nullptr};
+
+/// What startup selection chose (env knobs included), so that
+/// set_kernel_override("auto") restores it rather than re-running bare
+/// hardware detection and silently dropping ASTROMLAB_FORCE_SCALAR.
+std::atomic<const KernelVtable*> g_startup_kernels{nullptr};
+
+/// One-time startup selection honouring ASTROMLAB_KERNEL /
+/// ASTROMLAB_FORCE_SCALAR, with a single log line naming the choice so
+/// BENCH trajectories are attributable to a kernel across machines.
+const KernelVtable& active_kernels() {
+  const KernelVtable* kv = g_kernels.load(std::memory_order_acquire);
+  if (kv != nullptr) return *kv;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    std::string request = "auto";
+    if (const char* env = std::getenv("ASTROMLAB_KERNEL")) request = env;
+    if (const char* force = std::getenv("ASTROMLAB_FORCE_SCALAR")) {
+      if (force[0] != '\0' && force[0] != '0') request = "scalar";
+    }
+    const KernelVtable* chosen = resolve_kernels(request);
+    if (chosen == nullptr) {
+      log::warn() << "tensor kernels: requested '" << request
+                  << "' unavailable on this build/CPU, using runtime detection";
+      chosen = resolve_kernels("auto");
+    }
+    log::info() << "tensor kernels: " << chosen->name << " (micro-kernel "
+                << chosen->mr << "x" << chosen->nr << ", blocking mc=" << chosen->mc
+                << " kc=" << chosen->kc << " nc=" << chosen->nc << ")";
+    g_startup_kernels.store(chosen, std::memory_order_release);
+    g_kernels.store(chosen, std::memory_order_release);
+  });
+  return *g_kernels.load(std::memory_order_acquire);
+}
+
+// ---------------------------------------------------------------------------
+// Packed-GEMM driver (ISA-independent; compute happens in the micro-kernel).
+
+/// A task below this many flops is not worth a pool hop; used to derive the
+/// parallel grain from packed tiles (and gemv row chunks) instead of raw
+/// output rows.
+constexpr std::size_t kMinFlopsPerTask = 1u << 16;
+
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+/// Packs alpha * op(A)[ic.., pc..] (mc x kc) into mr-row micro-panels:
+/// panel[p * mr + r], rows past mc zero-filled so the micro-kernel never
+/// reads garbage. Folding alpha here keeps the micro-kernel pure.
+void pack_a(bool trans_a, const float* a, std::size_t lda, std::size_t ic,
+            std::size_t pc, std::size_t mc, std::size_t kc, std::size_t mr, float alpha,
+            float* out) {
+  for (std::size_t ir = 0; ir < mc; ir += mr) {
+    const std::size_t rows = std::min(mr, mc - ir);
+    float* panel = out + ir * kc;
+    for (std::size_t p = 0; p < kc; ++p) {
+      float* dst = panel + p * mr;
+      const std::size_t col = pc + p;
+      if (trans_a) {
+        const float* src = a + col * lda + ic + ir;
+        for (std::size_t r = 0; r < rows; ++r) dst[r] = alpha * src[r];
+      } else {
+        const float* src = a + (ic + ir) * lda + col;
+        for (std::size_t r = 0; r < rows; ++r) dst[r] = alpha * src[r * lda];
+      }
+      for (std::size_t r = rows; r < mr; ++r) dst[r] = 0.0f;
+    }
+  }
+}
+
+/// Packs op(B)[pc.., jc..] (kc x nc) into nr-column micro-panels:
+/// panel[p * nr + j], columns past nc zero-filled.
+void pack_b(bool trans_b, const float* b, std::size_t ldb, std::size_t pc,
+            std::size_t jc, std::size_t kc, std::size_t nc, std::size_t nr, float* out) {
+  for (std::size_t jr = 0; jr < nc; jr += nr) {
+    const std::size_t cols = std::min(nr, nc - jr);
+    float* panel = out + jr * kc;
+    for (std::size_t p = 0; p < kc; ++p) {
+      float* dst = panel + p * nr;
+      const std::size_t row = pc + p;
+      if (trans_b) {
+        const float* src = b + (jc + jr) * ldb + row;
+        for (std::size_t j = 0; j < cols; ++j) dst[j] = src[j * ldb];
+      } else {
+        const float* src = b + row * ldb + jc + jr;
+        for (std::size_t j = 0; j < cols; ++j) dst[j] = src[j];
+      }
+      for (std::size_t j = cols; j < nr; ++j) dst[j] = 0.0f;
+    }
+  }
+}
+
+/// Runs the micro-kernel over one packed mc x nc block. Edge tiles detour
+/// through an on-stack mr x nr buffer so C's padding (ldc > n) is never
+/// touched and partial tiles never read/write out of bounds.
+void macro_kernel(const KernelVtable& kv, std::size_t mc, std::size_t nc,
+                  std::size_t kc, const float* a_pack, const float* b_pack, float* c,
+                  std::size_t ldc) {
+  const std::size_t mr = kv.mr, nr = kv.nr;
+  for (std::size_t jr = 0; jr < nc; jr += nr) {
+    const std::size_t nr_eff = std::min(nr, nc - jr);
+    const float* bp = b_pack + jr * kc;
+    for (std::size_t ir = 0; ir < mc; ir += mr) {
+      const std::size_t mr_eff = std::min(mr, mc - ir);
+      const float* ap = a_pack + ir * kc;
+      float* ct = c + ir * ldc + jr;
+      if (mr_eff == mr && nr_eff == nr) {
+        kv.micro_kernel(kc, ap, bp, ct, ldc);
+      } else {
+        alignas(64) float tmp[detail::kMaxMr * detail::kMaxNr];
+        std::fill(tmp, tmp + mr * nr, 0.0f);
+        kv.micro_kernel(kc, ap, bp, tmp, nr);
+        for (std::size_t i = 0; i < mr_eff; ++i) {
+          float* c_row = ct + i * ldc;
+          const float* t_row = tmp + i * nr;
+          for (std::size_t j = 0; j < nr_eff; ++j) c_row[j] += t_row[j];
+        }
+      }
+    }
+  }
+}
+
+/// m == 1 fast path (the decode-time matvec: per-token lm-head and linear
+/// layers). Packing a full B panel would cost as much as the multiply
+/// itself, so route through vectorised dot/axpy instead.
+void gemv(const KernelVtable& kv, bool trans_a, bool trans_b, std::size_t n,
+          std::size_t k, float alpha, const float* a, std::size_t lda, const float* b,
+          std::size_t ldb, float* c) {
+  thread_local std::vector<float> x_scratch;
+  const float* x = a;
+  if (trans_a) {
+    // op(A) row 0 is strided through stored A; gather once.
+    x_scratch.resize(k);
+    for (std::size_t p = 0; p < k; ++p) x_scratch[p] = a[p * lda];
+    x = x_scratch.data();
+  }
+  if (trans_b) {
+    // c[j] += alpha * <x, B row j>: independent rows, chunked so each task
+    // carries at least kMinFlopsPerTask worth of dot products. Skip the pool
+    // outright when it cannot help (single-core, or too little work for a
+    // second task) — this path runs once per decoded token per layer.
+    const std::size_t grain = std::max<std::size_t>(1, ceil_div(kMinFlopsPerTask, 2 * k));
+    if (util::ThreadPool::global().parallelism() == 1 || n <= grain) {
+      kv.gemv_rows(n, k, alpha, x, b, ldb, c);
+      return;
+    }
+    util::parallel_for_range(
+        n,
+        [&](std::size_t begin, std::size_t end) {
+          kv.gemv_rows(end - begin, k, alpha, x, b + begin * ldb, ldb, c + begin);
+        },
+        grain);
+  } else {
+    // c += alpha * x[p] * B row p, accumulated in fixed p order.
+    for (std::size_t p = 0; p < k; ++p) {
+      kv.axpy(alpha * x[p], b + p * ldb, c, n);
+    }
+  }
+}
+
+}  // namespace
+
+void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n, std::size_t k,
+           float alpha, const float* a, std::size_t lda, const float* b, std::size_t ldb,
+           float beta, float* c, std::size_t ldc) {
+  if (m == 0 || n == 0) return;
+  const KernelVtable& kv = active_kernels();
+
+  if (beta != 1.0f && m == 1) {
+    if (beta == 0.0f) {
+      std::fill(c, c + n, 0.0f);
+    } else {
+      kv.scale_inplace(c, beta, n);
+    }
+  } else if (beta != 1.0f) {
+    const std::size_t grain = std::max<std::size_t>(1, ceil_div(kMinFlopsPerTask, n));
+    util::parallel_for_range(
+        m,
+        [&](std::size_t row_begin, std::size_t row_end) {
+          for (std::size_t i = row_begin; i < row_end; ++i) {
+            float* c_row = c + i * ldc;
+            if (beta == 0.0f) {
+              std::fill(c_row, c_row + n, 0.0f);
+            } else {
+              kv.scale_inplace(c_row, beta, n);
+            }
+          }
+        },
+        grain);
+  }
+  if (k == 0 || alpha == 0.0f) return;
+
+  if (m == 1) {
+    gemv(kv, trans_a, trans_b, n, k, alpha, a, lda, b, ldb, c);
+    return;
+  }
+
+  // Blocked, packed path: jc/pc loops stream op(B) panels (packed once by
+  // the calling thread, then shared read-only), and the mc row tiles fan out
+  // across the pool. K is never split across tasks, so each C element keeps
+  // a fixed accumulation order regardless of thread count.
+  const std::size_t kc_max = std::min(kv.kc, k);
+  const std::size_t nc_max = std::min(kv.nc, ((n + kv.nr - 1) / kv.nr) * kv.nr);
+  const std::size_t mc_max = kv.mc;
+  thread_local std::vector<float> b_pack_storage;
+  b_pack_storage.resize(kc_max * nc_max);
+  float* const b_pack = b_pack_storage.data();
+
+  const std::size_t row_tiles = ceil_div(m, mc_max);
+  for (std::size_t jc = 0; jc < n; jc += nc_max) {
+    const std::size_t nc = std::min(nc_max, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += kc_max) {
+      const std::size_t kc = std::min(kc_max, k - pc);
+      pack_b(trans_b, b, ldb, pc, jc, kc, nc, kv.nr, b_pack);
+
+      // Grain in units of whole row tiles: every task runs at least
+      // kMinFlopsPerTask of micro-kernel work, replacing the old
+      // per-output-row heuristic that undershot for wide (lm-head) shapes.
+      const std::size_t tile_flops = 2 * std::min(mc_max, m) * kc * nc;
+      const std::size_t grain =
+          std::max<std::size_t>(1, ceil_div(kMinFlopsPerTask, std::max<std::size_t>(tile_flops, 1)));
+      util::parallel_for_range(
+          row_tiles,
+          [&](std::size_t tile_begin, std::size_t tile_end) {
+            thread_local std::vector<float> a_pack_storage;
+            for (std::size_t tile = tile_begin; tile < tile_end; ++tile) {
+              const std::size_t ic = tile * mc_max;
+              const std::size_t mc = std::min(mc_max, m - ic);
+              const std::size_t mc_padded = ceil_div(mc, kv.mr) * kv.mr;
+              a_pack_storage.resize(mc_padded * kc);
+              pack_a(trans_a, a, lda, ic, pc, mc, kc, kv.mr, alpha,
+                     a_pack_storage.data());
+              macro_kernel(kv, mc, nc, kc, a_pack_storage.data(), b_pack,
+                           c + ic * ldc + jc, ldc);
+            }
+          },
+          grain);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reference scalar loop nests: the pre-dispatch sgemm, kept as the semantics
+// oracle and the bench baseline. No zero-skip: 0 * inf must produce NaN
+// exactly like the packed kernels.
+
+namespace {
+
+void ref_gemm_nn(std::size_t n, std::size_t k, float alpha, const float* a,
+                 std::size_t lda, const float* b, std::size_t ldb, float* c,
+                 std::size_t ldc, std::size_t row_begin, std::size_t row_end) {
   constexpr std::size_t kBlockK = 64;
   for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
     const std::size_t k1 = std::min(k, k0 + kBlockK);
@@ -24,21 +303,16 @@ void gemm_nn(std::size_t m, std::size_t n, std::size_t k, float alpha, const flo
       float* c_row = c + i * ldc;
       for (std::size_t p = k0; p < k1; ++p) {
         const float a_ip = alpha * a_row[p];
-        if (a_ip == 0.0f) continue;
         const float* b_row = b + p * ldb;
-        for (std::size_t j = 0; j < n; ++j) {
-          c_row[j] += a_ip * b_row[j];
-        }
+        for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
       }
     }
   }
 }
 
-// C[M,N] += A[M,K] * B^T where B is stored [N,K]: rows of A dot rows of B.
-void gemm_nt(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
-             std::size_t lda, const float* b, std::size_t ldb, float* c, std::size_t ldc,
-             std::size_t row_begin, std::size_t row_end) {
-  (void)m;
+void ref_gemm_nt(std::size_t n, std::size_t k, float alpha, const float* a,
+                 std::size_t lda, const float* b, std::size_t ldb, float* c,
+                 std::size_t ldc, std::size_t row_begin, std::size_t row_end) {
   for (std::size_t i = row_begin; i < row_end; ++i) {
     const float* a_row = a + i * lda;
     float* c_row = c + i * ldc;
@@ -51,29 +325,23 @@ void gemm_nt(std::size_t m, std::size_t n, std::size_t k, float alpha, const flo
   }
 }
 
-// C[M,N] += A^T * B where A is stored [K,M], B stored [K,N].
-void gemm_tn(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
-             std::size_t lda, const float* b, std::size_t ldb, float* c, std::size_t ldc,
-             std::size_t row_begin, std::size_t row_end) {
-  (void)m;
-  // Iterate over the shared K dimension outermost so both inputs stream.
+void ref_gemm_tn(std::size_t n, std::size_t k, float alpha, const float* a,
+                 std::size_t lda, const float* b, std::size_t ldb, float* c,
+                 std::size_t ldc, std::size_t row_begin, std::size_t row_end) {
   for (std::size_t p = 0; p < k; ++p) {
     const float* a_row = a + p * lda;
     const float* b_row = b + p * ldb;
     for (std::size_t i = row_begin; i < row_end; ++i) {
       const float a_pi = alpha * a_row[i];
-      if (a_pi == 0.0f) continue;
       float* c_row = c + i * ldc;
       for (std::size_t j = 0; j < n; ++j) c_row[j] += a_pi * b_row[j];
     }
   }
 }
 
-// C[M,N] += A^T * B^T with A stored [K,M], B stored [N,K]. Rare path.
-void gemm_tt(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
-             std::size_t lda, const float* b, std::size_t ldb, float* c, std::size_t ldc,
-             std::size_t row_begin, std::size_t row_end) {
-  (void)m;
+void ref_gemm_tt(std::size_t n, std::size_t k, float alpha, const float* a,
+                 std::size_t lda, const float* b, std::size_t ldb, float* c,
+                 std::size_t ldc, std::size_t row_begin, std::size_t row_end) {
   for (std::size_t i = row_begin; i < row_end; ++i) {
     float* c_row = c + i * ldc;
     for (std::size_t j = 0; j < n; ++j) {
@@ -87,9 +355,10 @@ void gemm_tt(std::size_t m, std::size_t n, std::size_t k, float alpha, const flo
 
 }  // namespace
 
-void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n, std::size_t k,
-           float alpha, const float* a, std::size_t lda, const float* b, std::size_t ldb,
-           float beta, float* c, std::size_t ldc) {
+void sgemm_reference(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+                     std::size_t k, float alpha, const float* a, std::size_t lda,
+                     const float* b, std::size_t ldb, float beta, float* c,
+                     std::size_t ldc) {
   if (m == 0 || n == 0) return;
 
   auto run_rows = [&](std::size_t row_begin, std::size_t row_end) {
@@ -105,61 +374,65 @@ void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n, std::size_t
     }
     if (k == 0 || alpha == 0.0f) return;
     if (!trans_a && !trans_b) {
-      gemm_nn(m, n, k, alpha, a, lda, b, ldb, c, ldc, row_begin, row_end);
+      ref_gemm_nn(n, k, alpha, a, lda, b, ldb, c, ldc, row_begin, row_end);
     } else if (!trans_a && trans_b) {
-      gemm_nt(m, n, k, alpha, a, lda, b, ldb, c, ldc, row_begin, row_end);
+      ref_gemm_nt(n, k, alpha, a, lda, b, ldb, c, ldc, row_begin, row_end);
     } else if (trans_a && !trans_b) {
-      gemm_tn(m, n, k, alpha, a, lda, b, ldb, c, ldc, row_begin, row_end);
+      ref_gemm_tn(n, k, alpha, a, lda, b, ldb, c, ldc, row_begin, row_end);
     } else {
-      gemm_tt(m, n, k, alpha, a, lda, b, ldb, c, ldc, row_begin, row_end);
+      ref_gemm_tt(n, k, alpha, a, lda, b, ldb, c, ldc, row_begin, row_end);
     }
   };
 
-  // Parallelise across output rows; below ~16k flops per chunk the task
-  // overhead dominates, so use a work-proportional grain.
   const std::size_t flops_per_row = 2 * n * k;
-  const std::size_t grain = flops_per_row > 0 ? std::max<std::size_t>(1, 16384 / flops_per_row + 1)
-                                              : m;
+  const std::size_t grain =
+      flops_per_row > 0 ? std::max<std::size_t>(1, 16384 / flops_per_row + 1) : m;
   util::parallel_for_range(m, run_rows, grain);
 }
 
+// ---------------------------------------------------------------------------
+// Dispatch introspection.
+
+const char* kernel_name() { return active_kernels().name; }
+
+bool set_kernel_override(std::string_view name) {
+  active_kernels();  // force startup selection (and its log line) first
+  const KernelVtable* kv = name == "auto"
+                               ? g_startup_kernels.load(std::memory_order_acquire)
+                               : resolve_kernels(name);
+  if (kv == nullptr) return false;
+  g_kernels.store(kv, std::memory_order_release);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Vector ops, routed through the selected table.
+
 void add_inplace(float* y, const float* x, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) y[i] += x[i];
+  active_kernels().add_inplace(y, x, n);
 }
 
 void axpy(float a, const float* x, float* y, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+  active_kernels().axpy(a, x, y, n);
 }
 
 void scale_inplace(float* x, float a, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) x[i] *= a;
+  active_kernels().scale_inplace(x, a, n);
 }
 
 void add_row_bias(float* matrix, const float* bias, std::size_t rows, std::size_t cols) {
-  for (std::size_t r = 0; r < rows; ++r) {
-    float* row = matrix + r * cols;
-    for (std::size_t c = 0; c < cols; ++c) row[c] += bias[c];
-  }
+  active_kernels().add_row_bias(matrix, bias, rows, cols);
 }
 
 float softmax_row(const float* logits, float* probs, std::size_t n) {
-  float max_logit = logits[0];
-  for (std::size_t i = 1; i < n; ++i) max_logit = std::max(max_logit, logits[i]);
-  double total = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const float e = std::exp(logits[i] - max_logit);
-    probs[i] = e;
-    total += e;
-  }
-  const float inv = static_cast<float>(1.0 / total);
-  for (std::size_t i = 0; i < n; ++i) probs[i] *= inv;
-  return max_logit;
+  return active_kernels().softmax_row(logits, probs, n);
 }
 
 void softmax_rows(float* matrix, std::size_t rows, std::size_t cols) {
+  const KernelVtable& kv = active_kernels();
   for (std::size_t r = 0; r < rows; ++r) {
     float* row = matrix + r * cols;
-    softmax_row(row, row, cols);
+    kv.softmax_row(row, row, cols);
   }
 }
 
@@ -179,10 +452,16 @@ float gelu_grad(float x) {
   return 0.5f * (1.0f + t) + 0.5f * x * sech2 * d_inner;
 }
 
+void gelu_apply(const float* x, float* y, std::size_t n) {
+  active_kernels().gelu_apply(x, y, n);
+}
+
+void gelu_grad_mul(const float* x, const float* dy, float* dx, std::size_t n) {
+  active_kernels().gelu_grad_mul(x, dy, dx, n);
+}
+
 float dot(const float* a, const float* b, std::size_t n) {
-  float acc = 0.0f;
-  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
-  return acc;
+  return active_kernels().dot(a, b, n);
 }
 
 }  // namespace astromlab::tensor

@@ -2,12 +2,23 @@
 // Dense kernels used by the transformer forward/backward passes.
 //
 // All matrices are row-major. The central kernel is `sgemm`, a BLAS-style
-// general matrix multiply with transpose flags, blocked for cache reuse and
-// parallelised over output rows. Everything in nn/ reduces to these
-// primitives so performance work concentrates here.
+// general matrix multiply with transpose flags. It is implemented as a
+// register-blocked, cache-tiled GEMM with A/B panel packing: all four
+// transpose variants are packed into the same micro-panel layout and run
+// through one ISA-specialised micro-kernel (AVX2+FMA, NEON, or the portable
+// scalar fallback), selected once at startup by runtime CPU detection.
+// Threading splits the packed row tiles across the shared pool; the
+// reduction order per output element is fixed, so results are run-to-run
+// deterministic for a given build and kernel. Everything in nn/ reduces to
+// these primitives so performance work concentrates here.
+//
+// Environment knobs (read once, at first kernel use):
+//   ASTROMLAB_KERNEL=scalar|avx2|neon  pin a specific kernel table
+//   ASTROMLAB_FORCE_SCALAR=1           shorthand for ASTROMLAB_KERNEL=scalar
 
 #include <cstddef>
 #include <span>
+#include <string_view>
 
 namespace astromlab::tensor {
 
@@ -17,9 +28,31 @@ namespace astromlab::tensor {
 /// (row) strides of the *stored* matrices. With trans_a=false A is stored
 /// M x K (lda >= K); with trans_a=true A is stored K x M (lda >= M), and
 /// likewise for B.
+///
+/// IEEE semantics: zeros in A do not short-circuit, so inf/NaN in B
+/// propagate into C (0 * inf = NaN), matching the naive triple loop.
 void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n, std::size_t k,
            float alpha, const float* a, std::size_t lda, const float* b, std::size_t ldb,
            float beta, float* c, std::size_t ldc);
+
+/// The pre-dispatch scalar loop nests, kept verbatim as the fallback
+/// semantics oracle for tests and the baseline for the kernel bench. Same
+/// contract as `sgemm` (including IEEE zero-times-inf propagation).
+void sgemm_reference(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+                     std::size_t k, float alpha, const float* a, std::size_t lda,
+                     const float* b, std::size_t ldb, float beta, float* c,
+                     std::size_t ldc);
+
+/// Name of the kernel table the dispatcher selected ("avx2", "neon",
+/// "scalar"). Triggers dispatch (and the one-time startup log) on first use.
+const char* kernel_name();
+
+/// Pins the kernel table: "scalar", "avx2", "neon", or "auto" to restore
+/// the startup selection (runtime detection plus the ASTROMLAB_KERNEL /
+/// ASTROMLAB_FORCE_SCALAR knobs). Returns false (and changes nothing) if the requested
+/// table is not available in this build/CPU. Intended for tests and the
+/// force-scalar escape hatch; do not call concurrently with running kernels.
+bool set_kernel_override(std::string_view name);
 
 /// y += x (elementwise over n values).
 void add_inplace(float* y, const float* x, std::size_t n);
@@ -37,13 +70,20 @@ void add_row_bias(float* matrix, const float* bias, std::size_t rows, std::size_
 void softmax_rows(float* matrix, std::size_t rows, std::size_t cols);
 
 /// Softmax of one row with explicit output; returns the max logit (useful
-/// for log-prob computation).
+/// for log-prob computation). probs may alias logits.
 float softmax_row(const float* logits, float* probs, std::size_t n);
 
-/// tanh-approximation GELU, the GPT-2 variant.
+/// tanh-approximation GELU, the GPT-2 variant (scalar reference).
 float gelu(float x);
-/// d gelu(x) / dx for the same approximation.
+/// d gelu(x) / dx for the same approximation (scalar reference).
 float gelu_grad(float x);
+
+/// y[i] = gelu(x[i]) for i in [0, n); y may alias x. Vectorised where the
+/// selected kernel supports it.
+void gelu_apply(const float* x, float* y, std::size_t n);
+
+/// dx[i] = dy[i] * gelu_grad(x[i]); dx may alias dy.
+void gelu_grad_mul(const float* x, const float* dy, float* dx, std::size_t n);
 
 /// Dot product.
 float dot(const float* a, const float* b, std::size_t n);

@@ -32,6 +32,10 @@ class ThreadPool {
 
   std::size_t worker_count() const { return workers_.size(); }
 
+  /// Total parallelism parallel_for can exploit: the workers plus the
+  /// calling thread. Kernels use this to size per-task tile grains.
+  std::size_t parallelism() const { return workers_.size() + 1; }
+
   /// Enqueues a task; returns immediately. A throwing task does not kill
   /// the worker: the first exception is captured and rethrown from the
   /// next `wait_idle()`. With zero workers the task runs inline, with the

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -255,6 +258,228 @@ TEST(Ops, SoftmaxIsShiftInvariantAndStable) {
   std::vector<float> small = {0.0f, 1.0f}, out2(2);
   softmax_row(small.data(), out2.data(), 2);
   EXPECT_NEAR(out[0], out2[0], 1e-6f);
+}
+
+// ---- IEEE semantics: zeros in A must not short-circuit inf/NaN in B ----
+
+TEST(Sgemm, ZeroTimesInfPropagatesNanLikeNaiveLoops) {
+  // The seed kernel skipped a_ip == 0 in its inner loop, silently turning
+  // 0 * inf into 0; both the packed kernels and the reference must produce
+  // NaN there. m=6 exercises the packed path, m=1 the gemv fast path.
+  for (const std::size_t m : {std::size_t{6}, std::size_t{1}}) {
+    for (const bool trans_b : {false, true}) {
+      const std::size_t n = 5, k = 3;
+      std::vector<float> a(m * k, 1.0f), b(k * n, 1.0f), c(m * n, 0.0f);
+      a[0] = 0.0f;  // A[0][0] = 0
+      const std::size_t inf_idx = trans_b ? 0 * k + 0 : 0 * n + 0;  // op(B)[0][0]
+      b[inf_idx] = std::numeric_limits<float>::infinity();
+
+      sgemm(false, trans_b, m, n, k, 1.0f, a.data(), k, b.data(), trans_b ? k : n,
+            0.0f, c.data(), n);
+      EXPECT_TRUE(std::isnan(c[0])) << "m=" << m << " trans_b=" << trans_b
+                                    << ": 0 * inf must yield NaN";
+      // A column untouched by the inf stays finite.
+      EXPECT_TRUE(std::isfinite(c[1])) << "m=" << m << " trans_b=" << trans_b;
+
+      std::vector<float> c_ref(m * n, 0.0f);
+      sgemm_reference(false, trans_b, m, n, k, 1.0f, a.data(), k, b.data(),
+                      trans_b ? k : n, 0.0f, c_ref.data(), n);
+      EXPECT_TRUE(std::isnan(c_ref[0])) << "reference kernel must agree";
+    }
+  }
+}
+
+TEST(Sgemm, PackedMatchesReferenceOracle) {
+  util::Rng rng(424242);
+  for (int trial = 0; trial < 12; ++trial) {
+    const bool trans_a = rng.next_bernoulli(0.5);
+    const bool trans_b = rng.next_bernoulli(0.5);
+    // Spans multiple mc/nc/kc blocks of every vtable at least once.
+    const std::size_t m = 1 + rng.next_below(200);
+    const std::size_t n = 1 + rng.next_below(300);
+    const std::size_t k = 1 + rng.next_below(300);
+    std::vector<float> a(m * k), b(k * n), c(m * n), c_ref;
+    for (float& v : a) v = static_cast<float>(rng.next_gaussian());
+    for (float& v : b) v = static_cast<float>(rng.next_gaussian());
+    for (float& v : c) v = static_cast<float>(rng.next_gaussian());
+    c_ref = c;
+    const std::size_t lda = trans_a ? m : k;
+    const std::size_t ldb = trans_b ? k : n;
+    sgemm(trans_a, trans_b, m, n, k, 1.0f, a.data(), lda, b.data(), ldb, 1.0f,
+          c.data(), n);
+    sgemm_reference(trans_a, trans_b, m, n, k, 1.0f, a.data(), lda, b.data(), ldb, 1.0f,
+                    c_ref.data(), n);
+    float max_rel = 0.0f;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      max_rel = std::max(max_rel, std::abs(c[i] - c_ref[i]) / (1.0f + std::abs(c_ref[i])));
+    }
+    EXPECT_LT(max_rel, 2e-3f) << "trial " << trial << " m=" << m << " n=" << n
+                              << " k=" << k << " tA=" << trans_a << " tB=" << trans_b;
+  }
+}
+
+// ---- property tests: vector ops vs double-precision references ----
+
+TEST(OpsProperty, AxpyDotMatchDoubleReference) {
+  util::Rng rng(555);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 1 + rng.next_below(130);  // covers SIMD body + tails
+    std::vector<float> x(n), y(n);
+    for (float& v : x) v = static_cast<float>(rng.next_gaussian());
+    for (float& v : y) v = static_cast<float>(rng.next_gaussian());
+    const float a = static_cast<float>(rng.next_gaussian());
+
+    double dot_ref = 0.0;
+    for (std::size_t i = 0; i < n; ++i) dot_ref += static_cast<double>(x[i]) * y[i];
+    const float got = dot(x.data(), y.data(), n);
+    EXPECT_NEAR(got, dot_ref, 1e-4 * (1.0 + std::abs(dot_ref)))
+        << "trial " << trial << " n=" << n;
+
+    std::vector<double> y_ref(y.begin(), y.end());
+    for (std::size_t i = 0; i < n; ++i) y_ref[i] += static_cast<double>(a) * x[i];
+    axpy(a, x.data(), y.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(y[i], y_ref[i], 1e-5 * (1.0 + std::abs(y_ref[i])))
+          << "trial " << trial << " i=" << i;
+    }
+  }
+}
+
+TEST(OpsProperty, AddRowBiasMatchesDoubleReference) {
+  util::Rng rng(556);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t rows = 1 + rng.next_below(7);
+    const std::size_t cols = 1 + rng.next_below(70);
+    std::vector<float> m(rows * cols), bias(cols);
+    for (float& v : m) v = static_cast<float>(rng.next_gaussian());
+    for (float& v : bias) v = static_cast<float>(rng.next_gaussian());
+    const std::vector<float> before = m;
+    add_row_bias(m.data(), bias.data(), rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const double want = static_cast<double>(before[r * cols + c]) + bias[c];
+        EXPECT_NEAR(m[r * cols + c], want, 1e-6 * (1.0 + std::abs(want)))
+            << "trial " << trial << " (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+TEST(OpsProperty, GeluApplyAndGradMulMatchDoubleReference) {
+  util::Rng rng(557);
+  const std::size_t n = 97;  // vector body + scalar tail
+  std::vector<float> x(n), y(n), dy(n), dx(n);
+  for (float& v : x) v = static_cast<float>(3.0 * rng.next_gaussian());
+  for (float& v : dy) v = static_cast<float>(rng.next_gaussian());
+
+  gelu_apply(x.data(), y.data(), n);
+  gelu_grad_mul(x.data(), dy.data(), dx.data(), n);
+  constexpr double kC = 0.7978845608028654;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xv = x[i];
+    const double inner = kC * (xv + 0.044715 * xv * xv * xv);
+    const double t = std::tanh(inner);
+    const double want_y = 0.5 * xv * (1.0 + t);
+    EXPECT_NEAR(y[i], want_y, 1e-5 * (1.0 + std::abs(want_y))) << "i=" << i;
+    const double d_inner = kC * (1.0 + 3.0 * 0.044715 * xv * xv);
+    const double want_g = 0.5 * (1.0 + t) + 0.5 * xv * (1.0 - t * t) * d_inner;
+    EXPECT_NEAR(dx[i], dy[i] * want_g, 1e-4 * (1.0 + std::abs(dy[i] * want_g)))
+        << "i=" << i;
+  }
+
+  // In-place application (y aliases x) must give the same values.
+  std::vector<float> x2 = x;
+  gelu_apply(x2.data(), x2.data(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(x2[i], y[i]) << "aliasing i=" << i;
+}
+
+TEST(OpsProperty, SoftmaxLongRowsMatchDoubleReference) {
+  // Rows long enough to exercise the vectorised body (the earlier property
+  // test caps cols at 48); tolerances as tight as the double reference.
+  util::Rng rng(558);
+  for (const std::size_t n : {std::size_t{8}, std::size_t{303}, std::size_t{1024}}) {
+    std::vector<float> logits(n), probs(n);
+    for (float& v : logits) v = static_cast<float>(6.0 * rng.next_gaussian());
+    const float max_logit = softmax_row(logits.data(), probs.data(), n);
+    double max_ref = logits[0];
+    for (std::size_t i = 1; i < n; ++i) max_ref = std::max<double>(max_ref, logits[i]);
+    EXPECT_FLOAT_EQ(max_logit, static_cast<float>(max_ref));
+    double denom = 0.0;
+    for (std::size_t i = 0; i < n; ++i) denom += std::exp(logits[i] - max_ref);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(probs[i], std::exp(logits[i] - max_ref) / denom, 1e-5) << "i=" << i;
+      sum += probs[i];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-4) << "n=" << n;
+  }
+}
+
+// ---- runtime dispatch ----
+
+/// Restores runtime kernel detection even when an assertion fails mid-test.
+struct KernelOverrideGuard {
+  ~KernelOverrideGuard() { set_kernel_override("auto"); }
+};
+
+TEST(KernelDispatch, NameIsKnownAndOverridable) {
+  KernelOverrideGuard guard;
+  const std::string initial = kernel_name();
+  EXPECT_TRUE(initial == "scalar" || initial == "avx2" || initial == "neon") << initial;
+  EXPECT_FALSE(set_kernel_override("definitely-not-an-isa"));
+  EXPECT_EQ(kernel_name(), initial);  // failed override changes nothing
+  ASSERT_TRUE(set_kernel_override("scalar"));
+  EXPECT_STREQ(kernel_name(), "scalar");
+  ASSERT_TRUE(set_kernel_override("auto"));
+  EXPECT_EQ(kernel_name(), initial);
+}
+
+TEST(KernelDispatch, ScalarAndVectorisedPathsAgreeOnRandomShapes) {
+  KernelOverrideGuard guard;
+  util::Rng rng(20260807);
+  for (int trial = 0; trial < 15; ++trial) {
+    const bool trans_a = rng.next_bernoulli(0.5);
+    const bool trans_b = rng.next_bernoulli(0.5);
+    const std::size_t m = 1 + rng.next_below(40);
+    const std::size_t n = 1 + rng.next_below(64);
+    const std::size_t k = 1 + rng.next_below(64);
+    std::vector<float> a(m * k), b(k * n), c0(m * n), x(64), y0(64);
+    for (float& v : a) v = static_cast<float>(rng.next_gaussian());
+    for (float& v : b) v = static_cast<float>(rng.next_gaussian());
+    for (float& v : c0) v = static_cast<float>(rng.next_gaussian());
+    for (float& v : x) v = static_cast<float>(rng.next_gaussian());
+    for (float& v : y0) v = static_cast<float>(rng.next_gaussian());
+    std::vector<float> c1 = c0, y1 = y0;
+    const std::size_t lda = trans_a ? m : k;
+    const std::size_t ldb = trans_b ? k : n;
+
+    ASSERT_TRUE(set_kernel_override("scalar"));
+    sgemm(trans_a, trans_b, m, n, k, 1.0f, a.data(), lda, b.data(), ldb, 0.5f,
+          c0.data(), n);
+    const float dot0 = dot(x.data(), y0.data(), 64);
+    axpy(0.25f, x.data(), y0.data(), 64);
+    gelu_apply(x.data(), x.data(), 0);  // no-op sanity
+    std::vector<float> sm0(64);
+    softmax_row(x.data(), sm0.data(), 64);
+
+    ASSERT_TRUE(set_kernel_override("auto"));
+    sgemm(trans_a, trans_b, m, n, k, 1.0f, a.data(), lda, b.data(), ldb, 0.5f,
+          c1.data(), n);
+    const float dot1 = dot(x.data(), y1.data(), 64);
+    axpy(0.25f, x.data(), y1.data(), 64);
+    std::vector<float> sm1(64);
+    softmax_row(x.data(), sm1.data(), 64);
+
+    for (std::size_t i = 0; i < c0.size(); ++i) {
+      EXPECT_NEAR(c1[i], c0[i], 1e-4f * (1.0f + std::abs(c0[i])))
+          << "trial " << trial << " i=" << i << " m=" << m << " n=" << n << " k=" << k;
+    }
+    EXPECT_NEAR(dot1, dot0, 1e-4f * (1.0f + std::abs(dot0)));
+    for (std::size_t i = 0; i < 64; ++i) {
+      EXPECT_NEAR(y1[i], y0[i], 1e-5f * (1.0f + std::abs(y0[i])));
+      EXPECT_NEAR(sm1[i], sm0[i], 1e-5f);
+    }
+  }
 }
 
 TEST(Ops, GeluValuesAndGradient) {
