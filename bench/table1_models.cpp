@@ -20,6 +20,10 @@
 //                      enforced in-flight via cancellation (default 0 = off)
 //   --straggler-factor=<f> cancel questions exceeding f x the running
 //                      median latency (default 0 = off)
+//   --trace-json=<path>    collect Chrome trace_event spans for the whole
+//                      run and write them (plus a metrics snapshot) to
+//                      <path> on exit; scores and journals are bit-identical
+//                      with tracing on or off
 //
 // Trained models and evaluation results are cached; the first run trains
 // everything (several minutes on one core), later runs replay from cache.
@@ -37,6 +41,7 @@
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 #include "util/string_utils.hpp"
+#include "util/trace.hpp"
 
 using namespace astromlab;
 
@@ -98,6 +103,7 @@ void check_acceptance(const core::StudyResult& result) {
 int main(int argc, char** argv) {
   const util::ArgParser args(argc, argv);
   log::set_level(log::parse_level(args.get_string("log", "info")));
+  util::trace::init_from_args(args);
 
   core::WorldConfig config;
   config.size_multiplier = args.get_double("mult", 1.0);
@@ -125,5 +131,6 @@ int main(int argc, char** argv) {
   util::write_text_file(csv_path, eval::render_csv(result.table_rows()));
   std::printf("\nCSV written to %s\n", csv_path.c_str());
   std::printf("total wall time: %.1fs\n", watch.seconds());
+  util::trace::finish();
   return 0;
 }

@@ -9,10 +9,17 @@
 // bench model's linear-layer shapes (`BENCH_gemm.json`), plus the
 // shared-prefix KV cache checks — cold vs warm prefill at the micro level
 // and cache-off vs cache-on eval at the runner level (`BENCH_prefill.json`
-// / `BENCH_eval.json`). It exits non-zero if any JSON fails to re-parse, a
-// speedup gate drops below 1.0, the dispatched kernel diverges from the
-// scalar reference, or the cached path stops being bit-identical. The
+// / `BENCH_eval.json`) — and the tracing-overhead gate (`BENCH_trace.json`):
+// disabled `util::trace` spans must cost < 2% of per-question latency, and
+// scores must stay bit-identical with tracing enabled. Every report carries
+// p50/p95/p99 latency percentiles (per question, or per GEMM iteration).
+// It exits non-zero if any JSON fails to re-parse, a speedup gate drops
+// below 1.0, the dispatched kernel diverges from the scalar reference, the
+// cached path stops being bit-identical, or the trace gate fails. The
 // workload is fully seeded; only the wall-clock numbers vary run to run.
+//
+// `--trace-json <path>` additionally records the harness's own spans and
+// writes the Chrome trace_event document (plus metrics snapshot) on exit.
 
 #include <benchmark/benchmark.h>
 
@@ -33,8 +40,10 @@
 #include "tensor/ops.hpp"
 #include "tokenizer/bpe.hpp"
 #include "util/io.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
+#include "util/trace.hpp"
 
 using namespace astromlab;
 
@@ -199,6 +208,28 @@ json::Value phase_json(double seconds, std::size_t questions, std::size_t tokens
   return p;
 }
 
+/// Nearest-rank latency percentiles (ms) over raw per-unit samples.
+json::Value latency_json(std::vector<double> seconds) {
+  std::sort(seconds.begin(), seconds.end());
+  json::Value l = json::Value::object();
+  l.set("count", static_cast<std::int64_t>(seconds.size()));
+  l.set("p50_ms", util::metrics::percentile_sorted(seconds, 0.50) * 1e3);
+  l.set("p95_ms", util::metrics::percentile_sorted(seconds, 0.95) * 1e3);
+  l.set("p99_ms", util::metrics::percentile_sorted(seconds, 0.99) * 1e3);
+  l.set("max_ms", seconds.empty() ? 0.0 : seconds.back() * 1e3);
+  return l;
+}
+
+/// Same shape, fed from the supervisor's already-computed percentiles.
+json::Value latency_json(const eval::SupervisorStats& stats) {
+  json::Value l = json::Value::object();
+  l.set("count", static_cast<std::int64_t>(stats.completed_questions));
+  l.set("p50_ms", stats.latency_p50_s * 1e3);
+  l.set("p95_ms", stats.latency_p95_s * 1e3);
+  l.set("p99_ms", stats.latency_p99_s * 1e3);
+  return l;
+}
+
 /// Micro-level prefill: N questions sharing a long token prefix, cold path
 /// re-encoding everything vs warm path forking the snapshot. Wall time is
 /// the best of `kReps` passes over all questions, so a single scheduler
@@ -230,13 +261,16 @@ json::Value smoke_prefill() {
 
   nn::GptInference inference(model);
   std::vector<std::vector<float>> cold_logits;
+  std::vector<double> cold_latency;  // per-question samples across all reps
   double cold_seconds = 1e30;
   for (std::size_t rep = 0; rep < kReps; ++rep) {
     cold_logits.clear();
     util::Stopwatch watch;
     for (const auto& prompt : prompts) {
+      util::Stopwatch question_watch;
       inference.reset();
       cold_logits.push_back(inference.prompt(prompt));
+      cold_latency.push_back(question_watch.seconds());
     }
     cold_seconds = std::min(cold_seconds, watch.seconds());
   }
@@ -245,10 +279,12 @@ json::Value smoke_prefill() {
   encoder.prompt(prefix);
   const nn::KvSnapshot snap = encoder.snapshot();
   bool bit_identical = true;
+  std::vector<double> warm_latency;
   double warm_seconds = 1e30;
   for (std::size_t rep = 0; rep < kReps; ++rep) {
     util::Stopwatch watch;
     for (std::size_t q = 0; q < kQuestions; ++q) {
+      util::Stopwatch question_watch;
       inference.fork_from(snap);
       const std::vector<float>& logits =
           inference.prompt(prompts[q].data() + kPrefix, kTail, nullptr);
@@ -256,6 +292,7 @@ json::Value smoke_prefill() {
                       logits.size() * sizeof(float)) != 0) {
         bit_identical = false;
       }
+      warm_latency.push_back(question_watch.seconds());
     }
     warm_seconds = std::min(warm_seconds, watch.seconds());
   }
@@ -272,6 +309,8 @@ json::Value smoke_prefill() {
   // phases, so the warm figure shows the throughput the reuse buys.
   report.set("cold", phase_json(cold_seconds, kQuestions, kQuestions * tokens_per_question));
   report.set("warm", phase_json(warm_seconds, kQuestions, kQuestions * tokens_per_question));
+  report.set("cold_question_latency", latency_json(cold_latency));
+  report.set("warm_question_latency", latency_json(warm_latency));
   report.set("warm_cold_speedup", cold_seconds / warm_seconds);
   report.set("prefill_reuse_ratio",
              static_cast<double>(kPrefix) / static_cast<double>(tokens_per_question));
@@ -279,9 +318,16 @@ json::Value smoke_prefill() {
   return report;
 }
 
-/// Runner-level eval: the token-method benchmark on a tiny synthetic world,
-/// cache off vs cache on (both serial, so the delta isolates the cache).
-json::Value smoke_eval() {
+/// Tiny synthetic eval world shared by the runner-level eval gate and the
+/// tracing-overhead gate (world construction — BPE training included — is
+/// the slow part, so build it once).
+struct EvalWorld {
+  corpus::McqSplit mcqs;
+  tokenizer::BpeTokenizer tok;
+  nn::GptModel model;
+};
+
+EvalWorld make_eval_world() {
   corpus::KbConfig kb_config;
   kb_config.n_topics = 4;
   kb_config.entities_per_topic = 3;
@@ -291,10 +337,10 @@ json::Value smoke_eval() {
   corpus::McqGenConfig mcq_config;
   mcq_config.questions_per_topic = 2;
   mcq_config.seed = 62;
-  const corpus::McqSplit mcqs = corpus::generate_mcqs(kb, mcq_config);
+  corpus::McqSplit mcqs = corpus::generate_mcqs(kb, mcq_config);
   tokenizer::BpeTrainConfig tok_config;
   tok_config.vocab_size = 420;
-  const tokenizer::BpeTokenizer tok = tokenizer::BpeTokenizer::train(
+  tokenizer::BpeTokenizer tok = tokenizer::BpeTokenizer::train(
       corpus::build_tokenizer_training_text(kb, mcqs.practice, 63), tok_config);
 
   nn::GptConfig config;
@@ -309,23 +355,41 @@ json::Value smoke_eval() {
   nn::GptModel model(config);
   util::Rng rng(64);
   model.init_weights(rng);
+  return EvalWorld{std::move(mcqs), std::move(tok), std::move(model)};
+}
 
+/// Runner-level eval: the token-method benchmark on a tiny synthetic world,
+/// cache off vs cache on (both serial, so the delta isolates the cache).
+/// The cold-phase per-question cost and results feed the trace gate.
+json::Value smoke_eval(const EvalWorld& world, double* cold_seconds_per_question,
+                       std::vector<eval::QuestionResult>* cold_results_out) {
+  const corpus::McqSplit& mcqs = world.mcqs;
   constexpr std::size_t kReps = 3;
   std::vector<eval::QuestionResult> cold_results, warm_results;
   double cold_seconds = 1e30, warm_seconds = 1e30;
   eval::PrefixCacheStats stats;
+  eval::SupervisorStats cold_stats, warm_stats, rep_stats;
   for (std::size_t rep = 0; rep < kReps; ++rep) {
     util::Stopwatch watch;
-    cold_results = eval::run_token_benchmark(model, tok, mcqs.benchmark, mcqs.practice);
-    cold_seconds = std::min(cold_seconds, watch.seconds());
+    cold_results = eval::run_token_benchmark(world.model, world.tok, mcqs.benchmark,
+                                             mcqs.practice, nullptr, {}, {}, nullptr,
+                                             &rep_stats);
+    if (watch.seconds() < cold_seconds) {
+      cold_seconds = watch.seconds();
+      cold_stats = rep_stats;
+    }
   }
   eval::EvalRunOptions warm_opts;
   warm_opts.prefix_cache = true;
   for (std::size_t rep = 0; rep < kReps; ++rep) {
     util::Stopwatch watch;
-    warm_results = eval::run_token_benchmark(model, tok, mcqs.benchmark, mcqs.practice,
-                                             nullptr, {}, warm_opts, &stats);
-    warm_seconds = std::min(warm_seconds, watch.seconds());
+    warm_results = eval::run_token_benchmark(world.model, world.tok, mcqs.benchmark,
+                                             mcqs.practice, nullptr, {}, warm_opts, &stats,
+                                             &rep_stats);
+    if (watch.seconds() < warm_seconds) {
+      warm_seconds = watch.seconds();
+      warm_stats = rep_stats;
+    }
   }
 
   bool scores_identical = cold_results.size() == warm_results.size();
@@ -333,21 +397,100 @@ json::Value smoke_eval() {
     scores_identical = cold_results[q].predicted == warm_results[q].predicted &&
                        cold_results[q].correct == warm_results[q].correct;
   }
+  if (cold_seconds_per_question != nullptr) {
+    *cold_seconds_per_question = cold_seconds / static_cast<double>(mcqs.benchmark.size());
+  }
+  if (cold_results_out != nullptr) *cold_results_out = cold_results;
 
   json::Value report = json::Value::object();
   report.set("benchmark", "eval_token_method");
   report.set("kernel", tensor::kernel_name());
-  report.set("model", model_json(config));
+  report.set("model", model_json(world.model.config()));
   report.set("questions", static_cast<std::int64_t>(mcqs.benchmark.size()));
   report.set("cold", phase_json(cold_seconds, mcqs.benchmark.size(),
                                 static_cast<std::size_t>(stats.prompt_tokens)));
   report.set("warm", phase_json(warm_seconds, mcqs.benchmark.size(),
                                 static_cast<std::size_t>(stats.prompt_tokens)));
+  report.set("cold_question_latency", latency_json(cold_stats));
+  report.set("warm_question_latency", latency_json(warm_stats));
   report.set("warm_cold_speedup", cold_seconds / warm_seconds);
   report.set("prefill_reuse_ratio", stats.reuse_ratio());
   report.set("reused_tokens", static_cast<std::int64_t>(stats.reused_tokens));
   report.set("prompt_tokens", static_cast<std::int64_t>(stats.prompt_tokens));
   report.set("scores_identical", scores_identical);
+  return report;
+}
+
+/// Tracing-overhead gate. Two measurements:
+///  1. the cost of a *disabled* span (the only thing instrumented hot paths
+///     pay when --trace-json is off), timed over millions of constructions;
+///  2. the spans-per-question of a fully traced eval run, counted with an
+///     in-memory session (reusing a live --trace-json session if present).
+/// The gate estimates disabled-tracing overhead as
+///   spans_per_question * ns_per_span / cold_seconds_per_question
+/// and fails above 2%. It also re-runs the eval with tracing enabled and
+/// checks scores stay identical to the untraced reference.
+json::Value smoke_trace(const EvalWorld& world, double cold_seconds_per_question,
+                        const std::vector<eval::QuestionResult>& reference) {
+  const bool own_session = !util::trace::enabled();
+  constexpr std::size_t kProbeIters = 2'000'000, kProbeReps = 3;
+  double probe_seconds = 1e30;
+  // The probe must exercise the DISABLED path even when main armed a
+  // --trace-json session: pause() disarms without dropping its events, so
+  // 6M probe spans neither flood the trace nor get mis-timed as enabled.
+  util::trace::pause();
+  for (std::size_t rep = 0; rep < kProbeReps; ++rep) {
+    util::Stopwatch watch;
+    for (std::size_t i = 0; i < kProbeIters; ++i) {
+      const util::trace::Span span("bench.overhead_probe", "bench");
+      benchmark::DoNotOptimize(&span);
+    }
+    probe_seconds = std::min(probe_seconds, watch.seconds());
+  }
+  util::trace::resume();
+  const double ns_per_span = probe_seconds / static_cast<double>(kProbeIters) * 1e9;
+
+  if (own_session) util::trace::start({});  // in-memory: no file
+  const std::size_t events_before = util::trace::event_count();
+  eval::SupervisorStats traced_stats;
+  const std::vector<eval::QuestionResult> traced =
+      eval::run_token_benchmark(world.model, world.tok, world.mcqs.benchmark,
+                                world.mcqs.practice, nullptr, {}, {}, nullptr,
+                                &traced_stats);
+  const std::size_t events = util::trace::event_count() - events_before;
+  bool trace_doc_parses = true;
+  if (own_session) {
+    try {
+      json::parse(util::trace::stop());
+    } catch (const std::exception&) {
+      trace_doc_parses = false;
+    }
+  }
+
+  bool scores_identical = traced.size() == reference.size();
+  for (std::size_t q = 0; scores_identical && q < traced.size(); ++q) {
+    scores_identical = traced[q].predicted == reference[q].predicted &&
+                       traced[q].correct == reference[q].correct;
+  }
+
+  const double spans_per_question =
+      static_cast<double>(events) / static_cast<double>(world.mcqs.benchmark.size());
+  const double overhead =
+      spans_per_question * ns_per_span * 1e-9 / cold_seconds_per_question;
+
+  json::Value report = json::Value::object();
+  report.set("benchmark", "trace_overhead");
+  report.set("kernel", tensor::kernel_name());
+  report.set("questions", static_cast<std::int64_t>(world.mcqs.benchmark.size()));
+  report.set("ns_per_disabled_span", ns_per_span);
+  report.set("trace_events", static_cast<std::int64_t>(events));
+  report.set("spans_per_question", spans_per_question);
+  report.set("cold_seconds_per_question", cold_seconds_per_question);
+  report.set("estimated_overhead_fraction", overhead);
+  report.set("overhead_budget", 0.02);
+  report.set("question_latency", latency_json(traced_stats));
+  report.set("trace_doc_parses", trace_doc_parses);
+  report.set("scores_identical_with_tracing", scores_identical);
   return report;
 }
 
@@ -386,11 +529,14 @@ json::Value smoke_gemm() {
         std::max<std::size_t>(1, static_cast<std::size_t>(kTargetFlopsPerRep / flops));
 
     double disp_seconds = 1e30, ref_seconds = 1e30;
+    std::vector<double> iter_seconds;  // dispatched per-iteration samples, all reps
     for (std::size_t rep = 0; rep < kReps; ++rep) {
       util::Stopwatch watch;
       for (std::size_t it = 0; it < iters; ++it) {
+        util::Stopwatch iter_watch;
         tensor::sgemm(false, true, s.m, s.n, s.k, 1.0f, a.data(), s.k, b.data(), s.k,
                       0.0f, c_disp.data(), s.n);
+        iter_seconds.push_back(iter_watch.seconds());
       }
       disp_seconds = std::min(disp_seconds, watch.seconds());
     }
@@ -430,6 +576,7 @@ json::Value smoke_gemm() {
     r.set("speedup", speedup);
     r.set("max_rel_err", max_rel_err);
     r.set("matches_reference", matches);
+    r.set("latency", latency_json(iter_seconds));
     shape_reports.push_back(std::move(r));
   }
 
@@ -503,11 +650,54 @@ bool emit_and_check(const json::Value& report, const std::filesystem::path& path
   return true;
 }
 
+/// Gate for BENCH_trace.json: must re-parse, the trace document must be
+/// valid JSON, scores must be identical with tracing on, and the estimated
+/// disabled-tracing overhead must stay under the 2% budget.
+bool emit_and_check_trace(const json::Value& report, const std::filesystem::path& path) {
+  util::write_text_file(path, report.dump(2) + "\n");
+  json::Value parsed;
+  try {
+    parsed = json::parse(util::read_text_file(path));
+  } catch (const std::exception& e) {
+    std::cerr << "FAIL " << path.string() << ": emitted JSON does not re-parse: " << e.what()
+              << '\n';
+    return false;
+  }
+  const double overhead = parsed.get_number("estimated_overhead_fraction", 1.0);
+  const double budget = parsed.get_number("overhead_budget", 0.02);
+  std::cout << path.filename().string() << ": " << parsed.get_number("ns_per_disabled_span", 0.0)
+            << " ns/disabled span, " << parsed.get_number("spans_per_question", 0.0)
+            << " spans/question, estimated overhead " << overhead * 100.0 << "% (budget "
+            << budget * 100.0 << "%)\n";
+  if (!parsed.get_bool("trace_doc_parses", false)) {
+    std::cerr << "FAIL " << path.string() << ": trace document is not valid JSON\n";
+    return false;
+  }
+  if (!parsed.get_bool("scores_identical_with_tracing", false)) {
+    std::cerr << "FAIL " << path.string() << ": scores changed with tracing enabled\n";
+    return false;
+  }
+  if (overhead >= budget) {
+    std::cerr << "FAIL " << path.string() << ": disabled-tracing overhead " << overhead
+              << " exceeds budget " << budget << '\n';
+    return false;
+  }
+  return true;
+}
+
 int run_smoke(const std::filesystem::path& out_dir) {
   std::filesystem::create_directories(out_dir);
   bool ok = emit_and_check_gemm(smoke_gemm(), out_dir / "BENCH_gemm.json");
   ok = emit_and_check(smoke_prefill(), out_dir / "BENCH_prefill.json", "bit_identical") && ok;
-  ok = emit_and_check(smoke_eval(), out_dir / "BENCH_eval.json", "scores_identical") && ok;
+  const EvalWorld world = make_eval_world();
+  double cold_seconds_per_question = 0.0;
+  std::vector<eval::QuestionResult> cold_results;
+  ok = emit_and_check(smoke_eval(world, &cold_seconds_per_question, &cold_results),
+                      out_dir / "BENCH_eval.json", "scores_identical") &&
+       ok;
+  ok = emit_and_check_trace(smoke_trace(world, cold_seconds_per_question, cold_results),
+                            out_dir / "BENCH_trace.json") &&
+       ok;
   std::cout << (ok ? "smoke bench OK" : "smoke bench FAILED") << '\n';
   return ok ? 0 : 1;
 }
@@ -517,6 +707,10 @@ int run_smoke(const std::filesystem::path& out_dir) {
 int main(int argc, char** argv) {
   bool smoke = false;
   std::filesystem::path out_dir = ".";
+  std::filesystem::path trace_path;
+  // Args handled here are filtered out of argv so google-benchmark does not
+  // reject them as unrecognized.
+  std::vector<char*> passthrough = {argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
@@ -525,13 +719,26 @@ int main(int argc, char** argv) {
       out_dir = argv[++i];
     } else if (arg.rfind("--out-dir=", 0) == 0) {
       out_dir = arg.substr(std::strlen("--out-dir="));
+    } else if (arg == "--trace-json" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg.rfind("--trace-json=", 0) == 0) {
+      trace_path = arg.substr(std::strlen("--trace-json="));
+    } else {
+      passthrough.push_back(argv[i]);
     }
   }
-  if (smoke) return run_smoke(out_dir);
+  if (!trace_path.empty()) util::trace::start(trace_path);
+  if (smoke) {
+    const int rc = run_smoke(out_dir);
+    util::trace::finish();
+    return rc;
+  }
 
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  util::trace::finish();
   return 0;
 }

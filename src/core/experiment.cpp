@@ -56,6 +56,7 @@ json::Value summary_to_json(const eval::ScoreSummary& s) {
   obj.set("ci_low", json::Value(s.ci_low));
   obj.set("ci_high", json::Value(s.ci_high));
   obj.set("canonical_accuracy", json::Value(s.canonical_accuracy));
+  obj.set("canonical_total", json::Value(static_cast<std::int64_t>(s.canonical_total)));
   obj.set("frontier_accuracy", json::Value(s.frontier_accuracy));
   obj.set("frontier_total", json::Value(static_cast<std::int64_t>(s.frontier_total)));
   obj.set("unanswered", json::Value(static_cast<std::int64_t>(s.unanswered)));
@@ -66,6 +67,12 @@ json::Value summary_to_json(const eval::ScoreSummary& s) {
           json::Value(static_cast<std::int64_t>(s.interpreter_extractions)));
   obj.set("degraded", json::Value(static_cast<std::int64_t>(s.degraded)));
   obj.set("retried", json::Value(static_cast<std::int64_t>(s.retried)));
+  // Latency persists in the result cache so a cache-hit summary still
+  // reports the timing of the run that actually produced it.
+  obj.set("timed_questions", json::Value(static_cast<std::int64_t>(s.timed_questions)));
+  obj.set("latency_p50_s", json::Value(s.latency_p50_s));
+  obj.set("latency_p95_s", json::Value(s.latency_p95_s));
+  obj.set("latency_p99_s", json::Value(s.latency_p99_s));
   return obj;
 }
 
@@ -77,6 +84,7 @@ eval::ScoreSummary summary_from_json(const json::Value& obj) {
   s.ci_low = obj.get_number("ci_low", 0);
   s.ci_high = obj.get_number("ci_high", 0);
   s.canonical_accuracy = obj.get_number("canonical_accuracy", 0);
+  s.canonical_total = static_cast<std::size_t>(obj.get_number("canonical_total", 0));
   s.frontier_accuracy = obj.get_number("frontier_accuracy", 0);
   s.frontier_total = static_cast<std::size_t>(obj.get_number("frontier_total", 0));
   s.unanswered = static_cast<std::size_t>(obj.get_number("unanswered", 0));
@@ -87,6 +95,10 @@ eval::ScoreSummary summary_from_json(const json::Value& obj) {
       static_cast<std::size_t>(obj.get_number("interpreter_extractions", 0));
   s.degraded = static_cast<std::size_t>(obj.get_number("degraded", 0));
   s.retried = static_cast<std::size_t>(obj.get_number("retried", 0));
+  s.timed_questions = static_cast<std::size_t>(obj.get_number("timed_questions", 0));
+  s.latency_p50_s = obj.get_number("latency_p50_s", 0);
+  s.latency_p95_s = obj.get_number("latency_p95_s", 0);
+  s.latency_p99_s = obj.get_number("latency_p99_s", 0);
   return s;
 }
 
@@ -269,10 +281,15 @@ eval::ScoreSummary Pipeline::token_benchmark(const nn::GptModel& model,
   eval::TokenMethodConfig config;
   config.max_seconds_per_question = question_budget_seconds_;
   eval::EvalJournal journal(cache_dir_ / "results" / (util::to_hex(key) + ".jsonl"));
-  const auto results =
-      eval::run_token_benchmark(model, world_.tok, world_.mcqs.benchmark,
-                                world_.mcqs.practice, &journal, config, eval_options_);
-  const eval::ScoreSummary summary = eval::summarize(results);
+  eval::SupervisorStats run_stats;
+  const auto results = eval::run_token_benchmark(
+      model, world_.tok, world_.mcqs.benchmark, world_.mcqs.practice, &journal, config,
+      eval_options_, nullptr, &run_stats);
+  eval::ScoreSummary summary = eval::summarize(results);
+  summary.timed_questions = run_stats.completed_questions;
+  summary.latency_p50_s = run_stats.latency_p50_s;
+  summary.latency_p95_s = run_stats.latency_p95_s;
+  summary.latency_p99_s = run_stats.latency_p99_s;
   store_result(key, summary);
   journal.discard();
   return summary;
@@ -291,9 +308,15 @@ eval::ScoreSummary Pipeline::full_instruct_benchmark(const nn::GptModel& model,
   eval::FullInstructConfig config;
   config.max_seconds_per_question = question_budget_seconds_;
   eval::EvalJournal journal(cache_dir_ / "results" / (util::to_hex(key) + ".jsonl"));
+  eval::SupervisorStats run_stats;
   const auto results = eval::run_full_instruct_benchmark(
-      model, world_.tok, world_.mcqs.benchmark, config, &journal, eval_options_);
-  const eval::ScoreSummary summary = eval::summarize(results);
+      model, world_.tok, world_.mcqs.benchmark, config, &journal, eval_options_, nullptr,
+      &run_stats);
+  eval::ScoreSummary summary = eval::summarize(results);
+  summary.timed_questions = run_stats.completed_questions;
+  summary.latency_p50_s = run_stats.latency_p50_s;
+  summary.latency_p95_s = run_stats.latency_p95_s;
+  summary.latency_p99_s = run_stats.latency_p99_s;
   store_result(key, summary);
   journal.discard();
   return summary;

@@ -1,5 +1,7 @@
 #include "core/study.hpp"
 
+#include <algorithm>
+
 namespace astromlab::core {
 
 namespace {
@@ -17,6 +19,16 @@ StudyRow make_row(Pipeline& pipeline, Scale scale, std::optional<corpus::CptVari
   out.row.token_base = pct(out.scores.token_base);
   out.row.degraded = out.scores.token_base.degraded;
   out.row.retried = out.scores.token_base.retried;
+  out.row.canonical_total = out.scores.token_base.canonical_total;
+  // Worst-case (max) latency percentile across the evaluated methods; a
+  // method whose questions all replayed from cache contributes nothing.
+  const auto fold_latency = [&out](const eval::ScoreSummary& s) {
+    if (s.timed_questions == 0) return;
+    out.row.latency_p50_ms = std::max(out.row.latency_p50_ms, s.latency_p50_s * 1000.0);
+    out.row.latency_p95_ms = std::max(out.row.latency_p95_ms, s.latency_p95_s * 1000.0);
+    out.row.latency_p99_ms = std::max(out.row.latency_p99_ms, s.latency_p99_s * 1000.0);
+  };
+  fold_latency(out.scores.token_base);
   if (out.scores.has_instruct) {
     out.row.token_instruct = pct(out.scores.token_instruct);
     out.row.full_instruct = pct(out.scores.full_instruct);
@@ -25,6 +37,8 @@ StudyRow make_row(Pipeline& pipeline, Scale scale, std::optional<corpus::CptVari
         out.scores.token_instruct.degraded + out.scores.full_instruct.degraded;
     out.row.retried +=
         out.scores.token_instruct.retried + out.scores.full_instruct.retried;
+    fold_latency(out.scores.token_instruct);
+    fold_latency(out.scores.full_instruct);
   }
   out.row.source = source;
   out.row.reference = reference;

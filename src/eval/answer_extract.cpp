@@ -18,11 +18,19 @@ std::optional<int> letter_index(char c) {
 /// Reads the answer out of a parsed ANSWER field value like "B", "B:", or
 /// "B: 1.0 to 1.5 solar masses".
 std::optional<int> parse_answer_field(const std::string& field) {
-  for (char c : field) {
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    const char c = field[i];
     if (std::isspace(static_cast<unsigned char>(c))) continue;
     const auto idx = letter_index(c);
     if (!idx) return std::nullopt;
-    // Accept a bare letter or letter followed by punctuation/space.
+    // Accept only a bare letter or a letter followed by whitespace /
+    // punctuation ("B", "B:", "B: 1.0 to 1.5 solar masses"). A letter that
+    // merely *starts* a word is not an answer: "Definitely unsure" must
+    // not parse as D.
+    if (i + 1 < field.size() &&
+        std::isalnum(static_cast<unsigned char>(field[i + 1]))) {
+      return std::nullopt;
+    }
     return idx;
   }
   return std::nullopt;
@@ -45,8 +53,12 @@ std::optional<int> try_json(const std::string& output) {
 }
 
 std::optional<int> try_regex(const std::string& output) {
-  static const std::regex pattern(R"rx("?ANSWER"?\s*[:=]\s*"?\s*([A-Da-d]))rx",
-                                  std::regex::icase);
+  // The negative lookahead mirrors parse_answer_field's word-boundary rule:
+  // without it, the regex fallback would re-extract D from the very
+  // '"ANSWER": "Definitely...' payloads the JSON stage just rejected.
+  static const std::regex pattern(
+      R"rx("?ANSWER"?\s*[:=]\s*"?\s*([A-Da-d])(?![A-Za-z0-9]))rx",
+      std::regex::icase);
   std::smatch match;
   if (std::regex_search(output, match, pattern)) {
     return letter_index(match[1].str()[0]);

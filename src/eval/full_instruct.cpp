@@ -6,6 +6,7 @@
 #include "eval/answer_extract.hpp"
 #include "eval/prompts.hpp"
 #include "nn/sampler.hpp"
+#include "util/trace.hpp"
 
 namespace astromlab::eval {
 
@@ -14,6 +15,7 @@ FullInstructOutcome full_instruct_one(const nn::GptModel& model,
                                       const corpus::McqItem& item,
                                       const FullInstructConfig& config,
                                       nn::Sampler* sampler) {
+  const util::trace::Span span("eval.full_instruct", "eval");
   FullInstructOutcome outcome;
   outcome.result.correct = static_cast<int>(item.correct);
   outcome.result.tier = item.tier;
@@ -64,7 +66,9 @@ FullInstructOutcome full_instruct_one(const nn::GptModel& model,
 std::vector<QuestionResult> run_full_instruct_benchmark(
     const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
     const std::vector<corpus::McqItem>& benchmark, const FullInstructConfig& config,
-    EvalJournal* journal, const EvalRunOptions& opts, PrefixCacheStats* cache_stats) {
+    EvalJournal* journal, const EvalRunOptions& opts, PrefixCacheStats* cache_stats,
+    SupervisorStats* run_stats) {
+  const util::trace::Span bench_span("eval.full_instruct_benchmark", "eval");
   if (cache_stats != nullptr) *cache_stats = PrefixCacheStats{};
   std::vector<QuestionResult> results(benchmark.size());
   std::vector<std::size_t> pending;
@@ -114,6 +118,7 @@ std::vector<QuestionResult> run_full_instruct_benchmark(
       },
       journal);
   if (cache != nullptr && cache_stats != nullptr) *cache_stats = cache->stats();
+  if (run_stats != nullptr) *run_stats = supervisor.stats();
   return results;
 }
 

@@ -61,11 +61,13 @@ FullInstructOutcome full_instruct_one(const nn::GptModel& model,
 /// deadlines, retries, straggler cancellation, and shared-prefix KV reuse
 /// (`opts.prefix_cache`); the defaults reproduce the serial reference
 /// behaviour bit-for-bit. When `cache_stats` is non-null it receives the
-/// prefill reuse accounting of the run.
+/// prefill reuse accounting of the run; `run_stats` receives the
+/// supervisor telemetry (retries, degradations, latency percentiles).
 std::vector<QuestionResult> run_full_instruct_benchmark(
     const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
     const std::vector<corpus::McqItem>& benchmark,
     const FullInstructConfig& config = {}, EvalJournal* journal = nullptr,
-    const EvalRunOptions& opts = {}, PrefixCacheStats* cache_stats = nullptr);
+    const EvalRunOptions& opts = {}, PrefixCacheStats* cache_stats = nullptr,
+    SupervisorStats* run_stats = nullptr);
 
 }  // namespace astromlab::eval

@@ -3,8 +3,31 @@
 #include <algorithm>
 
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace astromlab::eval {
+namespace {
+
+struct CacheMetrics {
+  util::metrics::Counter& built;
+  util::metrics::Counter& prompts;
+  util::metrics::Counter& hits;
+  util::metrics::Counter& misses;
+  util::metrics::Counter& reused_tokens;
+};
+
+CacheMetrics& cache_metrics() {
+  auto& reg = util::metrics::registry();
+  static CacheMetrics m{reg.counter("prefix_cache.built"),
+                        reg.counter("prefix_cache.prompts"),
+                        reg.counter("prefix_cache.hits"),
+                        reg.counter("prefix_cache.misses"),
+                        reg.counter("prefix_cache.reused_tokens")};
+  return m;
+}
+
+}  // namespace
 
 namespace {
 
@@ -31,15 +54,19 @@ std::unique_ptr<PrefixCache> PrefixCache::build(
   if (common.size() >= ctx) common.resize(ctx - 1);
   if (common.empty()) return nullptr;
 
+  const util::trace::Span span("prefix_cache.encode", "cache", "tokens",
+                               static_cast<std::uint64_t>(common.size()));
   std::unique_ptr<PrefixCache> cache(new PrefixCache(model));
   for (const nn::Token token : common) cache->encoder_.step(token);
   cache->snapshot_ = cache->encoder_.snapshot();
+  cache_metrics().built.add();
   log::debug() << "prefix cache: encoded shared prefix of " << common.size() << " tokens";
   return cache;
 }
 
 std::size_t PrefixCache::fork(nn::GptInference& inference,
                               const std::vector<nn::Token>& prompt_tokens) const {
+  const util::trace::Span span("prefix_cache.fork", "cache");
   std::size_t common = nn::common_token_prefix(snapshot_.tokens(), prompt_tokens);
   if (!prompt_tokens.empty()) common = std::min(common, prompt_tokens.size() - 1);
   inference.reset();
@@ -53,6 +80,9 @@ void PrefixCache::note_prompt(std::size_t prompt_token_count,
   prompts_.fetch_add(1, std::memory_order_relaxed);
   prompt_tokens_.fetch_add(prompt_token_count, std::memory_order_relaxed);
   reused_tokens_.fetch_add(reused_token_count, std::memory_order_relaxed);
+  cache_metrics().prompts.add();
+  (reused_token_count > 0 ? cache_metrics().hits : cache_metrics().misses).add();
+  cache_metrics().reused_tokens.add(reused_token_count);
 }
 
 PrefixCacheStats PrefixCache::stats() const {

@@ -26,6 +26,17 @@ struct ModelRow {
   std::size_t degraded = 0;
   /// Questions that needed >= 1 transient-fault retry across all methods.
   std::size_t retried = 0;
+  /// Canonical-tier questions scored (token-base run). Zero for paper
+  /// reference rows, which carry no per-tier breakdown — together with
+  /// canonical accuracy this distinguishes "all canonical wrong" from "no
+  /// canonical questions present".
+  std::size_t canonical_total = 0;
+  /// Per-question wall-clock latency percentiles (milliseconds) over the
+  /// questions evaluated fresh, max across the evaluated methods; -1 means
+  /// no fresh timing (full cache replay, or a paper reference row).
+  double latency_p50_ms = -1.0;
+  double latency_p95_ms = -1.0;
+  double latency_p99_ms = -1.0;
   std::string source;
   std::string reference;
   bool is_native = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/metrics.hpp"
 #include "util/string_utils.hpp"
 
 namespace astromlab::eval {
@@ -37,6 +38,7 @@ ScoreSummary summarize(const std::vector<QuestionResult>& results,
   const std::size_t answered = summary.total - summary.unanswered;
   summary.answered_accuracy =
       answered > 0 ? static_cast<double>(summary.correct) / static_cast<double>(answered) : 0.0;
+  summary.canonical_total = canonical_total;
   summary.canonical_accuracy =
       canonical_total > 0
           ? static_cast<double>(canonical_correct) / static_cast<double>(canonical_total)
@@ -46,7 +48,14 @@ ScoreSummary summarize(const std::vector<QuestionResult>& results,
           ? static_cast<double>(frontier_correct) / static_cast<double>(summary.frontier_total)
           : 0.0;
 
-  // Percentile bootstrap over questions.
+  // Percentile bootstrap over questions. With no resamples there is no
+  // distribution to take percentiles of — collapse the CI onto the point
+  // estimate instead of indexing an empty vector (size - 1 wraps).
+  if (bootstrap_resamples == 0) {
+    summary.ci_low = summary.accuracy;
+    summary.ci_high = summary.accuracy;
+    return summary;
+  }
   util::Rng rng(bootstrap_seed);
   std::vector<double> samples;
   samples.reserve(bootstrap_resamples);
@@ -60,10 +69,10 @@ ScoreSummary summarize(const std::vector<QuestionResult>& results,
     samples.push_back(static_cast<double>(hits) / static_cast<double>(results.size()));
   }
   std::sort(samples.begin(), samples.end());
-  const std::size_t lo_idx = static_cast<std::size_t>(0.025 * static_cast<double>(samples.size()));
-  const std::size_t hi_idx = static_cast<std::size_t>(0.975 * static_cast<double>(samples.size()));
-  summary.ci_low = samples[std::min(lo_idx, samples.size() - 1)];
-  summary.ci_high = samples[std::min(hi_idx, samples.size() - 1)];
+  // Nearest-rank (ceil(q*N) - 1): truncation put the upper bound one past
+  // the 97.5th percentile (N=1000 selected index 975, the 976th element).
+  summary.ci_low = samples[util::metrics::nearest_rank_index(0.025, samples.size())];
+  summary.ci_high = samples[util::metrics::nearest_rank_index(0.975, samples.size())];
   return summary;
 }
 

@@ -36,6 +36,10 @@ struct ScoreSummary {
   double ci_low = 0.0;         ///< 95% bootstrap CI
   double ci_high = 0.0;
   double canonical_accuracy = 0.0;
+  /// Total canonical-tier questions scored. Distinguishes
+  /// `canonical_accuracy == 0.0` (every canonical question wrong) from
+  /// "this run contained no canonical questions at all".
+  std::size_t canonical_total = 0;
   double frontier_accuracy = 0.0;
   std::size_t frontier_total = 0;
   std::size_t unanswered = 0;  ///< predicted == -1 (extraction failure or
@@ -53,6 +57,15 @@ struct ScoreSummary {
   std::size_t json_extractions = 0;
   std::size_t regex_extractions = 0;
   std::size_t interpreter_extractions = 0;
+  /// Per-question wall-clock latency (nearest-rank percentiles, seconds)
+  /// over the questions evaluated fresh this run. `timed_questions == 0`
+  /// (all zeros) means everything replayed from the journal / result
+  /// cache, so no timing was observed. Filled by the pipeline from
+  /// SupervisorStats — summarize() itself never sees wall-clock time.
+  std::size_t timed_questions = 0;
+  double latency_p50_s = 0.0;
+  double latency_p95_s = 0.0;
+  double latency_p99_s = 0.0;
 };
 
 /// Computes the summary with a seeded bootstrap (1000 resamples).

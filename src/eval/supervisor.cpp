@@ -9,7 +9,9 @@
 #include "util/cli.hpp"
 #include "util/fault_injection.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace astromlab::eval {
 
@@ -41,6 +43,26 @@ struct RunState {
   std::map<std::size_t, InFlight> inflight;  ///< keyed by index into `pending`
 };
 
+struct QuestionMetrics {
+  util::metrics::Counter& queued;
+  util::metrics::Counter& completed;
+  util::metrics::Counter& retried;
+  util::metrics::Counter& degraded;
+  util::metrics::Counter& stragglers;
+  util::metrics::Histogram& latency_s;
+};
+
+QuestionMetrics& question_metrics() {
+  auto& reg = util::metrics::registry();
+  static QuestionMetrics m{reg.counter("eval.questions_queued"),
+                           reg.counter("eval.questions_completed"),
+                           reg.counter("eval.question_retries"),
+                           reg.counter("eval.questions_degraded"),
+                           reg.counter("eval.stragglers_cancelled"),
+                           reg.histogram("eval.question_seconds")};
+  return m;
+}
+
 }  // namespace
 
 void Supervisor::run(std::vector<QuestionResult>& results,
@@ -48,6 +70,7 @@ void Supervisor::run(std::vector<QuestionResult>& results,
                      EvalJournal* journal) {
   stats_ = SupervisorStats{};
   if (pending.empty()) return;
+  question_metrics().queued.add(pending.size());
 
   RunState state;
   state.done.assign(pending.size(), 0);
@@ -60,6 +83,8 @@ void Supervisor::run(std::vector<QuestionResult>& results,
   // Never throws; journal failures surface from the flush step instead.
   const auto run_one = [&](std::size_t idx) {
     const std::size_t q = pending[idx];
+    const util::trace::Span span("eval.question", "eval", "q",
+                                 static_cast<std::uint64_t>(q));
     std::size_t slot = 0;
     {
       // At most `workers` tasks run concurrently, so the free list cannot
@@ -124,13 +149,19 @@ void Supervisor::run(std::vector<QuestionResult>& results,
       util::detail::sleep_ms(options_.retry.backoff_ms(retries, q));
     }
 
+    const double question_seconds =
+        std::chrono::duration<double>(Clock::now() - question_start).count();
+    question_metrics().completed.add();
+    question_metrics().latency_s.record(question_seconds);
+    if (retries > 0) question_metrics().retried.add(retries);
+    if (result.degraded) question_metrics().degraded.add();
+
     std::lock_guard<std::mutex> lock(state.mutex);
     state.free_slots.push_back(slot);
     results[q] = result;
     state.done[idx] = 1;
     ++state.completed;
-    state.durations_s.push_back(
-        std::chrono::duration<double>(Clock::now() - question_start).count());
+    state.durations_s.push_back(question_seconds);
     if (retries > 0) {
       ++stats_.retried_questions;
       stats_.total_retries += retries;
@@ -146,8 +177,20 @@ void Supervisor::run(std::vector<QuestionResult>& results,
     }
   };
 
+  // Latency percentiles computed after the run on both serial and parallel
+  // paths; the vector is no longer shared once every question completed.
+  const auto finalize_latency = [&] {
+    std::vector<double> sorted = state.durations_s;
+    std::sort(sorted.begin(), sorted.end());
+    stats_.completed_questions = sorted.size();
+    stats_.latency_p50_s = util::metrics::percentile_sorted(sorted, 0.50);
+    stats_.latency_p95_s = util::metrics::percentile_sorted(sorted, 0.95);
+    stats_.latency_p99_s = util::metrics::percentile_sorted(sorted, 0.99);
+  };
+
   if (options_.workers <= 1) {
     for (std::size_t idx = 0; idx < pending.size(); ++idx) run_one(idx);
+    finalize_latency();
     return;
   }
 
@@ -177,6 +220,7 @@ void Supervisor::run(std::vector<QuestionResult>& results,
             flight.cancelled_by_monitor = true;
             flight.token->cancel();
             ++stats_.stragglers_cancelled;
+            question_metrics().stragglers.add();
             log::warn() << "eval question " << flight.question << ": straggler cancelled ("
                         << elapsed << "s > " << options_.straggler_factor << "x median "
                         << median << "s)";
@@ -187,6 +231,7 @@ void Supervisor::run(std::vector<QuestionResult>& results,
     util::detail::sleep_ms(1.0);
   }
   pool.wait_idle();
+  finalize_latency();
 }
 
 EvalRunOptions eval_run_options_from_args(const util::ArgParser& args) {

@@ -66,6 +66,12 @@ struct SupervisorStats {
   std::size_t total_retries = 0;
   std::size_t degraded_questions = 0;  ///< deadline/straggler/permanent-fault
   std::size_t stragglers_cancelled = 0;
+  /// Per-question wall-clock latency over the freshly evaluated questions
+  /// (nearest-rank percentiles, seconds). Zero when nothing ran fresh.
+  std::size_t completed_questions = 0;
+  double latency_p50_s = 0.0;
+  double latency_p95_s = 0.0;
+  double latency_p99_s = 0.0;
 };
 
 class Supervisor {

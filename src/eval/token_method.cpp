@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 
 #include "eval/prompts.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace astromlab::eval {
 
@@ -63,14 +66,17 @@ LetterTokens detect_letter_tokens(const nn::GptModel& model,
 
   // Both families exist: examine the top-10 next tokens on calibration
   // prompts (paper §V-B) and count which family the model actually ranks.
+  const util::trace::Span span("eval.detect_letter_tokens", "eval");
   std::size_t spaced_hits = 0;
   std::size_t plain_hits = 0;
+  std::size_t usable_prompts = 0;
   const std::size_t n_calibration = std::min<std::size_t>(calibration.size(), 6);
   nn::GptInference inference(model);
   for (std::size_t q = 0; q < n_calibration; ++q) {
     const std::string prompt = build_token_prompt(calibration[q], fewshot);
     std::vector<nn::Token> tokens = to_model_tokens(tok.encode(prompt));
     if (tokens.size() >= model.config().ctx_len) continue;
+    ++usable_prompts;
     inference.reset();
     const std::vector<float>& logits = inference.prompt(tokens);
     for (std::size_t idx : top_k_indices(logits, 10)) {
@@ -78,6 +84,20 @@ LetterTokens detect_letter_tokens(const nn::GptModel& model,
       if (std::find(spaced->begin(), spaced->end(), id) != spaced->end()) ++spaced_hits;
       if (std::find(plain->begin(), plain->end(), id) != plain->end()) ++plain_hits;
     }
+  }
+  util::metrics::registry()
+      .counter("eval.letter_detection_evidence")
+      .add(spaced_hits + plain_hits);
+  if (spaced_hits + plain_hits == 0) {
+    // Zero evidence — typically every calibration prompt overflowed the
+    // context window (usable_prompts == 0), or the model never ranked a
+    // letter token in its top 10. The spaced-family default below is then a
+    // blind guess, not a detection; say so instead of silently proceeding.
+    util::metrics::registry().counter("eval.letter_detection_zero_evidence").add();
+    log::warn() << "letter-token detection: zero evidence ("
+                << usable_prompts << "/" << n_calibration
+                << " calibration prompts fit the context window); defaulting "
+                   "to the leading-space family on no data";
   }
 
   LetterTokens letters;
@@ -99,13 +119,30 @@ int token_predict(const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
                   const std::vector<corpus::McqItem>& fewshot,
                   const util::CancelToken* cancel, const PrefixCache* prefix_cache,
                   nn::GptInference* scratch) {
+  const util::trace::Span span("eval.token_predict", "eval");
   const std::string prompt = build_token_prompt(item, fewshot);
   std::vector<nn::Token> tokens = to_model_tokens(tok.encode(prompt));
   if (letters.feed_space_first) {
     const auto space = tok.token_to_id(" ");
-    if (space) tokens.push_back(*space);
+    if (space) {
+      tokens.push_back(*space);
+    } else {
+      // Without a single " " token the separator cannot be fed, so the
+      // model scores bare letters directly after "Answer:" — a subtly
+      // different prompt than calibration saw. Degrade loudly: warn once
+      // per process, count every occurrence.
+      static std::once_flag warned;
+      std::call_once(warned, [] {
+        log::warn() << "token method: feed_space_first set but the tokenizer "
+                       "has no single \" \" token; probing bare letters "
+                       "without the separator (prompt differs from "
+                       "calibration)";
+      });
+      util::metrics::registry().counter("eval.space_token_missing").add();
+    }
   }
   if (tokens.empty() || tokens.size() >= model.config().ctx_len) {
+    util::metrics::registry().counter("eval.prompt_overflow").add();
     return -1;  // prompt does not fit the context window
   }
   std::optional<nn::GptInference> local;
@@ -141,7 +178,8 @@ std::vector<QuestionResult> run_token_benchmark(
     const std::vector<corpus::McqItem>& benchmark,
     const std::vector<corpus::McqItem>& practice_pool, EvalJournal* journal,
     const TokenMethodConfig& config, const EvalRunOptions& opts,
-    PrefixCacheStats* cache_stats) {
+    PrefixCacheStats* cache_stats, SupervisorStats* run_stats) {
+  const util::trace::Span bench_span("eval.token_benchmark", "eval");
   const std::vector<corpus::McqItem> fewshot = pick_fewshot_examples(practice_pool);
   const LetterTokens letters = detect_letter_tokens(model, tok, practice_pool, fewshot);
   if (cache_stats != nullptr) *cache_stats = PrefixCacheStats{};
@@ -198,6 +236,7 @@ std::vector<QuestionResult> run_token_benchmark(
       },
       journal);
   if (cache != nullptr && cache_stats != nullptr) *cache_stats = cache->stats();
+  if (run_stats != nullptr) *run_stats = supervisor.stats();
   return results;
 }
 

@@ -77,11 +77,14 @@ int token_predict(const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
 /// (`opts.prefix_cache`); defaults reproduce the serial reference behaviour
 /// bit-for-bit. When `cache_stats` is non-null it receives the prefill
 /// reuse accounting of the run (zeros when the cache was off or unusable).
+/// When `run_stats` is non-null it receives the supervisor's telemetry —
+/// retries, degradations, and per-question latency percentiles over the
+/// freshly evaluated questions.
 std::vector<QuestionResult> run_token_benchmark(
     const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
     const std::vector<corpus::McqItem>& benchmark,
     const std::vector<corpus::McqItem>& practice_pool, EvalJournal* journal = nullptr,
     const TokenMethodConfig& config = {}, const EvalRunOptions& opts = {},
-    PrefixCacheStats* cache_stats = nullptr);
+    PrefixCacheStats* cache_stats = nullptr, SupervisorStats* run_stats = nullptr);
 
 }  // namespace astromlab::eval

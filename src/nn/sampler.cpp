@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "tensor/ops.hpp"
+#include "util/metrics.hpp"
 #include "util/stopwatch.hpp"
+#include "util/trace.hpp"
 
 namespace astromlab::nn {
 
@@ -39,9 +41,36 @@ Token Sampler::pick(const std::vector<float>& logits, const SampleConfig& config
   return static_cast<Token>(probs.size() - 1);
 }
 
+namespace {
+
+struct GenerateMetrics {
+  util::metrics::Counter& calls;
+  util::metrics::Counter& tokens;
+};
+
+GenerateMetrics& generate_metrics() {
+  auto& reg = util::metrics::registry();
+  static GenerateMetrics m{reg.counter("nn.generate_calls"),
+                           reg.counter("nn.generated_tokens")};
+  return m;
+}
+
+/// Counts the tokens actually produced even on early returns (cancel,
+/// timeout, stop token) — every exit path passes through the destructor.
+struct TokenCountGuard {
+  const SampleResult& result;
+  ~TokenCountGuard() { generate_metrics().tokens.add(result.tokens.size()); }
+};
+
+}  // namespace
+
 SampleResult Sampler::generate(const std::vector<Token>& prompt_tokens,
                                const SampleConfig& config, util::Rng& rng) {
+  const util::trace::Span span("nn.generate", "nn", "prompt_tokens",
+                               static_cast<std::uint64_t>(prompt_tokens.size()));
+  generate_metrics().calls.add();
   SampleResult result;
+  const TokenCountGuard count_guard{result};
   inference_.reset();
   const std::size_t ctx = inference_.model().config().ctx_len;
   if (prompt_tokens.empty() || prompt_tokens.size() >= ctx) {

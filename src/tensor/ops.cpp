@@ -10,6 +10,7 @@
 
 #include "tensor/kernels.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace astromlab::tensor {
@@ -211,6 +212,20 @@ void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n, std::size_t
            float beta, float* c, std::size_t ldc) {
   if (m == 0 || n == 0) return;
   const KernelVtable& kv = active_kernels();
+  // The dispatched-kernel counter name is resolved once: the vtable is
+  // fixed for the process after startup selection.
+  struct GemmMetrics {
+    util::metrics::Counter& calls;
+    util::metrics::Counter& gemv_calls;
+    util::metrics::Counter& dispatched;
+  };
+  static GemmMetrics metrics{
+      util::metrics::registry().counter("gemm.calls"),
+      util::metrics::registry().counter("gemm.gemv_calls"),
+      util::metrics::registry().counter(std::string("gemm.dispatch.") +
+                                        active_kernels().name)};
+  metrics.calls.add();
+  metrics.dispatched.add();
 
   if (beta != 1.0f && m == 1) {
     if (beta == 0.0f) {
@@ -237,6 +252,7 @@ void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n, std::size_t
   if (k == 0 || alpha == 0.0f) return;
 
   if (m == 1) {
+    metrics.gemv_calls.add();
     gemv(kv, trans_a, trans_b, n, k, alpha, a, lda, b, ldb, c);
     return;
   }

@@ -1,0 +1,99 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace astromlab::util::metrics {
+
+std::size_t nearest_rank_index(double q, std::size_t n) {
+  if (n == 0) return 0;
+  // The epsilon keeps ranks that are exact in real arithmetic from being
+  // rounded up by binary representation error: 0.025 * 1000 evaluates to
+  // 25.000000000000004, and ceil() alone would select the 26th element.
+  const double rank = std::ceil(q * static_cast<double>(n) - 1e-9);
+  if (rank <= 1.0) return 0;
+  return std::min(static_cast<std::size_t>(rank) - 1, n - 1);
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  return sorted[nearest_rank_index(q, sorted.size())];
+}
+
+void Histogram::record(double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  samples_.push_back(value);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  std::vector<double> samples;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    samples = samples_;
+  }
+  HistogramSnapshot snap;
+  snap.count = samples.size();
+  if (samples.empty()) return snap;
+  std::sort(samples.begin(), samples.end());
+  snap.min = samples.front();
+  snap.max = samples.back();
+  for (const double v : samples) snap.sum += v;
+  snap.p50 = percentile_sorted(samples, 0.50);
+  snap.p95 = percentile_sorted(samples, 0.95);
+  snap.p99 = percentile_sorted(samples, 0.99);
+  return snap;
+}
+
+void Histogram::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  samples_.clear();
+}
+
+Registry& Registry::instance() {
+  static Registry* shared = new Registry();  // leaked: outlives all users
+  return *shared;
+}
+
+Registry& registry() { return Registry::instance(); }
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) out.emplace_back(name, counter->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>> Registry::histograms() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) out.emplace_back(name, hist->snapshot());
+  return out;
+}
+
+void Registry::reset_all() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, hist] : histograms_) hist->reset();
+}
+
+}  // namespace astromlab::util::metrics

@@ -1,0 +1,98 @@
+#pragma once
+// Process-wide metrics registry: named monotonic counters and latency
+// histograms with nearest-rank percentiles (p50/p95/p99).
+//
+// Counters are single relaxed atomics, safe to bump from any thread
+// including the GEMM and thread-pool hot paths. Histograms keep raw
+// samples behind a mutex; the eval pipeline records one sample per
+// question, so cardinality is bounded by benchmark size. Name lookup
+// takes the registry mutex — hot paths cache the returned reference in a
+// function-local static. References stay valid for the process lifetime
+// (entries are never removed).
+//
+// The registry is purely observational: nothing in the scoring or
+// generation path reads a metric back, so scores and journal bytes are
+// bit-identical whether or not anyone consumes the numbers
+// (tests/test_trace_metrics.cpp enforces this end to end).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace astromlab::util::metrics {
+
+/// Nearest-rank percentile index into a sorted sample of size `n`:
+/// ceil(q * n) - 1, clamped to [0, n-1], with a small epsilon so binary
+/// representation error cannot push an exact rank over the next integer
+/// (0.025 * 1000 must select index 24, not 25). `n` must be > 0.
+std::size_t nearest_rank_index(double q, std::size_t n);
+
+/// Nearest-rank percentile of an ascending-sorted sample; 0 when empty.
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+struct HistogramSnapshot {
+  std::size_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+class Histogram {
+ public:
+  void record(double value);
+  HistogramSnapshot snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
+};
+
+class Registry {
+ public:
+  /// Process-wide shared registry.
+  static Registry& instance();
+
+  /// Named counter / histogram, created on first use. The returned
+  /// reference is stable for the process lifetime.
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Name-ordered snapshots for reporting (trace files, bench JSON).
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms() const;
+
+  /// Zeroes every counter and histogram (tests and bench isolation).
+  /// Registered names and references stay valid.
+  void reset_all();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Shorthand for Registry::instance().
+Registry& registry();
+
+}  // namespace astromlab::util::metrics

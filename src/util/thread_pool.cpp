@@ -4,7 +4,23 @@
 #include <atomic>
 #include <utility>
 
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
 namespace astromlab::util {
+namespace {
+
+metrics::Counter& tasks_submitted_counter() {
+  static metrics::Counter& c = metrics::registry().counter("pool.tasks_submitted");
+  return c;
+}
+
+metrics::Counter& tasks_inline_counter() {
+  static metrics::Counter& c = metrics::registry().counter("pool.tasks_inline");
+  return c;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -32,7 +48,9 @@ void ThreadPool::submit(std::function<void()> task) {
   if (workers_.empty()) {
     // Serial fallback: run inline so the pool is usable on 1-core hosts.
     // Errors defer to wait_idle(), matching the threaded path's semantics.
+    tasks_inline_counter().add();
     try {
+      const trace::Span span("pool.task", "pool");
       task();
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -40,6 +58,7 @@ void ThreadPool::submit(std::function<void()> task) {
     }
     return;
   }
+  tasks_submitted_counter().add();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     tasks_.push(std::move(task));
@@ -76,6 +95,7 @@ void ThreadPool::worker_loop() {
     // and decrement unconditionally under the lock.
     std::exception_ptr error;
     try {
+      const trace::Span span("pool.task", "pool");
       task();
     } catch (...) {
       error = std::current_exception();

@@ -1,0 +1,225 @@
+#include "util/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/io.hpp"
+#include "util/logging.hpp"
+#include "util/metrics.hpp"
+
+namespace astromlab::util::trace {
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct Event {
+  const char* name;
+  const char* category;
+  const char* arg_key;  // nullptr when the span carries no argument
+  std::uint64_t arg_value;
+  std::uint64_t start_ns;
+  std::uint64_t end_ns;
+  std::uint32_t tid;
+};
+
+struct Session {
+  std::mutex mutex;
+  std::vector<Event> events;
+  std::filesystem::path path;
+  std::uint64_t t0_ns = 0;
+  bool open = false;  // start()ed and not yet stop()ped (survives pause())
+};
+
+// `enabled` is the only state touched on the disabled path; everything
+// else hides behind it. Both are leaked so spans in static destructors
+// can never observe a destroyed session.
+std::atomic<bool> g_enabled{false};
+Session* session() {
+  static Session* s = new Session();
+  return s;
+}
+
+std::uint32_t this_thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void append_escaped(std::string& out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+std::string render_json(const Session& s) {
+  std::string out;
+  out.reserve(128 + s.events.size() * 128);
+  out += "{\n\"traceEvents\": [";
+  bool first = true;
+  for (const Event& e : s.events) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\": \"";
+    append_escaped(out, e.name);
+    out += "\", \"cat\": \"";
+    append_escaped(out, e.category);
+    out += "\", \"ph\": \"X\", \"ts\": ";
+    const std::uint64_t rel_ns = e.start_ns > s.t0_ns ? e.start_ns - s.t0_ns : 0;
+    append_double(out, static_cast<double>(rel_ns) / 1000.0);
+    out += ", \"dur\": ";
+    const std::uint64_t dur_ns = e.end_ns > e.start_ns ? e.end_ns - e.start_ns : 0;
+    append_double(out, static_cast<double>(dur_ns) / 1000.0);
+    out += ", \"pid\": 1, \"tid\": ";
+    out += std::to_string(e.tid);
+    if (e.arg_key != nullptr) {
+      out += ", \"args\": {\"";
+      append_escaped(out, e.arg_key);
+      out += "\": ";
+      out += std::to_string(e.arg_value);
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n],\n\"metrics\": {\n\"counters\": {";
+  first = true;
+  for (const auto& [name, value] : metrics::registry().counters()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n\"";
+    append_escaped(out, name.c_str());
+    out += "\": ";
+    out += std::to_string(value);
+  }
+  out += "\n},\n\"histograms\": {";
+  first = true;
+  for (const auto& [name, snap] : metrics::registry().histograms()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n\"";
+    append_escaped(out, name.c_str());
+    out += "\": {\"count\": ";
+    out += std::to_string(snap.count);
+    out += ", \"sum\": ";
+    append_double(out, snap.sum);
+    out += ", \"min\": ";
+    append_double(out, snap.min);
+    out += ", \"max\": ";
+    append_double(out, snap.max);
+    out += ", \"p50\": ";
+    append_double(out, snap.p50);
+    out += ", \"p95\": ";
+    append_double(out, snap.p95);
+    out += ", \"p99\": ";
+    append_double(out, snap.p99);
+    out += "}";
+  }
+  out += "\n}\n}\n}\n";
+  return out;
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void start(const std::filesystem::path& path) {
+  Session& s = *session();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.events.clear();
+  s.path = path;
+  s.t0_ns = now_ns();
+  s.open = true;
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+std::string stop() {
+  Session& s = *session();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  if (!s.open) return "";
+  s.open = false;
+  g_enabled.store(false, std::memory_order_relaxed);
+  std::string doc = render_json(s);
+  if (!s.path.empty()) {
+    write_text_file(s.path, doc);
+    log::info() << "trace: wrote " << s.events.size() << " events to "
+                << s.path.string();
+  }
+  s.events.clear();
+  s.path.clear();
+  return doc;
+}
+
+void finish() { stop(); }
+
+void pause() { g_enabled.store(false, std::memory_order_relaxed); }
+
+void resume() {
+  Session& s = *session();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.open) g_enabled.store(true, std::memory_order_relaxed);
+}
+
+std::size_t event_count() {
+  Session& s = *session();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return s.events.size();
+}
+
+bool init_from_args(const util::ArgParser& args) {
+  const auto path = args.get("trace-json");
+  if (!path || path->empty()) return false;
+  start(*path);
+  log::info() << "trace: collecting spans, will write " << *path;
+  return true;
+}
+
+Span::Span(const char* name, const char* category)
+    : Span(name, category, nullptr, 0) {}
+
+Span::Span(const char* name, const char* category, const char* arg_key,
+           std::uint64_t arg_value)
+    : name_(name),
+      category_(category),
+      arg_key_(arg_key),
+      arg_value_(arg_value),
+      start_ns_(0),
+      active_(enabled()) {
+  if (active_) start_ns_ = now_ns();
+}
+
+Span::~Span() {
+  if (!active_ || !enabled()) return;
+  const std::uint64_t end_ns = now_ns();
+  Session& s = *session();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  s.events.push_back(Event{name_, category_, arg_key_, arg_value_, start_ns_,
+                           end_ns, this_thread_id()});
+}
+
+}  // namespace astromlab::util::trace

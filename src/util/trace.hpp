@@ -1,0 +1,86 @@
+#pragma once
+// Run-wide tracing: scoped RAII spans emitting Chrome trace_event JSON.
+//
+// One process-wide session, off by default. `start(path)` arms it;
+// `Span` objects constructed while armed record a complete ("ph":"X")
+// event on destruction — name, category, microsecond timestamp relative
+// to session start, duration, pid/tid — buffered in memory and written
+// on `stop()`. Load the file at chrome://tracing or https://ui.perfetto.dev.
+//
+// Disabled cost is one relaxed atomic load per Span (gated < 2% of
+// question latency by `bench/throughput --smoke`). Tracing is a pure
+// observer: it never feeds back into scoring, sampling, or scheduling, so
+// scores and journal bytes are bit-identical with the session on or off
+// (enforced by tests/test_trace_metrics.cpp).
+//
+// The emitted document also embeds a snapshot of util::metrics under a
+// top-level "metrics" key, so one artefact carries both the timeline and
+// the counters. JSON is hand-rolled here: astromlab_util sits below
+// astromlab_json in the link graph and must not depend on it.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+namespace astromlab::util {
+class ArgParser;
+}  // namespace astromlab::util
+
+namespace astromlab::util::trace {
+
+/// True while a session is collecting. Single relaxed atomic load.
+bool enabled();
+
+/// Arms the session; events are buffered until stop(). `path` may be
+/// empty for an in-memory session (tests, overhead probes). Calling
+/// start while a session is active restarts it (previous events drop).
+void start(const std::filesystem::path& path);
+
+/// Disarms the session and returns the full JSON document (traceEvents +
+/// metrics snapshot). Writes it to the session path when one was given.
+/// No-op returning "" when no session is active.
+std::string stop();
+
+/// Writes and closes an active session; silently does nothing otherwise.
+/// Intended for the end of main() in bench binaries.
+void finish();
+
+/// Events buffered so far (0 when disabled). Used by the smoke harness to
+/// count spans-per-question without owning the session.
+std::size_t event_count();
+
+/// Temporarily disarms an active session without dropping its buffered
+/// events; spans constructed while paused cost the disabled-path atomic
+/// load and record nothing. resume() re-arms the session (no-op when no
+/// session is open). Lets the smoke harness probe the disabled-span cost
+/// while a --trace-json session is live.
+void pause();
+void resume();
+
+/// Arms a session from `--trace-json <path>` (env ASTROMLAB_TRACE_JSON).
+/// Returns true when a session was started.
+bool init_from_args(const util::ArgParser& args);
+
+/// Scoped timer. `name` and `category` must be string literals (stored by
+/// pointer, not copied). An optional single integer argument lands in the
+/// event's "args" object under `arg_key`.
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "astromlab");
+  Span(const char* name, const char* category, const char* arg_key,
+       std::uint64_t arg_value);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  const char* arg_key_;
+  std::uint64_t arg_value_;
+  std::uint64_t start_ns_;
+  bool active_;
+};
+
+}  // namespace astromlab::util::trace

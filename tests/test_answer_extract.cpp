@@ -66,6 +66,20 @@ INSTANTIATE_TEST_SUITE_P(
                     "Based on the population it must be 2.0 to 2.5 solar masses.", 1,
                     ExtractionMethod::kInterpreter},
         ExtractCase{"lone_letter", "Definitely \"A\".", 0, ExtractionMethod::kInterpreter},
+        // --- Regression: a word that merely STARTS with A-D is not an
+        // answer. "Definitely unsure" used to parse as D through both the
+        // JSON stage (first-letter scan) and the regex rescue. ---
+        ExtractCase{"json_word_is_not_a_letter", R"({"ANSWER": "Definitely unsure"})", -1,
+                    ExtractionMethod::kFailed},
+        ExtractCase{"regex_word_is_not_a_letter", R"({ANSWER: Definitely unsure})", -1,
+                    ExtractionMethod::kFailed},
+        ExtractCase{"json_all_of_the_above", R"({"ANSWER": "All of the above"})", -1,
+                    ExtractionMethod::kFailed},
+        // The word-boundary rule must keep accepting the legitimate forms.
+        ExtractCase{"json_letter_dot", R"({"ANSWER": "B."})", 1, ExtractionMethod::kJson},
+        ExtractCase{"json_letter_colon_option_text",
+                    R"({"ANSWER": "B: 2.0 to 2.5 solar masses"})", 1,
+                    ExtractionMethod::kJson},
         // --- Failure ---
         ExtractCase{"nothing_extractable", "I am not sure about this question at all.", -1,
                     ExtractionMethod::kFailed},

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "eval/report.hpp"
 #include "eval/scorer.hpp"
+#include "util/rng.hpp"
 
 namespace astromlab::eval {
 namespace {
@@ -81,6 +85,59 @@ TEST(Scorer, BootstrapCiBracketsAccuracyAndIsDeterministic) {
   EXPECT_NEAR(a.ci_high - a.ci_low, 0.17, 0.06);
 }
 
+TEST(Scorer, CanonicalTotalIsSurfaced) {
+  std::vector<QuestionResult> results = {
+      qr(0, 0, corpus::Tier::kCanonical), qr(1, 0, corpus::Tier::kCanonical),
+      qr(2, 2, corpus::Tier::kFrontier)};
+  const ScoreSummary summary = summarize(results);
+  EXPECT_EQ(summary.canonical_total, 2u);
+  EXPECT_EQ(summary.frontier_total, 1u);
+  EXPECT_EQ(summarize({}).canonical_total, 0u);
+}
+
+TEST(Scorer, BootstrapZeroResamplesCollapsesCiToPointEstimate) {
+  // resamples=0 used to index samples[size-1] of an EMPTY vector.
+  std::vector<QuestionResult> results = {qr(0, 0), qr(1, 0), qr(2, 2), qr(3, 3)};
+  const ScoreSummary summary = summarize(results, 7, /*bootstrap_resamples=*/0);
+  EXPECT_DOUBLE_EQ(summary.ci_low, summary.accuracy);
+  EXPECT_DOUBLE_EQ(summary.ci_high, summary.accuracy);
+}
+
+TEST(Scorer, BootstrapSingleResampleIsSafe) {
+  std::vector<QuestionResult> results = {qr(0, 0), qr(1, 0)};
+  const ScoreSummary summary = summarize(results, 7, /*bootstrap_resamples=*/1);
+  // One sample: both bounds collapse onto it and stay ordered.
+  EXPECT_DOUBLE_EQ(summary.ci_low, summary.ci_high);
+  EXPECT_LE(summary.ci_low, summary.ci_high);
+}
+
+TEST(Scorer, BootstrapCiUsesNearestRankIndices) {
+  // At the default 1000 resamples the bounds must be the 25th and 975th
+  // order statistics (indices 24 / 974) — the old truncation picked the
+  // 976th element for the upper bound (one past the 97.5th percentile),
+  // so ci_high could only move up. Verify against a direct replay of the
+  // resampling loop.
+  std::vector<QuestionResult> results;
+  for (int i = 0; i < 40; ++i) results.push_back(qr(i % 3 == 0 ? 0 : 1, 0));
+  const std::uint64_t seed = 11;
+  const std::size_t resamples = 1000;
+  util::Rng rng(seed);
+  std::vector<double> samples;
+  for (std::size_t b = 0; b < resamples; ++b) {
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (results[static_cast<std::size_t>(rng.next_below(results.size()))].is_correct()) {
+        ++hits;
+      }
+    }
+    samples.push_back(static_cast<double>(hits) / static_cast<double>(results.size()));
+  }
+  std::sort(samples.begin(), samples.end());
+  const ScoreSummary summary = summarize(results, seed, resamples);
+  EXPECT_DOUBLE_EQ(summary.ci_low, samples[24]);
+  EXPECT_DOUBLE_EQ(summary.ci_high, samples[974]);
+}
+
 TEST(Percent, OneDecimal) {
   EXPECT_EQ(percent(0.7604), "76.0");
   EXPECT_EQ(percent(0.413999), "41.4");
@@ -149,6 +206,41 @@ TEST(Table1, MissingScoresRenderAsDash) {
   const std::string row_text = table.substr(line, table.find('\n', line) - line);
   EXPECT_NE(row_text.find('-'), std::string::npos);
   EXPECT_NE(row_text.find("43.5 v"), std::string::npos);
+}
+
+TEST(Table1, CanonicalAndLatencyColumnsRendered) {
+  ModelRow timed = row("Timed-X", 50.0, 60.0, 70.0, true, "");
+  timed.canonical_total = 42;
+  timed.latency_p95_ms = 123.4;
+  ModelRow cached = row("Cached-X", 50.0, 60.0, 70.0, true, "");
+  const std::string table = render_table1({timed, cached});
+  EXPECT_NE(table.find("Canon"), std::string::npos);
+  EXPECT_NE(table.find("P95ms"), std::string::npos);
+  const std::size_t timed_line = table.find("Timed-X");
+  const std::string timed_row =
+      table.substr(timed_line, table.find('\n', timed_line) - timed_line);
+  EXPECT_NE(timed_row.find("42"), std::string::npos);
+  EXPECT_NE(timed_row.find("123.4"), std::string::npos);
+  // A fully cache-replayed row renders '-' rather than a stale zero.
+  const std::size_t cached_line = table.find("Cached-X");
+  const std::string cached_row =
+      table.substr(cached_line, table.find('\n', cached_line) - cached_line);
+  EXPECT_EQ(cached_row.find("123.4"), std::string::npos);
+}
+
+TEST(Csv, LatencyAndCanonicalColumnsAppendedAtLineEnd) {
+  ModelRow timed = row("Timed-X", 50.0, 60.0, 70.0, true, "");
+  timed.canonical_total = 42;
+  timed.latency_p50_ms = 10.0;
+  timed.latency_p95_ms = 20.0;
+  timed.latency_p99_ms = 30.0;
+  const std::string csv = render_csv({timed});
+  EXPECT_NE(csv.find("canonical_total,latency_p50_ms,latency_p95_ms,latency_p99_ms\n"),
+            std::string::npos);
+  EXPECT_NE(csv.find(",42,10.00,20.00,30.00\n"), std::string::npos);
+  // Latencies default to "no fresh timing" and render as empty cells.
+  const std::string empty_csv = render_csv({row("Plain-X", 50.0, 60.0, 70.0, true, "")});
+  EXPECT_NE(empty_csv.find(",0,,,\n"), std::string::npos);
 }
 
 TEST(Fig1, PlacesSymbolsAndBaseline) {
