@@ -10,6 +10,8 @@
 
 #include "core/experiment.hpp"
 #include "util/cli.hpp"
+#include "util/fault_injection.hpp"
+#include "util/resource_budget.hpp"
 #include "util/logging.hpp"
 #include "util/string_utils.hpp"
 
@@ -18,6 +20,8 @@ using namespace astromlab;
 int main(int argc, char** argv) {
   const util::ArgParser args(argc, argv);
   log::set_level(log::parse_level(args.get_string("log", "info")));
+  util::ResourceBudget::init_from_args(args);
+  util::FaultInjector::init_chaos_from_args(args);
 
   core::WorldConfig config;
   config.size_multiplier = args.get_double("mult", 1.0);

@@ -13,6 +13,8 @@
 #include "core/study.hpp"
 #include "core/value_model.hpp"
 #include "util/cli.hpp"
+#include "util/fault_injection.hpp"
+#include "util/resource_budget.hpp"
 #include "util/logging.hpp"
 
 using namespace astromlab;
@@ -20,6 +22,8 @@ using namespace astromlab;
 int main(int argc, char** argv) {
   const util::ArgParser args(argc, argv);
   log::set_level(log::parse_level(args.get_string("log", "warn")));
+  util::ResourceBudget::init_from_args(args);
+  util::FaultInjector::init_chaos_from_args(args);
 
   std::printf("\nE6: GPU-HOUR COST MODEL\n\n%s\n",
               core::render_cost_table(core::reproduce_paper_costs()).c_str());

@@ -9,6 +9,8 @@
 #include "core/study.hpp"
 #include "eval/report.hpp"
 #include "util/cli.hpp"
+#include "util/fault_injection.hpp"
+#include "util/resource_budget.hpp"
 #include "util/io.hpp"
 #include "util/logging.hpp"
 
@@ -17,6 +19,8 @@ using namespace astromlab;
 int main(int argc, char** argv) {
   const util::ArgParser args(argc, argv);
   log::set_level(log::parse_level(args.get_string("log", "info")));
+  util::ResourceBudget::init_from_args(args);
+  util::FaultInjector::init_chaos_from_args(args);
 
   core::WorldConfig config;
   config.size_multiplier = args.get_double("mult", 1.0);
@@ -42,7 +46,12 @@ int main(int argc, char** argv) {
   }
 
   const std::string csv_path = cache + "/fig1.csv";
-  util::write_text_file(csv_path, eval::render_csv(result.table_rows()));
+  try {
+    util::write_text_file(csv_path, eval::render_csv(result.table_rows()));
+  } catch (const util::IoError& e) {
+    std::fprintf(stderr, "FAIL: could not write %s: %s\n", csv_path.c_str(), e.what());
+    return 1;
+  }
   std::printf("\nCSV written to %s\n", csv_path.c_str());
   return 0;
 }

@@ -37,6 +37,8 @@
 #include "core/study.hpp"
 #include "eval/report.hpp"
 #include "util/cli.hpp"
+#include "util/fault_injection.hpp"
+#include "util/resource_budget.hpp"
 #include "util/io.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
@@ -103,6 +105,8 @@ void check_acceptance(const core::StudyResult& result) {
 int main(int argc, char** argv) {
   const util::ArgParser args(argc, argv);
   log::set_level(log::parse_level(args.get_string("log", "info")));
+  util::ResourceBudget::init_from_args(args);
+  util::FaultInjector::init_chaos_from_args(args);
   util::trace::init_from_args(args);
 
   core::WorldConfig config;
@@ -128,7 +132,15 @@ int main(int argc, char** argv) {
   check_acceptance(result);
 
   const std::string csv_path = cache + "/table1.csv";
-  util::write_text_file(csv_path, eval::render_csv(result.table_rows()));
+  try {
+    util::write_text_file(csv_path, eval::render_csv(result.table_rows()));
+  } catch (const util::IoError& e) {
+    // A silently missing CSV would read as "the study never ran" to any
+    // downstream consumer; fail the whole bench instead.
+    std::fprintf(stderr, "FAIL: could not write %s: %s\n", csv_path.c_str(), e.what());
+    util::trace::finish();
+    return 1;
+  }
   std::printf("\nCSV written to %s\n", csv_path.c_str());
   std::printf("total wall time: %.1fs\n", watch.seconds());
   util::trace::finish();

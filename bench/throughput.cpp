@@ -18,6 +18,15 @@
 // cached path stops being bit-identical, or the trace gate fails. The
 // workload is fully seeded; only the wall-clock numbers vary run to run.
 //
+// `--chaos-soak [--chaos-seed N --chaos-rate P --out-dir DIR]` instead
+// runs the full three-method eval pipeline (journals, parallel workers,
+// prefix cache) under the seeded chaos schedule — injected write faults,
+// torn appends and allocation pressure at the question boundary — and
+// gates on the run *finishing* with every question accounted for
+// (answered + degraded + shed = total) and a CRC-clean journal
+// (`BENCH_chaos.json`). `--memory-budget-mb` additionally enforces a hard
+// tracked-byte ceiling during any mode.
+//
 // `--trace-json <path>` additionally records the harness's own spans and
 // writes the Chrome trace_event document (plus metrics snapshot) on exit.
 
@@ -32,6 +41,8 @@
 #include <vector>
 
 #include "corpus/corpora.hpp"
+#include "eval/full_instruct.hpp"
+#include "eval/journal.hpp"
 #include "eval/prefix_cache.hpp"
 #include "eval/token_method.hpp"
 #include "json/json.hpp"
@@ -39,8 +50,11 @@
 #include "nn/trainer.hpp"
 #include "tensor/ops.hpp"
 #include "tokenizer/bpe.hpp"
+#include "util/cli.hpp"
+#include "util/fault_injection.hpp"
 #include "util/io.hpp"
 #include "util/metrics.hpp"
+#include "util/resource_budget.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 #include "util/trace.hpp"
@@ -327,7 +341,7 @@ struct EvalWorld {
   nn::GptModel model;
 };
 
-EvalWorld make_eval_world() {
+EvalWorld make_eval_world(std::size_t questions_per_topic = 2) {
   corpus::KbConfig kb_config;
   kb_config.n_topics = 4;
   kb_config.entities_per_topic = 3;
@@ -335,7 +349,7 @@ EvalWorld make_eval_world() {
   kb_config.seed = 61;
   const corpus::KnowledgeBase kb = corpus::KnowledgeBase::generate(kb_config);
   corpus::McqGenConfig mcq_config;
-  mcq_config.questions_per_topic = 2;
+  mcq_config.questions_per_topic = questions_per_topic;
   mcq_config.seed = 62;
   corpus::McqSplit mcqs = corpus::generate_mcqs(kb, mcq_config);
   tokenizer::BpeTrainConfig tok_config;
@@ -589,11 +603,24 @@ json::Value smoke_gemm() {
   return report;
 }
 
+/// Writes a report file, failing loudly instead of aborting the process:
+/// a BENCH artifact that silently vanished (or a propagating IoError that
+/// killed the bench mid-suite) would read as "gate never ran" in CI.
+bool write_report(const std::filesystem::path& path, const std::string& text) {
+  try {
+    util::write_text_file(path, text);
+    return true;
+  } catch (const util::IoError& e) {
+    std::cerr << "FAIL " << path.string() << ": report not written: " << e.what() << '\n';
+    return false;
+  }
+}
+
 /// Gate for BENCH_gemm.json: must re-parse, every shape must match the
 /// scalar reference, and — unless runtime dispatch landed on the scalar
 /// kernel itself — the dispatched path must not be slower than it.
 bool emit_and_check_gemm(const json::Value& report, const std::filesystem::path& path) {
-  util::write_text_file(path, report.dump(2) + "\n");
+  if (!write_report(path, report.dump(2) + "\n")) return false;
   json::Value parsed;
   try {
     parsed = json::parse(util::read_text_file(path));
@@ -624,7 +651,7 @@ bool emit_and_check_gemm(const json::Value& report, const std::filesystem::path&
 /// gates. Returns false (after printing why) on any violation.
 bool emit_and_check(const json::Value& report, const std::filesystem::path& path,
                     const char* identity_key) {
-  util::write_text_file(path, report.dump(2) + "\n");
+  if (!write_report(path, report.dump(2) + "\n")) return false;
   json::Value parsed;
   try {
     parsed = json::parse(util::read_text_file(path));
@@ -654,7 +681,7 @@ bool emit_and_check(const json::Value& report, const std::filesystem::path& path
 /// valid JSON, scores must be identical with tracing on, and the estimated
 /// disabled-tracing overhead must stay under the 2% budget.
 bool emit_and_check_trace(const json::Value& report, const std::filesystem::path& path) {
-  util::write_text_file(path, report.dump(2) + "\n");
+  if (!write_report(path, report.dump(2) + "\n")) return false;
   json::Value parsed;
   try {
     parsed = json::parse(util::read_text_file(path));
@@ -702,19 +729,211 @@ int run_smoke(const std::filesystem::path& out_dir) {
   return ok ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// --chaos-soak: the full three-method pipeline under a seeded fault schedule.
+//
+// Runs token-base, token-instruct and full-instruct on the synthetic eval
+// world with journals, parallel workers and the prefix cache, while the
+// chaos scheduler injects write faults / torn appends, read faults and
+// allocation pressure at the question boundary. The run must finish (never
+// abort), every question must be accounted for
+// (answered + degraded-only + shed + parse-unanswered == total), and the
+// journal left behind must reload CRC-clean with every surviving line
+// bit-identical to the in-memory result. Violations exit nonzero.
+
+/// Verifies one method's results + journal after the fault schedule is
+/// disarmed, appending its report object to `methods`.
+bool check_soak_method(const char* name, const std::vector<eval::QuestionResult>& results,
+                       const eval::SupervisorStats& stats,
+                       const std::filesystem::path& journal_path, std::size_t total,
+                       json::Value& methods) {
+  const eval::ScoreSummary summary = eval::summarize(results);
+  const std::size_t answered = summary.total - summary.unanswered;
+  // Full accounting: every question is exactly one of answered, degraded
+  // (shed split out), or unanswered-by-extraction; nothing vanished.
+  const bool accounted = summary.total == total && summary.shed <= summary.degraded &&
+                         summary.degraded <= summary.unanswered &&
+                         answered + (summary.degraded - summary.shed) + summary.shed +
+                                 (summary.unanswered - summary.degraded) ==
+                             total;
+
+  // Reload the journal (injector disarmed by the caller): corrupted lines
+  // — torn appends, merges — are dropped by the CRC check; every survivor
+  // must match the in-memory result exactly.
+  eval::EvalJournal reloaded(journal_path);
+  std::size_t recovered = 0;
+  bool consistent = true;
+  for (std::size_t q = 0; q < total; ++q) {
+    const auto entry = reloaded.lookup(q);
+    if (!entry) continue;
+    ++recovered;
+    const eval::QuestionResult& r = results[q];
+    consistent = consistent && entry->predicted == r.predicted &&
+                 entry->correct == r.correct && entry->tier == r.tier &&
+                 entry->method == r.method && entry->retries == r.retries &&
+                 entry->degraded == r.degraded && entry->shed == r.shed;
+  }
+  consistent = consistent && reloaded.size() == recovered;  // no stray entries
+
+  json::Value m = json::Value::object();
+  m.set("method", name);
+  m.set("total", static_cast<std::int64_t>(summary.total));
+  m.set("answered", static_cast<std::int64_t>(answered));
+  m.set("unanswered", static_cast<std::int64_t>(summary.unanswered));
+  m.set("degraded", static_cast<std::int64_t>(summary.degraded));
+  m.set("shed", static_cast<std::int64_t>(summary.shed));
+  m.set("retried", static_cast<std::int64_t>(summary.retried));
+  m.set("accuracy", summary.accuracy);
+  m.set("cache_evictions", static_cast<std::int64_t>(stats.cache_evictions));
+  m.set("parallelism_reductions", static_cast<std::int64_t>(stats.parallelism_reductions));
+  m.set("journal_recovered", static_cast<std::int64_t>(recovered));
+  m.set("journal_consistent", consistent);
+  m.set("accounted", accounted);
+  methods.push_back(std::move(m));
+
+  std::cout << "chaos soak " << name << ": " << answered << " answered, "
+            << summary.degraded << " degraded (" << summary.shed << " shed), "
+            << summary.retried << " retried, " << stats.cache_evictions << " evictions, "
+            << recovered << "/" << total << " journal lines recovered\n";
+  if (!accounted) {
+    std::cerr << "FAIL chaos soak " << name << ": question accounting violated (total="
+              << summary.total << " expected=" << total << ")\n";
+  }
+  if (!consistent) {
+    std::cerr << "FAIL chaos soak " << name
+              << ": reloaded journal disagrees with in-memory results\n";
+  }
+  return accounted && consistent;
+}
+
+int run_chaos_soak(const std::filesystem::path& out_dir, std::uint64_t seed, double rate) {
+  std::filesystem::create_directories(out_dir);
+  // A larger question set than the smoke world: the soak's value is fault
+  // coverage, and at ~1 attempt per question the schedule needs enough
+  // draws for both fault flavours to actually land. 5 of each topic's 6
+  // facts go to the benchmark, leaving a practice pool for the few-shot
+  // block.
+  const EvalWorld world = make_eval_world(/*questions_per_topic=*/5);
+  const std::size_t total = world.mcqs.benchmark.size();
+  std::cout << "chaos soak: seed=" << seed << " rate=" << rate << " questions=" << total
+            << " workers=3 prefix_cache=on\n";
+
+  // Raw-acquisition faults stay off (setup allocations have no fault
+  // domain); the eval seam still injects allocation pressure, which is
+  // what drives the degradation ladder.
+  util::ChaosConfig chaos;
+  chaos.seed = seed;
+  chaos.rate = rate;
+  chaos.allocs = false;
+
+  eval::EvalRunOptions opts;
+  opts.workers = 3;
+  opts.prefix_cache = true;
+  opts.retry.max_retries = 3;
+  opts.retry.backoff_initial_ms = 0.5;  // keep the soak fast under ctest
+  opts.retry.backoff_max_ms = 2.0;
+
+  bool ok = true;
+  json::Value methods = json::Value::array();
+  const struct {
+    const char* name;
+    bool full_instruct;
+  } kMethods[] = {{"token_base", false}, {"token_instruct", false}, {"full_instruct", true}};
+  for (const auto& method : kMethods) {
+    const std::filesystem::path journal_path =
+        out_dir / (std::string("chaos_") + method.name + ".jsonl");
+    std::error_code ec;
+    std::filesystem::remove(journal_path, ec);  // fresh run, not a replay
+    eval::EvalJournal journal(journal_path);
+    eval::SupervisorStats stats;
+    std::vector<eval::QuestionResult> results;
+    // Each method re-arms the schedule, so its fault sequence depends only
+    // on (seed, rate), not on what ran before it.
+    util::FaultInjector::instance().arm_chaos(chaos);
+    try {
+      if (method.full_instruct) {
+        results = eval::run_full_instruct_benchmark(world.model, world.tok,
+                                                    world.mcqs.benchmark, {}, &journal,
+                                                    opts, nullptr, &stats);
+      } else {
+        results = eval::run_token_benchmark(world.model, world.tok, world.mcqs.benchmark,
+                                            world.mcqs.practice, &journal, {}, opts,
+                                            nullptr, &stats);
+      }
+      util::FaultInjector::instance().disarm();
+    } catch (const std::exception& e) {
+      util::FaultInjector::instance().disarm();
+      std::cerr << "FAIL chaos soak " << method.name
+                << ": pipeline aborted instead of degrading: " << e.what() << '\n';
+      ok = false;
+      continue;
+    }
+    ok = check_soak_method(method.name, results, stats, journal_path, total, methods) && ok;
+  }
+
+  json::Value report = json::Value::object();
+  report.set("benchmark", "chaos_soak");
+  report.set("kernel", tensor::kernel_name());
+  report.set("chaos_seed", static_cast<std::int64_t>(seed));
+  report.set("chaos_rate", rate);
+  report.set("questions", static_cast<std::int64_t>(total));
+  report.set("workers", static_cast<std::int64_t>(opts.workers));
+  report.set("methods", std::move(methods));
+  auto& reg = util::metrics::registry();
+  json::Value faults = json::Value::object();
+  faults.set("write", static_cast<std::int64_t>(reg.counter("chaos.write_faults").value()));
+  faults.set("read", static_cast<std::int64_t>(reg.counter("chaos.read_faults").value()));
+  faults.set("alloc", static_cast<std::int64_t>(reg.counter("chaos.alloc_faults").value()));
+  faults.set("eval", static_cast<std::int64_t>(reg.counter("chaos.eval_faults").value()));
+  report.set("injected_faults", std::move(faults));
+  json::Value memory = json::Value::object();
+  memory.set("limit_bytes",
+             static_cast<std::int64_t>(util::ResourceBudget::instance().limit_bytes()));
+  memory.set("peak_tracked_bytes",
+             static_cast<std::int64_t>(util::ResourceBudget::instance().peak_bytes()));
+  memory.set("denials", static_cast<std::int64_t>(util::ResourceBudget::instance().denials()));
+  report.set("memory", std::move(memory));
+
+  const std::filesystem::path path = out_dir / "BENCH_chaos.json";
+  ok = write_report(path, report.dump(2) + "\n") && ok;
+  try {
+    json::parse(util::read_text_file(path));
+  } catch (const std::exception& e) {
+    std::cerr << "FAIL " << path.string() << ": emitted JSON does not re-parse: " << e.what()
+              << '\n';
+    ok = false;
+  }
+  std::cout << (ok ? "chaos soak OK" : "chaos soak FAILED") << '\n';
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool chaos_soak = false;
   std::filesystem::path out_dir = ".";
   std::filesystem::path trace_path;
   // Args handled here are filtered out of argv so google-benchmark does not
-  // reject them as unrecognized.
+  // reject them as unrecognized. `consumes_value` mirrors the `--key value`
+  // forms ArgParser accepts.
+  const auto is_local = [](const std::string& arg, const char* name, bool* consumes_value) {
+    const std::string flag = std::string("--") + name;
+    if (arg == flag) {
+      *consumes_value = true;
+      return true;
+    }
+    *consumes_value = false;
+    return arg.rfind(flag + "=", 0) == 0;
+  };
   std::vector<char*> passthrough = {argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    bool consumes = false;
     if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--chaos-soak") {
+      chaos_soak = true;
     } else if (arg == "--out-dir" && i + 1 < argc) {
       out_dir = argv[++i];
     } else if (arg.rfind("--out-dir=", 0) == 0) {
@@ -723,11 +942,26 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (arg.rfind("--trace-json=", 0) == 0) {
       trace_path = arg.substr(std::strlen("--trace-json="));
+    } else if (is_local(arg, "chaos-seed", &consumes) ||
+               is_local(arg, "chaos-rate", &consumes) ||
+               is_local(arg, "memory-budget-mb", &consumes)) {
+      // Parsed below through ArgParser; only filtered here.
+      if (consumes && i + 1 < argc) ++i;
     } else {
       passthrough.push_back(argv[i]);
     }
   }
+  const util::ArgParser args(argc, argv);
+  util::ResourceBudget::init_from_args(args);
   if (!trace_path.empty()) util::trace::start(trace_path);
+  if (chaos_soak) {
+    const int rc = run_chaos_soak(
+        out_dir, static_cast<std::uint64_t>(args.get_int("chaos-seed", 20260809)),
+        args.get_double("chaos-rate", 0.15));
+    util::trace::finish();
+    return rc;
+  }
+  util::FaultInjector::init_chaos_from_args(args);
   if (smoke) {
     const int rc = run_smoke(out_dir);
     util::trace::finish();

@@ -66,6 +66,8 @@ json::Value summary_to_json(const eval::ScoreSummary& s) {
   obj.set("interpreter_extractions",
           json::Value(static_cast<std::int64_t>(s.interpreter_extractions)));
   obj.set("degraded", json::Value(static_cast<std::int64_t>(s.degraded)));
+  obj.set("shed", json::Value(static_cast<std::int64_t>(s.shed)));
+  obj.set("cache_evictions", json::Value(static_cast<std::int64_t>(s.cache_evictions)));
   obj.set("retried", json::Value(static_cast<std::int64_t>(s.retried)));
   // Latency persists in the result cache so a cache-hit summary still
   // reports the timing of the run that actually produced it.
@@ -94,6 +96,8 @@ eval::ScoreSummary summary_from_json(const json::Value& obj) {
   s.interpreter_extractions =
       static_cast<std::size_t>(obj.get_number("interpreter_extractions", 0));
   s.degraded = static_cast<std::size_t>(obj.get_number("degraded", 0));
+  s.shed = static_cast<std::size_t>(obj.get_number("shed", 0));
+  s.cache_evictions = static_cast<std::size_t>(obj.get_number("cache_evictions", 0));
   s.retried = static_cast<std::size_t>(obj.get_number("retried", 0));
   s.timed_questions = static_cast<std::size_t>(obj.get_number("timed_questions", 0));
   s.latency_p50_s = obj.get_number("latency_p50_s", 0);
@@ -286,6 +290,7 @@ eval::ScoreSummary Pipeline::token_benchmark(const nn::GptModel& model,
       model, world_.tok, world_.mcqs.benchmark, world_.mcqs.practice, &journal, config,
       eval_options_, nullptr, &run_stats);
   eval::ScoreSummary summary = eval::summarize(results);
+  summary.cache_evictions = run_stats.cache_evictions;
   summary.timed_questions = run_stats.completed_questions;
   summary.latency_p50_s = run_stats.latency_p50_s;
   summary.latency_p95_s = run_stats.latency_p95_s;
@@ -313,6 +318,7 @@ eval::ScoreSummary Pipeline::full_instruct_benchmark(const nn::GptModel& model,
       model, world_.tok, world_.mcqs.benchmark, config, &journal, eval_options_, nullptr,
       &run_stats);
   eval::ScoreSummary summary = eval::summarize(results);
+  summary.cache_evictions = run_stats.cache_evictions;
   summary.timed_questions = run_stats.completed_questions;
   summary.latency_p50_s = run_stats.latency_p50_s;
   summary.latency_p95_s = run_stats.latency_p95_s;

@@ -18,6 +18,8 @@ StudyRow make_row(Pipeline& pipeline, Scale scale, std::optional<corpus::CptVari
   out.row.series = series;
   out.row.token_base = pct(out.scores.token_base);
   out.row.degraded = out.scores.token_base.degraded;
+  out.row.shed = out.scores.token_base.shed;
+  out.row.evictions = out.scores.token_base.cache_evictions;
   out.row.retried = out.scores.token_base.retried;
   out.row.canonical_total = out.scores.token_base.canonical_total;
   // Worst-case (max) latency percentile across the evaluated methods; a
@@ -35,6 +37,9 @@ StudyRow make_row(Pipeline& pipeline, Scale scale, std::optional<corpus::CptVari
     out.row.unanswered = out.scores.full_instruct.unanswered;
     out.row.degraded +=
         out.scores.token_instruct.degraded + out.scores.full_instruct.degraded;
+    out.row.shed += out.scores.token_instruct.shed + out.scores.full_instruct.shed;
+    out.row.evictions += out.scores.token_instruct.cache_evictions +
+                         out.scores.full_instruct.cache_evictions;
     out.row.retried +=
         out.scores.token_instruct.retried + out.scores.full_instruct.retried;
     fold_latency(out.scores.token_instruct);

@@ -31,16 +31,22 @@ FullInstructOutcome full_instruct_one(const nn::GptModel& model,
   sample.max_wall_seconds = config.max_seconds_per_question;
   sample.cancel = config.cancel;
   if (config.prefix_cache != nullptr) {
-    sample.prefix_snapshot = &config.prefix_cache->snapshot();
+    // Route the sampler's prefix fork through the cache's guarded path
+    // (reader lock held for the copy-on-fork window) instead of handing it
+    // a raw snapshot: a concurrent evict() — degradation-ladder rung 1 on
+    // another worker — frees the encoder rows, and an unguarded fork would
+    // read them mid-release. fork() also records the reuse accounting.
+    const PrefixCache* cache = config.prefix_cache;
+    sample.prefix_fork = [cache](nn::GptInference& inference,
+                                 const std::vector<nn::Token>& prompt) {
+      return cache->fork(inference, prompt);
+    };
   }
 
   util::Rng rng(config.seed);
   std::optional<nn::Sampler> local;
   nn::Sampler& active = sampler != nullptr ? *sampler : local.emplace(model);
   const nn::SampleResult generated = active.generate(prompt_tokens, sample, rng);
-  if (config.prefix_cache != nullptr) {
-    config.prefix_cache->note_prompt(prompt_tokens.size(), generated.reused_prefix_tokens);
-  }
 
   std::vector<tokenizer::TokenId> out_ids(generated.tokens.begin(), generated.tokens.end());
   outcome.raw_output = tok.decode(out_ids);
@@ -105,6 +111,18 @@ std::vector<QuestionResult> run_full_instruct_benchmark(
   // the one immutable snapshot read-only.
   std::vector<std::unique_ptr<nn::Sampler>> samplers(effective.worker_slots());
   for (auto& slot : samplers) slot = std::make_unique<nn::Sampler>(model);
+
+  // Degradation-ladder hooks: rung 1 drops the shared preamble snapshot
+  // (the sampler falls back to full prefill on the stale handle — scores
+  // unchanged), rung 2 frees the KV cache of each retired worker slot.
+  effective.evict_cache = [&cache]() -> std::size_t {
+    return cache != nullptr ? cache->evict() : 0;
+  };
+  effective.release_slot_memory = [&samplers](std::size_t slot) -> std::size_t {
+    return slot < samplers.size() && samplers[slot] != nullptr
+               ? samplers[slot]->release_kv()
+               : 0;
+  };
 
   Supervisor supervisor(effective);
   supervisor.run(

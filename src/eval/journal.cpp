@@ -1,15 +1,44 @@
 #include "eval/journal.hpp"
 
 #include <fstream>
+#include <string>
 
 #include "json/json.hpp"
+#include "util/checksum.hpp"
 #include "util/fault_injection.hpp"
 #include "util/io.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 
 namespace astromlab::eval {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// Canonical payload string hashed into each line's "crc" field. Field
+/// order and formatting are fixed independently of the JSON serializer,
+/// so the tag survives any change to object-key ordering.
+std::string crc_payload(std::size_t question, const QuestionResult& result) {
+  std::string payload;
+  payload.reserve(64);
+  payload += "q=" + std::to_string(question);
+  payload += ";p=" + std::to_string(result.predicted);
+  payload += ";c=" + std::to_string(result.correct);
+  payload += ";t=" + std::to_string(static_cast<int>(result.tier));
+  payload += ";m=" + std::to_string(static_cast<int>(result.method));
+  payload += ";r=" + std::to_string(result.retries);
+  payload += ";d=" + std::to_string(result.degraded ? 1 : 0);
+  payload += ";s=" + std::to_string(result.shed ? 1 : 0);
+  return payload;
+}
+
+}  // namespace
+
+std::uint32_t EvalJournal::line_crc(std::size_t question, const QuestionResult& result) {
+  const std::string payload = crc_payload(question, result);
+  return util::crc32(payload.data(), payload.size());
+}
 
 EvalJournal::EvalJournal(fs::path path) : path_(std::move(path)) {
   if (path_.has_parent_path()) {
@@ -18,7 +47,18 @@ EvalJournal::EvalJournal(fs::path path) : path_(std::move(path)) {
   }
   if (!fs::exists(path_)) return;
 
-  const std::string text = util::read_text_file(path_);
+  std::string text;
+  try {
+    text = util::read_text_file(path_);
+  } catch (const util::IoError& error) {
+    // Degrade, don't crash: an unreadable journal means the answered
+    // questions simply re-run. Aborting the study at startup over a
+    // resume optimisation would be strictly worse.
+    log::warn() << "eval journal " << path_.string() << " unreadable (" << error.what()
+                << "); starting fresh — answered questions will re-run";
+    util::metrics::registry().counter("journal.read_failures").add();
+    return;
+  }
   std::size_t start = 0;
   std::size_t skipped = 0;
   while (start < text.size()) {
@@ -28,8 +68,17 @@ EvalJournal::EvalJournal(fs::path path) : path_(std::move(path)) {
     const std::string_view line(text.data() + start, end - start);
     start = end + 1;
     if (line.empty()) continue;
-    // An unterminated final line is a torn append from a crash mid-write;
-    // parse failures inside it are expected and silently dropped.
+    // An unterminated final line is a torn append from a crash mid-write
+    // (or a short read). It is dropped even when it happens to parse and
+    // CRC-match — the tear may sit exactly between the JSON and its
+    // newline — because the truncation below removes it from the file: a
+    // record only counts once its newline is durable, and accepting it
+    // in memory while erasing it on disk would silently lose it at the
+    // *next* reload.
+    if (!terminated) {
+      ++skipped;
+      continue;
+    }
     try {
       const json::Value obj = json::parse(line);
       QuestionResult result;
@@ -40,13 +89,23 @@ EvalJournal::EvalJournal(fs::path path) : path_(std::move(path)) {
           static_cast<ExtractionMethod>(static_cast<int>(obj.get_number("method", 3)));
       result.retries = static_cast<int>(obj.get_number("retries", 0));
       result.degraded = obj.get_number("degraded", 0) != 0;
+      result.shed = obj.get_number("shed", 0) != 0;
       const auto question = static_cast<std::size_t>(obj.get_number("q", 0));
+      // Integrity check: a stored CRC must match the canonical payload.
+      // (Lines from pre-CRC journals carry no "crc" field and pass.)
+      const double stored_crc = obj.get_number("crc", -1.0);
+      if (stored_crc >= 0.0 &&
+          static_cast<std::uint32_t>(stored_crc) != line_crc(question, result)) {
+        ++skipped;
+        util::metrics::registry().counter("journal.crc_mismatches").add();
+        log::warn() << "dropping journal line with CRC mismatch (q=" << question << ") in "
+                    << path_.string();
+        continue;
+      }
       entries_[question] = result;
     } catch (const json::ParseError&) {
       ++skipped;
-      if (terminated) {
-        log::warn() << "skipping malformed journal line in " << path_.string();
-      }
+      log::warn() << "skipping malformed journal line in " << path_.string();
     }
   }
   if (!text.empty() && text.back() != '\n') {
@@ -93,26 +152,44 @@ void EvalJournal::record(std::size_t question, const QuestionResult& result) {
   obj.set("method", json::Value(static_cast<int>(result.method)));
   obj.set("retries", json::Value(result.retries));
   obj.set("degraded", json::Value(result.degraded ? 1 : 0));
+  obj.set("shed", json::Value(result.shed ? 1 : 0));
+  obj.set("crc", json::Value(static_cast<std::int64_t>(line_crc(question, result))));
   const std::string line = obj.dump() + "\n";
 
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto action = util::FaultInjector::instance().on_write();
-  if (action == util::FaultInjector::Action::kFail) {
-    throw util::IoError("injected append failure on journal: " + path_.string());
+  // A failed append (injected or real) is retried a bounded number of
+  // times — under the chaos schedule each retry draws a fresh fate — so
+  // one flaky write does not abort a multi-hour run. A *torn* append
+  // (kDrop) is not retried: it simulates a crash mid-write, and the
+  // repair belongs to the next reload.
+  constexpr int kAppendAttempts = 3;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      const auto action = util::FaultInjector::instance().on_write();
+      if (action == util::FaultInjector::Action::kFail) {
+        throw util::IoError("injected append failure on journal: " + path_.string());
+      }
+      std::ofstream stream(path_, std::ios::binary | std::ios::app);
+      if (!stream) throw util::IoError("cannot append to journal: " + path_.string());
+      if (action == util::FaultInjector::Action::kDrop) {
+        // Simulated kill mid-append: commit only a torn prefix of the line
+        // (no newline) and do not apply the entry, exactly the state a crash
+        // between write and return would leave behind.
+        stream.write(line.data(), static_cast<std::streamsize>(line.size() / 2));
+        stream.flush();
+        return;
+      }
+      stream.write(line.data(), static_cast<std::streamsize>(line.size()));
+      stream.flush();
+      if (!stream) throw util::IoError("write failure on journal: " + path_.string());
+      break;
+    } catch (const util::IoError& error) {
+      if (attempt >= kAppendAttempts) throw;
+      util::metrics::registry().counter("journal.append_retries").add();
+      log::warn() << "journal append failed (" << error.what() << "), retry " << attempt
+                  << "/" << (kAppendAttempts - 1);
+    }
   }
-  std::ofstream stream(path_, std::ios::binary | std::ios::app);
-  if (!stream) throw util::IoError("cannot append to journal: " + path_.string());
-  if (action == util::FaultInjector::Action::kDrop) {
-    // Simulated kill mid-append: commit only a torn prefix of the line
-    // (no newline) and do not apply the entry, exactly the state a crash
-    // between write and return would leave behind.
-    stream.write(line.data(), static_cast<std::streamsize>(line.size() / 2));
-    stream.flush();
-    return;
-  }
-  stream.write(line.data(), static_cast<std::streamsize>(line.size()));
-  stream.flush();
-  if (!stream) throw util::IoError("write failure on journal: " + path_.string());
   entries_[question] = result;
 }
 

@@ -14,8 +14,17 @@
 // question indices, so the parallel evaluation supervisor can journal from
 // any worker; appends route through `util::FaultInjector` so tests can
 // deterministically tear a line written under concurrency.
+//
+// Integrity: every line carries a CRC-32 over its canonical payload
+// (`line_crc`), so bit-rot or a merged torn append is detected and
+// dropped at load even when the damaged bytes still parse as JSON. Lines
+// without a `crc` field (pre-CRC journals) are accepted for
+// compatibility. An unreadable journal file (I/O error rather than
+// corruption) degrades to an empty journal with a warning — the affected
+// questions re-run; the study never aborts at startup.
 
 #include <cstddef>
+#include <cstdint>
 #include <filesystem>
 #include <map>
 #include <mutex>
@@ -42,8 +51,14 @@ class EvalJournal {
   std::optional<QuestionResult> lookup(std::size_t question) const;
 
   /// Appends one line and flushes before returning (crash-durable).
-  /// Thread-safe; questions may arrive in any order.
+  /// Thread-safe; questions may arrive in any order. Transient injected
+  /// write failures are retried a bounded number of times before the
+  /// IoError propagates.
   void record(std::size_t question, const QuestionResult& result);
+
+  /// CRC-32 over the canonical journal payload of (question, result):
+  /// the integrity tag stored as each line's "crc" field.
+  static std::uint32_t line_crc(std::size_t question, const QuestionResult& result);
 
   /// Deletes the journal file (call once the summary has been persisted).
   void discard();

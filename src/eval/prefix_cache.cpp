@@ -15,6 +15,8 @@ struct CacheMetrics {
   util::metrics::Counter& hits;
   util::metrics::Counter& misses;
   util::metrics::Counter& reused_tokens;
+  util::metrics::Counter& evictions;
+  util::metrics::Gauge& resident_bytes;
 };
 
 CacheMetrics& cache_metrics() {
@@ -23,7 +25,9 @@ CacheMetrics& cache_metrics() {
                         reg.counter("prefix_cache.prompts"),
                         reg.counter("prefix_cache.hits"),
                         reg.counter("prefix_cache.misses"),
-                        reg.counter("prefix_cache.reused_tokens")};
+                        reg.counter("prefix_cache.reused_tokens"),
+                        reg.counter("prefix_cache.evictions"),
+                        reg.gauge("prefix_cache.resident_bytes")};
   return m;
 }
 
@@ -57,9 +61,22 @@ std::unique_ptr<PrefixCache> PrefixCache::build(
   const util::trace::Span span("prefix_cache.encode", "cache", "tokens",
                                static_cast<std::uint64_t>(common.size()));
   std::unique_ptr<PrefixCache> cache(new PrefixCache(model));
-  for (const nn::Token token : common) cache->encoder_.step(token);
+  try {
+    for (const nn::Token token : common) cache->encoder_.step(token);
+  } catch (const std::bad_alloc&) {
+    // The encoder's KV cache does not fit the memory budget (or the heap).
+    // Building happens before the supervisor's per-question fault domains
+    // exist, so degrade here: the cache is purely an optimisation and a
+    // nullptr means every prompt runs a full prefill with identical scores.
+    // The encoder's partial charge is released with `cache`.
+    util::metrics::registry().counter("prefix_cache.build_denials").add();
+    log::warn() << "prefix cache disabled: encoder K/V does not fit the memory "
+                   "budget; prompts run uncached (scores unchanged)";
+    return nullptr;
+  }
   cache->snapshot_ = cache->encoder_.snapshot();
   cache_metrics().built.add();
+  cache_metrics().resident_bytes.add(static_cast<std::int64_t>(cache->encoder_.kv_bytes()));
   log::debug() << "prefix cache: encoded shared prefix of " << common.size() << " tokens";
   return cache;
 }
@@ -67,12 +84,43 @@ std::unique_ptr<PrefixCache> PrefixCache::build(
 std::size_t PrefixCache::fork(nn::GptInference& inference,
                               const std::vector<nn::Token>& prompt_tokens) const {
   const util::trace::Span span("prefix_cache.fork", "cache");
+  std::shared_lock<std::shared_mutex> lock(evict_mutex_);
+  if (evicted_) {
+    // Ladder rung 1 fired: run the prompt uncached. Same logits, same
+    // scores — only the prefill cost changes.
+    inference.reset();
+    note_prompt(prompt_tokens.size(), 0);
+    return 0;
+  }
   std::size_t common = nn::common_token_prefix(snapshot_.tokens(), prompt_tokens);
   if (!prompt_tokens.empty()) common = std::min(common, prompt_tokens.size() - 1);
   inference.reset();
   if (common > 0) inference.fork_from(snapshot_, common);
   note_prompt(prompt_tokens.size(), common);
   return common;
+}
+
+std::size_t PrefixCache::evict() {
+  std::unique_lock<std::shared_mutex> lock(evict_mutex_);
+  if (evicted_) return 0;
+  evicted_ = true;
+  const std::size_t freed = encoder_.release_kv();  // also invalidates snapshot_
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  cache_metrics().evictions.add();
+  cache_metrics().resident_bytes.add(-static_cast<std::int64_t>(freed));
+  log::warn() << "prefix cache evicted under memory pressure (" << freed
+              << " bytes returned to budget); later prompts run uncached";
+  return freed;
+}
+
+bool PrefixCache::evicted() const {
+  std::shared_lock<std::shared_mutex> lock(evict_mutex_);
+  return evicted_;
+}
+
+std::size_t PrefixCache::resident_bytes() const {
+  std::shared_lock<std::shared_mutex> lock(evict_mutex_);
+  return encoder_.kv_bytes();
 }
 
 void PrefixCache::note_prompt(std::size_t prompt_token_count,
@@ -90,6 +138,8 @@ PrefixCacheStats PrefixCache::stats() const {
   stats.prompts = prompts_.load(std::memory_order_relaxed);
   stats.prompt_tokens = prompt_tokens_.load(std::memory_order_relaxed);
   stats.reused_tokens = reused_tokens_.load(std::memory_order_relaxed);
+  stats.resident_bytes = resident_bytes();
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
   return stats;
 }
 

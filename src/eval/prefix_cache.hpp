@@ -19,12 +19,15 @@
 //
 // Thread-safety: the snapshot is immutable and shared read-only by all
 // workers; each worker forks into its own `GptInference` buffers, and the
-// reuse counters are atomics — no locks, TSan-clean.
+// reuse counters are atomics. Eviction (the memory degradation ladder's
+// first rung) takes a writer lock against the readers' shared lock; the
+// disarmed fast path is one uncontended shared_mutex acquisition.
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -38,6 +41,8 @@ struct PrefixCacheStats {
   std::uint64_t prompts = 0;        ///< prompts routed through the cache
   std::uint64_t prompt_tokens = 0;  ///< total prompt tokens across them
   std::uint64_t reused_tokens = 0;  ///< tokens restored from the snapshot
+  std::uint64_t resident_bytes = 0; ///< encoder K/V bytes held right now
+  std::uint64_t evictions = 0;      ///< times the ladder evicted the cache
 
   /// Fraction of prompt tokens whose prefill was skipped (0 when unused).
   double reuse_ratio() const {
@@ -64,9 +69,23 @@ class PrefixCache {
   /// common prefix with `prompt_tokens` (capped at prompt length - 1, so
   /// the caller always feeds at least one token and reads fresh logits).
   /// Returns the number of positions reused; the caller feeds
-  /// `prompt_tokens[returned:]`. Records the reuse in `stats()`.
+  /// `prompt_tokens[returned:]`. Records the reuse in `stats()`. After
+  /// evict() every fork is a plain reset + miss — scores are bit-identical
+  /// either way, only prefill work changes.
   std::size_t fork(nn::GptInference& inference,
                    const std::vector<nn::Token>& prompt_tokens) const;
+
+  /// Degradation-ladder rung 1: frees the encoder's K/V buffers, giving
+  /// the bytes back to the memory budget. Subsequent forks run uncached
+  /// (identical results, full prefill); outstanding `snapshot()` handles
+  /// turn stale and fail typed rather than dangle. Idempotent; returns
+  /// the bytes freed (0 when already evicted). Thread-safe against
+  /// concurrent fork()s.
+  std::size_t evict();
+  bool evicted() const;
+
+  /// Encoder K/V bytes currently resident (0 after eviction).
+  std::size_t resident_bytes() const;
 
   /// Records one prompt's reuse accounting (thread-safe; used by callers
   /// that fork through `snapshot()` directly, e.g. the sampler path).
@@ -79,9 +98,14 @@ class PrefixCache {
 
   nn::GptInference encoder_;  ///< kept alive: owns the snapshot's K/V rows
   nn::KvSnapshot snapshot_;
+  /// Guards encoder_/snapshot_ lifetime against evict(): fork() holds it
+  /// shared for the duration of the copy-on-fork, evict() exclusively.
+  mutable std::shared_mutex evict_mutex_;
+  bool evicted_ = false;  ///< guarded by evict_mutex_
   mutable std::atomic<std::uint64_t> prompts_{0};
   mutable std::atomic<std::uint64_t> prompt_tokens_{0};
   mutable std::atomic<std::uint64_t> reused_tokens_{0};
+  mutable std::atomic<std::uint64_t> evictions_{0};
 };
 
 }  // namespace astromlab::eval

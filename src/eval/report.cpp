@@ -45,15 +45,18 @@ std::string render_table1(const std::vector<ModelRow>& rows) {
   out += "(scores: % accurate answers; ^ better / v worse / ~ similar vs native baseline;\n";
   out += " Unansw: full-instruct questions with no extracted answer, scored incorrect;\n";
   out += " Degr: questions degraded by the eval supervisor (deadline/fault), all methods;\n";
+  out += " Evict: prefix-cache evictions by the memory degradation ladder, all methods;\n";
+  out += " Shed: questions shed by the ladder under memory pressure (subset of Degr);\n";
   out += " Retry: questions that needed a transient-fault retry, all methods;\n";
   out += " Canon: canonical-tier questions scored (token-base run);\n";
   out += " P95ms: p95 per-question latency in ms over freshly evaluated questions,\n";
   out += "        max across methods; - when everything replayed from cache)\n\n";
   out += pad_right("Model", 34) + pad_left("FullInst", 9) + pad_left("Unansw", 7) +
          pad_left("Tok-Inst", 10) + pad_left("Tok-Base", 10) + pad_left("Degr", 6) +
-         pad_left("Retry", 7) + pad_left("Canon", 7) + pad_left("P95ms", 9) + "  " +
-         pad_right("Source", 11) + "Reference\n";
-  out += std::string(126, '-') + "\n";
+         pad_left("Evict", 7) + pad_left("Shed", 6) + pad_left("Retry", 7) +
+         pad_left("Canon", 7) + pad_left("P95ms", 9) + "  " + pad_right("Source", 11) +
+         "Reference\n";
+  out += std::string(139, '-') + "\n";
 
   std::string current_series;
   for (const ModelRow& row : rows) {
@@ -71,6 +74,8 @@ std::string render_table1(const std::vector<ModelRow>& rows) {
     out += " " + score_cell(row.token_instruct, base_ti, row.is_native);
     out += " " + score_cell(row.token_base, base_tb, row.is_native);
     out += pad_left(std::to_string(row.degraded), 7);
+    out += pad_left(std::to_string(row.evictions), 7);
+    out += pad_left(std::to_string(row.shed), 6);
     out += pad_left(std::to_string(row.retried), 7);
     out += pad_left(std::to_string(row.canonical_total), 7);
     out += pad_left(row.latency_p95_ms < 0.0 ? "-" : format_fixed(row.latency_p95_ms, 1), 9);
@@ -129,7 +134,8 @@ std::string render_csv(const std::vector<ModelRow>& rows) {
   // original prefix keep working.
   std::string out =
       "model,series,full_instruct,unanswered,token_instruct,token_base,source,reference,"
-      "degraded,retried,canonical_total,latency_p50_ms,latency_p95_ms,latency_p99_ms\n";
+      "degraded,retried,canonical_total,latency_p50_ms,latency_p95_ms,latency_p99_ms,"
+      "shed,cache_evictions\n";
   for (const ModelRow& row : rows) {
     auto cell = [](double v) { return v < 0.0 ? std::string() : format_fixed(v, 2); };
     const std::string unanswered =
@@ -139,7 +145,8 @@ std::string render_csv(const std::vector<ModelRow>& rows) {
            "," + row.reference + "," + std::to_string(row.degraded) + "," +
            std::to_string(row.retried) + "," + std::to_string(row.canonical_total) + "," +
            cell(row.latency_p50_ms) + "," + cell(row.latency_p95_ms) + "," +
-           cell(row.latency_p99_ms) + "\n";
+           cell(row.latency_p99_ms) + "," + std::to_string(row.shed) + "," +
+           std::to_string(row.evictions) + "\n";
   }
   return out;
 }

@@ -24,6 +24,11 @@ struct ModelRow {
   /// all three methods: deadline / straggler cancellations and permanent
   /// faults (a subset of the unanswered counts of the summaries).
   std::size_t degraded = 0;
+  /// Questions shed by the memory degradation ladder across all methods
+  /// (subset of `degraded`).
+  std::size_t shed = 0;
+  /// Prefix-cache evictions performed by the ladder across all methods.
+  std::size_t evictions = 0;
   /// Questions that needed >= 1 transient-fault retry across all methods.
   std::size_t retried = 0;
   /// Canonical-tier questions scored (token-base run). Zero for paper

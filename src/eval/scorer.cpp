@@ -19,6 +19,7 @@ ScoreSummary summarize(const std::vector<QuestionResult>& results,
     if (result.is_correct()) ++summary.correct;
     if (result.predicted < 0) ++summary.unanswered;
     if (result.degraded) ++summary.degraded;
+    if (result.shed) ++summary.shed;
     if (result.retries > 0) ++summary.retried;
     if (result.tier == corpus::Tier::kCanonical) {
       ++canonical_total;

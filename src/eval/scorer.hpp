@@ -25,6 +25,11 @@ struct QuestionResult {
   /// straggler cancellation, watchdog timeout, or a permanent fault —
   /// as opposed to a completed generation the extractor could not parse.
   bool degraded = false;
+  /// True when the degradation ladder's last rung dropped the question
+  /// under unrelievable memory pressure (a subset of `degraded`): the
+  /// cache was already evicted and parallelism already at 1, so the only
+  /// remaining move was to shed this question rather than abort the study.
+  bool shed = false;
 
   bool is_correct() const { return predicted == correct; }
 };
@@ -52,6 +57,13 @@ struct ScoreSummary {
   /// straggler cancellation, watchdog, permanent fault) — a subset of
   /// `unanswered`, which also counts plain extraction failures.
   std::size_t degraded = 0;
+  /// Questions shed by the memory degradation ladder (subset of
+  /// `degraded`): answered + shed + (degraded - shed) + parse failures
+  /// always accounts for every question — nothing is silently lost.
+  std::size_t shed = 0;
+  /// Prefix-cache evictions the ladder performed during this run (filled
+  /// by the pipeline from SupervisorStats, like the latency block).
+  std::size_t cache_evictions = 0;
   /// Questions that needed at least one transient-fault retry.
   std::size_t retried = 0;
   std::size_t json_extractions = 0;

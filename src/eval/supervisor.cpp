@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <exception>
 #include <map>
 #include <mutex>
+#include <new>
 
 #include "util/cli.hpp"
 #include "util/fault_injection.hpp"
 #include "util/logging.hpp"
 #include "util/metrics.hpp"
+#include "util/resource_budget.hpp"
 #include "util/thread_pool.hpp"
 #include "util/trace.hpp"
 
@@ -33,6 +36,12 @@ struct RunState {
   std::size_t completed = 0;
   std::vector<double> durations_s;  ///< completed-question latencies
   std::vector<std::size_t> free_slots;  ///< worker-slot free list (LIFO)
+  /// Degradation ladder: tasks only take slots below this cap; rung 2
+  /// halves it under memory pressure, retiring higher slots as their
+  /// current question finishes. Waiters park on `slot_cv`.
+  std::size_t slot_cap = 1;
+  bool cache_evicted = false;  ///< rung 1 fired (or was found empty)
+  std::condition_variable slot_cv;
 
   struct InFlight {
     util::CancelToken* token;
@@ -49,6 +58,9 @@ struct QuestionMetrics {
   util::metrics::Counter& retried;
   util::metrics::Counter& degraded;
   util::metrics::Counter& stragglers;
+  util::metrics::Counter& cache_evictions;
+  util::metrics::Counter& parallelism_reductions;
+  util::metrics::Counter& shed;
   util::metrics::Histogram& latency_s;
 };
 
@@ -59,6 +71,9 @@ QuestionMetrics& question_metrics() {
                            reg.counter("eval.question_retries"),
                            reg.counter("eval.questions_degraded"),
                            reg.counter("eval.stragglers_cancelled"),
+                           reg.counter("eval.ladder_cache_evictions"),
+                           reg.counter("eval.ladder_parallelism_reductions"),
+                           reg.counter("eval.questions_shed"),
                            reg.histogram("eval.question_seconds")};
   return m;
 }
@@ -77,6 +92,74 @@ void Supervisor::run(std::vector<QuestionResult>& results,
   // Slots are handed out high-to-low, so the serial path and a 1-worker
   // pool both see slot 0 only.
   for (std::size_t s = options_.worker_slots(); s-- > 0;) state.free_slots.push_back(s);
+  state.slot_cap = options_.worker_slots();
+  // With no evictable cache, rung 1 is already spent and pressure goes
+  // straight to shrinking parallelism.
+  state.cache_evicted = !static_cast<bool>(options_.evict_cache);
+
+  // Degradation ladder, walked on budget pressure / bad_alloc at the
+  // question boundary. Returns true when a rung freed something and the
+  // question should retry; false means every rung is exhausted and the
+  // caller must shed. Rungs fire globally (once evicted, stays evicted;
+  // the cap only shrinks), so repeated pressure converges to serial
+  // execution and then to shedding — never an abort.
+  const auto relieve_memory_pressure = [&](std::size_t q, const char* what) -> bool {
+    bool try_evict = false;
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (!state.cache_evicted) {
+        state.cache_evicted = true;
+        try_evict = true;
+      }
+    }
+    if (try_evict) {
+      const std::size_t freed = options_.evict_cache();
+      if (freed > 0) {
+        {
+          std::lock_guard<std::mutex> lock(state.mutex);
+          ++stats_.cache_evictions;
+        }
+        question_metrics().cache_evictions.add();
+        log::warn() << "eval question " << q << ": memory pressure (" << what
+                    << "); evicted prefix cache (" << freed << " bytes), retrying";
+        return true;
+      }
+      // Nothing was resident: fall through to rung 2 on this same event.
+    }
+    std::vector<std::size_t> retired;
+    bool reduced = false;
+    std::size_t new_cap = 0;
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (state.slot_cap > 1) {
+        state.slot_cap /= 2;
+        new_cap = state.slot_cap;
+        reduced = true;
+        ++stats_.parallelism_reductions;
+        // Free slots above the cap retire now; in-use ones retire as
+        // their current question releases them.
+        auto& free = state.free_slots;
+        for (std::size_t i = free.size(); i-- > 0;) {
+          if (free[i] >= new_cap) {
+            retired.push_back(free[i]);
+            free.erase(free.begin() + static_cast<std::ptrdiff_t>(i));
+          }
+        }
+      }
+    }
+    if (reduced) {
+      std::size_t freed = 0;
+      if (options_.release_slot_memory) {
+        for (const std::size_t slot : retired) freed += options_.release_slot_memory(slot);
+      }
+      question_metrics().parallelism_reductions.add();
+      log::warn() << "eval question " << q << ": memory pressure (" << what
+                  << "); worker-slot cap halved to " << new_cap << " (" << freed
+                  << " bytes reclaimed), retrying";
+      return true;
+    }
+    return false;
+  };
 
   // Evaluates pending[idx] inside its own fault domain: injected faults,
   // transient retries with deterministic backoff, permanent degradation.
@@ -87,9 +170,11 @@ void Supervisor::run(std::vector<QuestionResult>& results,
                                  static_cast<std::uint64_t>(q));
     std::size_t slot = 0;
     {
-      // At most `workers` tasks run concurrently, so the free list cannot
-      // be empty when a task starts.
-      std::lock_guard<std::mutex> lock(state.mutex);
+      // At most `slot_cap` questions run concurrently: when rung 2 has
+      // shrunk the cap below the pool size, excess tasks park here until
+      // a below-cap slot frees up.
+      std::unique_lock<std::mutex> lock(state.mutex);
+      state.slot_cv.wait(lock, [&state] { return !state.free_slots.empty(); });
       slot = state.free_slots.back();
       state.free_slots.pop_back();
     }
@@ -104,12 +189,16 @@ void Supervisor::run(std::vector<QuestionResult>& results,
         state.inflight[idx] = {&token, Clock::now(), q, false};
       }
       bool finished = false;
+      bool pressure_retry = false;
       try {
         switch (util::FaultInjector::instance().on_eval_attempt(q)) {
           case util::FaultInjector::EvalAction::kTransient:
             throw util::TransientError("injected transient eval fault");
           case util::FaultInjector::EvalAction::kPermanent:
             throw std::runtime_error("injected permanent eval fault");
+          case util::FaultInjector::EvalAction::kAllocPressure:
+            throw util::ResourceExhaustedError(
+                "injected allocation pressure at question boundary");
           case util::FaultInjector::EvalAction::kProceed:
             break;
         }
@@ -117,6 +206,24 @@ void Supervisor::run(std::vector<QuestionResult>& results,
         fresh.retries = static_cast<int>(retries);
         result = fresh;
         finished = true;
+      } catch (const std::bad_alloc& error) {
+        // Budget pressure or a real allocation failure at the question
+        // boundary: walk the degradation ladder. A successful rung frees
+        // memory and the question retries immediately (no backoff — the
+        // pressure is relieved, not transient); an exhausted ladder sheds
+        // the question rather than aborting the study.
+        if (relieve_memory_pressure(q, error.what())) {
+          pressure_retry = true;
+        } else {
+          log::warn() << "eval question " << q << ": shed under memory pressure ("
+                      << error.what() << ")";
+          result.predicted = -1;
+          result.method = ExtractionMethod::kFailed;
+          result.retries = static_cast<int>(retries);
+          result.degraded = true;
+          result.shed = true;
+          finished = true;
+        }
       } catch (const std::exception& error) {
         if (util::is_transient(error) && retries < options_.retry.max_retries) {
           ++retries;
@@ -146,7 +253,7 @@ void Supervisor::run(std::vector<QuestionResult>& results,
         state.inflight.erase(idx);
       }
       if (finished) break;
-      util::detail::sleep_ms(options_.retry.backoff_ms(retries, q));
+      if (!pressure_retry) util::detail::sleep_ms(options_.retry.backoff_ms(retries, q));
     }
 
     const double question_seconds =
@@ -155,25 +262,40 @@ void Supervisor::run(std::vector<QuestionResult>& results,
     question_metrics().latency_s.record(question_seconds);
     if (retries > 0) question_metrics().retried.add(retries);
     if (result.degraded) question_metrics().degraded.add();
+    if (result.shed) question_metrics().shed.add();
 
-    std::lock_guard<std::mutex> lock(state.mutex);
-    state.free_slots.push_back(slot);
-    results[q] = result;
-    state.done[idx] = 1;
-    ++state.completed;
-    state.durations_s.push_back(question_seconds);
-    if (retries > 0) {
-      ++stats_.retried_questions;
-      stats_.total_retries += retries;
+    bool slot_retired = false;
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      // A slot at or above the (possibly shrunk) cap retires instead of
+      // recirculating; its scratch is freed below, outside the lock.
+      slot_retired = slot >= state.slot_cap;
+      if (!slot_retired) state.free_slots.push_back(slot);
+      results[q] = result;
+      state.done[idx] = 1;
+      ++state.completed;
+      state.durations_s.push_back(question_seconds);
+      if (retries > 0) {
+        ++stats_.retried_questions;
+        stats_.total_retries += retries;
+      }
+      if (result.degraded) ++stats_.degraded_questions;
+      if (result.shed) ++stats_.shed_questions;
     }
-    if (result.degraded) ++stats_.degraded_questions;
-    // Journal strictly in ascending question order: buffered out-of-order
-    // completions flush once the gap closes, so the parallel journal is
-    // byte-identical to a serial run's and a kill leaves a clean prefix.
-    while (state.next_flush < pending.size() && state.done[state.next_flush] != 0) {
-      const std::size_t fq = pending[state.next_flush];
-      if (journal != nullptr) journal->record(fq, results[fq]);
-      ++state.next_flush;
+    if (slot_retired && options_.release_slot_memory) options_.release_slot_memory(slot);
+    // Notify before the (throwing) journal flush so a write failure can
+    // never strand a task parked on the slot condition variable.
+    state.slot_cv.notify_one();
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      // Journal strictly in ascending question order: buffered out-of-order
+      // completions flush once the gap closes, so the parallel journal is
+      // byte-identical to a serial run's and a kill leaves a clean prefix.
+      while (state.next_flush < pending.size() && state.done[state.next_flush] != 0) {
+        const std::size_t fq = pending[state.next_flush];
+        if (journal != nullptr) journal->record(fq, results[fq]);
+        ++state.next_flush;
+      }
     }
   };
 

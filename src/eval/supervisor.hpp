@@ -55,6 +55,17 @@ struct EvalRunOptions {
   /// journal bytes are bit-identical either way; only prefill work changes.
   bool prefix_cache = false;
 
+  /// Degradation-ladder hooks, supplied by the runners. On budget
+  /// pressure or std::bad_alloc at the question boundary the supervisor
+  /// walks: (1) `evict_cache` — free the shared prefix cache, returns
+  /// bytes freed (0 / unset when there is nothing to evict); (2) shrink
+  /// effective parallelism by halving the live worker-slot cap, calling
+  /// `release_slot_memory(slot)` for each retired slot so the runner can
+  /// free its scratch; (3) shed the question to unanswered (never abort).
+  /// Evicting or shrinking never changes scores — only shedding does.
+  std::function<std::size_t()> evict_cache;
+  std::function<std::size_t(std::size_t slot)> release_slot_memory;
+
   /// Per-worker scratch buffers the runners should allocate: the number of
   /// distinct `worker_slot` values `QuestionFn` can observe.
   std::size_t worker_slots() const { return workers > 1 ? workers : 1; }
@@ -66,6 +77,10 @@ struct SupervisorStats {
   std::size_t total_retries = 0;
   std::size_t degraded_questions = 0;  ///< deadline/straggler/permanent-fault
   std::size_t stragglers_cancelled = 0;
+  // Degradation-ladder telemetry (memory pressure at the question boundary).
+  std::size_t cache_evictions = 0;         ///< rung 1: prefix cache evicted
+  std::size_t parallelism_reductions = 0;  ///< rung 2: worker-slot cap halved
+  std::size_t shed_questions = 0;          ///< rung 3: question shed (subset of degraded)
   /// Per-question wall-clock latency over the freshly evaluated questions
   /// (nearest-rank percentiles, seconds). Zero when nothing ran fresh.
   std::size_t completed_questions = 0;

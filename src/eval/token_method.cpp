@@ -72,18 +72,29 @@ LetterTokens detect_letter_tokens(const nn::GptModel& model,
   std::size_t usable_prompts = 0;
   const std::size_t n_calibration = std::min<std::size_t>(calibration.size(), 6);
   nn::GptInference inference(model);
-  for (std::size_t q = 0; q < n_calibration; ++q) {
-    const std::string prompt = build_token_prompt(calibration[q], fewshot);
-    std::vector<nn::Token> tokens = to_model_tokens(tok.encode(prompt));
-    if (tokens.size() >= model.config().ctx_len) continue;
-    ++usable_prompts;
-    inference.reset();
-    const std::vector<float>& logits = inference.prompt(tokens);
-    for (std::size_t idx : top_k_indices(logits, 10)) {
-      const auto id = static_cast<tokenizer::TokenId>(idx);
-      if (std::find(spaced->begin(), spaced->end(), id) != spaced->end()) ++spaced_hits;
-      if (std::find(plain->begin(), plain->end(), id) != plain->end()) ++plain_hits;
+  try {
+    for (std::size_t q = 0; q < n_calibration; ++q) {
+      const std::string prompt = build_token_prompt(calibration[q], fewshot);
+      std::vector<nn::Token> tokens = to_model_tokens(tok.encode(prompt));
+      if (tokens.size() >= model.config().ctx_len) continue;
+      ++usable_prompts;
+      inference.reset();
+      const std::vector<float>& logits = inference.prompt(tokens);
+      for (std::size_t idx : top_k_indices(logits, 10)) {
+        const auto id = static_cast<tokenizer::TokenId>(idx);
+        if (std::find(spaced->begin(), spaced->end(), id) != spaced->end()) ++spaced_hits;
+        if (std::find(plain->begin(), plain->end(), id) != plain->end()) ++plain_hits;
+      }
     }
+  } catch (const std::bad_alloc&) {
+    // The probe's KV cache does not fit the memory budget. Detection is
+    // calibration, not scoring, and it runs before the supervisor's fault
+    // domains exist — so degrade to whatever evidence was gathered
+    // (possibly none: the zero-evidence default below) instead of
+    // aborting the benchmark. The probe's partial charge is released with
+    // `inference` at scope exit.
+    log::warn() << "letter-token detection: probe K/V does not fit the memory "
+                   "budget; deciding on partial evidence";
   }
   util::metrics::registry()
       .counter("eval.letter_detection_evidence")
@@ -219,6 +230,17 @@ std::vector<QuestionResult> run_token_benchmark(
   // buffer per worker slot so concurrent questions never share KV state.
   std::vector<std::unique_ptr<nn::GptInference>> scratch(effective.worker_slots());
   for (auto& slot : scratch) slot = std::make_unique<nn::GptInference>(model);
+
+  // Degradation-ladder hooks: rung 1 drops the shared prefix snapshot
+  // (forks fall back to full prefill — scores unchanged), rung 2 frees the
+  // KV cache of each retired worker slot.
+  effective.evict_cache = [&cache]() -> std::size_t {
+    return cache != nullptr ? cache->evict() : 0;
+  };
+  effective.release_slot_memory = [&scratch](std::size_t slot) -> std::size_t {
+    return slot < scratch.size() && scratch[slot] != nullptr ? scratch[slot]->release_kv()
+                                                             : 0;
+  };
 
   Supervisor supervisor(effective);
   supervisor.run(

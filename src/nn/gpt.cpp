@@ -516,12 +516,11 @@ float GptModel::evaluate_loss(GptActivations& acts, const std::vector<Token>& to
 
 GptInference::GptInference(const GptModel& model) : model_(model) {
   const auto& cfg = model.config();
-  k_cache_.resize(cfg.n_layers);
-  v_cache_.resize(cfg.n_layers);
-  for (std::size_t l = 0; l < cfg.n_layers; ++l) {
-    k_cache_[l].assign(cfg.ctx_len * cfg.d_model, 0.0f);
-    v_cache_[l].assign(cfg.ctx_len * cfg.d_model, 0.0f);
-  }
+  // K/V buffers are NOT allocated here: step/prompt/fork charge them
+  // lazily via ensure_kv(), so per-worker scratch inferences constructed
+  // during setup cost nothing until their first question — which runs
+  // inside the supervisor's fault domain, where a budget denial is caught
+  // by the degradation ladder instead of aborting the run.
   x_.assign(cfg.d_model, 0.0f);
   ln_.assign(cfg.d_model, 0.0f);
   qkv_.assign(3 * cfg.d_model, 0.0f);
@@ -539,6 +538,38 @@ void GptInference::reset() {
   // next feed, and a CRC match alone cannot prove they were not (a reset
   // leaves the old bytes in place until re-encoded over).
   ++generation_;
+}
+
+void GptInference::ensure_kv() {
+  if (!k_cache_.empty()) return;
+  const auto& cfg = model_.config();
+  // Reserve before allocating so a configured budget can refuse the whole
+  // cache with nothing charged (and nothing to unwind).
+  util::MemoryReservation reservation(
+      cfg.n_layers * 2 * cfg.ctx_len * cfg.d_model * sizeof(float),
+      util::MemoryDomain::kKvCache);
+  k_cache_.resize(cfg.n_layers);
+  v_cache_.resize(cfg.n_layers);
+  for (std::size_t l = 0; l < cfg.n_layers; ++l) {
+    k_cache_[l].assign(cfg.ctx_len * cfg.d_model, 0.0f);
+    v_cache_[l].assign(cfg.ctx_len * cfg.d_model, 0.0f);
+  }
+  kv_reservation_ = std::move(reservation);
+}
+
+std::size_t GptInference::release_kv() {
+  if (k_cache_.empty()) return 0;
+  const std::size_t freed = kv_reservation_.bytes();
+  std::vector<std::vector<float>>().swap(k_cache_);
+  std::vector<std::vector<float>>().swap(v_cache_);
+  kv_reservation_.release();
+  position_ = 0;
+  history_.clear();
+  // Outstanding snapshots now reference freed rows; the generation bump
+  // turns any later fork into StaleSnapshotError instead of a dangling
+  // read (the CRC check alone would dereference the freed buffers).
+  ++generation_;
+  return freed;
 }
 
 namespace {
@@ -597,7 +628,10 @@ void GptInference::fork_from(const KvSnapshot& snap, std::size_t prefix_len) {
         "fork_from: source K/V rows changed since snapshot (CRC mismatch)");
   }
   if (this != &src) {
-    for (std::size_t l = 0; l < k_cache_.size(); ++l) {
+    ensure_kv();
+    // prefix_len == 0 also covers a source whose (lazy) caches were never
+    // allocated: there are no rows to copy and src.k_cache_ may be empty.
+    for (std::size_t l = 0; prefix_len > 0 && l < k_cache_.size(); ++l) {
       std::memcpy(k_cache_[l].data(), src.k_cache_[l].data(), prefix_len * c * sizeof(float));
       std::memcpy(v_cache_[l].data(), src.v_cache_[l].data(), prefix_len * c * sizeof(float));
     }
@@ -625,6 +659,7 @@ const std::vector<float>& GptInference::step(Token token) {
   if (token < 0 || static_cast<std::size_t>(token) >= cfg.vocab_size) {
     throw std::out_of_range("GptInference: token id out of range");
   }
+  ensure_kv();
   const std::size_t t = position_;
   const float scale = 1.0f / std::sqrt(static_cast<float>(hs));
   const float* wte = params.param(layout.wte);

@@ -17,6 +17,7 @@
 #include "nn/config.hpp"
 #include "nn/params.hpp"
 #include "util/cancel.hpp"
+#include "util/resource_budget.hpp"
 #include "util/rng.hpp"
 
 namespace astromlab::nn {
@@ -208,17 +209,34 @@ class GptInference {
   /// failure path can be exercised without guessing private layouts.
   void corrupt_kv_for_testing(std::size_t layer, std::size_t index, float value);
 
+  /// Degradation-ladder seam: frees the per-layer K/V buffers (returning
+  /// the bytes handed back to the memory budget) and invalidates every
+  /// snapshot taken from this inference, exactly like reset(). The object
+  /// stays usable — the next step/fork/prompt reallocates lazily — so
+  /// outstanding `KvSnapshot` handles fail with `StaleSnapshotError`
+  /// instead of dangling. Returns 0 when the caches are already released.
+  std::size_t release_kv();
+
+  /// Bytes currently held by the per-layer K/V caches (0 after release).
+  std::size_t kv_bytes() const { return kv_reservation_.bytes(); }
+
   std::size_t position() const { return position_; }
   const GptModel& model() const { return model_; }
 
  private:
+  /// (Re)allocates the K/V buffers after construction or release_kv(),
+  /// charging the memory budget. No-op when they are already resident.
+  void ensure_kv();
+
   const GptModel& model_;
   std::size_t position_ = 0;
   std::uint64_t generation_ = 0;  ///< incremented by reset()
   std::vector<Token> history_;    ///< tokens encoded into the cache
-  // Per layer: cached keys/values, (ctx, C) each.
+  // Per layer: cached keys/values, (ctx, C) each. Charged to the memory
+  // budget (KV domain) via kv_reservation_ while resident.
   std::vector<std::vector<float>> k_cache_;
   std::vector<std::vector<float>> v_cache_;
+  util::MemoryReservation kv_reservation_;
   // Scratch.
   std::vector<float> x_, ln_, qkv_, atty_, proj_, fch_, scores_;
   std::vector<float> logits_;

@@ -79,16 +79,31 @@ SampleResult Sampler::generate(const std::vector<Token>& prompt_tokens,
   }
   util::Stopwatch watch;
   std::size_t fed_from = 0;
-  if (config.prefix_snapshot != nullptr && config.prefix_snapshot->valid()) {
+  if (config.prefix_fork) {
+    // Guarded path: the snapshot's owner performs the copy-on-fork under
+    // its own lock, so a concurrent eviction (degradation-ladder rung 1)
+    // can never free the source rows mid-copy. Returns 0 when nothing
+    // matched or the cache was already evicted — plain full prefill.
+    fed_from = config.prefix_fork(inference_, prompt_tokens);
+    result.reused_prefix_tokens = fed_from;
+  } else if (config.prefix_snapshot != nullptr && config.prefix_snapshot->valid()) {
     // Fork the shared prefix instead of re-encoding it. Capped at
     // prompt_tokens.size() - 1 so at least one token is always fed and the
     // returned logits are computed, not stale snapshot state.
     std::size_t common = common_token_prefix(config.prefix_snapshot->tokens(), prompt_tokens);
     common = std::min(common, prompt_tokens.size() - 1);
     if (common > 0) {
-      inference_.fork_from(*config.prefix_snapshot, common);
-      fed_from = common;
-      result.reused_prefix_tokens = common;
+      try {
+        inference_.fork_from(*config.prefix_snapshot, common);
+        fed_from = common;
+        result.reused_prefix_tokens = common;
+      } catch (const StaleSnapshotError&) {
+        // The snapshot's source was reset or evicted under memory
+        // pressure mid-run: fall back to a full prefill. Logits (and
+        // therefore scores) are bit-identical; only the work changes.
+        inference_.reset();
+        fed_from = 0;
+      }
     }
   }
   const std::vector<float>* logits = &inference_.prompt(

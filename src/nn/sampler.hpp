@@ -8,6 +8,7 @@
 // setting for the token methods.
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "nn/gpt.hpp"
@@ -33,8 +34,17 @@ struct SampleConfig {
   /// common token prefix of `prompt_tokens` and the snapshot (capped at
   /// prompt length - 1, so the final logits are always freshly computed)
   /// instead of re-encoding it. Results are bit-identical with or without
-  /// the snapshot; only the prefill work changes.
+  /// the snapshot; only the prefill work changes. Only safe when nothing
+  /// can release the snapshot's source concurrently — use `prefix_fork`
+  /// when the snapshot is shared with an evictable cache.
   const KvSnapshot* prefix_snapshot = nullptr;
+  /// Guarded fork seam: takes precedence over `prefix_snapshot`. Called
+  /// with the sampler's (already reset) inference and the prompt; returns
+  /// the number of prefix positions it installed, which the sampler then
+  /// skips when feeding the prompt. The owner serialises the fork against
+  /// concurrent eviction of the shared snapshot (eval::PrefixCache::fork
+  /// holds its reader lock for exactly the copy-on-fork window).
+  std::function<std::size_t(GptInference&, const std::vector<Token>&)> prefix_fork;
 };
 
 struct SampleResult {
@@ -60,6 +70,10 @@ class Sampler {
   /// token-method evaluator and tests).
   static Token pick(const std::vector<float>& logits, const SampleConfig& config,
                     util::Rng& rng);
+
+  /// Degradation-ladder seam: frees the inner inference's K/V buffers
+  /// (they reallocate lazily on the next generate). Returns bytes freed.
+  std::size_t release_kv() { return inference_.release_kv(); }
 
  private:
   GptInference inference_;

@@ -5,6 +5,12 @@
 // shape. All layout-dependent math lives in ops.hpp / the nn layers, which
 // operate on raw spans for speed; Tensor's job is ownership, shape checks,
 // and initialisation.
+//
+// Storage is charged against the process `util::ResourceBudget` (tensor
+// domain): Tensor is the dominant dense-allocation site, so a configured
+// `--memory-budget-mb` can refuse an oversized tensor with a typed
+// `ResourceExhaustedError` before the heap is touched. With no budget set
+// the accounting is two relaxed atomics per allocate/free.
 
 #include <cassert>
 #include <cstddef>
@@ -13,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "util/resource_budget.hpp"
 #include "util/rng.hpp"
 
 namespace astromlab::tensor {
@@ -81,8 +88,11 @@ class Tensor {
   double squared_norm() const;
 
  private:
+  using Storage =
+      std::vector<float, util::TrackedAllocator<float, util::MemoryDomain::kTensor>>;
+
   std::vector<std::size_t> shape_;
-  std::vector<float> data_;
+  Storage data_;
 };
 
 /// Elementwise |a-b| max; shapes must match.

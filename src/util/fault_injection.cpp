@@ -1,25 +1,100 @@
 #include "util/fault_injection.hpp"
 
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/metrics.hpp"
+
 namespace astromlab::util {
+namespace {
+
+// Site tags folded into the chaos hash so each seam draws an independent
+// deterministic stream from the same seed.
+constexpr std::uint64_t kSiteWrite = 0x57;
+constexpr std::uint64_t kSiteRead = 0x52;
+constexpr std::uint64_t kSiteAlloc = 0x41;
+constexpr std::uint64_t kSiteEval = 0x45;
+// Secondary stream deciding the *flavour* of a fired fault (fail vs torn,
+// transient vs alloc pressure).
+constexpr std::uint64_t kFlavourSalt = 0x9E3779B97F4A7C15ULL;
+
+/// splitmix64 finalizer (Vigna): a pure stateless mix of the packed key.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t chaos_key(std::uint64_t seed, std::uint64_t site, std::uint64_t event) {
+  return mix64(mix64(seed ^ (site << 56)) ^ event);
+}
+
+struct ChaosMetrics {
+  metrics::Counter& write_faults;
+  metrics::Counter& read_faults;
+  metrics::Counter& alloc_faults;
+  metrics::Counter& eval_faults;
+};
+
+ChaosMetrics& chaos_metrics() {
+  auto& reg = metrics::registry();
+  static ChaosMetrics m{reg.counter("chaos.write_faults"),
+                        reg.counter("chaos.read_faults"),
+                        reg.counter("chaos.alloc_faults"),
+                        reg.counter("chaos.eval_faults")};
+  return m;
+}
+
+}  // namespace
 
 FaultInjector& FaultInjector::instance() {
   static FaultInjector injector;
   return injector;
 }
 
+bool FaultInjector::chaos_fires(std::uint64_t site, std::uint64_t event) const {
+  const std::uint64_t draw = chaos_key(chaos_.seed, site, event);
+  // 53-bit mantissa: uniform in [0, 1).
+  const double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
+  return u < chaos_.rate;
+}
+
 void FaultInjector::arm_fail_write(std::size_t nth) {
   std::lock_guard<std::mutex> lock(mutex_);
-  mode_ = Mode::kFailWrite;
-  trigger_ = nth;
+  write_mode_ = IoMode::kFail;
+  write_trigger_ = nth;
   writes_ = 0;
   any_armed_.store(true, std::memory_order_release);
 }
 
 void FaultInjector::arm_truncate_write(std::size_t nth) {
   std::lock_guard<std::mutex> lock(mutex_);
-  mode_ = Mode::kTruncateWrite;
-  trigger_ = nth;
+  write_mode_ = IoMode::kTruncate;
+  write_trigger_ = nth;
   writes_ = 0;
+  any_armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::arm_fail_read(std::size_t nth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  read_mode_ = IoMode::kFail;
+  read_trigger_ = nth;
+  reads_ = 0;
+  any_armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::arm_torn_read(std::size_t nth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  read_mode_ = IoMode::kTruncate;
+  read_trigger_ = nth;
+  reads_ = 0;
+  any_armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::arm_fail_alloc(std::size_t nth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  alloc_trigger_ = nth;
+  allocs_ = 0;
   any_armed_.store(true, std::memory_order_release);
 }
 
@@ -36,19 +111,47 @@ void FaultInjector::arm_eval_permanent(std::size_t question) {
   any_armed_.store(true, std::memory_order_release);
 }
 
+void FaultInjector::arm_chaos(const ChaosConfig& config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  chaos_ = config;
+  chaos_armed_ = config.rate > 0.0;
+  chaos_writes_ = 0;
+  chaos_reads_ = 0;
+  chaos_allocs_ = 0;
+  chaos_eval_attempts_.clear();
+  if (chaos_armed_) any_armed_.store(true, std::memory_order_release);
+}
+
+bool FaultInjector::chaos_active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return chaos_armed_;
+}
+
 void FaultInjector::disarm() {
   std::lock_guard<std::mutex> lock(mutex_);
-  mode_ = Mode::kNone;
-  trigger_ = 0;
+  write_mode_ = IoMode::kNone;
+  write_trigger_ = 0;
   writes_ = 0;
+  read_mode_ = IoMode::kNone;
+  read_trigger_ = 0;
+  reads_ = 0;
+  alloc_trigger_ = 0;
+  allocs_ = 0;
   eval_transient_.clear();
   eval_permanent_.clear();
+  chaos_ = ChaosConfig{};
+  chaos_armed_ = false;
+  chaos_writes_ = 0;
+  chaos_reads_ = 0;
+  chaos_allocs_ = 0;
+  chaos_eval_attempts_.clear();
   any_armed_.store(false, std::memory_order_release);
 }
 
 bool FaultInjector::armed() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return mode_ != Mode::kNone || !eval_transient_.empty() || !eval_permanent_.empty();
+  return write_mode_ != IoMode::kNone || read_mode_ != IoMode::kNone || alloc_trigger_ > 0 ||
+         !eval_transient_.empty() || !eval_permanent_.empty() || chaos_armed_;
 }
 
 std::size_t FaultInjector::writes_observed() const {
@@ -56,19 +159,78 @@ std::size_t FaultInjector::writes_observed() const {
   return writes_;
 }
 
+std::size_t FaultInjector::reads_observed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reads_;
+}
+
 FaultInjector::Action FaultInjector::on_write() {
   if (!any_armed_.load(std::memory_order_acquire)) return Action::kProceed;
   std::lock_guard<std::mutex> lock(mutex_);
-  if (mode_ == Mode::kNone) return Action::kProceed;
-  ++writes_;
-  if (mode_ == Mode::kFailWrite) {
-    if (writes_ == trigger_) {
-      mode_ = Mode::kNone;
-      return Action::kFail;
+  if (write_mode_ != IoMode::kNone) {
+    ++writes_;
+    if (write_mode_ == IoMode::kFail) {
+      if (writes_ == write_trigger_) {
+        write_mode_ = IoMode::kNone;
+        return Action::kFail;
+      }
+      return Action::kProceed;
+    }
+    return writes_ >= write_trigger_ ? Action::kDrop : Action::kProceed;
+  }
+  if (chaos_armed_ && chaos_.writes) {
+    const std::uint64_t event = ++chaos_writes_;
+    if (chaos_fires(kSiteWrite, event)) {
+      chaos_metrics().write_faults.add();
+      const bool tear = (chaos_key(chaos_.seed ^ kFlavourSalt, kSiteWrite, event) & 1) != 0;
+      return tear ? Action::kDrop : Action::kFail;
+    }
+  }
+  return Action::kProceed;
+}
+
+FaultInjector::Action FaultInjector::on_read() {
+  if (!any_armed_.load(std::memory_order_acquire)) return Action::kProceed;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (read_mode_ != IoMode::kNone) {
+    ++reads_;
+    if (reads_ == read_trigger_) {
+      const IoMode mode = read_mode_;
+      read_mode_ = IoMode::kNone;
+      return mode == IoMode::kFail ? Action::kFail : Action::kDrop;
     }
     return Action::kProceed;
   }
-  return writes_ >= trigger_ ? Action::kDrop : Action::kProceed;
+  if (chaos_armed_ && chaos_.reads) {
+    const std::uint64_t event = ++chaos_reads_;
+    if (chaos_fires(kSiteRead, event)) {
+      chaos_metrics().read_faults.add();
+      const bool tear = (chaos_key(chaos_.seed ^ kFlavourSalt, kSiteRead, event) & 1) != 0;
+      return tear ? Action::kDrop : Action::kFail;
+    }
+  }
+  return Action::kProceed;
+}
+
+bool FaultInjector::on_alloc() {
+  if (!any_armed_.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (alloc_trigger_ > 0) {
+    ++allocs_;
+    if (allocs_ == alloc_trigger_) {
+      alloc_trigger_ = 0;
+      return true;
+    }
+    return false;
+  }
+  if (chaos_armed_ && chaos_.allocs) {
+    const std::uint64_t event = ++chaos_allocs_;
+    if (chaos_fires(kSiteAlloc, event)) {
+      chaos_metrics().alloc_faults.add();
+      return true;
+    }
+  }
+  return false;
 }
 
 FaultInjector::EvalAction FaultInjector::on_eval_attempt(std::size_t question) {
@@ -80,7 +242,40 @@ FaultInjector::EvalAction FaultInjector::on_eval_attempt(std::size_t question) {
     if (--it->second == 0) eval_transient_.erase(it);
     return EvalAction::kTransient;
   }
+  if (chaos_armed_ && chaos_.evals) {
+    // Keyed by (question, attempt) rather than a global counter: the draw
+    // stream per question is independent of worker interleaving, so a
+    // parallel chaos run injects the same schedule as a serial one.
+    const std::size_t attempt = chaos_eval_attempts_[question]++;
+    const std::uint64_t event = (static_cast<std::uint64_t>(question) << 8) |
+                                (static_cast<std::uint64_t>(attempt) & 0xFF);
+    if (chaos_fires(kSiteEval, event)) {
+      chaos_metrics().eval_faults.add();
+      // The flavour is part of the eval seam (the `evals` flag), not the
+      // raw-acquisition seam: alloc pressure at the question boundary must
+      // stay injectable even when `allocs` is off because raw tensor
+      // acquisitions also happen outside any fault domain (world setup).
+      const bool alloc = (chaos_key(chaos_.seed ^ kFlavourSalt, kSiteEval, event) & 1) != 0;
+      return alloc ? EvalAction::kAllocPressure : EvalAction::kTransient;
+    }
+  }
   return EvalAction::kProceed;
+}
+
+void FaultInjector::init_chaos_from_args(const ArgParser& args) {
+  ChaosConfig config;
+  config.seed = static_cast<std::uint64_t>(args.get_int("chaos-seed", 0));
+  config.rate = args.get_double("chaos-rate", 0.0);
+  // The raw-acquisition seam stays off under CLI chaos: tensor storage is
+  // also acquired outside any fault domain (model construction, corpus
+  // setup) where an injected ResourceExhaustedError has no handler.
+  // Allocation pressure is still injected at the eval seam, where the
+  // supervisor's degradation ladder catches it; tests exercising the raw
+  // seam use arm_fail_alloc / arm_chaos directly.
+  config.allocs = false;
+  if (config.rate <= 0.0) return;
+  instance().arm_chaos(config);
+  log::info() << "chaos schedule armed: seed=" << config.seed << " rate=" << config.rate;
 }
 
 }  // namespace astromlab::util

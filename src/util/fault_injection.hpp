@@ -2,18 +2,34 @@
 // Deterministic fault injection for durability and robustness tests.
 //
 // Recovery paths (atomic rename, CRC verification, resume-from-state,
-// retry-with-backoff) are only trustworthy if tests can actually make
-// failures happen at a chosen point. `FaultInjector` is a process-wide
-// singleton consulted from two places:
+// retry-with-backoff, the memory degradation ladder) are only trustworthy
+// if tests can actually make failures happen at a chosen point.
+// `FaultInjector` is a process-wide singleton consulted from four places:
 //
 //  * `BinaryWriter` (and `EvalJournal::record`) before every physical
 //    write: tests arm it to make the Nth write throw (full disk / kill
 //    mid-write) or to silently drop bytes from the Nth write onward
-//    (a torn file that still reaches disk).
+//    (a torn file that still reaches disk);
+//  * `BinaryReader` / `read_text_file` before returning a buffer: the Nth
+//    read can fail (I/O error) or come back torn (short read), exercising
+//    the journal's torn-tail repair on the *read* path;
+//  * `ResourceBudget::acquire` at the budget seam: the Nth tracked
+//    acquisition throws ResourceExhaustedError, driving the supervisor's
+//    degradation ladder without needing a real OOM;
 //  * the evaluation supervisor at the start of every question attempt:
-//    tests arm transient faults (retried with backoff) or a permanent
-//    fault (degraded to unanswered) for a *specific question index*, so
-//    serial and parallel runs inject identically and stay bit-identical.
+//    tests arm transient faults (retried with backoff), a permanent fault
+//    (degraded to unanswered), or — under chaos — allocation pressure, for
+//    a *specific question index*, so serial and parallel runs inject
+//    identically and stay bit-identical.
+//
+// Beyond the single-shot arms, `arm_chaos` turns the injector into a
+// seeded chaos scheduler: every consultation draws from a splitmix64 hash
+// of (seed, site, event index) and fires with the configured rate. Draws
+// at the eval boundary are keyed by question index and attempt number, so
+// the schedule of injected eval faults is identical between serial and
+// parallel runs of the same seed. `--chaos-seed` / `--chaos-rate`
+// (env ASTROMLAB_CHAOS_SEED / ASTROMLAB_CHAOS_RATE) arm it from any bench
+// binary via `init_chaos_from_args`.
 //
 // All entry points are thread-safe — the supervisor consults the injector
 // from worker threads. Production code never arms it, so the disarmed
@@ -21,19 +37,33 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <set>
 
 namespace astromlab::util {
 
+class ArgParser;
+
+/// Knobs for the seeded chaos schedule. `rate` is the per-event firing
+/// probability in [0, 1]; the per-channel flags narrow which seams fire.
+struct ChaosConfig {
+  std::uint64_t seed = 0;
+  double rate = 0.0;
+  bool writes = true;  ///< journal/binary-writer appends (fail or torn)
+  bool reads = true;   ///< text/binary reads (fail or torn)
+  bool allocs = true;  ///< tracked-budget acquisitions (ResourceExhaustedError)
+  bool evals = true;   ///< question attempts (transient or alloc pressure)
+};
+
 class FaultInjector {
  public:
-  /// What the writer should do with the current physical write.
+  /// What the writer / reader should do with the current physical I/O.
   enum class Action { kProceed, kFail, kDrop };
 
   /// What an evaluation attempt should do before running.
-  enum class EvalAction { kProceed, kTransient, kPermanent };
+  enum class EvalAction { kProceed, kTransient, kPermanent, kAllocPressure };
 
   static FaultInjector& instance();
 
@@ -45,6 +75,18 @@ class FaultInjector {
   /// disarm(), producing a torn-but-committed file.
   void arm_truncate_write(std::size_t nth);
 
+  /// Makes the `nth` read (1-based, counted from arming) throw IoError,
+  /// then disarms itself.
+  void arm_fail_read(std::size_t nth);
+
+  /// Tears the `nth` read (1-based): the caller sees a short buffer, as
+  /// if the read was interrupted mid-file. Disarms itself after firing.
+  void arm_torn_read(std::size_t nth);
+
+  /// Makes the `nth` tracked-budget acquisition (1-based) throw
+  /// ResourceExhaustedError, then disarms itself.
+  void arm_fail_alloc(std::size_t nth);
+
   /// Makes the first `attempts` attempts of evaluation question
   /// `question` raise TransientError (a retryable flake).
   void arm_eval_transient(std::size_t question, std::size_t attempts = 1);
@@ -53,34 +95,65 @@ class FaultInjector {
   /// permanent (non-retryable) error.
   void arm_eval_permanent(std::size_t question);
 
+  /// Arms the seeded chaos schedule (rate <= 0 leaves it disarmed).
+  void arm_chaos(const ChaosConfig& config);
+  bool chaos_active() const;
+
   void disarm();
   bool armed() const;
 
-  /// Writes observed since arming (telemetry for tests sizing `nth`).
+  /// Writes / reads observed since arming (telemetry for tests sizing `nth`).
   std::size_t writes_observed() const;
+  std::size_t reads_observed() const;
 
   /// Consulted by BinaryWriter / EvalJournal; counts the write and picks
   /// its fate.
   Action on_write();
 
+  /// Consulted by BinaryReader / read_text_file after a physical read.
+  Action on_read();
+
+  /// Consulted by ResourceBudget::acquire; true = fail this acquisition.
+  bool on_alloc();
+
   /// Consulted by the evaluation supervisor before each question attempt.
   EvalAction on_eval_attempt(std::size_t question);
 
+  /// Parses --chaos-seed=<n> / --chaos-rate=<p> (env ASTROMLAB_CHAOS_SEED
+  /// / ASTROMLAB_CHAOS_RATE) and arms the chaos schedule when rate > 0.
+  static void init_chaos_from_args(const ArgParser& args);
+
  private:
-  enum class Mode { kNone, kFailWrite, kTruncateWrite };
+  enum class IoMode { kNone, kFail, kTruncate };
 
   FaultInjector() = default;
 
+  /// Deterministic per-event draw: true when the hash of (seed, site,
+  /// event) lands under `rate`. Requires mutex_ held only for counters;
+  /// the hash itself is pure.
+  bool chaos_fires(std::uint64_t site, std::uint64_t event) const;
+
   /// Fast-path guard: false when nothing at all is armed, so the hot
-  /// write/eval paths skip the mutex entirely in production.
+  /// write/read/alloc/eval paths skip the mutex entirely in production.
   std::atomic<bool> any_armed_{false};
 
   mutable std::mutex mutex_;
-  Mode mode_ = Mode::kNone;
-  std::size_t trigger_ = 0;
+  IoMode write_mode_ = IoMode::kNone;
+  std::size_t write_trigger_ = 0;
   std::size_t writes_ = 0;
+  IoMode read_mode_ = IoMode::kNone;
+  std::size_t read_trigger_ = 0;
+  std::size_t reads_ = 0;
+  std::size_t alloc_trigger_ = 0;  ///< 0 = disarmed
+  std::size_t allocs_ = 0;
   std::map<std::size_t, std::size_t> eval_transient_;  ///< question -> remaining throws
   std::set<std::size_t> eval_permanent_;
+  ChaosConfig chaos_;
+  bool chaos_armed_ = false;
+  std::size_t chaos_writes_ = 0;
+  std::size_t chaos_reads_ = 0;
+  std::size_t chaos_allocs_ = 0;
+  std::map<std::size_t, std::size_t> chaos_eval_attempts_;  ///< question -> attempts seen
 };
 
 }  // namespace astromlab::util

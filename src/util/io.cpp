@@ -132,6 +132,17 @@ BinaryReader::BinaryReader(const fs::path& path, ReadOptions options) : path_(pa
   if (size > 0 && !stream.read(buffer_.data(), size)) {
     throw IoError("read failure on " + path.string());
   }
+  switch (FaultInjector::instance().on_read()) {
+    case FaultInjector::Action::kFail:
+      throw IoError("injected read failure on " + path.string());
+    case FaultInjector::Action::kDrop:
+      // Torn read: the caller sees a short buffer, as if the read was
+      // interrupted mid-file; the CRC footer check below then reports it.
+      buffer_.resize(buffer_.size() / 2);
+      break;
+    case FaultInjector::Action::kProceed:
+      break;
+  }
 
   constexpr std::size_t kFooterBytes = 2 * sizeof(std::uint32_t);
   if (buffer_.size() >= kFooterBytes) {
@@ -249,6 +260,17 @@ std::string read_text_file(const fs::path& path) {
   if (size > 0 && !stream.read(content.data(), size)) {
     throw IoError("read failure on " + path.string());
   }
+  switch (FaultInjector::instance().on_read()) {
+    case FaultInjector::Action::kFail:
+      throw IoError("injected read failure on " + path.string());
+    case FaultInjector::Action::kDrop:
+      // Torn read: hand back a truncated prefix (short read), so callers
+      // with a repair path (journal torn-tail truncation) exercise it.
+      content.resize(content.size() / 2);
+      break;
+    case FaultInjector::Action::kProceed:
+      break;
+  }
   return content;
 }
 
@@ -257,11 +279,19 @@ void write_text_file(const fs::path& path, const std::string& content) {
     std::error_code ec;
     fs::create_directories(path.parent_path(), ec);
   }
+  const auto action = FaultInjector::instance().on_write();
+  if (action == FaultInjector::Action::kFail) {
+    throw IoError("injected write failure on " + path.string());
+  }
   const fs::path tmp = path.string() + ".tmp";
   {
     std::ofstream stream(tmp, std::ios::binary | std::ios::trunc);
     if (!stream) throw IoError("cannot open for writing: " + tmp.string());
-    stream.write(content.data(), static_cast<std::streamsize>(content.size()));
+    // A torn write commits only a prefix — the downstream parse/CRC layer,
+    // not this function, is responsible for detecting it.
+    const std::size_t n =
+        action == FaultInjector::Action::kDrop ? content.size() / 2 : content.size();
+    stream.write(content.data(), static_cast<std::streamsize>(n));
     if (!stream) throw IoError("write failure on " + tmp.string());
   }
   fs::rename(tmp, path);

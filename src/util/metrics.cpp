@@ -74,6 +74,15 @@ Histogram& Registry::histogram(std::string_view name) {
   return *it->second;
 }
 
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
 std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::pair<std::string, std::uint64_t>> out;
@@ -90,10 +99,19 @@ std::vector<std::pair<std::string, HistogramSnapshot>> Registry::histograms() co
   return out;
 }
 
+std::vector<std::pair<std::string, std::int64_t>> Registry::gauges() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) out.emplace_back(name, gauge->value());
+  return out;
+}
+
 void Registry::reset_all() {
   const std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, counter] : counters_) counter->reset();
   for (auto& [name, hist] : histograms_) hist->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
 }
 
 }  // namespace astromlab::util::metrics

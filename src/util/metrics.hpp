@@ -47,6 +47,20 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+/// Last-value instrument for levels rather than events (bytes resident,
+/// budget headroom). Signed so a briefly-mismatched add/sub pair reads as
+/// a negative level instead of wrapping to 2^64.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
 struct HistogramSnapshot {
   std::size_t count = 0;
   double sum = 0.0;
@@ -73,14 +87,16 @@ class Registry {
   /// Process-wide shared registry.
   static Registry& instance();
 
-  /// Named counter / histogram, created on first use. The returned
-  /// reference is stable for the process lifetime.
+  /// Named counter / histogram / gauge, created on first use. The
+  /// returned reference is stable for the process lifetime.
   Counter& counter(std::string_view name);
   Histogram& histogram(std::string_view name);
+  Gauge& gauge(std::string_view name);
 
   /// Name-ordered snapshots for reporting (trace files, bench JSON).
   std::vector<std::pair<std::string, std::uint64_t>> counters() const;
   std::vector<std::pair<std::string, HistogramSnapshot>> histograms() const;
+  std::vector<std::pair<std::string, std::int64_t>> gauges() const;
 
   /// Zeroes every counter and histogram (tests and bench isolation).
   /// Registered names and references stay valid.
@@ -90,6 +106,7 @@ class Registry {
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
 };
 
 /// Shorthand for Registry::instance().

@@ -1,0 +1,139 @@
+#include "util/resource_budget.hpp"
+
+#include "util/cli.hpp"
+#include "util/fault_injection.hpp"
+#include "util/logging.hpp"
+#include "util/metrics.hpp"
+
+namespace astromlab::util {
+namespace {
+
+struct BudgetMetrics {
+  metrics::Gauge& used;
+  metrics::Gauge& peak;
+  metrics::Gauge& limit;
+  metrics::Gauge& tensor_bytes;
+  metrics::Gauge& kv_bytes;
+  metrics::Gauge& scratch_bytes;
+  metrics::Counter& acquisitions;
+  metrics::Counter& denials;
+};
+
+BudgetMetrics& budget_metrics() {
+  auto& reg = metrics::registry();
+  static BudgetMetrics m{reg.gauge("memory.used_bytes"),
+                         reg.gauge("memory.peak_bytes"),
+                         reg.gauge("memory.limit_bytes"),
+                         reg.gauge("memory.tensor_bytes"),
+                         reg.gauge("memory.kv_bytes"),
+                         reg.gauge("memory.scratch_bytes"),
+                         reg.counter("memory.acquisitions"),
+                         reg.counter("memory.denials")};
+  return m;
+}
+
+metrics::Gauge& domain_gauge(MemoryDomain domain) {
+  switch (domain) {
+    case MemoryDomain::kTensor:
+      return budget_metrics().tensor_bytes;
+    case MemoryDomain::kKvCache:
+      return budget_metrics().kv_bytes;
+    case MemoryDomain::kScratch:
+      break;
+  }
+  return budget_metrics().scratch_bytes;
+}
+
+}  // namespace
+
+const char* memory_domain_name(MemoryDomain domain) {
+  switch (domain) {
+    case MemoryDomain::kTensor:
+      return "tensor";
+    case MemoryDomain::kKvCache:
+      return "kv-cache";
+    case MemoryDomain::kScratch:
+      break;
+  }
+  return "scratch";
+}
+
+ResourceBudget& ResourceBudget::instance() {
+  static ResourceBudget* shared = new ResourceBudget();  // leaked: outlives all users
+  return *shared;
+}
+
+void ResourceBudget::set_limit_bytes(std::size_t limit) {
+  limit_.store(limit, std::memory_order_relaxed);
+  budget_metrics().limit.set(static_cast<std::int64_t>(limit));
+}
+
+std::size_t ResourceBudget::domain_bytes(MemoryDomain domain) const {
+  return domains_[static_cast<std::size_t>(domain)].load(std::memory_order_relaxed);
+}
+
+void ResourceBudget::acquire(std::size_t bytes, MemoryDomain domain) {
+  if (FaultInjector::instance().on_alloc()) {
+    denials_.fetch_add(1, std::memory_order_relaxed);
+    budget_metrics().denials.add();
+    throw ResourceExhaustedError("injected allocation failure (" + std::to_string(bytes) +
+                                 " bytes, " + memory_domain_name(domain) + ")");
+  }
+  // Reserve-before-allocate under a CAS so concurrent acquisitions cannot
+  // jointly overshoot: the loop either charges the bytes while staying at
+  // or under the limit, or charges nothing and throws.
+  std::size_t used = used_.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::size_t limit = limit_.load(std::memory_order_relaxed);
+    const std::size_t next = used + bytes;
+    if (limit > 0 && next > limit) {
+      denials_.fetch_add(1, std::memory_order_relaxed);
+      budget_metrics().denials.add();
+      throw ResourceExhaustedError("memory budget exceeded: " + std::to_string(used) + " + " +
+                                   std::to_string(bytes) + " bytes (" +
+                                   memory_domain_name(domain) + ") > limit " +
+                                   std::to_string(limit));
+    }
+    if (used_.compare_exchange_weak(used, next, std::memory_order_relaxed)) {
+      used = next;
+      break;
+    }
+  }
+  std::size_t peak = peak_.load(std::memory_order_relaxed);
+  while (used > peak && !peak_.compare_exchange_weak(peak, used, std::memory_order_relaxed)) {
+  }
+  domains_[static_cast<std::size_t>(domain)].fetch_add(bytes, std::memory_order_relaxed);
+
+  auto& m = budget_metrics();
+  m.acquisitions.add();
+  m.used.set(static_cast<std::int64_t>(used));
+  m.peak.set(static_cast<std::int64_t>(peak_.load(std::memory_order_relaxed)));
+  domain_gauge(domain).add(static_cast<std::int64_t>(bytes));
+}
+
+void ResourceBudget::release(std::size_t bytes, MemoryDomain domain) noexcept {
+  const std::size_t before = used_.fetch_sub(bytes, std::memory_order_relaxed);
+  domains_[static_cast<std::size_t>(domain)].fetch_sub(bytes, std::memory_order_relaxed);
+  auto& m = budget_metrics();
+  m.used.set(static_cast<std::int64_t>(before - bytes));
+  domain_gauge(domain).add(-static_cast<std::int64_t>(bytes));
+}
+
+void ResourceBudget::reset_for_testing() {
+  limit_.store(0, std::memory_order_relaxed);
+  peak_.store(used_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  denials_.store(0, std::memory_order_relaxed);
+  auto& m = budget_metrics();
+  m.limit.set(0);
+  m.peak.set(static_cast<std::int64_t>(peak_.load(std::memory_order_relaxed)));
+}
+
+void ResourceBudget::init_from_args(const ArgParser& args) {
+  const long long mb = args.get_int("memory-budget-mb", 0);
+  if (mb <= 0) return;
+  const std::size_t limit = static_cast<std::size_t>(mb) * 1024 * 1024;
+  instance().set_limit_bytes(limit);
+  log::info() << "memory budget: " << mb << " MiB (" << limit << " bytes) tracked";
+}
+
+}  // namespace astromlab::util

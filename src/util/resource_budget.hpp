@@ -1,0 +1,168 @@
+#pragma once
+// Process-wide tracked-byte accounting with an optional hard budget.
+//
+// The eval fleet must run at wildly different model scales on fixed
+// hardware (AstroMLab 3, arXiv:2411.09012), so the memory envelope has to
+// be explicit and enforceable instead of discovered via the OOM killer.
+// `ResourceBudget` tracks the two dominant allocation classes — dense
+// `tensor::Tensor` storage and per-inference KV caches — as simple atomic
+// byte counters. When a limit is configured (`--memory-budget-mb` /
+// `ASTROMLAB_MEMORY_BUDGET_MB`), every tracked acquisition that would push
+// the process over the line throws `ResourceExhaustedError` *before*
+// touching the heap, so `used_bytes()` (and therefore `peak_bytes()`) can
+// never exceed the budget. The evaluation supervisor catches the error at
+// the question fault-domain boundary and walks its degradation ladder
+// (evict prefix cache → shrink parallelism → shed the question) instead of
+// aborting the study.
+//
+// With no limit set, acquire/release are pure bookkeeping (two relaxed
+// atomic RMWs) and can never throw for budget reasons, so unconstrained
+// runs stay bit-identical. Counters and gauges mirror into
+// `util::metrics` for the trace/bench reporting layer.
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <string>
+#include <utility>
+
+namespace astromlab::util {
+
+class ArgParser;
+
+/// Thrown when a tracked acquisition would exceed the configured memory
+/// budget, or when the fault injector fires at the budget seam. Derives
+/// from std::bad_alloc so one handler at the question fault-domain
+/// boundary covers both simulated pressure and a real allocator failure.
+class ResourceExhaustedError : public std::bad_alloc {
+ public:
+  explicit ResourceExhaustedError(std::string what) : what_(std::move(what)) {}
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  std::string what_;
+};
+
+/// Accounting buckets, reported as separate gauges so pressure can be
+/// attributed (model tensors vs KV caches vs per-question working sets).
+enum class MemoryDomain : std::size_t { kTensor = 0, kKvCache = 1, kScratch = 2 };
+inline constexpr std::size_t kMemoryDomainCount = 3;
+
+const char* memory_domain_name(MemoryDomain domain);
+
+class ResourceBudget {
+ public:
+  /// Process-wide shared budget.
+  static ResourceBudget& instance();
+
+  /// Hard ceiling on tracked bytes; 0 disables enforcement.
+  void set_limit_bytes(std::size_t limit);
+  std::size_t limit_bytes() const { return limit_.load(std::memory_order_relaxed); }
+
+  std::size_t used_bytes() const { return used_.load(std::memory_order_relaxed); }
+  std::size_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+  std::size_t domain_bytes(MemoryDomain domain) const;
+  /// Acquisitions rejected (budget exceeded or injected failure).
+  std::size_t denials() const { return denials_.load(std::memory_order_relaxed); }
+
+  /// Charges `bytes` against the budget. Throws ResourceExhaustedError —
+  /// charging nothing — when the limit would be exceeded or the fault
+  /// injector fires, so used/peak can never pass the limit.
+  void acquire(std::size_t bytes, MemoryDomain domain);
+  void release(std::size_t bytes, MemoryDomain domain) noexcept;
+
+  /// Test isolation: clears the limit and zeroes used/peak/denials.
+  /// Only safe when no tracked allocations are live (fresh fixtures).
+  void reset_for_testing();
+
+  /// Applies `--memory-budget-mb=<n>` (env ASTROMLAB_MEMORY_BUDGET_MB via
+  /// the parser's fallback); 0 or absent leaves the budget unlimited.
+  static void init_from_args(const ArgParser& args);
+
+ private:
+  ResourceBudget() = default;
+
+  std::atomic<std::size_t> limit_{0};
+  std::atomic<std::size_t> used_{0};
+  std::atomic<std::size_t> peak_{0};
+  std::atomic<std::size_t> denials_{0};
+  std::atomic<std::size_t> domains_[kMemoryDomainCount]{};
+};
+
+/// Minimal STL allocator charging a memory domain of the process budget.
+/// Stateless, so container moves hand storage over without re-accounting
+/// and all instances compare equal.
+template <typename T, MemoryDomain D>
+struct TrackedAllocator {
+  using value_type = T;
+  /// Explicit rebind: allocator_traits cannot synthesise one through the
+  /// non-type MemoryDomain template parameter.
+  template <typename U>
+  struct rebind {
+    using other = TrackedAllocator<U, D>;
+  };
+
+  TrackedAllocator() noexcept = default;
+  template <typename U>
+  TrackedAllocator(const TrackedAllocator<U, D>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    ResourceBudget::instance().acquire(bytes, D);
+    try {
+      return static_cast<T*>(::operator new(bytes));
+    } catch (...) {
+      ResourceBudget::instance().release(bytes, D);
+      throw;
+    }
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    // Release the accounting first: the size arithmetic stays clearly
+    // sequenced before the delete once callers inline this.
+    ResourceBudget::instance().release(n * sizeof(T), D);
+    ::operator delete(p);
+  }
+
+  friend bool operator==(const TrackedAllocator&, const TrackedAllocator&) { return true; }
+  friend bool operator!=(const TrackedAllocator&, const TrackedAllocator&) { return false; }
+};
+
+/// RAII charge against the budget for block allocations that are not
+/// routed through TrackedAllocator (KV caches, per-question working
+/// sets). Movable, not copyable; releasing twice is a no-op.
+class MemoryReservation {
+ public:
+  MemoryReservation() = default;
+  MemoryReservation(std::size_t bytes, MemoryDomain domain) : bytes_(bytes), domain_(domain) {
+    ResourceBudget::instance().acquire(bytes_, domain_);
+  }
+  MemoryReservation(MemoryReservation&& other) noexcept
+      : bytes_(std::exchange(other.bytes_, 0)), domain_(other.domain_) {}
+  MemoryReservation& operator=(MemoryReservation&& other) noexcept {
+    if (this != &other) {
+      release();
+      bytes_ = std::exchange(other.bytes_, 0);
+      domain_ = other.domain_;
+    }
+    return *this;
+  }
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+  ~MemoryReservation() { release(); }
+
+  void release() noexcept {
+    if (bytes_ > 0) {
+      ResourceBudget::instance().release(bytes_, domain_);
+      bytes_ = 0;
+    }
+  }
+
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  std::size_t bytes_ = 0;
+  MemoryDomain domain_ = MemoryDomain::kScratch;
+};
+
+}  // namespace astromlab::util

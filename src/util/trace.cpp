@@ -116,6 +116,16 @@ std::string render_json(const Session& s) {
     out += "\": ";
     out += std::to_string(value);
   }
+  out += "\n},\n\"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : metrics::registry().gauges()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n\"";
+    append_escaped(out, name.c_str());
+    out += "\": ";
+    out += std::to_string(value);
+  }
   out += "\n},\n\"histograms\": {";
   first = true;
   for (const auto& [name, snap] : metrics::registry().histograms()) {

@@ -1,0 +1,526 @@
+// Memory budget and degradation ladder: tracked-byte accounting
+// (acquire/release/peak/domains, reserve-before-allocate so a binding
+// limit is never exceeded), TrackedAllocator via tensor storage, lazy KV
+// charging, injected allocation failure, and the supervisor's ladder —
+// evict prefix cache, shrink parallelism, shed as last resort — including
+// a real token-method run whose budget binds mid-run, forces an eviction,
+// and still scores bit-identically to the unconstrained reference.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "corpus/corpora.hpp"
+#include "eval/journal.hpp"
+#include "eval/scorer.hpp"
+#include "eval/supervisor.hpp"
+#include "eval/token_method.hpp"
+#include "nn/gpt.hpp"
+#include "tensor/tensor.hpp"
+#include "tokenizer/bpe.hpp"
+#include "util/cli.hpp"
+#include "util/fault_injection.hpp"
+#include "util/io.hpp"
+#include "util/resource_budget.hpp"
+#include "util/rng.hpp"
+
+namespace astromlab {
+namespace {
+
+namespace fs = std::filesystem;
+using eval::EvalRunOptions;
+using eval::QuestionResult;
+using eval::Supervisor;
+using util::MemoryDomain;
+using util::MemoryReservation;
+using util::ResourceBudget;
+using util::ResourceExhaustedError;
+
+class ResourceBudgetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::FaultInjector::instance().disarm();
+    ResourceBudget::instance().reset_for_testing();
+    base_ = ResourceBudget::instance().used_bytes();
+  }
+  void TearDown() override {
+    util::FaultInjector::instance().disarm();
+    ResourceBudget::instance().reset_for_testing();
+  }
+
+  /// Tracked bytes live before this test body ran (normally 0; accounting
+  /// assertions are written as deltas so they stay robust either way).
+  std::size_t base_ = 0;
+};
+
+TEST_F(ResourceBudgetTest, AccountingTracksUsedPeakAndDomains) {
+  auto& budget = ResourceBudget::instance();
+  budget.acquire(1000, MemoryDomain::kTensor);
+  budget.acquire(500, MemoryDomain::kKvCache);
+  EXPECT_EQ(budget.used_bytes(), base_ + 1500);
+  EXPECT_EQ(budget.domain_bytes(MemoryDomain::kTensor), 1000u);
+  EXPECT_EQ(budget.domain_bytes(MemoryDomain::kKvCache), 500u);
+  EXPECT_GE(budget.peak_bytes(), base_ + 1500);
+
+  budget.release(500, MemoryDomain::kKvCache);
+  EXPECT_EQ(budget.used_bytes(), base_ + 1000);
+  EXPECT_GE(budget.peak_bytes(), base_ + 1500);  // high-water mark survives release
+  EXPECT_EQ(budget.domain_bytes(MemoryDomain::kKvCache), 0u);
+
+  budget.release(1000, MemoryDomain::kTensor);
+  EXPECT_EQ(budget.used_bytes(), base_);
+  EXPECT_EQ(budget.denials(), 0u);
+}
+
+TEST_F(ResourceBudgetTest, BindingLimitDeniesBeforeChargingSoPeakNeverExceedsIt) {
+  auto& budget = ResourceBudget::instance();
+  budget.set_limit_bytes(base_ + 4096);
+
+  budget.acquire(3000, MemoryDomain::kScratch);
+  // Over the line: thrown *before* charging, so used/peak are untouched.
+  EXPECT_THROW(budget.acquire(2000, MemoryDomain::kScratch), ResourceExhaustedError);
+  EXPECT_EQ(budget.used_bytes(), base_ + 3000);
+  EXPECT_EQ(budget.denials(), 1u);
+
+  // An exact fit is allowed; one byte more is not.
+  budget.acquire(1096, MemoryDomain::kScratch);
+  EXPECT_EQ(budget.used_bytes(), budget.limit_bytes());
+  EXPECT_THROW(budget.acquire(1, MemoryDomain::kScratch), ResourceExhaustedError);
+  EXPECT_LE(budget.peak_bytes(), budget.limit_bytes());
+  EXPECT_EQ(budget.denials(), 2u);
+
+  // The error doubles as std::bad_alloc for the question-boundary handler.
+  try {
+    budget.acquire(64, MemoryDomain::kScratch);
+    FAIL() << "acquire past the limit must throw";
+  } catch (const std::bad_alloc& error) {
+    EXPECT_NE(std::string(error.what()).find("memory budget exceeded"), std::string::npos);
+  }
+
+  budget.release(4096, MemoryDomain::kScratch);
+}
+
+TEST_F(ResourceBudgetTest, TensorStorageChargesTheTensorDomain) {
+  auto& budget = ResourceBudget::instance();
+  const std::size_t tensor_base = budget.domain_bytes(MemoryDomain::kTensor);
+  {
+    tensor::Tensor t({32, 48});
+    EXPECT_GE(budget.domain_bytes(MemoryDomain::kTensor),
+              tensor_base + 32 * 48 * sizeof(float));
+    EXPECT_GE(budget.used_bytes(), base_ + 32 * 48 * sizeof(float));
+  }
+  EXPECT_EQ(budget.domain_bytes(MemoryDomain::kTensor), tensor_base);
+  EXPECT_EQ(budget.used_bytes(), base_);
+
+  // A tensor that cannot fit fails as bad_alloc and charges nothing.
+  // (Reset first: the peak-vs-limit contract only covers acquisitions
+  // made while the limit is in force, not the high-water from above.)
+  budget.reset_for_testing();
+  budget.set_limit_bytes(base_ + 1024);
+  EXPECT_THROW(tensor::Tensor({512, 512}), std::bad_alloc);
+  EXPECT_EQ(budget.used_bytes(), base_);
+  EXPECT_LE(budget.peak_bytes(), budget.limit_bytes());
+}
+
+TEST_F(ResourceBudgetTest, KvCacheChargesLazilyAndReleaseKvReturnsTheBytes) {
+  nn::GptConfig config;
+  config.vocab_size = 64;
+  config.ctx_len = 16;
+  config.d_model = 8;
+  config.n_heads = 2;
+  config.n_layers = 2;
+  config.d_ff = 16;
+  nn::GptModel model(config);
+  util::Rng init(81);
+  model.init_weights(init);
+
+  auto& budget = ResourceBudget::instance();
+  const std::size_t kv_base = budget.domain_bytes(MemoryDomain::kKvCache);
+
+  nn::GptInference inference(model);
+  EXPECT_EQ(inference.kv_bytes(), 0u);  // lazy: construction allocates no K/V
+  inference.prompt({nn::Token{1}, nn::Token{2}});
+  const std::size_t kv = inference.kv_bytes();
+  EXPECT_GT(kv, 0u);
+  EXPECT_EQ(budget.domain_bytes(MemoryDomain::kKvCache), kv_base + kv);
+
+  EXPECT_EQ(inference.release_kv(), kv);
+  EXPECT_EQ(inference.kv_bytes(), 0u);
+  EXPECT_EQ(budget.domain_bytes(MemoryDomain::kKvCache), kv_base);
+  EXPECT_EQ(inference.release_kv(), 0u);  // idempotent
+
+  // Still usable: the next prompt reallocates lazily and recharges.
+  inference.prompt({nn::Token{3}});
+  EXPECT_EQ(inference.kv_bytes(), kv);
+  EXPECT_EQ(budget.domain_bytes(MemoryDomain::kKvCache), kv_base + kv);
+}
+
+TEST_F(ResourceBudgetTest, MemoryReservationMovesWithoutDoubleCharging) {
+  auto& budget = ResourceBudget::instance();
+  MemoryReservation reservation(256, MemoryDomain::kScratch);
+  EXPECT_EQ(budget.domain_bytes(MemoryDomain::kScratch), 256u);
+
+  MemoryReservation moved(std::move(reservation));
+  EXPECT_EQ(reservation.bytes(), 0u);
+  EXPECT_EQ(moved.bytes(), 256u);
+  EXPECT_EQ(budget.domain_bytes(MemoryDomain::kScratch), 256u);
+
+  MemoryReservation assigned;
+  assigned = std::move(moved);
+  EXPECT_EQ(budget.domain_bytes(MemoryDomain::kScratch), 256u);
+
+  assigned.release();
+  EXPECT_EQ(budget.domain_bytes(MemoryDomain::kScratch), 0u);
+  assigned.release();  // releasing twice is a no-op
+  EXPECT_EQ(budget.used_bytes(), base_);
+}
+
+TEST_F(ResourceBudgetTest, InjectedAllocFailureFiresOnceAtTheArmedAcquisition) {
+  util::FaultInjector::instance().arm_fail_alloc(2);
+  auto& budget = ResourceBudget::instance();
+  budget.acquire(64, MemoryDomain::kScratch);
+  EXPECT_THROW(budget.acquire(64, MemoryDomain::kScratch), ResourceExhaustedError);
+  budget.acquire(64, MemoryDomain::kScratch);  // trigger consumed, disarmed again
+  EXPECT_EQ(budget.used_bytes(), base_ + 128);
+  EXPECT_EQ(budget.denials(), 1u);
+  budget.release(128, MemoryDomain::kScratch);
+}
+
+TEST_F(ResourceBudgetTest, InitFromArgsParsesMemoryBudgetMb) {
+  const char* argv[] = {"test", "--memory-budget-mb=2"};
+  const util::ArgParser args(2, argv);
+  ResourceBudget::init_from_args(args);
+  EXPECT_EQ(ResourceBudget::instance().limit_bytes(), std::size_t{2} * 1024 * 1024);
+}
+
+// ---------------------------------------------------------------------------
+// Degradation ladder at the supervisor level: synthetic QuestionFns throw
+// ResourceExhaustedError at chosen (question, attempt) points so each rung
+// fires deterministically.
+
+util::RetryPolicy fast_retry() {
+  util::RetryPolicy policy;
+  policy.max_retries = 2;
+  policy.backoff_initial_ms = 0.01;
+  policy.backoff_max_ms = 0.05;
+  return policy;
+}
+
+std::vector<QuestionResult> prefilled(std::size_t n) {
+  std::vector<QuestionResult> results(n);
+  for (std::size_t q = 0; q < n; ++q) {
+    results[q].correct = static_cast<int>(q % 4);
+    results[q].tier = corpus::Tier::kCanonical;
+  }
+  return results;
+}
+
+std::vector<std::size_t> all_pending(std::size_t n) {
+  std::vector<std::size_t> pending(n);
+  for (std::size_t q = 0; q < n; ++q) pending[q] = q;
+  return pending;
+}
+
+/// Deterministic answer used by every ladder QuestionFn below.
+QuestionResult answer(std::size_t q, const std::vector<QuestionResult>& results) {
+  QuestionResult result = results[q];
+  result.predicted = static_cast<int>((q * 7 + 1) % 4);
+  result.method = eval::ExtractionMethod::kRegex;
+  return result;
+}
+
+class LadderTest : public ResourceBudgetTest {
+ protected:
+  void SetUp() override {
+    ResourceBudgetTest::SetUp();
+    dir_ = fs::temp_directory_path() /
+           ("astromlab_ladder_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+    ResourceBudgetTest::TearDown();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(LadderTest, EvictionRungRelievesPressureAndTheQuestionRetries) {
+  constexpr std::size_t kQuestions = 6;
+  auto results = prefilled(kQuestions);
+  std::atomic<int> evict_calls{0};
+  std::array<std::atomic<int>, kQuestions> attempts{};
+
+  EvalRunOptions options;
+  options.retry = fast_retry();
+  options.evict_cache = [&evict_calls]() -> std::size_t {
+    ++evict_calls;
+    return 4096;
+  };
+
+  Supervisor supervisor(options);
+  supervisor.run(results, all_pending(kQuestions),
+                 [&](std::size_t q, std::size_t, const util::CancelToken&) {
+                   if (q == 2 && attempts[q]++ == 0) {
+                     throw ResourceExhaustedError("simulated pressure");
+                   }
+                   return answer(q, results);
+                 },
+                 nullptr);
+
+  EXPECT_EQ(supervisor.stats().cache_evictions, 1u);
+  EXPECT_EQ(evict_calls.load(), 1);
+  EXPECT_EQ(supervisor.stats().shed_questions, 0u);
+  EXPECT_EQ(supervisor.stats().degraded_questions, 0u);
+  for (std::size_t q = 0; q < kQuestions; ++q) {
+    EXPECT_FALSE(results[q].degraded) << "question " << q;
+    EXPECT_EQ(results[q].predicted, static_cast<int>((q * 7 + 1) % 4)) << "question " << q;
+  }
+  // A pressure retry is relief, not a transient fault: no retry is counted.
+  EXPECT_EQ(results[2].retries, 0);
+  EXPECT_EQ(supervisor.stats().total_retries, 0u);
+}
+
+TEST_F(LadderTest, ParallelismHalvesAndRetiredSlotsReleaseTheirScratch) {
+  constexpr std::size_t kQuestions = 8;
+  auto results = prefilled(kQuestions);
+  std::array<std::atomic<int>, kQuestions> attempts{};
+  std::mutex released_mutex;
+  std::vector<std::size_t> released;
+
+  EvalRunOptions options;
+  options.workers = 4;
+  options.retry = fast_retry();
+  // No evict_cache hook: rung 1 is pre-spent, pressure goes straight to
+  // shrinking parallelism.
+  options.release_slot_memory = [&](std::size_t slot) -> std::size_t {
+    std::lock_guard<std::mutex> lock(released_mutex);
+    released.push_back(slot);
+    return 1024;
+  };
+
+  Supervisor supervisor(options);
+  supervisor.run(results, all_pending(kQuestions),
+                 [&](std::size_t q, std::size_t, const util::CancelToken&) {
+                   if (q == 1 && attempts[q]++ < 2) {
+                     throw ResourceExhaustedError("simulated pressure");
+                   }
+                   return answer(q, results);
+                 },
+                 nullptr);
+
+  // Two pressure events walk the cap 4 -> 2 -> 1; the third attempt runs.
+  EXPECT_EQ(supervisor.stats().parallelism_reductions, 2u);
+  EXPECT_EQ(supervisor.stats().cache_evictions, 0u);
+  EXPECT_EQ(supervisor.stats().shed_questions, 0u);
+  for (std::size_t q = 0; q < kQuestions; ++q) {
+    EXPECT_FALSE(results[q].degraded) << "question " << q;
+    EXPECT_EQ(results[q].predicted, static_cast<int>((q * 7 + 1) % 4)) << "question " << q;
+  }
+  // Every slot above the final cap of 1 retires exactly once — whether it
+  // was free at reduction time or returned by a finishing question.
+  std::sort(released.begin(), released.end());
+  EXPECT_EQ(released, (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST_F(LadderTest, ShedIsTheLastResortAndIsJournalled) {
+  constexpr std::size_t kQuestions = 5;
+  auto results = prefilled(kQuestions);
+  std::atomic<int> evict_calls{0};
+
+  EvalRunOptions options;  // serial: the cap is already 1, rung 2 is unavailable
+  options.retry = fast_retry();
+  options.evict_cache = [&evict_calls]() -> std::size_t {
+    ++evict_calls;
+    return 2048;
+  };
+
+  eval::EvalJournal journal(dir_ / "shed.jsonl");
+  Supervisor supervisor(options);
+  // Question 3 is under unrelievable pressure: every attempt throws, so
+  // the ladder walks evict -> (no parallelism to shrink) -> shed. The run
+  // must finish anyway.
+  supervisor.run(results, all_pending(kQuestions),
+                 [&](std::size_t q, std::size_t, const util::CancelToken&) -> QuestionResult {
+                   if (q == 3) throw ResourceExhaustedError("unrelievable pressure");
+                   return answer(q, results);
+                 },
+                 &journal);
+
+  EXPECT_EQ(evict_calls.load(), 1);
+  EXPECT_EQ(supervisor.stats().cache_evictions, 1u);
+  EXPECT_EQ(supervisor.stats().shed_questions, 1u);
+  EXPECT_EQ(supervisor.stats().degraded_questions, 1u);
+  EXPECT_TRUE(results[3].shed);
+  EXPECT_TRUE(results[3].degraded);
+  EXPECT_EQ(results[3].predicted, -1);
+  EXPECT_EQ(results[3].method, eval::ExtractionMethod::kFailed);
+  for (std::size_t q = 0; q < kQuestions; ++q) {
+    if (q != 3) {
+      EXPECT_FALSE(results[q].degraded) << "question " << q;
+    }
+  }
+
+  // Shedding is accounted, not silently folded into unanswered.
+  const eval::ScoreSummary summary = eval::summarize(results);
+  EXPECT_EQ(summary.total, kQuestions);
+  EXPECT_EQ(summary.shed, 1u);
+  EXPECT_EQ(summary.degraded, 1u);
+  EXPECT_EQ(summary.unanswered, 1u);
+
+  // The shed flag survives a journal round-trip, so a resumed run does not
+  // re-answer a question the ladder deliberately dropped.
+  eval::EvalJournal reloaded(dir_ / "shed.jsonl");
+  EXPECT_EQ(reloaded.size(), kQuestions);
+  const auto entry = reloaded.lookup(3);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_TRUE(entry->shed);
+  EXPECT_TRUE(entry->degraded);
+  EXPECT_EQ(entry->predicted, -1);
+}
+
+TEST_F(LadderTest, RelievedPressureKeepsSerialAndParallelBitIdentical) {
+  constexpr std::size_t kQuestions = 8;
+  const auto run = [&](std::size_t workers, const fs::path& journal_path) {
+    ResourceBudget::instance().reset_for_testing();
+    auto results = prefilled(kQuestions);
+    std::array<std::atomic<int>, kQuestions> attempts{};
+    EvalRunOptions options;
+    options.workers = workers;
+    options.retry = fast_retry();
+    options.evict_cache = []() -> std::size_t { return 4096; };
+    eval::EvalJournal journal(journal_path);
+    Supervisor supervisor(options);
+    supervisor.run(results, all_pending(kQuestions),
+                   [&](std::size_t q, std::size_t, const util::CancelToken&) {
+                     if (q == 1 && attempts[q]++ == 0) {
+                       throw ResourceExhaustedError("simulated pressure");
+                     }
+                     return answer(q, results);
+                   },
+                   &journal);
+    EXPECT_EQ(supervisor.stats().cache_evictions, 1u);
+    EXPECT_EQ(supervisor.stats().shed_questions, 0u);
+    return results;
+  };
+
+  const auto serial = run(0, dir_ / "serial.jsonl");
+  const auto parallel = run(4, dir_ / "parallel.jsonl");
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t q = 0; q < serial.size(); ++q) {
+    EXPECT_EQ(serial[q].predicted, parallel[q].predicted) << "question " << q;
+    EXPECT_EQ(serial[q].retries, parallel[q].retries) << "question " << q;
+    EXPECT_EQ(serial[q].degraded, parallel[q].degraded) << "question " << q;
+    EXPECT_EQ(serial[q].shed, parallel[q].shed) << "question " << q;
+  }
+  EXPECT_EQ(util::read_text_file(dir_ / "serial.jsonl"),
+            util::read_text_file(dir_ / "parallel.jsonl"));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a budget that binds mid-run forces the ladder's eviction
+// rung inside a real token-method benchmark, the peak never passes the
+// limit, and the constrained scores stay bit-identical to unconstrained.
+
+struct TinyWorld {
+  corpus::KnowledgeBase kb;
+  corpus::McqSplit mcqs;
+  tokenizer::BpeTokenizer tok;
+};
+
+TinyWorld make_eval_world() {
+  TinyWorld world;
+  corpus::KbConfig kb_config;
+  kb_config.n_topics = 4;
+  kb_config.entities_per_topic = 3;
+  kb_config.facts_per_entity = 2;
+  kb_config.seed = 61;
+  world.kb = corpus::KnowledgeBase::generate(kb_config);
+  corpus::McqGenConfig mcq_config;
+  mcq_config.questions_per_topic = 2;
+  mcq_config.seed = 62;
+  world.mcqs = corpus::generate_mcqs(world.kb, mcq_config);
+  tokenizer::BpeTrainConfig tok_config;
+  tok_config.vocab_size = 420;
+  world.tok = tokenizer::BpeTokenizer::train(
+      corpus::build_tokenizer_training_text(world.kb, world.mcqs.practice, 63), tok_config);
+  return world;
+}
+
+nn::GptModel make_eval_model(const TinyWorld& world) {
+  nn::GptConfig config;
+  config.vocab_size = world.tok.vocab_size();
+  config.ctx_len = 512;
+  config.d_model = 24;
+  config.n_heads = 2;
+  config.n_layers = 1;
+  config.d_ff = 48;
+  nn::GptModel model(config);
+  util::Rng rng(64);
+  model.init_weights(rng);
+  return model;
+}
+
+TEST_F(LadderTest, BindingBudgetForcesEvictionButNeverChangesScores) {
+  const TinyWorld world = make_eval_world();
+  const nn::GptModel model = make_eval_model(world);
+
+  // Unconstrained reference: serial, cache off.
+  eval::EvalJournal reference_journal(dir_ / "reference.jsonl");
+  const auto reference = eval::run_token_benchmark(model, world.tok, world.mcqs.benchmark,
+                                                   world.mcqs.practice, &reference_journal);
+
+  // One inference's K/V footprint (a fixed function of the model config).
+  std::size_t kv = 0;
+  {
+    nn::GptInference probe(model);
+    probe.prompt({nn::Token{1}});
+    kv = probe.kv_bytes();
+  }
+  ASSERT_GT(kv, 0u);
+
+  // Room for the cache encoder's K/V but not encoder + worker scratch at
+  // once: the first question must hit the budget, and the ladder's only
+  // way through is to evict the cache.
+  auto& budget = ResourceBudget::instance();
+  budget.set_limit_bytes(budget.used_bytes() + kv + kv / 2);
+
+  EvalRunOptions options;  // serial, so shrinking parallelism is no escape
+  options.prefix_cache = true;
+  eval::PrefixCacheStats stats;
+  eval::EvalJournal constrained_journal(dir_ / "constrained.jsonl");
+  const auto constrained = eval::run_token_benchmark(
+      model, world.tok, world.mcqs.benchmark, world.mcqs.practice, &constrained_journal,
+      eval::TokenMethodConfig{}, options, &stats);
+
+  // The budget held: tracked peak never passed the limit, the denial was
+  // real, and the run relieved pressure by evicting instead of shedding.
+  EXPECT_LE(budget.peak_bytes(), budget.limit_bytes());
+  EXPECT_GT(budget.denials(), 0u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.resident_bytes, 0u);
+
+  // Eviction changes prefill work, never answers: scores and journal
+  // bytes match the unconstrained reference exactly, nothing was shed.
+  ASSERT_EQ(reference.size(), constrained.size());
+  for (std::size_t q = 0; q < reference.size(); ++q) {
+    EXPECT_EQ(reference[q].predicted, constrained[q].predicted) << "question " << q;
+    EXPECT_EQ(reference[q].degraded, constrained[q].degraded) << "question " << q;
+    EXPECT_FALSE(constrained[q].shed) << "question " << q;
+  }
+  EXPECT_EQ(util::read_text_file(dir_ / "reference.jsonl"),
+            util::read_text_file(dir_ / "constrained.jsonl"));
+
+  budget.set_limit_bytes(0);
+}
+
+}  // namespace
+}  // namespace astromlab

@@ -12,6 +12,7 @@
 #include "eval/journal.hpp"
 #include "nn/train_state.hpp"
 #include "nn/trainer.hpp"
+#include "util/fault_injection.hpp"
 #include "util/io.hpp"
 #include "util/rng.hpp"
 
@@ -23,10 +24,12 @@ namespace fs = std::filesystem;
 class ResumeTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    util::FaultInjector::instance().disarm();
     dir_ = fs::temp_directory_path() / ("astromlab_resume_" + std::to_string(::getpid()));
     fs::create_directories(dir_);
   }
   void TearDown() override {
+    util::FaultInjector::instance().disarm();
     std::error_code ec;
     fs::remove_all(dir_, ec);
   }
@@ -346,6 +349,79 @@ TEST_F(ResumeTest, StaleJournalEntriesAreIgnored) {
       model, world.tok, world.mcqs.benchmark, config, &journal);
   EXPECT_EQ(resumed[0].predicted, baseline[0].predicted);
   EXPECT_EQ(resumed[0].correct, baseline[0].correct);
+}
+
+TEST_F(ResumeTest, TornJournalReadReplaysTheTornTailBitIdentically) {
+  const TinyWorld world = make_eval_world();
+  const nn::GptModel model = make_eval_model(world);
+  eval::FullInstructConfig config;
+  config.max_new_tokens = 16;
+
+  // Complete baseline run, fully journalled to disk.
+  const fs::path path = dir_ / "torn_read.jsonl";
+  std::vector<QuestionResult> baseline;
+  {
+    eval::EvalJournal journal(path);
+    baseline = eval::run_full_instruct_benchmark(model, world.tok, world.mcqs.benchmark,
+                                                 config, &journal);
+  }
+  const std::size_t total = baseline.size();
+  ASSERT_GE(total, 4u);
+
+  // The resuming load observes a torn read: only a prefix of the bytes
+  // arrives, cutting the final surviving record mid-line. The clean-prefix
+  // entries are kept, the torn tail is dropped (and truncated off the
+  // file) — never trusted.
+  util::FaultInjector::instance().arm_torn_read(1);
+  eval::EvalJournal journal(path);
+  util::FaultInjector::instance().disarm();
+  EXPECT_LT(journal.size(), total);
+  EXPECT_GT(journal.size(), 0u);
+
+  // Replaying re-answers exactly the dropped questions and converges to
+  // the baseline results, with the journal whole again afterwards.
+  const std::vector<QuestionResult> resumed = eval::run_full_instruct_benchmark(
+      model, world.tok, world.mcqs.benchmark, config, &journal);
+  ASSERT_EQ(resumed.size(), total);
+  for (std::size_t q = 0; q < total; ++q) {
+    EXPECT_EQ(resumed[q].predicted, baseline[q].predicted) << "question " << q;
+    EXPECT_EQ(resumed[q].correct, baseline[q].correct) << "question " << q;
+  }
+  EXPECT_EQ(journal.size(), total);
+
+  eval::EvalJournal reloaded(path);
+  EXPECT_EQ(reloaded.size(), total);
+}
+
+TEST_F(ResumeTest, UnreadableJournalDegradesToAFreshRun) {
+  const TinyWorld world = make_eval_world();
+  const nn::GptModel model = make_eval_model(world);
+  eval::FullInstructConfig config;
+  config.max_new_tokens = 16;
+
+  const fs::path path = dir_ / "unreadable.jsonl";
+  std::vector<QuestionResult> baseline;
+  {
+    eval::EvalJournal journal(path);
+    baseline = eval::run_full_instruct_benchmark(model, world.tok, world.mcqs.benchmark,
+                                                 config, &journal);
+  }
+
+  // An I/O failure on the resume load must not abort the study: the
+  // journal degrades to empty and every question simply re-runs.
+  util::FaultInjector::instance().arm_fail_read(1);
+  eval::EvalJournal journal(path);
+  util::FaultInjector::instance().disarm();
+  EXPECT_TRUE(journal.active());
+  EXPECT_EQ(journal.size(), 0u);
+
+  const std::vector<QuestionResult> resumed = eval::run_full_instruct_benchmark(
+      model, world.tok, world.mcqs.benchmark, config, &journal);
+  ASSERT_EQ(resumed.size(), baseline.size());
+  for (std::size_t q = 0; q < baseline.size(); ++q) {
+    EXPECT_EQ(resumed[q].predicted, baseline[q].predicted) << "question " << q;
+  }
+  EXPECT_EQ(journal.size(), baseline.size());
 }
 
 TEST_F(ResumeTest, WatchdogDegradesRunawayQuestion) {

@@ -235,12 +235,13 @@ TEST(Csv, LatencyAndCanonicalColumnsAppendedAtLineEnd) {
   timed.latency_p95_ms = 20.0;
   timed.latency_p99_ms = 30.0;
   const std::string csv = render_csv({timed});
-  EXPECT_NE(csv.find("canonical_total,latency_p50_ms,latency_p95_ms,latency_p99_ms\n"),
+  EXPECT_NE(csv.find("canonical_total,latency_p50_ms,latency_p95_ms,latency_p99_ms,"
+                     "shed,cache_evictions\n"),
             std::string::npos);
-  EXPECT_NE(csv.find(",42,10.00,20.00,30.00\n"), std::string::npos);
+  EXPECT_NE(csv.find(",42,10.00,20.00,30.00,0,0\n"), std::string::npos);
   // Latencies default to "no fresh timing" and render as empty cells.
   const std::string empty_csv = render_csv({row("Plain-X", 50.0, 60.0, 70.0, true, "")});
-  EXPECT_NE(empty_csv.find(",0,,,\n"), std::string::npos);
+  EXPECT_NE(empty_csv.find(",0,,,,0,0\n"), std::string::npos);
 }
 
 TEST(Fig1, PlacesSymbolsAndBaseline) {
