@@ -13,6 +13,8 @@
 #include "util/fault_injection.hpp"
 #include "util/resource_budget.hpp"
 #include "util/logging.hpp"
+#include "util/shutdown.hpp"
+#include "util/trace.hpp"
 #include "util/string_utils.hpp"
 
 using namespace astromlab;
@@ -22,14 +24,20 @@ int main(int argc, char** argv) {
   log::set_level(log::parse_level(args.get_string("log", "info")));
   util::ResourceBudget::init_from_args(args);
   util::FaultInjector::init_chaos_from_args(args);
+  util::trace::init_from_args(args);
 
   core::WorldConfig config;
   config.size_multiplier = args.get_double("mult", 1.0);
   const std::string cache = args.get_string("cache", core::default_cache_dir().string());
+  const auto eval_options = eval::eval_run_options_from_args(args);
+  args.fail_on_unconsumed();
+  // Ctrl-C mid-run still flushes the armed trace session (checkpoints and
+  // the eval journal are durable as written); then exits 128+signo.
+  util::shutdown::install([] { util::trace::finish(); });
 
   core::World world = core::build_world(config);
   core::Pipeline pipeline(std::move(world), cache);
-  pipeline.set_eval_options(eval::eval_run_options_from_args(args));
+  pipeline.set_eval_options(eval_options);
 
   const core::Scale scale = core::Scale::kS8;
   const eval::ScoreSummary native =
@@ -62,5 +70,6 @@ int main(int argc, char** argv) {
   std::printf("\npaper finding: Summary-quality tokens degrade least (and lift\n"
               "frontier recall); abstracts cover the fewest facts. Frontier-tier\n"
               "accuracy isolates knowledge only CPT can add.\n");
+  util::trace::finish();
   return 0;
 }

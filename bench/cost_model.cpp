@@ -16,6 +16,8 @@
 #include "util/fault_injection.hpp"
 #include "util/resource_budget.hpp"
 #include "util/logging.hpp"
+#include "util/shutdown.hpp"
+#include "util/trace.hpp"
 
 using namespace astromlab;
 
@@ -24,6 +26,17 @@ int main(int argc, char** argv) {
   log::set_level(log::parse_level(args.get_string("log", "warn")));
   util::ResourceBudget::init_from_args(args);
   util::FaultInjector::init_chaos_from_args(args);
+  util::trace::init_from_args(args);
+
+  // Consume every flag up front (some are only *used* on the cached-study
+  // path) so unknown options fail loudly regardless of which path runs.
+  const std::string cache = args.get_string("cache", core::default_cache_dir().string());
+  const bool use_cache = args.get_bool("use-study-cache", true);
+  const double size_multiplier = args.get_double("mult", 1.0);
+  const auto eval_options = eval::eval_run_options_from_args(args);
+  args.fail_on_unconsumed();
+  // Ctrl-C mid-run still flushes the armed trace session; exits 128+signo.
+  util::shutdown::install([] { util::trace::finish(); });
 
   std::printf("\nE6: GPU-HOUR COST MODEL\n\n%s\n",
               core::render_cost_table(core::reproduce_paper_costs()).c_str());
@@ -32,15 +45,13 @@ int main(int argc, char** argv) {
   double gain = 2.1;          // paper: 76.0 - 73.9
   double astro70_score = 76.0;
   bool measured = false;
-  const std::string cache = args.get_string("cache", core::default_cache_dir().string());
-  const bool use_cache = args.get_bool("use-study-cache", true);
   if (use_cache) {
     try {
       core::WorldConfig config;
-      config.size_multiplier = args.get_double("mult", 1.0);
+      config.size_multiplier = size_multiplier;
       core::World world = core::build_world(config);
       core::Pipeline pipeline(std::move(world), cache);
-  pipeline.set_eval_options(eval::eval_run_options_from_args(args));
+      pipeline.set_eval_options(eval_options);
       // Only consult the caches; never train from this bench.
       namespace fs = std::filesystem;
       std::size_t cached_models = 0;
@@ -69,5 +80,6 @@ int main(int argc, char** argv) {
               measured ? "(using the MEASURED 70B gain from the cached table1 study)"
                        : "(study cache not found; using the paper's reported gain)",
               core::render_value_analysis(gain, astro70_score).c_str());
+  util::trace::finish();
   return 0;
 }

@@ -13,6 +13,8 @@
 #include "util/resource_budget.hpp"
 #include "util/io.hpp"
 #include "util/logging.hpp"
+#include "util/shutdown.hpp"
+#include "util/trace.hpp"
 
 using namespace astromlab;
 
@@ -21,14 +23,20 @@ int main(int argc, char** argv) {
   log::set_level(log::parse_level(args.get_string("log", "info")));
   util::ResourceBudget::init_from_args(args);
   util::FaultInjector::init_chaos_from_args(args);
+  util::trace::init_from_args(args);
 
   core::WorldConfig config;
   config.size_multiplier = args.get_double("mult", 1.0);
   const std::string cache = args.get_string("cache", core::default_cache_dir().string());
+  const auto eval_options = eval::eval_run_options_from_args(args);
+  args.fail_on_unconsumed();
+  // Ctrl-C mid-study still flushes the armed trace session (checkpoints
+  // and the eval journal are durable as written); then exits 128+signo.
+  util::shutdown::install([] { util::trace::finish(); });
 
   core::World world = core::build_world(config);
   core::Pipeline pipeline(std::move(world), cache);
-  pipeline.set_eval_options(eval::eval_run_options_from_args(args));
+  pipeline.set_eval_options(eval_options);
   const core::StudyResult result = core::run_table1_study(pipeline);
 
   std::printf("\n== MEASURED (this reproduction) ==\n\n%s\n",
@@ -50,8 +58,10 @@ int main(int argc, char** argv) {
     util::write_text_file(csv_path, eval::render_csv(result.table_rows()));
   } catch (const util::IoError& e) {
     std::fprintf(stderr, "FAIL: could not write %s: %s\n", csv_path.c_str(), e.what());
+    util::trace::finish();
     return 1;
   }
   std::printf("\nCSV written to %s\n", csv_path.c_str());
+  util::trace::finish();
   return 0;
 }

@@ -1,0 +1,852 @@
+// loadgen — open-loop, closed-duration load generator and SLO gate for the
+// `serve` HTTP inference service.
+//
+// The binary forks the server under test (`--server-bin PATH`), discovers
+// its ephemeral port from the "LISTENING port=<n>" stdout line, and runs
+// four phases, each against a fresh server process so their accounting
+// never bleeds together:
+//
+//   correctness  every benchmark MCQ over HTTP must answer 200 with a
+//                non-null letter, and a repeated question must answer
+//                identically (greedy decoding is deterministic).
+//   load         open-loop arrival schedule (request i fires at
+//                start + i/rps regardless of completions) with a mix of
+//                MCQ, sessioned generate, and deliberately-tight-deadline
+//                requests against a rate-limited server. Gates: exact
+//                status accounting (sent == 200+429+503+504, nothing
+//                else), zero transport errors, zero client-timeout hangs,
+//                Retry-After present on every 429, at least one shed and
+//                one deadline expiry actually exercised, and p50/p95/p99
+//                of the clean-200 latencies under the SLO thresholds.
+//   drain        SIGTERM lands mid-load. Gates: every request that
+//                completed before the signal succeeded, responses after it
+//                are valid-or-refused (never garbage), the server exits 0,
+//                prints "DRAINED ok", and its journal + trace files are
+//                flushed and parseable.
+//   chaos        the same load against a fault-injecting server
+//                (--chaos-seed/--chaos-rate). 500/503 are permitted — the
+//                point is that the process survives: no transport errors,
+//                no hangs, /healthz back to 200 after the burst, clean
+//                SIGTERM exit.
+//
+// Results land in <out-dir>/BENCH_serve.json; any gate violation prints a
+// FAIL line and flips the exit status. `--smoke` is accepted for CLI
+// symmetry with `throughput --smoke` (this binary is always a smoke gate).
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json/json.hpp"
+#include "serve/http.hpp"
+#include "util/cli.hpp"
+#include "util/io.hpp"
+#include "util/logging.hpp"
+#include "util/metrics.hpp"
+#include "util/shutdown.hpp"
+#include "util/stopwatch.hpp"
+#include "util/string_utils.hpp"
+
+using namespace astromlab;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Server child process management
+
+std::mutex g_children_mutex;
+std::vector<pid_t> g_children;
+
+void track_child(pid_t pid) {
+  const std::lock_guard<std::mutex> lock(g_children_mutex);
+  g_children.push_back(pid);
+}
+
+void untrack_child(pid_t pid) {
+  const std::lock_guard<std::mutex> lock(g_children_mutex);
+  g_children.erase(std::remove(g_children.begin(), g_children.end(), pid), g_children.end());
+}
+
+/// Loadgen's own Ctrl-C path: don't leave orphaned servers behind.
+void kill_all_children() {
+  const std::lock_guard<std::mutex> lock(g_children_mutex);
+  for (const pid_t pid : g_children) ::kill(pid, SIGKILL);
+}
+
+struct ServerProc {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+  int out_fd = -1;
+  std::thread pump;                 // drains child stdout after the port line
+  std::unique_ptr<std::string> tail = std::make_unique<std::string>();
+  int exit_code = -1;               // filled by wait_exit
+  bool ok() const { return pid > 0 && port != 0; }
+};
+
+/// Forks and execs the server, then blocks (up to 60s) for its
+/// "LISTENING port=<n>" line. stderr is inherited so server logs land in
+/// the CI output. Returns a ServerProc with port==0 on any failure.
+ServerProc spawn_server(const std::string& bin, const std::vector<std::string>& extra_args) {
+  ServerProc proc;
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    std::cerr << "FAIL loadgen: pipe() failed: " << std::strerror(errno) << '\n';
+    return proc;
+  }
+  std::vector<std::string> argv_strings;
+  argv_strings.push_back(bin);
+  argv_strings.insert(argv_strings.end(), extra_args.begin(), extra_args.end());
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::cerr << "FAIL loadgen: fork() failed: " << std::strerror(errno) << '\n';
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return proc;
+  }
+  if (pid == 0) {
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    std::vector<char*> argv;
+    argv.reserve(argv_strings.size() + 1);
+    for (std::string& arg : argv_strings) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    ::execv(bin.c_str(), argv.data());
+    std::fprintf(stderr, "FAIL loadgen child: execv(%s) failed: %s\n", bin.c_str(),
+                 std::strerror(errno));
+    ::_exit(127);
+  }
+
+  ::close(fds[1]);
+  proc.pid = pid;
+  proc.out_fd = fds[0];
+  track_child(pid);
+
+  // Scan stdout line by line for the port announcement.
+  std::string buffer;
+  util::Stopwatch waited;
+  while (waited.seconds() < 60.0) {
+    struct pollfd pfd { proc.out_fd, POLLIN, 0 };
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) continue;
+    char chunk[512];
+    const ssize_t n = ::read(proc.out_fd, chunk, sizeof(chunk));
+    if (n <= 0) break;  // child exited before announcing
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    const std::size_t newline = buffer.find('\n');
+    if (newline == std::string::npos) continue;
+    const std::string line = buffer.substr(0, newline);
+    constexpr const char* kPrefix = "LISTENING port=";
+    if (!util::starts_with(line, kPrefix)) break;
+    proc.port = static_cast<std::uint16_t>(std::atoi(line.c_str() + std::strlen(kPrefix)));
+    *proc.tail = buffer.substr(newline + 1);
+    break;
+  }
+  if (proc.port == 0) {
+    std::cerr << "FAIL loadgen: server did not announce a port (got \"" << buffer << "\")\n";
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    untrack_child(pid);
+    ::close(proc.out_fd);
+    proc.out_fd = -1;
+    proc.pid = -1;
+    return proc;
+  }
+  // Keep draining the pipe so the child never blocks on stdout; the bytes
+  // (e.g. the final "DRAINED ok") are inspected after wait_exit joins.
+  std::string* tail = proc.tail.get();
+  const int fd = proc.out_fd;
+  proc.pump = std::thread([tail, fd] {
+    char chunk[512];
+    for (;;) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n <= 0) break;
+      tail->append(chunk, static_cast<std::size_t>(n));
+    }
+  });
+  return proc;
+}
+
+/// Reaps the child (SIGKILL after `timeout_seconds`), joins the stdout
+/// pump, and stores the exit code (-1 = killed / abnormal).
+int wait_exit(ServerProc& proc, double timeout_seconds) {
+  if (proc.pid <= 0) return -1;
+  util::Stopwatch waited;
+  int status = 0;
+  pid_t reaped = 0;
+  while (waited.seconds() < timeout_seconds) {
+    reaped = ::waitpid(proc.pid, &status, WNOHANG);
+    if (reaped == proc.pid) break;
+    if (reaped < 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (reaped != proc.pid) {
+    std::cerr << "FAIL loadgen: server pid " << proc.pid << " did not exit within "
+              << timeout_seconds << "s; killing\n";
+    ::kill(proc.pid, SIGKILL);
+    ::waitpid(proc.pid, &status, 0);
+    proc.exit_code = -1;
+  } else if (WIFEXITED(status)) {
+    proc.exit_code = WEXITSTATUS(status);
+  } else {
+    proc.exit_code = -1;
+  }
+  untrack_child(proc.pid);
+  if (proc.pump.joinable()) proc.pump.join();
+  if (proc.out_fd >= 0) ::close(proc.out_fd);
+  proc.out_fd = -1;
+  proc.pid = -1;
+  return proc.exit_code;
+}
+
+/// SIGTERM + reap + the two universal drain gates (exit 0, "DRAINED ok").
+bool terminate_and_check(ServerProc& proc, const char* phase) {
+  if (proc.pid > 0) ::kill(proc.pid, SIGTERM);
+  const int code = wait_exit(proc, 20.0);
+  bool ok = true;
+  if (code != 0) {
+    std::cerr << "FAIL loadgen[" << phase << "]: server exit code " << code << " != 0\n";
+    ok = false;
+  }
+  if (proc.tail->find("DRAINED ok") == std::string::npos) {
+    std::cerr << "FAIL loadgen[" << phase << "]: server never printed DRAINED ok\n";
+    ok = false;
+  }
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Load phases
+
+struct LoadConfig {
+  double rps = 40.0;
+  double duration_seconds = 4.0;
+  std::size_t senders = 6;
+  std::size_t tight_pct = 15;     // % of requests carrying a ~10µs deadline
+  std::size_t generate_pct = 25;  // % of requests hitting /v1/generate
+  double client_timeout_seconds = 12.0;
+  std::size_t question_count = 1;
+  std::size_t max_new_tokens = 8;
+};
+
+struct Tally {
+  std::atomic<std::size_t> sent{0};
+  std::atomic<std::size_t> s200{0};
+  std::atomic<std::size_t> s429{0};
+  std::atomic<std::size_t> s503{0};
+  std::atomic<std::size_t> s504{0};
+  std::atomic<std::size_t> s500{0};
+  std::atomic<std::size_t> other_status{0};
+  std::atomic<std::size_t> transport_errors{0};
+  std::atomic<std::size_t> hangs{0};
+  std::atomic<std::size_t> missing_retry_after{0};
+  std::mutex latency_mutex;
+  std::vector<double> ok_latency_ms;  // 200s only — shed responses are trivially fast
+};
+
+std::string mcq_body(std::size_t question_index, bool tight_deadline) {
+  json::Value body = json::Value::object();
+  body.set("question_index", static_cast<std::int64_t>(question_index));
+  if (tight_deadline) body.set("deadline_ms", 0.01);
+  return body.dump();
+}
+
+std::string generate_body(std::size_t i, std::size_t max_new_tokens, bool tight_deadline) {
+  static const char* kPrompts[] = {
+      "the spectral index of the survey",
+      "measurements of the velocity dispersion show",
+      "a catalogue entry for the brightest cluster",
+      "the adopted distance modulus implies",
+  };
+  json::Value body = json::Value::object();
+  body.set("prompt", std::string(kPrompts[i % 4]));
+  body.set("max_new_tokens", static_cast<std::int64_t>(max_new_tokens));
+  body.set("temperature", 0.0);
+  body.set("session", "load-" + std::to_string(i % 4));
+  if (tight_deadline) body.set("deadline_ms", 0.01);
+  return body.dump();
+}
+
+/// Fires `rps * duration` requests on the open-loop schedule
+/// start + i/rps: senders pull the next index from a shared atomic, sleep
+/// until its slot, and send — late completions never delay later arrivals
+/// (beyond sender-pool exhaustion, which the hang gate would expose).
+void run_open_loop(const LoadConfig& config, std::uint16_t port, Tally& tally) {
+  const std::size_t total =
+      static_cast<std::size_t>(config.rps * config.duration_seconds);
+  std::atomic<std::size_t> next{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> senders;
+  senders.reserve(config.senders);
+  for (std::size_t s = 0; s < config.senders; ++s) {
+    senders.emplace_back([&, s] {
+      serve::HttpClient client("127.0.0.1", port);
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= total) break;
+        std::this_thread::sleep_until(
+            start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(static_cast<double>(i) / config.rps)));
+        const std::size_t r = i % 100;
+        const bool tight = r < config.tight_pct;
+        const bool generate = !tight && r < config.tight_pct + config.generate_pct;
+        std::string target;
+        std::string body;
+        if (generate || (tight && (i & 1) != 0)) {
+          target = "/v1/generate";
+          body = generate_body(i, config.max_new_tokens, tight);
+        } else {
+          target = "/v1/mcq";
+          body = mcq_body(i % config.question_count, tight);
+        }
+        util::Stopwatch clock;
+        const std::optional<serve::HttpResponse> response =
+            client.request("POST", target, body, config.client_timeout_seconds);
+        const double elapsed_ms = clock.seconds() * 1000.0;
+        tally.sent.fetch_add(1);
+        if (!response.has_value()) {
+          if (elapsed_ms >= config.client_timeout_seconds * 1000.0 * 0.9) {
+            tally.hangs.fetch_add(1);
+          } else {
+            tally.transport_errors.fetch_add(1);
+          }
+          continue;
+        }
+        switch (response->status) {
+          case 200: {
+            tally.s200.fetch_add(1);
+            const std::lock_guard<std::mutex> lock(tally.latency_mutex);
+            tally.ok_latency_ms.push_back(elapsed_ms);
+            break;
+          }
+          case 429:
+            tally.s429.fetch_add(1);
+            if (response->headers.find("retry-after") == response->headers.end()) {
+              tally.missing_retry_after.fetch_add(1);
+            }
+            break;
+          case 503:
+            tally.s503.fetch_add(1);
+            break;
+          case 504:
+            tally.s504.fetch_add(1);
+            break;
+          case 500:
+            tally.s500.fetch_add(1);
+            break;
+          default:
+            tally.other_status.fetch_add(1);
+            std::cerr << "loadgen: unexpected status " << response->status << " from "
+                      << target << '\n';
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& t : senders) t.join();
+}
+
+json::Value tally_json(const Tally& tally) {
+  json::Value v = json::Value::object();
+  v.set("sent", static_cast<std::int64_t>(tally.sent.load()));
+  v.set("s200", static_cast<std::int64_t>(tally.s200.load()));
+  v.set("s429", static_cast<std::int64_t>(tally.s429.load()));
+  v.set("s503", static_cast<std::int64_t>(tally.s503.load()));
+  v.set("s504", static_cast<std::int64_t>(tally.s504.load()));
+  v.set("s500", static_cast<std::int64_t>(tally.s500.load()));
+  v.set("other_status", static_cast<std::int64_t>(tally.other_status.load()));
+  v.set("transport_errors", static_cast<std::int64_t>(tally.transport_errors.load()));
+  v.set("hangs", static_cast<std::int64_t>(tally.hangs.load()));
+  v.set("missing_retry_after", static_cast<std::int64_t>(tally.missing_retry_after.load()));
+  return v;
+}
+
+/// World/server sizing shared by every phase: tiny world (builds in tens of
+/// milliseconds) but ctx=640 — the token-method two-shot MCQ prompts
+/// overflow the default ctx=416 at these vocab sizes.
+std::vector<std::string> base_server_args() {
+  return {
+      "--port=0",       "--workers=8",  "--queue-depth=32",
+      "--topics=3",     "--entities=3", "--facts-per-entity=2",
+      "--questions-per-topic=2",        "--vocab=420",
+      "--ctx=640",      "--seed=2024",  "--stats-every=0",
+      "--log=warn",     "--drain-grace=5",
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: correctness over HTTP
+
+json::Value phase_correctness(const std::string& server_bin, bool& pass,
+                              std::size_t& question_count_out) {
+  json::Value report = json::Value::object();
+  pass = false;
+  ServerProc server = spawn_server(server_bin, base_server_args());
+  if (!server.ok()) return report;
+
+  serve::HttpClient client("127.0.0.1", server.port);
+  std::size_t answered = 0;
+  std::size_t questions = 0;
+  bool deterministic = true;
+  std::string first_answer_q0;
+  do {
+    const std::optional<serve::HttpResponse> health =
+        client.request("GET", "/healthz", "", 10.0);
+    if (!health.has_value() || health->status != 200) {
+      std::cerr << "FAIL loadgen[correctness]: /healthz "
+                << (health.has_value() ? std::to_string(health->status) : "no response")
+                << '\n';
+      break;
+    }
+    json::Value health_doc;
+    try {
+      health_doc = json::parse(health->body);
+    } catch (const json::ParseError& e) {
+      std::cerr << "FAIL loadgen[correctness]: /healthz body unparseable: " << e.what()
+                << '\n';
+      break;
+    }
+    questions =
+        static_cast<std::size_t>(health_doc.get_number("benchmark_questions", 0.0));
+    if (questions == 0) {
+      std::cerr << "FAIL loadgen[correctness]: server reports 0 benchmark questions\n";
+      break;
+    }
+    // Every question must answer, and question 0 twice must agree.
+    for (std::size_t q = 0; q < questions + 1; ++q) {
+      const std::size_t index = q % questions;
+      const std::optional<serve::HttpResponse> response =
+          client.request("POST", "/v1/mcq", mcq_body(index, false), 30.0);
+      if (!response.has_value() || response->status != 200) {
+        std::cerr << "FAIL loadgen[correctness]: question " << index << " status "
+                  << (response.has_value() ? std::to_string(response->status) : "none")
+                  << '\n';
+        continue;
+      }
+      json::Value doc;
+      try {
+        doc = json::parse(response->body);
+      } catch (const json::ParseError&) {
+        std::cerr << "FAIL loadgen[correctness]: question " << index
+                  << " body unparseable\n";
+        continue;
+      }
+      const std::string answer = doc.get_string("answer", "");
+      if (answer.empty()) {
+        std::cerr << "FAIL loadgen[correctness]: question " << index
+                  << " answered null (prompt overflow?)\n";
+        continue;
+      }
+      if (index == 0) {
+        if (first_answer_q0.empty()) {
+          first_answer_q0 = answer;
+        } else if (answer != first_answer_q0) {
+          deterministic = false;
+          std::cerr << "FAIL loadgen[correctness]: question 0 answered " << answer
+                    << " then " << first_answer_q0 << " — not deterministic\n";
+        }
+      }
+      ++answered;
+    }
+  } while (false);
+  client.close();
+
+  const bool drained = terminate_and_check(server, "correctness");
+  pass = questions > 0 && answered == questions + 1 && deterministic && drained;
+  question_count_out = questions == 0 ? 1 : questions;
+  report.set("questions", static_cast<std::int64_t>(questions));
+  report.set("answered", static_cast<std::int64_t>(answered));
+  report.set("deterministic", deterministic);
+  report.set("server_exit", static_cast<std::int64_t>(server.exit_code));
+  report.set("pass", pass);
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: open-loop load with SLO + accounting gates
+
+json::Value phase_load(const std::string& server_bin, const LoadConfig& config,
+                       double rate_limit_rps, double slo_p50_ms, double slo_p95_ms,
+                       double slo_p99_ms, bool& pass) {
+  json::Value report = json::Value::object();
+  pass = false;
+  std::vector<std::string> args = base_server_args();
+  // Rate-limit below the offered load so the 429 shed path is provably
+  // exercised; burst covers the schedule's initial bucket fill.
+  args.push_back("--rate-limit=" + std::to_string(rate_limit_rps));
+  ServerProc server = spawn_server(server_bin, args);
+  if (!server.ok()) return report;
+
+  Tally tally;
+  run_open_loop(config, server.port, tally);
+
+  std::vector<double> latencies;
+  {
+    const std::lock_guard<std::mutex> lock(tally.latency_mutex);
+    latencies = tally.ok_latency_ms;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = util::metrics::percentile_sorted(latencies, 0.50);
+  const double p95 = util::metrics::percentile_sorted(latencies, 0.95);
+  const double p99 = util::metrics::percentile_sorted(latencies, 0.99);
+
+  const bool drained = terminate_and_check(server, "load");
+
+  const std::size_t accounted =
+      tally.s200.load() + tally.s429.load() + tally.s503.load() + tally.s504.load();
+  bool ok = drained;
+  if (tally.sent.load() == 0) {
+    std::cerr << "FAIL loadgen[load]: no requests sent\n";
+    ok = false;
+  }
+  if (accounted != tally.sent.load()) {
+    std::cerr << "FAIL loadgen[load]: accounting broken — sent " << tally.sent.load()
+              << " != 200+429+503+504 = " << accounted << " (500s "
+              << tally.s500.load() << ", other " << tally.other_status.load()
+              << ", transport " << tally.transport_errors.load() << ", hangs "
+              << tally.hangs.load() << ")\n";
+    ok = false;
+  }
+  if (tally.transport_errors.load() != 0 || tally.hangs.load() != 0) {
+    std::cerr << "FAIL loadgen[load]: " << tally.transport_errors.load()
+              << " transport errors, " << tally.hangs.load() << " hangs\n";
+    ok = false;
+  }
+  if (tally.missing_retry_after.load() != 0) {
+    std::cerr << "FAIL loadgen[load]: " << tally.missing_retry_after.load()
+              << " 429s without Retry-After\n";
+    ok = false;
+  }
+  if (tally.s429.load() == 0) {
+    std::cerr << "FAIL loadgen[load]: rate limit never shed — 429 path unexercised\n";
+    ok = false;
+  }
+  if (tally.s504.load() == 0) {
+    std::cerr << "FAIL loadgen[load]: tight deadlines never expired — 504 path "
+              << "unexercised\n";
+    ok = false;
+  }
+  if (tally.s200.load() == 0) {
+    std::cerr << "FAIL loadgen[load]: nothing succeeded\n";
+    ok = false;
+  }
+  if (p50 > slo_p50_ms || p95 > slo_p95_ms || p99 > slo_p99_ms) {
+    std::cerr << "FAIL loadgen[load]: SLO violated — p50 " << p50 << "ms (slo "
+              << slo_p50_ms << "), p95 " << p95 << "ms (slo " << slo_p95_ms << "), p99 "
+              << p99 << "ms (slo " << slo_p99_ms << ")\n";
+    ok = false;
+  }
+  pass = ok;
+
+  report.set("rps", config.rps);
+  report.set("duration_seconds", config.duration_seconds);
+  report.set("senders", static_cast<std::int64_t>(config.senders));
+  report.set("rate_limit_rps", rate_limit_rps);
+  report.set("tally", tally_json(tally));
+  report.set("p50_ms", p50);
+  report.set("p95_ms", p95);
+  report.set("p99_ms", p99);
+  json::Value slo = json::Value::object();
+  slo.set("p50_ms", slo_p50_ms);
+  slo.set("p95_ms", slo_p95_ms);
+  slo.set("p99_ms", slo_p99_ms);
+  report.set("slo", std::move(slo));
+  report.set("server_exit", static_cast<std::int64_t>(server.exit_code));
+  report.set("pass", pass);
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 3: SIGTERM mid-load
+
+json::Value phase_drain(const std::string& server_bin,
+                        const std::filesystem::path& out_dir, std::size_t question_count,
+                        bool& pass) {
+  json::Value report = json::Value::object();
+  pass = false;
+  const std::filesystem::path journal_path = out_dir / "serve_drain_journal.jsonl";
+  const std::filesystem::path trace_path = out_dir / "serve_drain_trace.json";
+  std::error_code ec;
+  std::filesystem::remove(journal_path, ec);
+  std::filesystem::remove(trace_path, ec);
+
+  std::vector<std::string> args = base_server_args();
+  args.push_back("--journal=" + journal_path.string());
+  args.push_back("--trace-json=" + trace_path.string());
+  ServerProc server = spawn_server(server_bin, args);
+  if (!server.ok()) return report;
+
+  std::atomic<bool> term_sent{false};
+  std::atomic<std::size_t> pre_ok{0}, pre_fail{0}, post_responses{0}, post_bad{0};
+  std::vector<std::thread> hammer;
+  for (std::size_t t = 0; t < 4; ++t) {
+    hammer.emplace_back([&, t] {
+      serve::HttpClient client("127.0.0.1", server.port);
+      util::Stopwatch clock;
+      std::size_t i = t;
+      while (clock.seconds() < 8.0) {
+        bool connect_failed = false;
+        const std::optional<serve::HttpResponse> response = client.request(
+            "POST", "/v1/mcq", mcq_body(i++ % question_count, false), 8.0, {},
+            &connect_failed);
+        // Classify by when the exchange *completed*: anything finished
+        // before the signal must have succeeded; afterwards refused /
+        // dropped connections are the expected drain behaviour, but a
+        // response that does arrive must still be a sane status.
+        if (!term_sent.load(std::memory_order_acquire)) {
+          if (response.has_value() && response->status == 200) {
+            pre_ok.fetch_add(1);
+          } else {
+            pre_fail.fetch_add(1);
+            std::cerr << "FAIL loadgen[drain]: pre-SIGTERM request failed ("
+                      << (response.has_value() ? std::to_string(response->status)
+                                               : "transport")
+                      << ")\n";
+          }
+          continue;
+        }
+        if (!response.has_value()) break;  // drained: connection refused/closed
+        post_responses.fetch_add(1);
+        if (response->status != 200 && response->status != 503 &&
+            response->status != 504 && response->status != 429) {
+          post_bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  term_sent.store(true, std::memory_order_release);
+  ::kill(server.pid, SIGTERM);
+  for (std::thread& t : hammer) t.join();
+
+  const int exit_code = wait_exit(server, 20.0);
+  const bool drained_ok = server.tail->find("DRAINED ok") != std::string::npos;
+
+  std::size_t journal_lines = 0;
+  try {
+    const std::string journal_text = util::read_text_file(journal_path);
+    for (const char c : journal_text) journal_lines += c == '\n' ? 1 : 0;
+  } catch (const std::exception&) {
+    journal_lines = 0;
+  }
+  bool trace_parses = false;
+  try {
+    json::parse(util::read_text_file(trace_path));
+    trace_parses = true;
+  } catch (const std::exception&) {
+    trace_parses = false;
+  }
+
+  bool ok = true;
+  if (exit_code != 0) {
+    std::cerr << "FAIL loadgen[drain]: server exit code " << exit_code << " != 0\n";
+    ok = false;
+  }
+  if (!drained_ok) {
+    std::cerr << "FAIL loadgen[drain]: server never printed DRAINED ok\n";
+    ok = false;
+  }
+  if (pre_ok.load() == 0) {
+    std::cerr << "FAIL loadgen[drain]: no successful requests before SIGTERM\n";
+    ok = false;
+  }
+  if (pre_fail.load() != 0) ok = false;  // FAIL lines already printed inline
+  if (post_bad.load() != 0) {
+    std::cerr << "FAIL loadgen[drain]: " << post_bad.load()
+              << " garbage statuses after SIGTERM\n";
+    ok = false;
+  }
+  if (journal_lines == 0) {
+    std::cerr << "FAIL loadgen[drain]: journal " << journal_path << " empty — drain "
+              << "did not flush it\n";
+    ok = false;
+  }
+  if (!trace_parses) {
+    std::cerr << "FAIL loadgen[drain]: trace " << trace_path << " missing or invalid — "
+              << "drain did not flush it\n";
+    ok = false;
+  }
+  pass = ok;
+
+  report.set("pre_term_ok", static_cast<std::int64_t>(pre_ok.load()));
+  report.set("pre_term_failures", static_cast<std::int64_t>(pre_fail.load()));
+  report.set("post_term_responses", static_cast<std::int64_t>(post_responses.load()));
+  report.set("post_term_bad", static_cast<std::int64_t>(post_bad.load()));
+  report.set("journal_lines", static_cast<std::int64_t>(journal_lines));
+  report.set("trace_parses", trace_parses);
+  report.set("server_exit", static_cast<std::int64_t>(exit_code));
+  report.set("drained_ok_printed", drained_ok);
+  report.set("pass", pass);
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 4: chaos — seeded fault injection under load
+
+json::Value phase_chaos(const std::string& server_bin, const LoadConfig& base_config,
+                        std::int64_t chaos_seed, double chaos_rate, bool& pass) {
+  json::Value report = json::Value::object();
+  pass = false;
+  std::vector<std::string> args = base_server_args();
+  args.push_back("--chaos-seed=" + std::to_string(chaos_seed));
+  args.push_back("--chaos-rate=" + std::to_string(chaos_rate));
+  args.push_back("--retry-max=3");
+  ServerProc server = spawn_server(server_bin, args);
+  if (!server.ok()) return report;
+
+  LoadConfig config = base_config;
+  config.rps = std::min(base_config.rps, 30.0);
+  config.duration_seconds = 2.0;
+  config.tight_pct = 10;
+  Tally tally;
+  run_open_loop(config, server.port, tally);
+
+  // The recovery gate: once the burst is over the server must still be
+  // healthy — chaos faults are per-request, never process-fatal.
+  bool healthz_after = false;
+  {
+    serve::HttpClient client("127.0.0.1", server.port);
+    for (int attempt = 0; attempt < 15 && !healthz_after; ++attempt) {
+      const std::optional<serve::HttpResponse> health =
+          client.request("GET", "/healthz", "", 5.0);
+      healthz_after = health.has_value() && health->status == 200;
+      if (!healthz_after) std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  }
+
+  const bool drained = terminate_and_check(server, "chaos");
+
+  const std::size_t accounted = tally.s200.load() + tally.s429.load() +
+                                tally.s503.load() + tally.s504.load() +
+                                tally.s500.load();
+  bool ok = drained;
+  if (tally.sent.load() == 0 || accounted != tally.sent.load()) {
+    std::cerr << "FAIL loadgen[chaos]: accounting broken — sent " << tally.sent.load()
+              << " != 200+429+503+504+500 = " << accounted << '\n';
+    ok = false;
+  }
+  if (tally.transport_errors.load() != 0 || tally.hangs.load() != 0) {
+    std::cerr << "FAIL loadgen[chaos]: " << tally.transport_errors.load()
+              << " transport errors, " << tally.hangs.load()
+              << " hangs — chaos must degrade responses, not connections\n";
+    ok = false;
+  }
+  if (tally.s200.load() == 0) {
+    std::cerr << "FAIL loadgen[chaos]: nothing succeeded under chaos (retry path "
+              << "dead?)\n";
+    ok = false;
+  }
+  if (!healthz_after) {
+    std::cerr << "FAIL loadgen[chaos]: /healthz not 200 after the burst\n";
+    ok = false;
+  }
+  pass = ok;
+
+  report.set("chaos_seed", chaos_seed);
+  report.set("chaos_rate", chaos_rate);
+  report.set("tally", tally_json(tally));
+  report.set("healthz_after_burst", healthz_after);
+  report.set("server_exit", static_cast<std::int64_t>(server.exit_code));
+  report.set("pass", pass);
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  log::set_level(log::parse_level(args.get_string("log", "info")));
+  args.get_bool("smoke", false);  // accepted for symmetry with `throughput --smoke`
+
+  const std::string server_bin = args.get_string("server-bin", "");
+  const std::filesystem::path out_dir = args.get_string("out-dir", ".");
+  LoadConfig load;
+  load.rps = args.get_double("rps", 40.0);
+  load.duration_seconds = args.get_double("duration", 4.0);
+  load.senders = static_cast<std::size_t>(args.get_int("senders", 6));
+  load.tight_pct = static_cast<std::size_t>(args.get_int("tight-pct", 15));
+  load.generate_pct = static_cast<std::size_t>(args.get_int("generate-pct", 25));
+  load.client_timeout_seconds = args.get_double("client-timeout", 12.0);
+  const double rate_limit_rps = args.get_double("rate-limit", load.rps * 0.6);
+  const double slo_p50_ms = args.get_double("slo-p50-ms", 500.0);
+  const double slo_p95_ms = args.get_double("slo-p95-ms", 2500.0);
+  const double slo_p99_ms = args.get_double("slo-p99-ms", 5000.0);
+  const std::int64_t chaos_seed = args.get_int("chaos-seed", 20260809);
+  const double chaos_rate = args.get_double("chaos-rate", 0.05);
+  args.fail_on_unconsumed();
+
+  if (server_bin.empty()) {
+    std::cerr << "error: --server-bin PATH is required\n";
+    return 64;
+  }
+  util::shutdown::install(kill_all_children);
+  std::filesystem::create_directories(out_dir);
+
+  bool correctness_pass = false, load_pass = false, drain_pass = false,
+       chaos_pass = false;
+  std::size_t question_count = 1;
+
+  std::cout << "loadgen: phase 1/4 correctness\n";
+  json::Value correctness =
+      phase_correctness(server_bin, correctness_pass, question_count);
+  load.question_count = question_count;
+
+  std::cout << "loadgen: phase 2/4 open-loop load (" << load.rps << " rps x "
+            << load.duration_seconds << "s, rate limit " << rate_limit_rps << " rps)\n";
+  json::Value load_report = phase_load(server_bin, load, rate_limit_rps, slo_p50_ms,
+                                       slo_p95_ms, slo_p99_ms, load_pass);
+
+  std::cout << "loadgen: phase 3/4 SIGTERM drain under load\n";
+  json::Value drain_report = phase_drain(server_bin, out_dir, question_count, drain_pass);
+
+  std::cout << "loadgen: phase 4/4 chaos (seed " << chaos_seed << ", rate " << chaos_rate
+            << ")\n";
+  json::Value chaos_report = phase_chaos(server_bin, load, chaos_seed, chaos_rate,
+                                         chaos_pass);
+
+  const bool pass = correctness_pass && load_pass && drain_pass && chaos_pass;
+  json::Value report = json::Value::object();
+  report.set("schema", "bench_serve_v1");
+  report.set("server_bin", server_bin);
+  report.set("correctness", std::move(correctness));
+  report.set("load", std::move(load_report));
+  report.set("drain", std::move(drain_report));
+  report.set("chaos", std::move(chaos_report));
+  report.set("pass", pass);
+
+  const std::filesystem::path report_path = out_dir / "BENCH_serve.json";
+  try {
+    util::write_text_file(report_path, report.dump(2) + "\n");
+  } catch (const util::IoError& e) {
+    std::cerr << "FAIL " << report_path << ": report not written: " << e.what() << '\n';
+    return 1;
+  }
+  std::cout << report_path.string() << ": correctness=" << (correctness_pass ? "ok" : "FAIL")
+            << " load=" << (load_pass ? "ok" : "FAIL")
+            << " drain=" << (drain_pass ? "ok" : "FAIL")
+            << " chaos=" << (chaos_pass ? "ok" : "FAIL") << '\n';
+  if (!pass) {
+    std::cerr << "FAIL loadgen: one or more serve SLO gates violated (see above)\n";
+    return 1;
+  }
+  std::cout << "loadgen: all serve gates pass\n";
+  return 0;
+}

@@ -43,6 +43,7 @@
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 #include "util/string_utils.hpp"
+#include "util/shutdown.hpp"
 #include "util/trace.hpp"
 
 using namespace astromlab;
@@ -113,13 +114,20 @@ int main(int argc, char** argv) {
   config.size_multiplier = args.get_double("mult", 1.0);
   const std::string cache =
       args.get_string("cache", core::default_cache_dir().string());
+  const std::size_t save_every = static_cast<std::size_t>(args.get_int("save-every", 25));
+  const double question_budget = args.get_double("question-budget", 30.0);
+  const auto eval_options = eval::eval_run_options_from_args(args);
+  args.fail_on_unconsumed();
+  // Ctrl-C mid-study still flushes the armed trace session (checkpoints
+  // and the eval journal are durable as written); then exits 128+signo.
+  util::shutdown::install([] { util::trace::finish(); });
 
   util::Stopwatch watch;
   core::World world = core::build_world(config);
   core::Pipeline pipeline(std::move(world), cache);
-  pipeline.set_save_every(static_cast<std::size_t>(args.get_int("save-every", 25)));
-  pipeline.set_question_budget_seconds(args.get_double("question-budget", 30.0));
-  pipeline.set_eval_options(eval::eval_run_options_from_args(args));
+  pipeline.set_save_every(save_every);
+  pipeline.set_question_budget_seconds(question_budget);
+  pipeline.set_eval_options(eval_options);
   const core::StudyResult result = core::run_table1_study(pipeline);
 
   std::printf("\n== MEASURED (this reproduction, %zu MCQs) ==\n\n",

@@ -57,6 +57,7 @@
 #include "util/resource_budget.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
+#include "util/shutdown.hpp"
 #include "util/trace.hpp"
 
 using namespace astromlab;
@@ -953,6 +954,13 @@ int main(int argc, char** argv) {
   }
   const util::ArgParser args(argc, argv);
   util::ResourceBudget::init_from_args(args);
+  // Locally-handled flags and google-benchmark's --benchmark_* family are
+  // consumed outside ArgParser; everything else must be a known key.
+  args.fail_on_unconsumed({"smoke", "chaos-soak", "out-dir", "trace-json", "chaos-seed",
+                           "chaos-rate", "benchmark_*"});
+  // Ctrl-C mid-suite still flushes the armed trace session (journals are
+  // per-record durable); the helper then exits 128+signo.
+  util::shutdown::install([] { util::trace::finish(); });
   if (!trace_path.empty()) util::trace::start(trace_path);
   if (chaos_soak) {
     const int rc = run_chaos_soak(

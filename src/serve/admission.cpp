@@ -1,0 +1,40 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+namespace astromlab::serve {
+
+TokenBucket::TokenBucket(double rate_per_second, double burst)
+    : rate_(rate_per_second),
+      burst_(std::max(burst, 1.0)),
+      tokens_(std::max(burst, 1.0)),
+      last_refill_(std::chrono::steady_clock::now()) {}
+
+double TokenBucket::try_acquire() {
+  if (rate_ <= 0.0) return 0.0;  // unlimited
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed = std::chrono::duration<double>(now - last_refill_).count();
+  last_refill_ = now;
+  tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return 0.0;
+  }
+  return (1.0 - tokens_) / rate_;
+}
+
+bool AdmissionGate::try_enter() {
+  // CAS loop so concurrent accepts cannot overshoot capacity.
+  std::size_t current = in_flight_.load(std::memory_order_relaxed);
+  while (current < capacity_) {
+    if (in_flight_.compare_exchange_weak(current, current + 1, std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AdmissionGate::leave() { in_flight_.fetch_sub(1, std::memory_order_acq_rel); }
+
+}  // namespace astromlab::serve

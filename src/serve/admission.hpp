@@ -1,0 +1,69 @@
+#pragma once
+// Admission control for the inference server: a token bucket bounds the
+// sustained request rate and a counting gate bounds concurrent
+// connections (workers actively serving + a short accept queue). Both
+// reject with enough information to fill a Retry-After header — shedding
+// is only useful to a client that learns *when* to come back.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+
+namespace astromlab::serve {
+
+/// Classic token bucket: `rate_per_second` refill, `burst` capacity.
+/// A non-positive rate disables limiting entirely.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_second, double burst);
+
+  /// Takes one token if available, returning 0. Otherwise returns the
+  /// seconds until one accrues (the Retry-After hint), taking nothing.
+  double try_acquire();
+
+ private:
+  std::mutex mutex_;
+  double rate_;
+  double burst_;
+  double tokens_;
+  std::chrono::steady_clock::time_point last_refill_;
+};
+
+/// Bounded in-flight counter. Capacity = worker threads + queue depth:
+/// a connection past the gate is either being served or is next in line;
+/// anything beyond that would only sit in line long enough to blow its
+/// deadline, so it is cheaper for everyone to shed it at accept.
+class AdmissionGate {
+ public:
+  explicit AdmissionGate(std::size_t capacity) : capacity_(capacity) {}
+
+  bool try_enter();
+  void leave();
+  std::size_t in_flight() const { return in_flight_.load(std::memory_order_relaxed); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::atomic<std::size_t> in_flight_{0};
+  std::size_t capacity_;
+};
+
+/// RAII gate slot held for the lifetime of a connection handler.
+class AdmissionTicket {
+ public:
+  explicit AdmissionTicket(AdmissionGate* gate = nullptr) : gate_(gate) {}
+  ~AdmissionTicket() {
+    if (gate_ != nullptr) gate_->leave();
+  }
+  AdmissionTicket(AdmissionTicket&& other) noexcept : gate_(other.gate_) {
+    other.gate_ = nullptr;
+  }
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(AdmissionTicket&&) = delete;
+
+ private:
+  AdmissionGate* gate_;
+};
+
+}  // namespace astromlab::serve

@@ -1,0 +1,336 @@
+#include "serve/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string_view>
+
+#include "util/string_utils.hpp"
+
+namespace astromlab::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string to_lower_ascii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+std::string_view trim_view(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Parses the request head in [0, head_end) of `buffer`. Returns false on
+/// malformed input. `content_length` is -1 when the header is absent.
+bool parse_head(std::string_view head, HttpRequest& out, long& content_length) {
+  content_length = -1;
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 = request_line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) return false;
+  out.method = std::string(request_line.substr(0, sp1));
+  out.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  out.version = std::string(request_line.substr(sp2 + 1));
+  if (out.method.empty() || out.target.empty() || !util::starts_with(out.version, "HTTP/")) {
+    return false;
+  }
+
+  std::size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return false;
+    const std::string name = to_lower_ascii(trim_view(line.substr(0, colon)));
+    const std::string value{trim_view(line.substr(colon + 1))};
+    if (name.empty()) return false;
+    out.headers[name] = value;
+  }
+
+  if (const std::string* cl = out.header("content-length")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(cl->c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || parsed < 0) return false;
+    content_length = parsed;
+  }
+
+  // Keep-alive: HTTP/1.1 default on, HTTP/1.0 default off; the Connection
+  // header overrides either way.
+  out.keep_alive = out.version != "HTTP/1.0";
+  if (const std::string* connection = out.header("connection")) {
+    const std::string value = to_lower_ascii(*connection);
+    if (value == "close") out.keep_alive = false;
+    if (value == "keep-alive") out.keep_alive = true;
+  }
+  return true;
+}
+
+/// poll() the fd for readability until `deadline`; false on timeout/error.
+bool wait_readable(int fd, Clock::time_point deadline) {
+  const auto now = Clock::now();
+  if (now >= deadline) return false;
+  const auto remaining =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count();
+  struct pollfd pfd {};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  const int rc = ::poll(&pfd, 1, static_cast<int>(std::max<long long>(remaining, 1)));
+  return rc > 0;
+}
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(const std::string& name) const {
+  const auto it = headers.find(name);
+  return it == headers.end() ? nullptr : &it->second;
+}
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 413: return "Payload Too Large";
+    case 422: return "Unprocessable Entity";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+std::string serialize_response(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    status_reason(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += response.close ? "Connection: close\r\n" : "Connection: keep-alive\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ReadOutcome Connection::read_request(HttpRequest& out, std::size_t max_bytes,
+                                     double timeout_seconds) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_seconds));
+  char chunk[4096];
+  for (;;) {
+    // Complete head already buffered?
+    const std::size_t head_end = buffer_.find("\r\n\r\n");
+    if (head_end != std::string::npos) {
+      out = HttpRequest{};
+      long content_length = -1;
+      if (!parse_head(std::string_view(buffer_).substr(0, head_end), out, content_length)) {
+        return ReadOutcome::kMalformed;
+      }
+      const std::size_t body_len = content_length < 0 ? 0 : static_cast<std::size_t>(content_length);
+      if (body_len > max_bytes) return ReadOutcome::kTooLarge;
+      const std::size_t body_begin = head_end + 4;
+      if (buffer_.size() >= body_begin + body_len) {
+        out.body = buffer_.substr(body_begin, body_len);
+        buffer_.erase(0, body_begin + body_len);
+        return ReadOutcome::kRequest;
+      }
+      // fall through: need more body bytes
+    } else if (buffer_.size() > max_bytes) {
+      return ReadOutcome::kTooLarge;
+    }
+
+    if (!wait_readable(fd_, deadline)) return ReadOutcome::kTimeout;
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      // Clean EOF only between requests; mid-request it is a torn send.
+      return buffer_.empty() ? ReadOutcome::kClosed : ReadOutcome::kMalformed;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ReadOutcome::kError;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool Connection::write(const HttpResponse& response) {
+  const std::string wire = serialize_response(response);
+  return write_all(fd_, wire.data(), wire.size());
+}
+
+HttpClient::HttpClient(std::string host, std::uint16_t port)
+    : host_(std::move(host)), port_(port) {}
+
+HttpClient::~HttpClient() { close(); }
+
+void HttpClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool HttpClient::ensure_connected(double timeout_seconds) {
+  if (fd_ >= 0) return true;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return false;
+  }
+  struct timeval tv {};
+  tv.tv_sec = static_cast<time_t>(timeout_seconds);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+std::optional<HttpResponse> HttpClient::request(
+    const std::string& method, const std::string& target, const std::string& body,
+    double timeout_seconds, const std::map<std::string, std::string>& headers) {
+  return request(method, target, body, timeout_seconds, headers, nullptr);
+}
+
+std::optional<HttpResponse> HttpClient::request(
+    const std::string& method, const std::string& target, const std::string& body,
+    double timeout_seconds, const std::map<std::string, std::string>& headers,
+    bool* connect_failed) {
+  if (connect_failed != nullptr) *connect_failed = false;
+  if (!ensure_connected(timeout_seconds)) {
+    if (connect_failed != nullptr) *connect_failed = true;
+    return std::nullopt;
+  }
+
+  std::string wire = method + " " + target + " HTTP/1.1\r\n";
+  wire += "Host: " + host_ + "\r\n";
+  wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  for (const auto& [name, value] : headers) wire += name + ": " + value + "\r\n";
+  wire += "\r\n";
+  wire += body;
+  if (!write_all(fd_, wire.data(), wire.size())) {
+    close();
+    return std::nullopt;
+  }
+
+  // Read status line + headers, then exactly Content-Length body bytes.
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_seconds));
+  std::string buffer;
+  char chunk[4096];
+  std::size_t head_end = std::string::npos;
+  while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+    if (!wait_readable(fd_, deadline)) {
+      close();
+      return std::nullopt;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      close();
+      return std::nullopt;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  HttpResponse response;
+  const std::string_view head = std::string_view(buffer).substr(0, head_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view status_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  // "HTTP/1.1 200 OK"
+  const std::size_t sp = status_line.find(' ');
+  if (sp == std::string_view::npos) {
+    close();
+    return std::nullopt;
+  }
+  response.status = std::atoi(std::string(status_line.substr(sp + 1, 3)).c_str());
+
+  long content_length = 0;
+  bool server_closes = false;
+  std::size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    const std::string name = to_lower_ascii(trim_view(line.substr(0, colon)));
+    const std::string value{trim_view(line.substr(colon + 1))};
+    response.headers[name] = value;
+    if (name == "content-length") content_length = std::atol(value.c_str());
+    if (name == "connection" && to_lower_ascii(value) == "close") server_closes = true;
+  }
+
+  const std::size_t body_begin = head_end + 4;
+  while (buffer.size() < body_begin + static_cast<std::size_t>(content_length)) {
+    if (!wait_readable(fd_, deadline)) {
+      close();
+      return std::nullopt;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      close();
+      return std::nullopt;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  response.body = buffer.substr(body_begin, static_cast<std::size_t>(content_length));
+  if (server_closes) close();
+  return response;
+}
+
+}  // namespace astromlab::serve

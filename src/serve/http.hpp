@@ -1,0 +1,103 @@
+#pragma once
+// Minimal blocking-socket HTTP/1.1 plumbing for the inference server, its
+// tests, and the load generator. Deliberately tiny: request parsing covers
+// exactly what the server needs (request line, headers, Content-Length
+// bodies, keep-alive), responses always carry Content-Length, and there is
+// no TLS or chunked transfer coding. The interesting engineering — bounded
+// reads, poll-gated timeouts so a handler thread can observe the drain
+// flag, a reconnecting persistent client — lives here so server.cpp and
+// loadgen.cpp stay about lifecycle policy, not byte shuffling.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace astromlab::serve {
+
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string version;
+  std::map<std::string, std::string> headers;  // keys lower-cased
+  std::string body;
+  bool keep_alive = true;
+
+  /// Header value by lower-case name, nullptr when absent.
+  const std::string* header(const std::string& name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::map<std::string, std::string> headers;  // extra headers (Retry-After, ...)
+  std::string body;
+  bool close = false;  // force Connection: close
+};
+
+const char* status_reason(int status);
+std::string serialize_response(const HttpResponse& response);
+
+enum class ReadOutcome {
+  kRequest,    // one complete request parsed
+  kClosed,     // peer closed (clean EOF between requests)
+  kTimeout,    // nothing complete within timeout; buffered bytes retained
+  kError,      // socket error
+  kMalformed,  // unparseable request line / headers / length
+  kTooLarge,   // headers or body exceed max_bytes
+};
+
+/// One server-side connection: owns the fd and the receive buffer so a
+/// kTimeout return keeps partial bytes for the next read_request call —
+/// the handler loop polls in short slices to notice the drain flag without
+/// dropping a slow client's half-sent request.
+class Connection {
+ public:
+  explicit Connection(int fd) : fd_(fd) {}
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  ReadOutcome read_request(HttpRequest& out, std::size_t max_bytes, double timeout_seconds);
+  bool write(const HttpResponse& response);
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+/// Blocking client on one persistent connection; reconnects lazily after
+/// the server closes it. Used by the load generator and tests — a nullopt
+/// return is a transport failure (refused / reset / timeout), which the
+/// load gate accounts separately from HTTP statuses.
+class HttpClient {
+ public:
+  HttpClient(std::string host, std::uint16_t port);
+  ~HttpClient();
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  std::optional<HttpResponse> request(
+      const std::string& method, const std::string& target, const std::string& body,
+      double timeout_seconds = 10.0,
+      const std::map<std::string, std::string>& headers = {});
+  /// Like request(), but distinguishes "could not even connect" (sets
+  /// `*connect_failed`) from a failure mid-exchange — the drain test needs
+  /// to treat refused connections after SIGTERM as expected.
+  std::optional<HttpResponse> request(
+      const std::string& method, const std::string& target, const std::string& body,
+      double timeout_seconds, const std::map<std::string, std::string>& headers,
+      bool* connect_failed);
+  void close();
+
+ private:
+  bool ensure_connected(double timeout_seconds);
+
+  std::string host_;
+  std::uint16_t port_;
+  int fd_ = -1;
+};
+
+}  // namespace astromlab::serve

@@ -1,0 +1,135 @@
+// `serve` — the always-up HTTP inference service.
+//
+// Builds a synthetic world + model at the requested scale and serves it
+// until SIGINT/SIGTERM, then drains gracefully (finish or cancel in-flight
+// requests, flush journal/trace/metrics) and exits 0.
+//
+// Endpoints:
+//   POST /v1/mcq       {"question_index": n} | {"question": ..., "options": [4]}
+//                      optional "deadline_ms"; answers with the token-method
+//                      letter — bit-identical to the offline supervisor.
+//   POST /v1/generate  {"prompt": ..., "max_new_tokens", "temperature",
+//                      "session", "deadline_ms"}; a session reuses its KV
+//                      cache across requests that extend the conversation.
+//   GET  /healthz      200 ok / 503 draining-or-overloaded (readiness).
+//   GET  /metrics      plain-text dump of the util::metrics registry.
+//   POST /admin/model  {"scale": "S7"|"S8"|"S70"} hot swap; in-flight
+//                      requests finish on the old weights.
+//
+// Options (CLI --key=value or ASTROMLAB_<KEY> env):
+//   --port=<n>             listen port (default 0 = ephemeral; the chosen
+//                          port is printed as "LISTENING port=<n>")
+//   --scale=<S7|S8|S70>    model family to serve first (default S7)
+//   --workers=<n>          handler threads (default 4)
+//   --queue-depth=<n>      admitted connections beyond the workers; more
+//                          connections are shed 429 at accept (default 16)
+//   --rate-limit=<rps>     token-bucket rate limit (default 0 = unlimited)
+//   --rate-burst=<n>       bucket burst (default 2*rps)
+//   --deadline-ms=<ms>     default per-request deadline (default 0 = none;
+//                          a request's own deadline_ms can only tighten it)
+//   --drain-grace=<s>      seconds to let in-flight work finish on drain
+//                          before cancelling it (default 5)
+//   --max-sessions=<n>     session KV cache table size (default 64)
+//   --stats-every=<s>      periodic per-interval latency log (default 30)
+//   --serve-seconds=<s>    self-drain after this long (default 0 = until
+//                          signalled; a safety net for CI orchestration)
+//   --journal=<path>       record served benchmark MCQ answers to an eval
+//                          journal (same format as offline runs)
+//   --topics, --entities, --facts-per-entity, --questions-per-topic,
+//   --vocab, --ctx, --seed world sizing (defaults favour fast startup;
+//                          production-sized worlds just take longer to build)
+//   --log=<level>, --trace-json=<path>, --memory-budget-mb=<n>,
+//   --chaos-seed=<n>, --chaos-rate=<p>   the usual observability/chaos knobs
+
+#include <cstdio>
+#include <thread>
+
+#include "serve/server.hpp"
+#include "serve/world.hpp"
+#include "util/cli.hpp"
+#include "util/fault_injection.hpp"
+#include "util/logging.hpp"
+#include "util/resource_budget.hpp"
+#include "util/shutdown.hpp"
+#include "util/stopwatch.hpp"
+#include "util/trace.hpp"
+
+using namespace astromlab;
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  log::set_level(log::parse_level(args.get_string("log", "info")));
+  util::ResourceBudget::init_from_args(args);
+  util::FaultInjector::init_chaos_from_args(args);
+  util::trace::init_from_args(args);
+
+  core::WorldConfig world_config;
+  world_config.kb.n_topics = static_cast<std::size_t>(args.get_int("topics", 6));
+  world_config.kb.entities_per_topic =
+      static_cast<std::size_t>(args.get_int("entities", 4));
+  world_config.kb.facts_per_entity =
+      static_cast<std::size_t>(args.get_int("facts-per-entity", 2));
+  world_config.mcq.questions_per_topic =
+      static_cast<std::size_t>(args.get_int("questions-per-topic", 3));
+  world_config.vocab_size = static_cast<std::size_t>(args.get_int("vocab", 512));
+  world_config.ctx_len = static_cast<std::size_t>(args.get_int("ctx", 416));
+  world_config.seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
+
+  const std::string scale_name = args.get_string("scale", "S7");
+  core::Scale scale = core::Scale::kS7;
+  if (scale_name == "S8") {
+    scale = core::Scale::kS8;
+  } else if (scale_name == "S70") {
+    scale = core::Scale::kS70;
+  } else if (scale_name != "S7") {
+    std::fprintf(stderr, "error: --scale must be S7, S8 or S70\n");
+    return 64;
+  }
+
+  serve::ServerConfig config;
+  config.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  config.workers = static_cast<std::size_t>(args.get_int("workers", 4));
+  config.queue_depth = static_cast<std::size_t>(args.get_int("queue-depth", 16));
+  config.rate_limit_rps = args.get_double("rate-limit", 0.0);
+  config.rate_burst = args.get_double("rate-burst", 0.0);
+  config.default_deadline_seconds = args.get_double("deadline-ms", 0.0) / 1000.0;
+  config.drain_grace_seconds = args.get_double("drain-grace", 5.0);
+  config.max_sessions = static_cast<std::size_t>(args.get_int("max-sessions", 64));
+  config.stats_log_seconds = args.get_double("stats-every", 30.0);
+  config.retry.max_retries = static_cast<std::size_t>(args.get_int("retry-max", 2));
+  const double serve_seconds = args.get_double("serve-seconds", 0.0);
+  const std::string journal_path = args.get_string("journal", "");
+  // All flags consumed — fail loudly on typos before the expensive build.
+  args.fail_on_unconsumed();
+
+  std::unique_ptr<eval::EvalJournal> journal;
+  if (!journal_path.empty()) journal = std::make_unique<eval::EvalJournal>(journal_path);
+
+  const std::shared_ptr<serve::ServedWorld> world =
+      serve::build_served_world(scale, world_config, /*generation=*/1);
+
+  serve::InferenceServer server(world, config, journal.get());
+  // Signals begin the drain; main() below finishes the shutdown and flushes.
+  util::shutdown::install([&server] { server.begin_drain(); }, /*exit_after_callback=*/false);
+  server.start();
+
+  // The load generator and the CI smoke job discover the ephemeral port
+  // from this line — keep the format stable.
+  std::printf("LISTENING port=%u\n", static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  util::Stopwatch uptime;
+  while (!server.draining()) {
+    if (serve_seconds > 0.0 && uptime.seconds() >= serve_seconds) {
+      log::info() << "serve: --serve-seconds elapsed; self-draining";
+      server.begin_drain();
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.shutdown();
+  util::trace::finish();
+  std::printf("DRAINED ok\n");
+  std::fflush(stdout);
+  return 0;
+}

@@ -1,0 +1,148 @@
+#pragma once
+// The always-up HTTP inference server.
+//
+// Request lifecycle (the robustness core):
+//   accept → admission gate (connections beyond workers + queue_depth are
+//   shed 429 + Retry-After at accept) → token bucket (sustained-rate shed,
+//   429 + Retry-After) → per-request CancelToken carrying the merged
+//   deadline (client `deadline_ms` and the server default, stricter wins)
+//   → work under util::run_with_retry (transient faults retried with
+//   cancel-aware backoff) inside the degradation ladder:
+//     rung 1  evict the LRU idle session (KV headroom, no user-visible error)
+//     rung 2  evict the shared MCQ prefix cache (requests re-encode, scores
+//             identical)
+//     rung 3  shed this request 503 + Retry-After
+//   → 504 when the deadline fires mid-work (partial work cancelled in
+//   flight via the token), 503 when a drain cancellation fires instead.
+//
+// Hot swap: the whole ServedWorld (weights + tokenizer + prefix cache) sits
+// behind a generation-counted shared_ptr; handlers pin it per request, so
+// a swap replaces the bundle for *new* requests while in-flight ones finish
+// on the old weights. Sessions are generation-checked and dropped on swap.
+//
+// Graceful drain: begin_drain() (wired to SIGINT/SIGTERM through
+// util::shutdown) stops the acceptor; connection loops observe the flag at
+// their next poll slice and close after the current request; shutdown()
+// waits drain_grace_seconds, cancels whatever is still running (those
+// requests answer 503), joins the pool, and logs the final stats snapshot.
+// The eval journal is per-record durable throughout; trace flushing stays
+// with main(), which owns the trace session.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <condition_variable>
+
+#include "eval/journal.hpp"
+#include "json/json.hpp"
+#include "serve/admission.hpp"
+#include "serve/http.hpp"
+#include "serve/session.hpp"
+#include "serve/world.hpp"
+#include "util/cancel.hpp"
+#include "util/retry.hpp"
+#include "util/thread_pool.hpp"
+
+namespace astromlab::serve {
+
+struct ServerConfig {
+  std::uint16_t port = 0;      ///< 0 = ephemeral; read back via port()
+  std::size_t workers = 4;     ///< dedicated pool (never ThreadPool::global —
+                               ///< the GEMM kernels own that one)
+  std::size_t queue_depth = 16;  ///< admitted connections beyond the workers
+  double rate_limit_rps = 0.0;   ///< token-bucket refill; 0 = unlimited
+  double rate_burst = 0.0;       ///< bucket capacity; 0 = max(2*rps, 1)
+  double default_deadline_seconds = 0.0;  ///< per-request default; 0 = none
+  double drain_grace_seconds = 5.0;
+  double idle_timeout_seconds = 10.0;  ///< keep-alive idle close
+  std::size_t max_sessions = 64;
+  std::size_t max_body_bytes = 1 << 20;
+  std::size_t max_new_tokens_cap = 256;
+  util::RetryPolicy retry;
+  double stats_log_seconds = 0.0;  ///< periodic per-interval latency log; 0 = off
+};
+
+class InferenceServer {
+ public:
+  InferenceServer(std::shared_ptr<const ServedWorld> world, ServerConfig config,
+                  eval::EvalJournal* journal = nullptr);
+  ~InferenceServer();
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Binds, listens and starts the acceptor + worker pool. Throws
+  /// std::runtime_error when the port cannot be bound.
+  void start();
+
+  std::uint16_t port() const { return port_; }
+
+  /// Stops accepting new connections; idempotent, async-signal-adjacent
+  /// (called from the shutdown watcher thread, not the raw handler).
+  void begin_drain();
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Full graceful stop: drain, grace-wait, cancel stragglers, join
+  /// everything, log final stats. Idempotent; called by the destructor.
+  void shutdown();
+
+  /// Installs a new generation for subsequent requests; in-flight requests
+  /// and their sessions keep the old bundle alive until they finish.
+  void swap_world(std::shared_ptr<const ServedWorld> world);
+  std::shared_ptr<const ServedWorld> current_world() const;
+
+  std::size_t in_flight() const { return gate_.in_flight(); }
+  std::size_t session_count() const { return sessions_.count(); }
+
+ private:
+  class InflightToken;
+
+  void acceptor_loop();
+  void stats_loop();
+  void handle_connection(int fd);
+  HttpResponse dispatch(const HttpRequest& request);
+  HttpResponse handle_inference(const HttpRequest& request, bool mcq);
+  HttpResponse do_mcq(const ServedWorld& world, const json::Value& body,
+                      const util::CancelToken& cancel);
+  HttpResponse do_generate(const std::shared_ptr<const ServedWorld>& world,
+                           const json::Value& body, const util::CancelToken& cancel,
+                           std::uint64_t request_id);
+  HttpResponse handle_healthz();
+  HttpResponse handle_metrics();
+  HttpResponse handle_swap(const HttpRequest& request);
+  HttpResponse cancelled_response(const util::CancelToken& cancel);
+
+  /// Registers/unregisters a request's CancelToken so shutdown() can
+  /// cancel stragglers after the grace window.
+  void register_inflight(util::CancelToken* token);
+  void unregister_inflight(util::CancelToken* token);
+
+  ServerConfig config_;
+  mutable std::mutex world_mutex_;
+  std::shared_ptr<const ServedWorld> world_;
+  SessionManager sessions_;
+  eval::EvalJournal* journal_;
+
+  AdmissionGate gate_;
+  TokenBucket bucket_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::thread acceptor_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint64_t> request_counter_{0};
+
+  std::mutex inflight_mutex_;
+  std::set<util::CancelToken*> inflight_tokens_;
+
+  std::thread stats_thread_;
+  std::mutex stats_mutex_;
+  std::condition_variable stats_cv_;
+  bool stats_stop_ = false;
+};
+
+}  // namespace astromlab::serve

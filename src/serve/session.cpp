@@ -1,0 +1,151 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+
+#include "serve/world.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace astromlab::serve {
+
+Session::Session(std::shared_ptr<const ServedWorld> w, const nn::GptModel& model)
+    : world(std::move(w)), inference(model) {
+  if (world != nullptr) model_generation = world->generation;
+}
+
+std::shared_ptr<Session> SessionManager::acquire(const std::string& id,
+                                                 std::shared_ptr<const ServedWorld> world) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it != sessions_.end() && it->second->model_generation == world->generation) {
+    it->second->last_used.store(clock_.fetch_add(1) + 1, std::memory_order_relaxed);
+    util::metrics::registry().counter("serve.session_hits").add();
+    return it->second;
+  }
+  if (it != sessions_.end()) sessions_.erase(it);  // stale generation: KV is worthless
+  util::metrics::registry().counter("serve.session_misses").add();
+  // Evict before inserting so the table never exceeds max_sessions_.
+  while (max_sessions_ > 0 && sessions_.size() >= max_sessions_) {
+    std::shared_ptr<Session> victim;
+    std::uint64_t oldest = UINT64_MAX;
+    std::string victim_id;
+    for (const auto& [sid, session] : sessions_) {
+      const std::uint64_t used = session->last_used.load(std::memory_order_relaxed);
+      if (used < oldest) {
+        oldest = used;
+        victim = session;
+        victim_id = sid;
+      }
+    }
+    if (victim == nullptr) break;
+    sessions_.erase(victim_id);  // leased sessions survive via their shared_ptr
+    util::metrics::registry().counter("serve.session_capacity_evictions").add();
+  }
+  auto session = std::make_shared<Session>(world, world->model);
+  session->last_used.store(clock_.fetch_add(1) + 1, std::memory_order_relaxed);
+  sessions_[id] = session;
+  return session;
+}
+
+std::size_t SessionManager::evict_lru() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // LRU order over sessions whose mutex we can take without waiting — a
+  // session mid-request is pinned, and blocking the ladder on it would
+  // invert the point of shedding memory quickly.
+  std::vector<std::pair<std::uint64_t, std::string>> order;
+  order.reserve(sessions_.size());
+  for (const auto& [sid, session] : sessions_) {
+    order.emplace_back(session->last_used.load(std::memory_order_relaxed), sid);
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [used, sid] : order) {
+    const auto it = sessions_.find(sid);
+    if (it == sessions_.end()) continue;
+    std::shared_ptr<Session> session = it->second;
+    if (!session->mutex.try_lock()) continue;
+    const std::size_t freed = session->inference.release_kv();
+    session->mutex.unlock();
+    sessions_.erase(it);
+    if (freed > 0) {
+      util::metrics::registry().counter("serve.ladder_session_evictions").add();
+      return freed;
+    }
+    // Zero bytes (already released / empty): keep looking for a rung that
+    // actually returns headroom.
+  }
+  return 0;
+}
+
+std::size_t SessionManager::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t n = sessions_.size();
+  sessions_.clear();
+  return n;
+}
+
+std::size_t SessionManager::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+GenerateOutcome generate_tokens(nn::GptInference& inference, std::vector<nn::Token>& history,
+                                const std::vector<nn::Token>& prompt,
+                                std::size_t max_new_tokens, float temperature,
+                                std::uint64_t seed, const util::CancelToken* cancel) {
+  GenerateOutcome outcome;
+  const std::size_t ctx = inference.model().config().ctx_len;
+  if (prompt.empty() || prompt.size() >= ctx) {
+    outcome.context_overflow = true;
+    return outcome;
+  }
+
+  // Reuse the KV prefix when the new prompt strictly extends the encoded
+  // history (the common conversational case: prior turns + new text).
+  // `inference.history()` is the ground truth for what the cache holds —
+  // a prior cancelled request may have fed only part of its prompt.
+  const std::size_t common = nn::common_token_prefix(inference.history(), prompt);
+  std::size_t fed_from = 0;
+  if (common == inference.history().size() && common > 0 && common < prompt.size() &&
+      inference.position() == common) {
+    fed_from = common;
+    outcome.reused_prefix_tokens = common;
+  } else {
+    inference.reset();
+  }
+
+  const std::vector<float>& prompt_logits =
+      inference.prompt(prompt.data() + fed_from, prompt.size() - fed_from, cancel);
+  if (cancel != nullptr && cancel->cancelled()) {
+    outcome.cancelled = true;
+    history = inference.history();  // partial feed: keep session coherent
+    return outcome;
+  }
+
+  nn::SampleConfig pick_config;
+  pick_config.temperature = temperature;
+  util::Rng rng(seed);
+  const std::vector<float>* logits = &prompt_logits;
+  while (outcome.generated.size() < max_new_tokens) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      outcome.cancelled = true;
+      break;
+    }
+    const nn::Token next = nn::Sampler::pick(*logits, pick_config, rng);
+    outcome.generated.push_back(next);
+    if (outcome.generated.size() == max_new_tokens) {
+      // Step the final token into the cache when there is room so a
+      // follow-up prompt can reuse the full turn; no logits needed.
+      if (inference.position() < ctx) inference.step(next);
+      break;
+    }
+    if (inference.position() >= ctx) {
+      outcome.context_overflow = true;  // wanted more tokens, no room left
+      break;
+    }
+    logits = &inference.step(next);
+  }
+  history = inference.history();
+  return outcome;
+}
+
+}  // namespace astromlab::serve

@@ -1,0 +1,91 @@
+#pragma once
+// Per-session KV reuse for /v1/generate.
+//
+// A session pins a GptInference whose KV cache holds the conversation so
+// far; a follow-up prompt that extends the history verbatim feeds only the
+// new tail (the same prefix-reuse trick eval::PrefixCache plays for MCQ,
+// but stateful per client). Sessions are the cheapest thing the server
+// owns, which is why evicting the least-recently-used one is rung 1 of the
+// degradation ladder — a victim's client transparently pays one full
+// re-encode on its next turn; nobody gets an error.
+//
+// Memory accounting is inherited: GptInference charges its KV pages to the
+// process ResourceBudget (kKvCache domain), so session eviction genuinely
+// returns headroom, and an exhausted budget surfaces as the
+// ResourceExhaustedError the server's ladder catches.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "nn/gpt.hpp"
+#include "nn/sampler.hpp"
+#include "util/cancel.hpp"
+
+namespace astromlab::serve {
+
+struct ServedWorld;
+
+struct Session {
+  Session(std::shared_ptr<const ServedWorld> w, const nn::GptModel& model);
+
+  std::mutex mutex;  // held across a whole request; try_lock guards eviction
+  std::shared_ptr<const ServedWorld> world;  // pins the weights the KV was built on
+  nn::GptInference inference;
+  std::vector<nn::Token> history;  // tokens actually resident in the KV cache
+  std::uint64_t model_generation = 0;
+  std::atomic<std::uint64_t> last_used{0};
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(std::size_t max_sessions) : max_sessions_(max_sessions) {}
+
+  /// Returns the session for `id`, creating it (and LRU-evicting past
+  /// `max_sessions`) as needed. A session built on an older model
+  /// generation is replaced — its KV encodes the old weights' activations.
+  std::shared_ptr<Session> acquire(const std::string& id,
+                                   std::shared_ptr<const ServedWorld> world);
+
+  /// Evicts the least-recently-used session not currently serving a
+  /// request. Returns KV bytes freed (0 when nothing evictable) — the
+  /// ladder uses the return value to decide whether the rung helped.
+  std::size_t evict_lru();
+
+  /// Drops every session table entry (model swap). Sessions leased to
+  /// in-flight requests stay alive through their shared_ptr and release
+  /// their KV (and their pin on the old world) when the request finishes.
+  std::size_t clear();
+
+  std::size_t count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  std::atomic<std::uint64_t> clock_{0};
+  std::size_t max_sessions_;
+};
+
+struct GenerateOutcome {
+  std::vector<nn::Token> generated;
+  std::size_t reused_prefix_tokens = 0;
+  bool cancelled = false;          // deadline/drain fired mid-work
+  bool context_overflow = false;   // prompt (or prompt+history) cannot fit
+};
+
+/// Feeds `prompt` into `inference`, reusing whatever prefix of `history`
+/// it extends, then greedily samples up to `max_new_tokens` (temperature
+/// > 0 samples with the deterministic per-request `seed`). `history` is
+/// updated to the tokens resident in the KV cache on return — including
+/// the partial state after a cancellation, so a reused session stays
+/// coherent even when its last request blew its deadline.
+GenerateOutcome generate_tokens(nn::GptInference& inference, std::vector<nn::Token>& history,
+                                const std::vector<nn::Token>& prompt,
+                                std::size_t max_new_tokens, float temperature,
+                                std::uint64_t seed, const util::CancelToken* cancel);
+
+}  // namespace astromlab::serve

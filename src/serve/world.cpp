@@ -1,0 +1,60 @@
+#include "serve/world.hpp"
+
+#include <utility>
+
+#include "eval/prompts.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace astromlab::serve {
+
+std::uint64_t served_weight_seed(core::Scale scale, const core::WorldConfig& config) {
+  // Scale-dependent offset so S7/S8/S70 don't share weights; +17 keeps the
+  // stream clear of the world/tokenizer seeds derived from config.seed.
+  return config.seed + 17 * (static_cast<std::uint64_t>(scale) + 1);
+}
+
+std::shared_ptr<ServedWorld> build_served_world(core::Scale scale,
+                                                const core::WorldConfig& config,
+                                                std::uint64_t generation,
+                                                bool prefix_cache) {
+  util::Stopwatch timer;
+  core::World world = core::build_world(config);
+  nn::GptConfig arch = core::scale_spec(scale, config).arch;
+  // The BPE train may stop short of the configured vocab on tiny corpora;
+  // the embedding table must match what the tokenizer actually emits.
+  arch.vocab_size = world.tok.vocab_size();
+  nn::GptModel model(arch);
+  util::Rng rng(served_weight_seed(scale, config));
+  model.init_weights(rng);
+  auto served =
+      build_served_world(scale, std::move(world), std::move(model), generation, prefix_cache);
+  log::info() << "served world built: scale=" << core::scale_name(scale)
+              << " generation=" << generation << " benchmark="
+              << served->world.mcqs.benchmark.size() << "q in " << timer.seconds() << "s";
+  return served;
+}
+
+std::shared_ptr<ServedWorld> build_served_world(core::Scale scale, core::World world,
+                                                nn::GptModel model, std::uint64_t generation,
+                                                bool prefix_cache) {
+  auto served = std::make_shared<ServedWorld>(scale, std::move(world), std::move(model));
+  served->generation = generation;
+  // Mirror run_token_benchmark's setup exactly (fewshot picker, letter
+  // detection over the practice pool, two-prompt prefix cache) — the
+  // HTTP-vs-offline bit-identity depends on these being the same inputs.
+  const corpus::McqSplit& mcqs = served->world.mcqs;
+  served->fewshot = eval::pick_fewshot_examples(mcqs.practice);
+  served->letters = eval::detect_letter_tokens(served->model, served->world.tok,
+                                               mcqs.practice, served->fewshot);
+  if (prefix_cache && mcqs.benchmark.size() >= 2) {
+    served->mcq_cache = eval::PrefixCache::build(
+        served->model, served->world.tok,
+        {eval::build_token_prompt(mcqs.benchmark[0], served->fewshot),
+         eval::build_token_prompt(mcqs.benchmark[1], served->fewshot)});
+  }
+  return served;
+}
+
+}  // namespace astromlab::serve

@@ -1,0 +1,65 @@
+#pragma once
+// The model/corpus bundle one server generation serves.
+//
+// A ServedWorld is immutable once built: world (KB + benchmark +
+// tokenizer), model weights, the few-shot examples, the detected letter
+// tokens, and the shared MCQ prefix cache. Hot swap replaces the whole
+// bundle atomically behind a shared_ptr — in-flight requests (and live
+// sessions, which pin the bundle through Session::world) keep the old one
+// alive until they finish, so a swap never invalidates weights under a
+// running forward pass.
+//
+// Bit-identity contract: the MCQ path here is constructed with exactly the
+// inputs `eval::run_token_benchmark` derives internally (same fewshot
+// picker, same letter detection over the practice pool, same two-prompt
+// prefix cache), so an answer served over HTTP matches the offline
+// supervisor answer for the same question bit for bit — asserted in
+// tests/test_serve.cpp.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/model_zoo.hpp"
+#include "corpus/mcq.hpp"
+#include "eval/prefix_cache.hpp"
+#include "eval/token_method.hpp"
+#include "nn/gpt.hpp"
+
+namespace astromlab::serve {
+
+struct ServedWorld {
+  ServedWorld(core::Scale s, core::World w, nn::GptModel m)
+      : scale(s), world(std::move(w)), model(std::move(m)) {}
+
+  core::Scale scale;
+  core::World world;
+  nn::GptModel model;
+  std::vector<corpus::McqItem> fewshot;
+  eval::LetterTokens letters;
+  std::unique_ptr<eval::PrefixCache> mcq_cache;  // null when disabled/evicted
+  std::uint64_t generation = 1;
+};
+
+/// Deterministic weight seed for a scale under a world config — the same
+/// seed a test must use to reproduce served answers offline.
+std::uint64_t served_weight_seed(core::Scale scale, const core::WorldConfig& config);
+
+/// Builds a full bundle: world, randomly-initialised model at `scale`
+/// (weights seeded by `served_weight_seed` — this repo serves regime
+/// analogs, not trained checkpoints), fewshot + letter detection, and the
+/// shared MCQ prefix cache (skipped when `prefix_cache` is false).
+std::shared_ptr<ServedWorld> build_served_world(core::Scale scale,
+                                                const core::WorldConfig& config,
+                                                std::uint64_t generation,
+                                                bool prefix_cache = true);
+
+/// Same bundle, reusing an already-built world and model — lets a hot swap
+/// (and tests) skip the corpus/tokenizer rebuild when only the scale
+/// changes, and lets tests serve a hand-built tiny world.
+std::shared_ptr<ServedWorld> build_served_world(core::Scale scale, core::World world,
+                                                nn::GptModel model, std::uint64_t generation,
+                                                bool prefix_cache = true);
+
+}  // namespace astromlab::serve

@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "util/string_utils.hpp"
@@ -29,6 +30,7 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
 }
 
 std::optional<std::string> ArgParser::get(const std::string& key) const {
+  consumed_.insert(key);
   if (const auto it = values_.find(key); it != values_.end()) return it->second;
   std::string env_name = "ASTROMLAB_" + to_upper(replace_all(key, "-", "_"));
   if (const char* env = std::getenv(env_name.c_str())) return std::string(env);
@@ -62,6 +64,38 @@ bool ArgParser::get_bool(const std::string& key, bool fallback) const {
   if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
   if (v == "0" || v == "false" || v == "no" || v == "off") return false;
   return fallback;
+}
+
+std::vector<std::string> ArgParser::unconsumed_keys() const {
+  std::vector<std::string> unknown;
+  for (const auto& [key, value] : values_) {
+    if (consumed_.count(key) == 0) unknown.push_back(key);
+  }
+  return unknown;  // std::map iteration order is already sorted
+}
+
+void ArgParser::fail_on_unconsumed(std::initializer_list<std::string_view> known_keys) const {
+  std::vector<std::string> unknown;
+  for (const std::string& key : unconsumed_keys()) {
+    bool known = false;
+    for (const std::string_view pattern : known_keys) {
+      if (!pattern.empty() && pattern.back() == '*') {
+        known = starts_with(key, std::string(pattern.substr(0, pattern.size() - 1)));
+      } else {
+        known = key == pattern;
+      }
+      if (known) break;
+    }
+    if (!known) unknown.push_back(key);
+  }
+  if (unknown.empty()) return;
+  for (const std::string& key : unknown) {
+    std::fprintf(stderr, "error: unknown option --%s (not consumed by this binary)\n",
+                 key.c_str());
+  }
+  std::fprintf(stderr, "hint: check for typos; a misspelled flag silently falls back to "
+                       "its default otherwise\n");
+  std::exit(64);  // EX_USAGE
 }
 
 }  // namespace astromlab::util

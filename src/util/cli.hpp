@@ -11,7 +11,9 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace astromlab::util {
@@ -24,7 +26,9 @@ class ArgParser {
   explicit ArgParser(std::map<std::string, std::string> values)
       : values_(std::move(values)) {}
 
-  /// Raw lookup: CLI first, then ASTROMLAB_<KEY> env var.
+  /// Raw lookup: CLI first, then ASTROMLAB_<KEY> env var. Marks the key
+  /// consumed for `unconsumed_keys()` (lookup is the definition of "the
+  /// program knows this flag", whether or not a value was present).
   std::optional<std::string> get(const std::string& key) const;
 
   std::string get_string(const std::string& key, const std::string& fallback) const;
@@ -35,9 +39,23 @@ class ArgParser {
   /// Positional (non ``--``) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Command-line `--key`s that no get*() call ever looked up, sorted.
+  /// Environment fallbacks are never reported — only explicit CLI flags.
+  std::vector<std::string> unconsumed_keys() const;
+
+  /// Fail-loud typo guard: prints every unconsumed `--key` to stderr and
+  /// exits 64 (EX_USAGE) unless each matches an entry in `known_keys`
+  /// (exact match, or prefix match when the entry ends in '*' — e.g.
+  /// "benchmark_*" passes google-benchmark flags through). Call this after
+  /// the last get*() — typically right before the real work starts.
+  void fail_on_unconsumed(std::initializer_list<std::string_view> known_keys = {}) const;
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
+  // Parsing happens on one thread at startup; `mutable` keeps get() const
+  // for existing callers rather than making this class thread-safe.
+  mutable std::set<std::string> consumed_;
 };
 
 }  // namespace astromlab::util

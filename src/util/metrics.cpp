@@ -25,12 +25,9 @@ void Histogram::record(double value) {
   samples_.push_back(value);
 }
 
-HistogramSnapshot Histogram::snapshot() const {
-  std::vector<double> samples;
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    samples = samples_;
-  }
+namespace {
+
+HistogramSnapshot summarize(std::vector<double> samples) {
   HistogramSnapshot snap;
   snap.count = samples.size();
   if (samples.empty()) return snap;
@@ -42,6 +39,26 @@ HistogramSnapshot Histogram::snapshot() const {
   snap.p95 = percentile_sorted(samples, 0.95);
   snap.p99 = percentile_sorted(samples, 0.99);
   return snap;
+}
+
+}  // namespace
+
+HistogramSnapshot Histogram::snapshot() const {
+  std::vector<double> samples;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    samples = samples_;
+  }
+  return summarize(std::move(samples));
+}
+
+HistogramSnapshot Histogram::snapshot_and_reset() {
+  std::vector<double> samples;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    samples.swap(samples_);  // one lock: drain and reset are atomic together
+  }
+  return summarize(std::move(samples));
 }
 
 void Histogram::reset() {

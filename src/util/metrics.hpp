@@ -75,6 +75,12 @@ class Histogram {
  public:
   void record(double value);
   HistogramSnapshot snapshot() const;
+  /// Snapshot of the samples recorded since the previous snapshot_and_reset
+  /// (or process start), atomically draining them — concurrent record()s
+  /// land in exactly one interval. This is the delta API long-running
+  /// processes need: a server's periodic stats log reports per-interval
+  /// percentiles instead of lifetime ones that stop moving after an hour.
+  HistogramSnapshot snapshot_and_reset();
   void reset();
 
  private:

@@ -49,6 +49,28 @@ void sleep_ms(double ms) {
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
 }
 
+void sleep_ms(double ms, const CancelToken* cancel) {
+  if (cancel == nullptr) {
+    sleep_ms(ms);
+    return;
+  }
+  // Chunked sleep: the token has no wakeup channel to wait on, so poll it
+  // every few milliseconds. 2ms bounds the cancellation latency well below
+  // any realistic deadline while keeping the idle poll cost negligible
+  // against backoffs measured in tens to hundreds of milliseconds.
+  constexpr double kChunkMs = 2.0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double, std::milli>(std::max(ms, 0.0));
+  while (!cancel->cancelled()) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return;
+    const double remaining_ms =
+        std::chrono::duration<double, std::milli>(deadline - now).count();
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(std::min(remaining_ms, kChunkMs)));
+  }
+}
+
 }  // namespace detail
 
 }  // namespace astromlab::util

@@ -18,6 +18,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/cancel.hpp"
+
 namespace astromlab::util {
 
 /// A fault that may succeed if simply retried (I/O hiccup, injected
@@ -53,6 +55,11 @@ struct RetryPolicy {
 
 namespace detail {
 void sleep_ms(double ms);
+/// Cancellation-aware sleep: sleeps in small chunks, returning as soon as
+/// `cancel` fires (bounded-latency wakeup, no condition variable needed —
+/// CancelToken is a plain atomic with no notification channel). With a
+/// null token this is exactly `sleep_ms(ms)`.
+void sleep_ms(double ms, const CancelToken* cancel);
 }  // namespace detail
 
 /// Runs `fn` under `policy`: transient failures are retried (sleeping the
@@ -73,6 +80,33 @@ auto run_with_retry(const RetryPolicy& policy, std::uint64_t salt, Fn&& fn,
       if (!is_transient(error) || retries >= policy.max_retries) throw;
       ++retries;
       detail::sleep_ms(policy.backoff_ms(retries, salt));
+    }
+  }
+}
+
+/// Cancellation-aware variant for deadline-bound callers (the serving
+/// path): a request whose deadline fires while the retry loop is asleep in
+/// backoff must not sleep out the full delay — the backoff wakes promptly
+/// and the last transient error rethrows, letting the caller map the
+/// cancelled work to its own failure mode (504, degrade, ...). A cancel
+/// observed *before* the backoff also stops retrying: there is no point
+/// re-attempting work for a request nobody is waiting on. `cancel` may be
+/// null, which degrades to the plain overload.
+template <typename Fn>
+auto run_with_retry(const RetryPolicy& policy, std::uint64_t salt, const CancelToken* cancel,
+                    Fn&& fn, std::size_t* retries_out = nullptr) -> decltype(fn()) {
+  std::size_t retries = 0;
+  for (;;) {
+    try {
+      auto result = fn();
+      if (retries_out != nullptr) *retries_out = retries;
+      return result;
+    } catch (const std::exception& error) {
+      if (!is_transient(error) || retries >= policy.max_retries) throw;
+      if (cancel != nullptr && cancel->cancelled()) throw;
+      ++retries;
+      detail::sleep_ms(policy.backoff_ms(retries, salt), cancel);
+      if (cancel != nullptr && cancel->cancelled()) throw;
     }
   }
 }

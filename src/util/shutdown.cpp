@@ -1,0 +1,88 @@
+#include "util/shutdown.hpp"
+
+#include <csignal>
+#include <unistd.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "util/logging.hpp"
+
+namespace astromlab::util::shutdown {
+
+namespace {
+
+std::atomic<bool> g_requested{false};
+std::atomic<int> g_signal{0};
+int g_wake_pipe[2] = {-1, -1};
+
+std::mutex g_callback_mutex;
+std::function<void()>* g_callback = nullptr;  // leaked: watcher outlives main
+std::atomic<bool> g_exit_after{true};
+std::once_flag g_install_once;
+
+extern "C" void on_signal_raw(int signo) {
+  // Second signal: the flush/drain is stuck — bail out immediately.
+  // _exit and write are async-signal-safe; nothing else here is allowed.
+  if (g_requested.exchange(true)) _exit(128 + signo);
+  g_signal.store(signo);
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_wake_pipe[1], &byte, 1);
+}
+
+void watcher_loop() {
+  char byte = 0;
+  while (::read(g_wake_pipe[0], &byte, 1) < 0) {
+    // EINTR only; the pipe write end is never closed.
+  }
+  const int signo = g_signal.load();
+  log::warn() << "signal " << signo << " received; running shutdown hook";
+  {
+    std::lock_guard<std::mutex> lock(g_callback_mutex);
+    if (g_callback != nullptr && *g_callback) {
+      try {
+        (*g_callback)();
+      } catch (...) {
+        // A throwing flush must not turn a clean interrupt into std::terminate.
+      }
+    }
+  }
+  if (g_exit_after.load()) _exit(128 + signo);
+}
+
+void install_once() {
+  if (::pipe(g_wake_pipe) != 0) {
+    log::warn() << "shutdown: self-pipe unavailable; signals will not flush";
+    return;
+  }
+  std::thread(watcher_loop).detach();
+  struct sigaction action {};
+  action.sa_handler = on_signal_raw;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+}  // namespace
+
+bool requested() { return g_requested.load(std::memory_order_acquire); }
+
+int signal_number() { return g_signal.load(std::memory_order_acquire); }
+
+void install(std::function<void()> on_signal, bool exit_after_callback) {
+  {
+    std::lock_guard<std::mutex> lock(g_callback_mutex);
+    if (g_callback == nullptr) g_callback = new std::function<void()>();
+    *g_callback = std::move(on_signal);
+  }
+  g_exit_after.store(exit_after_callback);
+  std::call_once(g_install_once, install_once);
+}
+
+void request(int signo) {
+  if (g_wake_pipe[1] < 0) return;  // install() not called
+  on_signal_raw(signo);
+}
+
+}  // namespace astromlab::util::shutdown

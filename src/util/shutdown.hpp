@@ -1,0 +1,48 @@
+#pragma once
+// Cooperative SIGINT/SIGTERM handling shared by the server and the bench
+// binaries.
+//
+// A signal handler may only touch async-signal-safe state, but the work an
+// interrupted process actually needs — flushing the trace JSON, draining
+// in-flight HTTP requests — is ordinary code. `install()` therefore splits
+// the job: the real handler just latches an atomic flag and pokes a
+// self-pipe; a lazily-started watcher thread wakes on the pipe and runs
+// the registered callback from a normal thread context, where it may take
+// locks and do file I/O freely.
+//
+// Two behaviours hang off the same primitive:
+//  * bench binaries: `install(flush, /*exit_after=*/true)` — first signal
+//    flushes (journal lines are already durable per append; the trace JSON
+//    is the torn tail worth saving) and exits with the conventional
+//    128+signo, so an interrupted run is visibly interrupted but loses
+//    nothing;
+//  * the server: `install(begin_drain, /*exit_after=*/false)` — the first
+//    signal starts the graceful drain and the process exits 0 from main()
+//    once in-flight work has finished.
+// A second signal always `_exit(128+signo)`s immediately from the handler
+// itself — the escape hatch from a stuck flush or a wedged drain.
+
+#include <functional>
+
+namespace astromlab::util::shutdown {
+
+/// True once SIGINT or SIGTERM has been received (after install()).
+bool requested();
+
+/// The signal that fired first (0 when none yet).
+int signal_number();
+
+/// Installs the SIGINT/SIGTERM handlers and starts the watcher thread
+/// (idempotent; later calls just replace the callback). On the first
+/// signal the watcher runs `on_signal` (may be empty) and then, when
+/// `exit_after_callback`, calls `_exit(128 + signo)`. With
+/// `exit_after_callback == false` the process keeps running — long-running
+/// servers poll `requested()` (or get woken by their callback) and exit
+/// main() normally.
+void install(std::function<void()> on_signal = {}, bool exit_after_callback = true);
+
+/// Programmatic trigger with identical semantics to receiving `signo`
+/// (tests; also lets a parent-managed child share the signal path).
+void request(int signo);
+
+}  // namespace astromlab::util::shutdown

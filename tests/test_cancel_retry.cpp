@@ -161,5 +161,91 @@ TEST(RunWithRetry, ZeroRetriesMeansSingleAttempt) {
   EXPECT_EQ(calls, 1);
 }
 
+TEST(RunWithRetry, CancelAwareOverloadSucceedsWhenNothingCancels) {
+  CancelToken cancel;
+  int calls = 0;
+  std::size_t retries = 0;
+  const int value = run_with_retry(
+      fast_policy(3), /*salt=*/5, &cancel,
+      [&] {
+        if (++calls < 2) throw TransientError("flaky");
+        return 23;
+      },
+      &retries);
+  EXPECT_EQ(value, 23);
+  EXPECT_EQ(retries, 1u);
+}
+
+TEST(RunWithRetry, BackoffObservesCancellationPromptly) {
+  // Regression: a retry sleeping in a long backoff must notice an external
+  // cancel within the poll interval, not after the full backoff elapses —
+  // a server drain would otherwise stall behind every in-flight retry.
+  RetryPolicy policy;
+  policy.max_retries = 3;
+  policy.backoff_initial_ms = 2000.0;  // would block ~2s if cancel is ignored
+  policy.jitter_fraction = 0.0;
+  CancelToken cancel;
+  int calls = 0;
+  std::thread canceller([&cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    cancel.cancel();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(run_with_retry(policy, 0, &cancel,
+                              [&]() -> int {
+                                ++calls;
+                                throw TransientError("always flaky");
+                              }),
+               TransientError);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  canceller.join();
+  EXPECT_EQ(calls, 1);       // the cancel also suppressed further attempts
+  EXPECT_LT(elapsed, 1.0);   // bounded: well under the 2s backoff
+}
+
+TEST(RunWithRetry, CancelledBeforeFirstRetrySkipsBackoffEntirely) {
+  RetryPolicy policy;
+  policy.max_retries = 3;
+  policy.backoff_initial_ms = 2000.0;
+  policy.jitter_fraction = 0.0;
+  CancelToken cancel;
+  cancel.cancel();
+  int calls = 0;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(run_with_retry(policy, 0, &cancel,
+                              [&]() -> int {
+                                ++calls;
+                                throw TransientError("flaky");
+                              }),
+               TransientError);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_EQ(calls, 1);
+  EXPECT_LT(elapsed, 0.5);
+}
+
+TEST(SleepMs, CancelAwareSleepReturnsEarly) {
+  CancelToken cancel;
+  std::thread canceller([&cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    cancel.cancel();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  detail::sleep_ms(2000.0, &cancel);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  canceller.join();
+  EXPECT_LT(elapsed, 1.0);
+}
+
+TEST(SleepMs, NullCancelSleepsTheFullDuration) {
+  const auto start = std::chrono::steady_clock::now();
+  detail::sleep_ms(15.0, nullptr);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_GE(elapsed, 0.014);
+}
+
 }  // namespace
 }  // namespace astromlab::util

@@ -72,5 +72,39 @@ TEST(ArgParser, CliBeatsEnvironment) {
   ::unsetenv("ASTROMLAB_PRIORITY");
 }
 
+TEST(ArgParser, UnconsumedKeysTracksWhatWasNeverRead) {
+  const auto parser = make_parser({"--alpha=1", "--beta=2", "--gamma=3"});
+  EXPECT_EQ(parser.get_int("alpha", 0), 1);
+  EXPECT_EQ(parser.get_int("gamma", 0), 3);
+  const std::vector<std::string> leftover = parser.unconsumed_keys();
+  ASSERT_EQ(leftover.size(), 1u);
+  EXPECT_EQ(leftover[0], "beta");
+}
+
+TEST(ArgParser, ReadingAFlagAfterTheFactStillCountsAsConsumed) {
+  const auto parser = make_parser({"--alpha=1"});
+  EXPECT_FALSE(parser.unconsumed_keys().empty());
+  parser.get_int("alpha", 0);
+  EXPECT_TRUE(parser.unconsumed_keys().empty());
+}
+
+TEST(ArgParser, FailOnUnconsumedPassesWhenEverythingIsRead) {
+  const auto parser = make_parser({"--alpha=1"});
+  parser.get_int("alpha", 0);
+  parser.fail_on_unconsumed();  // must not exit
+}
+
+TEST(ArgParser, FailOnUnconsumedHonoursKnownKeysAndWildcards) {
+  const auto parser =
+      make_parser({"--smoke", "--benchmark_filter=GEMM", "--benchmark_repetitions=3"});
+  parser.fail_on_unconsumed({"smoke", "benchmark_*"});  // must not exit
+}
+
+TEST(ArgParserDeathTest, FailOnUnconsumedExitsLoudlyOnTypos) {
+  const auto parser = make_parser({"--retyr-max=3"});
+  EXPECT_EXIT(parser.fail_on_unconsumed(), ::testing::ExitedWithCode(64),
+              "unknown option --retyr-max");
+}
+
 }  // namespace
 }  // namespace astromlab::util

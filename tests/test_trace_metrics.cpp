@@ -79,6 +79,23 @@ TEST(Metrics, HistogramSnapshotReportsPercentiles) {
   EXPECT_EQ(histogram.snapshot().count, 0u);
 }
 
+TEST(Metrics, SnapshotAndResetDrainsAtomically) {
+  metrics::Histogram histogram;
+  for (int i = 1; i <= 10; ++i) histogram.record(static_cast<double>(i));
+  const metrics::HistogramSnapshot drained = histogram.snapshot_and_reset();
+  EXPECT_EQ(drained.count, 10u);
+  EXPECT_DOUBLE_EQ(drained.sum, 55.0);
+  EXPECT_DOUBLE_EQ(drained.min, 1.0);
+  EXPECT_DOUBLE_EQ(drained.max, 10.0);
+  // The drain leaves the histogram empty: the next interval starts fresh.
+  EXPECT_EQ(histogram.snapshot().count, 0u);
+  histogram.record(42.0);
+  const metrics::HistogramSnapshot next = histogram.snapshot_and_reset();
+  EXPECT_EQ(next.count, 1u);
+  EXPECT_DOUBLE_EQ(next.p50, 42.0);
+  EXPECT_EQ(histogram.snapshot_and_reset().count, 0u);  // empty drain is fine
+}
+
 TEST(Metrics, RegistryReturnsStableReferences) {
   metrics::Counter& a = metrics::registry().counter("test.registry_stable");
   metrics::Counter& b = metrics::registry().counter("test.registry_stable");
