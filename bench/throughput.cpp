@@ -38,6 +38,7 @@
 #include <filesystem>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "corpus/corpora.hpp"
@@ -46,6 +47,7 @@
 #include "eval/prefix_cache.hpp"
 #include "eval/token_method.hpp"
 #include "json/json.hpp"
+#include "nn/decode_engine.hpp"
 #include "nn/gpt.hpp"
 #include "nn/trainer.hpp"
 #include "tensor/ops.hpp"
@@ -509,6 +511,199 @@ json::Value smoke_trace(const EvalWorld& world, double cold_seconds_per_question
   return report;
 }
 
+/// Decode-bound model for the batched-throughput gate. Batching pays off in
+/// the regime production decode actually lives in: the weights do not fit
+/// in per-core cache, so a serial decode step is bound by streaming the
+/// whole weight set (here ~218 MB) through the memory hierarchy for every
+/// single token. A batched step streams the weights once for B tokens. The
+/// E8 smoke model (~1.5 MB) is L2-resident and compute-bound — there is no
+/// weight traffic to amortise, so it cannot measure what continuous
+/// batching buys. This model is deliberately sized past L2 to reproduce
+/// the bandwidth-bound regime of a 70B-class deployment at smoke scale.
+nn::GptModel batch_bench_model() {
+  nn::GptConfig config;
+  config.vocab_size = 4096;
+  config.ctx_len = 96;
+  config.d_model = 1024;
+  config.n_heads = 16;
+  config.n_layers = 4;
+  config.d_ff = 4096;
+  nn::GptModel model(config);
+  util::Rng rng(7);
+  model.init_weights(rng);
+  return model;
+}
+
+/// Batched-decode gate: greedy decode throughput of `nn::BatchedInference`
+/// at B = 1/2/4 concurrent sequences on the decode-bound batch model (see
+/// `batch_bench_model()`), with ragged prompt lengths so slots genuinely
+/// sit at different positions. Every slot's final logits are compared
+/// bitwise against a serial `nn::GptInference` oracle fed the identical
+/// token sequence — the batched path must never trade correctness for
+/// throughput. A second scenario drives the continuous-batching
+/// `nn::DecodeEngine` (on the small E8 model, where wall-clock is cheap)
+/// with more requests than slots, reporting the batch-occupancy
+/// distribution the admission loop achieved. Gate: tokens/s at B=4 must be
+/// >= 1.5x B=1.
+json::Value smoke_batch() {
+  nn::GptModel model = batch_bench_model();
+  const std::size_t vocab = model.config().vocab_size;
+  constexpr std::size_t kPrompt = 8, kDecodeSteps = 16, kReps = 2;
+  constexpr std::size_t kMaxBatch = 4;
+  const std::size_t kBatches[] = {1, 2, 4};
+
+  // Ragged prompts: slot s gets kPrompt + 4*s tokens.
+  util::Rng rng(505);
+  std::vector<std::vector<nn::Token>> prompts(kMaxBatch);
+  for (std::size_t s = 0; s < kMaxBatch; ++s) {
+    prompts[s].resize(kPrompt + 4 * s);
+    for (auto& t : prompts[s]) t = static_cast<nn::Token>(rng.next_below(vocab));
+  }
+  const auto argmax_token = [](const std::vector<float>& logits) {
+    return static_cast<nn::Token>(
+        std::max_element(logits.begin(), logits.end()) - logits.begin());
+  };
+
+  // Serial oracle: per slot, feed the prompt then greedy-decode the same
+  // number of steps; the batched path must reproduce these bits exactly.
+  std::vector<std::vector<float>> oracle_logits(kMaxBatch);
+  std::vector<std::vector<nn::Token>> oracle_tokens(kMaxBatch);
+  for (std::size_t s = 0; s < kMaxBatch; ++s) {
+    nn::GptInference inference(model);
+    const std::vector<float>* logits = &inference.prompt(prompts[s]);
+    for (std::size_t step = 0; step < kDecodeSteps; ++step) {
+      const nn::Token next = argmax_token(*logits);
+      oracle_tokens[s].push_back(next);
+      logits = &inference.step(next);
+    }
+    oracle_logits[s] = *logits;
+  }
+
+  json::Value batch_reports = json::Value::array();
+  bool bit_identical = true;
+  double tps_b1 = 0.0, tps_b4 = 0.0;
+  for (const std::size_t b : kBatches) {
+    double best_seconds = 1e30;
+    bool b_identical = true;
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
+      nn::BatchedInference bi(model, b);
+      // Ragged batched prefill (untimed): feed slot s while its prompt
+      // still has tokens at position t.
+      std::vector<std::size_t> slots;
+      std::vector<nn::Token> feed;
+      std::size_t longest = 0;
+      for (std::size_t s = 0; s < b; ++s) longest = std::max(longest, prompts[s].size());
+      for (std::size_t t = 0; t < longest; ++t) {
+        slots.clear();
+        feed.clear();
+        for (std::size_t s = 0; s < b; ++s) {
+          if (t < prompts[s].size()) {
+            slots.push_back(s);
+            feed.push_back(prompts[s][t]);
+          }
+        }
+        bi.step(slots.data(), feed.data(), slots.size());
+      }
+      // Timed greedy decode: one shared step advances every slot.
+      slots.resize(b);
+      feed.resize(b);
+      for (std::size_t s = 0; s < b; ++s) slots[s] = s;
+      util::Stopwatch watch;
+      for (std::size_t step = 0; step < kDecodeSteps; ++step) {
+        for (std::size_t s = 0; s < b; ++s) feed[s] = argmax_token(bi.logits(s));
+        bi.step(slots.data(), feed.data(), b);
+      }
+      best_seconds = std::min(best_seconds, watch.seconds());
+      for (std::size_t s = 0; s < b; ++s) {
+        const std::vector<float>& logits = bi.logits(s);
+        if (logits.size() != oracle_logits[s].size() ||
+            std::memcmp(logits.data(), oracle_logits[s].data(),
+                        logits.size() * sizeof(float)) != 0 ||
+            !std::equal(oracle_tokens[s].begin(), oracle_tokens[s].end(),
+                        bi.history(s).end() - static_cast<std::ptrdiff_t>(kDecodeSteps))) {
+          b_identical = false;
+        }
+      }
+    }
+    bit_identical = bit_identical && b_identical;
+    const double tps = static_cast<double>(b * kDecodeSteps) / best_seconds;
+    if (b == 1) tps_b1 = tps;
+    if (b == 4) tps_b4 = tps;
+    json::Value r = json::Value::object();
+    r.set("batch", static_cast<std::int64_t>(b));
+    r.set("decode_steps", static_cast<std::int64_t>(kDecodeSteps));
+    r.set("seconds", best_seconds);
+    r.set("tokens_per_s", tps);
+    r.set("bit_identical", b_identical);
+    batch_reports.push_back(std::move(r));
+  }
+
+  // Continuous-batching engine scenario: 2x more requests than slots, all
+  // submitted concurrently, so admissions happen mid-flight of other
+  // sequences and the occupancy histogram shows how full the steps ran.
+  auto& reg = util::metrics::registry();
+  (void)reg.histogram("decode.batch_occupancy").snapshot_and_reset();
+  const std::uint64_t steps_before = reg.counter("decode.steps").value();
+  const std::uint64_t tokens_before = reg.counter("decode.tokens").value();
+  constexpr std::size_t kEngineSlots = 4, kEngineRequests = 8, kEngineDecode = 8;
+  nn::GptModel engine_model = bench_model();
+  std::vector<std::vector<nn::Token>> engine_prompts(kEngineRequests);
+  for (std::size_t r = 0; r < kEngineRequests; ++r) {
+    engine_prompts[r].resize(12 + 4 * r);
+    for (auto& t : engine_prompts[r]) {
+      t = static_cast<nn::Token>(rng.next_below(engine_model.config().vocab_size));
+    }
+  }
+  {
+    nn::DecodeEngine engine(engine_model, kEngineSlots);
+    std::vector<std::thread> submitters;
+    submitters.reserve(kEngineRequests);
+    for (std::size_t r = 0; r < kEngineRequests; ++r) {
+      submitters.emplace_back([&engine, &engine_prompts, &argmax_token, r] {
+        nn::DecodeEngine::Request req;
+        req.prompt = engine_prompts[r % engine_prompts.size()];
+        std::size_t produced = 0;
+        req.on_logits = [&produced, &argmax_token](const std::vector<float>& logits,
+                                                   std::size_t) -> nn::Token {
+          if (++produced > kEngineDecode) return nn::DecodeEngine::kStopDecoding;
+          return argmax_token(logits);
+        };
+        engine.run(std::move(req));
+      });
+    }
+    for (auto& thread : submitters) thread.join();
+  }
+  const auto occupancy = reg.histogram("decode.batch_occupancy").snapshot_and_reset();
+  const std::uint64_t engine_steps = reg.counter("decode.steps").value() - steps_before;
+  const std::uint64_t engine_tokens = reg.counter("decode.tokens").value() - tokens_before;
+  json::Value engine_report = json::Value::object();
+  engine_report.set("slots", static_cast<std::int64_t>(kEngineSlots));
+  engine_report.set("requests", static_cast<std::int64_t>(kEngineRequests));
+  engine_report.set("steps", static_cast<std::int64_t>(engine_steps));
+  engine_report.set("tokens", static_cast<std::int64_t>(engine_tokens));
+  engine_report.set("occupancy_mean",
+                    engine_steps > 0 ? static_cast<double>(engine_tokens) /
+                                           static_cast<double>(engine_steps)
+                                     : 0.0);
+  engine_report.set("occupancy_p50", occupancy.p50);
+  engine_report.set("occupancy_p95", occupancy.p95);
+
+  json::Value report = json::Value::object();
+  report.set("benchmark", "batch_decode");
+  report.set("kernel", tensor::kernel_name());
+  report.set("model", model_json(model.config()));
+  report.set("prompt_tokens", static_cast<std::int64_t>(kPrompt));
+  report.set("decode_steps", static_cast<std::int64_t>(kDecodeSteps));
+  report.set("batches", std::move(batch_reports));
+  report.set("tokens_per_s_b1", tps_b1);
+  report.set("tokens_per_s_b4", tps_b4);
+  report.set("speedup_b4", tps_b1 > 0.0 ? tps_b4 / tps_b1 : 0.0);
+  report.set("speedup_gate", 1.5);
+  report.set("bit_identical", bit_identical);
+  report.set("engine", std::move(engine_report));
+  return report;
+}
+
 /// Kernel-level GEMM gate: times the dispatched `tensor::sgemm` against the
 /// scalar reference loops (`tensor::sgemm_reference`) on the linear-layer
 /// shapes of the E8 bench model — qkv projection, MLP fc, lm-head prefill,
@@ -713,10 +908,43 @@ bool emit_and_check_trace(const json::Value& report, const std::filesystem::path
   return true;
 }
 
+/// Gate for BENCH_batch.json: must re-parse, the batched logits must be
+/// bitwise identical to the serial oracle at every batch size, and batched
+/// decode must actually pay off — tokens/s at B=4 >= 1.5x B=1.
+bool emit_and_check_batch(const json::Value& report, const std::filesystem::path& path) {
+  if (!write_report(path, report.dump(2) + "\n")) return false;
+  json::Value parsed;
+  try {
+    parsed = json::parse(util::read_text_file(path));
+  } catch (const std::exception& e) {
+    std::cerr << "FAIL " << path.string() << ": emitted JSON does not re-parse: " << e.what()
+              << '\n';
+    return false;
+  }
+  const double speedup = parsed.get_number("speedup_b4", 0.0);
+  const double gate = parsed.get_number("speedup_gate", 1.5);
+  std::cout << path.filename().string() << ": B=1 " << parsed.get_number("tokens_per_s_b1", 0.0)
+            << " tok/s, B=4 " << parsed.get_number("tokens_per_s_b4", 0.0) << " tok/s ("
+            << speedup << "x, gate " << gate << "x), bit_identical="
+            << (parsed.get_bool("bit_identical", false) ? "true" : "false") << '\n';
+  if (!parsed.get_bool("bit_identical", false)) {
+    std::cerr << "FAIL " << path.string()
+              << ": batched decode diverged bitwise from the serial oracle\n";
+    return false;
+  }
+  if (speedup < gate) {
+    std::cerr << "FAIL " << path.string() << ": batched decode speedup " << speedup
+              << "x at B=4 below the " << gate << "x gate\n";
+    return false;
+  }
+  return true;
+}
+
 int run_smoke(const std::filesystem::path& out_dir) {
   std::filesystem::create_directories(out_dir);
   bool ok = emit_and_check_gemm(smoke_gemm(), out_dir / "BENCH_gemm.json");
   ok = emit_and_check(smoke_prefill(), out_dir / "BENCH_prefill.json", "bit_identical") && ok;
+  ok = emit_and_check_batch(smoke_batch(), out_dir / "BENCH_batch.json") && ok;
   const EvalWorld world = make_eval_world();
   double cold_seconds_per_question = 0.0;
   std::vector<eval::QuestionResult> cold_results;

@@ -1,5 +1,6 @@
 #include "eval/full_instruct.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 
@@ -41,12 +42,23 @@ FullInstructOutcome full_instruct_one(const nn::GptModel& model,
                                  const std::vector<nn::Token>& prompt) {
       return cache->fork(inference, prompt);
     };
+    sample.prefix_fork_batched = [cache](nn::BatchedInference& batch, std::size_t slot,
+                                         const std::vector<nn::Token>& prompt) {
+      return cache->fork(batch, slot, prompt);
+    };
   }
 
   util::Rng rng(config.seed);
-  std::optional<nn::Sampler> local;
-  nn::Sampler& active = sampler != nullptr ? *sampler : local.emplace(model);
-  const nn::SampleResult generated = active.generate(prompt_tokens, sample, rng);
+  nn::SampleResult generated;
+  if (config.engine != nullptr) {
+    // Batched path: the generation shares decode steps with whatever else
+    // the engine has in flight. Same sampling loop, same logits bits.
+    generated = nn::generate_with_engine(*config.engine, prompt_tokens, sample, rng);
+  } else {
+    std::optional<nn::Sampler> local;
+    nn::Sampler& active = sampler != nullptr ? *sampler : local.emplace(model);
+    generated = active.generate(prompt_tokens, sample, rng);
+  }
 
   std::vector<tokenizer::TokenId> out_ids(generated.tokens.begin(), generated.tokens.end());
   outcome.raw_output = tok.decode(out_ids);
@@ -100,6 +112,15 @@ std::vector<QuestionResult> run_full_instruct_benchmark(
   effective.question_deadline_seconds =
       merge_deadlines(opts.question_deadline_seconds, config.max_seconds_per_question);
 
+  // Continuous-batching decode: one shared engine; concurrent questions'
+  // generations coalesce into batched steps. Workers are raised to at
+  // least the slot count so the batch can actually fill.
+  std::unique_ptr<nn::DecodeEngine> engine;
+  if (effective.decode_batch > 1) {
+    effective.workers = std::max(effective.workers, effective.decode_batch);
+    engine = std::make_unique<nn::DecodeEngine>(model, effective.decode_batch);
+  }
+
   // Shared system/instruct preamble: encode once, fork per question. Built
   // from the first two question prompts (token-level common prefix).
   std::unique_ptr<PrefixCache> cache;
@@ -118,10 +139,12 @@ std::vector<QuestionResult> run_full_instruct_benchmark(
   effective.evict_cache = [&cache]() -> std::size_t {
     return cache != nullptr ? cache->evict() : 0;
   };
-  effective.release_slot_memory = [&samplers](std::size_t slot) -> std::size_t {
-    return slot < samplers.size() && samplers[slot] != nullptr
-               ? samplers[slot]->release_kv()
-               : 0;
+  effective.release_slot_memory = [&samplers, &engine](std::size_t slot) -> std::size_t {
+    std::size_t freed = slot < samplers.size() && samplers[slot] != nullptr
+                            ? samplers[slot]->release_kv()
+                            : 0;
+    if (engine != nullptr) freed += engine->release_idle_kv();
+    return freed;
   };
 
   Supervisor supervisor(effective);
@@ -131,6 +154,7 @@ std::vector<QuestionResult> run_full_instruct_benchmark(
         FullInstructConfig per_question = config;
         per_question.cancel = &cancel;
         if (cache != nullptr) per_question.prefix_cache = cache.get();
+        per_question.engine = engine.get();
         return full_instruct_one(model, tok, benchmark[q], per_question, samplers[slot].get())
             .result;
       },

@@ -14,6 +14,7 @@
 #include "eval/prefix_cache.hpp"
 #include "eval/scorer.hpp"
 #include "eval/supervisor.hpp"
+#include "nn/decode_engine.hpp"
 #include "nn/gpt.hpp"
 #include "nn/sampler.hpp"
 #include "tokenizer/bpe.hpp"
@@ -35,6 +36,11 @@ struct FullInstructConfig {
   /// Shared-prefix KV snapshot cache (the system/instruct preamble shared
   /// by every question). Optional; results are bit-identical either way.
   const PrefixCache* prefix_cache = nullptr;
+  /// Continuous-batching decode engine: when set, the generation runs in
+  /// one of its slots (sharing batched steps with concurrent questions)
+  /// instead of a private `nn::Sampler`. Outputs are bit-identical to the
+  /// serial path for every batch composition.
+  nn::DecodeEngine* engine = nullptr;
 };
 
 struct FullInstructOutcome {

@@ -100,6 +100,25 @@ std::size_t PrefixCache::fork(nn::GptInference& inference,
   return common;
 }
 
+std::size_t PrefixCache::fork(nn::BatchedInference& batch, std::size_t slot,
+                              const std::vector<nn::Token>& prompt_tokens) const {
+  const util::trace::Span span("prefix_cache.fork", "cache");
+  std::shared_lock<std::shared_mutex> lock(evict_mutex_);
+  if (evicted_) {
+    batch.reset_slot(slot);
+    note_prompt(prompt_tokens.size(), 0);
+    return 0;
+  }
+  // Same reuse computation as the serial overload, so a question forked
+  // into a batch slot feeds exactly the tokens it would have fed serially.
+  std::size_t common = nn::common_token_prefix(snapshot_.tokens(), prompt_tokens);
+  if (!prompt_tokens.empty()) common = std::min(common, prompt_tokens.size() - 1);
+  batch.reset_slot(slot);
+  if (common > 0) batch.fork_slot(slot, snapshot_, common);
+  note_prompt(prompt_tokens.size(), common);
+  return common;
+}
+
 std::size_t PrefixCache::evict() {
   std::unique_lock<std::shared_mutex> lock(evict_mutex_);
   if (evicted_) return 0;

@@ -75,6 +75,12 @@ class PrefixCache {
   std::size_t fork(nn::GptInference& inference,
                    const std::vector<nn::Token>& prompt_tokens) const;
 
+  /// Same contract, forking into one slot of a `BatchedInference` (the
+  /// decode engine's admission path). Reuse accounting and the returned
+  /// feed offset are identical to the serial overload.
+  std::size_t fork(nn::BatchedInference& batch, std::size_t slot,
+                   const std::vector<nn::Token>& prompt_tokens) const;
+
   /// Degradation-ladder rung 1: frees the encoder's K/V buffers, giving
   /// the bytes back to the memory budget. Subsequent forks run uncached
   /// (identical results, full prefill); outstanding `snapshot()` handles

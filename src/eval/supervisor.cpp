@@ -363,6 +363,7 @@ EvalRunOptions eval_run_options_from_args(const util::ArgParser& args) {
   options.question_deadline_seconds = args.get_double("question-deadline", 0.0);
   options.straggler_factor = args.get_double("straggler-factor", 0.0);
   options.prefix_cache = args.get_bool("prefix-cache", false);
+  options.decode_batch = static_cast<std::size_t>(args.get_int("decode-batch", 0));
   return options;
 }
 

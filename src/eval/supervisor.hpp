@@ -54,6 +54,14 @@ struct EvalRunOptions {
   /// encode the common prefix once and fork it per question). Scores and
   /// journal bytes are bit-identical either way; only prefill work changes.
   bool prefix_cache = false;
+  /// Continuous-batching decode: >= 2 routes every question's forward
+  /// passes through a shared `nn::DecodeEngine` with this many slots, so
+  /// concurrent questions coalesce into one batched step per token instead
+  /// of solo gemv decodes (the runners raise `workers` to at least this
+  /// value so the batch can fill). 0 or 1 keeps the serial per-worker
+  /// inference path. Scores, logits, and journal bytes are bit-identical
+  /// either way — per-question results never depend on batch composition.
+  std::size_t decode_batch = 0;
 
   /// Degradation-ladder hooks, supplied by the runners. On budget
   /// pressure or std::bad_alloc at the question boundary the supervisor
@@ -136,6 +144,7 @@ namespace astromlab::eval {
 ///   --question-deadline=<s>   per-question deadline in seconds (default 0 = off)
 ///   --straggler-factor=<f>    cancel at f x median latency (default 0 = off)
 ///   --prefix-cache={on,off}   shared-prefix KV snapshot reuse (default off)
+///   --decode-batch=<n>        continuous-batching decode slots (default 0 = serial)
 EvalRunOptions eval_run_options_from_args(const util::ArgParser& args);
 
 }  // namespace astromlab::eval

@@ -125,11 +125,30 @@ LetterTokens detect_letter_tokens(const nn::GptModel& model,
   return letters;
 }
 
+namespace {
+
+/// Strict-greater argmax over the four answer-letter logits (first wins on
+/// ties) — the one scoring rule, shared by the serial and batched paths.
+int argmax_letter(const std::vector<float>& logits, const LetterTokens& letters) {
+  int best = 0;
+  float best_logit = logits[static_cast<std::size_t>(letters.ids[0])];
+  for (int i = 1; i < 4; ++i) {
+    const float logit = logits[static_cast<std::size_t>(letters.ids[static_cast<std::size_t>(i)])];
+    if (logit > best_logit) {
+      best_logit = logit;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
 int token_predict(const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
                   const LetterTokens& letters, const corpus::McqItem& item,
                   const std::vector<corpus::McqItem>& fewshot,
                   const util::CancelToken* cancel, const PrefixCache* prefix_cache,
-                  nn::GptInference* scratch) {
+                  nn::GptInference* scratch, nn::DecodeEngine* engine) {
   const util::trace::Span span("eval.token_predict", "eval");
   const std::string prompt = build_token_prompt(item, fewshot);
   std::vector<nn::Token> tokens = to_model_tokens(tok.encode(prompt));
@@ -156,6 +175,30 @@ int token_predict(const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
     util::metrics::registry().counter("eval.prompt_overflow").add();
     return -1;  // prompt does not fit the context window
   }
+  if (engine != nullptr) {
+    // Batched path: the prompt feeds through a shared engine slot, one
+    // token per engine step. The cancel token is polled before each feed
+    // (the serial prompt-loop placement) and again before scoring, and
+    // the argmax runs over logits that BatchedInference guarantees are
+    // bitwise equal to the serial feed's — so the answer cannot depend on
+    // what else happens to be decoding alongside.
+    int answer = -1;
+    nn::DecodeEngine::Request req;
+    req.prompt = std::move(tokens);
+    req.cancel = cancel;
+    if (prefix_cache != nullptr) {
+      req.prepare = [prefix_cache](nn::BatchedInference& bi, std::size_t slot,
+                                   const std::vector<nn::Token>& prompt) {
+        return prefix_cache->fork(bi, slot, prompt);
+      };
+    }
+    req.on_logits = [&](const std::vector<float>& logits, std::size_t) -> nn::Token {
+      if (cancel == nullptr || !cancel->cancelled()) answer = argmax_letter(logits, letters);
+      return nn::DecodeEngine::kStopDecoding;
+    };
+    engine->run(std::move(req));
+    return answer;  // stays -1 when cancel fired mid-feed or pre-scoring
+  }
   std::optional<nn::GptInference> local;
   nn::GptInference& inference = scratch != nullptr ? *scratch : local.emplace(model);
   std::size_t fed_from = 0;
@@ -172,16 +215,7 @@ int token_predict(const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
   if (cancel != nullptr && cancel->cancelled()) {
     return -1;  // fired mid-feed: logits are stale, degrade to unanswered
   }
-  int best = 0;
-  float best_logit = logits[static_cast<std::size_t>(letters.ids[0])];
-  for (int i = 1; i < 4; ++i) {
-    const float logit = logits[static_cast<std::size_t>(letters.ids[static_cast<std::size_t>(i)])];
-    if (logit > best_logit) {
-      best_logit = logit;
-      best = i;
-    }
-  }
-  return best;
+  return argmax_letter(logits, letters);
 }
 
 std::vector<QuestionResult> run_token_benchmark(
@@ -216,6 +250,16 @@ std::vector<QuestionResult> run_token_benchmark(
   effective.question_deadline_seconds =
       merge_deadlines(opts.question_deadline_seconds, config.max_seconds_per_question);
 
+  // Continuous-batching decode: one shared engine; every worker submits
+  // its question into the engine's slot pool, so concurrent prompt feeds
+  // coalesce into one batched step per token. Workers are raised to at
+  // least the slot count so the batch can actually fill.
+  std::unique_ptr<nn::DecodeEngine> engine;
+  if (effective.decode_batch > 1) {
+    effective.workers = std::max(effective.workers, effective.decode_batch);
+    engine = std::make_unique<nn::DecodeEngine>(model, effective.decode_batch);
+  }
+
   // Shared-prefix KV snapshot: encode the two-shot block once, fork it per
   // question. Built from the first two question prompts so the common
   // token prefix is discovered at the token level (robust to BPE merges
@@ -237,9 +281,14 @@ std::vector<QuestionResult> run_token_benchmark(
   effective.evict_cache = [&cache]() -> std::size_t {
     return cache != nullptr ? cache->evict() : 0;
   };
-  effective.release_slot_memory = [&scratch](std::size_t slot) -> std::size_t {
-    return slot < scratch.size() && scratch[slot] != nullptr ? scratch[slot]->release_kv()
-                                                             : 0;
+  effective.release_slot_memory = [&scratch, &engine](std::size_t slot) -> std::size_t {
+    std::size_t freed = slot < scratch.size() && scratch[slot] != nullptr
+                            ? scratch[slot]->release_kv()
+                            : 0;
+    // Slot-granular relief on the engine side: idle decode slots hand
+    // their KV back to the budget; active ones keep decoding.
+    if (engine != nullptr) freed += engine->release_idle_kv();
+    return freed;
   };
 
   Supervisor supervisor(effective);
@@ -248,7 +297,7 @@ std::vector<QuestionResult> run_token_benchmark(
       [&](std::size_t q, std::size_t slot, const util::CancelToken& cancel) {
         QuestionResult result = results[q];  // ground truth pre-filled above
         result.predicted = token_predict(model, tok, letters, benchmark[q], fewshot, &cancel,
-                                         cache.get(), scratch[slot].get());
+                                         cache.get(), scratch[slot].get(), engine.get());
         if (cancel.cancelled()) {
           result.method = ExtractionMethod::kFailed;
           result.predicted = -1;

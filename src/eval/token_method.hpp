@@ -24,6 +24,7 @@
 #include "eval/prefix_cache.hpp"
 #include "eval/scorer.hpp"
 #include "eval/supervisor.hpp"
+#include "nn/decode_engine.hpp"
 #include "nn/gpt.hpp"
 #include "tokenizer/bpe.hpp"
 #include "util/cancel.hpp"
@@ -61,13 +62,17 @@ struct TokenMethodConfig {
 /// With a `prefix_cache`, the shared two-shot block is forked from its KV
 /// snapshot instead of re-encoded (bit-identical logits either way); with a
 /// `scratch` inference, that buffer is reset and reused instead of
-/// allocating fresh KV caches per question.
+/// allocating fresh KV caches per question. With an `engine`, the prompt
+/// feed runs through a shared continuous-batching `nn::DecodeEngine` slot
+/// (`scratch` is then unused); the answer is bit-identical to the serial
+/// path for every batch composition.
 int token_predict(const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
                   const LetterTokens& letters, const corpus::McqItem& item,
                   const std::vector<corpus::McqItem>& fewshot,
                   const util::CancelToken* cancel = nullptr,
                   const PrefixCache* prefix_cache = nullptr,
-                  nn::GptInference* scratch = nullptr);
+                  nn::GptInference* scratch = nullptr,
+                  nn::DecodeEngine* engine = nullptr);
 
 /// Runs the token method over the whole benchmark under the fault-isolated
 /// Supervisor. With an active `journal`, already-answered questions are

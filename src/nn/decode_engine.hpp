@@ -1,0 +1,141 @@
+#pragma once
+// Continuous-batching decode engine.
+//
+// A single service thread owns a `BatchedInference` and advances every
+// in-flight sequence by one token per engine step, so B concurrent
+// requests share one `multi_gemv` per linear layer instead of running B
+// solo gemv decodes. Batching is *continuous*: new requests are admitted
+// into free slots between steps, mid-flight of whatever else is decoding —
+// a finishing MCQ prompt frees its slot for the next question while long
+// generations keep streaming. Ragged compositions (different prompt
+// lengths, different decode depths) are the normal case.
+//
+// Bit-identity: per request, the engine replays exactly the serial
+// protocol. Prompt tokens are fed one per step with the cancel token
+// polled before each feed (`GptInference::prompt`'s loop); after the final
+// prompt token the consumer's `on_logits` callback runs one iteration of
+// its own decode loop — cancel/watchdog checks, sampling, stop conditions
+// — against logits that `BatchedInference` guarantees are bitwise equal to
+// the serial path's, and returns the next token to feed (or
+// `kStopDecoding`). Because the callback owns every decode-phase decision,
+// cancellation and deadline semantics are token-for-token identical to the
+// serial loops, at slot granularity.
+//
+// Fault isolation: slot preparation (prefix fork, KV budget charge) runs
+// per request; a failure (e.g. `util::ResourceExhaustedError` from the
+// memory budget) is rethrown from that request's `run()` only, where the
+// caller's degradation ladder handles it — the rest of the batch keeps
+// decoding. `release_idle_kv` frees the KV of currently-free slots, the
+// ladder's slot-granular relief hook.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "nn/gpt.hpp"
+#include "util/cancel.hpp"
+
+namespace astromlab::nn {
+
+class DecodeEngine {
+ public:
+  /// Returned by `Request::on_logits` to finish the sequence.
+  static constexpr Token kStopDecoding = -1;
+
+  struct Request {
+    /// Full prompt token sequence. Must be non-empty; after `prepare`
+    /// returns `p`, the engine feeds prompt[p..].
+    std::vector<Token> prompt;
+    /// Slot preparation, run on the engine thread at admission: fork a
+    /// prefix snapshot into the slot (or reset it) and return how many
+    /// prompt tokens the slot already encodes (< prompt.size()). Receives
+    /// this request's own prompt. Null = plain reset, feed everything.
+    /// Exceptions fail this request only.
+    std::function<std::size_t(BatchedInference&, std::size_t slot,
+                              const std::vector<Token>& prompt)>
+        prepare;
+    /// Polled before each prompt-token feed, exactly like the serial
+    /// `GptInference::prompt` loop. Decode-phase checks belong to
+    /// `on_logits` (matching the serial generate loops). May be null.
+    const util::CancelToken* cancel = nullptr;
+    /// One iteration of the consumer's decode loop: sees the slot's fresh
+    /// logits (first after the final prompt token, then after every fed
+    /// decode token) and the slot's position; returns the next token to
+    /// feed, or kStopDecoding. Runs on the engine thread — the submitting
+    /// thread is blocked in run() for the duration, so closing over its
+    /// state needs no locks. Required.
+    std::function<Token(const std::vector<float>& logits, std::size_t position)> on_logits;
+    /// Optional: runs on the engine thread once the sequence finishes
+    /// (stop or cancel), before the slot is recycled — e.g. export the
+    /// slot's KV back into a session inference.
+    std::function<void(BatchedInference&, std::size_t slot)> on_complete;
+  };
+
+  struct Completion {
+    /// True when `cancel` fired during the prompt feed: the feed stopped
+    /// early and `on_logits` was never invoked (its logits would be
+    /// stale), matching the serial cancelled-mid-prompt contract.
+    bool cancelled = false;
+  };
+
+  DecodeEngine(const GptModel& model, std::size_t max_slots);
+  ~DecodeEngine();
+
+  DecodeEngine(const DecodeEngine&) = delete;
+  DecodeEngine& operator=(const DecodeEngine&) = delete;
+
+  /// Submits a request and blocks until its sequence finishes. Exceptions
+  /// raised by slot preparation or by the request's own callbacks are
+  /// rethrown here, in the submitting thread.
+  Completion run(Request request);
+
+  std::size_t max_slots() const { return max_slots_; }
+
+  /// The model every slot decodes against (immutable; safe concurrently).
+  const GptModel& model() const { return bi_.model(); }
+
+  /// Degradation hook: frees the KV caches of every currently-idle slot,
+  /// returning the bytes handed back to the memory budget. Active slots
+  /// are untouched. Thread-safe; blocks at an engine-step boundary.
+  std::size_t release_idle_kv();
+
+ private:
+  struct Job {
+    Request req;
+    std::size_t slot = 0;
+    std::size_t cursor = 0;   ///< next prompt index to feed
+    bool decoding = false;    ///< prompt fully fed; feeding `pending`
+    Token pending = 0;        ///< next decode token (valid when decoding)
+    bool cancelled = false;
+    std::exception_ptr error;
+    bool done = false;        ///< guarded by mutex_
+  };
+
+  void engine_loop();
+
+  const std::size_t max_slots_;
+
+  // Guards bi_ and free_slots_: the engine holds it across each step
+  // (admission, forward pass, callbacks); release_idle_kv serialises
+  // against that.
+  std::mutex bi_mutex_;
+  BatchedInference bi_;
+  std::vector<std::size_t> free_slots_;
+
+  // Guards queue_, stopping_, and Job::done.
+  std::mutex mutex_;
+  std::condition_variable cv_;       ///< wakes the engine (new work / stop)
+  std::condition_variable done_cv_;  ///< wakes submitters (job finished)
+  std::deque<std::shared_ptr<Job>> queue_;
+  bool stopping_ = false;
+
+  std::thread thread_;
+};
+
+}  // namespace astromlab::nn

@@ -733,4 +733,274 @@ const std::vector<float>& GptInference::prompt(const Token* tokens, std::size_t 
   return logits_;
 }
 
+// ---------------------------------------------------------------------------
+// BatchedInference
+
+BatchedInference::BatchedInference(const GptModel& model, std::size_t max_slots)
+    : model_(model) {
+  if (max_slots == 0) {
+    throw std::invalid_argument("BatchedInference: max_slots must be >= 1");
+  }
+  const auto& cfg = model.config();
+  slots_.resize(max_slots);
+  for (auto& s : slots_) {
+    // KV caches stay lazy (ensure_slot_kv), same as GptInference: an idle
+    // slot costs only its activation scratch.
+    s.x.assign(cfg.d_model, 0.0f);
+    s.ln.assign(cfg.d_model, 0.0f);
+    s.qkv.assign(3 * cfg.d_model, 0.0f);
+    s.atty.assign(cfg.d_model, 0.0f);
+    s.proj.assign(cfg.d_model, 0.0f);
+    s.fch.assign(cfg.d_ff, 0.0f);
+    s.scores.assign(cfg.ctx_len, 0.0f);
+    s.logits.assign(cfg.vocab_size, 0.0f);
+  }
+  xs_.resize(max_slots);
+  ys_.resize(max_slots);
+}
+
+const std::vector<float>& BatchedInference::logits(std::size_t slot) const {
+  return slots_.at(slot).logits;
+}
+
+std::size_t BatchedInference::position(std::size_t slot) const {
+  return slots_.at(slot).position;
+}
+
+const std::vector<Token>& BatchedInference::history(std::size_t slot) const {
+  return slots_.at(slot).history;
+}
+
+void BatchedInference::reset_slot(std::size_t slot) {
+  Slot& s = slots_.at(slot);
+  s.position = 0;
+  s.history.clear();
+}
+
+void BatchedInference::ensure_slot_kv(std::size_t slot) {
+  Slot& s = slots_.at(slot);
+  if (!s.k_cache.empty()) return;
+  const auto& cfg = model_.config();
+  // Reserve before allocating so a configured budget can refuse this one
+  // slot with nothing charged — the other slots keep decoding.
+  util::MemoryReservation reservation(
+      cfg.n_layers * 2 * cfg.ctx_len * cfg.d_model * sizeof(float),
+      util::MemoryDomain::kKvCache);
+  s.k_cache.resize(cfg.n_layers);
+  s.v_cache.resize(cfg.n_layers);
+  for (std::size_t l = 0; l < cfg.n_layers; ++l) {
+    s.k_cache[l].assign(cfg.ctx_len * cfg.d_model, 0.0f);
+    s.v_cache[l].assign(cfg.ctx_len * cfg.d_model, 0.0f);
+  }
+  s.kv_reservation = std::move(reservation);
+}
+
+std::size_t BatchedInference::release_slot_kv(std::size_t slot) {
+  Slot& s = slots_.at(slot);
+  if (s.k_cache.empty()) return 0;
+  const std::size_t freed = s.kv_reservation.bytes();
+  std::vector<std::vector<float>>().swap(s.k_cache);
+  std::vector<std::vector<float>>().swap(s.v_cache);
+  s.kv_reservation.release();
+  s.position = 0;
+  s.history.clear();
+  return freed;
+}
+
+std::size_t BatchedInference::slot_kv_bytes(std::size_t slot) const {
+  return slots_.at(slot).kv_reservation.bytes();
+}
+
+void BatchedInference::fork_slot(std::size_t slot, const KvSnapshot& snap,
+                                 std::size_t prefix_len) {
+  Slot& s = slots_.at(slot);
+  if (!snap.valid()) {
+    throw StaleSnapshotError("fork_slot: empty snapshot handle");
+  }
+  const GptInference& src = *snap.source_;
+  if (&src.model_ != &model_) {
+    throw std::invalid_argument("fork_slot: snapshot was taken from a different model");
+  }
+  if (prefix_len > snap.tokens_.size()) {
+    throw std::invalid_argument("fork_slot: prefix_len exceeds snapshot length");
+  }
+  if (src.generation_ != snap.generation_) {
+    throw StaleSnapshotError(
+        "fork_slot: snapshot invalidated by reset() of its source inference");
+  }
+  const std::size_t c = model_.config().d_model;
+  if (kv_prefix_crc(src.k_cache_, src.v_cache_, snap.tokens_.size(), c) != snap.crc_) {
+    throw StaleSnapshotError(
+        "fork_slot: source K/V rows changed since snapshot (CRC mismatch)");
+  }
+  ensure_slot_kv(slot);
+  for (std::size_t l = 0; prefix_len > 0 && l < s.k_cache.size(); ++l) {
+    std::memcpy(s.k_cache[l].data(), src.k_cache_[l].data(), prefix_len * c * sizeof(float));
+    std::memcpy(s.v_cache[l].data(), src.v_cache_[l].data(), prefix_len * c * sizeof(float));
+  }
+  s.position = prefix_len;
+  s.history.assign(snap.tokens_.begin(),
+                   snap.tokens_.begin() + static_cast<std::ptrdiff_t>(prefix_len));
+}
+
+void BatchedInference::export_slot(std::size_t slot, GptInference& out) const {
+  const Slot& s = slots_.at(slot);
+  if (&out.model_ != &model_) {
+    throw std::invalid_argument("export_slot: target built on a different model");
+  }
+  out.ensure_kv();
+  const std::size_t c = model_.config().d_model;
+  for (std::size_t l = 0; s.position > 0 && l < out.k_cache_.size(); ++l) {
+    std::memcpy(out.k_cache_[l].data(), s.k_cache[l].data(), s.position * c * sizeof(float));
+    std::memcpy(out.v_cache_[l].data(), s.v_cache[l].data(), s.position * c * sizeof(float));
+  }
+  out.position_ = s.position;
+  out.history_ = s.history;
+  // The target's rows were overwritten: snapshots previously taken from it
+  // must fail typed instead of silently referencing the new contents.
+  ++out.generation_;
+}
+
+void BatchedInference::import_slot(std::size_t slot, const GptInference& in) {
+  Slot& s = slots_.at(slot);
+  if (&in.model_ != &model_) {
+    throw std::invalid_argument("import_slot: source built on a different model");
+  }
+  s.position = 0;
+  s.history.clear();
+  ensure_slot_kv(slot);
+  const std::size_t c = model_.config().d_model;
+  for (std::size_t l = 0; in.position_ > 0 && l < s.k_cache.size(); ++l) {
+    std::memcpy(s.k_cache[l].data(), in.k_cache_[l].data(),
+                in.position_ * c * sizeof(float));
+    std::memcpy(s.v_cache[l].data(), in.v_cache_[l].data(),
+                in.position_ * c * sizeof(float));
+  }
+  s.position = in.position_;
+  s.history = in.history_;
+}
+
+void BatchedInference::step(const std::size_t* slots, const Token* tokens,
+                            std::size_t count) {
+  if (count == 0) return;
+  const auto& cfg = model_.config();
+  const auto& layout = model_.layout();
+  const auto& params = model_.params();
+  const std::size_t c = cfg.d_model;
+  const std::size_t f = cfg.d_ff;
+  const std::size_t nh = cfg.n_heads;
+  const std::size_t hs = cfg.head_dim();
+  if (count > slots_.size()) {
+    throw std::invalid_argument("BatchedInference: step count exceeds max_slots");
+  }
+  // Validate everything before touching any slot, so a throw leaves the
+  // whole batch unmodified (one bad request cannot corrupt its neighbours).
+  for (std::size_t i = 0; i < count; ++i) {
+    if (slots[i] >= slots_.size()) {
+      throw std::out_of_range("BatchedInference: slot id out of range");
+    }
+    for (std::size_t j = i + 1; j < count; ++j) {
+      if (slots[i] == slots[j]) {
+        throw std::invalid_argument("BatchedInference: duplicate slot in one step");
+      }
+    }
+    if (slots_[slots[i]].position >= cfg.ctx_len) {
+      throw std::length_error("BatchedInference: context window exhausted");
+    }
+    if (tokens[i] < 0 || static_cast<std::size_t>(tokens[i]) >= cfg.vocab_size) {
+      throw std::out_of_range("BatchedInference: token id out of range");
+    }
+  }
+  for (std::size_t i = 0; i < count; ++i) ensure_slot_kv(slots[i]);
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hs));
+  const float* wte = params.param(layout.wte);
+  const float* wpe = params.param(layout.wpe);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    Slot& s = slots_[slots[i]];
+    const float* te = wte + static_cast<std::size_t>(tokens[i]) * c;
+    const float* pe = wpe + s.position * c;
+    for (std::size_t j = 0; j < c; ++j) s.x[j] = te[j] + pe[j];
+  }
+
+  float mean_scratch, rstd_scratch;
+  for (std::size_t l = 0; l < cfg.n_layers; ++l) {
+    const auto& blk = layout.blocks[l];
+    for (std::size_t i = 0; i < count; ++i) {
+      Slot& s = slots_[slots[i]];
+      layernorm_forward(s.ln.data(), &mean_scratch, &rstd_scratch, s.x.data(),
+                        params.param(blk.ln1_g), params.param(blk.ln1_b), 1, c);
+      xs_[i] = s.ln.data();
+      ys_[i] = s.qkv.data();
+    }
+    tensor::multi_gemv(3 * c, c, 1.0f, xs_.data(), count, params.param(blk.qkv_w), c,
+                       ys_.data());
+    for (std::size_t i = 0; i < count; ++i) {
+      Slot& s = slots_[slots[i]];
+      tensor::add_row_bias(s.qkv.data(), params.param(blk.qkv_b), 1, 3 * c);
+      const std::size_t t = s.position;
+      std::memcpy(s.k_cache[l].data() + t * c, s.qkv.data() + c, c * sizeof(float));
+      std::memcpy(s.v_cache[l].data() + t * c, s.qkv.data() + 2 * c, c * sizeof(float));
+      // Attention over this slot's own rows only: ragged positions are the
+      // normal case, each slot's softmax spans its own t + 1 entries.
+      for (std::size_t h = 0; h < nh; ++h) {
+        const float* q = s.qkv.data() + h * hs;
+        for (std::size_t t2 = 0; t2 <= t; ++t2) {
+          s.scores[t2] = tensor::dot(q, s.k_cache[l].data() + t2 * c + h * hs, hs) * scale;
+        }
+        tensor::softmax_row(s.scores.data(), s.scores.data(), t + 1);
+        float* out = s.atty.data() + h * hs;
+        std::fill(out, out + hs, 0.0f);
+        for (std::size_t t2 = 0; t2 <= t; ++t2) {
+          tensor::axpy(s.scores[t2], s.v_cache[l].data() + t2 * c + h * hs, out, hs);
+        }
+      }
+      xs_[i] = s.atty.data();
+      ys_[i] = s.proj.data();
+    }
+    tensor::multi_gemv(c, c, 1.0f, xs_.data(), count, params.param(blk.attn_proj_w), c,
+                       ys_.data());
+    for (std::size_t i = 0; i < count; ++i) {
+      Slot& s = slots_[slots[i]];
+      tensor::add_row_bias(s.proj.data(), params.param(blk.attn_proj_b), 1, c);
+      tensor::add_inplace(s.x.data(), s.proj.data(), c);
+      layernorm_forward(s.ln.data(), &mean_scratch, &rstd_scratch, s.x.data(),
+                        params.param(blk.ln2_g), params.param(blk.ln2_b), 1, c);
+      xs_[i] = s.ln.data();
+      ys_[i] = s.fch.data();
+    }
+    tensor::multi_gemv(f, c, 1.0f, xs_.data(), count, params.param(blk.fc_w), c, ys_.data());
+    for (std::size_t i = 0; i < count; ++i) {
+      Slot& s = slots_[slots[i]];
+      tensor::add_row_bias(s.fch.data(), params.param(blk.fc_b), 1, f);
+      tensor::gelu_apply(s.fch.data(), s.fch.data(), f);
+      xs_[i] = s.fch.data();
+      ys_[i] = s.proj.data();
+    }
+    tensor::multi_gemv(c, f, 1.0f, xs_.data(), count, params.param(blk.fc_proj_w), f,
+                       ys_.data());
+    for (std::size_t i = 0; i < count; ++i) {
+      Slot& s = slots_[slots[i]];
+      tensor::add_row_bias(s.proj.data(), params.param(blk.fc_proj_b), 1, c);
+      tensor::add_inplace(s.x.data(), s.proj.data(), c);
+    }
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    Slot& s = slots_[slots[i]];
+    layernorm_forward(s.ln.data(), &mean_scratch, &rstd_scratch, s.x.data(),
+                      params.param(layout.lnf_g), params.param(layout.lnf_b), 1, c);
+    xs_[i] = s.ln.data();
+    ys_[i] = s.logits.data();
+  }
+  tensor::multi_gemv(cfg.vocab_size, c, 1.0f, xs_.data(), count, wte, c, ys_.data());
+
+  for (std::size_t i = 0; i < count; ++i) {
+    Slot& s = slots_[slots[i]];
+    ++s.position;
+    s.history.push_back(tokens[i]);
+  }
+}
+
 }  // namespace astromlab::nn

@@ -142,6 +142,7 @@ class KvSnapshot {
 
  private:
   friend class GptInference;
+  friend class BatchedInference;
   const GptInference* source_ = nullptr;
   std::uint64_t generation_ = 0;  ///< source reset-generation at snapshot time
   std::vector<Token> tokens_;
@@ -224,6 +225,8 @@ class GptInference {
   const GptModel& model() const { return model_; }
 
  private:
+  friend class BatchedInference;
+
   /// (Re)allocates the K/V buffers after construction or release_kv(),
   /// charging the memory budget. No-op when they are already resident.
   void ensure_kv();
@@ -240,6 +243,95 @@ class GptInference {
   // Scratch.
   std::vector<float> x_, ln_, qkv_, atty_, proj_, fch_, scores_;
   std::vector<float> logits_;
+};
+
+/// Up to `max_slots` independent sequences sharing one forward pass per
+/// decode step. Each slot is a full `GptInference` equivalent — its own
+/// per-layer KV cache, position, history, and logits — but one `step()`
+/// call advances many slots at once, turning the B per-layer gemvs of B
+/// serial decodes into one `tensor::multi_gemv` per linear layer (the
+/// weight matrix streams from cache once per step instead of once per
+/// sequence).
+///
+/// Bit-identity contract: a slot's logits after any sequence of
+/// feeds/forks are bitwise identical to a serial `GptInference` given the
+/// same tokens, for every batch composition — `multi_gemv` reproduces the
+/// serial m=1 gemv per output row exactly, and everything else
+/// (layernorm, attention over the slot's own KV rows, bias/residual/GELU)
+/// is computed per slot with the very same helpers `GptInference::step`
+/// uses. Ragged batches are the normal case: slots advance independently,
+/// each attending over its own `position(slot)` rows.
+///
+/// Not thread-safe: one thread drives all slots (the decode engine's
+/// service thread). Slot KV caches are charged to the memory budget
+/// lazily and individually, so one slot failing admission degrades that
+/// slot only.
+class BatchedInference {
+ public:
+  BatchedInference(const GptModel& model, std::size_t max_slots);
+
+  std::size_t max_slots() const { return slots_.size(); }
+
+  /// Feeds one token into each of `count` distinct slots and computes
+  /// every fed slot's next-position logits in one shared pass. Validates
+  /// all slots up front (token range, context space) and throws without
+  /// mutating any slot on violation, mirroring `GptInference::step`.
+  void step(const std::size_t* slots, const Token* tokens, std::size_t count);
+
+  /// Logits for the slot's latest position (valid after a step that fed it).
+  const std::vector<float>& logits(std::size_t slot) const;
+  std::size_t position(std::size_t slot) const;
+  const std::vector<Token>& history(std::size_t slot) const;
+
+  /// Empties the slot (position 0, no history). KV stays resident.
+  void reset_slot(std::size_t slot);
+
+  /// Forks `snap`'s first `prefix_len` rows into the slot, exactly like
+  /// `GptInference::fork_from` (same validation, same typed errors).
+  void fork_slot(std::size_t slot, const KvSnapshot& snap, std::size_t prefix_len);
+
+  /// Charges and allocates the slot's KV cache now (no-op when resident),
+  /// so admission-time budget denials surface at a per-slot boundary
+  /// instead of mid-step. Throws util::ResourceExhaustedError/bad_alloc.
+  void ensure_slot_kv(std::size_t slot);
+
+  /// Degradation hook: frees one slot's KV buffers back to the budget and
+  /// empties the slot. Returns bytes freed (0 when already released).
+  std::size_t release_slot_kv(std::size_t slot);
+
+  /// Bytes currently held by the slot's KV cache.
+  std::size_t slot_kv_bytes(std::size_t slot) const;
+
+  /// Copies the slot's state (KV rows, position, history) into a serial
+  /// inference on the same model, so `out.step()` continues bit-identically
+  /// to having fed the slot's history into `out` from scratch. Invalidates
+  /// snapshots previously taken from `out` (its rows are overwritten).
+  void export_slot(std::size_t slot, GptInference& out) const;
+
+  /// The inverse: copies a serial inference's state (KV rows, position,
+  /// history) into the slot, so batched steps continue bit-identically to
+  /// stepping `in` directly — how a serve session's conversation KV enters
+  /// a batch. Charges the slot's KV lazily (may throw the budget's
+  /// ResourceExhaustedError; the slot is left empty in that case).
+  void import_slot(std::size_t slot, const GptInference& in);
+
+  const GptModel& model() const { return model_; }
+
+ private:
+  struct Slot {
+    std::size_t position = 0;
+    std::vector<Token> history;
+    std::vector<std::vector<float>> k_cache, v_cache;  // per layer (ctx, C)
+    util::MemoryReservation kv_reservation;
+    // Per-slot activation scratch, same shapes as GptInference's.
+    std::vector<float> x, ln, qkv, atty, proj, fch, scores, logits;
+  };
+
+  const GptModel& model_;
+  std::vector<Slot> slots_;
+  // Pointer tables rebuilt per multi_gemv call (capacity max_slots).
+  std::vector<const float*> xs_;
+  std::vector<float*> ys_;
 };
 
 }  // namespace astromlab::nn

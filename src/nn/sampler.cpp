@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/decode_engine.hpp"
 #include "tensor/ops.hpp"
 #include "util/metrics.hpp"
 #include "util/stopwatch.hpp"
@@ -134,6 +135,65 @@ SampleResult Sampler::generate(const std::vector<Token>& prompt_tokens,
     }
     logits = &inference_.step(next);
   }
+  return result;
+}
+
+SampleResult generate_with_engine(DecodeEngine& engine,
+                                  const std::vector<Token>& prompt_tokens,
+                                  const SampleConfig& config, util::Rng& rng) {
+  const util::trace::Span span("nn.generate", "nn", "prompt_tokens",
+                               static_cast<std::uint64_t>(prompt_tokens.size()));
+  generate_metrics().calls.add();
+  SampleResult result;
+  const TokenCountGuard count_guard{result};
+  const std::size_t ctx = engine.model().config().ctx_len;
+  if (prompt_tokens.empty() || prompt_tokens.size() >= ctx) {
+    result.hit_context_limit = prompt_tokens.size() >= ctx;
+    return result;
+  }
+  util::Stopwatch watch;
+
+  DecodeEngine::Request req;
+  req.prompt = prompt_tokens;
+  req.cancel = config.cancel;
+  if (config.prefix_fork_batched) {
+    req.prepare = [&result, &config](BatchedInference& bi, std::size_t slot,
+                                     const std::vector<Token>& prompt) {
+      const std::size_t reused = config.prefix_fork_batched(bi, slot, prompt);
+      result.reused_prefix_tokens = reused;
+      return reused;
+    };
+  }
+  // One invocation per fresh-logits point, replaying one iteration of the
+  // serial generate loop in its exact check order: iteration count, cancel,
+  // watchdog, pick, stop token, context limit.
+  std::size_t produced = 0;
+  req.on_logits = [&](const std::vector<float>& logits, std::size_t position) -> Token {
+    if (produced >= config.max_new_tokens) return DecodeEngine::kStopDecoding;
+    if (config.cancel != nullptr && config.cancel->cancelled()) {
+      result.cancelled = true;
+      return DecodeEngine::kStopDecoding;
+    }
+    if (config.max_wall_seconds > 0.0 && watch.seconds() >= config.max_wall_seconds) {
+      result.timed_out = true;
+      return DecodeEngine::kStopDecoding;
+    }
+    const Token next = Sampler::pick(logits, config, rng);
+    if (std::find(config.stop_tokens.begin(), config.stop_tokens.end(), next) !=
+        config.stop_tokens.end()) {
+      result.hit_stop = true;
+      return DecodeEngine::kStopDecoding;
+    }
+    result.tokens.push_back(next);
+    ++produced;
+    if (position >= ctx) {
+      result.hit_context_limit = true;
+      return DecodeEngine::kStopDecoding;
+    }
+    return next;
+  };
+  const DecodeEngine::Completion completion = engine.run(std::move(req));
+  if (completion.cancelled) result.cancelled = true;
   return result;
 }
 

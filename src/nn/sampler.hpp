@@ -45,6 +45,12 @@ struct SampleConfig {
   /// concurrent eviction of the shared snapshot (eval::PrefixCache::fork
   /// holds its reader lock for exactly the copy-on-fork window).
   std::function<std::size_t(GptInference&, const std::vector<Token>&)> prefix_fork;
+  /// Batched counterpart of `prefix_fork`, used only by
+  /// `generate_with_engine`: forks the shared prefix into the engine slot
+  /// at admission (eval::PrefixCache provides a matching overload).
+  std::function<std::size_t(BatchedInference&, std::size_t slot,
+                            const std::vector<Token>&)>
+      prefix_fork_batched;
 };
 
 struct SampleResult {
@@ -78,5 +84,19 @@ class Sampler {
  private:
   GptInference inference_;
 };
+
+class DecodeEngine;
+
+/// Engine-backed variant of `Sampler::generate`: the identical decode loop
+/// (same cancel/watchdog/stop-token/context-limit check order, the same
+/// `Sampler::pick` calls against bitwise-identical logits) driven through
+/// one slot of a shared continuous-batching `DecodeEngine` instead of a
+/// private inference. For any batch composition the returned tokens and
+/// flags match the serial `generate` for the same (prompt, config, rng).
+/// Honours `config.prefix_fork_batched` (not `prefix_fork`/
+/// `prefix_snapshot`, which are serial-inference seams).
+SampleResult generate_with_engine(DecodeEngine& engine,
+                                  const std::vector<Token>& prompt_tokens,
+                                  const SampleConfig& config, util::Rng& rng);
 
 }  // namespace astromlab::nn

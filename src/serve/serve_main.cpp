@@ -30,6 +30,10 @@
 //   --drain-grace=<s>      seconds to let in-flight work finish on drain
 //                          before cancelling it (default 5)
 //   --max-sessions=<n>     session KV cache table size (default 64)
+//   --decode-batch=<n>     >=2 coalesces concurrent inference requests into
+//                          shared decode steps through a continuous-batching
+//                          engine with n slots (default 1 = serial; responses
+//                          are bit-identical either way)
 //   --stats-every=<s>      periodic per-interval latency log (default 30)
 //   --serve-seconds=<s>    self-drain after this long (default 0 = until
 //                          signalled; a safety net for CI orchestration)
@@ -95,6 +99,7 @@ int main(int argc, char** argv) {
   config.default_deadline_seconds = args.get_double("deadline-ms", 0.0) / 1000.0;
   config.drain_grace_seconds = args.get_double("drain-grace", 5.0);
   config.max_sessions = static_cast<std::size_t>(args.get_int("max-sessions", 64));
+  config.decode_batch = static_cast<std::size_t>(args.get_int("decode-batch", 1));
   config.stats_log_seconds = args.get_double("stats-every", 30.0);
   config.retry.max_retries = static_cast<std::size_t>(args.get_int("retry-max", 2));
   const double serve_seconds = args.get_double("serve-seconds", 0.0);

@@ -108,6 +108,9 @@ InferenceServer::InferenceServer(std::shared_ptr<const ServedWorld> world,
                                       : std::max(2.0 * config.rate_limit_rps, 1.0)) {
   if (world_ == nullptr) throw std::invalid_argument("InferenceServer: null world");
   config_.workers = std::max<std::size_t>(config_.workers, 1);
+  if (config_.decode_batch >= 2) {
+    engine_ = std::make_shared<nn::DecodeEngine>(world_->model, config_.decode_batch);
+  }
 }
 
 InferenceServer::~InferenceServer() { shutdown(); }
@@ -212,6 +215,13 @@ void InferenceServer::swap_world(std::shared_ptr<const ServedWorld> world) {
   {
     const std::lock_guard<std::mutex> lock(world_mutex_);
     world_ = std::move(world);
+    // The engine's slots decode against the old weights; swap it in the
+    // same critical section so no request can pin a mismatched pair.
+    // In-flight requests hold the old engine (whose jobs pin the old
+    // world) via shared_ptr until they finish.
+    if (config_.decode_batch >= 2) {
+      engine_ = std::make_shared<nn::DecodeEngine>(world_->model, config_.decode_batch);
+    }
   }
   // Sessions encode old-weight activations in their KV caches; drop the
   // table (leased sessions finish on the old bundle they pin, then die).
@@ -225,6 +235,12 @@ void InferenceServer::swap_world(std::shared_ptr<const ServedWorld> world) {
 std::shared_ptr<const ServedWorld> InferenceServer::current_world() const {
   const std::lock_guard<std::mutex> lock(world_mutex_);
   return world_;
+}
+
+std::pair<std::shared_ptr<const ServedWorld>, std::shared_ptr<nn::DecodeEngine>>
+InferenceServer::pin_world_and_engine() const {
+  const std::lock_guard<std::mutex> lock(world_mutex_);
+  return {world_, engine_};
 }
 
 void InferenceServer::register_inflight(util::CancelToken* token) {
@@ -388,9 +404,11 @@ HttpResponse InferenceServer::handle_inference(const HttpRequest& request, bool 
   if (deadline_ms > 0.0) cancel.set_deadline_after(deadline_ms / 1000.0);  // stricter wins
   const InflightToken inflight(this, &cancel);
 
-  // Pin this request's world: a hot swap during the request leaves us on
-  // the generation we started with.
-  const std::shared_ptr<const ServedWorld> world = current_world();
+  // Pin this request's world (and the decode engine built on its model):
+  // a hot swap during the request leaves us on the generation we started
+  // with. `world` is declared first so it outlives the engine pin — the
+  // engine's slots reference the world's weights.
+  const auto [world, engine] = pin_world_and_engine();
 
   HttpResponse response;
   // Degradation ladder around the retried work. Each successful rung frees
@@ -403,8 +421,8 @@ HttpResponse InferenceServer::handle_inference(const HttpRequest& request, bool 
           config_.retry, request_id, &cancel,
           [&] {
             consult_fault_injector(request_id);
-            return mcq ? do_mcq(*world, body, cancel)
-                       : do_generate(world, body, cancel, request_id);
+            return mcq ? do_mcq(*world, engine.get(), body, cancel)
+                       : do_generate(world, engine.get(), body, cancel, request_id);
           },
           &retries);
       if (retries > 0) {
@@ -416,6 +434,12 @@ HttpResponse InferenceServer::handle_inference(const HttpRequest& request, bool 
       // ResourceExhaustedError derives from bad_alloc: one rung handler
       // covers simulated pressure and real allocator failure alike.
       std::size_t freed = sessions_.evict_lru();  // rung 1: idle session KV
+      if (freed == 0 && engine != nullptr) {
+        // Rung 1b, slot granularity: idle decode slots hand their KV back
+        // to the budget; slots mid-sequence keep decoding untouched.
+        freed = engine->release_idle_kv();
+        if (freed > 0) metrics::registry().counter("serve.ladder_slot_kv_released").add();
+      }
       if (freed == 0 && world->mcq_cache != nullptr) {
         freed = world->mcq_cache->evict();  // rung 2: shared MCQ prefix
         if (freed > 0) metrics::registry().counter("serve.ladder_cache_evictions").add();
@@ -450,7 +474,8 @@ HttpResponse InferenceServer::handle_inference(const HttpRequest& request, bool 
   return response;
 }
 
-HttpResponse InferenceServer::do_mcq(const ServedWorld& world, const json::Value& body,
+HttpResponse InferenceServer::do_mcq(const ServedWorld& world, nn::DecodeEngine* engine,
+                                     const json::Value& body,
                                      const util::CancelToken& cancel) {
   const util::trace::Span span("serve.mcq", "serve");
   const std::vector<corpus::McqItem>& benchmark = world.world.mcqs.benchmark;
@@ -482,10 +507,12 @@ HttpResponse InferenceServer::do_mcq(const ServedWorld& world, const json::Value
   }
 
   // scratch == nullptr: token_predict builds a request-local inference, so
-  // its KV charge lives exactly as long as the request.
+  // its KV charge lives exactly as long as the request. With an engine,
+  // concurrent MCQ requests coalesce into shared decode steps instead
+  // (bit-identical answers either way).
   const int predicted =
       eval::token_predict(world.model, world.world.tok, world.letters, *item, world.fewshot,
-                          &cancel, world.mcq_cache.get(), nullptr);
+                          &cancel, world.mcq_cache.get(), nullptr, engine);
   if (cancel.cancelled()) return cancelled_response(cancel);
 
   if (journal_ != nullptr && question_index >= 0) {
@@ -509,7 +536,7 @@ HttpResponse InferenceServer::do_mcq(const ServedWorld& world, const json::Value
 }
 
 HttpResponse InferenceServer::do_generate(const std::shared_ptr<const ServedWorld>& world,
-                                          const json::Value& body,
+                                          nn::DecodeEngine* engine, const json::Value& body,
                                           const util::CancelToken& cancel,
                                           std::uint64_t request_id) {
   const util::trace::Span span("serve.generate", "serve");
@@ -529,13 +556,19 @@ HttpResponse InferenceServer::do_generate(const std::shared_ptr<const ServedWorl
     const std::shared_ptr<Session> session = sessions_.acquire(session_id, world);
     const std::lock_guard<std::mutex> lock(session->mutex);
     session->last_used.store(request_id, std::memory_order_relaxed);
-    outcome = generate_tokens(session->inference, session->history, prompt, max_new_tokens,
-                              temperature, seed, &cancel);
+    outcome = engine != nullptr
+                  ? generate_tokens_batched(*engine, session->inference, session->history,
+                                            prompt, max_new_tokens, temperature, seed, &cancel)
+                  : generate_tokens(session->inference, session->history, prompt,
+                                    max_new_tokens, temperature, seed, &cancel);
   } else {
     nn::GptInference inference(world->model);
     std::vector<nn::Token> history;
-    outcome = generate_tokens(inference, history, prompt, max_new_tokens, temperature, seed,
-                              &cancel);
+    outcome = engine != nullptr
+                  ? generate_tokens_batched(*engine, inference, history, prompt,
+                                            max_new_tokens, temperature, seed, &cancel)
+                  : generate_tokens(inference, history, prompt, max_new_tokens, temperature,
+                                    seed, &cancel);
   }
   if (outcome.cancelled) return cancelled_response(cancel);
   if (outcome.context_overflow && outcome.generated.empty()) {

@@ -35,10 +35,12 @@
 #include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <condition_variable>
 
 #include "eval/journal.hpp"
 #include "json/json.hpp"
+#include "nn/decode_engine.hpp"
 #include "serve/admission.hpp"
 #include "serve/http.hpp"
 #include "serve/session.hpp"
@@ -62,6 +64,11 @@ struct ServerConfig {
   std::size_t max_sessions = 64;
   std::size_t max_body_bytes = 1 << 20;
   std::size_t max_new_tokens_cap = 256;
+  /// >= 2 routes /v1/mcq and /v1/generate forwards through a shared
+  /// continuous-batching nn::DecodeEngine with this many slots, so
+  /// concurrent requests coalesce into shared decode steps. Responses are
+  /// bit-identical to the serial path (0/1) for every batch composition.
+  std::size_t decode_batch = 1;
   util::RetryPolicy retry;
   double stats_log_seconds = 0.0;  ///< periodic per-interval latency log; 0 = off
 };
@@ -105,11 +112,11 @@ class InferenceServer {
   void handle_connection(int fd);
   HttpResponse dispatch(const HttpRequest& request);
   HttpResponse handle_inference(const HttpRequest& request, bool mcq);
-  HttpResponse do_mcq(const ServedWorld& world, const json::Value& body,
-                      const util::CancelToken& cancel);
+  HttpResponse do_mcq(const ServedWorld& world, nn::DecodeEngine* engine,
+                      const json::Value& body, const util::CancelToken& cancel);
   HttpResponse do_generate(const std::shared_ptr<const ServedWorld>& world,
-                           const json::Value& body, const util::CancelToken& cancel,
-                           std::uint64_t request_id);
+                           nn::DecodeEngine* engine, const json::Value& body,
+                           const util::CancelToken& cancel, std::uint64_t request_id);
   HttpResponse handle_healthz();
   HttpResponse handle_metrics();
   HttpResponse handle_swap(const HttpRequest& request);
@@ -120,9 +127,19 @@ class InferenceServer {
   void register_inflight(util::CancelToken* token);
   void unregister_inflight(util::CancelToken* token);
 
+  /// Pins the current (world, engine) pair atomically: a hot swap between
+  /// the two loads must not hand a request an engine built on different
+  /// weights than the world it scores against.
+  std::pair<std::shared_ptr<const ServedWorld>, std::shared_ptr<nn::DecodeEngine>>
+  pin_world_and_engine() const;
+
   ServerConfig config_;
   mutable std::mutex world_mutex_;
   std::shared_ptr<const ServedWorld> world_;
+  /// Continuous-batching decode engine over world_'s model (null when
+  /// config_.decode_batch < 2). Rebuilt by swap_world; in-flight requests
+  /// keep the old one (and the world it references) alive via shared_ptr.
+  std::shared_ptr<nn::DecodeEngine> engine_;
   SessionManager sessions_;
   eval::EvalJournal* journal_;
 

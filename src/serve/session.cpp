@@ -148,4 +148,73 @@ GenerateOutcome generate_tokens(nn::GptInference& inference, std::vector<nn::Tok
   return outcome;
 }
 
+GenerateOutcome generate_tokens_batched(nn::DecodeEngine& engine, nn::GptInference& inference,
+                                        std::vector<nn::Token>& history,
+                                        const std::vector<nn::Token>& prompt,
+                                        std::size_t max_new_tokens, float temperature,
+                                        std::uint64_t seed, const util::CancelToken* cancel) {
+  GenerateOutcome outcome;
+  const std::size_t ctx = engine.model().config().ctx_len;
+  if (prompt.empty() || prompt.size() >= ctx) {
+    outcome.context_overflow = true;
+    return outcome;
+  }
+
+  // Same prefix-reuse decision as the serial path; the reused rows travel
+  // session inference → slot at prepare time, and back at completion.
+  const std::size_t common = nn::common_token_prefix(inference.history(), prompt);
+  const bool reuse = common == inference.history().size() && common > 0 &&
+                     common < prompt.size() && inference.position() == common;
+  if (reuse) outcome.reused_prefix_tokens = common;
+
+  nn::SampleConfig pick_config;
+  pick_config.temperature = temperature;
+  util::Rng rng(seed);
+
+  nn::DecodeEngine::Request req;
+  req.prompt = prompt;
+  req.cancel = cancel;
+  req.prepare = [&inference, reuse, common](nn::BatchedInference& batch, std::size_t slot,
+                                            const std::vector<nn::Token>&) {
+    if (reuse) {
+      batch.import_slot(slot, inference);
+      return common;
+    }
+    batch.reset_slot(slot);
+    return std::size_t{0};
+  };
+  // One iteration of the serial generate loop per callback — same check
+  // order, same sampling, so the token stream is bitwise identical.
+  req.on_logits = [&](const std::vector<float>& logits, std::size_t position) -> nn::Token {
+    if (outcome.generated.size() >= max_new_tokens) return nn::DecodeEngine::kStopDecoding;
+    if (cancel != nullptr && cancel->cancelled()) {
+      outcome.cancelled = true;
+      return nn::DecodeEngine::kStopDecoding;
+    }
+    const nn::Token next = nn::Sampler::pick(logits, pick_config, rng);
+    outcome.generated.push_back(next);
+    if (outcome.generated.size() == max_new_tokens) {
+      // Serial steps the final token into the cache (when there is room)
+      // so a follow-up can reuse the full turn; feeding it here does the
+      // same — the extra callback lands in the size check above and stops.
+      return position < ctx ? next : nn::DecodeEngine::kStopDecoding;
+    }
+    if (position >= ctx) {
+      outcome.context_overflow = true;
+      return nn::DecodeEngine::kStopDecoding;
+    }
+    return next;
+  };
+  // Runs on stop AND on prompt-phase cancellation: the partial slot state
+  // keeps the session coherent, matching the serial cancelled-feed path.
+  req.on_complete = [&inference](nn::BatchedInference& batch, std::size_t slot) {
+    batch.export_slot(slot, inference);
+  };
+
+  const nn::DecodeEngine::Completion completion = engine.run(std::move(req));
+  if (completion.cancelled) outcome.cancelled = true;
+  history = inference.history();
+  return outcome;
+}
+
 }  // namespace astromlab::serve

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/decode_engine.hpp"
 #include "nn/gpt.hpp"
 #include "nn/sampler.hpp"
 #include "util/cancel.hpp"
@@ -87,5 +88,18 @@ GenerateOutcome generate_tokens(nn::GptInference& inference, std::vector<nn::Tok
                                 const std::vector<nn::Token>& prompt,
                                 std::size_t max_new_tokens, float temperature,
                                 std::uint64_t seed, const util::CancelToken* cancel);
+
+/// Batched variant: the same generation loop, run in one slot of a shared
+/// continuous-batching `nn::DecodeEngine` so concurrent requests coalesce
+/// into shared decode steps. The session's KV state is imported into the
+/// slot before the feed and exported back when the sequence finishes (stop,
+/// cancel, or overflow), so the session stays coherent exactly as in the
+/// serial path. Generated tokens are bit-identical to `generate_tokens`
+/// for every batch composition.
+GenerateOutcome generate_tokens_batched(nn::DecodeEngine& engine, nn::GptInference& inference,
+                                        std::vector<nn::Token>& history,
+                                        const std::vector<nn::Token>& prompt,
+                                        std::size_t max_new_tokens, float temperature,
+                                        std::uint64_t seed, const util::CancelToken* cancel);
 
 }  // namespace astromlab::serve

@@ -43,6 +43,18 @@ struct KernelVtable {
   void (*gemv_rows)(std::size_t rows, std::size_t k, float alpha, const float* x,
                     const float* b, std::size_t ldb, float* y);
 
+  /// Batched-decode variant: ys[i][j] += alpha * dot(xs[i], B row j) for
+  /// every (input i, row j). Each (i, j) reduction is THE SAME `dot` the
+  /// single-input gemv_rows entry uses — bitwise-identical per pair — but
+  /// the loop nest runs rows outermost, so one weight row is loaded once
+  /// and reused across all `count` inputs (L1/register residency) and the
+  /// inputs' independent FMA chains overlap instead of serialising on one
+  /// accumulator's latency. This is where continuous-batching decode gets
+  /// its throughput without giving up bit-identity.
+  void (*gemv_rows_multi)(std::size_t rows, std::size_t k, float alpha,
+                          const float* const* xs, std::size_t count, const float* b,
+                          std::size_t ldb, float* const* ys);
+
   void (*axpy)(float a, const float* x, float* y, std::size_t n);
   float (*dot)(const float* x, const float* y, std::size_t n);
   void (*add_inplace)(float* y, const float* x, std::size_t n);
@@ -79,5 +91,8 @@ void scalar_gelu_grad_mul(const float* x, const float* dy, float* dx, std::size_
 float scalar_softmax_row(const float* logits, float* probs, std::size_t n);
 void scalar_gemv_rows(std::size_t rows, std::size_t k, float alpha, const float* x,
                       const float* b, std::size_t ldb, float* y);
+void scalar_gemv_rows_multi(std::size_t rows, std::size_t k, float alpha,
+                            const float* const* xs, std::size_t count, const float* b,
+                            std::size_t ldb, float* const* ys);
 
 }  // namespace astromlab::tensor::detail

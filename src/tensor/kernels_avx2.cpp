@@ -261,10 +261,62 @@ void add_row_bias_avx2(float* matrix, const float* bias, std::size_t rows,
   }
 }
 
+// dot_avx2 with a software prefetch of the next weight row interleaved into
+// the main loop. The FP instruction sequence is identical to dot_avx2 —
+// prefetch only warms cache lines, it never participates in arithmetic — so
+// the result is bit-for-bit the same. Decode-sized models stream their whole
+// weight set through the cache hierarchy every token; walking one row ahead
+// keeps the loads from stalling on L2/LLC misses.
+float dot_avx2_nextrow(const float* x, const float* y, std::size_t n,
+                       const float* next_row) {
+  __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps(), acc3 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    _mm_prefetch(reinterpret_cast<const char*>(next_row + i), _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(next_row + i + 16), _MM_HINT_T0);
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i), acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 8), _mm256_loadu_ps(y + i + 8), acc1);
+    acc2 =
+        _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 16), _mm256_loadu_ps(y + i + 16), acc2);
+    acc3 =
+        _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 24), _mm256_loadu_ps(y + i + 24), acc3);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i), acc0);
+  }
+  float total =
+      hsum8(_mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3)));
+  for (; i < n; ++i) total += x[i] * y[i];
+  return total;
+}
+
 void gemv_rows_avx2(std::size_t rows, std::size_t k, float alpha, const float* x,
                     const float* b, std::size_t ldb, float* y) {
   for (std::size_t j = 0; j < rows; ++j) {
-    y[j] += alpha * dot_avx2(x, b + j * ldb, k);
+    const float* row = b + j * ldb;
+    const float* next = j + 1 < rows ? row + ldb : row;
+    y[j] += alpha * dot_avx2_nextrow(x, row, k, next);
+  }
+}
+
+void gemv_rows_multi_avx2(std::size_t rows, std::size_t k, float alpha,
+                          const float* const* xs, std::size_t count, const float* b,
+                          std::size_t ldb, float* const* ys) {
+  if (count == 0) return;
+  for (std::size_t j = 0; j < rows; ++j) {
+    const float* row = b + j * ldb;
+    const float* next = j + 1 < rows ? row + ldb : row;
+    // Each (input, row) pair is exactly one dot_avx2 reduction — the same
+    // bits gemv_rows_avx2 produces — but the row's cache lines are loaded
+    // once and served from L1 to every subsequent input, and the inputs'
+    // independent accumulator chains overlap in the OOO window instead of
+    // serialising on one chain's FMA latency. Input 0 carries the next-row
+    // prefetch; the remaining inputs then run entirely from cache.
+    ys[0][j] += alpha * dot_avx2_nextrow(xs[0], row, k, next);
+    for (std::size_t i = 1; i < count; ++i) {
+      ys[i][j] += alpha * dot_avx2(xs[i], row, k);
+    }
   }
 }
 
@@ -277,6 +329,7 @@ const KernelVtable kAvx2Table = {
     1024,  // nc: b-panel 256x1024 floats = 1 MiB (L2/L3)
     micro_kernel_6x16,
     gemv_rows_avx2,
+    gemv_rows_multi_avx2,
     axpy_avx2,
     dot_avx2,
     add_inplace_avx2,

@@ -103,6 +103,19 @@ void gemv_rows_neon(std::size_t rows, std::size_t k, float alpha, const float* x
   }
 }
 
+void gemv_rows_multi_neon(std::size_t rows, std::size_t k, float alpha,
+                          const float* const* xs, std::size_t count, const float* b,
+                          std::size_t ldb, float* const* ys) {
+  for (std::size_t j = 0; j < rows; ++j) {
+    const float* row = b + j * ldb;
+    // Same dot_neon reduction per (input, row) as gemv_rows_neon; the row
+    // stays cache-hot across all inputs.
+    for (std::size_t i = 0; i < count; ++i) {
+      ys[i][j] += alpha * dot_neon(xs[i], row, k);
+    }
+  }
+}
+
 const KernelVtable kNeonTable = {
     "neon",
     kMr,
@@ -112,6 +125,7 @@ const KernelVtable kNeonTable = {
     512,  // nc
     micro_kernel_8x8,
     gemv_rows_neon,
+    gemv_rows_multi_neon,
     axpy_neon,
     dot_neon,
     add_inplace_neon,

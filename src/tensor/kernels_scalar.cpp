@@ -58,6 +58,7 @@ const KernelVtable kScalarTable = {
     512,  // nc
     micro_kernel_4x8,
     scalar_gemv_rows,
+    scalar_gemv_rows_multi,
     scalar_axpy,
     scalar_dot,
     scalar_add_inplace,
@@ -124,6 +125,19 @@ void scalar_gemv_rows(std::size_t rows, std::size_t k, float alpha, const float*
                       const float* b, std::size_t ldb, float* y) {
   for (std::size_t j = 0; j < rows; ++j) {
     y[j] += alpha * scalar_dot(x, b + j * ldb, k);
+  }
+}
+
+void scalar_gemv_rows_multi(std::size_t rows, std::size_t k, float alpha,
+                            const float* const* xs, std::size_t count, const float* b,
+                            std::size_t ldb, float* const* ys) {
+  for (std::size_t j = 0; j < rows; ++j) {
+    const float* row = b + j * ldb;
+    // Same scalar_dot reduction per (input, row) as scalar_gemv_rows, just
+    // with the weight row hot in cache across all inputs.
+    for (std::size_t i = 0; i < count; ++i) {
+      ys[i][j] += alpha * scalar_dot(xs[i], row, k);
+    }
   }
 }
 

@@ -301,6 +301,42 @@ void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n, std::size_t
   }
 }
 
+void multi_gemv(std::size_t n, std::size_t k, float alpha, const float* const* xs,
+                std::size_t count, const float* b, std::size_t ldb, float* const* ys) {
+  if (count == 0 || n == 0) return;
+  const KernelVtable& kv = active_kernels();
+  static util::metrics::Counter& calls =
+      util::metrics::registry().counter("gemm.multi_gemv_calls");
+  calls.add();
+  for (std::size_t i = 0; i < count; ++i) std::fill(ys[i], ys[i] + n, 0.0f);
+  if (k == 0 || alpha == 0.0f) return;
+
+  // The batched kernel walks weight rows outermost: each row's cache lines
+  // are loaded once and reused by every input, and the inputs' independent
+  // accumulator chains overlap instead of serialising on one chain's FMA
+  // latency — the whole point of batching `count` matvecs. Per (input, row)
+  // it runs the exact `dot` reduction the single-input gemv path runs, so
+  // chunking, threading, and batch composition cannot perturb the result.
+  // The task grain matches the single-input gemv's (row count only, not
+  // scaled by `count`): the parallel split stays identical to B=1 while
+  // each task carries `count`x the work, keeping pool overhead amortised.
+  auto run_range = [&](std::size_t begin, std::size_t end) {
+    kv.gemv_rows_multi(end - begin, k, alpha, xs, count, b + begin * ldb, ldb,
+                       [&] {
+                         thread_local std::vector<float*> y_off;
+                         y_off.resize(count);
+                         for (std::size_t i = 0; i < count; ++i) y_off[i] = ys[i] + begin;
+                         return y_off.data();
+                       }());
+  };
+  const std::size_t grain = std::max<std::size_t>(1, ceil_div(kMinFlopsPerTask, 2 * k));
+  if (util::ThreadPool::global().parallelism() == 1 || n <= grain) {
+    run_range(0, n);
+    return;
+  }
+  util::parallel_for_range(n, run_range, grain);
+}
+
 // ---------------------------------------------------------------------------
 // Reference scalar loop nests: the pre-dispatch sgemm, kept as the semantics
 // oracle and the bench baseline. No zero-skip: 0 * inf must produce NaN

@@ -35,6 +35,21 @@ void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n, std::size_t
            float alpha, const float* a, std::size_t lda, const float* b, std::size_t ldb,
            float beta, float* c, std::size_t ldc);
 
+/// Batched matvec against one shared weight matrix: for each pair i in
+/// [0, count), ys[i][j] = alpha * <xs[i], B row j> for j in [0, n), with B
+/// stored [n, k] row-major (leading stride ldb >= k) — the `y = x * W^T`
+/// layout of every linear layer at decode time.
+///
+/// Bit-identity contract: each output row j of each pair is produced by the
+/// same per-row kernel the m == 1 trans_b `sgemm` fast path uses, with the
+/// same fixed reduction order, so every ys[i] is bitwise identical to
+///   sgemm(false, true, 1, n, k, alpha, xs[i], k, b, ldb, 0.0f, ys[i], n)
+/// regardless of `count`, row chunking, or thread count. The speedup over
+/// `count` separate gemvs is pure memory locality: each chunk of W rows is
+/// streamed from cache once and applied to all `count` inputs while hot.
+void multi_gemv(std::size_t n, std::size_t k, float alpha, const float* const* xs,
+                std::size_t count, const float* b, std::size_t ldb, float* const* ys);
+
 /// The pre-dispatch scalar loop nests, kept verbatim as the fallback
 /// semantics oracle for tests and the baseline for the kernel bench. Same
 /// contract as `sgemm` (including IEEE zero-times-inf propagation).

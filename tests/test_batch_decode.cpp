@@ -1,0 +1,498 @@
+// Differential batch-composition suite for the continuous-batching decode
+// engine: every way of packing sequences into `nn::BatchedInference` slots
+// — ragged prompt lengths, mid-step admissions, mid-step abandonment, slot
+// reuse — must produce per-sequence logits and token streams bitwise equal
+// to a serial `nn::GptInference` oracle run on the same tokens. The suite
+// sweeps >= 100 seeded random compositions; a failure shrinks to the first
+// divergent (sequence, step) and prints a self-contained reproduction
+// (seed, slot schedule, prompt) instead of a wall of floats.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/corpora.hpp"
+#include "eval/token_method.hpp"
+#include "nn/decode_engine.hpp"
+#include "nn/gpt.hpp"
+#include "util/cancel.hpp"
+#include "util/rng.hpp"
+
+namespace astromlab {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Tiny model: big enough to have multi-head attention and two layers'
+// worth of KV bookkeeping, small enough that hundreds of compositions run
+// in seconds.
+nn::GptModel tiny_model() {
+  nn::GptConfig config;
+  config.vocab_size = 96;
+  config.ctx_len = 96;
+  config.d_model = 16;
+  config.n_heads = 2;
+  config.n_layers = 2;
+  config.d_ff = 32;
+  nn::GptModel model(config);
+  util::Rng rng(91);
+  model.init_weights(rng);
+  return model;
+}
+
+nn::Token argmax_token(const std::vector<float>& logits) {
+  return static_cast<nn::Token>(std::max_element(logits.begin(), logits.end()) -
+                                logits.begin());
+}
+
+// One sequence of a composition: the prompt it feeds and how many greedy
+// tokens it decodes afterwards.
+struct Sequence {
+  std::vector<nn::Token> prompt;
+  std::size_t decode_len = 0;
+  bool abandon = false;  ///< dropped mid-decode (slot freed without finishing)
+};
+
+// Serial oracle: prompt + greedy decode on a fresh GptInference. Returns
+// the decoded tokens and the logits observed at every step (after the last
+// prompt token and after each decode token).
+struct OracleRun {
+  std::vector<nn::Token> tokens;
+  std::vector<std::vector<float>> step_logits;
+};
+
+OracleRun oracle_run(const nn::GptModel& model, const Sequence& seq) {
+  OracleRun out;
+  nn::GptInference inference(model);
+  const std::vector<float>* logits = &inference.prompt(seq.prompt);
+  out.step_logits.push_back(*logits);
+  for (std::size_t s = 0; s < seq.decode_len; ++s) {
+    const nn::Token next = argmax_token(*logits);
+    out.tokens.push_back(next);
+    logits = &inference.step(next);
+    out.step_logits.push_back(*logits);
+  }
+  return out;
+}
+
+// Shrunk failure report: the first divergent step and logit index, plus
+// everything needed to replay the composition by hand.
+std::string divergence_report(std::size_t seed, std::size_t seq_index,
+                              const Sequence& seq, const OracleRun& oracle,
+                              const std::vector<std::vector<float>>& got_logits,
+                              const std::vector<nn::Token>& got_tokens) {
+  std::ostringstream os;
+  os << "composition seed=" << seed << " sequence=" << seq_index
+     << " prompt_len=" << seq.prompt.size() << " decode_len=" << seq.decode_len
+     << "\nprompt=[";
+  for (std::size_t i = 0; i < seq.prompt.size(); ++i) {
+    os << (i ? "," : "") << seq.prompt[i];
+  }
+  os << "]\n";
+  const std::size_t steps = std::min(oracle.step_logits.size(), got_logits.size());
+  for (std::size_t s = 0; s < steps; ++s) {
+    const auto& want = oracle.step_logits[s];
+    const auto& got = got_logits[s];
+    if (want.size() != got.size()) {
+      os << "first divergence: step " << s << " logits size " << got.size()
+         << " != " << want.size();
+      return os.str();
+    }
+    if (std::memcmp(want.data(), got.data(), want.size() * sizeof(float)) != 0) {
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        if (std::memcmp(&want[i], &got[i], sizeof(float)) != 0) {
+          os << "first divergence: step " << s << " logit " << i << " got "
+             << got[i] << " want " << want[i];
+          return os.str();
+        }
+      }
+    }
+  }
+  if (got_logits.size() != oracle.step_logits.size()) {
+    os << "first divergence: batched produced " << got_logits.size()
+       << " logit snapshots, oracle " << oracle.step_logits.size();
+    return os.str();
+  }
+  for (std::size_t s = 0; s < std::min(oracle.tokens.size(), got_tokens.size()); ++s) {
+    if (oracle.tokens[s] != got_tokens[s]) {
+      os << "first divergence: decode token " << s << " got " << got_tokens[s]
+         << " want " << oracle.tokens[s];
+      return os.str();
+    }
+  }
+  os << "token count mismatch: got " << got_tokens.size() << " want "
+     << oracle.tokens.size();
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Direct BatchedInference compositions: a deterministic scheduler packs
+// random sequences into random slot counts, admitting the next sequence the
+// moment a slot frees (mid-step of everything else), occasionally
+// abandoning a sequence mid-decode so its slot is recycled dirty.
+// ---------------------------------------------------------------------------
+
+struct ActiveSeq {
+  std::size_t seq_index = 0;
+  std::size_t fed = 0;        ///< prompt tokens already fed
+  std::size_t decoded = 0;    ///< decode tokens already fed
+  std::vector<std::vector<float>> logits;
+  std::vector<nn::Token> tokens;
+  bool has_logits = false;    ///< prompt fully fed; logits valid
+};
+
+void run_composition(const nn::GptModel& model, std::size_t seed) {
+  std::mt19937 rng(static_cast<std::uint32_t>(seed * 2654435761u + 17));
+  const std::size_t n_slots = 1 + rng() % 4;
+  const std::size_t n_seqs = n_slots + 1 + rng() % 7;
+
+  std::vector<Sequence> seqs(n_seqs);
+  for (auto& seq : seqs) {
+    seq.prompt.resize(1 + rng() % 24);
+    for (auto& t : seq.prompt) {
+      t = static_cast<nn::Token>(rng() % model.config().vocab_size);
+    }
+    seq.decode_len = rng() % 13;
+    // ~1 in 6 sequences is abandoned partway so the slot is reused without
+    // a clean finish.
+    seq.abandon = seq.decode_len > 1 && rng() % 6 == 0;
+  }
+
+  nn::BatchedInference bi(model, n_slots);
+  std::vector<ActiveSeq> active(n_slots);
+  std::vector<bool> slot_busy(n_slots, false);
+  std::size_t next_seq = 0, finished = 0;
+
+  std::vector<std::vector<std::vector<float>>> got_logits(n_seqs);
+  std::vector<std::vector<nn::Token>> got_tokens(n_seqs);
+
+  std::vector<std::size_t> step_slots;
+  std::vector<nn::Token> step_tokens;
+  while (finished < n_seqs) {
+    // Admit into every free slot (mid-flight of the busy ones).
+    for (std::size_t s = 0; s < n_slots && next_seq < n_seqs; ++s) {
+      if (slot_busy[s]) continue;
+      bi.reset_slot(s);
+      active[s] = ActiveSeq{};
+      active[s].seq_index = next_seq++;
+      slot_busy[s] = true;
+    }
+    // Each busy slot feeds its next token; a random subset stalls this
+    // step (ragged progress), but a step always feeds someone.
+    step_slots.clear();
+    step_tokens.clear();
+    for (std::size_t s = 0; s < n_slots; ++s) {
+      if (!slot_busy[s]) continue;
+      if (step_slots.size() > 0 && rng() % 4 == 0) continue;  // stall slot
+      ActiveSeq& a = active[s];
+      const Sequence& seq = seqs[a.seq_index];
+      step_slots.push_back(s);
+      if (a.fed < seq.prompt.size()) {
+        step_tokens.push_back(seq.prompt[a.fed++]);
+      } else {
+        const nn::Token next = argmax_token(bi.logits(s));
+        a.tokens.push_back(next);
+        ++a.decoded;
+        step_tokens.push_back(next);
+      }
+    }
+    if (step_slots.empty()) continue;
+    bi.step(step_slots.data(), step_tokens.data(), step_slots.size());
+    // Collect logits and retire finished/abandoned sequences.
+    for (const std::size_t s : step_slots) {
+      ActiveSeq& a = active[s];
+      const Sequence& seq = seqs[a.seq_index];
+      if (a.fed < seq.prompt.size()) continue;  // still mid-prompt
+      a.logits.push_back(bi.logits(s));
+      const bool abandon_now = seq.abandon && a.decoded == seq.decode_len / 2;
+      if (a.decoded == seq.decode_len || abandon_now) {
+        got_logits[a.seq_index] = std::move(a.logits);
+        got_tokens[a.seq_index] = std::move(a.tokens);
+        slot_busy[s] = false;
+        ++finished;
+      }
+    }
+  }
+
+  for (std::size_t q = 0; q < n_seqs; ++q) {
+    Sequence checked = seqs[q];
+    if (checked.abandon) {
+      // The oracle only needs to match up to the abandonment point.
+      checked.decode_len = checked.decode_len / 2;
+    }
+    const OracleRun oracle = oracle_run(model, checked);
+    bool identical = oracle.tokens == got_tokens[q] &&
+                     oracle.step_logits.size() == got_logits[q].size();
+    for (std::size_t s = 0; identical && s < oracle.step_logits.size(); ++s) {
+      identical = oracle.step_logits[s].size() == got_logits[q][s].size() &&
+                  std::memcmp(oracle.step_logits[s].data(), got_logits[q][s].data(),
+                              oracle.step_logits[s].size() * sizeof(float)) == 0;
+    }
+    ASSERT_TRUE(identical) << divergence_report(seed, q, checked, oracle,
+                                                got_logits[q], got_tokens[q]);
+  }
+}
+
+TEST(BatchCompositions, SixtySeededSchedulesMatchSerialOracleBitwise) {
+  const nn::GptModel model = tiny_model();
+  for (std::size_t seed = 0; seed < 60; ++seed) {
+    SCOPED_TRACE("composition seed " + std::to_string(seed));
+    run_composition(model, seed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DecodeEngine compositions: concurrent submitters racing for fewer slots,
+// so admissions and retirements genuinely interleave mid-step. Each request
+// greedy-decodes a random depth; completed requests must be bitwise equal
+// to the serial oracle regardless of what shared the batch with them.
+// ---------------------------------------------------------------------------
+
+void run_engine_composition(const nn::GptModel& model, std::size_t seed) {
+  std::mt19937 rng(static_cast<std::uint32_t>(seed * 40503u + 7));
+  const std::size_t n_slots = 1 + rng() % 3;
+  const std::size_t n_reqs = n_slots + 2 + rng() % 6;
+
+  std::vector<Sequence> seqs(n_reqs);
+  for (auto& seq : seqs) {
+    seq.prompt.resize(1 + rng() % 20);
+    for (auto& t : seq.prompt) {
+      t = static_cast<nn::Token>(rng() % model.config().vocab_size);
+    }
+    seq.decode_len = rng() % 10;
+  }
+  // ~1 in 5 compositions carries one pre-cancelled request: its prompt
+  // feed must stop before the first token and report cancelled without
+  // perturbing anything else in the batch.
+  const std::size_t cancelled_req = rng() % 5 == 0 ? rng() % n_reqs : n_reqs;
+
+  std::vector<std::vector<float>> final_logits(n_reqs);
+  std::vector<std::vector<nn::Token>> decoded(n_reqs);
+  std::vector<bool> was_cancelled(n_reqs, false);
+
+  {
+    nn::DecodeEngine engine(model, n_slots);
+    util::CancelToken pre_cancelled;
+    pre_cancelled.cancel();
+    std::vector<std::thread> submitters;
+    submitters.reserve(n_reqs);
+    for (std::size_t r = 0; r < n_reqs; ++r) {
+      submitters.emplace_back([&, r] {
+        nn::DecodeEngine::Request req;
+        req.prompt = seqs[r].prompt;
+        if (r == cancelled_req) req.cancel = &pre_cancelled;
+        std::size_t produced = 0;
+        req.on_logits = [&, r](const std::vector<float>& logits,
+                               std::size_t) -> nn::Token {
+          if (produced == seqs[r].decode_len) {
+            final_logits[r] = logits;
+            return nn::DecodeEngine::kStopDecoding;
+          }
+          ++produced;
+          const nn::Token next = argmax_token(logits);
+          decoded[r].push_back(next);
+          return next;
+        };
+        const nn::DecodeEngine::Completion done = engine.run(std::move(req));
+        was_cancelled[r] = done.cancelled;
+      });
+    }
+    for (auto& thread : submitters) thread.join();
+  }
+
+  for (std::size_t r = 0; r < n_reqs; ++r) {
+    if (r == cancelled_req) {
+      EXPECT_TRUE(was_cancelled[r]) << "pre-cancelled request " << r
+                                    << " completed (seed " << seed << ")";
+      EXPECT_TRUE(decoded[r].empty());
+      continue;
+    }
+    ASSERT_FALSE(was_cancelled[r]) << "request " << r << " spuriously cancelled";
+    const OracleRun oracle = oracle_run(model, seqs[r]);
+    const bool identical =
+        oracle.tokens == decoded[r] &&
+        final_logits[r].size() == oracle.step_logits.back().size() &&
+        std::memcmp(final_logits[r].data(), oracle.step_logits.back().data(),
+                    final_logits[r].size() * sizeof(float)) == 0;
+    std::vector<std::vector<float>> got{final_logits[r]};
+    std::vector<std::vector<float>> want{oracle.step_logits.back()};
+    OracleRun tail;
+    tail.tokens = oracle.tokens;
+    tail.step_logits = want;
+    ASSERT_TRUE(identical) << divergence_report(seed, r, seqs[r], tail, got,
+                                                decoded[r]);
+  }
+}
+
+TEST(BatchCompositions, FortyEightEngineRacesMatchSerialOracleBitwise) {
+  const nn::GptModel model = tiny_model();
+  for (std::size_t seed = 0; seed < 48; ++seed) {
+    SCOPED_TRACE("engine composition seed " + std::to_string(seed));
+    run_engine_composition(model, seed);
+  }
+}
+
+// A cancel that fires mid-run (from a racing thread) must never corrupt
+// the surviving requests: whatever the cancelled request managed to do,
+// everyone who completed stays bitwise equal to the oracle.
+TEST(BatchCompositions, MidFlightCancelLeavesOtherSlotsBitIdentical) {
+  const nn::GptModel model = tiny_model();
+  for (std::size_t seed = 0; seed < 8; ++seed) {
+    SCOPED_TRACE("mid-flight cancel seed " + std::to_string(seed));
+    std::mt19937 rng(static_cast<std::uint32_t>(seed + 1000));
+    const std::size_t n_reqs = 4;
+    std::vector<Sequence> seqs(n_reqs);
+    for (auto& seq : seqs) {
+      seq.prompt.resize(8 + rng() % 16);
+      for (auto& t : seq.prompt) {
+        t = static_cast<nn::Token>(rng() % model.config().vocab_size);
+      }
+      seq.decode_len = 4 + rng() % 6;
+    }
+    std::vector<std::vector<nn::Token>> decoded(n_reqs);
+    std::vector<std::vector<float>> final_logits(n_reqs);
+    std::vector<bool> was_cancelled(n_reqs, false);
+    util::CancelToken victim_cancel;
+    {
+      nn::DecodeEngine engine(model, 2);
+      std::vector<std::thread> submitters;
+      for (std::size_t r = 0; r < n_reqs; ++r) {
+        submitters.emplace_back([&, r] {
+          nn::DecodeEngine::Request req;
+          req.prompt = seqs[r].prompt;
+          if (r == 0) req.cancel = &victim_cancel;
+          std::size_t produced = 0;
+          req.on_logits = [&, r](const std::vector<float>& logits,
+                                 std::size_t) -> nn::Token {
+            if (r == 0 && victim_cancel.cancelled()) {
+              was_cancelled[r] = true;
+              return nn::DecodeEngine::kStopDecoding;
+            }
+            if (produced == seqs[r].decode_len) {
+              final_logits[r] = logits;
+              return nn::DecodeEngine::kStopDecoding;
+            }
+            ++produced;
+            const nn::Token next = argmax_token(logits);
+            decoded[r].push_back(next);
+            return next;
+          };
+          const auto done = engine.run(std::move(req));
+          was_cancelled[r] = was_cancelled[r] || done.cancelled;
+        });
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50 + 200 * seed));
+      victim_cancel.cancel();
+      for (auto& thread : submitters) thread.join();
+    }
+    for (std::size_t r = 1; r < n_reqs; ++r) {
+      ASSERT_FALSE(was_cancelled[r]);
+      const OracleRun oracle = oracle_run(model, seqs[r]);
+      ASSERT_EQ(oracle.tokens, decoded[r]) << "survivor " << r << " diverged";
+      ASSERT_EQ(final_logits[r].size(), oracle.step_logits.back().size());
+      ASSERT_EQ(std::memcmp(final_logits[r].data(), oracle.step_logits.back().data(),
+                            final_logits[r].size() * sizeof(float)),
+                0)
+          << "survivor " << r << " logits diverged";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end runner equivalence: the token benchmark with decode_batch=4
+// must produce the same results vector and byte-identical journal as the
+// serial reference run.
+// ---------------------------------------------------------------------------
+
+struct TinyWorld {
+  corpus::KnowledgeBase kb;
+  corpus::McqSplit mcqs;
+  tokenizer::BpeTokenizer tok;
+};
+
+TinyWorld make_world() {
+  TinyWorld world;
+  corpus::KbConfig kb_config;
+  kb_config.n_topics = 5;
+  kb_config.entities_per_topic = 3;
+  kb_config.facts_per_entity = 2;
+  kb_config.seed = 151;
+  world.kb = corpus::KnowledgeBase::generate(kb_config);
+  corpus::McqGenConfig mcq_config;
+  mcq_config.questions_per_topic = 2;
+  mcq_config.seed = 152;
+  world.mcqs = corpus::generate_mcqs(world.kb, mcq_config);
+  tokenizer::BpeTrainConfig tok_config;
+  tok_config.vocab_size = 420;
+  world.tok = tokenizer::BpeTokenizer::train(
+      corpus::build_tokenizer_training_text(world.kb, world.mcqs.practice, 153),
+      tok_config);
+  return world;
+}
+
+nn::GptModel make_eval_model(const TinyWorld& world) {
+  nn::GptConfig config;
+  config.vocab_size = world.tok.vocab_size();
+  config.ctx_len = 448;
+  config.d_model = 24;
+  config.n_heads = 2;
+  config.n_layers = 1;
+  config.d_ff = 48;
+  nn::GptModel model(config);
+  util::Rng rng(154);
+  model.init_weights(rng);
+  return model;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(BatchedRunner, TokenBenchmarkJournalAndResultsMatchSerial) {
+  const TinyWorld world = make_world();
+  const nn::GptModel model = make_eval_model(world);
+  const fs::path dir =
+      fs::temp_directory_path() / ("astromlab_batch_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+
+  eval::EvalJournal serial_journal(dir / "serial.jsonl");
+  const auto serial = eval::run_token_benchmark(model, world.tok,
+                                                world.mcqs.benchmark,
+                                                world.mcqs.practice,
+                                                &serial_journal);
+
+  eval::EvalRunOptions opts;
+  opts.decode_batch = 4;
+  opts.prefix_cache = true;
+  eval::EvalJournal batched_journal(dir / "batched.jsonl");
+  const auto batched = eval::run_token_benchmark(model, world.tok,
+                                                 world.mcqs.benchmark,
+                                                 world.mcqs.practice,
+                                                 &batched_journal, {}, opts);
+
+  ASSERT_EQ(serial.size(), batched.size());
+  for (std::size_t q = 0; q < serial.size(); ++q) {
+    EXPECT_EQ(serial[q].predicted, batched[q].predicted) << "question " << q;
+    EXPECT_EQ(serial[q].correct, batched[q].correct) << "question " << q;
+    EXPECT_EQ(serial[q].degraded, batched[q].degraded) << "question " << q;
+  }
+  EXPECT_EQ(slurp(dir / "serial.jsonl"), slurp(dir / "batched.jsonl"))
+      << "journal bytes must not depend on batch composition";
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
+}  // namespace
+}  // namespace astromlab

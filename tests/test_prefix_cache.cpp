@@ -308,6 +308,68 @@ TEST(PrefixSnapshot, CommonTokenPrefixLengths) {
   EXPECT_EQ(common_token_prefix({5, 2, 3}, {1, 2, 3}), 0u);
 }
 
+TEST(PrefixSnapshot, ForkIntoBatchSlotBitIdenticalToSerialForkWithBusyNeighbours) {
+  // The decode engine admits a forked question into one slot of a live
+  // batch. The forked slot must produce logits bitwise equal to a serial
+  // fork of the same snapshot, and the neighbouring slots — mid-flight on
+  // unrelated sequences — must not move by a single bit either way.
+  util::Rng rng(20260812);
+  for (int trial = 0; trial < 4; ++trial) {
+    const nn::GptConfig config = random_config(rng);
+    nn::GptModel model(config);
+    util::Rng init(3000 + static_cast<std::uint64_t>(trial));
+    model.init_weights(init);
+
+    const std::size_t len = 4 + rng.next_below(config.ctx_len - 5);
+    const std::vector<nn::Token> tokens = random_tokens(rng, len, config.vocab_size);
+    const std::size_t prefix = 1 + rng.next_below(len - 1);
+
+    nn::GptInference reference(model);
+    const std::vector<float> want = reference.prompt(tokens);
+
+    nn::GptInference source(model);
+    source.prompt(tokens.data(), prefix, nullptr);
+    const nn::KvSnapshot snap = source.snapshot();
+
+    // Neighbour slots 0 and 2 run their own sequences; fork lands in 1.
+    const std::size_t n_len = len;  // same horizon so all slots step together
+    std::vector<std::vector<nn::Token>> neighbour(2);
+    for (auto& seq : neighbour) seq = random_tokens(rng, n_len, config.vocab_size);
+    std::vector<std::vector<float>> neighbour_want(2);
+    for (std::size_t i = 0; i < 2; ++i) {
+      nn::GptInference serial(model);
+      neighbour_want[i] = serial.prompt(neighbour[i]);
+    }
+
+    nn::BatchedInference bi(model, 3);
+    // Warm the neighbours a few tokens before the fork is admitted.
+    const std::size_t warm = std::min<std::size_t>(2, n_len);
+    for (std::size_t t = 0; t < warm; ++t) {
+      const std::size_t slots[] = {0, 2};
+      const nn::Token toks[] = {neighbour[0][t], neighbour[1][t]};
+      bi.step(slots, toks, 2);
+    }
+    bi.fork_slot(1, snap, prefix);
+    EXPECT_EQ(bi.position(1), prefix);
+    // Drive all three slots to completion with ragged per-slot progress.
+    std::size_t fed1 = prefix, fed0 = warm, fed2 = warm;
+    while (fed0 < n_len || fed1 < len || fed2 < n_len) {
+      std::vector<std::size_t> slots;
+      std::vector<nn::Token> toks;
+      if (fed0 < n_len) { slots.push_back(0); toks.push_back(neighbour[0][fed0++]); }
+      if (fed1 < len) { slots.push_back(1); toks.push_back(tokens[fed1++]); }
+      if (fed2 < n_len) { slots.push_back(2); toks.push_back(neighbour[1][fed2++]); }
+      bi.step(slots.data(), toks.data(), slots.size());
+    }
+    expect_bit_identical(want, bi.logits(1),
+                         "forked slot, trial " + std::to_string(trial) + " prefix " +
+                             std::to_string(prefix) + " of " + std::to_string(len));
+    EXPECT_EQ(bi.position(1), len);
+    expect_bit_identical(neighbour_want[0], bi.logits(0), "neighbour slot 0");
+    expect_bit_identical(neighbour_want[1], bi.logits(2), "neighbour slot 2");
+  }
+}
+
 // ---------------------------------------------------------------------------
 // PrefixCache and full-run parity on a tiny synthetic world.
 
@@ -422,6 +484,48 @@ TEST_F(PrefixCacheEvalTest, BuildDiscoversSharedPrefixOrDeclines) {
   EXPECT_EQ(stats.reused_tokens, reused);
   EXPECT_GT(stats.reuse_ratio(), 0.0);
   EXPECT_LE(stats.reuse_ratio(), 1.0);
+}
+
+TEST_F(PrefixCacheEvalTest, CacheForkIntoBatchSlotMatchesSerialOverload) {
+  // The batched fork() overload must compute the same reuse offset as the
+  // serial one and leave the slot in a state whose subsequent logits are
+  // bitwise equal — including after evict(), where both degrade to a full
+  // reset and feed-everything.
+  const TinyWorld world = make_eval_world();
+  const nn::GptModel model = make_eval_model(world);
+  const std::string shared = "The following is an exam about the synthetic universe.\n";
+  const auto cache =
+      PrefixCache::build(model, world.tok, {shared + "Q1: first?", shared + "Q2: second?"});
+  ASSERT_NE(cache, nullptr);
+
+  const std::vector<tokenizer::TokenId> ids = world.tok.encode(shared + "Q3: third?");
+  const std::vector<nn::Token> tokens(ids.begin(), ids.end());
+
+  for (const bool evicted : {false, true}) {
+    if (evicted) {
+      EXPECT_GT(cache->evict(), 0u);
+    }
+    nn::GptInference serial(model);
+    const std::size_t reused_serial = cache->fork(serial, tokens);
+    const std::vector<float> want =
+        serial.prompt(tokens.data() + reused_serial, tokens.size() - reused_serial, nullptr);
+
+    nn::BatchedInference bi(model, 2);
+    const std::size_t reused_batched = cache->fork(bi, 1, tokens);
+    EXPECT_EQ(reused_batched, reused_serial) << "evicted=" << evicted;
+    if (evicted) {
+      EXPECT_EQ(reused_batched, 0u);
+    }
+    const std::size_t slot = 1;
+    for (std::size_t t = reused_batched; t < tokens.size(); ++t) {
+      const nn::Token token = tokens[t];
+      bi.step(&slot, &token, 1);
+    }
+    expect_bit_identical(want, bi.logits(1),
+                         std::string("batched cache fork, evicted=") +
+                             (evicted ? "true" : "false"));
+    EXPECT_EQ(bi.position(1), tokens.size());
+  }
 }
 
 TEST_F(PrefixCacheEvalTest, SamplerWithSnapshotGeneratesIdenticalTokens) {

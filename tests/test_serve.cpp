@@ -321,6 +321,126 @@ TEST(Serve, DrainCancelsInflightWorkWithinGrace) {
   EXPECT_EQ(server.in_flight(), 0u);
 }
 
+TEST(Serve, BatchedMcqConcurrentRequestsByteIdenticalToSerial) {
+  // The decode_batch >= 2 server coalesces concurrent /v1/mcq requests
+  // into shared decode steps; the contract is that batch composition is
+  // invisible at the byte level — every response body matches the serial
+  // server's exactly, no matter who shared the batch.
+  const auto& world = shared_world();
+  InferenceServer serial(world, quiet_config());
+  serial.start();
+  ServerConfig batched_config = quiet_config();
+  batched_config.workers = 4;
+  batched_config.decode_batch = 4;
+  InferenceServer batched(world, batched_config);
+  batched.start();
+
+  const std::size_t n = world->world.mcqs.benchmark.size();
+  ASSERT_GE(n, 2u);
+  std::vector<std::string> serial_bodies(n);
+  {
+    HttpClient client("127.0.0.1", serial.port());
+    for (std::size_t q = 0; q < n; ++q) {
+      const std::optional<HttpResponse> response =
+          client.request("POST", "/v1/mcq", mcq_body(q), 30.0);
+      ASSERT_TRUE(response.has_value()) << "serial question " << q;
+      ASSERT_EQ(response->status, 200) << response->body;
+      serial_bodies[q] = response->body;
+    }
+  }
+
+  // Two rounds of all-questions-at-once so requests genuinely co-reside
+  // in the engine's batch (4 slots, n > 4 requests racing for them).
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::string> batched_bodies(n);
+    std::vector<int> statuses(n, 0);
+    std::vector<std::thread> clients;
+    clients.reserve(n);
+    for (std::size_t q = 0; q < n; ++q) {
+      clients.emplace_back([&, q, port = batched.port()] {
+        HttpClient client("127.0.0.1", port);
+        const std::optional<HttpResponse> response =
+            client.request("POST", "/v1/mcq", mcq_body(q), 30.0);
+        if (response.has_value()) {
+          statuses[q] = response->status;
+          batched_bodies[q] = response->body;
+        }
+      });
+    }
+    for (auto& thread : clients) thread.join();
+    for (std::size_t q = 0; q < n; ++q) {
+      ASSERT_EQ(statuses[q], 200) << "round " << round << " question " << q;
+      EXPECT_EQ(batched_bodies[q], serial_bodies[q])
+          << "round " << round << " question " << q
+          << ": batched response bytes diverged from serial";
+    }
+  }
+}
+
+TEST(Serve, MidBatchDeadlineAnswers504WithoutDisturbingNeighbours) {
+  // One request in a full batch expires mid-flight; it must answer 504
+  // while its batch-mates complete with the same bytes a serial server
+  // produces. Slot-granular cancellation must not leak across slots.
+  const auto& world = shared_world();
+  InferenceServer serial(world, quiet_config());
+  serial.start();
+  ServerConfig batched_config = quiet_config();
+  batched_config.workers = 4;
+  batched_config.decode_batch = 4;
+  InferenceServer batched(world, batched_config);
+  batched.start();
+
+  const std::size_t n_neighbours = 3;
+  std::vector<std::string> serial_bodies(n_neighbours);
+  {
+    HttpClient client("127.0.0.1", serial.port());
+    for (std::size_t q = 0; q < n_neighbours; ++q) {
+      const std::optional<HttpResponse> response =
+          client.request("POST", "/v1/mcq", mcq_body(q), 30.0);
+      ASSERT_TRUE(response.has_value());
+      ASSERT_EQ(response->status, 200);
+      serial_bodies[q] = response->body;
+    }
+  }
+
+  std::vector<std::string> batched_bodies(n_neighbours);
+  std::vector<int> statuses(n_neighbours, 0);
+  int doomed_status = 0;
+  std::vector<std::thread> clients;
+  for (std::size_t q = 0; q < n_neighbours; ++q) {
+    clients.emplace_back([&, q, port = batched.port()] {
+      HttpClient client("127.0.0.1", port);
+      const std::optional<HttpResponse> response =
+          client.request("POST", "/v1/mcq", mcq_body(q), 30.0);
+      if (response.has_value()) {
+        statuses[q] = response->status;
+        batched_bodies[q] = response->body;
+      }
+    });
+  }
+  clients.emplace_back([&, port = batched.port()] {
+    HttpClient client("127.0.0.1", port);
+    json::Value body = json::Value::object();
+    body.set("question_index", static_cast<std::int64_t>(0));
+    body.set("deadline_ms", 0.01);  // expires before the prompt feed finishes
+    const std::optional<HttpResponse> response =
+        client.request("POST", "/v1/mcq", body.dump(), 30.0);
+    if (response.has_value()) doomed_status = response->status;
+  });
+  for (auto& thread : clients) thread.join();
+
+  EXPECT_EQ(doomed_status, 504);
+  for (std::size_t q = 0; q < n_neighbours; ++q) {
+    ASSERT_EQ(statuses[q], 200) << "neighbour " << q;
+    EXPECT_EQ(batched_bodies[q], serial_bodies[q])
+        << "neighbour " << q << " perturbed by a mid-batch deadline expiry";
+  }
+  // The expired slot must be recycled cleanly for the next request.
+  HttpClient client("127.0.0.1", batched.port());
+  const json::Value ok = post_json(client, "/v1/mcq", mcq_body(0), 200);
+  EXPECT_EQ(ok.dump(), json::parse(serial_bodies[0]).dump());
+}
+
 TEST(Serve, MalformedAndUnknownRequestsAnswerClientErrors) {
   InferenceServer server(shared_world(), quiet_config());
   server.start();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <string>
 #include <tuple>
@@ -415,6 +416,137 @@ TEST(OpsProperty, SoftmaxLongRowsMatchDoubleReference) {
   }
 }
 
+// ---- multi_gemv: batched matvec vs the serial m == 1 gemv fast path ----
+//
+// The batched decode path leans on multi_gemv's contract: every output is
+// bitwise identical to the serial gemv regardless of how many inputs share
+// the call or where in the slot array an input sits. These properties are
+// what make batch composition invisible to the logits.
+
+TEST(MultiGemvProperty, BitwiseEqualToSerialGemvUnderAdversarialStrides) {
+  util::Rng rng(20260809);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 1 + rng.next_below(48);
+    const std::size_t k = 1 + rng.next_below(96);
+    // Row stride past the logical width, with live garbage in the padding:
+    // it must never leak into any output.
+    const std::size_t ldb = k + rng.next_below(7);
+    const std::size_t count = 1 + rng.next_below(8);
+    const float alphas[] = {1.0f, 0.5f, -1.0f, 2.0f};
+    const float alpha = alphas[rng.next_below(4)];
+
+    std::vector<float> b(n * ldb);
+    for (float& v : b) v = static_cast<float>(rng.next_gaussian());
+    std::vector<std::vector<float>> xs(count), ys(count), ys_ref(count);
+    std::vector<const float*> x_ptrs(count);
+    std::vector<float*> y_ptrs(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      xs[i].resize(k);
+      for (float& v : xs[i]) v = static_cast<float>(rng.next_gaussian());
+      // Garbage in the outputs: multi_gemv owns the zero-fill.
+      ys[i].assign(n, std::numeric_limits<float>::quiet_NaN());
+      ys_ref[i].assign(n, 0.0f);
+      x_ptrs[i] = xs[i].data();
+      y_ptrs[i] = ys[i].data();
+    }
+
+    multi_gemv(n, k, alpha, x_ptrs.data(), count, b.data(), ldb, y_ptrs.data());
+    for (std::size_t i = 0; i < count; ++i) {
+      sgemm(false, true, 1, n, k, alpha, xs[i].data(), k, b.data(), ldb, 0.0f,
+            ys_ref[i].data(), n);
+      EXPECT_EQ(std::memcmp(ys[i].data(), ys_ref[i].data(), n * sizeof(float)), 0)
+          << "trial " << trial << " input " << i << " n=" << n << " k=" << k
+          << " ldb=" << ldb << " count=" << count << " alpha=" << alpha;
+    }
+  }
+}
+
+TEST(MultiGemvProperty, SlotPermutationsDoNotPerturbAnyOutput) {
+  // The same logical input must produce the same bits no matter which slot
+  // of the pointer array carries it or who its batch-mates are.
+  util::Rng rng(20260810);
+  const std::size_t n = 37, k = 53, ldb = k + 3, count = 6;
+  std::vector<float> b(n * ldb);
+  for (float& v : b) v = static_cast<float>(rng.next_gaussian());
+  std::vector<std::vector<float>> xs(count);
+  for (auto& x : xs) {
+    x.resize(k);
+    for (float& v : x) v = static_cast<float>(rng.next_gaussian());
+  }
+  std::vector<std::vector<float>> baseline(count, std::vector<float>(n));
+  {
+    std::vector<const float*> x_ptrs(count);
+    std::vector<float*> y_ptrs(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      x_ptrs[i] = xs[i].data();
+      y_ptrs[i] = baseline[i].data();
+    }
+    multi_gemv(n, k, 1.0f, x_ptrs.data(), count, b.data(), ldb, y_ptrs.data());
+  }
+  std::vector<std::size_t> perm(count);
+  for (std::size_t i = 0; i < count; ++i) perm[i] = i;
+  for (int trial = 0; trial < 8; ++trial) {
+    for (std::size_t i = count; i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.next_below(i)]);
+    }
+    // Also vary the subset size: a shrunken batch must still match.
+    const std::size_t sub = 1 + rng.next_below(count);
+    std::vector<std::vector<float>> ys(sub, std::vector<float>(n));
+    std::vector<const float*> x_ptrs(sub);
+    std::vector<float*> y_ptrs(sub);
+    for (std::size_t i = 0; i < sub; ++i) {
+      x_ptrs[i] = xs[perm[i]].data();
+      y_ptrs[i] = ys[i].data();
+    }
+    multi_gemv(n, k, 1.0f, x_ptrs.data(), sub, b.data(), ldb, y_ptrs.data());
+    for (std::size_t i = 0; i < sub; ++i) {
+      EXPECT_EQ(std::memcmp(ys[i].data(), baseline[perm[i]].data(), n * sizeof(float)), 0)
+          << "trial " << trial << " slot " << i << " logical input " << perm[i]
+          << " sub=" << sub;
+    }
+  }
+}
+
+TEST(MultiGemv, CountAndShapeEdges) {
+  // count == 0: a no-op — outputs are not even zero-filled.
+  std::vector<float> garbage = {1.0f, 2.0f};
+  float* y_garbage = garbage.data();
+  multi_gemv(2, 3, 1.0f, nullptr, 0, nullptr, 3, &y_garbage);
+  EXPECT_EQ(garbage[0], 1.0f);
+  EXPECT_EQ(garbage[1], 2.0f);
+
+  // n == 0: nothing to write.
+  const float x0[] = {1.0f};
+  const float* x_ptr = x0;
+  multi_gemv(0, 1, 1.0f, &x_ptr, 1, x0, 1, &y_garbage);
+  EXPECT_EQ(garbage[0], 1.0f);
+
+  // k == 0 and alpha == 0: outputs are cleared, exactly like the beta = 0
+  // sgemm the contract names.
+  std::vector<float> y1 = {5.0f, 6.0f}, y2 = {7.0f, 8.0f};
+  float* y1_ptr = y1.data();
+  float* y2_ptr = y2.data();
+  const float b[] = {1.0f, 2.0f, 3.0f, 4.0f};
+  multi_gemv(2, 0, 1.0f, &x_ptr, 1, b, 2, &y1_ptr);
+  EXPECT_EQ(y1[0], 0.0f);
+  EXPECT_EQ(y1[1], 0.0f);
+  multi_gemv(2, 1, 0.0f, &x_ptr, 1, b, 2, &y2_ptr);
+  EXPECT_EQ(y2[0], 0.0f);
+  EXPECT_EQ(y2[1], 0.0f);
+
+  // count == 1 degenerates to the serial gemv bit-for-bit.
+  util::Rng rng(999);
+  const std::size_t n = 19, k = 41;
+  std::vector<float> x(k), bm(n * k), y(n), y_ref(n, 0.0f);
+  for (float& v : x) v = static_cast<float>(rng.next_gaussian());
+  for (float& v : bm) v = static_cast<float>(rng.next_gaussian());
+  const float* xp = x.data();
+  float* yp = y.data();
+  multi_gemv(n, k, 1.0f, &xp, 1, bm.data(), k, &yp);
+  sgemm(false, true, 1, n, k, 1.0f, x.data(), k, bm.data(), k, 0.0f, y_ref.data(), n);
+  EXPECT_EQ(std::memcmp(y.data(), y_ref.data(), n * sizeof(float)), 0);
+}
+
 // ---- runtime dispatch ----
 
 /// Restores runtime kernel detection even when an assertion fails mid-test.
@@ -478,6 +610,39 @@ TEST(KernelDispatch, ScalarAndVectorisedPathsAgreeOnRandomShapes) {
     for (std::size_t i = 0; i < 64; ++i) {
       EXPECT_NEAR(y1[i], y0[i], 1e-5f * (1.0f + std::abs(y0[i])));
       EXPECT_NEAR(sm1[i], sm0[i], 1e-5f);
+    }
+  }
+}
+
+TEST(MultiGemv, ScalarAndVectorisedKernelsHonourTheSerialContract) {
+  // Each kernel's batched path must honour the serial-gemv contract under
+  // ITS OWN dot — the cross-kernel equivalence the sanitizer matrix (which
+  // runs some configs on the scalar kernel) relies on.
+  KernelOverrideGuard guard;
+  util::Rng rng(20260811);
+  const std::size_t n = 29, k = 67, count = 5;
+  std::vector<float> b(n * k);
+  for (float& v : b) v = static_cast<float>(rng.next_gaussian());
+  std::vector<std::vector<float>> xs(count);
+  for (auto& x : xs) {
+    x.resize(k);
+    for (float& v : x) v = static_cast<float>(rng.next_gaussian());
+  }
+  std::vector<const float*> x_ptrs(count);
+  for (std::size_t i = 0; i < count; ++i) x_ptrs[i] = xs[i].data();
+
+  for (const char* kernel : {"scalar", "auto"}) {
+    ASSERT_TRUE(set_kernel_override(kernel));
+    std::vector<std::vector<float>> ys(count, std::vector<float>(n));
+    std::vector<float*> y_ptrs(count);
+    for (std::size_t i = 0; i < count; ++i) y_ptrs[i] = ys[i].data();
+    multi_gemv(n, k, 1.0f, x_ptrs.data(), count, b.data(), k, y_ptrs.data());
+    for (std::size_t i = 0; i < count; ++i) {
+      std::vector<float> y_ref(n, 0.0f);
+      sgemm(false, true, 1, n, k, 1.0f, xs[i].data(), k, b.data(), k, 0.0f,
+            y_ref.data(), n);
+      EXPECT_EQ(std::memcmp(ys[i].data(), y_ref.data(), n * sizeof(float)), 0)
+          << kernel << " input " << i;
     }
   }
 }
