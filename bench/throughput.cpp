@@ -37,6 +37,7 @@
 #include <cstring>
 #include <filesystem>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -50,6 +51,7 @@
 #include "nn/decode_engine.hpp"
 #include "nn/gpt.hpp"
 #include "nn/trainer.hpp"
+#include "tensor/bf16.hpp"
 #include "tensor/ops.hpp"
 #include "tokenizer/bpe.hpp"
 #include "util/cli.hpp"
@@ -704,6 +706,263 @@ json::Value smoke_batch() {
   return report;
 }
 
+/// Quantised-weight gate. Three measurements on two models:
+///  1. decode throughput of the decode-bound batch model (see
+///     `batch_bench_model()`: ~218 MB of fp32 weights, far past L2) at
+///     fp32 vs bf16 vs int8 storage. Decode is bound by streaming the
+///     weight set once per token, so halving the bytes must buy real
+///     speed: bf16 tokens/s >= 1.3x fp32 — unless dispatch landed on the
+///     scalar table, whose fused kernels dequantise through a scratch
+///     buffer for bit-identity and are not expected to win.
+///  2. MCQ identity: the bf16-quantised eval model must answer every
+///     benchmark question exactly like fp32 inference over the same
+///     weights rounded through bf16 — quantisation is a storage decision,
+///     not a scoring one.
+///  3. int8 bounded-delta report: int8 is lossy, so answers may flip; the
+///     report records how many did and the accuracy delta vs fp32.
+json::Value smoke_quant(const EvalWorld& world) {
+  constexpr std::size_t kDecodeSteps = 32, kReps = 3;
+  const auto argmax_token = [](const std::vector<float>& logits) {
+    return static_cast<nn::Token>(
+        std::max_element(logits.begin(), logits.end()) - logits.begin());
+  };
+  const auto decode_tps = [&](const nn::GptModel& model) {
+    nn::GptInference inference(model);
+    double best = 1e30;
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
+      inference.reset();
+      const std::vector<float>* logits = &inference.step(42);  // untimed warm-up
+      util::Stopwatch watch;
+      for (std::size_t step = 0; step < kDecodeSteps; ++step) {
+        logits = &inference.step(argmax_token(*logits));
+      }
+      best = std::min(best, watch.seconds());
+    }
+    return static_cast<double>(kDecodeSteps) / best;
+  };
+
+  // One model per dtype: quantize_weights(kBf16) rounds the fp32 masters in
+  // place (embedding lookups must see the same values the fused gemv
+  // dequantises), so the fp32 baseline needs its own pristine instance.
+  double tps_fp32 = 0.0, tps_bf16 = 0.0, tps_int8 = 0.0;
+  json::Value payload = json::Value::object();
+  nn::GptConfig decode_config;
+  {
+    const nn::GptModel model = batch_bench_model();
+    decode_config = model.config();
+    tps_fp32 = decode_tps(model);
+  }
+  {
+    nn::GptModel model = batch_bench_model();
+    model.quantize_weights(tensor::WeightDtype::kBf16);
+    tps_bf16 = decode_tps(model);
+    payload.set("bf16_bytes",
+                static_cast<std::int64_t>(model.quant(model.layout().wte)->bytes()));
+  }
+  {
+    nn::GptModel model = batch_bench_model();
+    model.quantize_weights(tensor::WeightDtype::kInt8);
+    tps_int8 = decode_tps(model);
+    payload.set("int8_bytes",
+                static_cast<std::int64_t>(model.quant(model.layout().wte)->bytes()));
+    payload.set("fp32_bytes",
+                static_cast<std::int64_t>(model.quant(model.layout().wte)->rows *
+                                          model.quant(model.layout().wte)->cols *
+                                          sizeof(float)));
+  }
+
+  // MCQ identity on the eval world: rebuild the world's model from its
+  // deterministic seed twice — one copy bf16-quantised, one bf16-rounded
+  // in fp32 — and the benchmark answers must agree question by question.
+  const auto rebuild_model = [&] {
+    nn::GptModel model(world.model.config());
+    util::Rng rng(64);  // make_eval_world's weight seed
+    model.init_weights(rng);
+    return model;
+  };
+  const std::vector<eval::QuestionResult> fp32_results =
+      eval::run_token_benchmark(world.model, world.tok, world.mcqs.benchmark,
+                                world.mcqs.practice, nullptr, {}, {}, nullptr, nullptr);
+  nn::GptModel quantised = rebuild_model();
+  quantised.quantize_weights(tensor::WeightDtype::kBf16);
+  const std::vector<eval::QuestionResult> bf16_results =
+      eval::run_token_benchmark(quantised, world.tok, world.mcqs.benchmark,
+                                world.mcqs.practice, nullptr, {}, {}, nullptr, nullptr);
+  nn::GptModel rounded = rebuild_model();
+  {
+    float* p = rounded.params().params();
+    const std::size_t n = rounded.params().total_size();
+    for (std::size_t i = 0; i < n; ++i) p[i] = tensor::bf16_round(p[i]);
+  }
+  const std::vector<eval::QuestionResult> rounded_results =
+      eval::run_token_benchmark(rounded, world.tok, world.mcqs.benchmark,
+                                world.mcqs.practice, nullptr, {}, {}, nullptr, nullptr);
+  bool mcq_identical = bf16_results.size() == rounded_results.size();
+  for (std::size_t q = 0; mcq_identical && q < bf16_results.size(); ++q) {
+    mcq_identical = bf16_results[q].predicted == rounded_results[q].predicted &&
+                    bf16_results[q].correct == rounded_results[q].correct;
+  }
+
+  nn::GptModel int8_model = rebuild_model();
+  int8_model.quantize_weights(tensor::WeightDtype::kInt8);
+  const std::vector<eval::QuestionResult> int8_results =
+      eval::run_token_benchmark(int8_model, world.tok, world.mcqs.benchmark,
+                                world.mcqs.practice, nullptr, {}, {}, nullptr, nullptr);
+  std::size_t int8_flips = 0;
+  for (std::size_t q = 0; q < int8_results.size() && q < fp32_results.size(); ++q) {
+    int8_flips += int8_results[q].predicted != fp32_results[q].predicted ? 1 : 0;
+  }
+  const double int8_accuracy = eval::summarize(int8_results).accuracy;
+  const double fp32_accuracy = eval::summarize(fp32_results).accuracy;
+
+  json::Value report = json::Value::object();
+  report.set("benchmark", "quant_weights");
+  report.set("kernel", tensor::kernel_name());
+  report.set("model", model_json(world.model.config()));
+  report.set("decode_model", model_json(decode_config));
+  report.set("decode_steps", static_cast<std::int64_t>(kDecodeSteps));
+  report.set("tokens_per_s_fp32", tps_fp32);
+  report.set("tokens_per_s_bf16", tps_bf16);
+  report.set("tokens_per_s_int8", tps_int8);
+  report.set("bf16_speedup", tps_fp32 > 0.0 ? tps_bf16 / tps_fp32 : 0.0);
+  report.set("int8_speedup", tps_fp32 > 0.0 ? tps_int8 / tps_fp32 : 0.0);
+  report.set("bf16_speedup_gate", 1.3);
+  report.set("wte_payload", std::move(payload));
+  report.set("mcq_questions", static_cast<std::int64_t>(world.mcqs.benchmark.size()));
+  report.set("mcq_identical_bf16", mcq_identical);
+  report.set("int8_answer_flips", static_cast<std::int64_t>(int8_flips));
+  report.set("int8_accuracy", int8_accuracy);
+  report.set("fp32_accuracy", fp32_accuracy);
+  report.set("int8_accuracy_delta", int8_accuracy - fp32_accuracy);
+  return report;
+}
+
+/// Paged-KV gate: 64 sessions forked from one ~200-token shared prefix,
+/// each decoding 8 greedy tokens, contiguous (memcpy fork, full-context
+/// buffers) vs paged (copy-on-write block arena). Two contracts:
+///  * every paged session's greedy token stream and final logits are
+///    bitwise identical to its contiguous twin — paging is invisible at
+///    the bit level;
+///  * tracked KV bytes per live session are >= 4x lower paged than
+///    contiguous, because the prefix blocks are refcounted once and each
+///    session privately owns only the boundary block its decode dirtied.
+json::Value smoke_kv() {
+  nn::GptModel model = bench_model();
+  const nn::GptConfig& config = model.config();
+  constexpr std::size_t kPrefix = 200, kSessions = 64, kDecode = 8;
+  constexpr std::size_t kBlockTokens = 16;
+  util::Rng rng(909);
+  std::vector<nn::Token> prefix(kPrefix);
+  for (auto& t : prefix) t = static_cast<nn::Token>(rng.next_below(config.vocab_size));
+  const auto argmax_token = [](const std::vector<float>& logits) {
+    return static_cast<nn::Token>(
+        std::max_element(logits.begin(), logits.end()) - logits.begin());
+  };
+  auto& budget = util::ResourceBudget::instance();
+
+  // Contiguous baseline: memcpy forks, all sessions live at once so the
+  // per-session figure reflects genuine concurrent residency.
+  std::vector<std::vector<nn::Token>> oracle_tokens(kSessions);
+  std::vector<std::vector<float>> oracle_logits(kSessions);
+  std::size_t contiguous_bytes = 0;
+  double contiguous_seconds = 0.0;
+  {
+    nn::GptInference encoder(model);
+    encoder.prompt(prefix);
+    const nn::KvSnapshot snap = encoder.snapshot();
+    const std::size_t kv_base = budget.domain_bytes(util::MemoryDomain::kKvCache);
+    std::vector<nn::GptInference> sessions;
+    sessions.reserve(kSessions);
+    util::Stopwatch watch;
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      sessions.emplace_back(model);
+      sessions.back().fork_from(snap);
+      // Distinct first token per session, then greedy: 64 diverging
+      // conversations over one shared prefix.
+      nn::Token token = static_cast<nn::Token>(1 + s);
+      const std::vector<float>* logits = nullptr;
+      for (std::size_t step = 0; step < kDecode; ++step) {
+        oracle_tokens[s].push_back(token);
+        logits = &sessions.back().step(token);
+        token = argmax_token(*logits);
+      }
+      oracle_logits[s] = *logits;
+    }
+    contiguous_seconds = watch.seconds();
+    contiguous_bytes = budget.domain_bytes(util::MemoryDomain::kKvCache) - kv_base;
+  }
+
+  // Paged run: same prefix encoded once into a shared arena, 64 forks that
+  // adopt the prefix blocks by refcount and copy-on-write only what their
+  // decode touches.
+  bool bit_identical = true;
+  std::size_t paged_bytes = 0, arena_bytes = 0, live_blocks = 0;
+  double paged_seconds = 0.0;
+  bool arena_drained = false;
+  {
+    auto arena = std::make_shared<nn::KvArena>(kBlockTokens, config.d_model);
+    const std::size_t kv_base = budget.domain_bytes(util::MemoryDomain::kKvCache);
+    {
+      nn::GptInference encoder(model, arena);
+      encoder.prompt(prefix);
+      const nn::KvSnapshot snap = encoder.snapshot();
+      std::vector<nn::GptInference> sessions;
+      sessions.reserve(kSessions);
+      util::Stopwatch watch;
+      for (std::size_t s = 0; s < kSessions; ++s) {
+        sessions.emplace_back(model, arena);
+        sessions.back().fork_from(snap);
+        nn::Token token = static_cast<nn::Token>(1 + s);
+        const std::vector<float>* logits = nullptr;
+        for (std::size_t step = 0; step < kDecode; ++step) {
+          if (token != oracle_tokens[s][step]) bit_identical = false;
+          logits = &sessions.back().step(token);
+          token = argmax_token(*logits);
+        }
+        if (logits->size() != oracle_logits[s].size() ||
+            std::memcmp(logits->data(), oracle_logits[s].data(),
+                        logits->size() * sizeof(float)) != 0) {
+          bit_identical = false;
+        }
+      }
+      paged_seconds = watch.seconds();
+      paged_bytes = budget.domain_bytes(util::MemoryDomain::kKvCache) - kv_base;
+      arena_bytes = arena->total_bytes();
+      live_blocks = arena->live_blocks();
+    }
+    // Everything released: the arena must drain to zero, or forks leak
+    // refcounts that keep retired prefixes resident forever.
+    arena_drained = arena->live_blocks() == 0 && arena->total_bytes() == 0;
+  }
+
+  const double contiguous_per_session =
+      static_cast<double>(contiguous_bytes) / static_cast<double>(kSessions);
+  const double paged_per_session =
+      static_cast<double>(paged_bytes) / static_cast<double>(kSessions);
+  json::Value report = json::Value::object();
+  report.set("benchmark", "paged_kv");
+  report.set("kernel", tensor::kernel_name());
+  report.set("model", model_json(config));
+  report.set("prefix_tokens", static_cast<std::int64_t>(kPrefix));
+  report.set("sessions", static_cast<std::int64_t>(kSessions));
+  report.set("decode_steps", static_cast<std::int64_t>(kDecode));
+  report.set("block_tokens", static_cast<std::int64_t>(kBlockTokens));
+  report.set("contiguous_bytes", static_cast<std::int64_t>(contiguous_bytes));
+  report.set("contiguous_bytes_per_session", contiguous_per_session);
+  report.set("contiguous_seconds", contiguous_seconds);
+  report.set("paged_bytes", static_cast<std::int64_t>(paged_bytes));
+  report.set("paged_bytes_per_session", paged_per_session);
+  report.set("paged_seconds", paged_seconds);
+  report.set("arena_bytes", static_cast<std::int64_t>(arena_bytes));
+  report.set("arena_live_blocks", static_cast<std::int64_t>(live_blocks));
+  report.set("memory_ratio",
+             paged_per_session > 0.0 ? contiguous_per_session / paged_per_session : 0.0);
+  report.set("memory_gate", 4.0);
+  report.set("fork_bit_identical", bit_identical);
+  report.set("arena_drained", arena_drained);
+  return report;
+}
+
 /// Kernel-level GEMM gate: times the dispatched `tensor::sgemm` against the
 /// scalar reference loops (`tensor::sgemm_reference`) on the linear-layer
 /// shapes of the E8 bench model — qkv projection, MLP fc, lm-head prefill,
@@ -940,12 +1199,99 @@ bool emit_and_check_batch(const json::Value& report, const std::filesystem::path
   return true;
 }
 
+/// Gate for BENCH_quant.json: must re-parse, bf16 answers must match the
+/// bf16-rounded fp32 reference exactly, and — unless dispatch landed on
+/// the scalar table, whose fused kernels trade speed for oracle
+/// bit-identity — bf16 decode must beat fp32 by the gate factor. int8 is
+/// lossy by design: its answer flips and accuracy delta are reported, not
+/// gated.
+bool emit_and_check_quant(const json::Value& report, const std::filesystem::path& path) {
+  if (!write_report(path, report.dump(2) + "\n")) return false;
+  json::Value parsed;
+  try {
+    parsed = json::parse(util::read_text_file(path));
+  } catch (const std::exception& e) {
+    std::cerr << "FAIL " << path.string() << ": emitted JSON does not re-parse: " << e.what()
+              << '\n';
+    return false;
+  }
+  const std::string kernel = parsed.get_string("kernel", "");
+  const double speedup = parsed.get_number("bf16_speedup", 0.0);
+  const double gate = parsed.get_number("bf16_speedup_gate", 1.3);
+  std::cout << path.filename().string() << ": fp32 "
+            << parsed.get_number("tokens_per_s_fp32", 0.0) << " tok/s, bf16 "
+            << parsed.get_number("tokens_per_s_bf16", 0.0) << " tok/s (" << speedup
+            << "x, gate " << gate << "x), int8 "
+            << parsed.get_number("tokens_per_s_int8", 0.0) << " tok/s, mcq_identical_bf16="
+            << (parsed.get_bool("mcq_identical_bf16", false) ? "true" : "false")
+            << ", int8 flips " << parsed.get_number("int8_answer_flips", -1.0)
+            << " (accuracy delta " << parsed.get_number("int8_accuracy_delta", 0.0) << ")\n";
+  if (!parsed.get_bool("mcq_identical_bf16", false)) {
+    std::cerr << "FAIL " << path.string()
+              << ": bf16-quantised answers diverged from the bf16-rounded fp32 reference\n";
+    return false;
+  }
+  if (parsed.get_number("int8_answer_flips", -1.0) < 0.0) {
+    std::cerr << "FAIL " << path.string() << ": int8 bounded-delta report missing\n";
+    return false;
+  }
+  if (kernel != "scalar" && speedup < gate) {
+    std::cerr << "FAIL " << path.string() << ": bf16 decode speedup " << speedup
+              << "x below the " << gate << "x gate\n";
+    return false;
+  }
+  return true;
+}
+
+/// Gate for BENCH_kv.json: must re-parse, paged forks must be bitwise
+/// identical to the contiguous memcpy oracle, per-session KV bytes must be
+/// >= 4x lower paged than contiguous at 64 live sessions, and the arena
+/// must drain to zero blocks when the sessions go away.
+bool emit_and_check_kv(const json::Value& report, const std::filesystem::path& path) {
+  if (!write_report(path, report.dump(2) + "\n")) return false;
+  json::Value parsed;
+  try {
+    parsed = json::parse(util::read_text_file(path));
+  } catch (const std::exception& e) {
+    std::cerr << "FAIL " << path.string() << ": emitted JSON does not re-parse: " << e.what()
+              << '\n';
+    return false;
+  }
+  const double ratio = parsed.get_number("memory_ratio", 0.0);
+  const double gate = parsed.get_number("memory_gate", 4.0);
+  std::cout << path.filename().string() << ": "
+            << parsed.get_number("sessions", 0.0) << " sessions, contiguous "
+            << parsed.get_number("contiguous_bytes_per_session", 0.0)
+            << " B/session vs paged " << parsed.get_number("paged_bytes_per_session", 0.0)
+            << " B/session (" << ratio << "x, gate " << gate << "x), fork_bit_identical="
+            << (parsed.get_bool("fork_bit_identical", false) ? "true" : "false")
+            << ", arena_drained="
+            << (parsed.get_bool("arena_drained", false) ? "true" : "false") << '\n';
+  if (!parsed.get_bool("fork_bit_identical", false)) {
+    std::cerr << "FAIL " << path.string()
+              << ": paged forks diverged bitwise from the contiguous oracle\n";
+    return false;
+  }
+  if (!parsed.get_bool("arena_drained", false)) {
+    std::cerr << "FAIL " << path.string() << ": arena kept live blocks after teardown\n";
+    return false;
+  }
+  if (ratio < gate) {
+    std::cerr << "FAIL " << path.string() << ": paged KV memory ratio " << ratio
+              << "x below the " << gate << "x gate\n";
+    return false;
+  }
+  return true;
+}
+
 int run_smoke(const std::filesystem::path& out_dir) {
   std::filesystem::create_directories(out_dir);
   bool ok = emit_and_check_gemm(smoke_gemm(), out_dir / "BENCH_gemm.json");
   ok = emit_and_check(smoke_prefill(), out_dir / "BENCH_prefill.json", "bit_identical") && ok;
   ok = emit_and_check_batch(smoke_batch(), out_dir / "BENCH_batch.json") && ok;
+  ok = emit_and_check_kv(smoke_kv(), out_dir / "BENCH_kv.json") && ok;
   const EvalWorld world = make_eval_world();
+  ok = emit_and_check_quant(smoke_quant(world), out_dir / "BENCH_quant.json") && ok;
   double cold_seconds_per_question = 0.0;
   std::vector<eval::QuestionResult> cold_results;
   ok = emit_and_check(smoke_eval(world, &cold_seconds_per_question, &cold_results),

@@ -45,7 +45,7 @@ std::vector<nn::Token> encode_prompt(const tokenizer::BpeTokenizer& tok,
 
 std::unique_ptr<PrefixCache> PrefixCache::build(
     const nn::GptModel& model, const tokenizer::BpeTokenizer& tok,
-    const std::vector<std::string>& sample_prompts) {
+    const std::vector<std::string>& sample_prompts, std::shared_ptr<nn::KvArena> arena) {
   if (sample_prompts.size() < 2) return nullptr;
 
   std::vector<nn::Token> common = encode_prompt(tok, sample_prompts.front());
@@ -60,7 +60,7 @@ std::unique_ptr<PrefixCache> PrefixCache::build(
 
   const util::trace::Span span("prefix_cache.encode", "cache", "tokens",
                                static_cast<std::uint64_t>(common.size()));
-  std::unique_ptr<PrefixCache> cache(new PrefixCache(model));
+  std::unique_ptr<PrefixCache> cache(new PrefixCache(model, std::move(arena)));
   try {
     for (const nn::Token token : common) cache->encoder_.step(token);
   } catch (const std::bad_alloc&) {

@@ -57,10 +57,14 @@ class PrefixCache {
   /// Builds the cache by encoding the longest common token prefix of
   /// `sample_prompts` (at least two are needed to identify the shared
   /// block). Returns nullptr when no shareable prefix exists — callers
-  /// simply run uncached.
+  /// simply run uncached. When `arena` is non-null the encoder stores its
+  /// rows in the shared paged arena, so forks into other paged inferences
+  /// on the same arena share the prefix blocks by refcount instead of
+  /// copying rows.
   static std::unique_ptr<PrefixCache> build(const nn::GptModel& model,
                                             const tokenizer::BpeTokenizer& tok,
-                                            const std::vector<std::string>& sample_prompts);
+                                            const std::vector<std::string>& sample_prompts,
+                                            std::shared_ptr<nn::KvArena> arena = nullptr);
 
   std::size_t prefix_length() const { return snapshot_.length(); }
   const nn::KvSnapshot& snapshot() const { return snapshot_; }
@@ -100,7 +104,8 @@ class PrefixCache {
   PrefixCacheStats stats() const;
 
  private:
-  explicit PrefixCache(const nn::GptModel& model) : encoder_(model) {}
+  PrefixCache(const nn::GptModel& model, std::shared_ptr<nn::KvArena> arena)
+      : encoder_(model, std::move(arena)) {}
 
   nn::GptInference encoder_;  ///< kept alive: owns the snapshot's K/V rows
   nn::KvSnapshot snapshot_;

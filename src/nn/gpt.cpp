@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "tensor/bf16.hpp"
 #include "tensor/ops.hpp"
 #include "util/checksum.hpp"
 #include "util/thread_pool.hpp"
@@ -179,6 +180,22 @@ void resize_if_needed(std::vector<float>& buffer, std::size_t size) {
   if (buffer.size() < size) buffer.assign(size, 0.0f);
 }
 
+/// m == 1 linear_forward that consults the model's quantised side storage:
+/// runs the dequant-fused matvec when the weight segment is quantised,
+/// the fp32 gemv otherwise. Biases always stay fp32.
+void quant_linear(const tensor::QuantMatrix* qm, float* out, const float* x,
+                  const float* weight, const float* bias, std::size_t in_dim,
+                  std::size_t out_dim) {
+  if (qm != nullptr) {
+    tensor::gemv_quant(*qm, 1.0f, x, out);
+    if (bias != nullptr) tensor::add_row_bias(out, bias, 1, out_dim);
+    return;
+  }
+  linear_forward(out, x, weight, bias, 1, in_dim, out_dim);
+}
+
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
 }  // namespace
 
 std::size_t GptConfig::param_count() const {
@@ -265,6 +282,40 @@ void GptModel::init_weights(util::Rng& rng) {
   }
   fill_const(layout_.lnf_g, 1.0f);
   fill_const(layout_.lnf_b, 0.0f);
+}
+
+void GptModel::quantize_weights(tensor::WeightDtype dtype) {
+  quant_.clear();
+  weight_dtype_ = dtype;
+  if (dtype == tensor::WeightDtype::kF32) return;
+
+  if (dtype == tensor::WeightDtype::kBf16) {
+    // Round the entire parameter table in place so every code path — the
+    // fused kernels, the fp32 fallbacks for small tensors, training
+    // forward/backward — sees the same bf16-representable values. This is
+    // what makes bf16 inference bitwise identical to fp32 inference over
+    // the rounded masters.
+    float* p = params_.params();
+    const std::size_t n = params_.total_size();
+    for (std::size_t i = 0; i < n; ++i) p[i] = tensor::bf16_round(p[i]);
+  }
+
+  quant_.resize(params_.segments().size());
+  const std::size_t c = config_.d_model;
+  const std::size_t f = config_.d_ff;
+  auto store = [&](std::size_t segment, std::size_t rows, std::size_t cols) {
+    quant_[segment] = tensor::quantize(dtype, params_.param(segment), rows, cols);
+  };
+  // The five matrices of the decode path: per-block qkv/attn_proj/fc/
+  // fc_proj plus the tied wte LM head. Everything else (biases, layernorm
+  // gains, wpe) is O(C) per token and stays fp32.
+  store(layout_.wte, config_.vocab_size, c);
+  for (const auto& blk : layout_.blocks) {
+    store(blk.qkv_w, 3 * c, c);
+    store(blk.attn_proj_w, c, c);
+    store(blk.fc_w, f, c);
+    store(blk.fc_proj_w, c, f);
+  }
 }
 
 void GptModel::ensure_activation_capacity(GptActivations& acts, std::size_t batch,
@@ -514,8 +565,14 @@ float GptModel::evaluate_loss(GptActivations& acts, const std::vector<Token>& to
   return forward(acts, inputs.data(), targets.data(), batch, seq);
 }
 
-GptInference::GptInference(const GptModel& model) : model_(model) {
+GptInference::GptInference(const GptModel& model) : GptInference(model, nullptr) {}
+
+GptInference::GptInference(const GptModel& model, std::shared_ptr<KvArena> arena)
+    : model_(model), arena_(std::move(arena)) {
   const auto& cfg = model.config();
+  if (arena_ != nullptr && arena_->d_model() != cfg.d_model) {
+    throw std::invalid_argument("GptInference: arena d_model does not match model");
+  }
   // K/V buffers are NOT allocated here: step/prompt/fork charge them
   // lazily via ensure_kv(), so per-worker scratch inferences constructed
   // during setup cost nothing until their first question — which runs
@@ -540,29 +597,88 @@ void GptInference::reset() {
   ++generation_;
 }
 
+GptInference::~GptInference() {
+  if (arena_ != nullptr && !k_blocks_.empty()) drop_held_blocks();
+}
+
+bool GptInference::kv_resident() const {
+  return paged() ? !k_blocks_.empty() : !k_cache_.empty();
+}
+
 void GptInference::ensure_kv() {
-  if (!k_cache_.empty()) return;
+  if (kv_resident()) return;
   const auto& cfg = model_.config();
-  // Reserve before allocating so a configured budget can refuse the whole
-  // cache with nothing charged (and nothing to unwind).
-  util::MemoryReservation reservation(
-      cfg.n_layers * 2 * cfg.ctx_len * cfg.d_model * sizeof(float),
-      util::MemoryDomain::kKvCache);
-  k_cache_.resize(cfg.n_layers);
-  v_cache_.resize(cfg.n_layers);
-  for (std::size_t l = 0; l < cfg.n_layers; ++l) {
-    k_cache_[l].assign(cfg.ctx_len * cfg.d_model, 0.0f);
-    v_cache_[l].assign(cfg.ctx_len * cfg.d_model, 0.0f);
+  if (paged()) {
+    // Only the pointer tables are set up here: blocks are charged one at a
+    // time as positions are first written (k_write_row/v_write_row), so an
+    // idle paged session costs no KV budget at all.
+    const std::size_t nb = ceil_div(cfg.ctx_len, arena_->block_tokens());
+    k_blocks_.assign(cfg.n_layers,
+                     std::vector<KvArena::BlockId>(nb, KvArena::kNoBlock));
+    v_blocks_.assign(cfg.n_layers,
+                     std::vector<KvArena::BlockId>(nb, KvArena::kNoBlock));
+    k_ptrs_.assign(cfg.n_layers, std::vector<float*>(nb, nullptr));
+    v_ptrs_.assign(cfg.n_layers, std::vector<float*>(nb, nullptr));
+    return;
   }
-  kv_reservation_ = std::move(reservation);
+  // Build the whole cache into locals first. Each per-layer allocation
+  // charges the budget through the vector's allocator, and a denial on any
+  // layer unwinds the locals — releasing exactly what they had charged —
+  // with the members untouched (strong guarantee). The previous scheme
+  // (reserve the total, then resize the members layer by layer) left a
+  // half-allocated cache behind on a mid-loop throw, which the residency
+  // fast path then mistook for a complete one.
+  std::vector<KvVector> k(cfg.n_layers), v(cfg.n_layers);
+  for (std::size_t l = 0; l < cfg.n_layers; ++l) {
+    k[l].assign(cfg.ctx_len * cfg.d_model, 0.0f);
+    v[l].assign(cfg.ctx_len * cfg.d_model, 0.0f);
+  }
+  k_cache_ = std::move(k);
+  v_cache_ = std::move(v);
+}
+
+void GptInference::drop_held_blocks() {
+  for (const auto& layer : k_blocks_) {
+    for (KvArena::BlockId id : layer) {
+      if (id != KvArena::kNoBlock) arena_->release(id);
+    }
+  }
+  for (const auto& layer : v_blocks_) {
+    for (KvArena::BlockId id : layer) {
+      if (id != KvArena::kNoBlock) arena_->release(id);
+    }
+  }
+  k_blocks_.clear();
+  v_blocks_.clear();
+  k_ptrs_.clear();
+  v_ptrs_.clear();
+}
+
+std::size_t GptInference::kv_bytes() const {
+  if (!kv_resident()) return 0;
+  const auto& cfg = model_.config();
+  if (paged()) {
+    std::size_t held = 0;
+    for (const auto& layer : k_blocks_) {
+      for (KvArena::BlockId id : layer) held += (id != KvArena::kNoBlock) ? 1 : 0;
+    }
+    for (const auto& layer : v_blocks_) {
+      for (KvArena::BlockId id : layer) held += (id != KvArena::kNoBlock) ? 1 : 0;
+    }
+    return held * arena_->block_bytes();
+  }
+  return cfg.n_layers * 2 * cfg.ctx_len * cfg.d_model * sizeof(float);
 }
 
 std::size_t GptInference::release_kv() {
-  if (k_cache_.empty()) return 0;
-  const std::size_t freed = kv_reservation_.bytes();
-  std::vector<std::vector<float>>().swap(k_cache_);
-  std::vector<std::vector<float>>().swap(v_cache_);
-  kv_reservation_.release();
+  if (!kv_resident()) return 0;
+  const std::size_t freed = kv_bytes();
+  if (paged()) {
+    drop_held_blocks();
+  } else {
+    std::vector<KvVector>().swap(k_cache_);
+    std::vector<KvVector>().swap(v_cache_);
+  }
   position_ = 0;
   history_.clear();
   // Outstanding snapshots now reference freed rows; the generation bump
@@ -572,19 +688,87 @@ std::size_t GptInference::release_kv() {
   return freed;
 }
 
-namespace {
+const float* GptInference::k_row(std::size_t l, std::size_t t) const {
+  const std::size_t c = model_.config().d_model;
+  if (!paged()) return k_cache_[l].data() + t * c;
+  const std::size_t bt = arena_->block_tokens();
+  return k_ptrs_[l][t / bt] + (t % bt) * c;
+}
 
-/// CRC-32 over the first `rows` positions of every layer's K and V cache.
-std::uint32_t kv_prefix_crc(const std::vector<std::vector<float>>& k_cache,
-                            const std::vector<std::vector<float>>& v_cache,
-                            std::size_t rows, std::size_t c) {
+const float* GptInference::v_row(std::size_t l, std::size_t t) const {
+  const std::size_t c = model_.config().d_model;
+  if (!paged()) return v_cache_[l].data() + t * c;
+  const std::size_t bt = arena_->block_tokens();
+  return v_ptrs_[l][t / bt] + (t % bt) * c;
+}
+
+float* GptInference::k_write_row(std::size_t l, std::size_t t) {
+  const std::size_t c = model_.config().d_model;
+  if (!paged()) return k_cache_[l].data() + t * c;
+  const std::size_t bt = arena_->block_tokens();
+  const std::size_t bi = t / bt;
+  KvArena::BlockId& id = k_blocks_[l][bi];
+  const KvArena::WriteRef ref =
+      (id == KvArena::kNoBlock) ? arena_->alloc_ref() : arena_->write_ref(id);
+  id = ref.id;
+  k_ptrs_[l][bi] = ref.data;
+  return ref.data + (t % bt) * c;
+}
+
+float* GptInference::v_write_row(std::size_t l, std::size_t t) {
+  const std::size_t c = model_.config().d_model;
+  if (!paged()) return v_cache_[l].data() + t * c;
+  const std::size_t bt = arena_->block_tokens();
+  const std::size_t bi = t / bt;
+  KvArena::BlockId& id = v_blocks_[l][bi];
+  const KvArena::WriteRef ref =
+      (id == KvArena::kNoBlock) ? arena_->alloc_ref() : arena_->write_ref(id);
+  id = ref.id;
+  v_ptrs_[l][bi] = ref.data;
+  return ref.data + (t % bt) * c;
+}
+
+std::uint32_t GptInference::kv_crc(std::size_t rows) const {
+  // Same byte stream in both storage modes (all K layers row-major, then
+  // all V layers), so a snapshot CRC taken from a contiguous inference
+  // revalidates against a paged one and vice versa.
   util::Crc32 crc;
-  for (const auto& layer : k_cache) crc.update(layer.data(), rows * c * sizeof(float));
-  for (const auto& layer : v_cache) crc.update(layer.data(), rows * c * sizeof(float));
+  if (!kv_resident()) rows = 0;
+  const std::size_t c = model_.config().d_model;
+  const std::size_t n_layers = model_.config().n_layers;
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    for (std::size_t t = 0; t < rows; ++t) crc.update(k_row(l, t), c * sizeof(float));
+  }
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    for (std::size_t t = 0; t < rows; ++t) crc.update(v_row(l, t), c * sizeof(float));
+  }
   return crc.value();
 }
 
-}  // namespace
+void GptInference::adopt_blocks(const GptInference& src, std::size_t prefix_len) {
+  const auto& cfg = model_.config();
+  const std::size_t bt = arena_->block_tokens();
+  if (!k_blocks_.empty()) drop_held_blocks();
+  const std::size_t nb = ceil_div(cfg.ctx_len, bt);
+  k_blocks_.assign(cfg.n_layers, std::vector<KvArena::BlockId>(nb, KvArena::kNoBlock));
+  v_blocks_.assign(cfg.n_layers, std::vector<KvArena::BlockId>(nb, KvArena::kNoBlock));
+  k_ptrs_.assign(cfg.n_layers, std::vector<float*>(nb, nullptr));
+  v_ptrs_.assign(cfg.n_layers, std::vector<float*>(nb, nullptr));
+  // Share the prefix blocks by refcount — no row copies. A boundary block
+  // cut mid-prefix is safe to share: rows >= prefix_len are written
+  // strictly sequentially, and the first such write copies-on-write.
+  const std::size_t shared = ceil_div(prefix_len, bt);
+  for (std::size_t l = 0; l < cfg.n_layers; ++l) {
+    for (std::size_t bi = 0; bi < shared; ++bi) {
+      arena_->add_ref(src.k_blocks_[l][bi]);
+      k_blocks_[l][bi] = src.k_blocks_[l][bi];
+      k_ptrs_[l][bi] = src.k_ptrs_[l][bi];
+      arena_->add_ref(src.v_blocks_[l][bi]);
+      v_blocks_[l][bi] = src.v_blocks_[l][bi];
+      v_ptrs_[l][bi] = src.v_ptrs_[l][bi];
+    }
+  }
+}
 
 std::size_t common_token_prefix(const std::vector<Token>& a, const std::vector<Token>& b) {
   const std::size_t limit = std::min(a.size(), b.size());
@@ -598,7 +782,7 @@ KvSnapshot GptInference::snapshot() const {
   snap.source_ = this;
   snap.generation_ = generation_;
   snap.tokens_ = history_;
-  snap.crc_ = kv_prefix_crc(k_cache_, v_cache_, position_, model_.config().d_model);
+  snap.crc_ = kv_crc(position_);
   return snap;
 }
 
@@ -623,17 +807,26 @@ void GptInference::fork_from(const KvSnapshot& snap, std::size_t prefix_len) {
   // captured at snapshot time, so any other mutation of the source cache
   // surfaces as a typed error instead of silently wrong logits.
   const std::size_t c = model_.config().d_model;
-  if (kv_prefix_crc(src.k_cache_, src.v_cache_, snap.tokens_.size(), c) != snap.crc_) {
+  if (src.kv_crc(snap.tokens_.size()) != snap.crc_) {
     throw StaleSnapshotError(
         "fork_from: source K/V rows changed since snapshot (CRC mismatch)");
   }
   if (this != &src) {
-    ensure_kv();
-    // prefix_len == 0 also covers a source whose (lazy) caches were never
-    // allocated: there are no rows to copy and src.k_cache_ may be empty.
-    for (std::size_t l = 0; prefix_len > 0 && l < k_cache_.size(); ++l) {
-      std::memcpy(k_cache_[l].data(), src.k_cache_[l].data(), prefix_len * c * sizeof(float));
-      std::memcpy(v_cache_[l].data(), src.v_cache_[l].data(), prefix_len * c * sizeof(float));
+    if (paged() && src.paged() && arena_ == src.arena_) {
+      // Same arena: share the prefix blocks by refcount instead of copying
+      // rows — this is what makes N forked sessions pay for one prefix.
+      adopt_blocks(src, prefix_len);
+    } else {
+      ensure_kv();
+      // prefix_len == 0 also covers a source whose (lazy) caches were
+      // never allocated: there are no rows to copy.
+      const std::size_t n_layers = model_.config().n_layers;
+      for (std::size_t l = 0; prefix_len > 0 && l < n_layers; ++l) {
+        for (std::size_t t = 0; t < prefix_len; ++t) {
+          std::memcpy(k_write_row(l, t), src.k_row(l, t), c * sizeof(float));
+          std::memcpy(v_write_row(l, t), src.v_row(l, t), c * sizeof(float));
+        }
+      }
     }
   }
   position_ = prefix_len;
@@ -642,7 +835,20 @@ void GptInference::fork_from(const KvSnapshot& snap, std::size_t prefix_len) {
 }
 
 void GptInference::corrupt_kv_for_testing(std::size_t layer, std::size_t index, float value) {
-  k_cache_.at(layer).at(index) = value;
+  if (!paged()) {
+    k_cache_.at(layer).at(index) = value;
+    return;
+  }
+  // Deliberately bypasses copy-on-write: the seam simulates cache
+  // corruption, which by nature does not announce itself to refcounts.
+  const std::size_t c = model_.config().d_model;
+  const std::size_t t = index / c;
+  const std::size_t bt = arena_->block_tokens();
+  float* block = k_ptrs_.at(layer).at(t / bt);
+  if (block == nullptr) {
+    throw std::out_of_range("corrupt_kv_for_testing: row not allocated");
+  }
+  block[(t % bt) * c + index % c] = value;
 }
 
 const std::vector<float>& GptInference::step(Token token) {
@@ -674,41 +880,45 @@ const std::vector<float>& GptInference::step(Token token) {
     const auto& blk = layout.blocks[l];
     layernorm_forward(ln_.data(), &mean_scratch, &rstd_scratch, x_.data(),
                       params.param(blk.ln1_g), params.param(blk.ln1_b), 1, c);
-    linear_forward(qkv_.data(), ln_.data(), params.param(blk.qkv_w), params.param(blk.qkv_b),
-                   1, c, 3 * c);
-    std::memcpy(k_cache_[l].data() + t * c, qkv_.data() + c, c * sizeof(float));
-    std::memcpy(v_cache_[l].data() + t * c, qkv_.data() + 2 * c, c * sizeof(float));
+    quant_linear(model_.quant(blk.qkv_w), qkv_.data(), ln_.data(),
+                 params.param(blk.qkv_w), params.param(blk.qkv_b), c, 3 * c);
+    std::memcpy(k_write_row(l, t), qkv_.data() + c, c * sizeof(float));
+    std::memcpy(v_write_row(l, t), qkv_.data() + 2 * c, c * sizeof(float));
 
     for (std::size_t h = 0; h < nh; ++h) {
       const float* q = qkv_.data() + h * hs;
       for (std::size_t t2 = 0; t2 <= t; ++t2) {
-        scores_[t2] = tensor::dot(q, k_cache_[l].data() + t2 * c + h * hs, hs) * scale;
+        scores_[t2] = tensor::dot(q, k_row(l, t2) + h * hs, hs) * scale;
       }
       tensor::softmax_row(scores_.data(), scores_.data(), t + 1);
       float* out = atty_.data() + h * hs;
       std::fill(out, out + hs, 0.0f);
       for (std::size_t t2 = 0; t2 <= t; ++t2) {
-        tensor::axpy(scores_[t2], v_cache_[l].data() + t2 * c + h * hs, out, hs);
+        tensor::axpy(scores_[t2], v_row(l, t2) + h * hs, out, hs);
       }
     }
-    linear_forward(proj_.data(), atty_.data(), params.param(blk.attn_proj_w),
-                   params.param(blk.attn_proj_b), 1, c, c);
+    quant_linear(model_.quant(blk.attn_proj_w), proj_.data(), atty_.data(),
+                 params.param(blk.attn_proj_w), params.param(blk.attn_proj_b), c, c);
     tensor::add_inplace(x_.data(), proj_.data(), c);
 
     layernorm_forward(ln_.data(), &mean_scratch, &rstd_scratch, x_.data(),
                       params.param(blk.ln2_g), params.param(blk.ln2_b), 1, c);
-    linear_forward(fch_.data(), ln_.data(), params.param(blk.fc_w), params.param(blk.fc_b), 1,
-                   c, f);
+    quant_linear(model_.quant(blk.fc_w), fch_.data(), ln_.data(),
+                 params.param(blk.fc_w), params.param(blk.fc_b), c, f);
     tensor::gelu_apply(fch_.data(), fch_.data(), f);
-    linear_forward(proj_.data(), fch_.data(), params.param(blk.fc_proj_w),
-                   params.param(blk.fc_proj_b), 1, f, c);
+    quant_linear(model_.quant(blk.fc_proj_w), proj_.data(), fch_.data(),
+                 params.param(blk.fc_proj_w), params.param(blk.fc_proj_b), f, c);
     tensor::add_inplace(x_.data(), proj_.data(), c);
   }
 
   layernorm_forward(ln_.data(), &mean_scratch, &rstd_scratch, x_.data(),
                     params.param(layout.lnf_g), params.param(layout.lnf_b), 1, c);
-  sgemm(false, true, 1, cfg.vocab_size, c, 1.0f, ln_.data(), c, wte, c, 0.0f, logits_.data(),
-        cfg.vocab_size);
+  if (const tensor::QuantMatrix* qm = model_.quant(layout.wte)) {
+    tensor::gemv_quant(*qm, 1.0f, ln_.data(), logits_.data());
+  } else {
+    sgemm(false, true, 1, cfg.vocab_size, c, 1.0f, ln_.data(), c, wte, c, 0.0f,
+          logits_.data(), cfg.vocab_size);
+  }
   ++position_;
   history_.push_back(token);
   return logits_;
@@ -781,34 +991,35 @@ void BatchedInference::ensure_slot_kv(std::size_t slot) {
   Slot& s = slots_.at(slot);
   if (!s.k_cache.empty()) return;
   const auto& cfg = model_.config();
-  // Reserve before allocating so a configured budget can refuse this one
-  // slot with nothing charged — the other slots keep decoding.
-  util::MemoryReservation reservation(
-      cfg.n_layers * 2 * cfg.ctx_len * cfg.d_model * sizeof(float),
-      util::MemoryDomain::kKvCache);
-  s.k_cache.resize(cfg.n_layers);
-  s.v_cache.resize(cfg.n_layers);
+  // Build into locals first: each per-layer allocation charges the budget
+  // through the vector's allocator, and a denial on any layer unwinds the
+  // locals with the slot untouched (strong guarantee) — the other slots
+  // keep decoding and a retry starts from a clean slot.
+  std::vector<KvVector> k(cfg.n_layers), v(cfg.n_layers);
   for (std::size_t l = 0; l < cfg.n_layers; ++l) {
-    s.k_cache[l].assign(cfg.ctx_len * cfg.d_model, 0.0f);
-    s.v_cache[l].assign(cfg.ctx_len * cfg.d_model, 0.0f);
+    k[l].assign(cfg.ctx_len * cfg.d_model, 0.0f);
+    v[l].assign(cfg.ctx_len * cfg.d_model, 0.0f);
   }
-  s.kv_reservation = std::move(reservation);
+  s.k_cache = std::move(k);
+  s.v_cache = std::move(v);
 }
 
 std::size_t BatchedInference::release_slot_kv(std::size_t slot) {
   Slot& s = slots_.at(slot);
   if (s.k_cache.empty()) return 0;
-  const std::size_t freed = s.kv_reservation.bytes();
-  std::vector<std::vector<float>>().swap(s.k_cache);
-  std::vector<std::vector<float>>().swap(s.v_cache);
-  s.kv_reservation.release();
+  const std::size_t freed = slot_kv_bytes(slot);
+  std::vector<KvVector>().swap(s.k_cache);
+  std::vector<KvVector>().swap(s.v_cache);
   s.position = 0;
   s.history.clear();
   return freed;
 }
 
 std::size_t BatchedInference::slot_kv_bytes(std::size_t slot) const {
-  return slots_.at(slot).kv_reservation.bytes();
+  const Slot& s = slots_.at(slot);
+  if (s.k_cache.empty()) return 0;
+  const auto& cfg = model_.config();
+  return cfg.n_layers * 2 * cfg.ctx_len * cfg.d_model * sizeof(float);
 }
 
 void BatchedInference::fork_slot(std::size_t slot, const KvSnapshot& snap,
@@ -829,14 +1040,18 @@ void BatchedInference::fork_slot(std::size_t slot, const KvSnapshot& snap,
         "fork_slot: snapshot invalidated by reset() of its source inference");
   }
   const std::size_t c = model_.config().d_model;
-  if (kv_prefix_crc(src.k_cache_, src.v_cache_, snap.tokens_.size(), c) != snap.crc_) {
+  if (src.kv_crc(snap.tokens_.size()) != snap.crc_) {
     throw StaleSnapshotError(
         "fork_slot: source K/V rows changed since snapshot (CRC mismatch)");
   }
   ensure_slot_kv(slot);
+  // Per-row copies through the source's row accessor, so a paged source
+  // (serve sessions over an arena) forks into a batch slot transparently.
   for (std::size_t l = 0; prefix_len > 0 && l < s.k_cache.size(); ++l) {
-    std::memcpy(s.k_cache[l].data(), src.k_cache_[l].data(), prefix_len * c * sizeof(float));
-    std::memcpy(s.v_cache[l].data(), src.v_cache_[l].data(), prefix_len * c * sizeof(float));
+    for (std::size_t t = 0; t < prefix_len; ++t) {
+      std::memcpy(s.k_cache[l].data() + t * c, src.k_row(l, t), c * sizeof(float));
+      std::memcpy(s.v_cache[l].data() + t * c, src.v_row(l, t), c * sizeof(float));
+    }
   }
   s.position = prefix_len;
   s.history.assign(snap.tokens_.begin(),
@@ -850,9 +1065,12 @@ void BatchedInference::export_slot(std::size_t slot, GptInference& out) const {
   }
   out.ensure_kv();
   const std::size_t c = model_.config().d_model;
-  for (std::size_t l = 0; s.position > 0 && l < out.k_cache_.size(); ++l) {
-    std::memcpy(out.k_cache_[l].data(), s.k_cache[l].data(), s.position * c * sizeof(float));
-    std::memcpy(out.v_cache_[l].data(), s.v_cache[l].data(), s.position * c * sizeof(float));
+  const std::size_t n_layers = model_.config().n_layers;
+  for (std::size_t l = 0; s.position > 0 && l < n_layers; ++l) {
+    for (std::size_t t = 0; t < s.position; ++t) {
+      std::memcpy(out.k_write_row(l, t), s.k_cache[l].data() + t * c, c * sizeof(float));
+      std::memcpy(out.v_write_row(l, t), s.v_cache[l].data() + t * c, c * sizeof(float));
+    }
   }
   out.position_ = s.position;
   out.history_ = s.history;
@@ -871,10 +1089,10 @@ void BatchedInference::import_slot(std::size_t slot, const GptInference& in) {
   ensure_slot_kv(slot);
   const std::size_t c = model_.config().d_model;
   for (std::size_t l = 0; in.position_ > 0 && l < s.k_cache.size(); ++l) {
-    std::memcpy(s.k_cache[l].data(), in.k_cache_[l].data(),
-                in.position_ * c * sizeof(float));
-    std::memcpy(s.v_cache[l].data(), in.v_cache_[l].data(),
-                in.position_ * c * sizeof(float));
+    for (std::size_t t = 0; t < in.position_; ++t) {
+      std::memcpy(s.k_cache[l].data() + t * c, in.k_row(l, t), c * sizeof(float));
+      std::memcpy(s.v_cache[l].data() + t * c, in.v_row(l, t), c * sizeof(float));
+    }
   }
   s.position = in.position_;
   s.history = in.history_;
@@ -917,6 +1135,18 @@ void BatchedInference::step(const std::size_t* slots, const Token* tokens,
   const float* wte = params.param(layout.wte);
   const float* wpe = params.param(layout.wpe);
 
+  // Shared linear over the staged xs_/ys_ pointer tables, routed through
+  // the quantised side storage when the segment has it.
+  auto batched_linear = [&](std::size_t w_seg, std::size_t n, std::size_t k,
+                            std::size_t count_now) {
+    if (const tensor::QuantMatrix* qm = model_.quant(w_seg)) {
+      tensor::multi_gemv_quant(*qm, 1.0f, xs_.data(), count_now, ys_.data());
+    } else {
+      tensor::multi_gemv(n, k, 1.0f, xs_.data(), count_now, params.param(w_seg), k,
+                         ys_.data());
+    }
+  };
+
   for (std::size_t i = 0; i < count; ++i) {
     Slot& s = slots_[slots[i]];
     const float* te = wte + static_cast<std::size_t>(tokens[i]) * c;
@@ -934,8 +1164,7 @@ void BatchedInference::step(const std::size_t* slots, const Token* tokens,
       xs_[i] = s.ln.data();
       ys_[i] = s.qkv.data();
     }
-    tensor::multi_gemv(3 * c, c, 1.0f, xs_.data(), count, params.param(blk.qkv_w), c,
-                       ys_.data());
+    batched_linear(blk.qkv_w, 3 * c, c, count);
     for (std::size_t i = 0; i < count; ++i) {
       Slot& s = slots_[slots[i]];
       tensor::add_row_bias(s.qkv.data(), params.param(blk.qkv_b), 1, 3 * c);
@@ -959,8 +1188,7 @@ void BatchedInference::step(const std::size_t* slots, const Token* tokens,
       xs_[i] = s.atty.data();
       ys_[i] = s.proj.data();
     }
-    tensor::multi_gemv(c, c, 1.0f, xs_.data(), count, params.param(blk.attn_proj_w), c,
-                       ys_.data());
+    batched_linear(blk.attn_proj_w, c, c, count);
     for (std::size_t i = 0; i < count; ++i) {
       Slot& s = slots_[slots[i]];
       tensor::add_row_bias(s.proj.data(), params.param(blk.attn_proj_b), 1, c);
@@ -970,7 +1198,7 @@ void BatchedInference::step(const std::size_t* slots, const Token* tokens,
       xs_[i] = s.ln.data();
       ys_[i] = s.fch.data();
     }
-    tensor::multi_gemv(f, c, 1.0f, xs_.data(), count, params.param(blk.fc_w), c, ys_.data());
+    batched_linear(blk.fc_w, f, c, count);
     for (std::size_t i = 0; i < count; ++i) {
       Slot& s = slots_[slots[i]];
       tensor::add_row_bias(s.fch.data(), params.param(blk.fc_b), 1, f);
@@ -978,8 +1206,7 @@ void BatchedInference::step(const std::size_t* slots, const Token* tokens,
       xs_[i] = s.fch.data();
       ys_[i] = s.proj.data();
     }
-    tensor::multi_gemv(c, f, 1.0f, xs_.data(), count, params.param(blk.fc_proj_w), f,
-                       ys_.data());
+    batched_linear(blk.fc_proj_w, c, f, count);
     for (std::size_t i = 0; i < count; ++i) {
       Slot& s = slots_[slots[i]];
       tensor::add_row_bias(s.proj.data(), params.param(blk.fc_proj_b), 1, c);
@@ -994,7 +1221,7 @@ void BatchedInference::step(const std::size_t* slots, const Token* tokens,
     xs_[i] = s.ln.data();
     ys_[i] = s.logits.data();
   }
-  tensor::multi_gemv(cfg.vocab_size, c, 1.0f, xs_.data(), count, wte, c, ys_.data());
+  batched_linear(layout.wte, cfg.vocab_size, c, count);
 
   for (std::size_t i = 0; i < count; ++i) {
     Slot& s = slots_[slots[i]];

@@ -10,12 +10,15 @@
 // loss — the SFT trainer uses this to train only on assistant spans.
 
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "nn/config.hpp"
+#include "nn/kv_arena.hpp"
 #include "nn/params.hpp"
+#include "tensor/quant.hpp"
 #include "util/cancel.hpp"
 #include "util/resource_budget.hpp"
 #include "util/rng.hpp"
@@ -24,6 +27,13 @@ namespace astromlab::nn {
 
 using Token = std::int32_t;
 inline constexpr Token kIgnoreTarget = -1;
+
+/// KV cache storage: every buffer of cached K/V rows is charged to the
+/// memory budget's KV domain through its allocator, so charge and
+/// allocation are one atomic step — a throw anywhere leaves nothing
+/// charged, and a release cannot be forgotten or doubled.
+using KvVector =
+    std::vector<float, util::TrackedAllocator<float, util::MemoryDomain::kKvCache>>;
 
 /// Activation workspace for one (batch, seq_len) forward/backward pass.
 /// Reused across steps; reallocated only when B or T grows.
@@ -101,6 +111,34 @@ class GptModel {
   };
   const Layout& layout() const { return layout_; }
 
+  /// Converts the model's inference weights to `dtype`.
+  ///
+  /// - kBf16: every parameter is rounded in place to the nearest bf16
+  ///   (round-to-nearest-even), and the five large matrices of each
+  ///   inference linear (qkv, attn_proj, fc, fc_proj per block, plus the
+  ///   tied wte LM head) additionally get bf16 side storage consumed by the
+  ///   dequant-fused kernels. Because bf16→fp32 widening is exact, the
+  ///   fused path is bitwise identical to fp32 inference over the rounded
+  ///   masters — quantising a checkpoint cannot change an MCQ answer
+  ///   relative to a bf16-roundtripped fp32 model.
+  /// - kInt8: the same five matrices are quantised per-row (absmax scale)
+  ///   from the untouched fp32 masters; everything else (biases,
+  ///   layernorms, wpe) stays fp32.
+  /// - kF32: drops any quantised storage and restores plain fp32 compute.
+  ///
+  /// Training forward/backward always use the fp32 masters and are
+  /// unaffected (beyond the in-place bf16 rounding for kBf16).
+  void quantize_weights(tensor::WeightDtype dtype);
+
+  tensor::WeightDtype weight_dtype() const { return weight_dtype_; }
+
+  /// Quantised side storage for a parameter segment, or nullptr when the
+  /// segment runs fp32 (always nullptr in fp32 mode).
+  const tensor::QuantMatrix* quant(std::size_t segment) const {
+    if (segment >= quant_.size() || quant_[segment].empty()) return nullptr;
+    return &quant_[segment];
+  }
+
  private:
   void ensure_activation_capacity(GptActivations& acts, std::size_t batch,
                                   std::size_t seq) const;
@@ -108,6 +146,8 @@ class GptModel {
   GptConfig config_;
   ParamTable params_;
   Layout layout_;
+  tensor::WeightDtype weight_dtype_ = tensor::WeightDtype::kF32;
+  std::vector<tensor::QuantMatrix> quant_;  ///< indexed by segment id
 };
 
 /// Thrown when forking from a KV snapshot whose source inference has been
@@ -156,7 +196,25 @@ std::size_t common_token_prefix(const std::vector<Token>& a, const std::vector<T
 /// at a time; logits for the latest position are available after each step.
 class GptInference {
  public:
+  /// Contiguous KV mode: per-layer (ctx, C) buffers, full-context charge.
   explicit GptInference(const GptModel& model);
+
+  /// Paged KV mode: rows live in fixed-size blocks of `arena`, allocated
+  /// lazily as positions are written and shared copy-on-write across forks
+  /// from the same arena — forking a snapshot bumps refcounts on the
+  /// prefix blocks instead of copying rows, so N sessions sharing a prefix
+  /// charge the budget for it once. A null arena degrades to contiguous
+  /// mode. The arena's d_model must equal the model's.
+  GptInference(const GptModel& model, std::shared_ptr<KvArena> arena);
+
+  /// Releases any held arena block references. Copying is disabled: a
+  /// member-wise copy would duplicate block ids without bumping refcounts
+  /// and double-release on destruction. Move transfers the references.
+  ~GptInference();
+  GptInference(GptInference&&) = default;
+  GptInference(const GptInference&) = delete;
+  GptInference& operator=(const GptInference&) = delete;
+  GptInference& operator=(GptInference&&) = delete;
 
   /// Resets the cache to an empty sequence and invalidates every snapshot
   /// previously taken from this inference (forking one afterwards throws
@@ -218,8 +276,15 @@ class GptInference {
   /// instead of dangling. Returns 0 when the caches are already released.
   std::size_t release_kv();
 
-  /// Bytes currently held by the per-layer K/V caches (0 after release).
-  std::size_t kv_bytes() const { return kv_reservation_.bytes(); }
+  /// Bytes currently held by this inference's K/V storage (0 after
+  /// release). Contiguous mode: the full per-layer reservation. Paged
+  /// mode: held blocks × block size — a block shared with other holders is
+  /// counted by each holder, so the sum over sessions can exceed the
+  /// arena's actual footprint (use `KvArena::total_bytes` for that).
+  std::size_t kv_bytes() const;
+
+  /// True when KV rows live in a shared paged arena.
+  bool paged() const { return arena_ != nullptr; }
 
   std::size_t position() const { return position_; }
   const GptModel& model() const { return model_; }
@@ -229,17 +294,46 @@ class GptInference {
 
   /// (Re)allocates the K/V buffers after construction or release_kv(),
   /// charging the memory budget. No-op when they are already resident.
+  /// Strong guarantee: a throw mid-allocation (budget denial on a later
+  /// layer) leaves the caches exactly as they were — nothing charged,
+  /// nothing resident.
   void ensure_kv();
+
+  bool kv_resident() const;
+
+  /// Read pointer to cached row `t` of layer `l` (valid only for written
+  /// rows). Lock-free: paged mode reads the cached block pointer table.
+  const float* k_row(std::size_t l, std::size_t t) const;
+  const float* v_row(std::size_t l, std::size_t t) const;
+  /// Write pointer for row `t` of layer `l`. Paged mode allocates the
+  /// covering block on first touch and copies-on-write when it is shared.
+  float* k_write_row(std::size_t l, std::size_t t);
+  float* v_write_row(std::size_t l, std::size_t t);
+
+  /// CRC-32 over the first `rows` cached rows: all K layers then all V
+  /// layers, row-major — the same byte stream in both storage modes.
+  std::uint32_t kv_crc(std::size_t rows) const;
+
+  /// Paged fork fast path: drops held blocks, then shares the blocks
+  /// covering `prefix_len` rows of `src` by refcount (same arena only).
+  void adopt_blocks(const GptInference& src, std::size_t prefix_len);
+
+  /// Releases every held arena block reference and clears the tables.
+  void drop_held_blocks();
 
   const GptModel& model_;
   std::size_t position_ = 0;
   std::uint64_t generation_ = 0;  ///< incremented by reset()
   std::vector<Token> history_;    ///< tokens encoded into the cache
-  // Per layer: cached keys/values, (ctx, C) each. Charged to the memory
-  // budget (KV domain) via kv_reservation_ while resident.
-  std::vector<std::vector<float>> k_cache_;
-  std::vector<std::vector<float>> v_cache_;
-  util::MemoryReservation kv_reservation_;
+  // Contiguous mode: per layer cached keys/values, (ctx, C) each, charged
+  // to the KV budget domain through the vector's allocator.
+  std::vector<KvVector> k_cache_;
+  std::vector<KvVector> v_cache_;
+  // Paged mode: per layer, per block-index handles into arena_ plus the
+  // cached data pointers the compute loops read without locking.
+  std::shared_ptr<KvArena> arena_;
+  std::vector<std::vector<KvArena::BlockId>> k_blocks_, v_blocks_;
+  std::vector<std::vector<float*>> k_ptrs_, v_ptrs_;
   // Scratch.
   std::vector<float> x_, ln_, qkv_, atty_, proj_, fch_, scores_;
   std::vector<float> logits_;
@@ -321,8 +415,9 @@ class BatchedInference {
   struct Slot {
     std::size_t position = 0;
     std::vector<Token> history;
-    std::vector<std::vector<float>> k_cache, v_cache;  // per layer (ctx, C)
-    util::MemoryReservation kv_reservation;
+    // Per layer (ctx, C), charged to the KV budget domain through the
+    // vector's allocator (empty when released).
+    std::vector<KvVector> k_cache, v_cache;
     // Per-slot activation scratch, same shapes as GptInference's.
     std::vector<float> x, ln, qkv, atty, proj, fch, scores, logits;
   };

@@ -1,0 +1,111 @@
+#include "nn/kv_arena.hpp"
+
+#include <stdexcept>
+
+namespace astromlab::nn {
+
+KvArena::KvArena(std::size_t block_tokens, std::size_t d_model)
+    : block_tokens_(block_tokens), d_model_(d_model) {
+  if (block_tokens == 0 || d_model == 0) {
+    throw std::invalid_argument("KvArena: block_tokens and d_model must be >= 1");
+  }
+}
+
+KvArena::BlockId KvArena::take_free_id_locked() {
+  if (!free_ids_.empty()) {
+    const BlockId id = free_ids_.back();
+    free_ids_.pop_back();
+    return id;
+  }
+  blocks_.emplace_back();
+  return static_cast<BlockId>(blocks_.size() - 1);
+}
+
+KvArena::WriteRef KvArena::alloc_ref() {
+  // Charge and zero the storage before taking any id, so a budget denial
+  // unwinds with the arena untouched.
+  Storage data;
+  data.assign(block_floats(), 0.0f);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const BlockId id = take_free_id_locked();
+  Block& block = blocks_[id];
+  block.data = std::move(data);
+  block.refs = 1;
+  ++live_blocks_;
+  return {id, block.data.data()};
+}
+
+KvArena::WriteRef KvArena::write_ref(BlockId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Block& block = blocks_.at(id);
+  if (block.refs == 0) {
+    throw std::logic_error("KvArena::write_ref: block is not live");
+  }
+  if (block.refs == 1) {
+    return {id, block.data.data()};
+  }
+  // Copy-on-write: this holder moves onto a private copy; the original
+  // keeps serving its other holders. The copy construction charges the
+  // budget and may throw — before any state changed.
+  Storage copy(block.data);
+  const BlockId copy_id = take_free_id_locked();
+  // take_free_id_locked may grow the deque; re-resolve the source block
+  // reference is unnecessary (deque growth preserves references), but the
+  // copy must land in the fresh slot.
+  Block& fresh = blocks_[copy_id];
+  fresh.data = std::move(copy);
+  fresh.refs = 1;
+  blocks_[id].refs -= 1;
+  ++live_blocks_;
+  return {copy_id, fresh.data.data()};
+}
+
+void KvArena::add_ref(BlockId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Block& block = blocks_.at(id);
+  if (block.refs == 0) {
+    throw std::logic_error("KvArena::add_ref: block is not live");
+  }
+  ++block.refs;
+}
+
+void KvArena::release(BlockId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Block& block = blocks_.at(id);
+  if (block.refs == 0) {
+    throw std::logic_error("KvArena::release: block is not live");
+  }
+  if (--block.refs == 0) {
+    // Free the storage now (the TrackedAllocator returns the bytes to the
+    // KV budget domain); only the id is recycled.
+    Storage().swap(block.data);
+    free_ids_.push_back(id);
+    --live_blocks_;
+  }
+}
+
+std::size_t KvArena::ref_count(BlockId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blocks_.at(id).refs;
+}
+
+const float* KvArena::data(BlockId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Block& block = blocks_.at(id);
+  if (block.refs == 0) {
+    throw std::logic_error("KvArena::data: block is not live");
+  }
+  return block.data.data();
+}
+
+std::size_t KvArena::live_blocks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_blocks_;
+}
+
+std::size_t KvArena::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_blocks_ * block_bytes();
+}
+
+}  // namespace astromlab::nn

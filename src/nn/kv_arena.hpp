@@ -1,0 +1,113 @@
+#pragma once
+// Paged KV storage: fixed-size blocks of KV rows in a shared, refcounted
+// arena with copy-on-write forks.
+//
+// The contiguous KV cache charges every session the full
+// n_layers * 2 * ctx * d_model fp32 reservation up front, and
+// `fork_from` memcpies the whole prefix per fork — so 64 sessions sharing
+// one few-shot prefix pay for it 64 times. The arena instead hands out
+// blocks of `block_tokens` rows: a fork bumps the refcount on the blocks
+// covering the shared prefix (O(blocks) pointer work, zero row copies),
+// and the first write into a shared block copies just that block
+// (copy-on-write). Memory per forked session collapses from the full
+// context reservation to the handful of blocks its unique tail touches.
+//
+// Budget integration: each block's storage is a vector with
+// util::TrackedAllocator over the KV-cache domain, so every block
+// allocation/free charges/releases util::ResourceBudget exactly — the
+// evict→shrink→shed ladder operates on blocks with no separate
+// bookkeeping to drift. A budget denial surfaces as
+// util::ResourceExhaustedError from alloc_ref/write_ref with the arena
+// unchanged (strong guarantee).
+//
+// Thread safety: all methods lock the arena mutex. Callers (GptInference)
+// cache the data pointers of blocks they hold references on — the
+// per-block heap buffer never moves while referenced, COW guarantees
+// nobody else writes a block with refcount > 1, and a block is only freed
+// at refcount 0 — so the compute loops read those cached pointers without
+// taking the lock.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "util/resource_budget.hpp"
+
+namespace astromlab::nn {
+
+class KvArena {
+ public:
+  using BlockId = std::uint32_t;
+  static constexpr BlockId kNoBlock = 0xFFFFFFFFu;
+
+  /// A block handle paired with its stable data pointer (block_tokens rows
+  /// of d_model floats), so the caller can cache the pointer without a
+  /// second lock acquisition.
+  struct WriteRef {
+    BlockId id = kNoBlock;
+    float* data = nullptr;
+  };
+
+  /// Blocks hold `block_tokens` rows of `d_model` floats each.
+  KvArena(std::size_t block_tokens, std::size_t d_model);
+
+  KvArena(const KvArena&) = delete;
+  KvArena& operator=(const KvArena&) = delete;
+
+  /// Allocates a zeroed block with refcount 1. Throws
+  /// util::ResourceExhaustedError (or bad_alloc) with nothing charged.
+  WriteRef alloc_ref();
+
+  /// Copy-on-write: returns `id` itself when this caller is the sole
+  /// holder (refcount 1); otherwise allocates a copy, moves this caller's
+  /// reference onto it (the shared original keeps its other holders) and
+  /// returns the copy. Throws with the arena unchanged on budget denial.
+  WriteRef write_ref(BlockId id);
+
+  /// Adds a reference to a live block (sharing a prefix on fork).
+  void add_ref(BlockId id);
+
+  /// Drops one reference; frees the block's storage (returning its bytes
+  /// to the memory budget) when the count reaches zero.
+  void release(BlockId id);
+
+  std::size_t ref_count(BlockId id) const;
+
+  /// Read pointer for a held block (prefer the pointer cached from
+  /// alloc_ref/write_ref; this exists for tests).
+  const float* data(BlockId id) const;
+
+  std::size_t block_tokens() const { return block_tokens_; }
+  std::size_t d_model() const { return d_model_; }
+  std::size_t block_floats() const { return block_tokens_ * d_model_; }
+  std::size_t block_bytes() const { return block_floats() * sizeof(float); }
+
+  /// Blocks currently allocated (refcount > 0).
+  std::size_t live_blocks() const;
+  /// live_blocks() * block_bytes() — the arena's KV-domain footprint.
+  std::size_t total_bytes() const;
+
+ private:
+  using Storage =
+      std::vector<float, util::TrackedAllocator<float, util::MemoryDomain::kKvCache>>;
+
+  struct Block {
+    Storage data;
+    std::uint32_t refs = 0;
+  };
+
+  BlockId take_free_id_locked();
+
+  mutable std::mutex mutex_;
+  const std::size_t block_tokens_;
+  const std::size_t d_model_;
+  // deque: stable Block references across growth, so a cached data pointer
+  // obtained under the lock stays valid while the block is referenced.
+  std::deque<Block> blocks_;
+  std::vector<BlockId> free_ids_;
+  std::size_t live_blocks_ = 0;
+};
+
+}  // namespace astromlab::nn

@@ -34,6 +34,11 @@
 //                          shared decode steps through a continuous-batching
 //                          engine with n slots (default 1 = serial; responses
 //                          are bit-identical either way)
+//   --weight-dtype=<d>     fp32 (default) | bf16 | int8 — inference weight
+//                          storage; bf16/int8 run dequant-fused kernels
+//   --paged-kv=<0|1>       1 stores session KV rows in a shared paged arena
+//                          with copy-on-write prefix sharing (default 0)
+//   --kv-block-tokens=<n>  paged-KV block granularity in rows (default 16)
 //   --stats-every=<s>      periodic per-interval latency log (default 30)
 //   --serve-seconds=<s>    self-drain after this long (default 0 = until
 //                          signalled; a safety net for CI orchestration)
@@ -46,6 +51,7 @@
 //   --chaos-seed=<n>, --chaos-rate=<p>   the usual observability/chaos knobs
 
 #include <cstdio>
+#include <stdexcept>
 #include <thread>
 
 #include "serve/server.hpp"
@@ -104,14 +110,30 @@ int main(int argc, char** argv) {
   config.retry.max_retries = static_cast<std::size_t>(args.get_int("retry-max", 2));
   const double serve_seconds = args.get_double("serve-seconds", 0.0);
   const std::string journal_path = args.get_string("journal", "");
+
+  serve::ServeModelOptions model_options;
+  try {
+    model_options.weight_dtype =
+        tensor::parse_weight_dtype(args.get_string("weight-dtype", "fp32"));
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 64;
+  }
+  model_options.paged_kv = args.get_int("paged-kv", 0) != 0;
+  model_options.kv_block_tokens =
+      static_cast<std::size_t>(args.get_int("kv-block-tokens", 16));
+  if (model_options.kv_block_tokens == 0) {
+    std::fprintf(stderr, "error: --kv-block-tokens must be >= 1\n");
+    return 64;
+  }
   // All flags consumed — fail loudly on typos before the expensive build.
   args.fail_on_unconsumed();
 
   std::unique_ptr<eval::EvalJournal> journal;
   if (!journal_path.empty()) journal = std::make_unique<eval::EvalJournal>(journal_path);
 
-  const std::shared_ptr<serve::ServedWorld> world =
-      serve::build_served_world(scale, world_config, /*generation=*/1);
+  const std::shared_ptr<serve::ServedWorld> world = serve::build_served_world(
+      scale, world_config, /*generation=*/1, /*prefix_cache=*/true, model_options);
 
   serve::InferenceServer server(world, config, journal.get());
   // Signals begin the drain; main() below finishes the shutdown and flushes.

@@ -657,9 +657,12 @@ HttpResponse InferenceServer::handle_swap(const HttpRequest& request) {
   nn::GptModel model(arch);
   util::Rng rng(served_weight_seed(scale, old_world->world.config));
   model.init_weights(rng);
+  // The new generation inherits the old one's weight dtype and paged-KV
+  // settings (it gets its own fresh arena): a swap changes the scale, not
+  // the memory regime the operator configured at startup.
   const std::shared_ptr<ServedWorld> next =
       build_served_world(scale, old_world->world, std::move(model), old_world->generation + 1,
-                         old_world->mcq_cache != nullptr);
+                         old_world->mcq_cache != nullptr, old_world->options);
   swap_world(next);
 
   json::Value out = json::Value::object();

@@ -9,7 +9,11 @@
 namespace astromlab::serve {
 
 Session::Session(std::shared_ptr<const ServedWorld> w, const nn::GptModel& model)
-    : world(std::move(w)), inference(model) {
+    : world(std::move(w)),
+      // Paged serving: sessions share the generation's KV arena, so turns
+      // forked off a common conversation prefix pay for it once (members
+      // initialise in declaration order — `world` is set before this).
+      inference(model, world != nullptr ? world->kv_arena : nullptr) {
   if (world != nullptr) model_generation = world->generation;
 }
 

@@ -18,7 +18,8 @@ std::uint64_t served_weight_seed(core::Scale scale, const core::WorldConfig& con
 std::shared_ptr<ServedWorld> build_served_world(core::Scale scale,
                                                 const core::WorldConfig& config,
                                                 std::uint64_t generation,
-                                                bool prefix_cache) {
+                                                bool prefix_cache,
+                                                const ServeModelOptions& options) {
   util::Stopwatch timer;
   core::World world = core::build_world(config);
   nn::GptConfig arch = core::scale_spec(scale, config).arch;
@@ -28,19 +29,32 @@ std::shared_ptr<ServedWorld> build_served_world(core::Scale scale,
   nn::GptModel model(arch);
   util::Rng rng(served_weight_seed(scale, config));
   model.init_weights(rng);
-  auto served =
-      build_served_world(scale, std::move(world), std::move(model), generation, prefix_cache);
+  auto served = build_served_world(scale, std::move(world), std::move(model), generation,
+                                   prefix_cache, options);
   log::info() << "served world built: scale=" << core::scale_name(scale)
               << " generation=" << generation << " benchmark="
-              << served->world.mcqs.benchmark.size() << "q in " << timer.seconds() << "s";
+              << served->world.mcqs.benchmark.size() << "q in " << timer.seconds()
+              << "s weight_dtype=" << tensor::weight_dtype_name(options.weight_dtype)
+              << " paged_kv=" << (options.paged_kv ? "on" : "off");
   return served;
 }
 
 std::shared_ptr<ServedWorld> build_served_world(core::Scale scale, core::World world,
                                                 nn::GptModel model, std::uint64_t generation,
-                                                bool prefix_cache) {
+                                                bool prefix_cache,
+                                                const ServeModelOptions& options) {
   auto served = std::make_shared<ServedWorld>(scale, std::move(world), std::move(model));
   served->generation = generation;
+  served->options = options;
+  // Quantise before letter detection / prefix encode so every inference
+  // this generation ever runs — setup included — sees the same weights.
+  if (options.weight_dtype != tensor::WeightDtype::kF32) {
+    served->model.quantize_weights(options.weight_dtype);
+  }
+  if (options.paged_kv) {
+    served->kv_arena = std::make_shared<nn::KvArena>(options.kv_block_tokens,
+                                                     served->model.config().d_model);
+  }
   // Mirror run_token_benchmark's setup exactly (fewshot picker, letter
   // detection over the practice pool, two-prompt prefix cache) — the
   // HTTP-vs-offline bit-identity depends on these being the same inputs.
@@ -52,7 +66,8 @@ std::shared_ptr<ServedWorld> build_served_world(core::Scale scale, core::World w
     served->mcq_cache = eval::PrefixCache::build(
         served->model, served->world.tok,
         {eval::build_token_prompt(mcqs.benchmark[0], served->fewshot),
-         eval::build_token_prompt(mcqs.benchmark[1], served->fewshot)});
+         eval::build_token_prompt(mcqs.benchmark[1], served->fewshot)},
+        served->kv_arena);
   }
   return served;
 }

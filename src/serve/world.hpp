@@ -26,8 +26,20 @@
 #include "eval/prefix_cache.hpp"
 #include "eval/token_method.hpp"
 #include "nn/gpt.hpp"
+#include "nn/kv_arena.hpp"
+#include "tensor/quant.hpp"
 
 namespace astromlab::serve {
+
+/// How a served generation stores its weights and KV rows. Applied at
+/// build time and preserved across hot swaps (the swap handler copies the
+/// old generation's options), so a session forked before a swap and one
+/// created after run under the same memory regime.
+struct ServeModelOptions {
+  tensor::WeightDtype weight_dtype = tensor::WeightDtype::kF32;
+  bool paged_kv = false;               ///< sessions share a paged KV arena
+  std::size_t kv_block_tokens = 16;    ///< arena block granularity (rows)
+};
 
 struct ServedWorld {
   ServedWorld(core::Scale s, core::World w, nn::GptModel m)
@@ -39,6 +51,11 @@ struct ServedWorld {
   std::vector<corpus::McqItem> fewshot;
   eval::LetterTokens letters;
   std::unique_ptr<eval::PrefixCache> mcq_cache;  // null when disabled/evicted
+  /// Shared paged-KV arena for this generation's sessions (null when
+  /// paged KV is off). Sessions pin it via shared_ptr, so a hot swap
+  /// cannot free blocks under an in-flight request.
+  std::shared_ptr<nn::KvArena> kv_arena;
+  ServeModelOptions options;
   std::uint64_t generation = 1;
 };
 
@@ -53,13 +70,15 @@ std::uint64_t served_weight_seed(core::Scale scale, const core::WorldConfig& con
 std::shared_ptr<ServedWorld> build_served_world(core::Scale scale,
                                                 const core::WorldConfig& config,
                                                 std::uint64_t generation,
-                                                bool prefix_cache = true);
+                                                bool prefix_cache = true,
+                                                const ServeModelOptions& options = {});
 
 /// Same bundle, reusing an already-built world and model — lets a hot swap
 /// (and tests) skip the corpus/tokenizer rebuild when only the scale
 /// changes, and lets tests serve a hand-built tiny world.
 std::shared_ptr<ServedWorld> build_served_world(core::Scale scale, core::World world,
                                                 nn::GptModel model, std::uint64_t generation,
-                                                bool prefix_cache = true);
+                                                bool prefix_cache = true,
+                                                const ServeModelOptions& options = {});
 
 }  // namespace astromlab::serve

@@ -17,6 +17,7 @@
 // are bit-identical.
 
 #include <cstddef>
+#include <cstdint>
 
 namespace astromlab::tensor::detail {
 
@@ -68,6 +69,31 @@ struct KernelVtable {
   /// Numerically-stable softmax; returns the max logit. probs may alias
   /// logits.
   float (*softmax_row)(const float* logits, float* probs, std::size_t n);
+
+  // Dequant-fused matvec kernels over reduced-precision weight rows. Each
+  // widens one weight element to fp32 inline and then runs THE SAME
+  // accumulator structure (lane count, main/tail loops, horizontal
+  // reduction tree) as this table's fp32 `dot`, so:
+  //   * fused bf16 results are bitwise identical to running the fp32 gemv
+  //     over pre-widened weights (bf16 -> fp32 widening is exact), and
+  //   * fused int8 results are bitwise identical to dequantising the rows
+  //     (scale * int8, per element) and running the fp32 gemv — under the
+  //     same kernel table.
+  // bf16 rows store raw bf16 bit patterns; int8 rows carry one fp32
+  // absmax scale per row (scales[j] belongs to row j of `b`).
+  void (*gemv_rows_bf16)(std::size_t rows, std::size_t k, float alpha, const float* x,
+                         const std::uint16_t* b, std::size_t ldb, float* y);
+  void (*gemv_rows_multi_bf16)(std::size_t rows, std::size_t k, float alpha,
+                               const float* const* xs, std::size_t count,
+                               const std::uint16_t* b, std::size_t ldb,
+                               float* const* ys);
+  void (*gemv_rows_i8)(std::size_t rows, std::size_t k, float alpha, const float* x,
+                       const std::int8_t* b, std::size_t ldb, const float* scales,
+                       float* y);
+  void (*gemv_rows_multi_i8)(std::size_t rows, std::size_t k, float alpha,
+                             const float* const* xs, std::size_t count,
+                             const std::int8_t* b, std::size_t ldb,
+                             const float* scales, float* const* ys);
 };
 
 /// Always available; the portable fallback and the test oracle's kernels.
@@ -94,5 +120,24 @@ void scalar_gemv_rows(std::size_t rows, std::size_t k, float alpha, const float*
 void scalar_gemv_rows_multi(std::size_t rows, std::size_t k, float alpha,
                             const float* const* xs, std::size_t count, const float* b,
                             std::size_t ldb, float* const* ys);
+void scalar_gemv_rows_bf16(std::size_t rows, std::size_t k, float alpha, const float* x,
+                           const std::uint16_t* b, std::size_t ldb, float* y);
+void scalar_gemv_rows_multi_bf16(std::size_t rows, std::size_t k, float alpha,
+                                 const float* const* xs, std::size_t count,
+                                 const std::uint16_t* b, std::size_t ldb,
+                                 float* const* ys);
+void scalar_gemv_rows_i8(std::size_t rows, std::size_t k, float alpha, const float* x,
+                         const std::int8_t* b, std::size_t ldb, const float* scales,
+                         float* y);
+void scalar_gemv_rows_multi_i8(std::size_t rows, std::size_t k, float alpha,
+                               const float* const* xs, std::size_t count,
+                               const std::int8_t* b, std::size_t ldb,
+                               const float* scales, float* const* ys);
+
+/// The kernel table the runtime dispatcher selected for this process
+/// (defined in ops.cpp; triggers startup selection on first use). Exposed
+/// so the quantised-matvec entry points in quant.cpp can route through the
+/// same table as every fp32 op.
+const KernelVtable& active_kernel_table();
 
 }  // namespace astromlab::tensor::detail

@@ -15,6 +15,7 @@
 #include <immintrin.h>
 
 #include <cmath>
+#include <cstring>
 
 namespace astromlab::tensor::detail {
 
@@ -320,6 +321,139 @@ void gemv_rows_multi_avx2(std::size_t rows, std::size_t k, float alpha,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Dequant-fused matvecs. Each mirrors dot_avx2 exactly — same four
+// accumulators, same 32-wide main loop / 8-wide tail / hsum8 reduction /
+// scalar remainder — with only the weight loads swapped for widening loads.
+// bf16 -> fp32 widening is a pure bit shift (exact), so the bf16 results are
+// bitwise identical to dot_avx2 over pre-widened rows; the int8 path
+// multiplies each widened lane by the row scale before the FMA, matching a
+// dequantise-then-dot_avx2 oracle bit for bit.
+
+// Local copies of the bf16 widening (tensor/bf16.hpp is deliberately not
+// included here: its inline functions instantiated in this -mavx2 TU could
+// win COMDAT selection over their baseline twins).
+float widen_bf16(std::uint16_t bits) {
+  const std::uint32_t wide = static_cast<std::uint32_t>(bits) << 16;
+  float out;
+  std::memcpy(&out, &wide, sizeof out);
+  return out;
+}
+
+// 8 bf16 weights -> 8 fp32 lanes: zero-extend to 32 bits, shift into the
+// high half, reinterpret. Exact, matching widen_bf16 per lane.
+__m256 load_bf16_8(const std::uint16_t* p) {
+  const __m128i raw = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  return _mm256_castsi256_ps(_mm256_slli_epi32(_mm256_cvtepu16_epi32(raw), 16));
+}
+
+// 8 int8 weights -> 8 fp32 lanes (unscaled).
+__m256 load_i8_8(const std::int8_t* p) {
+  const __m128i raw = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  return _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(raw));
+}
+
+float dot_bf16_avx2(const float* x, const std::uint16_t* w, std::size_t n,
+                    const std::uint16_t* next_row) {
+  __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps(), acc3 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    // 32 bf16 elements span one cache line; walking the next row one line
+    // ahead mirrors dot_avx2_nextrow (prefetch never touches arithmetic).
+    _mm_prefetch(reinterpret_cast<const char*>(next_row + i), _MM_HINT_T0);
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i), load_bf16_8(w + i), acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 8), load_bf16_8(w + i + 8), acc1);
+    acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 16), load_bf16_8(w + i + 16), acc2);
+    acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 24), load_bf16_8(w + i + 24), acc3);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i), load_bf16_8(w + i), acc0);
+  }
+  float total =
+      hsum8(_mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3)));
+  for (; i < n; ++i) total += x[i] * widen_bf16(w[i]);
+  return total;
+}
+
+float dot_i8_avx2(const float* x, const std::int8_t* w, float scale, std::size_t n,
+                  const std::int8_t* next_row) {
+  const __m256 vscale = _mm256_set1_ps(scale);
+  __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps(), acc3 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    _mm_prefetch(reinterpret_cast<const char*>(next_row + i), _MM_HINT_T0);
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i),
+                           _mm256_mul_ps(load_i8_8(w + i), vscale), acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 8),
+                           _mm256_mul_ps(load_i8_8(w + i + 8), vscale), acc1);
+    acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 16),
+                           _mm256_mul_ps(load_i8_8(w + i + 16), vscale), acc2);
+    acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 24),
+                           _mm256_mul_ps(load_i8_8(w + i + 24), vscale), acc3);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i),
+                           _mm256_mul_ps(load_i8_8(w + i), vscale), acc0);
+  }
+  float total =
+      hsum8(_mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3)));
+  for (; i < n; ++i) total += x[i] * (scale * static_cast<float>(w[i]));
+  return total;
+}
+
+void gemv_rows_bf16_avx2(std::size_t rows, std::size_t k, float alpha, const float* x,
+                         const std::uint16_t* b, std::size_t ldb, float* y) {
+  for (std::size_t j = 0; j < rows; ++j) {
+    const std::uint16_t* row = b + j * ldb;
+    const std::uint16_t* next = j + 1 < rows ? row + ldb : row;
+    y[j] += alpha * dot_bf16_avx2(x, row, k, next);
+  }
+}
+
+void gemv_rows_multi_bf16_avx2(std::size_t rows, std::size_t k, float alpha,
+                               const float* const* xs, std::size_t count,
+                               const std::uint16_t* b, std::size_t ldb,
+                               float* const* ys) {
+  if (count == 0) return;
+  for (std::size_t j = 0; j < rows; ++j) {
+    const std::uint16_t* row = b + j * ldb;
+    const std::uint16_t* next = j + 1 < rows ? row + ldb : row;
+    // Input 0 carries the next-row prefetch; the rest run from cache —
+    // same shape as gemv_rows_multi_avx2.
+    ys[0][j] += alpha * dot_bf16_avx2(xs[0], row, k, next);
+    for (std::size_t i = 1; i < count; ++i) {
+      ys[i][j] += alpha * dot_bf16_avx2(xs[i], row, k, row);
+    }
+  }
+}
+
+void gemv_rows_i8_avx2(std::size_t rows, std::size_t k, float alpha, const float* x,
+                       const std::int8_t* b, std::size_t ldb, const float* scales,
+                       float* y) {
+  for (std::size_t j = 0; j < rows; ++j) {
+    const std::int8_t* row = b + j * ldb;
+    const std::int8_t* next = j + 1 < rows ? row + ldb : row;
+    y[j] += alpha * dot_i8_avx2(x, row, scales[j], k, next);
+  }
+}
+
+void gemv_rows_multi_i8_avx2(std::size_t rows, std::size_t k, float alpha,
+                             const float* const* xs, std::size_t count,
+                             const std::int8_t* b, std::size_t ldb,
+                             const float* scales, float* const* ys) {
+  if (count == 0) return;
+  for (std::size_t j = 0; j < rows; ++j) {
+    const std::int8_t* row = b + j * ldb;
+    const std::int8_t* next = j + 1 < rows ? row + ldb : row;
+    ys[0][j] += alpha * dot_i8_avx2(xs[0], row, scales[j], k, next);
+    for (std::size_t i = 1; i < count; ++i) {
+      ys[i][j] += alpha * dot_i8_avx2(xs[i], row, scales[j], k, row);
+    }
+  }
+}
+
 const KernelVtable kAvx2Table = {
     "avx2",
     kMr,
@@ -338,6 +472,10 @@ const KernelVtable kAvx2Table = {
     gelu_apply_avx2,
     gelu_grad_mul_avx2,
     softmax_row_avx2,
+    gemv_rows_bf16_avx2,
+    gemv_rows_multi_bf16_avx2,
+    gemv_rows_i8_avx2,
+    gemv_rows_multi_i8_avx2,
 };
 
 }  // namespace

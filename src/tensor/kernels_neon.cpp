@@ -10,6 +10,8 @@
 
 #include <arm_neon.h>
 
+#include <cstring>
+
 namespace astromlab::tensor::detail {
 
 namespace {
@@ -116,6 +118,104 @@ void gemv_rows_multi_neon(std::size_t rows, std::size_t k, float alpha,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Dequant-fused matvecs mirroring dot_neon exactly — same two accumulator
+// chains, 8-wide main loop, 4-wide loop, vaddvq reduction, scalar tail —
+// with the weight loads swapped for widening loads. bf16 widening is a pure
+// bit shift (exact); the int8 path multiplies each widened lane by the row
+// scale before the FMA, matching a dequantise-then-dot_neon oracle bitwise.
+
+float widen_bf16(std::uint16_t bits) {
+  const std::uint32_t wide = static_cast<std::uint32_t>(bits) << 16;
+  float out;
+  std::memcpy(&out, &wide, sizeof out);
+  return out;
+}
+
+float32x4_t load_bf16_4(const std::uint16_t* p) {
+  return vreinterpretq_f32_u32(vshll_n_u16(vld1_u16(p), 16));
+}
+
+float32x4_t load_i8_4(const std::int8_t* p) {
+  std::int32_t raw;
+  std::memcpy(&raw, p, sizeof raw);
+  const int16x8_t w16 = vmovl_s8(vreinterpret_s8_s32(vdup_n_s32(raw)));
+  return vcvtq_f32_s32(vmovl_s16(vget_low_s16(w16)));
+}
+
+float dot_bf16_neon(const float* x, const std::uint16_t* w, std::size_t n) {
+  float32x4_t acc0 = vdupq_n_f32(0.0f), acc1 = vdupq_n_f32(0.0f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(x + i), load_bf16_4(w + i));
+    acc1 = vfmaq_f32(acc1, vld1q_f32(x + i + 4), load_bf16_4(w + i + 4));
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(x + i), load_bf16_4(w + i));
+  }
+  float total = vaddvq_f32(vaddq_f32(acc0, acc1));
+  for (; i < n; ++i) total += x[i] * widen_bf16(w[i]);
+  return total;
+}
+
+float dot_i8_neon(const float* x, const std::int8_t* w, float scale, std::size_t n) {
+  const float32x4_t vscale = vdupq_n_f32(scale);
+  float32x4_t acc0 = vdupq_n_f32(0.0f), acc1 = vdupq_n_f32(0.0f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const int16x8_t w16 = vmovl_s8(vld1_s8(w + i));
+    const float32x4_t lo = vcvtq_f32_s32(vmovl_s16(vget_low_s16(w16)));
+    const float32x4_t hi = vcvtq_f32_s32(vmovl_s16(vget_high_s16(w16)));
+    acc0 = vfmaq_f32(acc0, vld1q_f32(x + i), vmulq_f32(lo, vscale));
+    acc1 = vfmaq_f32(acc1, vld1q_f32(x + i + 4), vmulq_f32(hi, vscale));
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(x + i), vmulq_f32(load_i8_4(w + i), vscale));
+  }
+  float total = vaddvq_f32(vaddq_f32(acc0, acc1));
+  for (; i < n; ++i) total += x[i] * (scale * static_cast<float>(w[i]));
+  return total;
+}
+
+void gemv_rows_bf16_neon(std::size_t rows, std::size_t k, float alpha, const float* x,
+                         const std::uint16_t* b, std::size_t ldb, float* y) {
+  for (std::size_t j = 0; j < rows; ++j) {
+    y[j] += alpha * dot_bf16_neon(x, b + j * ldb, k);
+  }
+}
+
+void gemv_rows_multi_bf16_neon(std::size_t rows, std::size_t k, float alpha,
+                               const float* const* xs, std::size_t count,
+                               const std::uint16_t* b, std::size_t ldb,
+                               float* const* ys) {
+  for (std::size_t j = 0; j < rows; ++j) {
+    const std::uint16_t* row = b + j * ldb;
+    for (std::size_t i = 0; i < count; ++i) {
+      ys[i][j] += alpha * dot_bf16_neon(xs[i], row, k);
+    }
+  }
+}
+
+void gemv_rows_i8_neon(std::size_t rows, std::size_t k, float alpha, const float* x,
+                       const std::int8_t* b, std::size_t ldb, const float* scales,
+                       float* y) {
+  for (std::size_t j = 0; j < rows; ++j) {
+    y[j] += alpha * dot_i8_neon(x, b + j * ldb, scales[j], k);
+  }
+}
+
+void gemv_rows_multi_i8_neon(std::size_t rows, std::size_t k, float alpha,
+                             const float* const* xs, std::size_t count,
+                             const std::int8_t* b, std::size_t ldb,
+                             const float* scales, float* const* ys) {
+  for (std::size_t j = 0; j < rows; ++j) {
+    const std::int8_t* row = b + j * ldb;
+    for (std::size_t i = 0; i < count; ++i) {
+      ys[i][j] += alpha * dot_i8_neon(xs[i], row, scales[j], k);
+    }
+  }
+}
+
 const KernelVtable kNeonTable = {
     "neon",
     kMr,
@@ -134,6 +234,10 @@ const KernelVtable kNeonTable = {
     scalar_gelu_apply,
     scalar_gelu_grad_mul,
     scalar_softmax_row,
+    gemv_rows_bf16_neon,
+    gemv_rows_multi_bf16_neon,
+    gemv_rows_i8_neon,
+    gemv_rows_multi_i8_neon,
 };
 
 }  // namespace

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "tensor/bf16.hpp"
 
 // Portable scalar kernel table: the dispatch fallback on CPUs without a
 // specialised table and the path ASTROMLAB_FORCE_SCALAR pins for debugging.
@@ -67,6 +70,10 @@ const KernelVtable kScalarTable = {
     scalar_gelu_apply,
     scalar_gelu_grad_mul,
     scalar_softmax_row,
+    scalar_gemv_rows_bf16,
+    scalar_gemv_rows_multi_bf16,
+    scalar_gemv_rows_i8,
+    scalar_gemv_rows_multi_i8,
 };
 
 }  // namespace
@@ -77,7 +84,14 @@ void scalar_axpy(float a, const float* x, float* y, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
 }
 
-float scalar_dot(const float* x, const float* y, std::size_t n) {
+// noinline: every scalar reduction — fp32 gemv, the dot vtable entry, and
+// the dequant-fused gemvs below — must run this exact machine code. When
+// callers inline their own copies the optimiser is free to pick a different
+// (still IEEE-conforming) schedule per call site — e.g. lane-ordered
+// vector adds here, contracted scalar FMAs there — and the fused-equals-
+// dequantised bit-identity contract silently breaks.
+__attribute__((noinline)) float scalar_dot(const float* x, const float* y,
+                                           std::size_t n) {
   float acc = 0.0f;
   for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
   return acc;
@@ -137,6 +151,80 @@ void scalar_gemv_rows_multi(std::size_t rows, std::size_t k, float alpha,
     // with the weight row hot in cache across all inputs.
     for (std::size_t i = 0; i < count; ++i) {
       ys[i][j] += alpha * scalar_dot(xs[i], row, k);
+    }
+  }
+}
+
+namespace {
+
+// The fused scalar kernels are bit-identical to dequantise-then-gemv BY
+// CONSTRUCTION: each weight row is expanded to fp32 in a scratch buffer
+// and reduced with the very same (noinline) scalar_dot the fp32 gemv
+// calls. Writing the fused reduction as its own loop — even one that is
+// token-for-token the same source — is not enough: the optimiser may
+// compile the two loops to different but individually-conforming
+// schedules, and the contract is about bits, not maths. The copy is
+// acceptable here because this table is the correctness fallback; the
+// AVX2/NEON tables fuse the widening into hand-written reductions that
+// mirror their own fp32 dots instruction for instruction.
+
+float* dequant_scratch(std::size_t k) {
+  thread_local std::vector<float> scratch;
+  if (scratch.size() < k) scratch.resize(k);
+  return scratch.data();
+}
+
+float scalar_dot_bf16(const float* x, const std::uint16_t* w, std::size_t n) {
+  float* wide = dequant_scratch(n);
+  for (std::size_t i = 0; i < n; ++i) wide[i] = bf16_to_float(w[i]);
+  return scalar_dot(x, wide, n);
+}
+
+float scalar_dot_i8(const float* x, const std::int8_t* w, float scale, std::size_t n) {
+  // scale * w[i] with the product rounded to fp32 first — exactly the
+  // value dequantize_row materialises.
+  float* wide = dequant_scratch(n);
+  for (std::size_t i = 0; i < n; ++i) wide[i] = scale * static_cast<float>(w[i]);
+  return scalar_dot(x, wide, n);
+}
+
+}  // namespace
+
+void scalar_gemv_rows_bf16(std::size_t rows, std::size_t k, float alpha, const float* x,
+                           const std::uint16_t* b, std::size_t ldb, float* y) {
+  for (std::size_t j = 0; j < rows; ++j) {
+    y[j] += alpha * scalar_dot_bf16(x, b + j * ldb, k);
+  }
+}
+
+void scalar_gemv_rows_multi_bf16(std::size_t rows, std::size_t k, float alpha,
+                                 const float* const* xs, std::size_t count,
+                                 const std::uint16_t* b, std::size_t ldb,
+                                 float* const* ys) {
+  for (std::size_t j = 0; j < rows; ++j) {
+    const std::uint16_t* row = b + j * ldb;
+    for (std::size_t i = 0; i < count; ++i) {
+      ys[i][j] += alpha * scalar_dot_bf16(xs[i], row, k);
+    }
+  }
+}
+
+void scalar_gemv_rows_i8(std::size_t rows, std::size_t k, float alpha, const float* x,
+                         const std::int8_t* b, std::size_t ldb, const float* scales,
+                         float* y) {
+  for (std::size_t j = 0; j < rows; ++j) {
+    y[j] += alpha * scalar_dot_i8(x, b + j * ldb, scales[j], k);
+  }
+}
+
+void scalar_gemv_rows_multi_i8(std::size_t rows, std::size_t k, float alpha,
+                               const float* const* xs, std::size_t count,
+                               const std::int8_t* b, std::size_t ldb,
+                               const float* scales, float* const* ys) {
+  for (std::size_t j = 0; j < rows; ++j) {
+    const std::int8_t* row = b + j * ldb;
+    for (std::size_t i = 0; i < count; ++i) {
+      ys[i][j] += alpha * scalar_dot_i8(xs[i], row, scales[j], k);
     }
   }
 }

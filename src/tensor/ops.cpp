@@ -207,6 +207,10 @@ void gemv(const KernelVtable& kv, bool trans_a, bool trans_b, std::size_t n,
 
 }  // namespace
 
+namespace detail {
+const KernelVtable& active_kernel_table() { return active_kernels(); }
+}  // namespace detail
+
 void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n, std::size_t k,
            float alpha, const float* a, std::size_t lda, const float* b, std::size_t ldb,
            float beta, float* c, std::size_t ldc) {

@@ -1,0 +1,162 @@
+#include "tensor/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "tensor/bf16.hpp"
+#include "tensor/kernels.hpp"
+#include "util/thread_pool.hpp"
+
+namespace astromlab::tensor {
+
+namespace {
+
+using detail::KernelVtable;
+
+/// Matches ops.cpp's gemv grain: a task below this many flops is not worth
+/// a pool hop.
+constexpr std::size_t kMinFlopsPerTask = 1u << 16;
+
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+const char* weight_dtype_name(WeightDtype dtype) {
+  switch (dtype) {
+    case WeightDtype::kF32:
+      return "fp32";
+    case WeightDtype::kBf16:
+      return "bf16";
+    case WeightDtype::kInt8:
+      return "int8";
+  }
+  return "unknown";
+}
+
+WeightDtype parse_weight_dtype(std::string_view name) {
+  if (name == "fp32" || name == "f32" || name == "float32") return WeightDtype::kF32;
+  if (name == "bf16" || name == "bfloat16") return WeightDtype::kBf16;
+  if (name == "int8" || name == "i8") return WeightDtype::kInt8;
+  throw std::invalid_argument("weight dtype must be fp32, bf16 or int8, got '" +
+                              std::string(name) + "'");
+}
+
+std::size_t QuantMatrix::bytes() const {
+  return bf16.size() * sizeof(std::uint16_t) + i8.size() * sizeof(std::int8_t) +
+         scales.size() * sizeof(float);
+}
+
+QuantMatrix quantize(WeightDtype dtype, const float* w, std::size_t rows,
+                     std::size_t cols) {
+  if (dtype == WeightDtype::kF32) {
+    throw std::invalid_argument("quantize: fp32 has no quantised storage");
+  }
+  QuantMatrix qm;
+  qm.dtype = dtype;
+  qm.rows = rows;
+  qm.cols = cols;
+  if (dtype == WeightDtype::kBf16) {
+    qm.bf16.resize(rows * cols);
+    for (std::size_t i = 0; i < rows * cols; ++i) qm.bf16[i] = float_to_bf16(w[i]);
+    return qm;
+  }
+  qm.i8.resize(rows * cols);
+  qm.scales.resize(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = w + r * cols;
+    float amax = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) amax = std::max(amax, std::fabs(row[c]));
+    const float scale = amax / 127.0f;
+    qm.scales[r] = scale;
+    std::int8_t* out = qm.i8.data() + r * cols;
+    if (scale == 0.0f) {
+      std::fill(out, out + cols, static_cast<std::int8_t>(0));
+      continue;
+    }
+    const float inv = 127.0f / amax;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const float q = std::nearbyintf(row[c] * inv);
+      out[c] = static_cast<std::int8_t>(std::clamp(q, -127.0f, 127.0f));
+    }
+  }
+  return qm;
+}
+
+void dequantize_row(const QuantMatrix& qm, std::size_t row, float* out) {
+  const std::size_t cols = qm.cols;
+  if (qm.dtype == WeightDtype::kBf16) {
+    const std::uint16_t* src = qm.bf16.data() + row * cols;
+    for (std::size_t c = 0; c < cols; ++c) out[c] = bf16_to_float(src[c]);
+    return;
+  }
+  const std::int8_t* src = qm.i8.data() + row * cols;
+  const float scale = qm.scales[row];
+  for (std::size_t c = 0; c < cols; ++c) {
+    out[c] = scale * static_cast<float>(src[c]);
+  }
+}
+
+void dequantize(const QuantMatrix& qm, float* out) {
+  for (std::size_t r = 0; r < qm.rows; ++r) dequantize_row(qm, r, out + r * qm.cols);
+}
+
+void gemv_quant(const QuantMatrix& qm, float alpha, const float* x, float* y) {
+  const KernelVtable& kv = detail::active_kernel_table();
+  const std::size_t n = qm.rows;
+  const std::size_t k = qm.cols;
+  std::fill(y, y + n, 0.0f);
+  if (k == 0 || alpha == 0.0f) return;
+
+  auto run_range = [&](std::size_t begin, std::size_t end) {
+    if (qm.dtype == WeightDtype::kBf16) {
+      kv.gemv_rows_bf16(end - begin, k, alpha, x, qm.bf16.data() + begin * k, k,
+                        y + begin);
+    } else {
+      kv.gemv_rows_i8(end - begin, k, alpha, x, qm.i8.data() + begin * k, k,
+                      qm.scales.data() + begin, y + begin);
+    }
+  };
+  // Same chunking and pool-skip heuristic as the fp32 m == 1 sgemm fast
+  // path: per-row reductions are independent, so threading cannot perturb
+  // the result.
+  const std::size_t grain = std::max<std::size_t>(1, ceil_div(kMinFlopsPerTask, 2 * k));
+  if (util::ThreadPool::global().parallelism() == 1 || n <= grain) {
+    run_range(0, n);
+    return;
+  }
+  util::parallel_for_range(n, run_range, grain);
+}
+
+void multi_gemv_quant(const QuantMatrix& qm, float alpha, const float* const* xs,
+                      std::size_t count, float* const* ys) {
+  if (count == 0) return;
+  const KernelVtable& kv = detail::active_kernel_table();
+  const std::size_t n = qm.rows;
+  const std::size_t k = qm.cols;
+  for (std::size_t i = 0; i < count; ++i) std::fill(ys[i], ys[i] + n, 0.0f);
+  if (k == 0 || alpha == 0.0f) return;
+
+  auto run_range = [&](std::size_t begin, std::size_t end) {
+    thread_local std::vector<float*> y_off;
+    y_off.resize(count);
+    for (std::size_t i = 0; i < count; ++i) y_off[i] = ys[i] + begin;
+    if (qm.dtype == WeightDtype::kBf16) {
+      kv.gemv_rows_multi_bf16(end - begin, k, alpha, xs, count,
+                              qm.bf16.data() + begin * k, k, y_off.data());
+    } else {
+      kv.gemv_rows_multi_i8(end - begin, k, alpha, xs, count,
+                            qm.i8.data() + begin * k, k,
+                            qm.scales.data() + begin, y_off.data());
+    }
+  };
+  const std::size_t grain = std::max<std::size_t>(1, ceil_div(kMinFlopsPerTask, 2 * k));
+  if (util::ThreadPool::global().parallelism() == 1 || n <= grain) {
+    run_range(0, n);
+    return;
+  }
+  util::parallel_for_range(n, run_range, grain);
+}
+
+}  // namespace astromlab::tensor

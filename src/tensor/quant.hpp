@@ -1,0 +1,79 @@
+#pragma once
+// Reduced-precision weight storage and dequant-fused matvecs.
+//
+// The paper's 70B model trains and serves in bf16; this reproduction keeps
+// fp32 master weights (training still needs them) and adds per-matrix
+// side storage in bf16 or int8 for the inference path, where decode is
+// weight-bandwidth-bound: halving (bf16) or quartering (int8) the bytes
+// streamed per token is worth more than any FLOP trick at m == 1.
+//
+// Bit-exactness contracts (all verified by tests):
+//   * bf16 -> fp32 widening is exact, and the fused kernels run the exact
+//     accumulator structure of the fp32 gemv, so a bf16 fused matvec is
+//     bitwise identical to the fp32 matvec over bf16-roundtripped weights.
+//   * An int8 fused matvec is bitwise identical to dequantising the rows
+//     (scale * int8 per element) and running the fp32 gemv — under the
+//     same kernel table. Cross-dtype results differ (that is the point of
+//     the bounded-delta score report in BENCH_quant).
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace astromlab::tensor {
+
+enum class WeightDtype { kF32 = 0, kBf16 = 1, kInt8 = 2 };
+
+/// "fp32" | "bf16" | "int8" — the --weight-dtype flag values.
+const char* weight_dtype_name(WeightDtype dtype);
+
+/// Inverse of weight_dtype_name; throws std::invalid_argument on unknown
+/// names so flag typos fail loudly.
+WeightDtype parse_weight_dtype(std::string_view name);
+
+/// One weight matrix stored reduced-precision, row-major [rows, cols] —
+/// the `y = x * W^T` layout every linear layer uses at decode time (each
+/// output element is a dot against one contiguous row).
+struct QuantMatrix {
+  WeightDtype dtype = WeightDtype::kF32;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::uint16_t> bf16;  ///< rows*cols raw bf16 bit patterns (kBf16)
+  std::vector<std::int8_t> i8;      ///< rows*cols quantised values (kInt8)
+  std::vector<float> scales;        ///< per-row absmax scales (kInt8)
+
+  bool empty() const { return rows == 0; }
+  /// Payload bytes (the memory the dtype actually saves vs rows*cols*4).
+  std::size_t bytes() const;
+};
+
+/// Quantises a row-major fp32 matrix. kBf16 stores round-to-nearest-even
+/// bf16 bits (tensor::float_to_bf16). kInt8 stores per-row symmetric
+/// absmax quantisation: scale = max|row| / 127, q = clamp(round(w/scale));
+/// an all-zero row gets scale 0. kF32 is rejected (nothing to store).
+QuantMatrix quantize(WeightDtype dtype, const float* w, std::size_t rows,
+                     std::size_t cols);
+
+/// Expands row `row` of `qm` into `out` (cols floats) — exactly the values
+/// the fused kernels multiply against, making this the oracle side of the
+/// fused-vs-dequant bit-identity tests.
+void dequantize_row(const QuantMatrix& qm, std::size_t row, float* out);
+
+/// Expands the whole matrix into `out` (rows*cols floats, row-major).
+void dequantize(const QuantMatrix& qm, float* out);
+
+/// y = alpha * (W_q x): the m == 1 trans_b sgemm fast path over quantised
+/// weights. Overwrites y (rows floats). Same row chunking, pool-skip
+/// heuristic, and per-row reduction order as tensor::sgemm's gemv path, so
+/// results are independent of thread count.
+void gemv_quant(const QuantMatrix& qm, float alpha, const float* x, float* y);
+
+/// Batched variant with tensor::multi_gemv's contract: every (input, row)
+/// reduction is the same fused dot gemv_quant runs, so each ys[i] is
+/// bitwise identical to gemv_quant(qm, alpha, xs[i], ys[i]) regardless of
+/// count, chunking, or thread count.
+void multi_gemv_quant(const QuantMatrix& qm, float alpha, const float* const* xs,
+                      std::size_t count, float* const* ys);
+
+}  // namespace astromlab::tensor

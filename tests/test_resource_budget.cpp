@@ -10,7 +10,9 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <cstring>
 #include <filesystem>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -159,6 +161,118 @@ TEST_F(ResourceBudgetTest, KvCacheChargesLazilyAndReleaseKvReturnsTheBytes) {
   inference.prompt({nn::Token{3}});
   EXPECT_EQ(inference.kv_bytes(), kv);
   EXPECT_EQ(budget.domain_bytes(MemoryDomain::kKvCache), kv_base + kv);
+}
+
+TEST_F(ResourceBudgetTest, DeniedKvAllocationMidEnsureLeavesNothingChargedAndRetries) {
+  // Regression: ensure_kv allocates 2 buffers per layer (k then v). A
+  // denial on a later buffer used to leave the earlier layers' buffers
+  // resident with their bytes charged — the residency fast path then
+  // mistook the cache for complete, and the charge could never be
+  // released. Allocation-is-charge (TrackedAllocator) plus the
+  // build-locals-then-commit structure must unwind to exactly baseline.
+  nn::GptConfig config;
+  config.vocab_size = 64;
+  config.ctx_len = 16;
+  config.d_model = 8;
+  config.n_heads = 2;
+  config.n_layers = 2;
+  config.d_ff = 16;
+  nn::GptModel model(config);
+  util::Rng init(81);
+  model.init_weights(init);
+
+  auto& budget = ResourceBudget::instance();
+  const std::size_t kv_base = budget.domain_bytes(MemoryDomain::kKvCache);
+  const std::size_t used_base = budget.used_bytes();
+
+  nn::GptInference inference(model);
+  // 2 layers x {k, v} = 4 acquisitions; fail the 3rd (k of layer 1), after
+  // two buffers were successfully charged.
+  util::FaultInjector::instance().arm_fail_alloc(3);
+  EXPECT_THROW(inference.step(nn::Token{1}), ResourceExhaustedError);
+  EXPECT_EQ(budget.domain_bytes(MemoryDomain::kKvCache), kv_base);
+  EXPECT_EQ(budget.used_bytes(), used_base);
+  EXPECT_EQ(inference.kv_bytes(), 0u);
+  EXPECT_EQ(inference.position(), 0u);
+  EXPECT_TRUE(inference.history().empty());
+
+  // The object is still usable: the retry re-allocates from scratch and
+  // produces exactly the logits a fresh inference produces.
+  nn::GptInference oracle(model);
+  const std::vector<float>& got = inference.step(nn::Token{1});
+  const std::vector<float>& want = oracle.step(nn::Token{1});
+  EXPECT_EQ(std::memcmp(got.data(), want.data(), want.size() * sizeof(float)), 0);
+  EXPECT_EQ(budget.domain_bytes(MemoryDomain::kKvCache), kv_base + 2 * inference.kv_bytes());
+}
+
+TEST_F(ResourceBudgetTest, DeniedSlotKvAllocationLeavesSlotAndCountersClean) {
+  nn::GptConfig config;
+  config.vocab_size = 64;
+  config.ctx_len = 16;
+  config.d_model = 8;
+  config.n_heads = 2;
+  config.n_layers = 2;
+  config.d_ff = 16;
+  nn::GptModel model(config);
+  util::Rng init(82);
+  model.init_weights(init);
+
+  auto& budget = ResourceBudget::instance();
+  const std::size_t kv_base = budget.domain_bytes(MemoryDomain::kKvCache);
+
+  nn::BatchedInference batch(model, 2);
+  util::FaultInjector::instance().arm_fail_alloc(3);  // k0, v0 charge; k1 throws
+  EXPECT_THROW(batch.ensure_slot_kv(0), ResourceExhaustedError);
+  EXPECT_EQ(budget.domain_bytes(MemoryDomain::kKvCache), kv_base);
+  EXPECT_EQ(batch.slot_kv_bytes(0), 0u);
+
+  // Retry succeeds; the double release is idempotent and returns 0 the
+  // second time (a doubled release would corrupt the domain counter).
+  batch.ensure_slot_kv(0);
+  const std::size_t kv = batch.slot_kv_bytes(0);
+  EXPECT_GT(kv, 0u);
+  EXPECT_EQ(budget.domain_bytes(MemoryDomain::kKvCache), kv_base + kv);
+  EXPECT_EQ(batch.release_slot_kv(0), kv);
+  EXPECT_EQ(batch.release_slot_kv(0), 0u);
+  EXPECT_EQ(budget.domain_bytes(MemoryDomain::kKvCache), kv_base);
+}
+
+TEST_F(ResourceBudgetTest, DeniedArenaBlockMidPromptUnwindsPagedChargeExactly) {
+  // Paged mode charges block by block as rows are written; a denial
+  // mid-prompt must leave the arena consistent (blocks already written
+  // stay live and charged, nothing half-charged) and the budget equal to
+  // the arena's own accounting.
+  nn::GptConfig config;
+  config.vocab_size = 64;
+  config.ctx_len = 32;
+  config.d_model = 8;
+  config.n_heads = 2;
+  config.n_layers = 2;
+  config.d_ff = 16;
+  nn::GptModel model(config);
+  util::Rng init(83);
+  model.init_weights(init);
+
+  auto& budget = ResourceBudget::instance();
+  const std::size_t kv_base = budget.domain_bytes(MemoryDomain::kKvCache);
+  auto arena = std::make_shared<nn::KvArena>(4, config.d_model);
+
+  nn::GptInference inference(model, arena);
+  util::FaultInjector::instance().arm_fail_alloc(6);
+  bool threw = false;
+  try {
+    for (nn::Token t = 0; t < 20; ++t) inference.step(t % 8);
+  } catch (const ResourceExhaustedError&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(budget.domain_bytes(MemoryDomain::kKvCache), kv_base + arena->total_bytes());
+  EXPECT_EQ(arena->total_bytes(), arena->live_blocks() * arena->block_bytes());
+
+  // Releasing the session returns the domain to baseline exactly.
+  inference.release_kv();
+  EXPECT_EQ(arena->live_blocks(), 0u);
+  EXPECT_EQ(budget.domain_bytes(MemoryDomain::kKvCache), kv_base);
 }
 
 TEST_F(ResourceBudgetTest, MemoryReservationMovesWithoutDoubleCharging) {

@@ -255,6 +255,55 @@ TEST(Serve, HotSwapBumpsGenerationAndStaysConsistent) {
   EXPECT_EQ(static_cast<int>(doc.get_number("model_generation", 0.0)), 2);
 }
 
+TEST(Serve, SwapMidSessionDropsStaleKvAndRecomputesFromScratch) {
+  // Regression: a session created before a hot swap must not splice its
+  // old-generation KV prefix into the new model. The continuation after
+  // the swap has to report a cold cache (reused_prefix_tokens == 0) and
+  // produce byte-identical text to a sessionless request against the new
+  // world — any prefix reuse here would decode the new weights on top of
+  // retired-generation KV rows.
+  InferenceServer server(shared_world(), quiet_config());
+  server.start();
+  HttpClient client("127.0.0.1", server.port());
+
+  json::Value base = json::Value::object();
+  base.set("prompt", "spectral classification of the candidate");
+  base.set("max_new_tokens", static_cast<std::int64_t>(10));
+  base.set("temperature", 0.0);
+  base.set("seed", static_cast<std::int64_t>(11));
+  base.set("session", "conv-swap");
+  const json::Value first = post_json(client, "/v1/generate", base.dump(), 200);
+  const std::string continuation = first.get_string("text", "");
+  ASSERT_FALSE(continuation.empty());
+  ASSERT_GE(server.session_count(), 1u);
+
+  json::Value swap = json::Value::object();
+  swap.set("scale", "S7");
+  post_json(client, "/admin/model", swap.dump(), 200);
+  ASSERT_EQ(server.session_count(), 0u);
+
+  json::Value extended = json::Value::object();
+  extended.set("prompt", std::string("spectral classification of the candidate") +
+                             continuation + " suggests a subdwarf");
+  extended.set("max_new_tokens", static_cast<std::int64_t>(8));
+  extended.set("temperature", 0.0);
+  extended.set("seed", static_cast<std::int64_t>(11));
+  extended.set("session", "conv-swap");
+  const json::Value after = post_json(client, "/v1/generate", extended.dump(), 200);
+  EXPECT_EQ(after.get_number("reused_prefix_tokens", -1.0), 0.0);
+  EXPECT_EQ(static_cast<int>(after.get_number("model_generation", 0.0)), 2);
+
+  // Oracle: the same extended request, sessionless, against the swapped
+  // server — bytes must match the post-swap session continuation.
+  json::Value fresh = extended;
+  fresh.set("session", "");
+  const json::Value oracle = post_json(client, "/v1/generate", fresh.dump(), 200);
+  EXPECT_EQ(after.get_string("text", ""), oracle.get_string("text", ""));
+
+  // The recreated session is warm again for the next turn.
+  EXPECT_GE(server.session_count(), 1u);
+}
+
 TEST(Serve, GracefulDrainFlushesJournalAndRejectsNewWork) {
   const std::filesystem::path journal_path =
       std::filesystem::temp_directory_path() / "serve_test_journal.jsonl";

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <limits>
 #include <string>
 #include <tuple>
 #include <vector>
 
+#include "tensor/bf16.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/quant.hpp"
 #include "tensor/tensor.hpp"
 #include "util/rng.hpp"
 
@@ -645,6 +648,180 @@ TEST(MultiGemv, ScalarAndVectorisedKernelsHonourTheSerialContract) {
           << kernel << " input " << i;
     }
   }
+}
+
+// ---- bf16 numerics: the canonical conversion pair and its edge cases ----
+
+float float_from_bits(std::uint32_t bits) {
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+std::uint32_t bits_from_float(float f) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return bits;
+}
+
+TEST(Bf16, ExhaustiveRoundTripOverAll65536BitPatterns) {
+  // Every bf16 value IS an fp32 value (widening appends 16 zero mantissa
+  // bits), so float_to_bf16(bf16_to_float(b)) must reproduce b exactly for
+  // every non-NaN pattern — no double rounding, no sign loss, infinities
+  // and denormals included. NaN payloads come back with the quiet bit
+  // forced (from_float quiets every NaN deterministically) and nothing
+  // else disturbed.
+  for (std::uint32_t pattern = 0; pattern <= 0xFFFFu; ++pattern) {
+    const std::uint16_t bits = static_cast<std::uint16_t>(pattern);
+    const float widened = bf16_to_float(bits);
+    const std::uint16_t back = float_to_bf16(widened);
+    const bool is_nan = (bits & 0x7F80u) == 0x7F80u && (bits & 0x007Fu) != 0;
+    if (is_nan) {
+      EXPECT_TRUE(std::isnan(widened)) << std::hex << pattern;
+      EXPECT_EQ(back, bits | 0x0040u) << std::hex << pattern;  // quieted only
+    } else {
+      EXPECT_EQ(back, bits) << std::hex << pattern;
+    }
+  }
+}
+
+TEST(Bf16, RoundToNearestEvenEdgeCases) {
+  // Exact tie, keep-bit even: 0x3F80 | half-ulp stays at 0x3F80 (1.0).
+  EXPECT_EQ(float_to_bf16(float_from_bits(0x3F808000u)), 0x3F80u);
+  // Exact tie, keep-bit odd: rounds up to the even neighbour.
+  EXPECT_EQ(float_to_bf16(float_from_bits(0x3F818000u)), 0x3F82u);
+  // One past the tie always rounds up.
+  EXPECT_EQ(float_to_bf16(float_from_bits(0x3F808001u)), 0x3F81u);
+  // Mantissa carry propagates into the exponent: just-below-1.0 → 1.0.
+  EXPECT_EQ(float_to_bf16(float_from_bits(0x3F7FFFFFu)), 0x3F80u);
+  // Carry at the top of the finite range overflows to infinity: FLT_MAX
+  // (0x7F7FFFFF) is nearer +inf than the largest finite bf16.
+  EXPECT_EQ(float_to_bf16(std::numeric_limits<float>::max()), 0x7F80u);
+  EXPECT_EQ(float_to_bf16(-std::numeric_limits<float>::max()), 0xFF80u);
+  // Infinities map to bf16 infinities, not NaN.
+  EXPECT_EQ(float_to_bf16(std::numeric_limits<float>::infinity()), 0x7F80u);
+  EXPECT_EQ(float_to_bf16(-std::numeric_limits<float>::infinity()), 0xFF80u);
+  // Signed zero survives (a plain truncate-with-round keeps the sign bit).
+  EXPECT_EQ(float_to_bf16(0.0f), 0x0000u);
+  EXPECT_EQ(float_to_bf16(-0.0f), 0x8000u);
+  EXPECT_TRUE(std::signbit(bf16_to_float(0x8000u)));
+  // The smallest fp32 denormal underflows to (signed) zero.
+  EXPECT_EQ(float_to_bf16(float_from_bits(0x00000001u)), 0x0000u);
+  EXPECT_EQ(float_to_bf16(float_from_bits(0x80000001u)), 0x8000u);
+  // Every NaN input yields a quiet bf16 NaN (never an infinity).
+  for (const std::uint32_t nan_bits : {0x7F800001u, 0x7FC00000u, 0xFFC01234u, 0x7F923456u}) {
+    const std::uint16_t q = float_to_bf16(float_from_bits(nan_bits));
+    EXPECT_TRUE(std::isnan(bf16_to_float(q))) << std::hex << nan_bits;
+    EXPECT_TRUE((q & 0x0040u) != 0) << std::hex << nan_bits;  // quiet bit set
+  }
+  // bf16_round is exactly the widen-of-the-rounding, nothing more: its
+  // result re-converts to the same bits (idempotence — the property the
+  // checkpoint roundtrip and quantize_weights(kBf16) both lean on).
+  util::Rng rng(20260808);
+  for (int i = 0; i < 2000; ++i) {
+    const float v = static_cast<float>(50.0 * rng.next_gaussian());
+    const float rounded = bf16_round(v);
+    EXPECT_EQ(bits_from_float(bf16_round(rounded)), bits_from_float(rounded)) << v;
+    EXPECT_EQ(float_to_bf16(rounded), float_to_bf16(v)) << v;
+  }
+}
+
+// ---- dequant-fused gemv: bitwise vs the dequant-then-gemv oracle ----
+
+TEST(QuantGemv, FusedMatchesDequantOracleBitwisePerKernel) {
+  // quant.hpp's contract, checked under each kernel table the host can
+  // run: the fused matvec over quantised weights must be bitwise identical
+  // to expanding the rows to fp32 and running that table's own gemv.
+  KernelOverrideGuard guard;
+  util::Rng rng(20260812);
+  for (const char* kernel : {"scalar", "auto"}) {
+    ASSERT_TRUE(set_kernel_override(kernel));
+    for (int trial = 0; trial < 12; ++trial) {
+      const std::size_t rows = 1 + rng.next_below(40);
+      const std::size_t cols = 1 + rng.next_below(96);
+      const float alphas[] = {1.0f, 0.5f, -1.0f, 2.0f};
+      const float alpha = alphas[rng.next_below(4)];
+      std::vector<float> w(rows * cols), x(cols);
+      for (float& v : w) v = static_cast<float>(rng.next_gaussian());
+      for (float& v : x) v = static_cast<float>(rng.next_gaussian());
+      if (trial == 0) std::fill(w.begin(), w.begin() + cols, 0.0f);  // all-zero row
+
+      for (const WeightDtype dtype : {WeightDtype::kBf16, WeightDtype::kInt8}) {
+        const QuantMatrix qm = quantize(dtype, w.data(), rows, cols);
+        std::vector<float> dequant(rows * cols);
+        dequantize(qm, dequant.data());
+
+        std::vector<float> y_fused(rows, std::numeric_limits<float>::quiet_NaN());
+        gemv_quant(qm, alpha, x.data(), y_fused.data());
+        std::vector<float> y_oracle(rows, 0.0f);
+        sgemm(false, true, 1, rows, cols, alpha, x.data(), cols, dequant.data(), cols,
+              0.0f, y_oracle.data(), rows);
+        EXPECT_EQ(std::memcmp(y_fused.data(), y_oracle.data(), rows * sizeof(float)), 0)
+            << kernel << " dtype=" << weight_dtype_name(dtype) << " trial " << trial
+            << " rows=" << rows << " cols=" << cols << " alpha=" << alpha;
+
+        if (dtype == WeightDtype::kBf16) {
+          // bf16 dequant is exactly the per-element bf16 rounding.
+          for (std::size_t i = 0; i < w.size(); ++i) {
+            ASSERT_EQ(bits_from_float(dequant[i]), bits_from_float(bf16_round(w[i])))
+                << kernel << " i=" << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(QuantGemv, BatchedFusedMatchesSerialFusedBitwisePerKernel) {
+  // multi_gemv_quant's contract mirrors multi_gemv's: each output is
+  // bitwise the serial gemv_quant of its input, for any count, under
+  // every kernel table.
+  KernelOverrideGuard guard;
+  util::Rng rng(20260813);
+  const std::size_t rows = 33, cols = 71;
+  std::vector<float> w(rows * cols);
+  for (float& v : w) v = static_cast<float>(rng.next_gaussian());
+  for (const char* kernel : {"scalar", "auto"}) {
+    ASSERT_TRUE(set_kernel_override(kernel));
+    for (const WeightDtype dtype : {WeightDtype::kBf16, WeightDtype::kInt8}) {
+      const QuantMatrix qm = quantize(dtype, w.data(), rows, cols);
+      for (const std::size_t count : {std::size_t{1}, std::size_t{3}, std::size_t{7}}) {
+        std::vector<std::vector<float>> xs(count), ys(count);
+        std::vector<const float*> x_ptrs(count);
+        std::vector<float*> y_ptrs(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          xs[i].resize(cols);
+          for (float& v : xs[i]) v = static_cast<float>(rng.next_gaussian());
+          ys[i].assign(rows, std::numeric_limits<float>::quiet_NaN());
+          x_ptrs[i] = xs[i].data();
+          y_ptrs[i] = ys[i].data();
+        }
+        multi_gemv_quant(qm, 1.0f, x_ptrs.data(), count, y_ptrs.data());
+        for (std::size_t i = 0; i < count; ++i) {
+          std::vector<float> y_ref(rows, 0.0f);
+          gemv_quant(qm, 1.0f, xs[i].data(), y_ref.data());
+          EXPECT_EQ(std::memcmp(ys[i].data(), y_ref.data(), rows * sizeof(float)), 0)
+              << kernel << " dtype=" << weight_dtype_name(dtype) << " count=" << count
+              << " input " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(QuantGemv, Int8AllZeroRowDequantisesToExactZeros) {
+  // An all-zero row gets scale 0; the fused kernel must emit exact 0.0f
+  // for it (not NaN from a 0/0 scale computation).
+  const std::size_t rows = 3, cols = 17;
+  std::vector<float> w(rows * cols, 0.0f);
+  for (std::size_t c = 0; c < cols; ++c) w[2 * cols + c] = 1.0f + static_cast<float>(c);
+  const QuantMatrix qm = quantize(WeightDtype::kInt8, w.data(), rows, cols);
+  EXPECT_EQ(qm.scales[0], 0.0f);
+  std::vector<float> x(cols, 1.0f), y(rows, -1.0f);
+  gemv_quant(qm, 1.0f, x.data(), y.data());
+  EXPECT_EQ(bits_from_float(y[0]), bits_from_float(0.0f));
+  EXPECT_EQ(bits_from_float(y[1]), bits_from_float(0.0f));
+  EXPECT_GT(y[2], 0.0f);
 }
 
 TEST(Ops, GeluValuesAndGradient) {
